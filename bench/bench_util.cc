@@ -1,0 +1,90 @@
+#include "bench/bench_util.h"
+
+#include <sys/stat.h>
+
+#include <map>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace tranad::bench {
+
+double DefaultScale() { return EnvDouble("TRANAD_SCALE", 0.35); }
+
+int64_t DefaultEpochs() {
+  const int64_t e = BenchEpochs();
+  return e > 0 ? e : 5;
+}
+
+const Dataset& BenchDataset(const std::string& name, uint64_t seed) {
+  static std::map<std::pair<std::string, uint64_t>, Dataset> cache;
+  const auto key = std::make_pair(name, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto ds = GenerateDatasetByName(name, DefaultScale(), seed);
+    TRANAD_CHECK_MSG(ds.ok(), ds.status().ToString());
+    it = cache.emplace(key, std::move(ds).value()).first;
+  }
+  return it->second;
+}
+
+EvalOutcome RunCell(const std::string& method, const Dataset& dataset,
+                    int64_t epochs, uint64_t seed) {
+  DetectorOptions options;
+  options.epochs = epochs;
+  options.seed = seed;
+  auto det = CreateDetector(method, options);
+  TRANAD_CHECK_MSG(det.ok(), det.status().ToString());
+  return EvaluateDetector(det->get(), dataset);
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string cell = c == 0 ? PadRight(row[c], widths[c])
+                                : PadLeft(row[c], widths[c]);
+      std::printf("%s%s", cell.c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header);
+  size_t total = header.size() > 0 ? 2 * (header.size() - 1) : 0;
+  for (size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string Fmt4(double v) { return StrFormat("%.4f", v); }
+std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+std::string WriteBenchCsv(const std::string& name,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<double>>& rows) {
+  ::mkdir("bench_out", 0755);
+  const std::string path = "bench_out/" + name + ".csv";
+  CsvTable table;
+  table.header = header;
+  table.rows = rows;
+  const Status st = WriteCsv(path, table);
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+  }
+  return path;
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"NAB", "UCR", "MBA", "SMAP", "MSL", "SWaT", "WADI", "SMD", "MSDS"};
+}
+
+}  // namespace tranad::bench

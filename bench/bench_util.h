@@ -1,0 +1,48 @@
+#ifndef TRANAD_BENCH_BENCH_UTIL_H_
+#define TRANAD_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+namespace tranad::bench {
+
+/// Default dataset scale for the table benches; overridable with the
+/// TRANAD_SCALE environment variable. 0.35 is the smallest scale at which
+/// every dataset carries enough anomaly segments for stable F1.
+double DefaultScale();
+
+/// Default training epochs; overridable with TRANAD_EPOCHS.
+int64_t DefaultEpochs();
+
+/// Generates (and caches per-process) the named dataset at the bench scale.
+const Dataset& BenchDataset(const std::string& name, uint64_t seed = 42);
+
+/// Runs one (method, dataset) cell of the evaluation protocol.
+EvalOutcome RunCell(const std::string& method, const Dataset& dataset,
+                    int64_t epochs, uint64_t seed = 7);
+
+/// Renders a row-major table with a header; column 0 is left-aligned.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a metric to the paper's 4-decimal style.
+std::string Fmt4(double v);
+std::string Fmt2(double v);
+
+/// Writes a CSV next to the binary outputs (bench_out/<name>.csv),
+/// creating the directory if needed. Returns the path.
+std::string WriteBenchCsv(const std::string& name,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<double>>& rows);
+
+/// The nine paper dataset names in table order.
+std::vector<std::string> DatasetNames();
+
+}  // namespace tranad::bench
+
+#endif  // TRANAD_BENCH_BENCH_UTIL_H_

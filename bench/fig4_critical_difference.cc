@@ -1,0 +1,48 @@
+// Figure 4: critical-difference diagrams for F1 and AUC across all methods
+// and datasets — Friedman test followed by pairwise Wilcoxon signed-rank
+// tests (alpha = 0.05), rendered as rank lists with non-significant groups.
+#include "bench/bench_util.h"
+
+#include "eval/critdiff.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto methods = PaperMethodNames();
+  const int64_t epochs = DefaultEpochs();
+  std::vector<std::vector<double>> f1(methods.size());
+  std::vector<std::vector<double>> auc(methods.size());
+
+  for (const auto& dataset_name : DatasetNames()) {
+    const Dataset& ds = BenchDataset(dataset_name);
+    for (size_t i = 0; i < methods.size(); ++i) {
+      const EvalOutcome out = RunCell(methods[i], ds, epochs);
+      f1[i].push_back(out.detection.f1);
+      auc[i].push_back(out.detection.roc_auc);
+      std::fflush(stdout);
+    }
+  }
+
+  const auto cd_f1 = CriticalDifference(methods, f1, 0.05);
+  std::printf("\nFigure 4a: critical difference on F1 scores\n%s\n",
+              RenderCritDiff(cd_f1).c_str());
+  const auto cd_auc = CriticalDifference(methods, auc, 0.05);
+  std::printf("Figure 4b: critical difference on AUC scores\n%s\n",
+              RenderCritDiff(cd_auc).c_str());
+
+  std::vector<std::vector<double>> csv;
+  for (size_t i = 0; i < methods.size(); ++i) {
+    csv.push_back({cd_f1.friedman.avg_ranks[i],
+                   cd_auc.friedman.avg_ranks[i]});
+  }
+  const auto path =
+      WriteBenchCsv("fig4_critdiff", {"f1_rank", "auc_rank"}, csv);
+  std::printf("CSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

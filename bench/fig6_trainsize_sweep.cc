@@ -1,0 +1,65 @@
+// Figure 6: sensitivity to the training-set size — F1, AUC and training
+// time against the fraction of training data (20%..100%), averaged over a
+// representative dataset mix (full 11x9 sweeps per fraction exceed the CPU
+// budget; TRANAD_FIG6_FULL=1 restores all methods).
+#include "bench/bench_util.h"
+
+#include "common/env.h"
+#include "data/preprocess.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  std::vector<std::string> methods{"TranAD", "USAD", "OmniAnomaly",
+                                   "LSTM-NDT", "GDN"};
+  if (EnvInt("TRANAD_FIG6_FULL", 0) != 0) methods = PaperMethodNames();
+  const std::vector<std::string> datasets{"NAB", "MBA", "SMD", "MSDS"};
+  const std::vector<double> fractions{0.2, 0.4, 0.6, 0.8, 1.0};
+  const int64_t epochs = DefaultEpochs();
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> csv;
+  for (const auto& method : methods) {
+    for (double frac : fractions) {
+      double f1 = 0.0;
+      double auc = 0.0;
+      double fit_time = 0.0;
+      for (const auto& dataset_name : datasets) {
+        const Dataset& full = BenchDataset(dataset_name);
+        Rng rng(31 + static_cast<uint64_t>(frac * 100));
+        Dataset limited;
+        limited.name = full.name;
+        limited.train = frac >= 1.0
+                            ? full.train
+                            : SubsampleTrain(full.train, frac, &rng);
+        limited.test = full.test;
+        DetectorOptions options;
+        options.epochs = epochs;
+        auto det = CreateDetector(method, options);
+        TRANAD_CHECK(det.ok());
+        const EvalOutcome out = EvaluateDetector(det->get(), limited);
+        f1 += out.detection.f1;
+        auc += out.detection.roc_auc;
+        fit_time += out.fit_seconds;
+      }
+      const double n = static_cast<double>(datasets.size());
+      rows.push_back({method, Fmt2(frac), Fmt4(f1 / n), Fmt4(auc / n),
+                      Fmt2(fit_time)});
+      csv.push_back({frac, f1 / n, auc / n, fit_time});
+      std::fflush(stdout);
+    }
+  }
+  PrintTable("Figure 6: F1 / AUC / training time vs training-set fraction "
+             "(averaged over NAB, MBA, SMD, MSDS)",
+             {"Method", "Fraction", "F1", "AUC", "Train s"}, rows);
+  const auto path = WriteBenchCsv(
+      "fig6_trainsize", {"fraction", "f1", "auc", "train_seconds"}, csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

@@ -1,0 +1,52 @@
+// Figure 7: sensitivity to the window size K — F1, AUC and training time of
+// TranAD and its ablated variants for K in {5, 10, 20, 40}.
+#include "bench/bench_util.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto variants = AblationMethodNames();
+  const std::vector<int64_t> windows{5, 10, 20, 40};
+  const std::vector<std::string> datasets{"NAB", "SMD", "MSDS"};
+  const int64_t epochs = DefaultEpochs();
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> csv;
+  for (const auto& variant : variants) {
+    for (int64_t k : windows) {
+      double f1 = 0.0;
+      double auc = 0.0;
+      double fit_time = 0.0;
+      for (const auto& dataset_name : datasets) {
+        const Dataset& ds = BenchDataset(dataset_name);
+        DetectorOptions options;
+        options.epochs = epochs;
+        options.window = k;
+        auto det = CreateDetector(variant, options);
+        TRANAD_CHECK(det.ok());
+        const EvalOutcome out = EvaluateDetector(det->get(), ds);
+        f1 += out.detection.f1;
+        auc += out.detection.roc_auc;
+        fit_time += out.fit_seconds;
+      }
+      const double n = static_cast<double>(datasets.size());
+      rows.push_back({variant, std::to_string(k), Fmt4(f1 / n),
+                      Fmt4(auc / n), Fmt2(fit_time)});
+      csv.push_back({static_cast<double>(k), f1 / n, auc / n, fit_time});
+      std::fflush(stdout);
+    }
+  }
+  PrintTable("Figure 7: F1 / AUC / training time vs window size "
+             "(averaged over NAB, SMD, MSDS)",
+             {"Method", "K", "F1", "AUC", "Train s"}, rows);
+  const auto path = WriteBenchCsv(
+      "fig7_window", {"window", "f1", "auc", "train_seconds"}, csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) of the hot computational kernels: the
+// batched matmul, multi-head attention forward/backward, the full TranAD
+// two-phase step, window construction and POT fitting.
+#include <benchmark/benchmark.h>
+
+#include "core/tranad_model.h"
+#include "data/preprocess.h"
+#include "eval/pot.h"
+#include "nn/attention.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  const int64_t b = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::Randn({b, 10, 32}, &rng);
+  Tensor y = Tensor::Randn({b, 32, 10}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(x, y));
+  }
+}
+BENCHMARK(BM_BatchedMatMul)->Arg(32)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t heads = state.range(0);
+  Rng rng(3);
+  nn::MultiHeadAttention attn(32, heads, &rng);
+  attn.SetTraining(false);
+  Variable x(Tensor::Randn({64, 10, 32}, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x, x, x));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::MultiHeadAttention attn(32, 4, &rng);
+  Variable x(Tensor::Randn({64, 10, 32}, &rng));
+  for (auto _ : state) {
+    Variable loss = ag::MeanAll(ag::Square(attn.Forward(x, x, x)));
+    attn.ZeroGrad();
+    loss.Backward();
+  }
+}
+BENCHMARK(BM_AttentionBackward);
+
+void BM_TranADTwoPhaseForward(benchmark::State& state) {
+  const int64_t dims = state.range(0);
+  TranADConfig config;
+  config.dims = dims;
+  TranADModel model(config);
+  model.SetTraining(false);
+  Rng rng(5);
+  Tensor batch = Tensor::Rand({64, config.window, dims}, &rng);
+  for (auto _ : state) {
+    Variable w(batch);
+    auto [o1, o2] = model.ForwardPhase1(w);
+    Variable focus = ag::Square(ag::Sub(o1, w));
+    benchmark::DoNotOptimize(model.ForwardPhase2(w, focus));
+  }
+}
+BENCHMARK(BM_TranADTwoPhaseForward)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_MakeWindows(benchmark::State& state) {
+  Rng rng(6);
+  Tensor series = Tensor::Randn({4096, 8}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeWindows(series, 10));
+  }
+}
+BENCHMARK(BM_MakeWindows);
+
+void BM_PotThreshold(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> scores(8192);
+  for (auto& s : scores) s = -std::log(1.0 - rng.Uniform());
+  PotParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PotThreshold(scores, params));
+  }
+}
+BENCHMARK(BM_PotThreshold);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn({512, 10, 10}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(x));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim);
+
+}  // namespace
+}  // namespace tranad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Table 2: P / R / AUC / F1 of all eleven methods on the complete training
+// data of every dataset (point-adjusted best-F1 protocol; see
+// EXPERIMENTS.md for the protocol note).
+#include "bench/bench_util.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto methods = PaperMethodNames();
+  const int64_t epochs = DefaultEpochs();
+  std::vector<std::vector<double>> csv;
+
+  // Collect per-dataset blocks like the paper's three-row groups.
+  const auto datasets = DatasetNames();
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    const Dataset& ds = BenchDataset(datasets[di]);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& method : methods) {
+      const EvalOutcome out = RunCell(method, ds, epochs);
+      rows.push_back({method, Fmt4(out.detection.precision),
+                      Fmt4(out.detection.recall),
+                      Fmt4(out.detection.roc_auc),
+                      Fmt4(out.detection.f1)});
+      csv.push_back({static_cast<double>(di), out.detection.precision,
+                     out.detection.recall, out.detection.roc_auc,
+                     out.detection.f1});
+      std::fflush(stdout);
+    }
+    PrintTable("Table 2 (" + datasets[di] + "): detection, full data",
+               {"Method", "P", "R", "AUC", "F1"}, rows);
+  }
+  const auto path = WriteBenchCsv("table2_detection",
+                                  {"dataset_idx", "precision", "recall",
+                                   "auc", "f1"},
+                                  csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

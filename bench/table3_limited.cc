@@ -1,0 +1,63 @@
+// Table 3: AUC* / F1* — detection quality when training on a random 20%
+// slice of the training data, averaged over several slices (the paper uses
+// five; override with TRANAD_SEEDS).
+#include "bench/bench_util.h"
+
+#include "common/env.h"
+#include "data/preprocess.h"
+#include "eval/metrics.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto methods = PaperMethodNames();
+  const int64_t epochs = DefaultEpochs();
+  const int64_t seeds = EnvInt("TRANAD_SEEDS", 3);
+  std::vector<std::vector<double>> csv;
+
+  const auto datasets = DatasetNames();
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    const Dataset& full = BenchDataset(datasets[di]);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& method : methods) {
+      double auc = 0.0;
+      double f1 = 0.0;
+      // MERLIN is training-free: one run suffices (the paper likewise
+      // reports its full-data scores as F1*/AUC*).
+      const int64_t runs = method == "MERLIN" ? 1 : seeds;
+      for (int64_t s = 0; s < runs; ++s) {
+        Rng rng(1000 + static_cast<uint64_t>(s) * 77);
+        Dataset limited;
+        limited.name = full.name;
+        limited.train = SubsampleTrain(full.train, 0.2, &rng);
+        limited.test = full.test;
+        DetectorOptions options;
+        options.epochs = epochs;
+        options.seed = 7 + static_cast<uint64_t>(s);
+        auto det = CreateDetector(method, options);
+        TRANAD_CHECK(det.ok());
+        const EvalOutcome out = EvaluateDetector(det->get(), limited);
+        auc += out.detection.roc_auc;
+        f1 += out.detection.f1;
+      }
+      auc /= static_cast<double>(runs);
+      f1 /= static_cast<double>(runs);
+      rows.push_back({method, Fmt4(auc), Fmt4(f1)});
+      csv.push_back({static_cast<double>(di), auc, f1});
+      std::fflush(stdout);
+    }
+    PrintTable("Table 3 (" + datasets[di] + "): 20% training data",
+               {"Method", "AUC*", "F1*"}, rows);
+  }
+  const auto path =
+      WriteBenchCsv("table3_limited", {"dataset_idx", "auc_star", "f1_star"},
+                    csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

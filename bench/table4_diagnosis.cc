@@ -1,0 +1,39 @@
+// Table 4: anomaly diagnosis — HitRate@100%/150% and NDCG@100%/150% on the
+// multivariate SMD and MSDS datasets.
+#include "bench/bench_util.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto methods = PaperMethodNames();
+  const int64_t epochs = DefaultEpochs();
+  std::vector<std::vector<double>> csv;
+  int dataset_idx = 0;
+  for (const std::string dataset_name : {"SMD", "MSDS"}) {
+    const Dataset& ds = BenchDataset(dataset_name);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& method : methods) {
+      const EvalOutcome out = RunCell(method, ds, epochs);
+      const auto& d = out.diagnosis;
+      rows.push_back({method, Fmt4(d.hitrate_100), Fmt4(d.hitrate_150),
+                      Fmt4(d.ndcg_100), Fmt4(d.ndcg_150)});
+      csv.push_back({static_cast<double>(dataset_idx), d.hitrate_100,
+                     d.hitrate_150, d.ndcg_100, d.ndcg_150});
+      std::fflush(stdout);
+    }
+    PrintTable("Table 4 (" + dataset_name + "): diagnosis performance",
+               {"Method", "H@100%", "H@150%", "N@100%", "N@150%"}, rows);
+    ++dataset_idx;
+  }
+  const auto path = WriteBenchCsv(
+      "table4_diagnosis",
+      {"dataset_idx", "hit100", "hit150", "ndcg100", "ndcg150"}, csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

@@ -1,0 +1,57 @@
+// Table 5: training time in seconds per epoch for every method on every
+// dataset. MERLIN (training-free) reports its discovery time on the test
+// data, as in the paper.
+#include "bench/bench_util.h"
+
+#include "common/stopwatch.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto methods = PaperMethodNames();
+  // Two epochs suffice for a stable per-epoch time.
+  const int64_t epochs = 2;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> csv;
+  const auto datasets = DatasetNames();
+
+  for (const auto& method : methods) {
+    std::vector<std::string> row{method};
+    std::vector<double> csv_row;
+    for (const auto& dataset_name : datasets) {
+      const Dataset& ds = BenchDataset(dataset_name);
+      DetectorOptions options;
+      options.epochs = epochs;
+      auto det = CreateDetector(method, options);
+      TRANAD_CHECK(det.ok());
+      (*det)->Fit(ds.train);
+      double sec = (*det)->seconds_per_epoch();
+      if (method == "MERLIN") {
+        Stopwatch timer;
+        (*det)->Score(ds.test);
+        sec = timer.ElapsedSeconds();
+      }
+      row.push_back(Fmt2(sec));
+      csv_row.push_back(sec);
+      std::fflush(stdout);
+    }
+    rows.push_back(std::move(row));
+    csv.push_back(std::move(csv_row));
+  }
+
+  std::vector<std::string> header{"Method"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  PrintTable("Table 5: training times (seconds per epoch)", header, rows);
+  const auto path = WriteBenchCsv("table5_training_time", datasets, csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+
+  // Paper headline: TranAD's training-time reduction vs the slowest and
+  // the recurrent baselines.
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

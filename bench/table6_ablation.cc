@@ -1,0 +1,50 @@
+// Table 6: ablation study — F1 (full data) and F1* (20% data) for TranAD
+// and its four ablated variants on every dataset.
+#include "bench/bench_util.h"
+
+#include "data/preprocess.h"
+
+namespace tranad::bench {
+namespace {
+
+int Main() {
+  const auto variants = AblationMethodNames();
+  const int64_t epochs = DefaultEpochs();
+  std::vector<std::vector<double>> csv;
+  const auto datasets = DatasetNames();
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    const Dataset& full = BenchDataset(datasets[di]);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& variant : variants) {
+      const EvalOutcome out = RunCell(variant, full, epochs);
+
+      Rng rng(55);
+      Dataset limited;
+      limited.name = full.name;
+      limited.train = SubsampleTrain(full.train, 0.2, &rng);
+      limited.test = full.test;
+      DetectorOptions options;
+      options.epochs = epochs;
+      auto det = CreateDetector(variant, options);
+      TRANAD_CHECK(det.ok());
+      const EvalOutcome star = EvaluateDetector(det->get(), limited);
+
+      rows.push_back(
+          {variant, Fmt4(out.detection.f1), Fmt4(star.detection.f1)});
+      csv.push_back({static_cast<double>(di), out.detection.f1,
+                     star.detection.f1});
+      std::fflush(stdout);
+    }
+    PrintTable("Table 6 (" + datasets[di] + "): ablation study",
+               {"Method", "F1", "F1*"}, rows);
+  }
+  const auto path =
+      WriteBenchCsv("table6_ablation", {"dataset_idx", "f1", "f1_star"}, csv);
+  std::printf("\nCSV: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

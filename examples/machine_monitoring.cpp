@@ -1,0 +1,73 @@
+// Machine-fleet monitoring: the SMD scenario from the paper's motivation —
+// detect anomalies in server metrics AND diagnose which metrics are the
+// root cause (HitRate / NDCG), then persist the trained model and reload
+// it, as a monitoring deployment would.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/tranad_detector.h"
+#include "data/synthetic.h"
+#include "eval/diagnosis.h"
+
+int main() {
+  using namespace tranad;
+
+  Dataset dataset = GenerateSynthetic(SmdConfig(/*scale=*/0.4));
+  std::printf("monitoring %lld metrics over %lld samples\n",
+              static_cast<long long>(dataset.dims()),
+              static_cast<long long>(dataset.train.length()));
+
+  TranADConfig config;
+  TrainOptions train;
+  train.max_epochs = 5;
+  TranADDetector detector(config, train);
+  detector.Fit(dataset.train);
+
+  // Detection + diagnosis in one call via the evaluation pipeline.
+  // (EvaluateDetector would retrain; we already fitted, so score manually.)
+  const Tensor scores = detector.Score(dataset.test);
+  const DiagnosisMetrics diagnosis =
+      EvaluateDiagnosis(scores, dataset.test.dim_labels);
+  std::printf("diagnosis: HitRate@100%%=%.4f HitRate@150%%=%.4f "
+              "NDCG@100%%=%.4f NDCG@150%%=%.4f over %lld anomalous steps\n",
+              diagnosis.hitrate_100, diagnosis.hitrate_150,
+              diagnosis.ndcg_100, diagnosis.ndcg_150,
+              static_cast<long long>(diagnosis.evaluated_timestamps));
+
+  // Root-cause report for the first few anomalous timestamps: rank the
+  // metrics by anomaly score.
+  int printed = 0;
+  for (int64_t t = 0; t < dataset.test.length() && printed < 3; ++t) {
+    if (dataset.test.labels[static_cast<size_t>(t)] == 0) continue;
+    ++printed;
+    int64_t worst = 0;
+    for (int64_t d = 1; d < dataset.dims(); ++d) {
+      if (scores.At({t, d}) > scores.At({t, worst})) worst = d;
+    }
+    std::printf("  t=%lld anomalous; suspected root cause: metric %lld "
+                "(score %.5f)%s\n",
+                static_cast<long long>(t), static_cast<long long>(worst),
+                scores.At({t, worst}),
+                dataset.test.dim_labels.At({t, worst}) != 0.0f
+                    ? " [correct]"
+                    : "");
+  }
+
+  // Persist + reload the trained model (deployment handoff).
+  const std::string path = "/tmp/tranad_machine_monitoring.ckpt";
+  if (!detector.model()->Save(path).ok()) {
+    std::printf("failed to save checkpoint\n");
+    return 1;
+  }
+  TranADConfig reload_config;
+  reload_config.dims = dataset.dims();
+  TranADModel reloaded(reload_config);
+  if (!reloaded.Load(path).ok()) {
+    std::printf("failed to reload checkpoint\n");
+    return 1;
+  }
+  std::printf("checkpoint round-trip OK (%lld parameters) -> %s\n",
+              static_cast<long long>(reloaded.NumParameters()),
+              path.c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: train TranAD on a synthetic machine-metrics dataset, score
+// the test split, pick a POT threshold, and report detection quality.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/tranad_detector.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/pot.h"
+
+int main() {
+  using namespace tranad;
+
+  // 1. Get data: a 8-dimensional server-machine-style dataset with labeled
+  //    anomalies in the test split. (Load your own series with
+  //    LoadDatasetCsv("name", train_csv, test_csv, labels_csv) instead.)
+  Dataset dataset = GenerateSynthetic(SmdConfig(/*scale=*/0.4));
+  std::printf("dataset %s: train %lld x %lld, test %lld (%.1f%% anomalous)\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.train.length()),
+              static_cast<long long>(dataset.dims()),
+              static_cast<long long>(dataset.test.length()),
+              100.0 * dataset.test.AnomalyRate());
+
+  // 2. Configure the model (paper defaults: window 10, 1 encoder layer,
+  //    64 feed-forward units, one attention head per dimension).
+  TranADConfig model_config;
+  TrainOptions train_options;
+  train_options.max_epochs = 5;
+  train_options.verbose = true;
+
+  // 3. Train. The detector normalizes with Eq. (1), windows per §3.2 and
+  //    runs the two-phase adversarial + MAML loop of Alg. 1.
+  TranADDetector detector(model_config, train_options);
+  detector.Fit(dataset.train);
+  std::printf("trained %lld epochs, %.3f s/epoch, %lld parameters\n",
+              static_cast<long long>(detector.epochs_run()),
+              detector.seconds_per_epoch(),
+              static_cast<long long>(detector.model()->NumParameters()));
+
+  // 4. Score: s = 1/2 |O1 - W|^2 + 1/2 |O2_hat - W|^2 per timestamp and
+  //    dimension (Alg. 2 / Eq. 13).
+  const Tensor test_scores = detector.Score(dataset.test);
+  const std::vector<double> series = DetectionScores(test_scores);
+
+  // 5. Threshold automatically with POT calibrated on training scores.
+  const std::vector<double> calibration =
+      DetectionScores(detector.Score(dataset.train));
+  const double threshold =
+      PotThreshold(calibration, PotParamsForDataset(dataset.name));
+
+  // 6. Evaluate with the standard point-adjusted protocol.
+  const DetectionMetrics at_pot =
+      EvaluateAtThreshold(series, dataset.test.labels, threshold);
+  const DetectionMetrics best =
+      EvaluateBestF1(series, dataset.test.labels);
+  std::printf("POT threshold %.5f -> P=%.4f R=%.4f F1=%.4f (AUC %.4f)\n",
+              threshold, at_pot.precision, at_pot.recall, at_pot.f1,
+              at_pot.roc_auc);
+  std::printf("best-F1 sweep          -> P=%.4f R=%.4f F1=%.4f\n",
+              best.precision, best.recall, best.f1);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Online detection for industrial control: a SWaT-style water-treatment
+// plant monitored in streaming fashion — train offline (Alg. 1), then run
+// Alg. 2 one observation at a time with a dynamically updating POT
+// threshold (StreamingPot), as an operations deployment would.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/tranad_detector.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/pot.h"
+
+int main() {
+  using namespace tranad;
+
+  Dataset dataset = GenerateSynthetic(SwatConfig(/*scale=*/0.35));
+  std::printf("SWaT-style plant: %lld sensors/actuators, %lld training "
+              "samples\n",
+              static_cast<long long>(dataset.dims()),
+              static_cast<long long>(dataset.train.length()));
+
+  // Offline training phase.
+  TranADConfig config;
+  TrainOptions train;
+  train.max_epochs = 5;
+  TranADDetector detector(config, train);
+  detector.Fit(dataset.train);
+
+  // Calibrate the streaming threshold on training scores.
+  StreamingPot spot(PotParamsForDataset(dataset.name));
+  spot.Initialize(DetectionScores(detector.Score(dataset.train)));
+  std::printf("initial POT threshold: %.6f (from %lld calibration peaks)\n",
+              spot.threshold(), static_cast<long long>(spot.num_peaks()));
+
+  // Online phase: Alg. 2 processes the stream causally. Scoring windows
+  // only look backwards, so chunked scoring is exactly the sequential
+  // result; we feed scores to the SPOT detector one at a time.
+  const Tensor scores = detector.Score(dataset.test);
+  const std::vector<double> stream = DetectionScores(scores);
+  std::vector<uint8_t> predictions;
+  predictions.reserve(stream.size());
+  int64_t alarms = 0;
+  int64_t first_alarm = -1;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    const bool alarm = spot.Observe(stream[t]);
+    predictions.push_back(alarm ? 1 : 0);
+    if (alarm) {
+      ++alarms;
+      if (first_alarm < 0) first_alarm = static_cast<int64_t>(t);
+    }
+  }
+
+  const auto adjusted = PointAdjust(predictions, dataset.test.labels);
+  const auto counts = CountConfusion(adjusted, dataset.test.labels);
+  std::printf("streamed %zu observations: %lld alarms (first at t=%lld), "
+              "final threshold %.6f\n",
+              stream.size(), static_cast<long long>(alarms),
+              static_cast<long long>(first_alarm), spot.threshold());
+  std::printf("point-adjusted online detection: P=%.4f R=%.4f F1=%.4f\n",
+              PrecisionOf(counts), RecallOf(counts), F1Of(counts));
+
+  // Alarm latency: distance from each attack's onset to its first alarm.
+  int64_t total_latency = 0;
+  int64_t detected_segments = 0;
+  int64_t segments = 0;
+  size_t i = 0;
+  const auto& truth = dataset.test.labels;
+  while (i < truth.size()) {
+    if (truth[i] == 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < truth.size() && truth[j] != 0) ++j;
+    ++segments;
+    for (size_t k = i; k < j; ++k) {
+      if (predictions[k] != 0) {
+        total_latency += static_cast<int64_t>(k - i);
+        ++detected_segments;
+        break;
+      }
+    }
+    i = j;
+  }
+  std::printf("attacks detected: %lld / %lld, mean alarm latency %.1f "
+              "samples\n",
+              static_cast<long long>(detected_segments),
+              static_cast<long long>(segments),
+              detected_segments > 0
+                  ? static_cast<double>(total_latency) / detected_segments
+                  : -1.0);
+  return 0;
+}

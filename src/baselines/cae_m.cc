@@ -1,0 +1,81 @@
+#include "baselines/cae_m.h"
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad {
+
+CaeMDetector::CaeMDetector(int64_t window, int64_t epochs, int64_t hidden,
+                           uint64_t seed)
+    : WindowedDetector("CAE-M", window, epochs, 64),
+      hidden_(hidden),
+      seed_(seed) {}
+
+void CaeMDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  const int64_t channels = std::max<int64_t>(8, dims);
+  conv1_ = std::make_unique<nn::Conv1d>(dims, channels, 3, true, &rng);
+  conv2_ = std::make_unique<nn::Conv1d>(channels, channels, 3, true, &rng);
+  fwd_ = std::make_unique<nn::LstmCell>(channels, hidden_, &rng);
+  bwd_ = std::make_unique<nn::LstmCell>(channels, hidden_, &rng);
+  out_ = std::make_unique<nn::Linear>(2 * hidden_, dims, &rng);
+  std::vector<Variable> params;
+  for (auto* m : std::initializer_list<nn::Module*>{
+           conv1_.get(), conv2_.get(), fwd_.get(), bwd_.get(), out_.get()}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  opt_ = std::make_unique<nn::Adam>(params, 0.003f);
+}
+
+Variable CaeMDetector::BiLstm(const Variable& seq) const {
+  const int64_t k = seq.value().size(1);
+  Variable forward = RunLstm(*fwd_, seq);  // [B, K, h]
+  // Reverse the time axis, run the backward cell, reverse the output back.
+  std::vector<Variable> rev;
+  rev.reserve(static_cast<size_t>(k));
+  for (int64_t t = k - 1; t >= 0; --t) {
+    rev.push_back(ag::SliceAxis(seq, 1, t, 1));
+  }
+  Variable reversed = ag::Concat(rev, 1);
+  Variable backward_rev = RunLstm(*bwd_, reversed);  // [B, K, h] (reversed)
+  std::vector<Variable> unrev;
+  unrev.reserve(static_cast<size_t>(k));
+  for (int64_t t = k - 1; t >= 0; --t) {
+    unrev.push_back(ag::SliceAxis(backward_rev, 1, t, 1));
+  }
+  Variable backward = ag::Concat(unrev, 1);
+  return ag::Concat({forward, backward}, 2);  // [B, K, 2h]
+}
+
+Variable CaeMDetector::Reconstruct(const Variable& seq) const {
+  Variable c = ag::Relu(conv1_->Forward(seq));
+  c = ag::Relu(conv2_->Forward(c));
+  Variable h = BiLstm(c);
+  return ag::Sigmoid(out_->Forward(h));  // [B, K, m]
+}
+
+double CaeMDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  Variable recon = Reconstruct(Variable(batch));
+  Variable loss = ag::MseLoss(recon, batch);
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor CaeMDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const Tensor recon = Reconstruct(Variable(batch)).value();
+  Tensor out({b, dims_});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t d = 0; d < dims_; ++d) {
+      const int64_t idx = (i * window_ + (window_ - 1)) * dims_ + d;
+      const float e = recon.data()[idx] - batch.data()[idx];
+      out.At({i, d}) = e * e;
+    }
+  }
+  return out;
+}
+
+}  // namespace tranad

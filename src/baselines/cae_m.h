@@ -1,0 +1,44 @@
+#ifndef TRANAD_BASELINES_CAE_M_H_
+#define TRANAD_BASELINES_CAE_M_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tranad {
+
+/// CAE-M (Zhang et al., TKDE'21): a convolutional autoencoding memory
+/// network — a CNN encodes each window, bidirectional LSTMs capture
+/// long-term temporal structure, and a decoder reconstructs the window;
+/// the per-dimension reconstruction error is the anomaly score. Matches the
+/// paper's characterisation as one of the most computation-heavy baselines
+/// (conv + two LSTM passes per window).
+class CaeMDetector : public WindowedDetector {
+ public:
+  explicit CaeMDetector(int64_t window = 10, int64_t epochs = 5,
+                        int64_t hidden = 32, uint64_t seed = 17);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  Variable Reconstruct(const Variable& seq) const;  // [B,K,m] -> [B,K,m]
+  Variable BiLstm(const Variable& seq) const;       // [B,K,c] -> [B,K,2h]
+
+  int64_t hidden_;
+  uint64_t seed_;
+  std::unique_ptr<nn::Conv1d> conv1_, conv2_;
+  std::unique_ptr<nn::LstmCell> fwd_, bwd_;
+  std::unique_ptr<nn::Linear> out_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_CAE_M_H_

@@ -1,0 +1,67 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+WindowedDetector::WindowedDetector(std::string name, int64_t window,
+                                   int64_t epochs, int64_t batch_size)
+    : window_(window),
+      epochs_(epochs),
+      batch_size_(batch_size),
+      name_(std::move(name)) {}
+
+void WindowedDetector::Fit(const TimeSeries& train) {
+  TRANAD_CHECK_GT(train.length(), 0);
+  dims_ = train.dims();
+  BuildModel(dims_);
+  normalizer_.Fit(train.values);
+  const Tensor normalized =
+      normalizer_.Transform(train.values, kBaselineNormClip);
+  const Tensor windows = MakeWindows(normalized, window_);
+  const int64_t n = windows.size(0);
+
+  Stopwatch timer;
+  SetEval(false);
+  for (int64_t epoch = 0; epoch < epochs_; ++epoch) {
+    for (int64_t start = 0; start < n; start += batch_size_) {
+      const int64_t len = std::min(batch_size_, n - start);
+      const double progress =
+          (static_cast<double>(epoch) +
+           static_cast<double>(start) / static_cast<double>(n)) /
+          static_cast<double>(epochs_);
+      TrainBatch(SliceAxis(windows, 0, start, len), progress);
+    }
+  }
+  PostTrain(windows);
+  epochs_run_ = epochs_;
+  seconds_per_epoch_ =
+      epochs_ > 0 ? timer.ElapsedSeconds() / static_cast<double>(epochs_)
+                  : timer.ElapsedSeconds();
+  SetEval(true);
+}
+
+Tensor WindowedDetector::Score(const TimeSeries& series) {
+  TRANAD_CHECK_EQ(series.dims(), dims_);
+  SetEval(true);
+  const Tensor normalized =
+      normalizer_.Transform(series.values, kBaselineNormClip);
+  const Tensor windows = MakeWindows(normalized, window_);
+  const int64_t t = windows.size(0);
+  Tensor scores({t, dims_});
+  constexpr int64_t kBatch = 256;
+  for (int64_t start = 0; start < t; start += kBatch) {
+    const int64_t len = std::min<int64_t>(kBatch, t - start);
+    const Tensor batch_scores = ScoreBatch(SliceAxis(windows, 0, start, len));
+    TRANAD_CHECK_EQ(batch_scores.size(0), len);
+    TRANAD_CHECK_EQ(batch_scores.size(1), dims_);
+    std::copy(batch_scores.data(), batch_scores.data() + len * dims_,
+              scores.data() + start * dims_);
+  }
+  return scores;
+}
+
+}  // namespace tranad

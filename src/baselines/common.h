@@ -1,0 +1,59 @@
+#ifndef TRANAD_BASELINES_COMMON_H_
+#define TRANAD_BASELINES_COMMON_H_
+
+#include <string>
+
+#include "core/detector.h"
+#include "data/preprocess.h"
+
+namespace tranad {
+
+/// Shared scaffolding for the learned baselines: Eq. (1) normalization
+/// fitted on train, sliding windows, epoch loop with timing, and batched
+/// scoring. Subclasses implement the model-specific window loss/score.
+class WindowedDetector : public AnomalyDetector {
+ public:
+  WindowedDetector(std::string name, int64_t window, int64_t epochs,
+                   int64_t batch_size);
+
+  std::string name() const override { return name_; }
+  void Fit(const TimeSeries& train) override;
+  Tensor Score(const TimeSeries& series) override;
+  double seconds_per_epoch() const override { return seconds_per_epoch_; }
+  int64_t epochs_run() const override { return epochs_run_; }
+
+ protected:
+  /// Builds the model once the modality is known.
+  virtual void BuildModel(int64_t dims) = 0;
+  /// One optimization step on a window batch [B, K, m]; returns the loss.
+  /// `progress` in [0, 1] is the training progress (for schedules).
+  virtual double TrainBatch(const Tensor& batch, double progress) = 0;
+  /// Per-dimension scores for a window batch: [B, m] (score of the final
+  /// timestamp of each window).
+  virtual Tensor ScoreBatch(const Tensor& batch) = 0;
+  /// Train/eval switches for dropout-carrying models.
+  virtual void SetEval(bool /*eval*/) {}
+  /// Called once after the epoch loop with all training windows; lets a
+  /// model fit post-hoc components (e.g. DAGMM's mixture) on the learned
+  /// representation.
+  virtual void PostTrain(const Tensor& /*windows*/) {}
+
+  int64_t window_ = 10;
+  int64_t epochs_ = 5;
+  int64_t batch_size_ = 128;
+  int64_t dims_ = 0;
+
+ private:
+  std::string name_;
+  MinMaxNormalizer normalizer_;
+  double seconds_per_epoch_ = 0.0;
+  int64_t epochs_run_ = 0;
+};
+
+/// Normalization clip band shared by all detectors (out-of-range excess is
+/// signal, not noise).
+inline constexpr float kBaselineNormClip = 4.0f;
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_COMMON_H_

@@ -1,0 +1,118 @@
+#include "baselines/dagmm.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+DagmmDetector::DagmmDetector(int64_t window, int64_t epochs, int64_t latent,
+                             int64_t mixtures, uint64_t seed)
+    : WindowedDetector("DAGMM", window, epochs, 128),
+      latent_(latent),
+      mixtures_(mixtures),
+      seed_(seed) {}
+
+void DagmmDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  flat_dim_ = window_ * dims;
+  const int64_t hidden = std::max<int64_t>(8, flat_dim_ / 2);
+  enc1_ = std::make_unique<nn::Linear>(flat_dim_, hidden, &rng);
+  enc2_ = std::make_unique<nn::Linear>(hidden, latent_, &rng);
+  dec1_ = std::make_unique<nn::Linear>(latent_, hidden, &rng);
+  dec2_ = std::make_unique<nn::Linear>(hidden, flat_dim_, &rng);
+  std::vector<Variable> params;
+  for (auto* m : {enc1_.get(), enc2_.get(), dec1_.get(), dec2_.get()}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  opt_ = std::make_unique<nn::Adam>(params, 0.005f);
+  gmm_ = std::make_unique<DiagonalGmm>(mixtures_, latent_ + 1);
+}
+
+Variable DagmmDetector::Encode(const Variable& flat) const {
+  return enc2_->Forward(ag::Tanh(enc1_->Forward(flat)));
+}
+Variable DagmmDetector::Decode(const Variable& z) const {
+  return ag::Sigmoid(dec2_->Forward(ag::Tanh(dec1_->Forward(z))));
+}
+
+double DagmmDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  const int64_t b = batch.size(0);
+  const Tensor flat_t = batch.Reshape({b, flat_dim_});
+  Variable flat(flat_t);
+  Variable recon = Decode(Encode(flat));
+  Variable loss = ag::MseLoss(recon, flat_t);
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor DagmmDetector::Features(const Tensor& batch,
+                               Tensor* per_dim_err) const {
+  const int64_t b = batch.size(0);
+  const Tensor flat_t = batch.Reshape({b, flat_dim_});
+  Variable flat(flat_t);
+  Variable z = Encode(flat);
+  Variable recon = Decode(z);
+  Tensor features({b, latent_ + 1});
+  if (per_dim_err != nullptr) *per_dim_err = Tensor({b, dims_});
+  const float* pz = z.value().data();
+  const float* pr = recon.value().data();
+  const float* pt = flat_t.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < latent_; ++j) {
+      features.At({i, j}) = pz[i * latent_ + j];
+    }
+    double err = 0.0;
+    for (int64_t j = 0; j < flat_dim_; ++j) {
+      const double e = pr[i * flat_dim_ + j] - pt[i * flat_dim_ + j];
+      err += e * e;
+    }
+    features.At({i, latent_}) =
+        static_cast<float>(std::sqrt(err / static_cast<double>(flat_dim_)));
+    if (per_dim_err != nullptr) {
+      for (int64_t d = 0; d < dims_; ++d) {
+        const int64_t idx = i * flat_dim_ + (window_ - 1) * dims_ + d;
+        const float e = pr[idx] - pt[idx];
+        per_dim_err->At({i, d}) = e * e;
+      }
+    }
+  }
+  return features;
+}
+
+void DagmmDetector::PostTrain(const Tensor& windows) {
+  // Fit the mixture on (a subsample of) the training representation.
+  const int64_t n = windows.size(0);
+  const int64_t cap = std::min<int64_t>(n, 2048);
+  const Tensor sample =
+      n == cap ? windows : SliceAxis(windows, 0, 0, cap);
+  const Tensor features = Features(sample, nullptr);
+  gmm_->Fit(features, &gmm_rng_);
+}
+
+Tensor DagmmDetector::ScoreBatch(const Tensor& batch) {
+  Tensor per_dim_err;
+  const Tensor features = Features(batch, &per_dim_err);
+  const std::vector<double> energies = gmm_->Energies(features);
+  // Per-dimension score: reconstruction error modulated by the sample
+  // energy (DAGMM itself is a whole-sample scorer; the modulation gives the
+  // diagnosis ranking a defined meaning).
+  const int64_t b = batch.size(0);
+  Tensor out({b, dims_});
+  for (int64_t i = 0; i < b; ++i) {
+    const double e = energies[static_cast<size_t>(i)];
+    const double boost = 1.0 + std::max(0.0, e);
+    for (int64_t d = 0; d < dims_; ++d) {
+      out.At({i, d}) =
+          static_cast<float>(per_dim_err.At({i, d}) * boost);
+    }
+  }
+  return out;
+}
+
+}  // namespace tranad

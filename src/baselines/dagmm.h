@@ -1,0 +1,50 @@
+#ifndef TRANAD_BASELINES_DAGMM_H_
+#define TRANAD_BASELINES_DAGMM_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "baselines/gmm.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+
+namespace tranad {
+
+/// DAGMM (Zong et al., ICLR'18): a deep autoencoder compresses each window
+/// into a low-dimensional latent; a Gaussian mixture over
+/// [latent, reconstruction error] yields the sample energy used as the
+/// anomaly score. This implementation trains the AE by reconstruction and
+/// fits the mixture by EM after training (decoupled, per the paper's
+/// robustness argument; the original couples them through an estimation
+/// network — see DESIGN.md for the substitution note).
+class DagmmDetector : public WindowedDetector {
+ public:
+  explicit DagmmDetector(int64_t window = 10, int64_t epochs = 5,
+                         int64_t latent = 3, int64_t mixtures = 3,
+                         uint64_t seed = 13);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+  void PostTrain(const Tensor& windows) override;
+
+ private:
+  Variable Encode(const Variable& flat) const;
+  Variable Decode(const Variable& z) const;
+  /// [latent..., recon_error] feature rows for GMM fitting/energy.
+  Tensor Features(const Tensor& batch, Tensor* per_dim_err) const;
+
+  int64_t latent_;
+  int64_t mixtures_;
+  uint64_t seed_;
+  int64_t flat_dim_ = 0;
+  std::unique_ptr<nn::Linear> enc1_, enc2_, dec1_, dec2_;
+  std::unique_ptr<nn::Adam> opt_;
+  std::unique_ptr<DiagonalGmm> gmm_;
+  Rng gmm_rng_{99};
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_DAGMM_H_

@@ -1,0 +1,121 @@
+#include "baselines/gdn.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+/// Internal module holding GDN's parameters: per-dimension embeddings, the
+/// window-trace projection, and the forecasting MLP.
+class GdnDetector::GdnModule : public nn::Module {
+ public:
+  GdnModule(int64_t dims, int64_t window, int64_t embed, Rng* rng)
+      : dims_(dims), embed_(embed) {
+    embeddings_ = RegisterParameter(
+        "embeddings", Tensor::Randn({dims, embed}, rng,
+                                    1.0f / std::sqrt(static_cast<float>(embed))));
+    trace_proj_ = std::make_unique<nn::Linear>(window, embed, rng);
+    out1_ = std::make_unique<nn::Linear>(embed, embed, rng);
+    out2_ = std::make_unique<nn::Linear>(embed, 1, rng);
+    RegisterModule("trace_proj", trace_proj_.get());
+    RegisterModule("out1", out1_.get());
+    RegisterModule("out2", out2_.get());
+  }
+
+  // batch: [B, K, m] -> forecast [B, m] of the final timestamp from the
+  // prefix [B, K-1, m].
+  Variable Forward(const Tensor& batch) const {
+    const int64_t b = batch.size(0);
+    const int64_t k = batch.size(1);
+    Variable seq(batch);
+    Variable prefix = ag::SliceAxis(seq, 1, 0, k - 1);   // [B, K-1, m]
+    Variable traces = ag::TransposeLast2(prefix);        // [B, m, K-1]
+    Variable u = ag::Relu(trace_proj_->Forward(traces));  // [B, m, e]
+
+    // Attention graph from embedding similarity (row softmax).
+    Variable logits = ag::MulScalar(
+        ag::MatMul(embeddings_, ag::TransposeLast2(
+                                    ag::Reshape(embeddings_,
+                                                {dims_, embed_}))),
+        1.0f / std::sqrt(static_cast<float>(embed_)));
+    Variable graph = ag::SoftmaxLastDim(logits);  // [m, m]
+
+    Variable agg = ag::MatMul(graph, u);  // [B, m, e] via broadcast
+    // Element-wise modulation by the node's own embedding, then MLP.
+    Variable modulated = ag::Mul(agg, embeddings_);
+    Variable h = ag::Relu(out1_->Forward(modulated));
+    Variable y = out2_->Forward(h);            // [B, m, 1]
+    return ag::Reshape(y, {b, dims_});
+  }
+
+  Tensor Graph() const {
+    Tensor logits = MatMul(embeddings_.value(),
+                           TransposeLast2(embeddings_.value()));
+    return SoftmaxLastDim(
+        MulScalar(logits, 1.0f / std::sqrt(static_cast<float>(embed_))));
+  }
+
+  // Linear(K-1 -> e) requires the window prefix length; store K at build.
+  static constexpr int64_t kUnused = 0;
+
+ private:
+  int64_t dims_;
+  int64_t embed_;
+  Variable embeddings_;
+  std::unique_ptr<nn::Linear> trace_proj_;
+  std::unique_ptr<nn::Linear> out1_;
+  std::unique_ptr<nn::Linear> out2_;
+};
+
+GdnDetector::GdnDetector(int64_t window, int64_t epochs, int64_t embed,
+                         uint64_t seed)
+    : WindowedDetector("GDN", window, epochs, 128),
+      embed_(embed),
+      seed_(seed) {}
+
+GdnDetector::~GdnDetector() = default;
+
+void GdnDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  net_ = std::make_unique<GdnModule>(dims, window_ - 1, embed_, &rng);
+  opt_ = std::make_unique<nn::Adam>(net_->Parameters(), 0.003f);
+}
+
+Tensor GdnDetector::AttentionGraph() const {
+  TRANAD_CHECK(net_ != nullptr);
+  return net_->Graph();
+}
+
+Variable GdnDetector::Forecast(const Tensor& batch) const {
+  return net_->Forward(batch);
+}
+
+double GdnDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  const int64_t b = batch.size(0);
+  const Tensor target =
+      SliceAxis(batch, 1, window_ - 1, 1).Reshape({b, dims_});
+  Variable pred = Forecast(batch);
+  Variable loss = ag::MseLoss(pred, target);
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor GdnDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const Tensor target =
+      SliceAxis(batch, 1, window_ - 1, 1).Reshape({b, dims_});
+  const Tensor pred = Forecast(batch).value();
+  Tensor out({b, dims_});
+  for (int64_t i = 0; i < b * dims_; ++i) {
+    const float e = pred.data()[i] - target.data()[i];
+    out.data()[i] = e * e;
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,44 @@
+#ifndef TRANAD_BASELINES_GDN_H_
+#define TRANAD_BASELINES_GDN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace tranad {
+
+/// GDN (Deng & Hooi, AAAI'21): learns an embedding per dimension, derives
+/// an attention graph over dimensions from embedding similarity, aggregates
+/// neighbour window-features through it, and forecasts each dimension's
+/// next value; the scaled forecast deviation is the anomaly score.
+class GdnDetector : public WindowedDetector {
+ public:
+  explicit GdnDetector(int64_t window = 10, int64_t epochs = 5,
+                       int64_t embed = 16, uint64_t seed = 19);
+  ~GdnDetector() override;  // out-of-line: GdnModule is incomplete here
+
+  /// The learned dimension-adjacency attention [m, m] (row-softmaxed) —
+  /// exposed for the graph-structure tests.
+  Tensor AttentionGraph() const;
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  Variable Forecast(const Tensor& batch) const;  // [B, m]
+
+  int64_t embed_;
+  uint64_t seed_;
+  class GdnModule;
+  std::unique_ptr<GdnModule> net_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_GDN_H_

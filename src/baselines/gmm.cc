@@ -1,0 +1,175 @@
+#include "baselines/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tranad {
+namespace {
+constexpr double kMinVar = 1e-6;
+constexpr double kLog2Pi = 1.8378770664093453;
+}  // namespace
+
+DiagonalGmm::DiagonalGmm(int64_t components, int64_t dims)
+    : k_(components), d_(dims) {
+  TRANAD_CHECK_GT(components, 0);
+  TRANAD_CHECK_GT(dims, 0);
+}
+
+double DiagonalGmm::LogComponentDensity(int64_t k, const float* x) const {
+  const auto& mu = mean_[static_cast<size_t>(k)];
+  const auto& var = var_[static_cast<size_t>(k)];
+  double ll = 0.0;
+  for (int64_t j = 0; j < d_; ++j) {
+    const double diff = x[j] - mu[static_cast<size_t>(j)];
+    const double v = var[static_cast<size_t>(j)];
+    ll += -0.5 * (kLog2Pi + std::log(v) + diff * diff / v);
+  }
+  return ll;
+}
+
+void DiagonalGmm::Fit(const Tensor& features, Rng* rng, int64_t max_iters) {
+  TRANAD_CHECK_EQ(features.ndim(), 2);
+  TRANAD_CHECK_EQ(features.size(1), d_);
+  const int64_t n = features.size(0);
+  TRANAD_CHECK_GE(n, k_);
+  const float* data = features.data();
+
+  // k-means++-flavoured seeding: first centre uniform, others biased to
+  // points far from existing centres.
+  mean_.assign(static_cast<size_t>(k_), std::vector<double>(d_, 0.0));
+  var_.assign(static_cast<size_t>(k_), std::vector<double>(d_, 1.0));
+  weight_.assign(static_cast<size_t>(k_), 1.0 / static_cast<double>(k_));
+  std::vector<int64_t> centers;
+  centers.push_back(static_cast<int64_t>(rng->UniformInt(n)));
+  while (static_cast<int64_t>(centers.size()) < k_) {
+    int64_t best = -1;
+    double best_d = -1.0;
+    for (int64_t trial = 0; trial < 8; ++trial) {
+      const int64_t cand = static_cast<int64_t>(rng->UniformInt(n));
+      double dmin = std::numeric_limits<double>::infinity();
+      for (int64_t c : centers) {
+        double dist = 0.0;
+        for (int64_t j = 0; j < d_; ++j) {
+          const double diff = data[cand * d_ + j] - data[c * d_ + j];
+          dist += diff * diff;
+        }
+        dmin = std::min(dmin, dist);
+      }
+      if (dmin > best_d) {
+        best_d = dmin;
+        best = cand;
+      }
+    }
+    centers.push_back(best);
+  }
+  // Global variance as the initial spread.
+  std::vector<double> gvar(static_cast<size_t>(d_), 0.0);
+  std::vector<double> gmean(static_cast<size_t>(d_), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d_; ++j) gmean[static_cast<size_t>(j)] += data[i * d_ + j];
+  }
+  for (auto& v : gmean) v /= static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d_; ++j) {
+      const double diff = data[i * d_ + j] - gmean[static_cast<size_t>(j)];
+      gvar[static_cast<size_t>(j)] += diff * diff;
+    }
+  }
+  for (auto& v : gvar) v = std::max(kMinVar, v / static_cast<double>(n));
+  for (int64_t k = 0; k < k_; ++k) {
+    for (int64_t j = 0; j < d_; ++j) {
+      mean_[static_cast<size_t>(k)][static_cast<size_t>(j)] =
+          data[centers[static_cast<size_t>(k)] * d_ + j];
+      var_[static_cast<size_t>(k)][static_cast<size_t>(j)] =
+          gvar[static_cast<size_t>(j)];
+    }
+  }
+  fitted_ = true;  // densities callable during EM
+
+  std::vector<double> resp(static_cast<size_t>(n * k_), 0.0);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    // E step.
+    double total_ll = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double mx = -std::numeric_limits<double>::infinity();
+      std::vector<double> logp(static_cast<size_t>(k_));
+      for (int64_t k = 0; k < k_; ++k) {
+        logp[static_cast<size_t>(k)] =
+            std::log(weight_[static_cast<size_t>(k)] + 1e-300) +
+            LogComponentDensity(k, data + i * d_);
+        mx = std::max(mx, logp[static_cast<size_t>(k)]);
+      }
+      double denom = 0.0;
+      for (int64_t k = 0; k < k_; ++k) {
+        denom += std::exp(logp[static_cast<size_t>(k)] - mx);
+      }
+      total_ll += mx + std::log(denom);
+      for (int64_t k = 0; k < k_; ++k) {
+        resp[static_cast<size_t>(i * k_ + k)] =
+            std::exp(logp[static_cast<size_t>(k)] - mx) / denom;
+      }
+    }
+    // M step.
+    for (int64_t k = 0; k < k_; ++k) {
+      double nk = 0.0;
+      std::vector<double> mu(static_cast<size_t>(d_), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const double r = resp[static_cast<size_t>(i * k_ + k)];
+        nk += r;
+        for (int64_t j = 0; j < d_; ++j) {
+          mu[static_cast<size_t>(j)] += r * data[i * d_ + j];
+        }
+      }
+      nk = std::max(nk, 1e-8);
+      for (auto& v : mu) v /= nk;
+      std::vector<double> var(static_cast<size_t>(d_), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const double r = resp[static_cast<size_t>(i * k_ + k)];
+        for (int64_t j = 0; j < d_; ++j) {
+          const double diff = data[i * d_ + j] - mu[static_cast<size_t>(j)];
+          var[static_cast<size_t>(j)] += r * diff * diff;
+        }
+      }
+      for (auto& v : var) v = std::max(kMinVar, v / nk);
+      weight_[static_cast<size_t>(k)] = nk / static_cast<double>(n);
+      mean_[static_cast<size_t>(k)] = std::move(mu);
+      var_[static_cast<size_t>(k)] = std::move(var);
+    }
+    if (std::fabs(total_ll - prev_ll) <
+        1e-6 * (1.0 + std::fabs(total_ll))) {
+      break;
+    }
+    prev_ll = total_ll;
+  }
+}
+
+double DiagonalGmm::Energy(const float* x) const {
+  TRANAD_CHECK(fitted_);
+  double mx = -std::numeric_limits<double>::infinity();
+  std::vector<double> logp(static_cast<size_t>(k_));
+  for (int64_t k = 0; k < k_; ++k) {
+    logp[static_cast<size_t>(k)] =
+        std::log(weight_[static_cast<size_t>(k)] + 1e-300) +
+        LogComponentDensity(k, x);
+    mx = std::max(mx, logp[static_cast<size_t>(k)]);
+  }
+  double denom = 0.0;
+  for (double lp : logp) denom += std::exp(lp - mx);
+  return -(mx + std::log(denom));
+}
+
+std::vector<double> DiagonalGmm::Energies(const Tensor& features) const {
+  TRANAD_CHECK_EQ(features.ndim(), 2);
+  TRANAD_CHECK_EQ(features.size(1), d_);
+  std::vector<double> out(static_cast<size_t>(features.size(0)));
+  for (int64_t i = 0; i < features.size(0); ++i) {
+    out[static_cast<size_t>(i)] = Energy(features.data() + i * d_);
+  }
+  return out;
+}
+
+}  // namespace tranad

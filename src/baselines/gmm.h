@@ -1,0 +1,47 @@
+#ifndef TRANAD_BASELINES_GMM_H_
+#define TRANAD_BASELINES_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// Diagonal-covariance Gaussian mixture fitted with EM — the density model
+/// behind the DAGMM baseline's energy score. (The original uses full
+/// covariances estimated by a network; a diagonal EM fit on the same
+/// [latent, reconstruction-error] features preserves the energy-scoring
+/// mechanism; see DESIGN.md.)
+class DiagonalGmm {
+ public:
+  DiagonalGmm(int64_t components, int64_t dims);
+
+  /// Fits on rows of `features` [N, dims] with k-means++-style seeding.
+  void Fit(const Tensor& features, Rng* rng, int64_t max_iters = 50);
+
+  /// Sample energy E(x) = -log sum_k pi_k N(x; mu_k, sigma_k) for one row.
+  double Energy(const float* x) const;
+
+  /// Energies for all rows of [N, dims].
+  std::vector<double> Energies(const Tensor& features) const;
+
+  bool fitted() const { return fitted_; }
+  int64_t components() const { return k_; }
+  const std::vector<double>& weights() const { return weight_; }
+
+ private:
+  double LogComponentDensity(int64_t k, const float* x) const;
+
+  int64_t k_;
+  int64_t d_;
+  bool fitted_ = false;
+  std::vector<double> weight_;             // [k]
+  std::vector<std::vector<double>> mean_;  // [k][d]
+  std::vector<std::vector<double>> var_;   // [k][d]
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_GMM_H_

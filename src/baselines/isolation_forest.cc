@@ -1,0 +1,178 @@
+#include "baselines/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace tranad {
+namespace {
+
+// Average path length of an unsuccessful BST search over n points.
+double HarmonicPathNorm(int64_t n) {
+  if (n <= 1) return 0.0;
+  const double nf = static_cast<double>(n);
+  return 2.0 * (std::log(nf - 1.0) + 0.5772156649) - 2.0 * (nf - 1.0) / nf;
+}
+
+}  // namespace
+
+IsolationForest::IsolationForest(int64_t num_trees, int64_t sample_size,
+                                 uint64_t seed)
+    : num_trees_(num_trees), sample_size_(sample_size), rng_(seed) {}
+
+int32_t IsolationForest::BuildNode(Tree* tree, std::vector<int64_t>* rows,
+                                   int64_t begin, int64_t end, int64_t depth,
+                                   int64_t max_depth, const Tensor& features) {
+  const int32_t idx = static_cast<int32_t>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  const int64_t count = end - begin;
+  if (count <= 1 || depth >= max_depth) {
+    tree->nodes[static_cast<size_t>(idx)].size =
+        static_cast<int32_t>(count);
+    return idx;
+  }
+  const int64_t d = features.size(1);
+  // Pick a feature with spread; give up after a few attempts.
+  int32_t feat = -1;
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int32_t f = static_cast<int32_t>(rng_.UniformInt(
+        static_cast<uint64_t>(d)));
+    lo = features.data()[(*rows)[static_cast<size_t>(begin)] * d + f];
+    hi = lo;
+    for (int64_t i = begin; i < end; ++i) {
+      const float v =
+          features.data()[(*rows)[static_cast<size_t>(i)] * d + f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo) {
+      feat = f;
+      break;
+    }
+  }
+  if (feat < 0) {
+    tree->nodes[static_cast<size_t>(idx)].size =
+        static_cast<int32_t>(count);
+    return idx;
+  }
+  const float split =
+      lo + static_cast<float>(rng_.Uniform()) * (hi - lo);
+  auto mid_it = std::partition(
+      rows->begin() + begin, rows->begin() + end, [&](int64_t r) {
+        return features.data()[r * features.size(1) + feat] < split;
+      });
+  int64_t mid = mid_it - rows->begin();
+  if (mid == begin || mid == end) mid = begin + count / 2;  // degenerate
+
+  const int32_t left =
+      BuildNode(tree, rows, begin, mid, depth + 1, max_depth, features);
+  const int32_t right =
+      BuildNode(tree, rows, mid, end, depth + 1, max_depth, features);
+  Node& node = tree->nodes[static_cast<size_t>(idx)];
+  node.feature = feat;
+  node.threshold = split;
+  node.left = left;
+  node.right = right;
+  return idx;
+}
+
+void IsolationForest::Fit(const Tensor& features) {
+  TRANAD_CHECK_EQ(features.ndim(), 2);
+  const int64_t n = features.size(0);
+  dims_ = features.size(1);
+  const int64_t sample = std::min(sample_size_, n);
+  const int64_t max_depth =
+      static_cast<int64_t>(std::ceil(std::log2(std::max<int64_t>(2, sample))));
+  c_norm_ = HarmonicPathNorm(sample);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(num_trees_));
+  for (int64_t t = 0; t < num_trees_; ++t) {
+    std::vector<int64_t> rows(static_cast<size_t>(sample));
+    for (auto& r : rows) {
+      r = static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(n)));
+    }
+    Tree tree;
+    BuildNode(&tree, &rows, 0, sample, 0, max_depth, features);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double IsolationForest::PathLength(const Tree& tree, const float* row) const {
+  int32_t idx = 0;
+  double depth = 0.0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<size_t>(idx)];
+    if (node.feature < 0) {
+      return depth + HarmonicPathNorm(node.size);
+    }
+    idx = row[node.feature] < node.threshold ? node.left : node.right;
+    depth += 1.0;
+  }
+}
+
+double IsolationForest::ScoreRow(const float* row) const {
+  TRANAD_CHECK(fitted());
+  double total = 0.0;
+  for (const auto& tree : trees_) total += PathLength(tree, row);
+  const double avg = total / static_cast<double>(trees_.size());
+  return std::pow(2.0, -avg / std::max(c_norm_, 1e-9));
+}
+
+IsolationForestDetector::IsolationForestDetector(int64_t num_trees,
+                                                 int64_t sample_size,
+                                                 uint64_t seed)
+    : num_trees_(num_trees), sample_size_(sample_size), seed_(seed) {}
+
+Tensor IsolationForestDetector::MakeFeatures(const TimeSeries& series,
+                                             int64_t dim) const {
+  const int64_t t = series.length();
+  Tensor features({t, 3});
+  constexpr int64_t kLocal = 16;
+  double rolling = 0.0;
+  for (int64_t i = 0; i < t; ++i) {
+    const float v = series.values.At({i, dim});
+    const float prev = i > 0 ? series.values.At({i - 1, dim}) : v;
+    const int64_t lo = std::max<int64_t>(0, i - kLocal);
+    rolling = 0.0;
+    for (int64_t j = lo; j < i + 1; ++j) {
+      rolling += series.values.At({j, dim});
+    }
+    rolling /= static_cast<double>(i + 1 - lo);
+    features.At({i, 0}) = v;
+    features.At({i, 1}) = v - prev;
+    features.At({i, 2}) = v - static_cast<float>(rolling);
+  }
+  return features;
+}
+
+void IsolationForestDetector::Fit(const TimeSeries& train) {
+  Stopwatch timer;
+  dims_ = train.dims();
+  forests_.clear();
+  for (int64_t d = 0; d < dims_; ++d) {
+    forests_.emplace_back(num_trees_, sample_size_,
+                          seed_ + static_cast<uint64_t>(d) * 7919);
+    forests_.back().Fit(MakeFeatures(train, d));
+  }
+  fit_seconds_ = timer.ElapsedSeconds();
+}
+
+Tensor IsolationForestDetector::Score(const TimeSeries& series) {
+  TRANAD_CHECK_EQ(series.dims(), dims_);
+  const int64_t t = series.length();
+  Tensor scores({t, dims_});
+  for (int64_t d = 0; d < dims_; ++d) {
+    const Tensor features = MakeFeatures(series, d);
+    for (int64_t i = 0; i < t; ++i) {
+      scores.At({i, d}) = static_cast<float>(
+          forests_[static_cast<size_t>(d)].ScoreRow(features.data() + i * 3));
+    }
+  }
+  return scores;
+}
+
+}  // namespace tranad

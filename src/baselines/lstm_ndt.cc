@@ -1,0 +1,59 @@
+#include "baselines/lstm_ndt.h"
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+LstmNdtDetector::LstmNdtDetector(int64_t window, int64_t epochs,
+                                 int64_t hidden, uint64_t seed)
+    : WindowedDetector("LSTM-NDT", window, epochs, 128),
+      hidden_(hidden),
+      seed_(seed) {}
+
+void LstmNdtDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  lstm_ = std::make_unique<nn::LstmCell>(dims, hidden_, &rng);
+  readout_ = std::make_unique<nn::Linear>(hidden_, dims, &rng);
+  std::vector<Variable> params = lstm_->Parameters();
+  auto rp = readout_->Parameters();
+  params.insert(params.end(), rp.begin(), rp.end());
+  opt_ = std::make_unique<nn::Adam>(params, 0.003f);
+}
+
+Variable LstmNdtDetector::Forecast(const Variable& prefix) const {
+  Variable h = RunLstmLast(*lstm_, prefix);
+  return readout_->Forward(h);  // [B, m]
+}
+
+double LstmNdtDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  const int64_t b = batch.size(0);
+  Variable windows(batch);
+  Variable prefix = ag::SliceAxis(windows, 1, 0, window_ - 1);
+  Tensor target = SliceAxis(batch, 1, window_ - 1, 1)
+                      .Reshape({b, dims_});
+  Variable pred = Forecast(prefix);
+  Variable loss = ag::MseLoss(pred, target);
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor LstmNdtDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  Variable windows(batch);
+  Variable prefix = ag::SliceAxis(windows, 1, 0, window_ - 1);
+  const Tensor target =
+      SliceAxis(batch, 1, window_ - 1, 1).Reshape({b, dims_});
+  const Tensor pred = Forecast(prefix).value();
+  Tensor out({b, dims_});
+  for (int64_t i = 0; i < b * dims_; ++i) {
+    const float e = pred.data()[i] - target.data()[i];
+    out.data()[i] = e * e;
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,40 @@
+#ifndef TRANAD_BASELINES_LSTM_NDT_H_
+#define TRANAD_BASELINES_LSTM_NDT_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tranad {
+
+/// LSTM-NDT (Hundman et al., KDD'18): an LSTM forecaster predicting the
+/// next observation from the window prefix; the squared forecast error per
+/// dimension is the anomaly score. The companion non-parametric dynamic
+/// threshold (NDT) lives in eval/pot.h (NdtThreshold) and is exercised by
+/// the thresholding benches.
+class LstmNdtDetector : public WindowedDetector {
+ public:
+  explicit LstmNdtDetector(int64_t window = 10, int64_t epochs = 5,
+                           int64_t hidden = 32, uint64_t seed = 12);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  /// Forecast of the final timestamp from the first window_-1 steps.
+  Variable Forecast(const Variable& prefix) const;
+
+  int64_t hidden_;
+  uint64_t seed_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Linear> readout_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_LSTM_NDT_H_

@@ -1,0 +1,98 @@
+#include "baselines/mad_gan.h"
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+MadGanDetector::MadGanDetector(int64_t window, int64_t epochs, int64_t hidden,
+                               uint64_t seed)
+    : WindowedDetector("MAD-GAN", window, epochs, 128),
+      hidden_(hidden),
+      seed_(seed) {}
+
+void MadGanDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  gen_lstm_ = std::make_unique<nn::LstmCell>(dims, hidden_, &rng);
+  gen_out_ = std::make_unique<nn::Linear>(hidden_, dims, &rng);
+  disc_lstm_ = std::make_unique<nn::LstmCell>(dims, hidden_, &rng);
+  disc_out_ = std::make_unique<nn::Linear>(hidden_, 1, &rng);
+
+  std::vector<Variable> gen_params = gen_lstm_->Parameters();
+  {
+    auto p = gen_out_->Parameters();
+    gen_params.insert(gen_params.end(), p.begin(), p.end());
+  }
+  std::vector<Variable> disc_params = disc_lstm_->Parameters();
+  {
+    auto p = disc_out_->Parameters();
+    disc_params.insert(disc_params.end(), p.begin(), p.end());
+  }
+  gen_opt_ = std::make_unique<nn::Adam>(gen_params, 0.003f);
+  disc_opt_ = std::make_unique<nn::Adam>(disc_params, 0.003f);
+}
+
+Variable MadGanDetector::Generate(const Variable& seq) const {
+  Variable h = RunLstm(*gen_lstm_, seq);  // [B, K, hidden]
+  return ag::Sigmoid(gen_out_->Forward(h));
+}
+
+Variable MadGanDetector::Discriminate(const Variable& seq) const {
+  Variable h = RunLstmLast(*disc_lstm_, seq);  // [B, hidden]
+  return ag::Sigmoid(disc_out_->Forward(h));   // [B, 1]
+}
+
+double MadGanDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  Variable real(batch);
+
+  // --- discriminator step: real -> 1, fake (reconstruction) -> 0 ---
+  Variable fake = Generate(real);
+  Variable d_real = Discriminate(real);
+  Variable d_fake = Discriminate(Variable(fake.value()));  // detached fake
+  // BCE via MSE surrogate (stable with small models): (D(x)-1)^2 + D(G)^2.
+  Variable d_loss = ag::Add(
+      ag::MeanAll(ag::Square(ag::AddScalar(d_real, -1.0f))),
+      ag::MeanAll(ag::Square(d_fake)));
+  disc_opt_->ZeroGrad();
+  gen_opt_->ZeroGrad();
+  d_loss.Backward();
+  disc_opt_->ClipGradNorm(5.0f);
+  disc_opt_->Step();
+
+  // --- generator step: reconstruct + fool the discriminator ---
+  Variable fake2 = Generate(real);
+  Variable g_rec = ag::MseLoss(fake2, batch);
+  Variable d_on_fake = Discriminate(fake2);
+  Variable g_adv = ag::MeanAll(ag::Square(ag::AddScalar(d_on_fake, -1.0f)));
+  Variable g_loss = ag::Add(g_rec, ag::MulScalar(g_adv, 0.1f));
+  gen_opt_->ZeroGrad();
+  disc_opt_->ZeroGrad();
+  g_loss.Backward();
+  gen_opt_->ClipGradNorm(5.0f);
+  gen_opt_->Step();
+  return g_loss.value().Item() + d_loss.value().Item();
+}
+
+Tensor MadGanDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  Variable real(batch);
+  Variable fake = Generate(real);
+  Variable d = Discriminate(real);  // [B, 1], 1 = looks normal
+  constexpr float kLambda = 0.7f;
+  Tensor out({b, dims_});
+  const float* pf = fake.value().data();
+  const float* pt = batch.data();
+  const float* pd = d.value().data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float suspicion = 1.0f - pd[i];
+    for (int64_t dd = 0; dd < dims_; ++dd) {
+      const int64_t idx = (i * window_ + (window_ - 1)) * dims_ + dd;
+      const float e = pf[idx] - pt[idx];
+      out.At({i, dd}) =
+          kLambda * e * e + (1.0f - kLambda) * suspicion;
+    }
+  }
+  return out;
+}
+
+}  // namespace tranad

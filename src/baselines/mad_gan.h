@@ -1,0 +1,45 @@
+#ifndef TRANAD_BASELINES_MAD_GAN_H_
+#define TRANAD_BASELINES_MAD_GAN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tranad {
+
+/// MAD-GAN (Li et al., ICANN'19): an LSTM generator/discriminator pair.
+/// The generator here is an LSTM autoencoder over windows (avoiding the
+/// original's expensive test-time latent inversion — see DESIGN.md); the
+/// LSTM discriminator classifies real windows against reconstructions. The
+/// anomaly score combines reconstruction error and discriminator suspicion:
+///   s = lambda |G(W)-W|^2 + (1-lambda) (1 - D(W)).
+class MadGanDetector : public WindowedDetector {
+ public:
+  explicit MadGanDetector(int64_t window = 10, int64_t epochs = 5,
+                          int64_t hidden = 32, uint64_t seed = 15);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  Variable Generate(const Variable& seq) const;      // [B,K,m] -> [B,K,m]
+  Variable Discriminate(const Variable& seq) const;  // [B,K,m] -> [B,1]
+
+  int64_t hidden_;
+  uint64_t seed_;
+  std::unique_ptr<nn::LstmCell> gen_lstm_;
+  std::unique_ptr<nn::Linear> gen_out_;
+  std::unique_ptr<nn::LstmCell> disc_lstm_;
+  std::unique_ptr<nn::Linear> disc_out_;
+  std::unique_ptr<nn::Adam> gen_opt_;
+  std::unique_ptr<nn::Adam> disc_opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_MAD_GAN_H_

@@ -1,0 +1,210 @@
+#include "baselines/merlin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace tranad {
+
+DiscordFinder::DiscordFinder(std::vector<double> series)
+    : series_(std::move(series)) {
+  const size_t n = series_.size();
+  prefix_.resize(n + 1, 0.0);
+  prefix_sq_.resize(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix_[i + 1] = prefix_[i] + series_[i];
+    prefix_sq_[i + 1] = prefix_sq_[i] + series_[i] * series_[i];
+  }
+}
+
+void DiscordFinder::MeanStd(int64_t i, int64_t length, double* mean,
+                            double* std) const {
+  const double s = prefix_[static_cast<size_t>(i + length)] -
+                   prefix_[static_cast<size_t>(i)];
+  const double sq = prefix_sq_[static_cast<size_t>(i + length)] -
+                    prefix_sq_[static_cast<size_t>(i)];
+  *mean = s / static_cast<double>(length);
+  const double var = sq / static_cast<double>(length) - *mean * *mean;
+  *std = std::sqrt(std::max(var, 1e-12));
+}
+
+double DiscordFinder::Distance(int64_t i, int64_t j, int64_t length) const {
+  double mi, si, mj, sj;
+  MeanStd(i, length, &mi, &si);
+  MeanStd(j, length, &mj, &sj);
+  double dot = 0.0;
+  for (int64_t k = 0; k < length; ++k) {
+    dot += series_[static_cast<size_t>(i + k)] *
+           series_[static_cast<size_t>(j + k)];
+  }
+  const double lf = static_cast<double>(length);
+  // d^2 = 2L (1 - (dot - L mu_i mu_j) / (L s_i s_j)).
+  const double corr = (dot - lf * mi * mj) / (lf * si * sj);
+  const double d2 = 2.0 * lf * (1.0 - std::clamp(corr, -1.0, 1.0));
+  return std::sqrt(std::max(d2, 0.0));
+}
+
+Discord DiscordFinder::FindDiscordNaive(int64_t length) const {
+  const int64_t n = static_cast<int64_t>(series_.size()) - length + 1;
+  Discord best;
+  best.length = length;
+  if (n <= 1) return best;
+  for (int64_t i = 0; i < n; ++i) {
+    double nn = std::numeric_limits<double>::infinity();
+    for (int64_t j = 0; j < n; ++j) {
+      if (std::llabs(i - j) < length) continue;  // overlap exclusion
+      nn = std::min(nn, Distance(i, j, length));
+      if (nn < best.distance) break;  // cannot become the discord
+    }
+    if (nn != std::numeric_limits<double>::infinity() && nn > best.distance) {
+      best.distance = nn;
+      best.position = i;
+    }
+  }
+  return best;
+}
+
+Discord DiscordFinder::FindDiscord(int64_t length) const {
+  const int64_t n = static_cast<int64_t>(series_.size()) - length + 1;
+  Discord best;
+  best.length = length;
+  if (n <= 1) return best;
+
+  // Adaptive radius: start near the theoretical max (2 sqrt(L)) and halve
+  // until DRAG succeeds (MERLIN's key idea).
+  double r = 2.0 * std::sqrt(static_cast<double>(length)) * 0.5;
+  for (int attempt = 0; attempt < 24; ++attempt, r *= 0.5) {
+    if (r < 1e-6) break;
+    // --- DRAG phase 1: candidate selection ---
+    std::vector<int64_t> candidates;
+    for (int64_t j = 0; j < n; ++j) {
+      bool is_candidate = true;
+      for (auto it = candidates.begin(); it != candidates.end();) {
+        if (std::llabs(*it - j) < length) {
+          ++it;
+          continue;
+        }
+        const double d = Distance(j, *it, length);
+        if (d < r) {
+          // Both the candidate and j have a neighbour within r.
+          it = candidates.erase(it);
+          is_candidate = false;
+        } else {
+          ++it;
+        }
+      }
+      if (is_candidate) candidates.push_back(j);
+    }
+    if (candidates.empty()) continue;
+
+    // --- DRAG phase 2: exact refinement of surviving candidates ---
+    std::vector<double> nn_dist(candidates.size(),
+                                std::numeric_limits<double>::infinity());
+    std::vector<bool> alive(candidates.size(), true);
+    for (int64_t j = 0; j < n; ++j) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (!alive[c]) continue;
+        if (std::llabs(candidates[c] - j) < length) continue;
+        const double d = Distance(candidates[c], j, length);
+        nn_dist[c] = std::min(nn_dist[c], d);
+        if (nn_dist[c] < r) alive[c] = false;  // not a discord at radius r
+      }
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (!alive[c]) continue;
+      if (nn_dist[c] != std::numeric_limits<double>::infinity() &&
+          nn_dist[c] > best.distance) {
+        best.distance = nn_dist[c];
+        best.position = candidates[c];
+      }
+    }
+    if (best.position >= 0) return best;
+  }
+  // Fallback (degenerate series): brute force.
+  return FindDiscordNaive(length);
+}
+
+std::vector<Discord> DiscordFinder::FindDiscords(int64_t min_len,
+                                                 int64_t max_len,
+                                                 int64_t step) const {
+  std::vector<Discord> out;
+  for (int64_t len = min_len; len <= max_len; len += step) {
+    if (len >= static_cast<int64_t>(series_.size()) / 2) break;
+    out.push_back(FindDiscord(len));
+  }
+  return out;
+}
+
+MerlinDetector::MerlinDetector(int64_t min_len, int64_t max_len, int64_t step,
+                               bool naive)
+    : min_len_(min_len), max_len_(max_len), step_(step), naive_(naive) {}
+
+void MerlinDetector::Fit(const TimeSeries& /*train*/) {
+  // Parameter-free and training-free (§4.3: "does not require any
+  // training data").
+}
+
+Tensor MerlinDetector::Score(const TimeSeries& series) {
+  const int64_t t = series.length();
+  const int64_t m = series.dims();
+  Tensor scores({t, m});
+  Stopwatch timer;
+  Rng rng(321);
+  for (int64_t d = 0; d < m; ++d) {
+    std::vector<double> channel(static_cast<size_t>(t));
+    for (int64_t i = 0; i < t; ++i) {
+      channel[static_cast<size_t>(i)] = series.values.At({i, d});
+    }
+    DiscordFinder finder(channel);
+
+    // Graded base score: approximate nearest-neighbour distance against a
+    // random reference sample (cheap approximate matrix profile).
+    const int64_t probe_len = std::min<int64_t>(min_len_, t / 4);
+    if (probe_len >= 4) {
+      const int64_t nsub = t - probe_len + 1;
+      const int64_t samples = std::min<int64_t>(48, nsub);
+      std::vector<int64_t> refs;
+      refs.reserve(static_cast<size_t>(samples));
+      for (int64_t s = 0; s < samples; ++s) {
+        refs.push_back(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(nsub))));
+      }
+      for (int64_t i = 0; i < nsub; ++i) {
+        double nn = std::numeric_limits<double>::infinity();
+        for (int64_t ref : refs) {
+          if (std::llabs(i - ref) < probe_len) continue;
+          nn = std::min(nn, finder.Distance(i, ref, probe_len));
+        }
+        if (nn == std::numeric_limits<double>::infinity()) nn = 0.0;
+        const float v = static_cast<float>(
+            nn / (2.0 * std::sqrt(static_cast<double>(probe_len))));
+        for (int64_t k = i; k < std::min(t, i + probe_len); ++k) {
+          scores.At({k, d}) = std::max(scores.At({k, d}), v);
+        }
+      }
+    }
+
+    // Discords of every length in range mark strong anomalies.
+    const auto discords =
+        naive_ ? std::vector<Discord>{finder.FindDiscordNaive(
+                     std::min(min_len_, t / 4))}
+               : finder.FindDiscords(min_len_, std::min(max_len_, t / 4),
+                                     step_);
+    for (const auto& disc : discords) {
+      if (disc.position < 0) continue;
+      const float v = static_cast<float>(
+          disc.distance /
+          (2.0 * std::sqrt(static_cast<double>(disc.length))));
+      for (int64_t k = disc.position;
+           k < std::min(t, disc.position + disc.length); ++k) {
+        scores.At({k, d}) = std::max(scores.At({k, d}), 1.0f + v);
+      }
+    }
+  }
+  discovery_seconds_ = timer.ElapsedSeconds();
+  return scores;
+}
+
+}  // namespace tranad

@@ -1,0 +1,81 @@
+#ifndef TRANAD_BASELINES_MERLIN_H_
+#define TRANAD_BASELINES_MERLIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace tranad {
+
+/// A time-series discord: the subsequence most distant from its nearest
+/// non-overlapping neighbour.
+struct Discord {
+  int64_t position = -1;
+  int64_t length = 0;
+  /// z-normalized Euclidean nearest-neighbour distance.
+  double distance = 0.0;
+};
+
+/// Discord discovery over one univariate series with z-normalized Euclidean
+/// distances (rolling mean/std via prefix sums, distances via dot products).
+class DiscordFinder {
+ public:
+  explicit DiscordFinder(std::vector<double> series);
+
+  /// MERLIN's DRAG-based top-1 discord of the given length: candidate
+  /// selection with pruning radius r, exact refinement, and the adaptive
+  /// halving of r on failure (Nakamura et al., ICDM'20).
+  Discord FindDiscord(int64_t length) const;
+
+  /// Brute-force O(n^2) discord (the "original"-style comparator used by
+  /// the Table 7 bench).
+  Discord FindDiscordNaive(int64_t length) const;
+
+  /// MERLIN proper: discords for every length in [min_len, max_len] with
+  /// the given stride, warm-starting each radius from the previous length's
+  /// discord distance.
+  std::vector<Discord> FindDiscords(int64_t min_len, int64_t max_len,
+                                    int64_t step = 1) const;
+
+  /// z-normalized distance between subsequences at i and j (length L).
+  double Distance(int64_t i, int64_t j, int64_t length) const;
+
+  int64_t length() const { return static_cast<int64_t>(series_.size()); }
+
+ private:
+  std::vector<double> series_;
+  std::vector<double> prefix_;     // prefix sums
+  std::vector<double> prefix_sq_;  // prefix sums of squares
+
+  void MeanStd(int64_t i, int64_t length, double* mean, double* std) const;
+};
+
+/// MERLIN as an AnomalyDetector: parameter-free, training-free discord
+/// discovery run per dimension on the scored series; timestamps covered by
+/// discords receive their (normalized) discord distance, and a sampled
+/// approximate nearest-neighbour profile provides graded scores elsewhere.
+/// `naive` switches to the brute-force comparator (Table 7).
+class MerlinDetector : public AnomalyDetector {
+ public:
+  explicit MerlinDetector(int64_t min_len = 8, int64_t max_len = 32,
+                          int64_t step = 8, bool naive = false);
+
+  std::string name() const override { return naive_ ? "MERLIN(naive)" : "MERLIN"; }
+  void Fit(const TimeSeries& train) override;
+  Tensor Score(const TimeSeries& series) override;
+  /// MERLIN needs no training; the paper reports discovery time instead.
+  double seconds_per_epoch() const override { return discovery_seconds_; }
+
+ private:
+  int64_t min_len_;
+  int64_t max_len_;
+  int64_t step_;
+  bool naive_;
+  double discovery_seconds_ = 0.0;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_MERLIN_H_

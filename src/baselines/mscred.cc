@@ -1,0 +1,97 @@
+#include "baselines/mscred.h"
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad {
+
+MscredDetector::MscredDetector(int64_t window, int64_t epochs, uint64_t seed)
+    : WindowedDetector("MSCRED", window, epochs, 64), seed_(seed) {}
+
+void MscredDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  // Nested sub-window scales (the original uses {10, 30, 60}; scaled to K).
+  scales_ = {std::max<int64_t>(2, window_ / 4),
+             std::max<int64_t>(3, window_ / 2), window_};
+  sig_dim_ = static_cast<int64_t>(scales_.size()) * dims * dims;
+  const int64_t hidden = std::max<int64_t>(16, sig_dim_ / 4);
+  const int64_t latent = std::max<int64_t>(8, sig_dim_ / 16);
+  enc1_ = std::make_unique<nn::Linear>(sig_dim_, hidden, &rng);
+  enc2_ = std::make_unique<nn::Linear>(hidden, latent, &rng);
+  dec1_ = std::make_unique<nn::Linear>(latent, hidden, &rng);
+  dec2_ = std::make_unique<nn::Linear>(hidden, sig_dim_, &rng);
+  std::vector<Variable> params;
+  for (auto* m : {enc1_.get(), enc2_.get(), dec1_.get(), dec2_.get()}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  opt_ = std::make_unique<nn::Adam>(params, 0.003f);
+}
+
+Tensor MscredDetector::SignatureMatrices(const Tensor& batch) const {
+  const int64_t b = batch.size(0);
+  const int64_t k = batch.size(1);
+  const int64_t m = batch.size(2);
+  Tensor sig({b, sig_dim_});
+  const float* pb = batch.data();
+  float* ps = sig.data();
+  for (int64_t i = 0; i < b; ++i) {
+    int64_t off = 0;
+    for (int64_t scale : scales_) {
+      const int64_t start = k - scale;
+      for (int64_t r = 0; r < m; ++r) {
+        for (int64_t c = 0; c < m; ++c) {
+          double dot = 0.0;
+          for (int64_t t = start; t < k; ++t) {
+            dot += static_cast<double>(pb[(i * k + t) * m + r]) *
+                   pb[(i * k + t) * m + c];
+          }
+          ps[i * sig_dim_ + off + r * m + c] =
+              static_cast<float>(dot / static_cast<double>(scale));
+        }
+      }
+      off += m * m;
+    }
+  }
+  return sig;
+}
+
+Variable MscredDetector::Reconstruct(const Variable& sig) const {
+  Variable z = ag::Relu(enc2_->Forward(ag::Relu(enc1_->Forward(sig))));
+  return dec2_->Forward(ag::Relu(dec1_->Forward(z)));
+}
+
+double MscredDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  const Tensor sig = SignatureMatrices(batch);
+  Variable recon = Reconstruct(Variable(sig));
+  Variable loss = ag::MseLoss(recon, sig);
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor MscredDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const int64_t m = dims_;
+  const Tensor sig = SignatureMatrices(batch);
+  const Tensor recon = Reconstruct(Variable(sig)).value();
+  // Row-wise residual energy of the largest-scale signature matrix is the
+  // per-dimension score.
+  const int64_t off = (static_cast<int64_t>(scales_.size()) - 1) * m * m;
+  Tensor out({b, m});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t r = 0; r < m; ++r) {
+      double e = 0.0;
+      for (int64_t c = 0; c < m; ++c) {
+        const int64_t idx = i * sig_dim_ + off + r * m + c;
+        const double d = recon.data()[idx] - sig.data()[idx];
+        e += d * d;
+      }
+      out.At({i, r}) = static_cast<float>(e / static_cast<double>(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,47 @@
+#ifndef TRANAD_BASELINES_MSCRED_H_
+#define TRANAD_BASELINES_MSCRED_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+
+namespace tranad {
+
+/// MSCRED (Zhang et al., AAAI'19): converts each window into multi-scale
+/// *signature matrices* (pairwise inner products of the dimensions over
+/// nested sub-windows) and reconstructs them with a convolutional
+/// encoder-decoder; the residual of the largest-scale matrix yields the
+/// anomaly score. The ConvLSTM of the original is replaced by a dense
+/// encoder-decoder over the flattened signature stack (see DESIGN.md);
+/// the signature-matrix representation — the method's defining idea — is
+/// kept exactly.
+class MscredDetector : public WindowedDetector {
+ public:
+  explicit MscredDetector(int64_t window = 10, int64_t epochs = 5,
+                          uint64_t seed = 16);
+
+  /// Multi-scale signature matrices for a window batch [B, K, m]:
+  /// [B, scales * m * m].
+  Tensor SignatureMatrices(const Tensor& batch) const;
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  Variable Reconstruct(const Variable& sig) const;
+
+  uint64_t seed_;
+  std::vector<int64_t> scales_;
+  int64_t sig_dim_ = 0;
+  std::unique_ptr<nn::Linear> enc1_, enc2_, dec1_, dec2_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_MSCRED_H_

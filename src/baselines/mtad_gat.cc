@@ -1,0 +1,91 @@
+#include "baselines/mtad_gat.h"
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+MtadGatDetector::MtadGatDetector(int64_t window, int64_t epochs,
+                                 int64_t hidden, uint64_t seed)
+    : WindowedDetector("MTAD-GAT", window, epochs, 64),
+      hidden_(hidden),
+      seed_(seed) {}
+
+void MtadGatDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  // Feature-oriented attention: dimensions are tokens with K-length traces.
+  feature_attn_ =
+      std::make_unique<nn::MultiHeadAttention>(window_, 1, &rng);
+  // Time-oriented attention: timestamps are tokens with m-length vectors.
+  temporal_attn_ = std::make_unique<nn::MultiHeadAttention>(dims, 1, &rng);
+  gru_ = std::make_unique<nn::GruCell>(3 * dims, hidden_, &rng);
+  forecast_head_ = std::make_unique<nn::Linear>(hidden_, dims, &rng);
+  recon_head_ = std::make_unique<nn::Linear>(hidden_, dims, &rng);
+  std::vector<Variable> params;
+  for (auto* m : std::initializer_list<nn::Module*>{
+           feature_attn_.get(), temporal_attn_.get(), gru_.get(),
+           forecast_head_.get(), recon_head_.get()}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  opt_ = std::make_unique<nn::Adam>(params, 0.003f);
+}
+
+MtadGatDetector::Heads MtadGatDetector::Forward(const Tensor& batch) const {
+  const int64_t b = batch.size(0);
+  Variable seq(batch);  // [B, K, m]
+
+  // Feature attention on [B, m, K] (dims as tokens), back to [B, K, m].
+  Variable dims_as_tokens = ag::TransposeLast2(seq);
+  Variable feat =
+      feature_attn_->Forward(dims_as_tokens, dims_as_tokens, dims_as_tokens);
+  feat = ag::TransposeLast2(feat);
+
+  // Temporal attention on [B, K, m].
+  Variable temp = temporal_attn_->Forward(seq, seq, seq);
+
+  Variable fused = ag::Concat({seq, feat, temp}, 2);  // [B, K, 3m]
+  Variable h = RunGruLast(*gru_, fused);              // [B, hidden]
+
+  Heads heads;
+  heads.forecast = forecast_head_->Forward(h);
+  heads.recon = ag::Sigmoid(recon_head_->Forward(h));
+  (void)b;
+  return heads;
+}
+
+double MtadGatDetector::TrainBatch(const Tensor& batch, double /*progress*/) {
+  const int64_t b = batch.size(0);
+  // Forecast target: last timestamp, predicted from the prefix; we train
+  // both heads on the full window's final observation.
+  const Tensor target =
+      SliceAxis(batch, 1, window_ - 1, 1).Reshape({b, dims_});
+  Heads heads = Forward(batch);
+  Variable loss = ag::Add(ag::MseLoss(heads.forecast, target),
+                          ag::MseLoss(heads.recon, target));
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor MtadGatDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const Tensor target =
+      SliceAxis(batch, 1, window_ - 1, 1).Reshape({b, dims_});
+  Heads heads = Forward(batch);
+  constexpr float kGamma = 0.5f;
+  Tensor out({b, dims_});
+  const float* pf = heads.forecast.value().data();
+  const float* pr = heads.recon.value().data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < b * dims_; ++i) {
+    const float ef = pf[i] - pt[i];
+    const float er = pr[i] - pt[i];
+    out.data()[i] = kGamma * ef * ef + (1.0f - kGamma) * er * er;
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,48 @@
+#ifndef TRANAD_BASELINES_MTAD_GAT_H_
+#define TRANAD_BASELINES_MTAD_GAT_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tranad {
+
+/// MTAD-GAT (Zhao et al., ICDM'20): two graph-attention passes — one over
+/// the *feature* axis (dimensions as nodes, their window traces as node
+/// features) and one over the *time* axis — concatenated with the input and
+/// fed to a GRU, with joint forecasting and reconstruction heads. Score:
+///   s = gamma * forecast_error^2 + (1 - gamma) * reconstruction_error^2.
+class MtadGatDetector : public WindowedDetector {
+ public:
+  explicit MtadGatDetector(int64_t window = 10, int64_t epochs = 5,
+                           int64_t hidden = 32, uint64_t seed = 18);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  struct Heads {
+    Variable forecast;  // [B, m]
+    Variable recon;     // [B, m] (final timestamp)
+  };
+  Heads Forward(const Tensor& batch) const;
+
+  int64_t hidden_;
+  uint64_t seed_;
+  std::unique_ptr<nn::MultiHeadAttention> feature_attn_;  // over dims
+  std::unique_ptr<nn::MultiHeadAttention> temporal_attn_;  // over time
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Linear> forecast_head_;
+  std::unique_ptr<nn::Linear> recon_head_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_MTAD_GAT_H_

@@ -1,0 +1,89 @@
+#include "baselines/omni_anomaly.h"
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+OmniAnomalyDetector::OmniAnomalyDetector(int64_t window, int64_t epochs,
+                                         int64_t hidden, int64_t latent,
+                                         uint64_t seed)
+    : WindowedDetector("OmniAnomaly", window, epochs, 128),
+      hidden_(hidden),
+      latent_(latent),
+      seed_(seed) {}
+
+void OmniAnomalyDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  gru_ = std::make_unique<nn::GruCell>(dims, hidden_, &rng);
+  to_mu_ = std::make_unique<nn::Linear>(hidden_, latent_, &rng);
+  to_logvar_ = std::make_unique<nn::Linear>(hidden_, latent_, &rng);
+  dec1_ = std::make_unique<nn::Linear>(latent_, hidden_, &rng);
+  dec2_ = std::make_unique<nn::Linear>(hidden_, dims, &rng);
+  std::vector<Variable> params;
+  for (auto* m : std::initializer_list<nn::Module*>{
+           gru_.get(), to_mu_.get(), to_logvar_.get(), dec1_.get(),
+           dec2_.get()}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  opt_ = std::make_unique<nn::Adam>(params, 0.003f);
+}
+
+OmniAnomalyDetector::VaeOut OmniAnomalyDetector::Forward(const Tensor& batch,
+                                                         bool sample) {
+  const int64_t b = batch.size(0);
+  Variable seq(batch);
+  Variable h = RunGruLast(*gru_, seq);  // [B, hidden]
+  VaeOut out;
+  out.mu = to_mu_->Forward(h);
+  out.logvar = to_logvar_->Forward(h);
+  Variable z = out.mu;
+  if (sample) {
+    // Reparameterization trick: z = mu + exp(logvar/2) * eps.
+    Tensor eps = Tensor::Randn({b, latent_}, &sample_rng_);
+    Variable std = ag::Exp(ag::MulScalar(out.logvar, 0.5f));
+    z = ag::Add(out.mu, ag::Mul(std, Variable(eps)));
+  }
+  out.recon = ag::Sigmoid(dec2_->Forward(ag::Tanh(dec1_->Forward(z))));
+  return out;
+}
+
+double OmniAnomalyDetector::TrainBatch(const Tensor& batch,
+                                       double /*progress*/) {
+  const int64_t b = batch.size(0);
+  const Tensor target = SliceAxis(batch, 1, window_ - 1, 1)
+                            .Reshape({b, dims_});
+  VaeOut out = Forward(batch, /*sample=*/true);
+  Variable recon_loss = ag::MseLoss(out.recon, target);
+  // KL(N(mu, sigma) || N(0, I)) = -0.5 mean(1 + logvar - mu^2 - e^logvar).
+  Variable kl = ag::MulScalar(
+      ag::MeanAll(ag::Sub(
+          ag::Add(ag::Square(out.mu), ag::Exp(out.logvar)),
+          ag::AddScalar(out.logvar, 1.0f))),
+      0.5f);
+  Variable loss = ag::Add(recon_loss, ag::MulScalar(kl, 0.005f));
+  opt_->ZeroGrad();
+  loss.Backward();
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return loss.value().Item();
+}
+
+Tensor OmniAnomalyDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const Tensor target = SliceAxis(batch, 1, window_ - 1, 1)
+                            .Reshape({b, dims_});
+  // Posterior mean reconstruction at test time.
+  VaeOut out = Forward(batch, /*sample=*/false);
+  Tensor scores({b, dims_});
+  const float* pr = out.recon.value().data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < b * dims_; ++i) {
+    const float e = pr[i] - pt[i];
+    scores.data()[i] = e * e;
+  }
+  return scores;
+}
+
+}  // namespace tranad

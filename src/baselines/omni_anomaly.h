@@ -1,0 +1,50 @@
+#ifndef TRANAD_BASELINES_OMNI_ANOMALY_H_
+#define TRANAD_BASELINES_OMNI_ANOMALY_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tranad {
+
+/// OmniAnomaly (Su et al., KDD'19): a stochastic recurrent network — a GRU
+/// runs over the window, a variational latent z ~ N(mu, sigma) is sampled
+/// per step, and a decoder reconstructs the observation; training maximizes
+/// the ELBO (reconstruction - KL). The anomaly score is the per-dimension
+/// reconstruction error (a Monte-Carlo proxy for the negative
+/// reconstruction probability; the planar normalizing flow of the original
+/// is omitted — see DESIGN.md).
+class OmniAnomalyDetector : public WindowedDetector {
+ public:
+  explicit OmniAnomalyDetector(int64_t window = 10, int64_t epochs = 5,
+                               int64_t hidden = 32, int64_t latent = 8,
+                               uint64_t seed = 14);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  struct VaeOut {
+    Variable recon;  // [B, m] reconstruction of the final timestamp
+    Variable mu;
+    Variable logvar;
+  };
+  VaeOut Forward(const Tensor& batch, bool sample);
+
+  int64_t hidden_;
+  int64_t latent_;
+  uint64_t seed_;
+  Rng sample_rng_{1234};
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Linear> to_mu_, to_logvar_, dec1_, dec2_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_OMNI_ANOMALY_H_

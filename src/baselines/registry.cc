@@ -1,0 +1,123 @@
+#include "baselines/registry.h"
+
+#include "baselines/cae_m.h"
+#include "baselines/dagmm.h"
+#include "baselines/gdn.h"
+#include "baselines/isolation_forest.h"
+#include "baselines/lstm_ndt.h"
+#include "baselines/mad_gan.h"
+#include "baselines/merlin.h"
+#include "baselines/mscred.h"
+#include "baselines/mtad_gat.h"
+#include "baselines/omni_anomaly.h"
+#include "baselines/usad.h"
+#include "core/tranad_detector.h"
+
+namespace tranad {
+namespace {
+
+std::unique_ptr<AnomalyDetector> MakeTranAD(const DetectorOptions& options,
+                                            const std::string& display_name,
+                                            bool transformer, bool self_cond,
+                                            bool adversarial, bool maml,
+                                            bool bidirectional = false) {
+  TranADConfig config;
+  config.window = options.window;
+  config.seed = options.seed;
+  config.use_transformer = transformer;
+  config.use_self_conditioning = self_cond;
+  config.use_adversarial = adversarial;
+  config.use_maml = maml;
+  config.bidirectional = bidirectional;
+  TrainOptions train;
+  train.max_epochs = options.epochs;
+  return std::make_unique<TranADDetector>(config, train, display_name);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AnomalyDetector>> CreateDetector(
+    const std::string& name, const DetectorOptions& options) {
+  // Each baseline keeps its own paper-faithful sequence length and model
+  // capacity (scaled for CPU): the originals consume far longer histories
+  // than TranAD's K=10 window (LSTM-NDT 250, OmniAnomaly/MTAD-GAT 100,
+  // MSCRED 60, MAD-GAN 30) and far wider recurrent states (OmniAnomaly
+  // 500, MTAD-GAT 300, LSTM-NDT 80x2) — precisely the training-cost
+  // asymmetry Table 5 measures against TranAD's 1-layer, 2m-wide model.
+  const int64_t w = options.window;
+  const int64_t e = options.epochs;
+  const uint64_t s = options.seed;
+  if (name == "TranAD") {
+    return MakeTranAD(options, name, true, true, true, true);
+  }
+  if (name == "TranAD-Bidirectional") {
+    // The paper's §6 future-work extension (offline detection only: the
+    // window encoder sees the full window without the causal mask).
+    return MakeTranAD(options, name, true, true, true, true,
+                      /*bidirectional=*/true);
+  }
+  if (name == "TranAD-w/o-transformer") {
+    return MakeTranAD(options, name, false, true, true, true);
+  }
+  if (name == "TranAD-w/o-self-cond") {
+    return MakeTranAD(options, name, true, false, true, true);
+  }
+  if (name == "TranAD-w/o-adversarial") {
+    return MakeTranAD(options, name, true, true, false, true);
+  }
+  if (name == "TranAD-w/o-MAML") {
+    return MakeTranAD(options, name, true, true, true, false);
+  }
+  if (name == "MERLIN") {
+    return std::unique_ptr<AnomalyDetector>(new MerlinDetector());
+  }
+  if (name == "MERLIN(naive)") {
+    return std::unique_ptr<AnomalyDetector>(
+        new MerlinDetector(8, 32, 8, /*naive=*/true));
+  }
+  if (name == "LSTM-NDT") {
+    return std::unique_ptr<AnomalyDetector>(new LstmNdtDetector(5 * w, e, 64, s));
+  }
+  if (name == "DAGMM") {
+    return std::unique_ptr<AnomalyDetector>(new DagmmDetector(w / 2, e, 3, 3, s));
+  }
+  if (name == "OmniAnomaly") {
+    return std::unique_ptr<AnomalyDetector>(
+        new OmniAnomalyDetector(4 * w, e, 128, 16, s));
+  }
+  if (name == "MSCRED") {
+    return std::unique_ptr<AnomalyDetector>(new MscredDetector(2 * w, e, s));
+  }
+  if (name == "MAD-GAN") {
+    return std::unique_ptr<AnomalyDetector>(new MadGanDetector(3 * w, e, 64, s));
+  }
+  if (name == "USAD") {
+    return std::unique_ptr<AnomalyDetector>(new UsadDetector(w, e, 16, s));
+  }
+  if (name == "MTAD-GAT") {
+    return std::unique_ptr<AnomalyDetector>(new MtadGatDetector(3 * w, e, 128, s));
+  }
+  if (name == "CAE-M") {
+    return std::unique_ptr<AnomalyDetector>(new CaeMDetector(3 * w, e, 64, s));
+  }
+  if (name == "GDN") {
+    return std::unique_ptr<AnomalyDetector>(new GdnDetector(w, e, 32, s));
+  }
+  if (name == "IsolationForest") {
+    return std::unique_ptr<AnomalyDetector>(
+        new IsolationForestDetector(50, 256, s));
+  }
+  return Status::NotFound("unknown detector: " + name);
+}
+
+std::vector<std::string> PaperMethodNames() {
+  return {"MERLIN",  "LSTM-NDT", "DAGMM", "OmniAnomaly", "MSCRED", "MAD-GAN",
+          "USAD",    "MTAD-GAT", "CAE-M", "GDN",         "TranAD"};
+}
+
+std::vector<std::string> AblationMethodNames() {
+  return {"TranAD", "TranAD-w/o-transformer", "TranAD-w/o-self-cond",
+          "TranAD-w/o-adversarial", "TranAD-w/o-MAML"};
+}
+
+}  // namespace tranad

@@ -1,0 +1,37 @@
+#ifndef TRANAD_BASELINES_REGISTRY_H_
+#define TRANAD_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/detector.h"
+
+namespace tranad {
+
+/// Construction knobs shared by all detectors the registry can build.
+struct DetectorOptions {
+  int64_t window = 10;
+  int64_t epochs = 5;
+  uint64_t seed = 7;
+};
+
+/// Builds a detector by its paper-table name. Supported names:
+/// "MERLIN", "LSTM-NDT", "DAGMM", "OmniAnomaly", "MSCRED", "MAD-GAN",
+/// "USAD", "MTAD-GAT", "CAE-M", "GDN", "IsolationForest", "TranAD", and
+/// the ablations "TranAD-w/o-transformer", "TranAD-w/o-self-cond",
+/// "TranAD-w/o-adversarial", "TranAD-w/o-MAML".
+Result<std::unique_ptr<AnomalyDetector>> CreateDetector(
+    const std::string& name, const DetectorOptions& options = {});
+
+/// The eleven methods of Tables 2-5, in the paper's row order
+/// (TranAD last).
+std::vector<std::string> PaperMethodNames();
+
+/// TranAD plus its four ablations (Table 6 rows).
+std::vector<std::string> AblationMethodNames();
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_REGISTRY_H_

@@ -1,0 +1,127 @@
+#include "baselines/usad.h"
+
+#include <unordered_map>
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad {
+
+UsadDetector::UsadDetector(int64_t window, int64_t epochs, int64_t latent,
+                           uint64_t seed)
+    : WindowedDetector("USAD", window, epochs, 128),
+      latent_(latent),
+      seed_(seed) {}
+
+void UsadDetector::BuildModel(int64_t dims) {
+  Rng rng(seed_);
+  flat_dim_ = window_ * dims;
+  const int64_t hidden = std::max<int64_t>(latent_ * 2, flat_dim_ / 2);
+  enc1_ = std::make_unique<nn::Linear>(flat_dim_, hidden, &rng);
+  enc2_ = std::make_unique<nn::Linear>(hidden, latent_, &rng);
+  dec1a_ = std::make_unique<nn::Linear>(latent_, hidden, &rng);
+  dec1b_ = std::make_unique<nn::Linear>(hidden, flat_dim_, &rng);
+  dec2a_ = std::make_unique<nn::Linear>(latent_, hidden, &rng);
+  dec2b_ = std::make_unique<nn::Linear>(hidden, flat_dim_, &rng);
+
+  auto gather = [](std::initializer_list<nn::Module*> mods) {
+    std::vector<Variable> out;
+    for (auto* m : mods) {
+      auto p = m->Parameters();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  };
+  params_ae1_ = gather({enc1_.get(), enc2_.get(), dec1a_.get(), dec1b_.get()});
+  params_ae2_ = gather({enc1_.get(), enc2_.get(), dec2a_.get(), dec2b_.get()});
+  all_params_ =
+      gather({enc1_.get(), enc2_.get(), dec1a_.get(), dec1b_.get(),
+              dec2a_.get(), dec2b_.get()});
+  opt_ = std::make_unique<nn::AdamW>(all_params_, 0.005f);
+}
+
+Variable UsadDetector::Encode(const Variable& flat) const {
+  return ag::Relu(enc2_->Forward(ag::Relu(enc1_->Forward(flat))));
+}
+Variable UsadDetector::Decode1(const Variable& z) const {
+  return ag::Sigmoid(dec1b_->Forward(ag::Relu(dec1a_->Forward(z))));
+}
+Variable UsadDetector::Decode2(const Variable& z) const {
+  return ag::Sigmoid(dec2b_->Forward(ag::Relu(dec2a_->Forward(z))));
+}
+
+double UsadDetector::TrainBatch(const Tensor& batch, double progress) {
+  const int64_t b = batch.size(0);
+  const Tensor flat_t = batch.Reshape({b, flat_dim_});
+  Variable flat(flat_t);
+
+  // Decaying reconstruction weight w = 1/n with n the (1-based) epoch.
+  const float n = 1.0f + static_cast<float>(progress * epochs_);
+  const float w = 1.0f / n;
+
+  Variable w1 = Decode1(Encode(flat));
+  Variable w2 = Decode2(Encode(flat));
+  Variable w3 = Decode2(Encode(w1));  // AE2(AE1(W))
+
+  Variable rec1 = ag::MseLoss(w1, flat_t);
+  Variable rec2 = ag::MseLoss(w2, flat_t);
+  Variable adv = ag::MseLossVar(w3, Variable(flat_t));
+
+  Variable l1 = ag::Add(ag::MulScalar(rec1, w), ag::MulScalar(adv, 1.0f - w));
+  Variable l2 = ag::Sub(ag::MulScalar(rec2, w), ag::MulScalar(adv, 1.0f - w));
+
+  // Route the two losses to their AE parameter groups (as in TranAD's
+  // trainer): backward L1 for AE1, clear the tape, backward L2 for AE2.
+  std::unordered_map<const void*, Tensor> stash;
+  auto add_stash = [&](const std::vector<Variable>& params) {
+    for (const auto& p : params) {
+      auto it = stash.find(p.id());
+      if (it == stash.end()) {
+        stash.emplace(p.id(), p.grad());
+      } else {
+        Tensor& t = it->second;
+        const Tensor& g = p.grad();
+        for (int64_t i = 0; i < t.numel(); ++i) t[i] += g[i];
+      }
+    }
+  };
+  for (auto p : all_params_) p.ZeroGrad();
+  l1.Backward();
+  add_stash(params_ae1_);
+  l1.ClearTapeGradients();
+  l2.ClearTapeGradients();
+  l2.Backward();
+  add_stash(params_ae2_);
+  for (auto p : all_params_) {
+    p.ZeroGrad();
+    auto it = stash.find(p.id());
+    if (it != stash.end()) p.AccumulateGrad(it->second);
+  }
+  opt_->ClipGradNorm(5.0f);
+  opt_->Step();
+  return 0.5 * (l1.value().Item() + l2.value().Item());
+}
+
+Tensor UsadDetector::ScoreBatch(const Tensor& batch) {
+  const int64_t b = batch.size(0);
+  const Tensor flat_t = batch.Reshape({b, flat_dim_});
+  Variable flat(flat_t);
+  Variable w1 = Decode1(Encode(flat));
+  Variable w3 = Decode2(Encode(w1));
+  // alpha = beta = 0.5, per-dimension error at the window's last timestamp.
+  constexpr float kAlpha = 0.5f;
+  Tensor out({b, dims_});
+  const float* p1 = w1.value().data();
+  const float* p3 = w3.value().data();
+  const float* pt = flat_t.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t d = 0; d < dims_; ++d) {
+      const int64_t idx = i * flat_dim_ + (window_ - 1) * dims_ + d;
+      const float e1 = p1[idx] - pt[idx];
+      const float e3 = p3[idx] - pt[idx];
+      out.At({i, d}) = kAlpha * e1 * e1 + (1.0f - kAlpha) * e3 * e3;
+    }
+  }
+  return out;
+}
+
+}  // namespace tranad

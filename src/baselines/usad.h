@@ -1,0 +1,45 @@
+#ifndef TRANAD_BASELINES_USAD_H_
+#define TRANAD_BASELINES_USAD_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+
+namespace tranad {
+
+/// USAD (Audibert et al., KDD'20): an autoencoder with one shared encoder
+/// and two decoders trained adversarially —
+///   L_AE1 = w |AE1(W)-W| + (1-w) |AE2(AE1(W))-W|
+///   L_AE2 = w |AE2(W)-W| - (1-w) |AE2(AE1(W))-W|
+/// with w = 1/n decaying over epochs; anomaly score
+///   s = alpha |AE1(W)-W| + beta |AE2(AE1(W))-W|.
+class UsadDetector : public WindowedDetector {
+ public:
+  explicit UsadDetector(int64_t window = 10, int64_t epochs = 5,
+                        int64_t latent = 16, uint64_t seed = 11);
+
+ protected:
+  void BuildModel(int64_t dims) override;
+  double TrainBatch(const Tensor& batch, double progress) override;
+  Tensor ScoreBatch(const Tensor& batch) override;
+
+ private:
+  Variable Encode(const Variable& flat) const;
+  Variable Decode1(const Variable& z) const;
+  Variable Decode2(const Variable& z) const;
+
+  int64_t latent_;
+  uint64_t seed_;
+  int64_t flat_dim_ = 0;
+  std::unique_ptr<nn::Linear> enc1_, enc2_;
+  std::unique_ptr<nn::Linear> dec1a_, dec1b_;
+  std::unique_ptr<nn::Linear> dec2a_, dec2b_;
+  std::unique_ptr<nn::AdamW> opt_;
+  std::vector<Variable> params_ae1_, params_ae2_, all_params_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_BASELINES_USAD_H_

@@ -1,0 +1,58 @@
+#ifndef TRANAD_COMMON_CHECK_H_
+#define TRANAD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tranad::internal {
+
+/// Prints the failure message and aborts. Out-of-line so the macro body
+/// stays small and branch-predictable.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+}  // namespace tranad::internal
+
+/// Fatal invariant check. Used for programmer errors (shape mismatches deep
+/// inside kernels, broken internal state), never for recoverable conditions —
+/// those return Status. Enabled in all build types: the cost is negligible
+/// next to the tensor math and silent corruption is far worse.
+#define TRANAD_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::tranad::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                   \
+  } while (0)
+
+#define TRANAD_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << msg;                                                      \
+      ::tranad::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                      _oss.str());                      \
+    }                                                                   \
+  } while (0)
+
+#define TRANAD_CHECK_OP(op, a, b)                                       \
+  do {                                                                  \
+    auto _va = (a);                                                     \
+    auto _vb = (b);                                                     \
+    if (!(_va op _vb)) {                                                \
+      std::ostringstream _oss;                                          \
+      _oss << "(" << _va << " " #op " " << _vb << ")";                  \
+      ::tranad::internal::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b, \
+                                      _oss.str());                      \
+    }                                                                   \
+  } while (0)
+
+#define TRANAD_CHECK_EQ(a, b) TRANAD_CHECK_OP(==, a, b)
+#define TRANAD_CHECK_NE(a, b) TRANAD_CHECK_OP(!=, a, b)
+#define TRANAD_CHECK_LT(a, b) TRANAD_CHECK_OP(<, a, b)
+#define TRANAD_CHECK_LE(a, b) TRANAD_CHECK_OP(<=, a, b)
+#define TRANAD_CHECK_GT(a, b) TRANAD_CHECK_OP(>, a, b)
+#define TRANAD_CHECK_GE(a, b) TRANAD_CHECK_OP(>=, a, b)
+
+#endif  // TRANAD_COMMON_CHECK_H_

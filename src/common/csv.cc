@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tranad {
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    auto fields = Split(line, ',');
+    if (first && has_header) {
+      for (auto& f : fields) table.header.emplace_back(Trim(f));
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      double v = 0.0;
+      if (!ParseDouble(f, &v)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: non-numeric cell '%s'", path.c_str(), line_no,
+                      f.c_str()));
+      }
+      row.push_back(v);
+    }
+    if (!table.rows.empty() && row.size() != table.rows.front().size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: ragged row (%zu vs %zu cells)", path.c_str(),
+                    line_no, row.size(), table.rows.front().size()));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!table.header.empty()) {
+    out << Join(table.header, ",") << "\n";
+  }
+  std::ostringstream oss;
+  for (const auto& row : table.rows) {
+    oss.str("");
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << row[i];
+    }
+    out << oss.str() << "\n";
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace tranad

@@ -1,0 +1,29 @@
+#ifndef TRANAD_COMMON_CSV_H_
+#define TRANAD_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tranad {
+
+/// Minimal CSV table: an optional header row plus numeric rows. Sufficient
+/// for time-series import/export and benchmark output; quoting is not needed
+/// for numeric data and is intentionally unsupported.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Reads a numeric CSV file. If `has_header` the first row is kept as column
+/// names. Fails with IoError / InvalidArgument on unreadable files or
+/// non-numeric cells.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes a numeric CSV file; header is emitted when non-empty.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_CSV_H_

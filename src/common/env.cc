@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace tranad {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  double out = def;
+  if (!ParseDouble(v, &out)) return def;
+  return out;
+}
+
+int64_t EnvInt(const char* name, int64_t def) {
+  return static_cast<int64_t>(EnvDouble(name, static_cast<double>(def)));
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::string(v);
+}
+
+double BenchScale() { return EnvDouble("TRANAD_SCALE", 1.0); }
+
+int64_t BenchEpochs() { return EnvInt("TRANAD_EPOCHS", 0); }
+
+}  // namespace tranad

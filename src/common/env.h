@@ -1,0 +1,28 @@
+#ifndef TRANAD_COMMON_ENV_H_
+#define TRANAD_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tranad {
+
+/// Reads a double-valued environment knob, falling back to `def` when unset
+/// or malformed. Benchmarks use TRANAD_SCALE / TRANAD_EPOCHS through this.
+double EnvDouble(const char* name, double def);
+
+/// Integer-valued environment knob.
+int64_t EnvInt(const char* name, int64_t def);
+
+/// String-valued environment knob.
+std::string EnvString(const char* name, const std::string& def);
+
+/// Global dataset-size multiplier for benchmarks (TRANAD_SCALE, default 1).
+double BenchScale();
+
+/// Global epoch override for benchmarks (TRANAD_EPOCHS, <=0 means per-bench
+/// default).
+int64_t BenchEpochs();
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_ENV_H_

@@ -1,0 +1,44 @@
+#ifndef TRANAD_COMMON_LOGGING_H_
+#define TRANAD_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tranad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log-level threshold; messages below it are dropped. Controlled by
+/// the TRANAD_LOG_LEVEL environment variable (debug|info|warning|error) or
+/// SetLogLevel(). Default: info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that flushes one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tranad
+
+#define TRANAD_LOG(level)                                         \
+  ::tranad::internal::LogMessage(::tranad::LogLevel::k##level,    \
+                                 __FILE__, __LINE__)
+
+#endif  // TRANAD_COMMON_LOGGING_H_

@@ -1,0 +1,134 @@
+#ifndef TRANAD_COMMON_STATUS_H_
+#define TRANAD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tranad {
+
+/// Error categories for recoverable failures crossing the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object used instead of exceptions for recoverable
+/// errors (file I/O, shape validation at API boundaries). Cheap to copy in
+/// the OK case; carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type. Holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the stored status; Ok when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Accessors. Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define TRANAD_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::tranad::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define TRANAD_INTERNAL_CONCAT2(a, b) a##b
+#define TRANAD_INTERNAL_CONCAT(a, b) TRANAD_INTERNAL_CONCAT2(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define TRANAD_ASSIGN_OR_RETURN(lhs, expr) \
+  TRANAD_INTERNAL_ASSIGN_OR_RETURN(        \
+      TRANAD_INTERNAL_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define TRANAD_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_STATUS_H_

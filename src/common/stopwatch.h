@@ -1,0 +1,31 @@
+#ifndef TRANAD_COMMON_STOPWATCH_H_
+#define TRANAD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tranad {
+
+/// Wall-clock stopwatch used to time training epochs and benchmark phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef TRANAD_COMMON_STRING_UTIL_H_
+#define TRANAD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tranad {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Joins the pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Left/right pads `s` with spaces to `width` (for table rendering).
+std::string PadLeft(std::string s, size_t width);
+std::string PadRight(std::string s, size_t width);
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,45 @@
+#ifndef TRANAD_CORE_DETECTOR_H_
+#define TRANAD_CORE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "data/time_series.h"
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// Common interface for all anomaly detectors in the library — TranAD, its
+/// ablation variants, and every baseline of §4. The contract mirrors the
+/// paper's unsupervised protocol:
+///  - Fit() sees only the (assumed normal, unlabeled) training series;
+///  - Score() returns per-dimension anomaly scores s_i for each timestamp
+///    of an arbitrary series ([T, m], higher = more anomalous), from which
+///    the evaluation pipeline derives thresholds (POT), detection labels
+///    (y = OR_i y_i, Eq. 14) and diagnosis rankings.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Method name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on the raw (unnormalized) training series. Implementations fit
+  /// their own Eq. (1) normalizer here.
+  virtual void Fit(const TimeSeries& train) = 0;
+
+  /// Per-dimension anomaly scores [T, m] for a series of the training
+  /// modality. Precondition: Fit() has been called.
+  virtual Tensor Score(const TimeSeries& series) = 0;
+
+  /// Mean seconds per training epoch of the last Fit() call (Table 5).
+  /// Training-free methods report their full inference time instead.
+  virtual double seconds_per_epoch() const = 0;
+
+  /// Number of training epochs the last Fit() ran.
+  virtual int64_t epochs_run() const { return 1; }
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_DETECTOR_H_

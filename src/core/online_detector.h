@@ -1,0 +1,62 @@
+#ifndef TRANAD_CORE_ONLINE_DETECTOR_H_
+#define TRANAD_CORE_ONLINE_DETECTOR_H_
+
+#include <deque>
+#include <memory>
+
+#include "core/tranad_detector.h"
+#include "eval/pot.h"
+
+namespace tranad {
+
+/// One streamed observation's verdict.
+struct OnlineVerdict {
+  /// Detection score s of Eq. (13) aggregated over dimensions.
+  double score = 0.0;
+  /// Per-dimension scores s_i (diagnosis ranking).
+  Tensor dim_scores;  // [m]
+  /// y = 1(s >= POT threshold), Eq. (14) with the streaming SPOT update.
+  bool anomalous = false;
+  /// The current dynamic threshold.
+  double threshold = 0.0;
+};
+
+/// Stateful online front end for Alg. 2: wraps a *trained* TranADDetector,
+/// keeps the trailing window of observations in a ring buffer, scores each
+/// arriving observation with the two-phase inference, and thresholds it
+/// with a streaming POT whose tail model updates as normal peaks arrive.
+///
+/// Usage:
+///   TranADDetector detector;  detector.Fit(train);
+///   OnlineTranAD online(&detector);
+///   online.Calibrate(train);                 // threshold calibration
+///   for (each new observation x) {
+///     OnlineVerdict v = online.Observe(x);   // O(window) per step
+///     if (v.anomalous) ...
+///   }
+class OnlineTranAD {
+ public:
+  /// `detector` must outlive this object and already be fitted.
+  explicit OnlineTranAD(TranADDetector* detector, PotParams pot = {});
+
+  /// Fits the streaming threshold from a calibration series (typically the
+  /// training data). Also seeds the ring buffer with the series' tail.
+  void Calibrate(const TimeSeries& calibration);
+
+  /// Processes one observation x_t in R^m.
+  OnlineVerdict Observe(const Tensor& observation);
+
+  /// Number of observations streamed so far.
+  int64_t observed() const { return observed_; }
+  double threshold() const { return spot_.threshold(); }
+
+ private:
+  TranADDetector* detector_;
+  StreamingPot spot_;
+  std::deque<Tensor> buffer_;  // last K raw observations
+  int64_t observed_ = 0;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_ONLINE_DETECTOR_H_

@@ -1,0 +1,117 @@
+#include "core/pipeline.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace tranad {
+
+PotParams PotParamsForDataset(const std::string& dataset_name) {
+  PotParams params;
+  params.risk = 1e-4;  // the paper's POT coefficient for all datasets
+  double low_quantile = 0.001;
+  if (dataset_name == "SMAP") {
+    low_quantile = 0.07;
+  } else if (dataset_name == "MSL") {
+    low_quantile = 0.01;
+  }
+  // The "low quantile" positions the peak threshold below the top
+  // low_quantile fraction of calibration scores.
+  params.init_quantile = 1.0 - low_quantile;
+  return params;
+}
+
+std::vector<double> DetectionScores(const Tensor& dim_scores) {
+  TRANAD_CHECK_EQ(dim_scores.ndim(), 2);
+  const int64_t t = dim_scores.size(0);
+  const int64_t m = dim_scores.size(1);
+  std::vector<double> out(static_cast<size_t>(t), 0.0);
+  for (int64_t i = 0; i < t; ++i) {
+    double s = 0.0;
+    for (int64_t d = 0; d < m; ++d) s += dim_scores.data()[i * m + d];
+    out[static_cast<size_t>(i)] = s / static_cast<double>(m);
+  }
+  return out;
+}
+
+std::vector<uint8_t> PotLabelPerDimension(const Tensor& calibration_scores,
+                                          const Tensor& test_scores,
+                                          const PotParams& params,
+                                          Tensor* dim_labels) {
+  TRANAD_CHECK_EQ(calibration_scores.ndim(), 2);
+  TRANAD_CHECK_EQ(test_scores.ndim(), 2);
+  TRANAD_CHECK_EQ(calibration_scores.size(1), test_scores.size(1));
+  const int64_t t = test_scores.size(0);
+  const int64_t m = test_scores.size(1);
+  if (dim_labels != nullptr) *dim_labels = Tensor({t, m});
+  std::vector<uint8_t> labels(static_cast<size_t>(t), 0);
+  std::vector<double> calibration(
+      static_cast<size_t>(calibration_scores.size(0)));
+  for (int64_t d = 0; d < m; ++d) {
+    for (int64_t i = 0; i < calibration_scores.size(0); ++i) {
+      calibration[static_cast<size_t>(i)] = calibration_scores.At({i, d});
+    }
+    const double threshold = PotThreshold(calibration, params);
+    for (int64_t i = 0; i < t; ++i) {
+      if (test_scores.At({i, d}) >= threshold) {
+        labels[static_cast<size_t>(i)] = 1;
+        if (dim_labels != nullptr) dim_labels->At({i, d}) = 1.0f;
+      }
+    }
+  }
+  return labels;
+}
+
+EvalOutcome EvaluateDetector(AnomalyDetector* detector, const Dataset& dataset,
+                             const PipelineOptions& options) {
+  TRANAD_CHECK(detector != nullptr);
+  TRANAD_CHECK(dataset.Validate().ok());
+
+  EvalOutcome outcome;
+  outcome.method = detector->name();
+  outcome.dataset = dataset.name;
+
+  Stopwatch fit_timer;
+  detector->Fit(dataset.train);
+  outcome.fit_seconds = fit_timer.ElapsedSeconds();
+  outcome.seconds_per_epoch = detector->seconds_per_epoch();
+
+  Stopwatch score_timer;
+  const Tensor test_scores = detector->Score(dataset.test);
+  outcome.score_seconds = score_timer.ElapsedSeconds();
+  const std::vector<double> detection = DetectionScores(test_scores);
+
+  if (options.mode == ThresholdMode::kPot) {
+    const Tensor train_scores = detector->Score(dataset.train);
+    const std::vector<double> calibration = DetectionScores(train_scores);
+    const double threshold = PotThreshold(calibration, options.pot);
+    outcome.detection =
+        EvaluateAtThreshold(detection, dataset.test.labels, threshold);
+    if (!options.point_adjust) {
+      const auto pred = ApplyThreshold(detection, threshold);
+      const auto c = CountConfusion(pred, dataset.test.labels);
+      outcome.detection.precision = PrecisionOf(c);
+      outcome.detection.recall = RecallOf(c);
+      outcome.detection.f1 = F1Of(c);
+    }
+  } else if (options.mode == ThresholdMode::kPotPerDim) {
+    const Tensor train_scores = detector->Score(dataset.train);
+    std::vector<uint8_t> pred =
+        PotLabelPerDimension(train_scores, test_scores, options.pot);
+    if (options.point_adjust) pred = PointAdjust(pred, dataset.test.labels);
+    const auto c = CountConfusion(pred, dataset.test.labels);
+    outcome.detection.precision = PrecisionOf(c);
+    outcome.detection.recall = RecallOf(c);
+    outcome.detection.f1 = F1Of(c);
+    outcome.detection.roc_auc = RocAuc(detection, dataset.test.labels);
+  } else {
+    outcome.detection = EvaluateBestF1(detection, dataset.test.labels);
+  }
+
+  if (dataset.test.has_dim_labels()) {
+    outcome.diagnosis =
+        EvaluateDiagnosis(test_scores, dataset.test.dim_labels);
+  }
+  return outcome;
+}
+
+}  // namespace tranad

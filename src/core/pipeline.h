@@ -1,0 +1,72 @@
+#ifndef TRANAD_CORE_PIPELINE_H_
+#define TRANAD_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "eval/diagnosis.h"
+#include "eval/metrics.h"
+#include "eval/pot.h"
+
+namespace tranad {
+
+/// How the evaluation pipeline turns scores into labels.
+enum class ThresholdMode {
+  /// Peaks-over-threshold on the dimension-averaged detection score,
+  /// calibrated on training scores.
+  kPot,
+  /// Eq. (14) exactly: a POT threshold per dimension, y_i = 1(s_i >=
+  /// POT(s_i)), detection label y = OR_i y_i.
+  kPotPerDim,
+  /// Best-F1 sweep over thresholds (threshold-free upper bound, the common
+  /// TSAD reporting protocol; used by the comparison tables so that every
+  /// method is treated identically and results are robust at small scale).
+  kBestF1,
+};
+
+struct PipelineOptions {
+  ThresholdMode mode = ThresholdMode::kBestF1;
+  PotParams pot;
+  /// Apply the point-adjust protocol before computing P/R/F1.
+  bool point_adjust = true;
+};
+
+/// Everything the benchmark tables need from one (detector, dataset) run.
+struct EvalOutcome {
+  std::string method;
+  std::string dataset;
+  DetectionMetrics detection;
+  DiagnosisMetrics diagnosis;
+  double seconds_per_epoch = 0.0;
+  double fit_seconds = 0.0;
+  double score_seconds = 0.0;
+};
+
+/// Maps the paper's dataset-specific POT "low quantile" q0 (0.07 for SMAP,
+/// 0.01 for MSL, 0.001 otherwise) to PotParams.
+PotParams PotParamsForDataset(const std::string& dataset_name);
+
+/// Aggregates per-dimension scores [T, m] into the detection score series
+/// (mean over dimensions).
+std::vector<double> DetectionScores(const Tensor& dim_scores);
+
+/// Eq. (14) labelling: fits one POT threshold per dimension on the
+/// calibration scores [Tc, m] and labels test scores [T, m] by
+/// y_t = OR_i 1(s_i >= POT_i). Returns the detection labels; when
+/// `dim_labels` is non-null it receives the per-dimension labels [T, m]
+/// (the diagnosis raster of Fig. 5).
+std::vector<uint8_t> PotLabelPerDimension(const Tensor& calibration_scores,
+                                          const Tensor& test_scores,
+                                          const PotParams& params,
+                                          Tensor* dim_labels = nullptr);
+
+/// Full §4 protocol for one detector on one dataset: fit on train, score
+/// train (threshold calibration) and test, threshold, point-adjust,
+/// compute detection + diagnosis metrics.
+EvalOutcome EvaluateDetector(AnomalyDetector* detector, const Dataset& dataset,
+                             const PipelineOptions& options = {});
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_PIPELINE_H_

@@ -1,0 +1,87 @@
+#include "core/tranad_detector.h"
+
+#include <algorithm>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+namespace {
+// Test data may exceed the training range (that excess *is* the anomaly
+// signal, since the sigmoid decoders cannot reach it); allow a generous
+// band instead of clamping to [0, 1].
+constexpr float kNormClip = 4.0f;
+}  // namespace
+
+TranADDetector::TranADDetector(TranADConfig model_config,
+                               TrainOptions train_options,
+                               std::string display_name)
+    : model_config_(model_config),
+      train_options_(train_options),
+      display_name_(std::move(display_name)) {}
+
+void TranADDetector::Fit(const TimeSeries& train) {
+  TRANAD_CHECK_GT(train.length(), 0);
+  model_config_.dims = train.dims();
+  model_ = std::make_unique<TranADModel>(model_config_);
+  normalizer_.Fit(train.values);
+  const Tensor normalized = normalizer_.Transform(train.values, kNormClip);
+  const Tensor windows = MakeWindows(normalized, model_config_.window);
+  stats_ = TrainTranAD(model_.get(), windows, train_options_);
+}
+
+Tensor TranADDetector::Score(const TimeSeries& series) {
+  TRANAD_CHECK(model_ != nullptr);
+  TRANAD_CHECK_EQ(series.dims(), model_config_.dims);
+  model_->SetTraining(false);
+
+  const Tensor normalized = normalizer_.Transform(series.values, kNormClip);
+  const Tensor windows = MakeWindows(normalized, model_config_.window);
+  const int64_t t = windows.size(0);
+  const int64_t k = model_config_.window;
+  const int64_t m = model_config_.dims;
+
+  Tensor scores({t, m});
+  last_focus_ = Tensor({t, m});
+  last_attention_ = Tensor({t, k});
+
+  constexpr int64_t kBatch = 256;
+  for (int64_t start = 0; start < t; start += kBatch) {
+    const int64_t len = std::min<int64_t>(kBatch, t - start);
+    Tensor batch = SliceAxis(windows, 0, start, len);
+    const Tensor target = SliceAxis(batch, 1, k - 1, 1).Reshape({len, m});
+    Variable window(batch);
+    // Alg. 2 lines 2-3: two-phase inference.
+    auto [o1, o2] = model_->ForwardPhase1(window);
+    Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+    const Tensor attn = model_->LastEncoderAttention();  // phase-1 attention
+    Variable o2hat = model_->ForwardPhase2(window, focus);
+
+    // Eq. (13) per dimension at the current timestamp; outputs are [B, m].
+    const Tensor& v1 = o1.value();
+    const Tensor& v2 = o2hat.value();
+    const Tensor& fv = focus.value();
+    for (int64_t b = 0; b < len; ++b) {
+      for (int64_t d = 0; d < m; ++d) {
+        const int64_t idx = b * m + d;
+        const float tgt = target.data()[idx];
+        const float e1 = v1.data()[idx] - tgt;
+        const float e2 = v2.data()[idx] - tgt;
+        scores.At({start + b, d}) = 0.5f * e1 * e1 + 0.5f * e2 * e2;
+        last_focus_.At({start + b, d}) = fv.data()[idx];
+      }
+      if (attn.ndim() == 3) {
+        // Attention row of the final timestamp, averaged over heads
+        // already; [B, K, K] -> row (k-1).
+        for (int64_t j = 0; j < k; ++j) {
+          last_attention_.At({start + b, j}) =
+              attn.data()[(b * k + (k - 1)) * k + j];
+        }
+      }
+    }
+  }
+  return scores;
+}
+
+}  // namespace tranad

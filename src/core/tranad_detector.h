@@ -1,0 +1,52 @@
+#ifndef TRANAD_CORE_TRANAD_DETECTOR_H_
+#define TRANAD_CORE_TRANAD_DETECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "core/tranad_model.h"
+#include "core/tranad_trainer.h"
+#include "data/preprocess.h"
+
+namespace tranad {
+
+/// End-to-end TranAD anomaly detector: Eq. (1) normalization, §3.2
+/// windowing, Alg. 1 training, and Alg. 2 two-phase scoring
+/// s = 1/2 |O1 - W|^2 + 1/2 |Ô2 - W|^2 per timestamp and dimension.
+class TranADDetector : public AnomalyDetector {
+ public:
+  explicit TranADDetector(TranADConfig model_config = {},
+                          TrainOptions train_options = {},
+                          std::string display_name = "TranAD");
+
+  std::string name() const override { return display_name_; }
+  void Fit(const TimeSeries& train) override;
+  Tensor Score(const TimeSeries& series) override;
+  double seconds_per_epoch() const override { return stats_.seconds_per_epoch; }
+  int64_t epochs_run() const override { return stats_.epochs_run; }
+
+  /// Trained model access (visualizations, checkpointing).
+  TranADModel* model() { return model_.get(); }
+  const TrainStats& train_stats() const { return stats_; }
+  const MinMaxNormalizer& normalizer() const { return normalizer_; }
+
+  /// Average context-encoder attention per window [T, K] and focus scores
+  /// [T, m] captured during the most recent Score() call (Fig. 3 data).
+  const Tensor& last_attention() const { return last_attention_; }
+  const Tensor& last_focus() const { return last_focus_; }
+
+ private:
+  TranADConfig model_config_;
+  TrainOptions train_options_;
+  std::string display_name_;
+  std::unique_ptr<TranADModel> model_;
+  MinMaxNormalizer normalizer_;
+  TrainStats stats_;
+  Tensor last_attention_;
+  Tensor last_focus_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_TRANAD_DETECTOR_H_

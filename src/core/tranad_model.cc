@@ -1,0 +1,165 @@
+#include "core/tranad_model.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad {
+
+TranADModel::TranADModel(const TranADConfig& config)
+    : config_(config), rng_(config.seed), d_model_(2 * config.dims) {
+  TRANAD_CHECK_GT(config.dims, 0);
+  TRANAD_CHECK_GT(config.window, 0);
+  Rng init_rng(config.seed ^ 0xA5A5A5A5ULL);
+
+  // "The only dataset-specific hyperparameter is the number of heads ...
+  // kept the same as the dimension size of the dataset" — each head then
+  // attends in a 2-d subspace of the 2m-wide model.
+  const int64_t heads =
+      config.num_heads > 0 ? config.num_heads : config.dims;
+  TRANAD_CHECK_EQ(d_model_ % heads, 0);
+
+  if (config.use_transformer) {
+    pos_ = std::make_unique<nn::PositionalEncoding>(
+        d_model_, std::max(config.max_len, config.window), config.dropout);
+    encoder_ = std::make_unique<nn::TransformerEncoder>(
+        config.num_layers, d_model_, heads, config.d_ff, config.dropout,
+        &init_rng);
+    window_encoder_ = std::make_unique<nn::WindowEncoderLayer>(
+        d_model_, heads, config.d_ff, config.dropout, &init_rng);
+    RegisterModule("pos", pos_.get());
+    RegisterModule("encoder", encoder_.get());
+    RegisterModule("window_encoder", window_encoder_.get());
+  } else {
+    // Ablation "w/o transformer": a two-stage position-wise feed-forward
+    // encoder of matched width.
+    ff_encoder_ = std::make_unique<nn::FeedForward>(
+        d_model_, config.d_ff, d_model_, config.dropout, &init_rng);
+    ff_encoder2_ = std::make_unique<nn::FeedForward>(
+        d_model_, config.d_ff, d_model_, config.dropout, &init_rng);
+    RegisterModule("ff_encoder", ff_encoder_.get());
+    RegisterModule("ff_encoder2", ff_encoder2_.get());
+  }
+  decoder1_ = std::make_unique<nn::FeedForward>(d_model_, config.d_ff,
+                                                config.dims, config.dropout,
+                                                &init_rng);
+  decoder2_ = std::make_unique<nn::FeedForward>(d_model_, config.d_ff,
+                                                config.dims, config.dropout,
+                                                &init_rng);
+  RegisterModule("decoder1", decoder1_.get());
+  RegisterModule("decoder2", decoder2_.get());
+}
+
+Variable TranADModel::EncodeTransformer(const Variable& input) {
+  // Scale as in Vaswani et al. / the reference implementation, then add
+  // position encodings before the attention stack.
+  Variable scaled =
+      ag::MulScalar(input, std::sqrt(static_cast<float>(config_.dims)));
+  Variable encoded = pos_->Forward(scaled, &rng_);
+  // I1_2: context encoding of the full (window+focus) sequence (Eq. 4).
+  Variable context = encoder_->Forward(encoded, &rng_);
+  // I2_3: masked window encoding cross-attending to the context (Eq. 5);
+  // the bidirectional variant drops the future mask.
+  return window_encoder_->Forward(encoded, context, &rng_,
+                                  /*causal=*/!config_.bidirectional);
+}
+
+Variable TranADModel::EncodeFeedForward(const Variable& input) {
+  Variable h = ff_encoder_->Forward(input, &rng_);
+  return ff_encoder2_->Forward(h, &rng_);
+}
+
+Variable TranADModel::Encode(const Variable& window, const Variable& focus) {
+  TRANAD_CHECK(window.shape() == focus.shape());
+  TRANAD_CHECK_EQ(window.value().size(-1), config_.dims);
+  // Concatenate the focus score onto the window: [B, K, 2m].
+  Variable input = ag::Concat({window, focus}, -1);
+  return config_.use_transformer ? EncodeTransformer(input)
+                                 : EncodeFeedForward(input);
+}
+
+Variable TranADModel::BroadcastFocus(const Variable& focus,
+                                     int64_t window_len) const {
+  TRANAD_CHECK_EQ(focus.value().ndim(), 2);
+  const int64_t b = focus.value().size(0);
+  Variable per_step = ag::Reshape(focus, {b, 1, config_.dims});
+  // Broadcasting add against zeros repeats the [B, 1, m] focus K times.
+  return ag::Add(Variable(Tensor::Zeros({b, window_len, config_.dims})),
+                 per_step);
+}
+
+namespace {
+
+// Final-position latent [B, 2m] of the window encoding [B, K, 2m].
+Variable LastLatent(const Variable& latent) {
+  const int64_t b = latent.value().size(0);
+  const int64_t k = latent.value().size(1);
+  const int64_t d = latent.value().size(2);
+  return ag::Reshape(ag::SliceAxis(latent, 1, k - 1, 1), {b, d});
+}
+
+}  // namespace
+
+Variable TranADModel::Decode1(const Variable& latent) {
+  return ag::Sigmoid(decoder1_->Forward(LastLatent(latent), &rng_));
+}
+
+Variable TranADModel::Decode2(const Variable& latent) {
+  return ag::Sigmoid(decoder2_->Forward(LastLatent(latent), &rng_));
+}
+
+std::pair<Variable, Variable> TranADModel::ForwardPhase1(
+    const Variable& window) {
+  Variable zero_focus(Tensor::Zeros(window.shape()));
+  Variable latent = Encode(window, zero_focus);
+  return {Decode1(latent), Decode2(latent)};
+}
+
+Variable TranADModel::ForwardPhase2(const Variable& window,
+                                    const Variable& focus) {
+  const int64_t k = window.value().size(1);
+  Variable effective_focus =
+      config_.use_self_conditioning
+          ? BroadcastFocus(focus, k)
+          : Variable(Tensor::Zeros(window.shape()));
+  Variable latent = Encode(window, effective_focus);
+  return Decode2(latent);
+}
+
+namespace {
+
+std::vector<Variable> CollectFrom(
+    std::initializer_list<const nn::Module*> modules) {
+  std::vector<Variable> out;
+  for (const nn::Module* m : modules) {
+    if (m == nullptr) continue;
+    auto params = m->Parameters();
+    out.insert(out.end(), params.begin(), params.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Variable> TranADModel::EncoderParameters() const {
+  return CollectFrom({static_cast<const nn::Module*>(pos_.get()),
+                      static_cast<const nn::Module*>(encoder_.get()),
+                      static_cast<const nn::Module*>(window_encoder_.get()),
+                      static_cast<const nn::Module*>(ff_encoder_.get()),
+                      static_cast<const nn::Module*>(ff_encoder2_.get())});
+}
+
+std::vector<Variable> TranADModel::Decoder1Parameters() const {
+  return CollectFrom({static_cast<const nn::Module*>(decoder1_.get())});
+}
+
+std::vector<Variable> TranADModel::Decoder2Parameters() const {
+  return CollectFrom({static_cast<const nn::Module*>(decoder2_.get())});
+}
+
+Tensor TranADModel::LastEncoderAttention() const {
+  if (!config_.use_transformer || encoder_ == nullptr) return Tensor();
+  return encoder_->layer(0).self_attention().last_attention();
+}
+
+}  // namespace tranad

@@ -1,0 +1,109 @@
+#ifndef TRANAD_CORE_TRANAD_MODEL_H_
+#define TRANAD_CORE_TRANAD_MODEL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/positional_encoding.h"
+#include "nn/transformer.h"
+
+namespace tranad {
+
+/// Hyperparameters of the TranAD network (§4, "we use the following
+/// hyperparameter values"). The four `use_*` switches produce the ablated
+/// variants of Table 6.
+struct TranADConfig {
+  int64_t dims = 1;        // m, dataset modality
+  int64_t window = 10;     // K, local context window
+  int64_t num_layers = 1;  // transformer encoder layers
+  int64_t d_ff = 64;       // hidden units in encoder layers
+  int64_t num_heads = 0;   // 0 => one head per dataset dimension (paper)
+  float dropout = 0.1f;
+  int64_t max_len = 512;   // positional-encoding horizon (>= window)
+
+  /// §6 future-work extension: bidirectional window self-attention
+  /// (drops the Eq. 5 causal mask). Off by default — the paper's model is
+  /// causal.
+  bool bidirectional = false;
+
+  // Ablation switches (Table 6).
+  bool use_transformer = true;        // false: feed-forward encoder instead
+  bool use_self_conditioning = true;  // false: focus score fixed to 0
+  bool use_adversarial = true;        // false: single-phase reconstruction
+  bool use_maml = true;               // false: no meta-learning step
+
+  uint64_t seed = 7;
+};
+
+/// The TranAD network of Fig. 1: a transformer encoder over the focus-score-
+/// conditioned input, a window encoder with masked self-attention and
+/// cross-attention to the context encoding (Eq. 4-5), and two feed-forward
+/// sigmoid decoders (Eq. 6). Input windows are [B, K, m]; the model operates
+/// at d_model = 2m (window concatenated with the broadcast focus score).
+class TranADModel : public nn::Module {
+ public:
+  explicit TranADModel(const TranADConfig& config);
+
+  /// Encodes a window W [B, K, m] with focus score F [B, K, m] into the
+  /// latent I2_3 [B, K, 2m] (Eq. 4-5).
+  Variable Encode(const Variable& window, const Variable& focus);
+
+  /// Decoder i in {1, 2}: O_i = Sigmoid(FeedForward(latent_K)) in [B, m] —
+  /// as in the reference implementation, the decoders reconstruct the
+  /// *current* timestamp (the window's final element) from the encoded
+  /// window's final latent.
+  Variable Decode1(const Variable& latent);
+  Variable Decode2(const Variable& latent);
+
+  /// Phase 1 (Alg. 1 line 5): O1, O2 in [B, m] from a zero focus score.
+  std::pair<Variable, Variable> ForwardPhase1(const Variable& window);
+
+  /// Phase 2 (Alg. 1 line 6): O_hat_2 in [B, m] from the self-conditioned
+  /// focus F = (O1 - x_t)^2 (broadcast over the window, as the reference
+  /// implementation repeats it). Honors use_self_conditioning.
+  Variable ForwardPhase2(const Variable& window, const Variable& focus);
+
+  /// Broadcasts a [B, m] focus score over the window length: [B, K, m].
+  Variable BroadcastFocus(const Variable& focus, int64_t window_len) const;
+
+  /// Parameter groups for the adversarial update routing (encoder shared,
+  /// decoders adversaries).
+  std::vector<Variable> EncoderParameters() const;
+  std::vector<Variable> Decoder1Parameters() const;
+  std::vector<Variable> Decoder2Parameters() const;
+
+  const TranADConfig& config() const { return config_; }
+
+  /// Average self-attention weights of the context encoder from the most
+  /// recent forward pass (Fig. 3 visualization); [B, K, K].
+  Tensor LastEncoderAttention() const;
+
+  /// RNG used for dropout; exposed so training is reproducible per seed.
+  Rng* rng() { return &rng_; }
+
+ private:
+  Variable EncodeTransformer(const Variable& input);
+  Variable EncodeFeedForward(const Variable& input);
+
+  TranADConfig config_;
+  Rng rng_;
+  int64_t d_model_;
+
+  // Transformer path.
+  std::unique_ptr<nn::PositionalEncoding> pos_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::WindowEncoderLayer> window_encoder_;
+  // Feed-forward ablation path ("w/o transformer").
+  std::unique_ptr<nn::FeedForward> ff_encoder_;
+  std::unique_ptr<nn::FeedForward> ff_encoder2_;
+  // Decoders.
+  std::unique_ptr<nn::FeedForward> decoder1_;
+  std::unique_ptr<nn::FeedForward> decoder2_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_TRANAD_MODEL_H_

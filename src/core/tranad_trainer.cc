@@ -1,0 +1,282 @@
+#include "core/tranad_trainer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "data/preprocess.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+// Gradient stash keyed by parameter identity, used to route the two
+// adversarial losses to their parameter groups before a single optimizer
+// step.
+class GradStash {
+ public:
+  void Add(const std::vector<Variable>& params) {
+    for (const auto& p : params) {
+      const Tensor& g = p.grad();
+      auto it = acc_.find(p.id());
+      if (it == acc_.end()) {
+        acc_.emplace(p.id(), g);
+      } else {
+        Tensor& t = it->second;
+        for (int64_t i = 0; i < t.numel(); ++i) t[i] += g[i];
+      }
+    }
+  }
+
+  // Installs the stashed gradients onto the parameters (replacing whatever
+  // backward left there).
+  void Install(const std::vector<Variable>& all_params) {
+    for (auto p : all_params) {
+      p.ZeroGrad();
+      auto it = acc_.find(p.id());
+      if (it != acc_.end()) p.AccumulateGrad(it->second);
+    }
+  }
+
+ private:
+  std::unordered_map<const void*, Tensor> acc_;
+};
+
+double BatchAdversarialStep(TranADModel* model, const Tensor& batch, float w,
+                            nn::AdamW* opt, const TrainOptions& options,
+                            const std::vector<Variable>& enc_params,
+                            const std::vector<Variable>& dec1_params,
+                            const std::vector<Variable>& dec2_params,
+                            const std::vector<Variable>& all_params) {
+  Variable window(batch);
+  const bool adversarial = model->config().use_adversarial;
+  const int64_t b = batch.size(0);
+  const int64_t k = batch.size(1);
+  const int64_t m = batch.size(2);
+  // Reconstruction target: the window's final element (the current
+  // timestamp), as in the reference implementation.
+  const Tensor target = SliceAxis(batch, 1, k - 1, 1).Reshape({b, m});
+
+  auto [o1, o2] = model->ForwardPhase1(window);
+  Variable rec1 = ag::MseLoss(o1, target);
+  Variable rec2 = ag::MseLoss(o2, target);
+
+  if (!adversarial) {
+    // Ablation "w/o adversarial training": single-phase reconstruction.
+    Variable loss =
+        ag::MulScalar(ag::Add(rec1, rec2), 0.5f);
+    model->ZeroGrad();
+    loss.Backward();
+    opt->ClipGradNorm(options.grad_clip);
+    opt->Step();
+    return loss.value().Item();
+  }
+
+  // Phase 2: self-conditioned focus score F = (O1 - x_t)^2 (Alg. 1 line 6).
+  Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+  Variable o2hat = model->ForwardPhase2(window, focus);
+  Variable adv = ag::MseLossVar(o2hat, Variable(target));
+
+  // Eq. (10): L1 = w |O1-W| + (1-w) |Ô2-W| ; L2 = w |O2-W| - (1-w) |Ô2-W|.
+  Variable l1 = ag::Add(ag::MulScalar(rec1, w), ag::MulScalar(adv, 1.0f - w));
+  Variable l2 = ag::Sub(ag::MulScalar(rec2, w), ag::MulScalar(adv, 1.0f - w));
+
+  GradStash stash;
+  // L1 trains the encoder and decoder 1 (the "generator" side).
+  model->ZeroGrad();
+  l1.Backward();
+  stash.Add(enc_params);
+  stash.Add(dec1_params);
+  // Clear every gradient the first pass left on the shared tape before
+  // backpropagating the second loss.
+  l1.ClearTapeGradients();
+  l2.ClearTapeGradients();
+  l2.Backward();
+  stash.Add(enc_params);
+  stash.Add(dec2_params);
+  stash.Install(all_params);
+
+  opt->ClipGradNorm(options.grad_clip);
+  opt->Step();
+  return 0.5 * (l1.value().Item() + std::fabs(l2.value().Item()));
+}
+
+double EvalLoss(TranADModel* model, const Tensor& windows,
+                int64_t batch_size) {
+  model->SetTraining(false);
+  const int64_t n = windows.size(0);
+  double total = 0.0;
+  int64_t batches = 0;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t len = std::min(batch_size, n - start);
+    Tensor batch = SliceAxis(windows, 0, start, len);
+    const Tensor target =
+        SliceAxis(batch, 1, batch.size(1) - 1, 1)
+            .Reshape({len, batch.size(2)});
+    Variable window(batch);
+    auto [o1, o2] = model->ForwardPhase1(window);
+    Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+    Variable o2hat = model->ForwardPhase2(window, focus);
+    total += 0.5 * (ag::MseLoss(o1, target).value().Item() +
+                    ag::MseLoss(o2hat, target).value().Item());
+    ++batches;
+  }
+  model->SetTraining(true);
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+// First-order MAML (Eq. 11-12): one inner SGD step on batch A, outer
+// gradient evaluated at the adapted weights on batch B, applied to the
+// original weights with the meta step size.
+void MamlStep(TranADModel* model, const Tensor& windows, int64_t batch_size,
+              float inner_lr, float meta_lr) {
+  const int64_t n = windows.size(0);
+  if (n < 2) return;
+  Rng* rng = model->rng();
+  auto sample_batch = [&]() {
+    const int64_t len = std::min(batch_size, n);
+    const int64_t start = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(n - len + 1)));
+    return SliceAxis(windows, 0, start, len);
+  };
+  auto plain_loss = [&](const Tensor& batch) {
+    const Tensor target =
+        SliceAxis(batch, 1, batch.size(1) - 1, 1)
+            .Reshape({batch.size(0), batch.size(2)});
+    Variable window(batch);
+    auto [o1, o2] = model->ForwardPhase1(window);
+    return ag::MulScalar(
+        ag::Add(ag::MseLoss(o1, target), ag::MseLoss(o2, target)), 0.5f);
+  };
+
+  const std::vector<Tensor> snapshot = model->SnapshotParameters();
+  auto params = model->Parameters();
+
+  // Inner step: theta' = theta - alpha * grad L_A(theta).
+  model->ZeroGrad();
+  plain_loss(sample_batch()).Backward();
+  for (auto& p : params) {
+    Tensor* w = p.mutable_value();
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < w->numel(); ++i) (*w)[i] -= inner_lr * g[i];
+  }
+
+  // Outer gradient at theta' on an independent batch.
+  model->ZeroGrad();
+  plain_loss(sample_batch()).Backward();
+  std::vector<Tensor> outer_grads;
+  outer_grads.reserve(params.size());
+  for (auto& p : params) outer_grads.push_back(p.grad());
+
+  // theta <- theta - beta * grad L_B(theta') (first-order approximation).
+  model->RestoreParameters(snapshot);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor* w = params[i].mutable_value();
+    const Tensor& g = outer_grads[i];
+    for (int64_t j = 0; j < w->numel(); ++j) (*w)[j] -= meta_lr * g[j];
+  }
+  model->ZeroGrad();
+}
+
+}  // namespace
+
+TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
+                       const TrainOptions& options) {
+  TRANAD_CHECK(model != nullptr);
+  TRANAD_CHECK_EQ(windows.ndim(), 3);
+  TRANAD_CHECK_EQ(windows.size(2), model->config().dims);
+  TrainStats stats;
+
+  // Shuffle windows (deterministically from the model seed) before the
+  // 80:20 split: windows are self-contained training samples, and a
+  // chronological tail split would confound early stopping with data
+  // drift.
+  Tensor shuffled(windows.shape());
+  {
+    Rng perm_rng(model->config().seed ^ 0x5157AULL);
+    const auto perm = perm_rng.Permutation(static_cast<size_t>(windows.size(0)));
+    const int64_t stride = windows.size(1) * windows.size(2);
+    for (int64_t i = 0; i < windows.size(0); ++i) {
+      const int64_t src = static_cast<int64_t>(perm[static_cast<size_t>(i)]);
+      std::copy(windows.data() + src * stride,
+                windows.data() + (src + 1) * stride,
+                shuffled.data() + i * stride);
+    }
+  }
+  auto [train_windows, val_windows] =
+      SplitTrainVal(shuffled, options.val_fraction);
+
+  const auto enc_params = model->EncoderParameters();
+  const auto dec1_params = model->Decoder1Parameters();
+  const auto dec2_params = model->Decoder2Parameters();
+  const auto all_params = model->Parameters();
+
+  nn::AdamW opt(all_params, options.lr);
+  nn::StepLr scheduler(&opt, options.lr_step_epochs, options.lr_gamma);
+
+  model->SetTraining(true);
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_snapshot;
+  int64_t bad_epochs = 0;
+  double total_seconds = 0.0;
+
+  const int64_t n = train_windows.size(0);
+  for (int64_t epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    Stopwatch epoch_timer;
+    // Evolving weight eps^-n (Eq. 10): reconstruction-dominated early,
+    // adversarial-dominated late.
+    const float w = std::pow(options.epsilon, -static_cast<float>(epoch));
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += options.batch_size) {
+      const int64_t len = std::min(options.batch_size, n - start);
+      Tensor batch = SliceAxis(train_windows, 0, start, len);
+      epoch_loss +=
+          BatchAdversarialStep(model, batch, w, &opt, options, enc_params,
+                               dec1_params, dec2_params, all_params);
+      ++batches;
+    }
+    if (model->config().use_maml) {
+      MamlStep(model, train_windows, options.batch_size, options.lr,
+               options.meta_lr);
+    }
+    scheduler.Step();
+    total_seconds += epoch_timer.ElapsedSeconds();
+
+    stats.train_losses.push_back(
+        batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0);
+    const double val_loss =
+        val_windows.size(0) > 0
+            ? EvalLoss(model, val_windows, options.batch_size)
+            : stats.train_losses.back();
+    stats.val_losses.push_back(val_loss);
+    stats.epochs_run = epoch;
+    if (options.verbose) {
+      TRANAD_LOG(Info) << "epoch " << epoch << " train "
+                       << stats.train_losses.back() << " val " << val_loss;
+    }
+
+    // Early stopping: "we stop the training process once the validation
+    // accuracy starts to decrease" (§4), with a small patience.
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_snapshot = model->SnapshotParameters();
+      bad_epochs = 0;
+    } else {
+      ++bad_epochs;
+      if (bad_epochs > options.early_stop_patience) break;
+    }
+  }
+  if (!best_snapshot.empty()) model->RestoreParameters(best_snapshot);
+  model->SetTraining(false);
+  stats.seconds_per_epoch =
+      stats.epochs_run > 0
+          ? total_seconds / static_cast<double>(stats.epochs_run)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace tranad

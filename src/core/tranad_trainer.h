@@ -1,0 +1,52 @@
+#ifndef TRANAD_CORE_TRANAD_TRAINER_H_
+#define TRANAD_CORE_TRANAD_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tranad_model.h"
+
+namespace tranad {
+
+/// Training hyperparameters (§4: AdamW, lr 0.01, meta lr 0.02, step
+/// scheduler with factor 0.5; early stopping on the 80:20 validation
+/// split). `epsilon` is the evolutionary weight base of Eq. (10) — a value
+/// slightly above one so the adversarial weight 1 - epsilon^-n ramps up as
+/// reconstructions stabilize.
+struct TrainOptions {
+  int64_t max_epochs = 10;
+  int64_t batch_size = 32;
+  float lr = 0.01f;
+  float meta_lr = 0.02f;
+  int64_t lr_step_epochs = 5;
+  float lr_gamma = 0.5f;
+  float epsilon = 1.25f;
+  float grad_clip = 5.0f;
+  double val_fraction = 0.2;
+  int64_t early_stop_patience = 2;
+  bool verbose = false;
+};
+
+/// Per-run training statistics (Table 5 consumes seconds_per_epoch).
+struct TrainStats {
+  std::vector<double> train_losses;
+  std::vector<double> val_losses;
+  double seconds_per_epoch = 0.0;
+  int64_t epochs_run = 0;
+};
+
+/// Offline two-phase adversarial training of Alg. 1 over precomputed
+/// windows [N, K, m] (already normalized). Implements:
+///  - evolving loss weights eps^-n (Eq. 10),
+///  - gradient routing of the min-max objective (L1 updates encoder +
+///    decoder1, L2 updates encoder + decoder2, with the adversarial term
+///    entering L2 negatively),
+///  - a first-order MAML step on a random batch at the end of each epoch
+///    (Alg. 1 line 11, Eq. 11-12),
+///  - StepLR scheduling and validation-loss early stopping.
+TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
+                       const TrainOptions& options);
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_TRANAD_TRAINER_H_

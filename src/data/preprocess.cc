@@ -1,0 +1,104 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+namespace {
+constexpr float kRangeEpsilon = 1e-4f;  // the paper's epsilon' in Eq. (1)
+}
+
+void MinMaxNormalizer::Fit(const Tensor& train) {
+  TRANAD_CHECK_EQ(train.ndim(), 2);
+  const int64_t t = train.size(0);
+  const int64_t m = train.size(1);
+  TRANAD_CHECK_GT(t, 0);
+  min_ = Tensor({m});
+  max_ = Tensor({m});
+  for (int64_t d = 0; d < m; ++d) {
+    float lo = train.At({0, d});
+    float hi = lo;
+    for (int64_t i = 1; i < t; ++i) {
+      const float v = train.At({i, d});
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    min_[d] = lo;
+    max_[d] = hi;
+  }
+  fitted_ = true;
+}
+
+Tensor MinMaxNormalizer::Transform(const Tensor& x, float clip) const {
+  TRANAD_CHECK(fitted_);
+  TRANAD_CHECK_EQ(x.ndim(), 2);
+  const int64_t m = x.size(1);
+  TRANAD_CHECK_EQ(m, min_.numel());
+  Tensor out(x.shape());
+  const int64_t t = x.size(0);
+  for (int64_t d = 0; d < m; ++d) {
+    const float lo = min_[d];
+    const float range = max_[d] - lo + kRangeEpsilon;
+    for (int64_t i = 0; i < t; ++i) {
+      float v = (x.At({i, d}) - lo) / range;
+      v = std::clamp(v, -clip, 1.0f + clip);
+      out.At({i, d}) = v;
+    }
+  }
+  return out;
+}
+
+Tensor MakeWindows(const Tensor& series, int64_t k) {
+  TRANAD_CHECK_EQ(series.ndim(), 2);
+  TRANAD_CHECK_GT(k, 0);
+  const int64_t t = series.size(0);
+  const int64_t m = series.size(1);
+  Tensor out({t, k, m});
+  const float* src = series.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t w = 0; w < k; ++w) {
+      // Window position w corresponds to timestamp i - k + 1 + w,
+      // replication-padded with x_0 when negative.
+      const int64_t src_t = std::max<int64_t>(0, i - k + 1 + w);
+      std::copy(src + src_t * m, src + (src_t + 1) * m,
+                dst + (i * k + w) * m);
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> SplitTrainVal(const Tensor& data, double val_frac) {
+  TRANAD_CHECK_GE(data.ndim(), 1);
+  TRANAD_CHECK(val_frac >= 0.0 && val_frac < 1.0);
+  const int64_t n = data.size(0);
+  int64_t n_train =
+      static_cast<int64_t>(static_cast<double>(n) * (1.0 - val_frac));
+  n_train = std::clamp<int64_t>(n_train, 1, n);
+  Tensor train = SliceAxis(data, 0, 0, n_train);
+  Tensor val = SliceAxis(data, 0, n_train, n - n_train);
+  return {std::move(train), std::move(val)};
+}
+
+TimeSeries SubsampleTrain(const TimeSeries& train, double fraction, Rng* rng) {
+  TRANAD_CHECK(fraction > 0.0 && fraction <= 1.0);
+  TRANAD_CHECK(rng != nullptr);
+  const int64_t t = train.length();
+  const int64_t len =
+      std::max<int64_t>(2, static_cast<int64_t>(fraction * t));
+  if (len >= t) return train;
+  const int64_t start =
+      static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(t - len)));
+  TimeSeries out;
+  out.name = train.name + "/sub";
+  const int64_t m = train.dims();
+  out.values = Tensor({len, m});
+  std::copy(train.values.data() + start * m,
+            train.values.data() + (start + len) * m, out.values.data());
+  return out;
+}
+
+}  // namespace tranad

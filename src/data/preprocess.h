@@ -1,0 +1,50 @@
+#ifndef TRANAD_DATA_PREPROCESS_H_
+#define TRANAD_DATA_PREPROCESS_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "data/time_series.h"
+
+namespace tranad {
+
+/// Per-dimension min-max normalizer implementing Eq. (1): ranges are fitted
+/// on the *training* series only and applied to both splits, mapping train
+/// values into [0, 1).
+class MinMaxNormalizer {
+ public:
+  /// Fits mode-wise min/max on a [T, m] tensor.
+  void Fit(const Tensor& train);
+
+  /// Applies Eq. (1). Values outside the fitted range (possible on test
+  /// data) are clamped to [-clip, 1 + clip] to keep reconstruction targets
+  /// bounded; clip defaults to 0 (hard clamp into [0, 1]).
+  Tensor Transform(const Tensor& x, float clip = 0.0f) const;
+
+  bool fitted() const { return fitted_; }
+  const Tensor& min() const { return min_; }
+  const Tensor& max() const { return max_; }
+
+ private:
+  bool fitted_ = false;
+  Tensor min_;  // [m]
+  Tensor max_;  // [m]
+};
+
+/// Converts a [T, m] series into sliding windows [T, K, m] (§3.2):
+/// W_t = {x_{t-K+1}, ..., x_t}, with replication padding (repeating the
+/// first observation) for t < K so every timestamp has a K-length window.
+Tensor MakeWindows(const Tensor& series, int64_t k);
+
+/// Chronological train/validation split of a [N, ...] tensor along axis 0:
+/// first (1 - val_frac) for training, rest for validation — the 80:20 split
+/// used for early stopping in §4.
+std::pair<Tensor, Tensor> SplitTrainVal(const Tensor& data, double val_frac);
+
+/// Returns a random contiguous fraction of the training series (used for the
+/// 20 %-data F1*/AUC* experiments of Table 3 and the Fig. 6 sweep).
+TimeSeries SubsampleTrain(const TimeSeries& train, double fraction, Rng* rng);
+
+}  // namespace tranad
+
+#endif  // TRANAD_DATA_PREPROCESS_H_

@@ -1,0 +1,127 @@
+#include "data/time_series.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace tranad {
+
+double TimeSeries::AnomalyRate() const {
+  if (labels.empty()) return 0.0;
+  int64_t n = 0;
+  for (uint8_t l : labels) n += l != 0;
+  return static_cast<double>(n) / static_cast<double>(labels.size());
+}
+
+Status TimeSeries::Validate() const {
+  if (values.ndim() != 2) {
+    return Status::InvalidArgument(name + ": values must be [T, m]");
+  }
+  if (!labels.empty() &&
+      static_cast<int64_t>(labels.size()) != values.size(0)) {
+    return Status::InvalidArgument(name + ": label length mismatch");
+  }
+  if (has_dim_labels() && dim_labels.shape() != values.shape()) {
+    return Status::InvalidArgument(name + ": dim_labels shape mismatch");
+  }
+  return Status::Ok();
+}
+
+Status Dataset::Validate() const {
+  TRANAD_RETURN_IF_ERROR(train.Validate());
+  TRANAD_RETURN_IF_ERROR(test.Validate());
+  if (train.dims() != test.dims()) {
+    return Status::InvalidArgument(name + ": train/test dims mismatch");
+  }
+  if (!test.has_labels()) {
+    return Status::InvalidArgument(name + ": test series must be labeled");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Tensor TableToTensor(const CsvTable& table) {
+  const int64_t rows = static_cast<int64_t>(table.rows.size());
+  const int64_t cols =
+      rows > 0 ? static_cast<int64_t>(table.rows.front().size()) : 0;
+  Tensor out({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out.At({r, c}) =
+          static_cast<float>(table.rows[static_cast<size_t>(r)]
+                                       [static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetCsv(const std::string& name,
+                               const std::string& train_path,
+                               const std::string& test_path,
+                               const std::string& labels_path) {
+  TRANAD_ASSIGN_OR_RETURN(CsvTable train_tab, ReadCsv(train_path, false));
+  TRANAD_ASSIGN_OR_RETURN(CsvTable test_tab, ReadCsv(test_path, false));
+  TRANAD_ASSIGN_OR_RETURN(CsvTable label_tab, ReadCsv(labels_path, false));
+
+  Dataset ds;
+  ds.name = name;
+  ds.train.name = name + "/train";
+  ds.train.values = TableToTensor(train_tab);
+  ds.test.name = name + "/test";
+  ds.test.values = TableToTensor(test_tab);
+
+  const int64_t t = ds.test.length();
+  if (static_cast<int64_t>(label_tab.rows.size()) != t) {
+    return Status::InvalidArgument(labels_path + ": label rows != test rows");
+  }
+  const size_t label_cols =
+      label_tab.rows.empty() ? 0 : label_tab.rows.front().size();
+  ds.test.labels.resize(static_cast<size_t>(t), 0);
+  if (static_cast<int64_t>(label_cols) == ds.test.dims() && label_cols > 1) {
+    ds.test.dim_labels = TableToTensor(label_tab);
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t d = 0; d < ds.test.dims(); ++d) {
+        if (ds.test.dim_labels.At({i, d}) != 0.0f) {
+          ds.test.labels[static_cast<size_t>(i)] = 1;
+        }
+      }
+    }
+  } else if (label_cols == 1) {
+    for (int64_t i = 0; i < t; ++i) {
+      ds.test.labels[static_cast<size_t>(i)] =
+          label_tab.rows[static_cast<size_t>(i)][0] != 0.0 ? 1 : 0;
+    }
+  } else {
+    return Status::InvalidArgument(labels_path +
+                                   ": labels must have 1 or m columns");
+  }
+  TRANAD_RETURN_IF_ERROR(ds.Validate());
+  return ds;
+}
+
+Status SaveTimeSeriesCsv(const TimeSeries& series, const std::string& path) {
+  CsvTable table;
+  const int64_t t = series.length();
+  const int64_t m = series.dims();
+  for (int64_t i = 0; i < m; ++i) {
+    table.header.push_back(StrFormat("dim%lld", static_cast<long long>(i)));
+  }
+  if (series.has_labels()) table.header.push_back("label");
+  table.rows.reserve(static_cast<size_t>(t));
+  for (int64_t i = 0; i < t; ++i) {
+    std::vector<double> row;
+    row.reserve(static_cast<size_t>(m) + 1);
+    for (int64_t d = 0; d < m; ++d) {
+      row.push_back(series.values.At({i, d}));
+    }
+    if (series.has_labels()) {
+      row.push_back(series.labels[static_cast<size_t>(i)]);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, table);
+}
+
+}  // namespace tranad

@@ -1,0 +1,59 @@
+#ifndef TRANAD_DATA_TIME_SERIES_H_
+#define TRANAD_DATA_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// A multivariate time series T = {x_1, ..., x_T}, x_t in R^m (§3.1),
+/// with optional anomaly ground truth for evaluation:
+///  - `labels[t]`    : 1 if timestamp t is anomalous (detection truth),
+///  - `dim_labels`   : [T, m] per-dimension truth (diagnosis truth).
+struct TimeSeries {
+  std::string name;
+  Tensor values;                 // [T, m]
+  std::vector<uint8_t> labels;   // size T, or empty when unlabeled
+  Tensor dim_labels;             // [T, m] of {0,1}, or empty (numel==1)
+
+  int64_t length() const { return values.ndim() == 2 ? values.size(0) : 0; }
+  int64_t dims() const { return values.ndim() == 2 ? values.size(1) : 0; }
+  bool has_labels() const { return !labels.empty(); }
+  bool has_dim_labels() const { return dim_labels.ndim() == 2; }
+
+  /// Fraction of labeled-anomalous timestamps (0 when unlabeled).
+  double AnomalyRate() const;
+
+  /// Validates internal consistency (label sizes vs values).
+  Status Validate() const;
+};
+
+/// A benchmark dataset: an (assumed normal) training series plus a labeled
+/// test series of the same modality.
+struct Dataset {
+  std::string name;
+  TimeSeries train;
+  TimeSeries test;
+
+  int64_t dims() const { return train.dims(); }
+  Status Validate() const;
+};
+
+/// Loads a dataset from three CSVs: train values, test values, and test
+/// labels (either one 0/1 column for detection truth or m columns for
+/// per-dimension truth; with m columns the detection label is their OR).
+Result<Dataset> LoadDatasetCsv(const std::string& name,
+                               const std::string& train_path,
+                               const std::string& test_path,
+                               const std::string& labels_path);
+
+/// Writes a series (and labels, when present) to CSV for external plotting.
+Status SaveTimeSeriesCsv(const TimeSeries& series, const std::string& path);
+
+}  // namespace tranad
+
+#endif  // TRANAD_DATA_TIME_SERIES_H_

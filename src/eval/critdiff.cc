@@ -1,0 +1,244 @@
+#include "eval/critdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace tranad {
+
+double RegularizedGammaP(double a, double x) {
+  TRANAD_CHECK_GT(a, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) {
+    // Series expansion.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  // Continued fraction for Q(a, x), then P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return 1.0 - q;
+}
+
+double ChiSquareSf(double x, int k) {
+  if (x <= 0.0) return 1.0;
+  return 1.0 - RegularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+namespace {
+
+// Ranks a row of scores descending (rank 1 = largest), ties averaged.
+std::vector<double> RankDescending(const std::vector<double>& row) {
+  const size_t n = row.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return row[a] > row[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && row[order[j + 1]] == row[order[i]]) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+FriedmanResult FriedmanTest(const std::vector<std::vector<double>>& scores) {
+  TRANAD_CHECK(!scores.empty());
+  const size_t k = scores.size();           // methods
+  const size_t n = scores.front().size();   // datasets
+  for (const auto& row : scores) TRANAD_CHECK_EQ(row.size(), n);
+  FriedmanResult out;
+  out.avg_ranks.assign(k, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> column(k);
+    for (size_t i = 0; i < k; ++i) column[i] = scores[i][j];
+    const auto ranks = RankDescending(column);
+    for (size_t i = 0; i < k; ++i) out.avg_ranks[i] += ranks[i];
+  }
+  for (auto& r : out.avg_ranks) r /= static_cast<double>(n);
+
+  double sum_sq = 0.0;
+  const double mean_rank = (static_cast<double>(k) + 1.0) / 2.0;
+  for (double r : out.avg_ranks) {
+    sum_sq += (r - mean_rank) * (r - mean_rank);
+  }
+  out.statistic = 12.0 * static_cast<double>(n) /
+                  (static_cast<double>(k) * (static_cast<double>(k) + 1.0)) *
+                  sum_sq;
+  out.p_value = ChiSquareSf(out.statistic, static_cast<int>(k) - 1);
+  return out;
+}
+
+double WilcoxonSignedRankP(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  TRANAD_CHECK_EQ(a.size(), b.size());
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  const size_t n = diffs.size();
+  if (n == 0) return 1.0;
+  // Rank |d|, ties averaged.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return std::fabs(diffs[x]) < std::fabs(diffs[y]);
+  });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           std::fabs(diffs[order[j + 1]]) == std::fabs(diffs[order[i]])) {
+      ++j;
+    }
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  double w_plus = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (diffs[k] > 0.0) w_plus += rank[k];
+  }
+  const double mean = static_cast<double>(n) * (n + 1) / 4.0;
+  const double sd =
+      std::sqrt(static_cast<double>(n) * (n + 1) * (2.0 * n + 1) / 24.0);
+  if (sd == 0.0) return 1.0;
+  const double z = (w_plus - mean - (w_plus > mean ? 0.5 : -0.5)) / sd;
+  return 2.0 * NormalSf(std::fabs(z));
+}
+
+CritDiffResult CriticalDifference(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<double>>& scores, double alpha) {
+  TRANAD_CHECK_EQ(methods.size(), scores.size());
+  CritDiffResult out;
+  out.friedman = FriedmanTest(scores);
+  const size_t k = methods.size();
+
+  // Entries sorted by average rank (best first).
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return out.friedman.avg_ranks[a] < out.friedman.avg_ranks[b];
+  });
+  for (size_t i = 0; i < k; ++i) {
+    CritDiffEntry e;
+    e.method = methods[order[i]];
+    e.avg_rank = out.friedman.avg_ranks[order[i]];
+    out.entries.push_back(std::move(e));
+  }
+
+  // Pairwise non-significance matrix in sorted order.
+  std::vector<std::vector<bool>> ns(k, std::vector<bool>(k, false));
+  for (size_t i = 0; i < k; ++i) {
+    ns[i][i] = true;
+    for (size_t j = i + 1; j < k; ++j) {
+      const double p =
+          WilcoxonSignedRankP(scores[order[i]], scores[order[j]]);
+      const bool not_sig = p >= alpha;
+      ns[i][j] = not_sig;
+      ns[j][i] = not_sig;
+    }
+  }
+
+  // Maximal contiguous cliques along the rank ordering (standard CD-diagram
+  // construction): [i, j] is a clique iff all pairs inside are
+  // non-significant; keep only maximal ones of size >= 2.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i;
+    while (j + 1 < k) {
+      bool ok = true;
+      for (size_t x = i; x <= j + 1 && ok; ++x) {
+        for (size_t y = x + 1; y <= j + 1 && ok; ++y) {
+          ok = ns[x][y];
+        }
+      }
+      if (!ok) break;
+      ++j;
+    }
+    if (j > i) {
+      // Maximal only: skip if contained in a clique starting earlier.
+      bool contained = false;
+      for (const auto& c : out.cliques) {
+        if (c.front() <= static_cast<int>(i) &&
+            c.back() >= static_cast<int>(j)) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) {
+        std::vector<int> clique;
+        for (size_t x = i; x <= j; ++x) clique.push_back(static_cast<int>(x));
+        out.cliques.push_back(std::move(clique));
+      }
+    }
+  }
+  for (size_t ci = 0; ci < out.cliques.size(); ++ci) {
+    for (int idx : out.cliques[ci]) {
+      out.entries[static_cast<size_t>(idx)].cliques.push_back(
+          static_cast<int>(ci));
+    }
+  }
+  return out;
+}
+
+std::string RenderCritDiff(const CritDiffResult& result) {
+  std::ostringstream oss;
+  oss << StrFormat("Friedman chi^2 = %.3f, p = %.4g%s\n",
+                   result.friedman.statistic, result.friedman.p_value,
+                   result.friedman.p_value < 0.05
+                       ? " (null hypothesis rejected)"
+                       : "");
+  oss << "Average ranks (lower is better):\n";
+  for (const auto& e : result.entries) {
+    std::string bars;
+    for (int c : e.cliques) bars += StrFormat(" [group %d]", c + 1);
+    oss << "  " << PadRight(e.method, 14)
+        << StrFormat("%6.3f", e.avg_rank) << bars << "\n";
+  }
+  if (result.cliques.empty()) {
+    oss << "All pairwise differences significant.\n";
+  } else {
+    oss << "Groups joined by a bar are not significantly different "
+           "(Wilcoxon signed-rank).\n";
+  }
+  return oss.str();
+}
+
+}  // namespace tranad

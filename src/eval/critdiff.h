@@ -1,0 +1,63 @@
+#ifndef TRANAD_EVAL_CRITDIFF_H_
+#define TRANAD_EVAL_CRITDIFF_H_
+
+#include <string>
+#include <vector>
+
+namespace tranad {
+
+/// Statistical comparison of methods across datasets (Fig. 4): Friedman
+/// test on the rank matrix, then pairwise Wilcoxon signed-rank tests at
+/// significance `alpha`, rendered as a critical-difference summary.
+
+/// Friedman test result over a methods x datasets score matrix.
+struct FriedmanResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  /// Average rank per method (1 = best, i.e. highest score).
+  std::vector<double> avg_ranks;
+};
+
+/// Runs the Friedman test. `scores[i][j]` is method i's score on dataset j;
+/// higher is better.
+FriedmanResult FriedmanTest(const std::vector<std::vector<double>>& scores);
+
+/// Two-sided Wilcoxon signed-rank test p-value (normal approximation with
+/// tie/zero handling per Pratt).
+double WilcoxonSignedRankP(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// One method's position in the critical-difference diagram.
+struct CritDiffEntry {
+  std::string method;
+  double avg_rank = 0.0;
+  /// Index of the clique(s) of methods not significantly different from
+  /// this one (for rendering the connecting bars).
+  std::vector<int> cliques;
+};
+
+struct CritDiffResult {
+  FriedmanResult friedman;
+  std::vector<CritDiffEntry> entries;  // sorted best rank first
+  /// Maximal groups of mutually non-significantly-different methods.
+  std::vector<std::vector<int>> cliques;  // indices into `entries`
+};
+
+/// Builds the full critical-difference analysis at level `alpha`.
+CritDiffResult CriticalDifference(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<double>>& scores, double alpha = 0.05);
+
+/// ASCII rendering of the diagram (methods on a rank axis, bars joining
+/// non-significant cliques), printable by the fig4 bench.
+std::string RenderCritDiff(const CritDiffResult& result);
+
+/// Regularized lower incomplete gamma P(a, x); exposed for tests.
+double RegularizedGammaP(double a, double x);
+
+/// Chi-square survival function (1 - CDF) with k degrees of freedom.
+double ChiSquareSf(double x, int k);
+
+}  // namespace tranad
+
+#endif  // TRANAD_EVAL_CRITDIFF_H_

@@ -1,0 +1,87 @@
+#include "eval/diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tranad {
+namespace {
+
+struct PerTimestamp {
+  double hitrate = 0.0;
+  double ndcg = 0.0;
+};
+
+PerTimestamp EvaluateRow(const float* scores, const float* truth, int64_t m,
+                         double p_factor) {
+  int64_t g = 0;
+  for (int64_t d = 0; d < m; ++d) g += truth[d] != 0.0f;
+  TRANAD_CHECK_GT(g, 0);
+  const int64_t k = std::min<int64_t>(
+      m, static_cast<int64_t>(std::ceil(p_factor * static_cast<double>(g))));
+
+  std::vector<int64_t> order(static_cast<size_t>(m));
+  for (int64_t d = 0; d < m; ++d) order[static_cast<size_t>(d)] = d;
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[a] > scores[b];
+  });
+
+  int64_t hits = 0;
+  double dcg = 0.0;
+  for (int64_t r = 0; r < k; ++r) {
+    if (truth[order[static_cast<size_t>(r)]] != 0.0f) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  for (int64_t r = 0; r < std::min(g, k); ++r) {
+    idcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+  }
+  PerTimestamp out;
+  out.hitrate = static_cast<double>(hits) / static_cast<double>(g);
+  out.ndcg = idcg > 0.0 ? dcg / idcg : 0.0;
+  return out;
+}
+
+}  // namespace
+
+DiagnosisMetrics EvaluateDiagnosis(const Tensor& scores,
+                                   const Tensor& dim_truth) {
+  TRANAD_CHECK(scores.shape() == dim_truth.shape());
+  TRANAD_CHECK_EQ(scores.ndim(), 2);
+  const int64_t t = scores.size(0);
+  const int64_t m = scores.size(1);
+  DiagnosisMetrics out;
+  double h100 = 0.0, h150 = 0.0, n100 = 0.0, n150 = 0.0;
+  for (int64_t i = 0; i < t; ++i) {
+    const float* truth_row = dim_truth.data() + i * m;
+    bool any = false;
+    for (int64_t d = 0; d < m; ++d) {
+      if (truth_row[d] != 0.0f) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    const float* score_row = scores.data() + i * m;
+    const PerTimestamp r100 = EvaluateRow(score_row, truth_row, m, 1.0);
+    const PerTimestamp r150 = EvaluateRow(score_row, truth_row, m, 1.5);
+    h100 += r100.hitrate;
+    n100 += r100.ndcg;
+    h150 += r150.hitrate;
+    n150 += r150.ndcg;
+    ++out.evaluated_timestamps;
+  }
+  if (out.evaluated_timestamps > 0) {
+    const double n = static_cast<double>(out.evaluated_timestamps);
+    out.hitrate_100 = h100 / n;
+    out.hitrate_150 = h150 / n;
+    out.ndcg_100 = n100 / n;
+    out.ndcg_150 = n150 / n;
+  }
+  return out;
+}
+
+}  // namespace tranad

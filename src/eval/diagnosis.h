@@ -1,0 +1,32 @@
+#ifndef TRANAD_EVAL_DIAGNOSIS_H_
+#define TRANAD_EVAL_DIAGNOSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// Anomaly-diagnosis quality (Table 4): how well per-dimension anomaly
+/// scores rank the truly anomalous dimensions at each anomalous timestamp.
+struct DiagnosisMetrics {
+  double hitrate_100 = 0.0;  // HitRate@100%
+  double hitrate_150 = 0.0;  // HitRate@150%
+  double ndcg_100 = 0.0;     // NDCG@100%
+  double ndcg_150 = 0.0;     // NDCG@150%
+  int64_t evaluated_timestamps = 0;
+};
+
+/// Computes HitRate@P% and NDCG@P% (§4.2.2). `scores` is [T, m] per-dimension
+/// anomaly scores; `dim_truth` is [T, m] binary ground truth. For each
+/// timestamp with g > 0 true anomalous dimensions, the top ceil(P/100 * g)
+/// score-ranked dimensions are taken as the model's candidates:
+/// HitRate is the fraction of true dimensions covered; NDCG uses binary
+/// relevance with the ideal DCG over g ones.
+DiagnosisMetrics EvaluateDiagnosis(const Tensor& scores,
+                                   const Tensor& dim_truth);
+
+}  // namespace tranad
+
+#endif  // TRANAD_EVAL_DIAGNOSIS_H_

@@ -1,0 +1,162 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tranad {
+
+ConfusionCounts CountConfusion(const std::vector<uint8_t>& pred,
+                               const std::vector<uint8_t>& truth) {
+  TRANAD_CHECK_EQ(pred.size(), truth.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const bool p = pred[i] != 0;
+    const bool t = truth[i] != 0;
+    if (p && t) {
+      ++c.tp;
+    } else if (p && !t) {
+      ++c.fp;
+    } else if (!p && t) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+double PrecisionOf(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double RecallOf(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double F1Of(const ConfusionCounts& c) {
+  const double p = PrecisionOf(c);
+  const double r = RecallOf(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& pred,
+                                 const std::vector<uint8_t>& truth) {
+  TRANAD_CHECK_EQ(pred.size(), truth.size());
+  std::vector<uint8_t> adjusted = pred;
+  const size_t n = truth.size();
+  size_t i = 0;
+  while (i < n) {
+    if (truth[i] == 0) {
+      ++i;
+      continue;
+    }
+    // Ground-truth segment [i, j).
+    size_t j = i;
+    while (j < n && truth[j] != 0) ++j;
+    bool any = false;
+    for (size_t k = i; k < j; ++k) {
+      if (pred[k] != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      for (size_t k = i; k < j; ++k) adjusted[k] = 1;
+    }
+    i = j;
+  }
+  return adjusted;
+}
+
+std::vector<uint8_t> ApplyThreshold(const std::vector<double>& scores,
+                                    double threshold) {
+  std::vector<uint8_t> pred(scores.size(), 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    pred[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return pred;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<uint8_t>& truth) {
+  TRANAD_CHECK_EQ(scores.size(), truth.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Average ranks over ties, then the Mann-Whitney U statistic.
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  int64_t n_pos = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (truth[k] != 0) {
+      rank_sum_pos += rank[k];
+      ++n_pos;
+    }
+  }
+  const int64_t n_neg = static_cast<int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+DetectionMetrics EvaluateAtThreshold(const std::vector<double>& scores,
+                                     const std::vector<uint8_t>& truth,
+                                     double threshold) {
+  DetectionMetrics m;
+  m.threshold = threshold;
+  const auto pred = PointAdjust(ApplyThreshold(scores, threshold), truth);
+  const auto c = CountConfusion(pred, truth);
+  m.precision = PrecisionOf(c);
+  m.recall = RecallOf(c);
+  m.f1 = F1Of(c);
+  m.roc_auc = RocAuc(scores, truth);
+  return m;
+}
+
+DetectionMetrics EvaluateBestF1(const std::vector<double>& scores,
+                                const std::vector<uint8_t>& truth,
+                                int64_t max_candidates) {
+  TRANAD_CHECK(!scores.empty());
+  std::vector<double> cand = scores;
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  if (static_cast<int64_t>(cand.size()) > max_candidates) {
+    std::vector<double> sub;
+    sub.reserve(static_cast<size_t>(max_candidates));
+    const double step = static_cast<double>(cand.size() - 1) /
+                        static_cast<double>(max_candidates - 1);
+    for (int64_t i = 0; i < max_candidates; ++i) {
+      sub.push_back(cand[static_cast<size_t>(i * step)]);
+    }
+    cand = std::move(sub);
+  }
+  DetectionMetrics best;
+  best.roc_auc = RocAuc(scores, truth);
+  for (double t : cand) {
+    DetectionMetrics m = EvaluateAtThreshold(scores, truth, t);
+    if (m.f1 > best.f1) {
+      best.precision = m.precision;
+      best.recall = m.recall;
+      best.f1 = m.f1;
+      best.threshold = m.threshold;
+    }
+  }
+  return best;
+}
+
+}  // namespace tranad

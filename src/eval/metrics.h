@@ -1,0 +1,63 @@
+#ifndef TRANAD_EVAL_METRICS_H_
+#define TRANAD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tranad {
+
+/// Binary classification counts.
+struct ConfusionCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+};
+
+/// Detection quality summary (the P/R/AUC/F1 columns of Tables 2-3).
+struct DetectionMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double roc_auc = 0.0;
+  double threshold = 0.0;
+};
+
+/// Counts TP/FP/TN/FN of predictions against ground truth.
+ConfusionCounts CountConfusion(const std::vector<uint8_t>& pred,
+                               const std::vector<uint8_t>& truth);
+
+double PrecisionOf(const ConfusionCounts& c);
+double RecallOf(const ConfusionCounts& c);
+double F1Of(const ConfusionCounts& c);
+
+/// Point-adjust protocol (Xu et al. / OmniAnomaly, used by the paper and
+/// every deep baseline it compares against): if any timestamp inside a
+/// contiguous ground-truth anomaly segment is predicted anomalous, all
+/// timestamps of that segment count as detected.
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& pred,
+                                 const std::vector<uint8_t>& truth);
+
+/// Thresholds scores at `threshold` (>=) into binary predictions.
+std::vector<uint8_t> ApplyThreshold(const std::vector<double>& scores,
+                                    double threshold);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<uint8_t>& truth);
+
+/// Evaluates scores against truth at a fixed threshold with point-adjust.
+DetectionMetrics EvaluateAtThreshold(const std::vector<double>& scores,
+                                     const std::vector<uint8_t>& truth,
+                                     double threshold);
+
+/// Sweeps candidate thresholds (all distinct score values, subsampled to at
+/// most `max_candidates`) and returns the point-adjusted best-F1 metrics —
+/// the protocol used when POT's automatic threshold is not applicable.
+DetectionMetrics EvaluateBestF1(const std::vector<double>& scores,
+                                const std::vector<uint8_t>& truth,
+                                int64_t max_candidates = 256);
+
+}  // namespace tranad
+
+#endif  // TRANAD_EVAL_METRICS_H_

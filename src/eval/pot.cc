@@ -1,0 +1,326 @@
+#include "eval/pot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tranad {
+
+double Quantile(std::vector<double> values, double q) {
+  TRANAD_CHECK(!values.empty());
+  TRANAD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+namespace {
+
+// Grimshaw auxiliaries: u(x) = mean(1/(1+x y)), v(x) = 1 + mean(log(1+x y)).
+double GrimshawU(const std::vector<double>& y, double x) {
+  double s = 0.0;
+  for (double v : y) s += 1.0 / (1.0 + x * v);
+  return s / static_cast<double>(y.size());
+}
+
+double GrimshawV(const std::vector<double>& y, double x) {
+  double s = 0.0;
+  for (double v : y) s += std::log1p(x * v);
+  return 1.0 + s / static_cast<double>(y.size());
+}
+
+double GrimshawW(const std::vector<double>& y, double x) {
+  return GrimshawU(y, x) * GrimshawV(y, x) - 1.0;
+}
+
+double GpdLogLik(const std::vector<double>& y, double gamma, double sigma) {
+  const double n = static_cast<double>(y.size());
+  if (sigma <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (std::fabs(gamma) < 1e-9) {
+    double s = 0.0;
+    for (double v : y) s += v;
+    return -n * std::log(sigma) - s / sigma;
+  }
+  double s = 0.0;
+  for (double v : y) {
+    const double arg = 1.0 + gamma * v / sigma;
+    if (arg <= 0.0) return -std::numeric_limits<double>::infinity();
+    s += std::log(arg);
+  }
+  return -n * std::log(sigma) - (1.0 + 1.0 / gamma) * s;
+}
+
+// Bisection root refinement of w on [a, b] given w(a) and w(b) straddle 0.
+double Bisect(const std::vector<double>& y, double a, double b) {
+  double fa = GrimshawW(y, a);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fm = GrimshawW(y, mid);
+    if (fa * fm <= 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+      fa = fm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace
+
+GpdFit FitGpdGrimshaw(const std::vector<double>& excesses) {
+  TRANAD_CHECK(!excesses.empty());
+  GpdFit best;
+  best.n_excess = static_cast<int64_t>(excesses.size());
+
+  double y_min = excesses.front();
+  double y_max = excesses.front();
+  double y_mean = 0.0;
+  for (double v : excesses) {
+    y_min = std::min(y_min, v);
+    y_max = std::max(y_max, v);
+    y_mean += v;
+  }
+  y_mean /= static_cast<double>(excesses.size());
+
+  // Exponential limit (gamma -> 0) as the baseline candidate.
+  best.gamma = 0.0;
+  best.sigma = std::max(y_mean, 1e-12);
+  best.log_lik = GpdLogLik(excesses, 0.0, best.sigma);
+
+  if (y_max <= 0.0) return best;
+
+  // Root search ranges (SPOT reference implementation): the negative
+  // branch lives in (-1/y_max, 0); the positive branch in
+  // (0, 2 (mean - min) / (mean * min)], which spans many orders of
+  // magnitude, so it is scanned log-spaced.
+  const double eps = 1e-8;
+  const double a_lo = -1.0 / y_max + eps;
+  const double a_hi = -eps;
+  const double b_hi = 2.0 * (y_mean - y_min) /
+                      std::max(y_mean * y_min, 1e-12);
+
+  auto try_root = [&](double prev_x, double prev_w, double x, double w) {
+    if (prev_w * w >= 0.0) return;
+    const double root = Bisect(excesses, prev_x, x);
+    const double v = GrimshawV(excesses, root);
+    const double gamma = v - 1.0;
+    if (std::fabs(root) > 1e-12) {
+      const double sigma = gamma / root;
+      const double ll = GpdLogLik(excesses, gamma, sigma);
+      if (ll > best.log_lik) {
+        best.gamma = gamma;
+        best.sigma = sigma;
+        best.log_lik = ll;
+      }
+    }
+  };
+  auto scan_linear = [&](double lo, double hi) {
+    if (!(lo < hi)) return;
+    constexpr int kGrid = 40;
+    double prev_x = lo;
+    double prev_w = GrimshawW(excesses, prev_x);
+    for (int i = 1; i <= kGrid; ++i) {
+      const double x = lo + (hi - lo) * static_cast<double>(i) / kGrid;
+      const double w = GrimshawW(excesses, x);
+      try_root(prev_x, prev_w, x, w);
+      prev_x = x;
+      prev_w = w;
+    }
+  };
+  auto scan_log = [&](double lo, double hi) {
+    if (!(lo < hi) || lo <= 0.0) return;
+    constexpr int kGrid = 80;
+    const double ratio = std::log(hi / lo) / kGrid;
+    double prev_x = lo;
+    double prev_w = GrimshawW(excesses, prev_x);
+    for (int i = 1; i <= kGrid; ++i) {
+      const double x = lo * std::exp(ratio * i);
+      const double w = GrimshawW(excesses, x);
+      try_root(prev_x, prev_w, x, w);
+      prev_x = x;
+      prev_w = w;
+    }
+  };
+  scan_linear(a_lo, a_hi);
+  scan_log(eps, std::max(b_hi, eps * 2.0));
+  return best;
+}
+
+double PotThreshold(const std::vector<double>& calibration,
+                    const PotParams& params) {
+  TRANAD_CHECK(!calibration.empty());
+  // The paper's init quantiles assume 10^5-scale calibration sets; adapt
+  // the peak threshold downwards until enough excesses exist for a stable
+  // Grimshaw fit (standard practical SPOT refinement).
+  double init_q = params.init_quantile;
+  const double n_total = static_cast<double>(calibration.size());
+  const double needed =
+      static_cast<double>(std::max<int64_t>(params.min_excesses * 3, 30));
+  init_q = std::min(init_q, 1.0 - needed / n_total);
+  init_q = std::max(init_q, 0.5);
+  const double t = Quantile(calibration, init_q);
+  std::vector<double> excesses;
+  for (double s : calibration) {
+    if (s > t) excesses.push_back(s - t);
+  }
+  const auto n = static_cast<double>(calibration.size());
+  if (static_cast<int64_t>(excesses.size()) < params.min_excesses) {
+    // Degenerate tail (e.g. near-constant scores): fall back to the
+    // empirical high quantile.
+    return Quantile(calibration, 1.0 - params.risk);
+  }
+  const GpdFit fit = FitGpdGrimshaw(excesses);
+  const double n_t = static_cast<double>(excesses.size());
+  // Extrapolating to exceedance probabilities far below 1/n is meaningless
+  // for small calibration sets; floor the risk at ~5 expected exceedances'
+  // worth of evidence.
+  const double risk = std::max(params.risk, 5.0 / n);
+  const double r = risk * n / n_t;
+  if (std::fabs(fit.gamma) < 1e-9) {
+    return t - fit.sigma * std::log(r);
+  }
+  return t + fit.sigma / fit.gamma * (std::pow(r, -fit.gamma) - 1.0);
+}
+
+StreamingPot::StreamingPot(PotParams params) : params_(params) {}
+
+void StreamingPot::Initialize(const std::vector<double>& calibration) {
+  TRANAD_CHECK(!calibration.empty());
+  double init_q = params_.init_quantile;
+  const double needed =
+      static_cast<double>(std::max<int64_t>(params_.min_excesses * 3, 30));
+  init_q = std::min(init_q,
+                    1.0 - needed / static_cast<double>(calibration.size()));
+  init_q = std::max(init_q, 0.5);
+  t_ = Quantile(calibration, init_q);
+  peaks_.clear();
+  for (double s : calibration) {
+    if (s > t_) peaks_.push_back(s - t_);
+  }
+  n_ = static_cast<int64_t>(calibration.size());
+  Refit();
+  initialized_ = true;
+}
+
+void StreamingPot::Refit() {
+  if (static_cast<int64_t>(peaks_.size()) < params_.min_excesses) {
+    // Too few peaks for a stable fit: conservative fallback.
+    z_q_ = t_ <= 0.0 ? 1e-12 : t_ * 1.5;
+    return;
+  }
+  const GpdFit fit = FitGpdGrimshaw(peaks_);
+  const double risk =
+      std::max(params_.risk, 5.0 / static_cast<double>(n_));
+  const double r = risk * static_cast<double>(n_) /
+                   static_cast<double>(peaks_.size());
+  if (std::fabs(fit.gamma) < 1e-9) {
+    z_q_ = t_ - fit.sigma * std::log(r);
+  } else {
+    z_q_ = t_ + fit.sigma / fit.gamma * (std::pow(r, -fit.gamma) - 1.0);
+  }
+}
+
+bool StreamingPot::Observe(double score) {
+  TRANAD_CHECK(initialized_);
+  ++n_;
+  if (score >= z_q_) return true;  // anomaly: do not pollute the tail model
+  if (score > t_) {
+    peaks_.push_back(score - t_);
+    Refit();
+  }
+  return false;
+}
+
+double NdtThreshold(const std::vector<double>& errors) {
+  TRANAD_CHECK(!errors.empty());
+  double mu = 0.0;
+  for (double e : errors) mu += e;
+  mu /= static_cast<double>(errors.size());
+  double var = 0.0;
+  for (double e : errors) var += (e - mu) * (e - mu);
+  var /= static_cast<double>(errors.size());
+  const double sd = std::sqrt(var);
+
+  double best_eps = mu + 2.5 * sd;
+  double best_obj = -std::numeric_limits<double>::infinity();
+  for (double z = 2.5; z <= 12.0; z += 0.5) {
+    const double eps = mu + z * sd;
+    // Partition errors; compute the pruning objective of Hundman et al.:
+    // (delta mu / mu + delta sigma / sigma) / (|E_a| + |seq|^2).
+    std::vector<double> below;
+    int64_t above = 0;
+    int64_t sequences = 0;
+    bool in_seq = false;
+    for (double e : errors) {
+      if (e > eps) {
+        ++above;
+        if (!in_seq) {
+          ++sequences;
+          in_seq = true;
+        }
+      } else {
+        below.push_back(e);
+        in_seq = false;
+      }
+    }
+    if (below.empty() || above == 0) continue;
+    double mu_b = 0.0;
+    for (double e : below) mu_b += e;
+    mu_b /= static_cast<double>(below.size());
+    double var_b = 0.0;
+    for (double e : below) var_b += (e - mu_b) * (e - mu_b);
+    var_b /= static_cast<double>(below.size());
+    const double delta_mu = mu - mu_b;
+    const double delta_sd = sd - std::sqrt(var_b);
+    const double denom = static_cast<double>(above) +
+                         static_cast<double>(sequences * sequences);
+    const double obj =
+        (delta_mu / std::max(mu, 1e-12) + delta_sd / std::max(sd, 1e-12)) /
+        denom;
+    if (obj > best_obj) {
+      best_obj = obj;
+      best_eps = eps;
+    }
+  }
+  return best_eps;
+}
+
+double AnnualMaximumThreshold(const std::vector<double>& calibration,
+                              double risk, int64_t block_size) {
+  TRANAD_CHECK(!calibration.empty());
+  TRANAD_CHECK_GT(block_size, 0);
+  std::vector<double> maxima;
+  for (size_t i = 0; i < calibration.size();
+       i += static_cast<size_t>(block_size)) {
+    double m = calibration[i];
+    for (size_t j = i;
+         j < std::min(calibration.size(), i + static_cast<size_t>(block_size));
+         ++j) {
+      m = std::max(m, calibration[j]);
+    }
+    maxima.push_back(m);
+  }
+  if (maxima.size() < 2) return maxima.front();
+  // As with POT, do not extrapolate beyond the evidence: floor the risk at
+  // roughly one expected exceedance across the observed blocks.
+  risk = std::max(risk, 1.0 / static_cast<double>(maxima.size()));
+  // Gumbel fit by the method of moments.
+  double mean = 0.0;
+  for (double m : maxima) mean += m;
+  mean /= static_cast<double>(maxima.size());
+  double var = 0.0;
+  for (double m : maxima) var += (m - mean) * (m - mean);
+  var /= static_cast<double>(maxima.size() - 1);
+  const double beta = std::sqrt(6.0 * var) / M_PI;
+  const double mu = mean - 0.5772156649 * beta;
+  // Return level for exceedance probability `risk` per block.
+  return mu - beta * std::log(-std::log(1.0 - risk));
+}
+
+}  // namespace tranad

@@ -1,0 +1,74 @@
+#include "eval/score_utils.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "eval/pot.h"
+
+namespace tranad {
+
+std::vector<double> EwmaSmooth(const std::vector<double>& scores,
+                               double alpha) {
+  TRANAD_CHECK(alpha > 0.0 && alpha <= 1.0);
+  std::vector<double> out(scores.size());
+  double state = scores.empty() ? 0.0 : scores.front();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    state = alpha * scores[i] + (1.0 - alpha) * state;
+    out[i] = state;
+  }
+  return out;
+}
+
+Tensor EwmaSmoothPerDim(const Tensor& scores, double alpha) {
+  TRANAD_CHECK_EQ(scores.ndim(), 2);
+  const int64_t t = scores.size(0);
+  const int64_t m = scores.size(1);
+  Tensor out(scores.shape());
+  for (int64_t d = 0; d < m; ++d) {
+    double state = t > 0 ? scores.At({0, d}) : 0.0;
+    for (int64_t i = 0; i < t; ++i) {
+      state = alpha * scores.At({i, d}) + (1.0 - alpha) * state;
+      out.At({i, d}) = static_cast<float>(state);
+    }
+  }
+  return out;
+}
+
+Tensor RobustStandardizePerDim(const Tensor& scores, float eps) {
+  TRANAD_CHECK_EQ(scores.ndim(), 2);
+  const int64_t t = scores.size(0);
+  const int64_t m = scores.size(1);
+  TRANAD_CHECK_GT(t, 0);
+  Tensor out(scores.shape());
+  std::vector<double> column(static_cast<size_t>(t));
+  for (int64_t d = 0; d < m; ++d) {
+    for (int64_t i = 0; i < t; ++i) {
+      column[static_cast<size_t>(i)] = scores.At({i, d});
+    }
+    const double median = Quantile(column, 0.5);
+    const double iqr = Quantile(column, 0.75) - Quantile(column, 0.25);
+    const double denom = iqr + eps;
+    for (int64_t i = 0; i < t; ++i) {
+      out.At({i, d}) = static_cast<float>(
+          (scores.At({i, d}) - median) / denom);
+    }
+  }
+  return out;
+}
+
+std::vector<double> RollingMax(const std::vector<double>& scores,
+                               int64_t window) {
+  TRANAD_CHECK_GT(window, 0);
+  std::vector<double> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const size_t lo = i + 1 >= static_cast<size_t>(window)
+                          ? i + 1 - static_cast<size_t>(window)
+                          : 0;
+    double mx = scores[lo];
+    for (size_t j = lo; j <= i; ++j) mx = std::max(mx, scores[j]);
+    out[i] = mx;
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,32 @@
+#ifndef TRANAD_EVAL_SCORE_UTILS_H_
+#define TRANAD_EVAL_SCORE_UTILS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// Exponentially weighted moving average smoothing of an anomaly-score
+/// series (the post-processing LSTM-NDT applies to its forecast errors
+/// before thresholding): y_t = alpha x_t + (1 - alpha) y_{t-1}.
+std::vector<double> EwmaSmooth(const std::vector<double>& scores,
+                               double alpha);
+
+/// Same smoothing applied per column of a [T, m] score tensor.
+Tensor EwmaSmoothPerDim(const Tensor& scores, double alpha);
+
+/// Per-dimension robust standardization of a [T, m] score tensor:
+/// (s - median_d) / (IQR_d + eps). Puts heterogeneous dimensions' scores on
+/// a common scale before the OR-aggregation of Eq. (14) — the calibration
+/// GDN applies to its per-sensor deviations.
+Tensor RobustStandardizePerDim(const Tensor& scores, float eps = 1e-6f);
+
+/// Rolling maximum over a trailing window (widens short score spikes so a
+/// threshold crossing marks the whole event).
+std::vector<double> RollingMax(const std::vector<double>& scores,
+                               int64_t window);
+
+}  // namespace tranad
+
+#endif  // TRANAD_EVAL_SCORE_UTILS_H_

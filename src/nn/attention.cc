@@ -1,0 +1,84 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+
+Tensor CausalMask(int64_t t) {
+  Tensor mask({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = i + 1; j < t; ++j) mask.At({i, j}) = -1e9f;
+  }
+  return mask;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
+                                       Rng* rng)
+    : d_model_(d_model), num_heads_(num_heads) {
+  TRANAD_CHECK_GT(num_heads, 0);
+  TRANAD_CHECK_MSG(d_model % num_heads == 0,
+                   "d_model " << d_model << " not divisible by num_heads "
+                              << num_heads);
+  head_dim_ = d_model / num_heads;
+  wq_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wk_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wv_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wo_ = std::make_unique<Linear>(d_model, d_model, rng);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+}
+
+Variable MultiHeadAttention::Forward(const Variable& query,
+                                     const Variable& key,
+                                     const Variable& value,
+                                     const Tensor* mask) const {
+  TRANAD_CHECK_EQ(query.value().size(-1), d_model_);
+  TRANAD_CHECK_EQ(key.value().size(-1), d_model_);
+  TRANAD_CHECK(key.value().size(-2) == value.value().size(-2));
+
+  const int64_t b = query.value().size(0);
+  const int64_t tq = query.value().size(1);
+  const int64_t tk = key.value().size(1);
+
+  const Variable q = wq_->Forward(query);
+  const Variable k = wk_->Forward(key);
+  const Variable v = wv_->Forward(value);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Batched heads: [B, T, d] -> [B, T, h, dh] -> [B, h, T, dh] ->
+  // [B*h, T, dh], so every head rides one batched matmul.
+  auto split_heads = [&](const Variable& x, int64_t t) {
+    Variable reshaped = ag::Reshape(x, {b, t, num_heads_, head_dim_});
+    return ag::Reshape(ag::SwapAxes12(reshaped),
+                       {b * num_heads_, t, head_dim_});
+  };
+  Variable qh = split_heads(q, tq);
+  Variable kh = split_heads(k, tk);
+  Variable vh = split_heads(v, tk);
+
+  Variable logits =
+      ag::MulScalar(ag::MatMul(qh, ag::TransposeLast2(kh)), scale);
+  if (mask != nullptr) {
+    logits = ag::Add(logits, Variable(*mask));  // [Tq,Tk] broadcasts
+  }
+  Variable weights = ag::SoftmaxLastDim(logits);  // [B*h, Tq, Tk]
+
+  // Head-averaged attention map for the Fig. 3 visualization.
+  last_attention_ = MulScalar(
+      Sum(weights.value().Reshape({b, num_heads_, tq, tk}), 1, false),
+      1.0f / static_cast<float>(num_heads_));
+
+  Variable context = ag::MatMul(weights, vh);  // [B*h, Tq, dh]
+  Variable merged = ag::Reshape(
+      ag::SwapAxes12(ag::Reshape(context, {b, num_heads_, tq, head_dim_})),
+      {b, tq, d_model_});
+  return wo_->Forward(merged);
+}
+
+}  // namespace tranad::nn

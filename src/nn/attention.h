@@ -1,0 +1,50 @@
+#ifndef TRANAD_NN_ATTENTION_H_
+#define TRANAD_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Builds the additive causal mask of Eq. (5): entry (i, j) is 0 for j <= i
+/// and -1e9 for j > i, so softmax zeroes attention to future timestamps.
+Tensor CausalMask(int64_t t);
+
+/// Multi-head scaled dot-product attention (Eq. (2)-(3)). `num_heads` must
+/// divide `d_model`; each head attends in a d_model/num_heads subspace and
+/// the heads are concatenated and linearly mixed.
+///
+/// The layer records the attention weights (averaged over heads) of its most
+/// recent forward pass; TranAD's Figure 3 visualization reads them back.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t d_model, int64_t num_heads, Rng* rng);
+
+  /// query: [B, Tq, d], key/value: [B, Tk, d]. `mask` is an optional
+  /// additive [Tq, Tk] tensor applied to the attention logits.
+  Variable Forward(const Variable& query, const Variable& key,
+                   const Variable& value, const Tensor* mask = nullptr) const;
+
+  /// Attention weights of the last forward pass, averaged over heads:
+  /// [B, Tq, Tk]. Empty before the first call.
+  const Tensor& last_attention() const { return last_attention_; }
+
+  int64_t d_model() const { return d_model_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+  mutable Tensor last_attention_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_ATTENTION_H_

@@ -1,0 +1,56 @@
+#include "nn/conv.h"
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               bool same_padding, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      same_padding_(same_padding) {
+  TRANAD_CHECK_GT(kernel, 0);
+  proj_ = std::make_unique<Linear>(in_channels * kernel, out_channels, rng);
+  RegisterModule("proj", proj_.get());
+}
+
+Variable Conv1d::Forward(const Variable& x) const {
+  TRANAD_CHECK_EQ(x.value().ndim(), 3);
+  TRANAD_CHECK_EQ(x.value().size(2), in_channels_);
+  const int64_t b = x.value().size(0);
+  const int64_t t = x.value().size(1);
+
+  Variable input = x;
+  int64_t t_in = t;
+  if (same_padding_) {
+    // Zero-pad (kernel-1) split left/right of the time axis.
+    const int64_t left = (kernel_ - 1) / 2;
+    const int64_t right = kernel_ - 1 - left;
+    std::vector<Variable> parts;
+    if (left > 0) {
+      parts.emplace_back(Tensor::Zeros({b, left, in_channels_}));
+    }
+    parts.push_back(x);
+    if (right > 0) {
+      parts.emplace_back(Tensor::Zeros({b, right, in_channels_}));
+    }
+    input = parts.size() == 1 ? parts.front() : ag::Concat(parts, 1);
+    t_in = t + kernel_ - 1;
+  }
+  const int64_t t_out = t_in - kernel_ + 1;
+  TRANAD_CHECK_GT(t_out, 0);
+
+  // Unfold: for each kernel offset take the shifted slice and concatenate
+  // along channels -> [B, t_out, C_in * kernel].
+  std::vector<Variable> taps;
+  taps.reserve(static_cast<size_t>(kernel_));
+  for (int64_t k = 0; k < kernel_; ++k) {
+    taps.push_back(ag::SliceAxis(input, 1, k, t_out));
+  }
+  Variable unfolded = kernel_ == 1 ? taps.front() : ag::Concat(taps, 2);
+  return proj_->Forward(unfolded);  // [B, t_out, C_out]
+}
+
+}  // namespace tranad::nn

@@ -1,0 +1,34 @@
+#ifndef TRANAD_NN_CONV_H_
+#define TRANAD_NN_CONV_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// 1-d convolution over the time axis of a [B, T, C_in] sequence, realised
+/// as unfold + matmul so it inherits autograd from the primitive ops. With
+/// `same_padding` the output keeps length T (zero padding); otherwise the
+/// output length is T - kernel + 1. Used by the MSCRED and CAE-M baselines.
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         bool same_padding, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+  int64_t kernel() const { return kernel_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  bool same_padding_;
+  std::unique_ptr<Linear> proj_;  // [C_in * kernel] -> C_out
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_CONV_H_

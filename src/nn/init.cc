@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace tranad::nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand({fan_in, fan_out}, rng, -bound, bound);
+}
+
+Tensor KaimingNormal(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn({fan_in, fan_out}, rng, stddev);
+}
+
+Tensor RnnUniform(Shape shape, int64_t fan_in, Rng* rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::Rand(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace tranad::nn

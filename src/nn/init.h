@@ -1,0 +1,20 @@
+#ifndef TRANAD_NN_INIT_H_
+#define TRANAD_NN_INIT_H_
+
+#include "tensor/tensor.h"
+
+namespace tranad::nn {
+
+/// Xavier/Glorot uniform init for a weight of shape [fan_in, fan_out].
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Kaiming/He normal init (for ReLU fan-in).
+Tensor KaimingNormal(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Uniform init in [-1/sqrt(fan_in), 1/sqrt(fan_in)] as used by recurrent
+/// cells, for an arbitrary shape.
+Tensor RnnUniform(Shape shape, int64_t fan_in, Rng* rng);
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_INIT_H_

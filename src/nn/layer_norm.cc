@@ -1,0 +1,19 @@
+#include "nn/layer_norm.h"
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gain_ = RegisterParameter("gain", Tensor::Ones({features}));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({features}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  TRANAD_CHECK_EQ(x.value().size(-1), features_);
+  Variable normed = ag::LayerNormLastDim(x, eps_);
+  return ag::Add(ag::Mul(normed, gain_), bias_);
+}
+
+}  // namespace tranad::nn

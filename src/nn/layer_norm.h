@@ -1,0 +1,25 @@
+#ifndef TRANAD_NN_LAYER_NORM_H_
+#define TRANAD_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Layer normalization over the last axis with learned gain and bias
+/// (Ba et al.), the "LayerNorm" of Eq. (4)-(5) in the paper.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Variable gain_;
+  Variable bias_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_LAYER_NORM_H_

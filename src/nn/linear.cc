@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  TRANAD_CHECK_EQ(x.value().size(-1), in_features_);
+  // Flatten leading dims so MatMul sees a plain 2-d product, then restore.
+  Shape in_shape = x.shape();
+  Variable flat =
+      x.value().ndim() == 2 ? x : ag::Reshape(x, {-1, in_features_});
+  Variable y = ag::MatMul(flat, weight_);
+  if (has_bias_) y = ag::Add(y, bias_);
+  if (x.value().ndim() != 2) {
+    Shape out_shape = in_shape;
+    out_shape.back() = out_features_;
+    y = ag::Reshape(y, out_shape);
+  }
+  return y;
+}
+
+}  // namespace tranad::nn

@@ -1,0 +1,30 @@
+#ifndef TRANAD_NN_LINEAR_H_
+#define TRANAD_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Fully connected layer: y = x @ W + b with W of shape [in, out]. Accepts
+/// inputs of any rank >= 1 whose last axis equals `in`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  Variable Forward(const Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable weight_;
+  Variable bias_;
+  bool has_bias_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_LINEAR_H_

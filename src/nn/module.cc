@@ -1,0 +1,132 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace tranad::nn {
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  TRANAD_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::Collect(const std::string& prefix, std::vector<Variable>* params,
+                     std::vector<std::string>* names) const {
+  for (const auto& [name, v] : params_) {
+    params->push_back(v);
+    if (names != nullptr) names->push_back(prefix + name);
+  }
+  for (const auto& [name, child] : children_) {
+    child->Collect(prefix + name + ".", params, names);
+  }
+}
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> out;
+  Collect("", &out, nullptr);
+  return out;
+}
+
+std::vector<std::string> Module::ParameterNames() const {
+  std::vector<Variable> params;
+  std::vector<std::string> names;
+  Collect("", &params, &names);
+  return names;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.value().numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+std::vector<Tensor> Module::SnapshotParameters() const {
+  std::vector<Tensor> out;
+  for (const auto& p : Parameters()) out.push_back(p.value());
+  return out;
+}
+
+void Module::RestoreParameters(const std::vector<Tensor>& snapshot) {
+  auto params = Parameters();
+  TRANAD_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    TRANAD_CHECK(params[i].value().shape() == snapshot[i].shape());
+    *params[i].mutable_value() = snapshot[i];
+  }
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x54414431;  // "TAD1"
+}
+
+Status Module::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const auto params = Parameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const auto& t = p.value();
+    const uint64_t nd = t.shape().size();
+    out.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
+    for (int64_t d : t.shape()) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status Module::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument(path + ": not a TranAD checkpoint");
+  }
+  auto params = Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(path + ": parameter count mismatch");
+  }
+  for (auto& p : params) {
+    uint64_t nd = 0;
+    in.read(reinterpret_cast<char*>(&nd), sizeof(nd));
+    Shape shape(nd);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!in || shape != p.value().shape()) {
+      return Status::InvalidArgument(path + ": parameter shape mismatch");
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) return Status::IoError(path + ": truncated checkpoint");
+    *p.mutable_value() = std::move(t);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tranad::nn

@@ -1,0 +1,72 @@
+#ifndef TRANAD_NN_MODULE_H_
+#define TRANAD_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/variable.h"
+
+namespace tranad::nn {
+
+/// Base class for neural-network building blocks. A Module owns named
+/// parameters (leaf Variables with requires_grad) and registers child
+/// modules, forming a tree whose parameters can be collected, zeroed,
+/// snapshotted and (de)serialized — the machinery the optimizers and the
+/// MAML outer loop rely on.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its descendants, in registration
+  /// order (stable across runs — serialization depends on it).
+  std::vector<Variable> Parameters() const;
+
+  /// Dotted parameter names parallel to Parameters().
+  std::vector<std::string> ParameterNames() const;
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  /// Clears gradients on every parameter.
+  void ZeroGrad();
+
+  /// Train/eval mode toggle (controls dropout etc.).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Copies of all parameter values (for MAML save/restore and Reptile).
+  std::vector<Tensor> SnapshotParameters() const;
+
+  /// Restores parameter values from a snapshot taken on an identically
+  /// structured module.
+  void RestoreParameters(const std::vector<Tensor>& snapshot);
+
+  /// Binary serialization of all parameters.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ protected:
+  /// Registers a parameter; returns a handle sharing the stored node.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a child (not owned; the derived class holds it as a member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void Collect(const std::string& prefix, std::vector<Variable>* params,
+               std::vector<std::string>* names) const;
+
+  bool training_ = true;
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_MODULE_H_

@@ -1,0 +1,126 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tranad::nn {
+
+Optimizer::Optimizer(std::vector<Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) TRANAD_CHECK(p.requires_grad());
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (max_norm > 0.0f && norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (auto& p : params_) {
+      // grad() hands back a const ref; scaling in place via Accumulate with
+      // the complement keeps the API small.
+      Tensor scaled = p.grad();
+      for (int64_t i = 0; i < scaled.numel(); ++i) scaled[i] *= scale;
+      p.ZeroGrad();
+      p.AccumulateGrad(scaled);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor* w = params_[i].mutable_value();
+    const Tensor& g = params_[i].grad();
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      for (int64_t j = 0; j < w->numel(); ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        (*w)[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < w->numel(); ++j) (*w)[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor* w = params_[i].mutable_value();
+    const Tensor& grad = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < w->numel(); ++j) {
+      float g = grad[j];
+      if (!decoupled_ && weight_decay_ > 0.0f) g += weight_decay_ * (*w)[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (decoupled_ && weight_decay_ > 0.0f) {
+        update += lr_ * weight_decay_ * (*w)[j];
+      }
+      (*w)[j] -= update;
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Variable> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay) {
+  decoupled_ = true;
+}
+
+StepLr::StepLr(Optimizer* opt, int64_t step_size, float gamma)
+    : opt_(opt), step_size_(step_size), gamma_(gamma) {
+  TRANAD_CHECK(opt != nullptr);
+  TRANAD_CHECK_GT(step_size, 0);
+}
+
+void StepLr::Step() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    opt_->set_lr(opt_->lr() * gamma_);
+  }
+}
+
+}  // namespace tranad::nn

@@ -1,0 +1,87 @@
+#ifndef TRANAD_NN_OPTIMIZER_H_
+#define TRANAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace tranad::nn {
+
+/// Base optimizer over a fixed parameter list. Step() applies one update
+/// from the gradients currently stored on the parameters; ZeroGrad() clears
+/// them for the next batch.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// L2-norm gradient clipping across all parameters; returns the pre-clip
+  /// norm. Applied by trainers before Step() when max_norm > 0.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional *coupled* L2 regularisation.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ protected:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  bool decoupled_ = false;
+};
+
+/// AdamW (Loshchilov & Hutter): Adam with decoupled weight decay — the
+/// optimizer the paper trains TranAD with (lr 0.01).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 1e-2f);
+};
+
+/// Multiplies the optimizer's learning rate by `gamma` every `step_size`
+/// epochs — the paper's "step-scheduler with step size of 0.5".
+class StepLr {
+ public:
+  StepLr(Optimizer* opt, int64_t step_size, float gamma);
+
+  /// Call once per epoch.
+  void Step();
+
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  Optimizer* opt_;
+  int64_t step_size_;
+  float gamma_;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_OPTIMIZER_H_

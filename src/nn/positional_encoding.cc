@@ -1,0 +1,35 @@
+#include "nn/positional_encoding.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+
+PositionalEncoding::PositionalEncoding(int64_t d_model, int64_t max_len,
+                                       float dropout_p)
+    : d_model_(d_model), dropout_p_(dropout_p), table_({max_len, d_model}) {
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < d_model; ++i) {
+      const double div =
+          std::exp(-std::log(10000.0) *
+                   static_cast<double>(2 * (i / 2)) /
+                   static_cast<double>(d_model));
+      const double angle = static_cast<double>(pos) * div;
+      table_.At({pos, i}) = static_cast<float>(
+          (i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+    }
+  }
+}
+
+Variable PositionalEncoding::Forward(const Variable& x, Rng* rng) const {
+  TRANAD_CHECK_EQ(x.value().size(-1), d_model_);
+  const int64_t t = x.value().size(-2);
+  TRANAD_CHECK_LE(t, table_.size(0));
+  Tensor pe = SliceAxis(table_, 0, 0, t);  // [T, d] broadcasts over batch
+  Variable y = ag::Add(x, Variable(pe));
+  return ag::Dropout(y, dropout_p_, training(), rng);
+}
+
+}  // namespace tranad::nn

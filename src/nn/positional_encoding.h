@@ -1,0 +1,29 @@
+#ifndef TRANAD_NN_POSITIONAL_ENCODING_H_
+#define TRANAD_NN_POSITIONAL_ENCODING_H_
+
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Sinusoidal position encoding (Vaswani et al. §3.5), precomputed up to
+/// `max_len` positions for dimension `d_model` and added to the input. Used
+/// by the TranAD encoders so attention can exploit temporal order.
+class PositionalEncoding : public Module {
+ public:
+  PositionalEncoding(int64_t d_model, int64_t max_len, float dropout_p = 0.0f);
+
+  /// x: [..., T, d_model] with T <= max_len.
+  Variable Forward(const Variable& x, Rng* rng) const;
+
+  /// The raw encoding table [max_len, d_model] (for tests).
+  const Tensor& table() const { return table_; }
+
+ private:
+  int64_t d_model_;
+  float dropout_p_;
+  Tensor table_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_POSITIONAL_ENCODING_H_

@@ -1,0 +1,126 @@
+#include "nn/rnn.h"
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  x2r_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  x2z_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  x2n_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  h2r_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  h2z_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  h2n_ = std::make_unique<Linear>(hidden_size, hidden_size, rng);
+  RegisterModule("x2r", x2r_.get());
+  RegisterModule("x2z", x2z_.get());
+  RegisterModule("x2n", x2n_.get());
+  RegisterModule("h2r", h2r_.get());
+  RegisterModule("h2z", h2z_.get());
+  RegisterModule("h2n", h2n_.get());
+}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  Variable r = ag::Sigmoid(ag::Add(x2r_->Forward(x), h2r_->Forward(h)));
+  Variable z = ag::Sigmoid(ag::Add(x2z_->Forward(x), h2z_->Forward(h)));
+  Variable n =
+      ag::Tanh(ag::Add(x2n_->Forward(x), ag::Mul(r, h2n_->Forward(h))));
+  // h' = (1 - z) * n + z * h
+  Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+Variable GruCell::InitialState(int64_t b) const {
+  return Variable(Tensor::Zeros({b, hidden_size_}));
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  x2i_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  x2f_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  x2g_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  x2o_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  h2i_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  h2f_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  h2g_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  h2o_ = std::make_unique<Linear>(hidden_size, hidden_size, rng, false);
+  RegisterModule("x2i", x2i_.get());
+  RegisterModule("x2f", x2f_.get());
+  RegisterModule("x2g", x2g_.get());
+  RegisterModule("x2o", x2o_.get());
+  RegisterModule("h2i", h2i_.get());
+  RegisterModule("h2f", h2f_.get());
+  RegisterModule("h2g", h2g_.get());
+  RegisterModule("h2o", h2o_.get());
+}
+
+LstmCell::State LstmCell::Forward(const Variable& x, const State& s) const {
+  Variable i = ag::Sigmoid(ag::Add(x2i_->Forward(x), h2i_->Forward(s.h)));
+  Variable f = ag::Sigmoid(ag::Add(x2f_->Forward(x), h2f_->Forward(s.h)));
+  Variable g = ag::Tanh(ag::Add(x2g_->Forward(x), h2g_->Forward(s.h)));
+  Variable o = ag::Sigmoid(ag::Add(x2o_->Forward(x), h2o_->Forward(s.h)));
+  Variable c = ag::Add(ag::Mul(f, s.c), ag::Mul(i, g));
+  Variable h = ag::Mul(o, ag::Tanh(c));
+  return {h, c};
+}
+
+LstmCell::State LstmCell::InitialState(int64_t b) const {
+  return {Variable(Tensor::Zeros({b, hidden_size_})),
+          Variable(Tensor::Zeros({b, hidden_size_}))};
+}
+
+namespace {
+
+// Extracts step t of a [B, T, D] sequence as [B, D].
+Variable StepAt(const Variable& seq, int64_t t) {
+  const int64_t b = seq.value().size(0);
+  const int64_t d = seq.value().size(2);
+  Variable step = ag::SliceAxis(seq, 1, t, 1);  // [B, 1, D]
+  return ag::Reshape(step, {b, d});
+}
+
+}  // namespace
+
+Variable RunGru(const GruCell& cell, const Variable& seq) {
+  const int64_t b = seq.value().size(0);
+  const int64_t t = seq.value().size(1);
+  Variable h = cell.InitialState(b);
+  std::vector<Variable> outs;
+  outs.reserve(static_cast<size_t>(t));
+  for (int64_t i = 0; i < t; ++i) {
+    h = cell.Forward(StepAt(seq, i), h);
+    outs.push_back(ag::Reshape(h, {b, 1, cell.hidden_size()}));
+  }
+  return ag::Concat(outs, 1);
+}
+
+Variable RunLstm(const LstmCell& cell, const Variable& seq) {
+  const int64_t b = seq.value().size(0);
+  const int64_t t = seq.value().size(1);
+  LstmCell::State s = cell.InitialState(b);
+  std::vector<Variable> outs;
+  outs.reserve(static_cast<size_t>(t));
+  for (int64_t i = 0; i < t; ++i) {
+    s = cell.Forward(StepAt(seq, i), s);
+    outs.push_back(ag::Reshape(s.h, {b, 1, cell.hidden_size()}));
+  }
+  return ag::Concat(outs, 1);
+}
+
+Variable RunGruLast(const GruCell& cell, const Variable& seq) {
+  const int64_t b = seq.value().size(0);
+  const int64_t t = seq.value().size(1);
+  Variable h = cell.InitialState(b);
+  for (int64_t i = 0; i < t; ++i) h = cell.Forward(StepAt(seq, i), h);
+  return h;
+}
+
+Variable RunLstmLast(const LstmCell& cell, const Variable& seq) {
+  const int64_t b = seq.value().size(0);
+  const int64_t t = seq.value().size(1);
+  LstmCell::State s = cell.InitialState(b);
+  for (int64_t i = 0; i < t; ++i) s = cell.Forward(StepAt(seq, i), s);
+  return s.h;
+}
+
+}  // namespace tranad::nn

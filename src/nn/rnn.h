@@ -1,0 +1,73 @@
+#ifndef TRANAD_NN_RNN_H_
+#define TRANAD_NN_RNN_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Gated recurrent unit cell (Cho et al.), torch gate convention:
+///   r = sigmoid(x Wr + h Ur + br)
+///   z = sigmoid(x Wz + h Uz + bz)
+///   n = tanh(x Wn + r * (h Un + bn))
+///   h' = (1 - z) * n + z * h
+/// Used by the OmniAnomaly, MTAD-GAT and DAGMM baselines.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  /// x: [B, input], h: [B, hidden] -> h': [B, hidden].
+  Variable Forward(const Variable& x, const Variable& h) const;
+
+  /// Zero initial state for batch size `b`.
+  Variable InitialState(int64_t b) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> x2r_, x2z_, x2n_;
+  std::unique_ptr<Linear> h2r_, h2z_, h2n_;
+};
+
+/// Long short-term memory cell, used by the LSTM-NDT, MAD-GAN and CAE-M
+/// baselines.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  struct State {
+    Variable h;
+    Variable c;
+  };
+
+  /// One step: x [B, input], state (h, c) -> new state.
+  State Forward(const Variable& x, const State& state) const;
+
+  State InitialState(int64_t b) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> x2i_, x2f_, x2g_, x2o_;
+  std::unique_ptr<Linear> h2i_, h2f_, h2g_, h2o_;
+};
+
+/// Runs a GRU over a [B, T, input] sequence; returns hidden states
+/// [B, T, hidden] (concatenated along time).
+Variable RunGru(const GruCell& cell, const Variable& seq);
+
+/// Runs an LSTM over a [B, T, input] sequence; returns hidden states
+/// [B, T, hidden].
+Variable RunLstm(const LstmCell& cell, const Variable& seq);
+
+/// Final hidden state only: [B, hidden].
+Variable RunGruLast(const GruCell& cell, const Variable& seq);
+Variable RunLstmLast(const LstmCell& cell, const Variable& seq);
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_RNN_H_

@@ -1,0 +1,101 @@
+#include "nn/transformer.h"
+
+#include "common/string_util.h"
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+
+FeedForward::FeedForward(int64_t d_model, int64_t d_hidden, int64_t d_out,
+                         float dropout_p, Rng* rng)
+    : dropout_p_(dropout_p) {
+  fc1_ = std::make_unique<Linear>(d_model, d_hidden, rng);
+  fc2_ = std::make_unique<Linear>(d_hidden, d_out, rng);
+  RegisterModule("fc1", fc1_.get());
+  RegisterModule("fc2", fc2_.get());
+}
+
+Variable FeedForward::Forward(const Variable& x, Rng* rng) const {
+  Variable h = ag::LeakyRelu(fc1_->Forward(x), 0.01f);
+  h = ag::Dropout(h, dropout_p_, training(), rng);
+  return fc2_->Forward(h);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t d_model,
+                                                 int64_t num_heads,
+                                                 int64_t d_ff, float dropout_p,
+                                                 Rng* rng)
+    : dropout_p_(dropout_p) {
+  self_attn_ = std::make_unique<MultiHeadAttention>(d_model, num_heads, rng);
+  ff_ = std::make_unique<FeedForward>(d_model, d_ff, d_model, dropout_p, rng);
+  norm1_ = std::make_unique<LayerNorm>(d_model);
+  norm2_ = std::make_unique<LayerNorm>(d_model);
+  RegisterModule("self_attn", self_attn_.get());
+  RegisterModule("ff", ff_.get());
+  RegisterModule("norm1", norm1_.get());
+  RegisterModule("norm2", norm2_.get());
+}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x, Rng* rng,
+                                          const Tensor* mask) const {
+  Variable attn = self_attn_->Forward(x, x, x, mask);
+  attn = ag::Dropout(attn, dropout_p_, training(), rng);
+  Variable x1 = norm1_->Forward(ag::Add(x, attn));
+  Variable ffo = ff_->Forward(x1, rng);
+  ffo = ag::Dropout(ffo, dropout_p_, training(), rng);
+  return norm2_->Forward(ag::Add(x1, ffo));
+}
+
+TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t d_model,
+                                       int64_t num_heads, int64_t d_ff,
+                                       float dropout_p, Rng* rng) {
+  TRANAD_CHECK_GT(num_layers, 0);
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        d_model, num_heads, d_ff, dropout_p, rng));
+    RegisterModule(StrFormat("layer%lld", static_cast<long long>(i)),
+                   layers_.back().get());
+  }
+}
+
+Variable TransformerEncoder::Forward(const Variable& x, Rng* rng,
+                                     const Tensor* mask) const {
+  Variable h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h, rng, mask);
+  return h;
+}
+
+WindowEncoderLayer::WindowEncoderLayer(int64_t d_model, int64_t num_heads,
+                                       int64_t d_ff, float dropout_p, Rng* rng)
+    : dropout_p_(dropout_p) {
+  self_attn_ = std::make_unique<MultiHeadAttention>(d_model, num_heads, rng);
+  cross_attn_ = std::make_unique<MultiHeadAttention>(d_model, num_heads, rng);
+  ff_ = std::make_unique<FeedForward>(d_model, d_ff, d_model, dropout_p, rng);
+  norm1_ = std::make_unique<LayerNorm>(d_model);
+  norm2_ = std::make_unique<LayerNorm>(d_model);
+  norm3_ = std::make_unique<LayerNorm>(d_model);
+  RegisterModule("self_attn", self_attn_.get());
+  RegisterModule("cross_attn", cross_attn_.get());
+  RegisterModule("ff", ff_.get());
+  RegisterModule("norm1", norm1_.get());
+  RegisterModule("norm2", norm2_.get());
+  RegisterModule("norm3", norm3_.get());
+}
+
+Variable WindowEncoderLayer::Forward(const Variable& window,
+                                     const Variable& context, Rng* rng,
+                                     bool causal) const {
+  const int64_t k = window.value().size(-2);
+  const Tensor mask = CausalMask(k);
+  Variable self =
+      self_attn_->Forward(window, window, window, causal ? &mask : nullptr);
+  self = ag::Dropout(self, dropout_p_, training(), rng);
+  Variable x2 = norm1_->Forward(ag::Add(window, self));
+  Variable cross = cross_attn_->Forward(x2, context, context);
+  cross = ag::Dropout(cross, dropout_p_, training(), rng);
+  Variable x3 = norm2_->Forward(ag::Add(x2, cross));
+  Variable ffo = ff_->Forward(x3, rng);
+  ffo = ag::Dropout(ffo, dropout_p_, training(), rng);
+  return norm3_->Forward(ag::Add(x3, ffo));
+}
+
+}  // namespace tranad::nn

@@ -1,0 +1,104 @@
+#ifndef TRANAD_NN_TRANSFORMER_H_
+#define TRANAD_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tranad::nn {
+
+/// Two-layer position-wise feed-forward block: Linear -> activation ->
+/// dropout -> Linear ("Number of layers in feed-forward unit of encoders =
+/// 2" in the paper's hyperparameters).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t d_model, int64_t d_hidden, int64_t d_out, float dropout_p,
+              Rng* rng);
+
+  Variable Forward(const Variable& x, Rng* rng) const;
+
+ private:
+  std::unique_ptr<Linear> fc1_;
+  std::unique_ptr<Linear> fc2_;
+  float dropout_p_;
+};
+
+/// Post-norm transformer encoder layer implementing Eq. (4):
+///   I1 = LayerNorm(I + MultiHeadAtt(I, I, I))
+///   I2 = LayerNorm(I1 + FeedForward(I1))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t d_model, int64_t num_heads, int64_t d_ff,
+                          float dropout_p, Rng* rng);
+
+  /// x: [B, T, d_model]; optional additive attention mask [T, T].
+  Variable Forward(const Variable& x, Rng* rng,
+                   const Tensor* mask = nullptr) const;
+
+  const MultiHeadAttention& self_attention() const { return *self_attn_; }
+
+ private:
+  std::unique_ptr<MultiHeadAttention> self_attn_;
+  std::unique_ptr<FeedForward> ff_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<LayerNorm> norm2_;
+  float dropout_p_;
+};
+
+/// Stack of encoder layers ("Number of layers in transformer encoders = 1"
+/// by default, but configurable).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t num_layers, int64_t d_model, int64_t num_heads,
+                     int64_t d_ff, float dropout_p, Rng* rng);
+
+  Variable Forward(const Variable& x, Rng* rng,
+                   const Tensor* mask = nullptr) const;
+
+  const TransformerEncoderLayer& layer(int64_t i) const {
+    return *layers_[static_cast<size_t>(i)];
+  }
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// TranAD's window encoder implementing Eq. (5): masked self-attention over
+/// the window followed by cross-attention that queries the context encoding.
+///   I2_1 = Mask(MultiHeadAtt(I2, I2, I2))
+///   I2_2 = LayerNorm(I2 + I2_1)
+///   I2_3 = LayerNorm(I2_2 + MultiHeadAtt(Q=I2_2, K=I1_2, V=I1_2))
+/// followed by a feed-forward + norm block, matching the standard
+/// transformer decoder layer the original implementation builds on.
+class WindowEncoderLayer : public Module {
+ public:
+  WindowEncoderLayer(int64_t d_model, int64_t num_heads, int64_t d_ff,
+                     float dropout_p, Rng* rng);
+
+  /// window: [B, K, d_model]; context: [B, Tc, d_model] (the I1_2
+  /// encoding). `causal` applies the Eq. (5) future mask; disabling it
+  /// gives the bidirectional variant the paper proposes as future work.
+  Variable Forward(const Variable& window, const Variable& context,
+                   Rng* rng, bool causal = true) const;
+
+  const MultiHeadAttention& self_attention() const { return *self_attn_; }
+  const MultiHeadAttention& cross_attention() const { return *cross_attn_; }
+
+ private:
+  std::unique_ptr<MultiHeadAttention> self_attn_;
+  std::unique_ptr<MultiHeadAttention> cross_attn_;
+  std::unique_ptr<FeedForward> ff_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<LayerNorm> norm2_;
+  std::unique_ptr<LayerNorm> norm3_;
+  float dropout_p_;
+};
+
+}  // namespace tranad::nn
+
+#endif  // TRANAD_NN_TRANSFORMER_H_

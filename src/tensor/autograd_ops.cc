@@ -1,0 +1,446 @@
+#include "tensor/autograd_ops.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace tranad::ag {
+namespace {
+
+// Convenience: element-wise unary op with backward dy/dx expressed via a
+// tensor-valued multiplier computed from input and output values.
+template <typename FwdF, typename GradF>
+Variable UnaryOp(const Variable& a, FwdF fwd, GradF grad_mul) {
+  Tensor y = fwd(a.value());
+  Tensor x = a.value();
+  Variable pa = a;
+  Tensor y_copy = y;
+  return Variable::MakeNode(
+      std::move(y), {a},
+      [pa, x = std::move(x), y = std::move(y_copy),
+       grad_mul](const Tensor& g) mutable {
+        pa.AccumulateGrad(Mul(g, grad_mul(x, y)));
+      });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Shape sa = a.shape(), sb = b.shape();
+  return Variable::MakeNode(
+      tranad::Add(a.value(), b.value()), {a, b},
+      [pa, pb, sa, sb](const Tensor& g) mutable {
+        pa.AccumulateGrad(ReduceTo(g, sa));
+        pb.AccumulateGrad(ReduceTo(g, sb));
+      });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Shape sa = a.shape(), sb = b.shape();
+  return Variable::MakeNode(
+      tranad::Sub(a.value(), b.value()), {a, b},
+      [pa, pb, sa, sb](const Tensor& g) mutable {
+        pa.AccumulateGrad(ReduceTo(g, sa));
+        pb.AccumulateGrad(ReduceTo(tranad::Neg(g), sb));
+      });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Tensor va = a.value(), vb = b.value();
+  return Variable::MakeNode(
+      tranad::Mul(va, vb), {a, b},
+      [pa, pb, va, vb](const Tensor& g) mutable {
+        pa.AccumulateGrad(ReduceTo(tranad::Mul(g, vb), va.shape()));
+        pb.AccumulateGrad(ReduceTo(tranad::Mul(g, va), vb.shape()));
+      });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Tensor va = a.value(), vb = b.value();
+  return Variable::MakeNode(
+      tranad::Div(va, vb), {a, b},
+      [pa, pb, va, vb](const Tensor& g) mutable {
+        pa.AccumulateGrad(ReduceTo(tranad::Div(g, vb), va.shape()));
+        // d/db (a/b) = -a / b^2
+        Tensor gb = tranad::Neg(
+            tranad::Div(tranad::Mul(g, va), tranad::Mul(vb, vb)));
+        pb.AccumulateGrad(ReduceTo(gb, vb.shape()));
+      });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Variable pa = a;
+  return Variable::MakeNode(
+      tranad::AddScalar(a.value(), s), {a},
+      [pa](const Tensor& g) mutable { pa.AccumulateGrad(g); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  Variable pa = a;
+  return Variable::MakeNode(
+      tranad::MulScalar(a.value(), s), {a},
+      [pa, s](const Tensor& g) mutable {
+        pa.AccumulateGrad(tranad::MulScalar(g, s));
+      });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Tensor va = a.value(), vb = b.value();
+  return Variable::MakeNode(
+      tranad::MatMul(va, vb), {a, b},
+      [pa, pb, va, vb](const Tensor& g) mutable {
+        // dL/dA = g @ B^T, reduced over broadcast batch dims.
+        pa.AccumulateGrad(
+            ReduceTo(tranad::MatMul(g, TransposeLast2(vb)), va.shape()));
+        // dL/dB = A^T @ g.
+        pb.AccumulateGrad(
+            ReduceTo(tranad::MatMul(TransposeLast2(va), g), vb.shape()));
+      });
+}
+
+Variable TransposeLast2(const Variable& a) {
+  Variable pa = a;
+  return Variable::MakeNode(
+      tranad::TransposeLast2(a.value()), {a}, [pa](const Tensor& g) mutable {
+        pa.AccumulateGrad(tranad::TransposeLast2(g));
+      });
+}
+
+Variable SwapAxes12(const Variable& a) {
+  Variable pa = a;
+  return Variable::MakeNode(
+      tranad::SwapAxes12(a.value()), {a}, [pa](const Tensor& g) mutable {
+        pa.AccumulateGrad(tranad::SwapAxes12(g));
+      });
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  Variable pa = a;
+  Shape old_shape = a.shape();
+  return Variable::MakeNode(
+      a.value().Reshape(std::move(new_shape)), {a},
+      [pa, old_shape](const Tensor& g) mutable {
+        pa.AccumulateGrad(g.Reshape(old_shape));
+      });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  TRANAD_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p.value());
+  Tensor out = tranad::Concat(values, axis);
+  const int64_t nd = out.ndim();
+  const int64_t ax = axis < 0 ? axis + nd : axis;
+  std::vector<Variable> ps = parts;
+  std::vector<int64_t> lens;
+  lens.reserve(parts.size());
+  for (const auto& p : parts) lens.push_back(p.value().size(ax));
+  return Variable::MakeNode(std::move(out), parts,
+                            [ps, lens, ax](const Tensor& g) mutable {
+                              int64_t off = 0;
+                              for (size_t i = 0; i < ps.size(); ++i) {
+                                ps[i].AccumulateGrad(
+                                    tranad::SliceAxis(g, ax, off, lens[i]));
+                                off += lens[i];
+                              }
+                            });
+}
+
+Variable SliceAxis(const Variable& a, int64_t axis, int64_t start,
+                   int64_t len) {
+  Variable pa = a;
+  Shape in_shape = a.shape();
+  const int64_t nd = a.value().ndim();
+  const int64_t ax = axis < 0 ? axis + nd : axis;
+  return Variable::MakeNode(
+      tranad::SliceAxis(a.value(), axis, start, len), {a},
+      [pa, in_shape, ax, start, len](const Tensor& g) mutable {
+        // Scatter the slice gradient back into a zero tensor.
+        Tensor full = Tensor::Zeros(in_shape);
+        int64_t outer = 1;
+        for (int64_t i = 0; i < ax; ++i) {
+          outer *= in_shape[static_cast<size_t>(i)];
+        }
+        int64_t inner = 1;
+        for (size_t i = static_cast<size_t>(ax) + 1; i < in_shape.size();
+             ++i) {
+          inner *= in_shape[i];
+        }
+        const int64_t in_row = in_shape[static_cast<size_t>(ax)] * inner;
+        const int64_t g_row = len * inner;
+        const float* pg = g.data();
+        float* pf = full.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          std::copy(pg + o * g_row, pg + (o + 1) * g_row,
+                    pf + o * in_row + start * inner);
+        }
+        pa.AccumulateGrad(full);
+      });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Sigmoid(x); },
+      [](const Tensor&, const Tensor& y) {
+        // y * (1 - y)
+        return tranad::Mul(y, tranad::Sub(Tensor::Scalar(1.0f), y));
+      });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Tanh(x); },
+      [](const Tensor&, const Tensor& y) {
+        return tranad::Sub(Tensor::Scalar(1.0f), tranad::Mul(y, y));
+      });
+}
+
+Variable Relu(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Relu(x); },
+      [](const Tensor& x, const Tensor&) {
+        Tensor m(x.shape());
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          m[i] = x[i] > 0.0f ? 1.0f : 0.0f;
+        }
+        return m;
+      });
+}
+
+Variable LeakyRelu(const Variable& a, float slope) {
+  return UnaryOp(
+      a,
+      [slope](const Tensor& x) { return tranad::LeakyRelu(x, slope); },
+      [slope](const Tensor& x, const Tensor&) {
+        Tensor m(x.shape());
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          m[i] = x[i] > 0.0f ? 1.0f : slope;
+        }
+        return m;
+      });
+}
+
+Variable Gelu(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Gelu(x); },
+      [](const Tensor& x, const Tensor&) {
+        constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+        Tensor m(x.shape());
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          const float xv = x[i];
+          const float u = kC * (xv + 0.044715f * xv * xv * xv);
+          const float t = std::tanh(u);
+          const float du = kC * (1.0f + 3.0f * 0.044715f * xv * xv);
+          m[i] = 0.5f * (1.0f + t) + 0.5f * xv * (1.0f - t * t) * du;
+        }
+        return m;
+      });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Exp(x); },
+      [](const Tensor&, const Tensor& y) { return y; });
+}
+
+Variable Log(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Log(x); },
+      [](const Tensor& x, const Tensor&) {
+        return tranad::Div(Tensor::Scalar(1.0f), x);
+      });
+}
+
+Variable Sqrt(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Sqrt(x); },
+      [](const Tensor&, const Tensor& y) {
+        return tranad::Div(Tensor::Scalar(0.5f), y);
+      });
+}
+
+Variable Square(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Square(x); },
+      [](const Tensor& x, const Tensor&) { return tranad::MulScalar(x, 2.0f); });
+}
+
+Variable Abs(const Variable& a) {
+  return UnaryOp(
+      a, [](const Tensor& x) { return tranad::Abs(x); },
+      [](const Tensor& x, const Tensor&) {
+        Tensor m(x.shape());
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          m[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+        }
+        return m;
+      });
+}
+
+Variable SoftmaxLastDim(const Variable& a) {
+  Tensor y = tranad::SoftmaxLastDim(a.value());
+  Variable pa = a;
+  Tensor y_copy = y;
+  return Variable::MakeNode(
+      std::move(y), {a}, [pa, y = std::move(y_copy)](const Tensor& g) mutable {
+        // dx = y * (g - sum(g * y, lastdim))
+        const int64_t n = y.size(-1);
+        const int64_t rows = y.numel() / n;
+        Tensor gx(y.shape());
+        const float* py = y.data();
+        const float* pg = g.data();
+        float* po = gx.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* yr = py + r * n;
+          const float* gr = pg + r * n;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+          float* orow = po + r * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] = yr[j] * (gr[j] - dot);
+        }
+        pa.AccumulateGrad(gx);
+      });
+}
+
+Variable LayerNormLastDim(const Variable& a, float eps) {
+  // Cache per-row inverse stddev alongside the normalized output so the
+  // backward pass avoids recomputation.
+  const Tensor& x = a.value();
+  const int64_t n = x.size(-1);
+  const int64_t rows = x.numel() / n;
+  Tensor y(x.shape());
+  std::vector<float> inv_std(static_cast<size_t>(rows));
+  {
+    const float* px = x.data();
+    float* py = y.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = px + r * n;
+      float mean = 0.0f;
+      for (int64_t j = 0; j < n; ++j) mean += row[j];
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float d = row[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float inv = 1.0f / std::sqrt(var + eps);
+      inv_std[static_cast<size_t>(r)] = inv;
+      float* orow = py + r * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
+    }
+  }
+  Variable pa = a;
+  Tensor y_copy = y;
+  return Variable::MakeNode(
+      std::move(y), {a},
+      [pa, y = std::move(y_copy), inv_std = std::move(inv_std),
+       n, rows](const Tensor& g) mutable {
+        // dx = inv/n * (n*g - sum(g) - xhat * sum(g*xhat))
+        Tensor gx(y.shape());
+        const float* py = y.data();
+        const float* pg = g.data();
+        float* po = gx.data();
+        const float nf = static_cast<float>(n);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* yr = py + r * n;
+          const float* gr = pg + r * n;
+          float sum_g = 0.0f;
+          float sum_gy = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            sum_g += gr[j];
+            sum_gy += gr[j] * yr[j];
+          }
+          const float inv = inv_std[static_cast<size_t>(r)];
+          float* orow = po + r * n;
+          for (int64_t j = 0; j < n; ++j) {
+            orow[j] = inv / nf * (nf * gr[j] - sum_g - yr[j] * sum_gy);
+          }
+        }
+        pa.AccumulateGrad(gx);
+      });
+}
+
+Variable SumAll(const Variable& a) {
+  Variable pa = a;
+  Shape sa = a.shape();
+  return Variable::MakeNode(Tensor::Scalar(tranad::SumAll(a.value())), {a},
+                            [pa, sa](const Tensor& g) mutable {
+                              pa.AccumulateGrad(
+                                  Tensor::Full(sa, g.Item()));
+                            });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv_n = 1.0f / static_cast<float>(a.value().numel());
+  Variable pa = a;
+  Shape sa = a.shape();
+  return Variable::MakeNode(
+      Tensor::Scalar(tranad::MeanAll(a.value())), {a},
+      [pa, sa, inv_n](const Tensor& g) mutable {
+        pa.AccumulateGrad(Tensor::Full(sa, g.Item() * inv_n));
+      });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
+  Variable pa = a;
+  Shape sa = a.shape();
+  const int64_t ax = axis < 0 ? axis + a.value().ndim() : axis;
+  return Variable::MakeNode(
+      tranad::Sum(a.value(), axis, keepdims), {a},
+      [pa, sa, ax, keepdims](const Tensor& g) mutable {
+        Tensor gk = g;
+        if (!keepdims) {
+          Shape with_dim = gk.shape();
+          with_dim.insert(with_dim.begin() + ax, 1);
+          gk = gk.Reshape(with_dim);
+        }
+        // Broadcast back along the reduced axis.
+        pa.AccumulateGrad(tranad::Add(Tensor::Zeros(sa), gk));
+      });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdims) {
+  const int64_t ax = axis < 0 ? axis + a.value().ndim() : axis;
+  const float inv = 1.0f / static_cast<float>(a.value().size(ax));
+  return MulScalar(Sum(a, axis, keepdims), inv);
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  TRANAD_CHECK(rng != nullptr);
+  TRANAD_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(a.shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  Variable pa = a;
+  Tensor mask_copy = mask;
+  return Variable::MakeNode(
+      tranad::Mul(a.value(), mask), {a},
+      [pa, mask = std::move(mask_copy)](const Tensor& g) mutable {
+        pa.AccumulateGrad(tranad::Mul(g, mask));
+      });
+}
+
+Variable MseLoss(const Variable& pred, const Tensor& target) {
+  TRANAD_CHECK(pred.shape() == target.shape());
+  Variable diff = Sub(pred, Variable(target));
+  return MeanAll(Square(diff));
+}
+
+Variable MseLossVar(const Variable& pred, const Variable& target) {
+  TRANAD_CHECK(pred.shape() == target.shape());
+  return MeanAll(Square(Sub(pred, target)));
+}
+
+}  // namespace tranad::ag

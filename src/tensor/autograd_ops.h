@@ -1,0 +1,72 @@
+#ifndef TRANAD_TENSOR_AUTOGRAD_OPS_H_
+#define TRANAD_TENSOR_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace tranad::ag {
+
+// Differentiable counterparts of the kernels in tensor_ops.h. Each op builds
+// a tape node whose backward closure implements the analytic gradient; every
+// gradient is verified against central finite differences in
+// tests/tensor/grad_check_test.cc.
+
+// ---- arithmetic (broadcasting) ----
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable Neg(const Variable& a);
+
+// ---- matmul / layout ----
+Variable MatMul(const Variable& a, const Variable& b);
+Variable TransposeLast2(const Variable& a);
+Variable SwapAxes12(const Variable& a);
+Variable Reshape(const Variable& a, Shape new_shape);
+Variable Concat(const std::vector<Variable>& parts, int64_t axis);
+Variable SliceAxis(const Variable& a, int64_t axis, int64_t start,
+                   int64_t len);
+
+// ---- unary activations ----
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float slope);
+Variable Gelu(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Square(const Variable& a);
+Variable Abs(const Variable& a);
+
+// ---- normalizations ----
+Variable SoftmaxLastDim(const Variable& a);
+/// LayerNorm over the last axis without affine parameters (the nn layer
+/// applies gain/bias on top).
+Variable LayerNormLastDim(const Variable& a, float eps);
+
+// ---- reductions ----
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+Variable Sum(const Variable& a, int64_t axis, bool keepdims);
+Variable Mean(const Variable& a, int64_t axis, bool keepdims);
+
+// ---- regularization ----
+/// Inverted dropout: at train time zeroes entries with probability p and
+/// scales survivors by 1/(1-p); identity at eval time.
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+// ---- losses ----
+/// Mean squared error against a constant target.
+Variable MseLoss(const Variable& pred, const Tensor& target);
+/// Mean squared error between two variables (both receive gradients) —
+/// needed for the adversarial phase where the target is itself a network
+/// output.
+Variable MseLossVar(const Variable& pred, const Variable& target);
+
+}  // namespace tranad::ag
+
+#endif  // TRANAD_TENSOR_AUTOGRAD_OPS_H_

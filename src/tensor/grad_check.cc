@@ -1,0 +1,55 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tranad {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Tensor> inputs, float eps, float tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (auto& t : inputs) vars.emplace_back(t, /*requires_grad=*/true);
+  Variable loss = fn(vars);
+  TRANAD_CHECK_EQ(loss.value().numel(), 1);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(vars.size());
+  for (auto& v : vars) analytic.push_back(v.grad());
+
+  // Numeric pass: central differences, one element at a time.
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    for (int64_t i = 0; i < inputs[vi].numel(); ++i) {
+      const float orig = inputs[vi][i];
+
+      inputs[vi][i] = orig + eps;
+      std::vector<Variable> vp;
+      for (auto& t : inputs) vp.emplace_back(t, false);
+      const float fp = fn(vp).value().Item();
+
+      inputs[vi][i] = orig - eps;
+      std::vector<Variable> vm;
+      for (auto& t : inputs) vm.emplace_back(t, false);
+      const float fm = fn(vm).value().Item();
+
+      inputs[vi][i] = orig;
+      const float numeric = (fp - fm) / (2.0f * eps);
+      const float diff = std::fabs(numeric - analytic[vi][i]);
+      if (diff > result.max_abs_err) {
+        result.max_abs_err = diff;
+        std::ostringstream oss;
+        oss << "input " << vi << " elem " << i << ": analytic "
+            << analytic[vi][i] << " vs numeric " << numeric;
+        result.detail = oss.str();
+      }
+    }
+  }
+  result.ok = result.max_abs_err <= tol;
+  return result;
+}
+
+}  // namespace tranad

@@ -1,0 +1,32 @@
+#ifndef TRANAD_TENSOR_GRAD_CHECK_H_
+#define TRANAD_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/variable.h"
+
+namespace tranad {
+
+/// Result of a finite-difference gradient comparison.
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest absolute difference between analytic and numeric gradient.
+  float max_abs_err = 0.0f;
+  /// Index (input #, flat element) and values at the worst element.
+  std::string detail;
+};
+
+/// Compares the analytic gradients of `fn` (a scalar-valued function of the
+/// given inputs) against central finite differences. Inputs are perturbed by
+/// `eps`; gradients must agree within `tol`. Used by the property tests that
+/// certify every autograd op.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Tensor> inputs, float eps = 1e-3f, float tol = 2e-2f);
+
+}  // namespace tranad
+
+#endif  // TRANAD_TENSOR_GRAD_CHECK_H_

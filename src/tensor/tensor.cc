@@ -1,0 +1,172 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tranad {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TRANAD_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * shape[static_cast<size_t>(i + 1)];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  TRANAD_CHECK_EQ(static_cast<int64_t>(data_.size()), NumElements(shape_));
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng* rng, float stddev) {
+  TRANAD_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng* rng, float lo, float hi) {
+  TRANAD_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n, float start, float step) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t[i] = start + step * static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t axis) const {
+  const int64_t nd = ndim();
+  if (axis < 0) axis += nd;
+  TRANAD_CHECK_MSG(axis >= 0 && axis < nd,
+                   "axis " << axis << " out of range for " << nd << "-d");
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::At(std::initializer_list<int64_t> idx) {
+  TRANAD_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  const auto strides = ContiguousStrides(shape_);
+  int64_t off = 0;
+  size_t k = 0;
+  for (int64_t i : idx) {
+    TRANAD_CHECK(i >= 0 && i < shape_[k]);
+    off += i * strides[k];
+    ++k;
+  }
+  return data_[static_cast<size_t>(off)];
+}
+
+float Tensor::At(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->At(idx);
+}
+
+Shape Tensor::ResolveReshape(Shape new_shape) const {
+  int64_t known = 1;
+  int64_t infer_at = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      TRANAD_CHECK_MSG(infer_at < 0, "multiple -1 dims in reshape");
+      infer_at = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    TRANAD_CHECK_GT(known, 0);
+    TRANAD_CHECK_EQ(numel() % known, 0);
+    new_shape[static_cast<size_t>(infer_at)] = numel() / known;
+  }
+  TRANAD_CHECK_MSG(NumElements(new_shape) == numel(),
+                   "reshape " << ShapeToString(shape_) << " -> "
+                              << ShapeToString(new_shape));
+  return new_shape;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const& {
+  Tensor out = *this;
+  out.shape_ = ResolveReshape(std::move(new_shape));
+  return out;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) && {
+  shape_ = ResolveReshape(std::move(new_shape));
+  return std::move(*this);
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+float Tensor::Item() const {
+  TRANAD_CHECK_EQ(numel(), 1);
+  return data_[0];
+}
+
+bool Tensor::Equals(const Tensor& other) const {
+  if (shape_ != other.shape_) return false;
+  return data_ == other.data_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream oss;
+  oss << "Tensor" << ShapeToString(shape_);
+  if (numel() <= 32) {
+    oss << " {";
+    for (int64_t i = 0; i < numel(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << data_[static_cast<size_t>(i)];
+    }
+    oss << "}";
+  }
+  return oss.str();
+}
+
+}  // namespace tranad

@@ -1,0 +1,105 @@
+#ifndef TRANAD_TENSOR_TENSOR_H_
+#define TRANAD_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tranad {
+
+/// Shape of a tensor; empty shape denotes a scalar-like 0-d tensor.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (1 for scalars).
+int64_t NumElements(const Shape& shape);
+
+/// Row-major strides for a contiguous tensor of the given shape.
+std::vector<int64_t> ContiguousStrides(const Shape& shape);
+
+/// Renders a shape as "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// Dense, contiguous, row-major float32 tensor. Value semantics: copying a
+/// Tensor copies its buffer; moves are cheap. All neural-network state and
+/// time-series buffers in the library are Tensors.
+///
+/// Performance note: every element access in hot loops goes through raw
+/// data() pointers inside the kernels in tensor_ops.cc; the indexed At()
+/// accessor is for tests and debugging only.
+class Tensor {
+ public:
+  /// Empty 0-d tensor holding a single zero.
+  Tensor() : shape_(), data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(NumElements(shape_)), 0.0f) {}
+
+  /// Tensor adopting the given flat buffer; sizes must agree.
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value);
+  /// 0-d tensor holding a single value.
+  static Tensor Scalar(float value);
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor Rand(Shape shape, Rng* rng, float lo = 0.0f, float hi = 1.0f);
+  /// 1-d tensor [start, start+step, ...] of length n.
+  static Tensor Arange(int64_t n, float start = 0.0f, float step = 1.0f);
+
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  const Shape& shape() const { return shape_; }
+  /// Size along `axis`; negative axes count from the back.
+  int64_t size(int64_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Multi-index element access (slow; tests/debugging).
+  float& At(std::initializer_list<int64_t> idx);
+  float At(std::initializer_list<int64_t> idx) const;
+
+  /// Returns a reshaped copy-free view is impossible with value semantics;
+  /// this returns a tensor sharing no storage but reusing the buffer via
+  /// move when called on an rvalue. Element count must be preserved. One
+  /// axis may be -1 (inferred).
+  Tensor Reshape(Shape new_shape) const&;
+  Tensor Reshape(Shape new_shape) &&;
+
+  /// Fills every element with `value`.
+  void Fill(float value);
+
+  /// The single value of a 0-d or 1-element tensor.
+  float Item() const;
+
+  /// True if shapes and all elements match exactly.
+  bool Equals(const Tensor& other) const;
+  /// True if shapes match and elements differ by at most `atol`.
+  bool AllClose(const Tensor& other, float atol = 1e-5f) const;
+
+  /// Renders shape and (for small tensors) contents.
+  std::string ToString() const;
+
+ private:
+  Shape ResolveReshape(Shape new_shape) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_TENSOR_TENSOR_H_

@@ -1,0 +1,473 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace tranad {
+namespace {
+
+// Applies `f` element-wise with numpy-style broadcasting.
+template <typename F>
+Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  if (b.numel() == 1) {
+    Tensor out(a.shape());
+    const float s = b.data()[0];
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], s);
+    return out;
+  }
+  if (a.numel() == 1) {
+    Tensor out(b.shape());
+    const float s = a.data()[0];
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(s, pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
+  // Effective strides with 0 for broadcast axes.
+  auto eff_strides = [&](const Tensor& t) {
+    std::vector<int64_t> s(static_cast<size_t>(nd), 0);
+    const auto ts = ContiguousStrides(t.shape());
+    const int64_t off = nd - t.ndim();
+    for (int64_t i = 0; i < t.ndim(); ++i) {
+      if (t.shape()[static_cast<size_t>(i)] != 1) {
+        s[static_cast<size_t>(off + i)] = ts[static_cast<size_t>(i)];
+      }
+    }
+    return s;
+  };
+  const auto sa = eff_strides(a);
+  const auto sb = eff_strides(b);
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t lin = 0; lin < n; ++lin) {
+    po[lin] = f(pa[oa], pb[ob]);
+    // Increment the multi-index (odometer), updating offsets incrementally.
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      ++idx[ud];
+      oa += sa[ud];
+      ob += sb[ud];
+      if (idx[ud] < out_shape[ud]) break;
+      oa -= sa[ud] * out_shape[ud];
+      ob -= sb[ud] * out_shape[ud];
+      idx[ud] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor Unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t nd = std::max(a.size(), b.size());
+  Shape out(nd, 1);
+  for (size_t i = 0; i < nd; ++i) {
+    const int64_t da = i < nd - a.size() ? 1 : a[i - (nd - a.size())];
+    const int64_t db = i < nd - b.size() ? 1 : b[i - (nd - b.size())];
+    TRANAD_CHECK_MSG(da == db || da == 1 || db == 1,
+                     "cannot broadcast " << ShapeToString(a) << " with "
+                                         << ShapeToString(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor ReduceTo(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  Tensor cur = t;
+  // Collapse extra leading axes first.
+  while (cur.ndim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdims=*/false);
+  }
+  // Then sum over axes where target has size 1.
+  for (int64_t i = 0; i < cur.ndim(); ++i) {
+    if (target[static_cast<size_t>(i)] == 1 && cur.size(i) != 1) {
+      cur = Sum(cur, i, /*keepdims=*/true);
+    }
+  }
+  TRANAD_CHECK_MSG(cur.shape() == target,
+                   "ReduceTo " << ShapeToString(t.shape()) << " -> "
+                               << ShapeToString(target));
+  return cur;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return Unary(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return Unary(a, [](float x) { return std::fabs(x); });
+}
+Tensor Square(const Tensor& a) {
+  return Unary(a, [](float x) { return x * x; });
+}
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return Unary(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return Unary(a, [](float x) {
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+  });
+}
+
+namespace {
+
+// Multiplies one (M,K)x(K,N) pair of contiguous matrices into out (M,N),
+// accumulating from zero. ikj loop order for cache-friendly access.
+void MatMul2D(const float* a, const float* b, float* out, int64_t m, int64_t k,
+              int64_t n) {
+  std::fill(out, out + m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TRANAD_CHECK_GE(a.ndim(), 2);
+  TRANAD_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  TRANAD_CHECK_MSG(b.size(-2) == k, "matmul inner dim: "
+                                        << ShapeToString(a.shape()) << " x "
+                                        << ShapeToString(b.shape()));
+  const int64_t n = b.size(-1);
+  // Batch dims.
+  Shape ba(a.shape().begin(), a.shape().end() - 2);
+  Shape bb(b.shape().begin(), b.shape().end() - 2);
+  const Shape batch = BroadcastShapes(ba, bb);
+  const int64_t nbatch = NumElements(batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+  const int64_t a_batches = NumElements(ba);
+  const int64_t b_batches = NumElements(bb);
+  // Simple broadcast rule for batches: each operand either matches the
+  // output batch count or has exactly one batch.
+  TRANAD_CHECK(a_batches == nbatch || a_batches == 1);
+  TRANAD_CHECK(b_batches == nbatch || b_batches == 1);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    const float* am = pa + (a_batches == 1 ? 0 : bi) * m * k;
+    const float* bm = pb + (b_batches == 1 ? 0 : bi) * k * n;
+    MatMul2D(am, bm, po + bi * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  TRANAD_CHECK_GE(a.ndim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t n = a.size(-1);
+  Shape out_shape = a.shape();
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+  Tensor out(out_shape);
+  const int64_t nbatch = a.numel() / (m * n);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < nbatch; ++b) {
+    const float* am = pa + b * m * n;
+    float* om = po + b * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) om[j * m + i] = am[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor SwapAxes12(const Tensor& a) {
+  TRANAD_CHECK_EQ(a.ndim(), 4);
+  const int64_t n0 = a.size(0);
+  const int64_t n1 = a.size(1);
+  const int64_t n2 = a.size(2);
+  const int64_t n3 = a.size(3);
+  Tensor out({n0, n2, n1, n3});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i0 = 0; i0 < n0; ++i0) {
+    for (int64_t i1 = 0; i1 < n1; ++i1) {
+      for (int64_t i2 = 0; i2 < n2; ++i2) {
+        std::copy(pa + ((i0 * n1 + i1) * n2 + i2) * n3,
+                  pa + ((i0 * n1 + i1) * n2 + i2 + 1) * n3,
+                  po + ((i0 * n2 + i2) * n1 + i1) * n3);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  TRANAD_CHECK(!parts.empty());
+  const int64_t nd = parts.front().ndim();
+  if (axis < 0) axis += nd;
+  TRANAD_CHECK(axis >= 0 && axis < nd);
+  Shape out_shape = parts.front().shape();
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    TRANAD_CHECK_EQ(p.ndim(), nd);
+    for (int64_t i = 0; i < nd; ++i) {
+      if (i != axis) TRANAD_CHECK_EQ(p.size(i), out_shape[static_cast<size_t>(i)]);
+    }
+    total += p.size(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = total;
+  Tensor out(out_shape);
+  // outer = product of dims before axis; inner = product after.
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= out_shape[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (int64_t i = axis + 1; i < nd; ++i) {
+    inner *= out_shape[static_cast<size_t>(i)];
+  }
+  float* po = out.data();
+  const int64_t out_row = total * inner;
+  int64_t col_off = 0;
+  for (const auto& p : parts) {
+    const int64_t len = p.size(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pp + o * len * inner, pp + (o + 1) * len * inner,
+                po + o * out_row + col_off * inner);
+    }
+    col_off += len;
+  }
+  return out;
+}
+
+Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  const int64_t nd = a.ndim();
+  if (axis < 0) axis += nd;
+  TRANAD_CHECK(axis >= 0 && axis < nd);
+  TRANAD_CHECK(start >= 0 && len >= 0 && start + len <= a.size(axis));
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = len;
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.size(i);
+  int64_t inner = 1;
+  for (int64_t i = axis + 1; i < nd; ++i) inner *= a.size(i);
+  const int64_t in_row = a.size(axis) * inner;
+  const int64_t out_row = len * inner;
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(pa + o * in_row + start * inner,
+              pa + o * in_row + (start + len) * inner, po + o * out_row);
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) s += p[i];
+  return static_cast<float>(s);
+}
+
+float MeanAll(const Tensor& a) {
+  TRANAD_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  TRANAD_CHECK_GT(a.numel(), 0);
+  float m = a.data()[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a.data()[i]);
+  return m;
+}
+
+float MinAll(const Tensor& a) {
+  TRANAD_CHECK_GT(a.numel(), 0);
+  float m = a.data()[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::min(m, a.data()[i]);
+  return m;
+}
+
+namespace {
+
+template <typename Init, typename Acc>
+Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdims, Init init,
+                  Acc acc) {
+  const int64_t nd = a.ndim();
+  if (axis < 0) axis += nd;
+  TRANAD_CHECK(axis >= 0 && axis < nd);
+  const int64_t len = a.size(axis);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.size(i);
+  int64_t inner = 1;
+  for (int64_t i = axis + 1; i < nd; ++i) inner *= a.size(i);
+  Shape out_shape;
+  for (int64_t i = 0; i < nd; ++i) {
+    if (i == axis) {
+      if (keepdims) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(i));
+    }
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      float v = init(pa[o * len * inner + in]);
+      for (int64_t l = 1; l < len; ++l) {
+        v = acc(v, pa[(o * len + l) * inner + in]);
+      }
+      po[o * inner + in] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  return ReduceAxis(
+      a, axis, keepdims, [](float x) { return x; },
+      [](float v, float x) { return v + x; });
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  const int64_t nd = a.ndim();
+  const int64_t ax = axis < 0 ? axis + nd : axis;
+  Tensor s = Sum(a, axis, keepdims);
+  return MulScalar(s, 1.0f / static_cast<float>(a.size(ax)));
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  return ReduceAxis(
+      a, axis, keepdims, [](float x) { return x; },
+      [](float v, float x) { return std::max(v, x); });
+}
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  TRANAD_CHECK_GE(a.ndim(), 1);
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * n;
+    float* orow = po + r * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LayerNormLastDim(const Tensor& a, float eps) {
+  TRANAD_CHECK_GE(a.ndim(), 1);
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * n;
+    float* orow = po + r * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
+  }
+  return out;
+}
+
+}  // namespace tranad

@@ -1,0 +1,83 @@
+#ifndef TRANAD_TENSOR_TENSOR_OPS_H_
+#define TRANAD_TENSOR_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+// Forward-only tensor kernels. These underpin both inference paths and the
+// autograd layer in autograd_ops.h, which pairs each with its analytic
+// backward. All binary element-wise ops broadcast numpy-style.
+
+/// Result shape of broadcasting `a` against `b`; CHECK-fails if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Sums `t` over the axes that were broadcast to reach `t.shape()` from
+/// `target`; used by backward passes of broadcasting ops.
+Tensor ReduceTo(const Tensor& t, const Shape& target);
+
+// ---- element-wise binary (broadcasting) ----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+// ---- element-wise with scalar ----
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- element-wise unary ----
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float slope);
+/// Gaussian error linear unit (tanh approximation, as in transformer FFNs).
+Tensor Gelu(const Tensor& a);
+
+// ---- matmul / layout ----
+/// Matrix product with batch broadcasting: both operands are treated as
+/// stacks of matrices over their leading dims; a 2-d operand broadcasts
+/// across the other's batch dims. Inner dims must satisfy (M,K)x(K,N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps the last two axes.
+Tensor TransposeLast2(const Tensor& a);
+
+/// Swaps axes 1 and 2 of a 4-d tensor [A, B, C, D] -> [A, C, B, D]; the
+/// head split/merge step of batched multi-head attention.
+Tensor SwapAxes12(const Tensor& a);
+
+/// Concatenates along `axis` (negative axes allowed). All other dims must
+/// match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// Contiguous slice [start, start+len) along `axis`.
+Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+// ---- reductions ----
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+/// Sum over one axis; `keepdims` keeps a size-1 axis in place.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims);
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims);
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims);
+
+// ---- fused normalizations ----
+/// Softmax over the last axis, numerically stabilised by row-max shift.
+Tensor SoftmaxLastDim(const Tensor& a);
+/// Layer normalization over the last axis:
+/// (x - mean) / sqrt(var + eps). Gain/bias are applied by the nn layer.
+Tensor LayerNormLastDim(const Tensor& a, float eps);
+
+}  // namespace tranad
+
+#endif  // TRANAD_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,149 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  TRANAD_CHECK(defined());
+  return node_->value;
+}
+
+Tensor* Variable::mutable_value() {
+  TRANAD_CHECK(defined());
+  return &node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  TRANAD_CHECK(defined());
+  if (!node_->has_grad) {
+    node_->grad = Tensor::Zeros(node_->value.shape());
+    node_->has_grad = true;
+  }
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  TRANAD_CHECK(defined());
+  node_->grad = Tensor();
+  node_->has_grad = false;
+}
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  TRANAD_CHECK(defined());
+  if (!node_->requires_grad) return;
+  TRANAD_CHECK_MSG(g.shape() == node_->value.shape(),
+                   "grad shape " << ShapeToString(g.shape()) << " vs value "
+                                 << ShapeToString(node_->value.shape()));
+  if (!node_->has_grad) {
+    node_->grad = g;
+    node_->has_grad = true;
+  } else {
+    float* pg = node_->grad.data();
+    const float* ps = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) pg[i] += ps[i];
+  }
+}
+
+void Variable::ClearTapeGradients() {
+  TRANAD_CHECK(defined());
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> stack{node_.get()};
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    n->grad = Tensor();
+    n->has_grad = false;
+    for (const auto& p : n->parents) {
+      if (visited.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  TRANAD_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::MakeNode(Tensor value, const std::vector<Variable>& parents,
+                            BackwardFn backward) {
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    for (const auto& p : parents) {
+      if (p.defined()) node->parents.push_back(p.node_);
+    }
+    node->backward = std::move(backward);
+  }
+  return Variable(std::move(node));
+}
+
+void Variable::Backward() {
+  TRANAD_CHECK(defined());
+  TRANAD_CHECK_MSG(node_->value.numel() == 1,
+                   "Backward() without seed requires a scalar loss; got "
+                       << ShapeToString(node_->value.shape()));
+  Backward(Tensor::Full(node_->value.shape(), 1.0f));
+}
+
+void Variable::Backward(const Tensor& seed) {
+  TRANAD_CHECK(defined());
+  TRANAD_CHECK(seed.shape() == node_->value.shape());
+  if (!node_->requires_grad) return;
+
+  // Iterative DFS post-order to get a topological order rooted at this node;
+  // reversed, it guarantees each node's backward runs after all of its
+  // consumers have contributed their gradient.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, child_idx] = stack.back();
+    if (child_idx < n->parents.size()) {
+      Node* next = n->parents[child_idx].get();
+      ++child_idx;
+      if (next->requires_grad && visited.insert(next).second) {
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  AccumulateGrad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (!n->backward) continue;  // leaf
+    if (!n->has_grad) {
+      // This node never received a gradient (e.g. sliced away); skip.
+      continue;
+    }
+    n->backward(n->grad);
+  }
+}
+
+}  // namespace tranad

@@ -1,0 +1,104 @@
+#ifndef TRANAD_TENSOR_VARIABLE_H_
+#define TRANAD_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// A node in the reverse-mode autodiff tape. `Variable` is a cheap
+/// shared-ownership handle to a Node; operations in autograd_ops.h build the
+/// DAG by creating new nodes whose backward closures accumulate gradients
+/// into their parents.
+///
+/// Lifetime: the graph lives as long as the output Variable of a forward
+/// pass. After an optimizer step the loss Variable is dropped and the whole
+/// tape is freed; parameters (leaf Variables with requires_grad) persist in
+/// their Modules.
+class Variable {
+ public:
+  /// Null handle.
+  Variable() = default;
+
+  /// Leaf node wrapping a value. Gradients accumulate into it only when
+  /// `requires_grad` is set (parameters) — inputs stay cheap.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// True when this handle refers to a node.
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access to the value of a *leaf*; used by optimizers for
+  /// in-place parameter updates.
+  Tensor* mutable_value();
+
+  const Shape& shape() const { return value().shape(); }
+
+  /// Accumulated gradient; zero tensor of the value's shape before any
+  /// backward pass touches this node.
+  const Tensor& grad() const;
+
+  bool requires_grad() const;
+
+  /// Clears the accumulated gradient (leaves the tape intact).
+  void ZeroGrad();
+
+  /// Runs reverse-mode accumulation from this node. The node must hold a
+  /// single element (a scalar loss); the seed gradient is 1.
+  void Backward();
+
+  /// Backward with an explicit seed gradient of the node's shape.
+  void Backward(const Tensor& seed);
+
+  /// Returns a leaf Variable sharing this node's value but cut off from the
+  /// tape (no gradient flows through it).
+  Variable Detach() const;
+
+  /// Clears the accumulated gradients of every node reachable from this one
+  /// (interior nodes and leaves alike). Required between two Backward()
+  /// passes over a shared graph — TranAD's adversarial trainer backpropagates
+  /// the generator and discriminator losses through the same forward tape.
+  void ClearTapeGradients();
+
+  // --- graph construction API (used by autograd_ops) ---
+
+  /// Gradient callback: receives the node's output gradient and must
+  /// accumulate into parents via AccumulateGrad.
+  using BackwardFn = std::function<void(const Tensor& out_grad)>;
+
+  /// Creates an interior node. `parents` are recorded for topological
+  /// ordering; `backward` is invoked exactly once per backward pass with the
+  /// node's accumulated output gradient. If no parent requires grad the
+  /// result is a constant node with no tape edge (backward never runs).
+  static Variable MakeNode(Tensor value, const std::vector<Variable>& parents,
+                           BackwardFn backward);
+
+  /// Adds `g` into this node's gradient buffer (no-op for nodes that do not
+  /// require grad).
+  void AccumulateGrad(const Tensor& g);
+
+  /// Identity for hashing/visited-sets in graph walks.
+  const void* id() const { return node_.get(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    bool has_grad = false;
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    BackwardFn backward;
+  };
+
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_TENSOR_VARIABLE_H_

@@ -1,0 +1,129 @@
+// Cross-cutting contract tests: every registered detector must honour the
+// AnomalyDetector interface and discriminate planted anomalies on a small
+// synthetic dataset.
+#include <gtest/gtest.h>
+
+#include "baselines/gdn.h"
+#include "baselines/registry.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace tranad {
+namespace {
+
+const Dataset& SharedDataset() {
+  static const Dataset* ds = [] {
+    // Contract tests use an easy, spike-dominated dataset: the goal is to
+    // verify the interface and basic learning, not benchmark difficulty.
+    auto config = SmdConfig(0.12);
+    config.anomaly_magnitude = 2.0;
+    config.benign_rate = 0.0;
+    config.noise = 0.03;
+    config.anomaly_mix = {{AnomalyKind::kSpike, 0.7},
+                          {AnomalyKind::kLevelShift, 0.3}};
+    return new Dataset(GenerateSynthetic(config));
+  }();
+  return *ds;
+}
+
+DetectorOptions FastOptions() {
+  DetectorOptions o;
+  o.epochs = 2;
+  return o;
+}
+
+class DetectorContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetectorContractTest, FitScoreContract) {
+  const Dataset& ds = SharedDataset();
+  auto det = CreateDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  (*det)->Fit(ds.train);
+  const Tensor scores = (*det)->Score(ds.test);
+  ASSERT_EQ(scores.shape(), Shape({ds.test.length(), ds.dims()}));
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(scores[i])) << GetParam();
+    ASSERT_GE(scores[i], 0.0f) << GetParam();
+  }
+  EXPECT_EQ((*det)->name(), GetParam());
+}
+
+TEST_P(DetectorContractTest, BetterThanRandomAuc) {
+  const Dataset& ds = SharedDataset();
+  auto det = CreateDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(det.ok());
+  (*det)->Fit(ds.train);
+  const Tensor scores = (*det)->Score(ds.test);
+  const double auc = RocAuc(DetectionScores(scores), ds.test.labels);
+  EXPECT_GT(auc, 0.55) << GetParam() << " is not better than random";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, DetectorContractTest,
+    ::testing::Values("LSTM-NDT", "DAGMM", "OmniAnomaly", "MSCRED",
+                      "MAD-GAN", "USAD", "MTAD-GAT", "CAE-M", "GDN",
+                      "TranAD", "IsolationForest"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, UnknownDetectorFails) {
+  EXPECT_FALSE(CreateDetector("NotAMethod").ok());
+}
+
+TEST(RegistryTest, PaperMethodsOrdered) {
+  const auto names = PaperMethodNames();
+  ASSERT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.front(), "MERLIN");
+  EXPECT_EQ(names.back(), "TranAD");
+}
+
+TEST(RegistryTest, BidirectionalVariantCreatable) {
+  auto det = CreateDetector("TranAD-Bidirectional", FastOptions());
+  ASSERT_TRUE(det.ok());
+  const Dataset& ds = SharedDataset();
+  (*det)->Fit(ds.train);
+  const Tensor scores = (*det)->Score(ds.test);
+  EXPECT_EQ(scores.size(0), ds.test.length());
+}
+
+TEST(RegistryTest, AblationsAllCreatable) {
+  for (const auto& name : AblationMethodNames()) {
+    auto det = CreateDetector(name, FastOptions());
+    EXPECT_TRUE(det.ok()) << name;
+    EXPECT_EQ((*det)->name(), name);
+  }
+}
+
+TEST(GdnTest, AttentionGraphIsRowStochastic) {
+  const Dataset& ds = SharedDataset();
+  GdnDetector gdn(10, 2, 8, 3);
+  gdn.Fit(ds.train);
+  const Tensor graph = gdn.AttentionGraph();
+  ASSERT_EQ(graph.shape(), Shape({ds.dims(), ds.dims()}));
+  for (int64_t i = 0; i < ds.dims(); ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < ds.dims(); ++j) row += graph.At({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-4);
+  }
+}
+
+TEST(UsadStyleTest, AdversarialDetectorsBeatConstantBaseline) {
+  // USAD and TranAD (the two adversarial reconstruction models) must both
+  // clearly separate the planted anomalies.
+  const Dataset& ds = SharedDataset();
+  for (const char* name : {"USAD", "TranAD"}) {
+    auto det = CreateDetector(name, FastOptions());
+    ASSERT_TRUE(det.ok());
+    const EvalOutcome out = EvaluateDetector(det->get(), ds);
+    EXPECT_GT(out.detection.f1, 0.5) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,82 @@
+#include "baselines/gmm.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+Tensor TwoClusters(int64_t n_per, uint64_t seed) {
+  Rng rng(seed);
+  Tensor data({2 * n_per, 2});
+  for (int64_t i = 0; i < n_per; ++i) {
+    data.At({i, 0}) = static_cast<float>(rng.Normal(-3.0, 0.4));
+    data.At({i, 1}) = static_cast<float>(rng.Normal(-3.0, 0.4));
+    data.At({n_per + i, 0}) = static_cast<float>(rng.Normal(3.0, 0.4));
+    data.At({n_per + i, 1}) = static_cast<float>(rng.Normal(3.0, 0.4));
+  }
+  return data;
+}
+
+TEST(GmmTest, FitsTwoClusters) {
+  DiagonalGmm gmm(2, 2);
+  Rng rng(1);
+  gmm.Fit(TwoClusters(300, 2), &rng);
+  ASSERT_TRUE(gmm.fitted());
+  // Balanced weights.
+  EXPECT_NEAR(gmm.weights()[0], 0.5, 0.1);
+  EXPECT_NEAR(gmm.weights()[1], 0.5, 0.1);
+}
+
+TEST(GmmTest, EnergyLowInClusterHighOutside) {
+  DiagonalGmm gmm(2, 2);
+  Rng rng(3);
+  gmm.Fit(TwoClusters(300, 4), &rng);
+  const float in_cluster[2] = {-3.0f, -3.0f};
+  const float between[2] = {0.0f, 0.0f};
+  const float far_away[2] = {20.0f, -20.0f};
+  EXPECT_LT(gmm.Energy(in_cluster), gmm.Energy(between));
+  EXPECT_LT(gmm.Energy(between), gmm.Energy(far_away));
+}
+
+TEST(GmmTest, EnergiesBatchMatchesSingle) {
+  DiagonalGmm gmm(2, 2);
+  Rng rng(5);
+  const Tensor data = TwoClusters(100, 6);
+  gmm.Fit(data, &rng);
+  const auto energies = gmm.Energies(data);
+  ASSERT_EQ(energies.size(), 200u);
+  EXPECT_NEAR(energies[0], gmm.Energy(data.data()), 1e-9);
+}
+
+TEST(GmmTest, SingleComponentMatchesMoments) {
+  Rng data_rng(7);
+  Tensor data({1000, 1});
+  for (int64_t i = 0; i < 1000; ++i) {
+    data.At({i, 0}) = static_cast<float>(data_rng.Normal(2.0, 1.5));
+  }
+  DiagonalGmm gmm(1, 1);
+  Rng rng(8);
+  gmm.Fit(data, &rng);
+  // Energy at the mean < energy two sigmas out.
+  const float at_mean[1] = {2.0f};
+  const float out[1] = {5.0f};
+  EXPECT_LT(gmm.Energy(at_mean), gmm.Energy(out));
+}
+
+TEST(GmmTest, EnergyBeforeFitDies) {
+  DiagonalGmm gmm(2, 2);
+  const float x[2] = {0, 0};
+  EXPECT_DEATH(gmm.Energy(x), "CHECK");
+}
+
+TEST(GmmTest, DegenerateDataSafe) {
+  Tensor data({50, 2});  // all zeros
+  DiagonalGmm gmm(2, 2);
+  Rng rng(9);
+  gmm.Fit(data, &rng);
+  const float x[2] = {0, 0};
+  EXPECT_TRUE(std::isfinite(gmm.Energy(x)));
+}
+
+}  // namespace
+}  // namespace tranad

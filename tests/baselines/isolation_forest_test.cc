@@ -1,0 +1,76 @@
+#include "baselines/isolation_forest.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+TEST(IsolationForestTest, OutlierScoresHigher) {
+  Rng rng(1);
+  Tensor data({500, 2});
+  for (int64_t i = 0; i < 500; ++i) {
+    data.At({i, 0}) = static_cast<float>(rng.Normal(0.0, 1.0));
+    data.At({i, 1}) = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  IsolationForest forest(50, 256, 2);
+  forest.Fit(data);
+  ASSERT_TRUE(forest.fitted());
+  const float inlier[2] = {0.0f, 0.1f};
+  const float outlier[2] = {8.0f, -8.0f};
+  EXPECT_GT(forest.ScoreRow(outlier), forest.ScoreRow(inlier));
+  EXPECT_GT(forest.ScoreRow(outlier), 0.55);
+  EXPECT_LT(forest.ScoreRow(inlier), 0.6);
+}
+
+TEST(IsolationForestTest, ScoresInUnitRange) {
+  Rng rng(2);
+  Tensor data({200, 3});
+  for (int64_t i = 0; i < data.numel(); ++i) {
+    data[i] = static_cast<float>(rng.Uniform());
+  }
+  IsolationForest forest(20, 64, 3);
+  forest.Fit(data);
+  for (int64_t i = 0; i < 50; ++i) {
+    const double s = forest.ScoreRow(data.data() + i * 3);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, ConstantDataSafe) {
+  Tensor data({100, 2});  // zeros
+  IsolationForest forest(10, 32, 3);
+  forest.Fit(data);
+  const float x[2] = {0, 0};
+  EXPECT_TRUE(std::isfinite(forest.ScoreRow(x)));
+}
+
+TEST(IsolationForestDetectorTest, EndToEnd) {
+  Rng rng(4);
+  TimeSeries train;
+  train.values = Tensor({300, 2});
+  for (int64_t i = 0; i < train.values.numel(); ++i) {
+    train.values[i] = static_cast<float>(rng.Normal());
+  }
+  TimeSeries test = train;
+  // Plant a spike at t=150 in dim 1.
+  test.values.At({150, 1}) = 25.0f;
+
+  IsolationForestDetector det(30, 128, 5);
+  det.Fit(train);
+  const Tensor scores = det.Score(test);
+  EXPECT_EQ(scores.shape(), Shape({300, 2}));
+  // The planted spike is the top score of dim 1.
+  float best = 0.0f;
+  int64_t best_t = -1;
+  for (int64_t t = 0; t < 300; ++t) {
+    if (scores.At({t, 1}) > best) {
+      best = scores.At({t, 1});
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(best_t), 150.0, 2.0);
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,127 @@
+#include "baselines/merlin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tranad {
+namespace {
+
+std::vector<double> SineWithDiscord(int64_t n, int64_t anomaly_at,
+                                    int64_t anomaly_len) {
+  std::vector<double> s(static_cast<size_t>(n));
+  Rng rng(5);
+  for (int64_t i = 0; i < n; ++i) {
+    s[static_cast<size_t>(i)] =
+        std::sin(2.0 * M_PI * i / 25.0) + 0.02 * rng.Normal();
+  }
+  for (int64_t i = anomaly_at; i < anomaly_at + anomaly_len; ++i) {
+    s[static_cast<size_t>(i)] = 1.8;  // flat plateau breaks the period
+  }
+  return s;
+}
+
+TEST(DiscordFinderTest, DistanceIsSymmetricAndZeroOnSelfSimilar) {
+  std::vector<double> s(200);
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 20.0);
+  }
+  DiscordFinder finder(s);
+  EXPECT_NEAR(finder.Distance(10, 50, 20), finder.Distance(50, 10, 20),
+              1e-9);
+  // Subsequences exactly one period apart are z-normalized identical.
+  EXPECT_NEAR(finder.Distance(10, 30, 20), 0.0, 1e-4);
+}
+
+TEST(DiscordFinderTest, DistanceBoundedBy2SqrtL) {
+  Rng rng(6);
+  std::vector<double> s(300);
+  for (auto& v : s) v = rng.Normal();
+  DiscordFinder finder(s);
+  const double bound = 2.0 * std::sqrt(16.0) + 1e-6;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.UniformInt(280));
+    const int64_t b = static_cast<int64_t>(rng.UniformInt(280));
+    EXPECT_LE(finder.Distance(a, b, 16), bound);
+  }
+}
+
+TEST(DiscordFinderTest, NaiveFindsPlantedDiscord) {
+  const auto s = SineWithDiscord(400, 211, 18);
+  DiscordFinder finder(s);
+  const Discord d = finder.FindDiscordNaive(20);
+  ASSERT_GE(d.position, 0);
+  EXPECT_NEAR(static_cast<double>(d.position), 211.0, 25.0);
+  EXPECT_GT(d.distance, 0.0);
+}
+
+TEST(DiscordFinderTest, DragMatchesNaiveDiscordDistance) {
+  const auto s = SineWithDiscord(400, 137, 15);
+  DiscordFinder finder(s);
+  const Discord naive = finder.FindDiscordNaive(20);
+  const Discord drag = finder.FindDiscord(20);
+  ASSERT_GE(drag.position, 0);
+  // DRAG is exact: same discord (or an overlapping one with equal
+  // distance).
+  EXPECT_NEAR(drag.distance, naive.distance, 1e-6);
+  EXPECT_NEAR(static_cast<double>(drag.position),
+              static_cast<double>(naive.position), 5.0);
+}
+
+TEST(DiscordFinderTest, MultipleLengthsAllFindAnomaly) {
+  const auto s = SineWithDiscord(500, 300, 20);
+  DiscordFinder finder(s);
+  const auto discords = finder.FindDiscords(10, 30, 10);
+  ASSERT_GE(discords.size(), 2u);
+  for (const auto& d : discords) {
+    EXPECT_GE(d.position, 0);
+    // Every length's discord overlaps the planted plateau.
+    EXPECT_LT(std::llabs(d.position - 300), 40) << "length " << d.length;
+  }
+}
+
+TEST(DiscordFinderTest, ConstantSeriesSafe) {
+  std::vector<double> s(100, 1.0);
+  DiscordFinder finder(s);
+  const Discord d = finder.FindDiscord(10);
+  // No meaningful discord, but no crash / NaN either.
+  EXPECT_TRUE(std::isfinite(d.distance));
+}
+
+TEST(MerlinDetectorTest, ScoresPeakAtAnomaly) {
+  const auto raw = SineWithDiscord(400, 250, 16);
+  TimeSeries series;
+  series.values = Tensor({400, 1});
+  for (int64_t i = 0; i < 400; ++i) {
+    series.values.At({i, 0}) = static_cast<float>(raw[static_cast<size_t>(i)]);
+  }
+  MerlinDetector det;
+  det.Fit(series);  // no-op
+  const Tensor scores = det.Score(series);
+  // Mean score inside the planted window beats the outside mean.
+  double inside = 0.0, outside = 0.0;
+  int64_t n_in = 0, n_out = 0;
+  for (int64_t t = 0; t < 400; ++t) {
+    if (t >= 245 && t < 275) {
+      inside += scores.At({t, 0});
+      ++n_in;
+    } else {
+      outside += scores.At({t, 0});
+      ++n_out;
+    }
+  }
+  EXPECT_GT(inside / n_in, outside / n_out);
+  EXPECT_GT(det.seconds_per_epoch(), 0.0);  // discovery time recorded
+}
+
+TEST(MerlinDetectorTest, NaiveVariantNamed) {
+  MerlinDetector naive(8, 32, 8, /*naive=*/true);
+  EXPECT_EQ(naive.name(), "MERLIN(naive)");
+  MerlinDetector fast;
+  EXPECT_EQ(fast.name(), "MERLIN");
+}
+
+}  // namespace
+}  // namespace tranad

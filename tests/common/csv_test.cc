@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tranad {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTripWithHeader) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{1.0, 2.0}, {3.5, -4.0}};
+  const std::string path = TempPath("round.csv");
+  ASSERT_TRUE(WriteCsv(path, table).ok());
+  auto back = ReadCsv(path, true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->header, table.header);
+  ASSERT_EQ(back->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(back->rows[1][0], 3.5);
+  EXPECT_DOUBLE_EQ(back->rows[1][1], -4.0);
+}
+
+TEST_F(CsvTest, ReadWithoutHeader) {
+  const std::string path = TempPath("nohdr.csv");
+  WriteFile(path, "1,2\n3,4\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->header.empty());
+  ASSERT_EQ(table->rows.size(), 2u);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "1,2\n\n3,4\n\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto table = ReadCsv(TempPath("definitely_missing.csv"), false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, NonNumericCellRejected) {
+  const std::string path = TempPath("badcell.csv");
+  WriteFile(path, "1,2\n3,oops\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RaggedRowsRejected) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "1,2\n3\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_FALSE(table.ok());
+}
+
+TEST_F(CsvTest, HeaderParsedAndTrimmed) {
+  const std::string path = TempPath("hdr.csv");
+  WriteFile(path, " x , y \n1,2\n");
+  auto table = ReadCsv(path, true);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->header.size(), 2u);
+  EXPECT_EQ(table->header[0], "x");
+  EXPECT_EQ(table->header[1], "y");
+}
+
+TEST_F(CsvTest, WriteWithoutHeaderOmitsHeaderLine) {
+  CsvTable table;
+  table.rows = {{1.5}};
+  const std::string path = TempPath("noheader_out.csv");
+  ASSERT_TRUE(WriteCsv(path, table).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5");
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,134 @@
+// Failure-injection / degenerate-input tests: the detector stack must stay
+// finite and well-behaved on pathological series a production system will
+// eventually feed it.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/tranad_detector.h"
+#include "data/synthetic.h"
+
+namespace tranad {
+namespace {
+
+TranADConfig TinyModel() {
+  TranADConfig c;
+  c.window = 4;
+  c.d_ff = 8;
+  return c;
+}
+
+TrainOptions TinyTrain() {
+  TrainOptions o;
+  o.max_epochs = 2;
+  o.batch_size = 16;
+  return o;
+}
+
+TimeSeries SeriesFrom(std::vector<float> values, int64_t dims) {
+  TimeSeries ts;
+  const int64_t t = static_cast<int64_t>(values.size()) / dims;
+  ts.values = Tensor({t, dims}, std::move(values));
+  return ts;
+}
+
+TEST(RobustnessTest, ConstantSeriesStaysFinite) {
+  TimeSeries train = SeriesFrom(std::vector<float>(200, 3.5f), 1);
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(train);
+  const Tensor scores = det.Score(train);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores[i]));
+  }
+}
+
+TEST(RobustnessTest, ConstantDimensionAmongVaryingOnes) {
+  Rng rng(1);
+  std::vector<float> values;
+  for (int t = 0; t < 150; ++t) {
+    values.push_back(static_cast<float>(rng.Normal()));
+    values.push_back(7.0f);  // dead sensor
+  }
+  TimeSeries train = SeriesFrom(std::move(values), 2);
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(train);
+  const Tensor scores = det.Score(train);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores[i]));
+  }
+}
+
+TEST(RobustnessTest, SeriesShorterThanWindow) {
+  // 3 timestamps with window 4: replication padding must cover it.
+  Rng rng(2);
+  std::vector<float> values;
+  for (int i = 0; i < 3; ++i) values.push_back(static_cast<float>(i));
+  TimeSeries train = SeriesFrom(std::move(values), 1);
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(train);
+  const Tensor scores = det.Score(train);
+  EXPECT_EQ(scores.size(0), 3);
+}
+
+TEST(RobustnessTest, ExtremeOutOfRangeTestValues) {
+  Rng rng(3);
+  std::vector<float> train_vals;
+  for (int i = 0; i < 200; ++i) {
+    train_vals.push_back(static_cast<float>(rng.Uniform()));
+  }
+  TimeSeries train = SeriesFrom(std::move(train_vals), 1);
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(train);
+
+  std::vector<float> test_vals(100, 0.5f);
+  test_vals[50] = 1e9f;  // sensor glitch far outside the training range
+  TimeSeries test = SeriesFrom(std::move(test_vals), 1);
+  const Tensor scores = det.Score(test);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(scores[i])) << i;
+  }
+  // The glitch is the top score (clipped, but still maximal).
+  int64_t best = 0;
+  for (int64_t i = 1; i < 100; ++i) {
+    if (scores.At({i, 0}) > scores.At({best, 0})) best = i;
+  }
+  EXPECT_EQ(best, 50);
+}
+
+TEST(RobustnessTest, RepeatedFitResetsCleanly) {
+  Dataset a = GenerateSynthetic(NabConfig(0.05));
+  Dataset b = GenerateSynthetic(MbaConfig(0.05));  // different modality!
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(a.train);
+  EXPECT_EQ(det.Score(a.test).size(1), 1);
+  det.Fit(b.train);  // refit with 2 dims must rebuild the model
+  EXPECT_EQ(det.Score(b.test).size(1), 2);
+}
+
+TEST(RobustnessTest, ZeroAnomalyTestSeriesScoresLow) {
+  // Scoring the (clean) training series: best-F1 machinery degrades
+  // gracefully when the "test" has no anomalies at all.
+  Dataset ds = GenerateSynthetic(NabConfig(0.05));
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(ds.train);
+  const Tensor scores = det.Score(ds.train);
+  const auto series = DetectionScores(scores);
+  std::vector<uint8_t> no_anomaly(series.size(), 0);
+  const double auc = RocAuc(series, no_anomaly);
+  EXPECT_DOUBLE_EQ(auc, 0.5);  // degenerate single-class case
+}
+
+TEST(RobustnessTest, NegativeValuedSeries) {
+  Rng rng(4);
+  std::vector<float> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<float>(rng.Normal(-100.0, 5.0)));
+  }
+  TimeSeries train = SeriesFrom(std::move(values), 1);
+  TranADDetector det(TinyModel(), TinyTrain());
+  det.Fit(train);  // Eq. 1 normalization handles arbitrary ranges
+  const Tensor scores = det.Score(train);
+  EXPECT_TRUE(std::isfinite(scores[0]));
+}
+
+}  // namespace
+}  // namespace tranad

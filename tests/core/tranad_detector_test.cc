@@ -1,0 +1,141 @@
+#include "core/tranad_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace tranad {
+namespace {
+
+TranADConfig SmallModel() {
+  TranADConfig c;
+  c.window = 8;
+  c.d_ff = 16;
+  c.seed = 11;
+  return c;
+}
+
+TrainOptions FastTrain() {
+  TrainOptions o;
+  o.max_epochs = 5;
+  o.batch_size = 32;
+  return o;
+}
+
+class TranADDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Separable spike-heavy variant: these tests verify mechanics, not
+    // benchmark difficulty.
+    auto config = NabConfig(0.25);
+    config.anomaly_magnitude = 1.8;
+    config.benign_rate = 0.0;
+    dataset_ = GenerateSynthetic(config);
+  }
+  Dataset dataset_;
+};
+
+TEST_F(TranADDetectorTest, ScoreShapeMatchesSeries) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  const Tensor scores = det.Score(dataset_.test);
+  EXPECT_EQ(scores.shape(),
+            Shape({dataset_.test.length(), dataset_.test.dims()}));
+}
+
+TEST_F(TranADDetectorTest, ScoresNonNegativeAndFinite) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  const Tensor scores = det.Score(dataset_.test);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_GE(scores[i], 0.0f);
+    EXPECT_TRUE(std::isfinite(scores[i]));
+  }
+}
+
+TEST_F(TranADDetectorTest, AnomalousRegionsScoreHigher) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  const Tensor scores = det.Score(dataset_.test);
+  double anom_mean = 0.0;
+  double norm_mean = 0.0;
+  int64_t n_anom = 0;
+  int64_t n_norm = 0;
+  for (int64_t t = 0; t < dataset_.test.length(); ++t) {
+    const double s = scores.At({t, 0});
+    if (dataset_.test.labels[static_cast<size_t>(t)] != 0) {
+      anom_mean += s;
+      ++n_anom;
+    } else {
+      norm_mean += s;
+      ++n_norm;
+    }
+  }
+  ASSERT_GT(n_anom, 0);
+  EXPECT_GT(anom_mean / n_anom, norm_mean / n_norm);
+}
+
+TEST_F(TranADDetectorTest, FitRecordsStats) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  EXPECT_GT(det.seconds_per_epoch(), 0.0);
+  EXPECT_GT(det.epochs_run(), 0);
+  EXPECT_TRUE(det.normalizer().fitted());
+  EXPECT_EQ(det.name(), "TranAD");
+}
+
+TEST_F(TranADDetectorTest, ScoreBeforeFitDies) {
+  TranADDetector det(SmallModel(), FastTrain());
+  EXPECT_DEATH(det.Score(dataset_.test), "CHECK");
+}
+
+TEST_F(TranADDetectorTest, FocusAndAttentionCaptured) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  det.Score(dataset_.test);
+  EXPECT_EQ(det.last_focus().shape(),
+            Shape({dataset_.test.length(), dataset_.test.dims()}));
+  EXPECT_EQ(det.last_attention().shape(),
+            Shape({dataset_.test.length(), SmallModel().window}));
+  // Attention rows are probability vectors from the final window position.
+  for (int64_t t = 0; t < 5; ++t) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < SmallModel().window; ++j) {
+      sum += det.last_attention().At({t, j});
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-3);
+  }
+}
+
+TEST_F(TranADDetectorTest, CustomDisplayName) {
+  TranADDetector det(SmallModel(), FastTrain(), "TranAD-variant");
+  EXPECT_EQ(det.name(), "TranAD-variant");
+}
+
+TEST_F(TranADDetectorTest, MultivariateFitAndScore) {
+  Dataset multi = GenerateSynthetic(MsdsConfig(0.1));
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(multi.train);
+  const Tensor scores = det.Score(multi.test);
+  EXPECT_EQ(scores.size(1), multi.dims());
+}
+
+TEST_F(TranADDetectorTest, ModelCheckpointRoundTrip) {
+  TranADDetector det(SmallModel(), FastTrain());
+  det.Fit(dataset_.train);
+  const std::string path = ::testing::TempDir() + "/tranad.ckpt";
+  ASSERT_TRUE(det.model()->Save(path).ok());
+  const Tensor before = det.Score(dataset_.test);
+
+  TranADDetector det2(SmallModel(), FastTrain());
+  TrainOptions zero;
+  zero.max_epochs = 1;
+  // Fit once to build the architecture + normalizer, then load weights.
+  det2.Fit(dataset_.train);
+  ASSERT_TRUE(det2.model()->Load(path).ok());
+  const Tensor after = det2.Score(dataset_.test);
+  EXPECT_TRUE(before.AllClose(after, 1e-4f));
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,198 @@
+#include "core/tranad_model.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+TranADConfig SmallConfig(int64_t dims = 3) {
+  TranADConfig c;
+  c.dims = dims;
+  c.window = 6;
+  c.d_ff = 16;
+  c.dropout = 0.0f;
+  c.seed = 5;
+  return c;
+}
+
+TEST(TranADModelTest, Phase1OutputShapes) {
+  // Decoders reconstruct the current timestamp: outputs are [B, m].
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(1);
+  Variable w(Tensor::Rand({4, 6, 3}, &rng));
+  auto [o1, o2] = model.ForwardPhase1(w);
+  EXPECT_EQ(o1.shape(), Shape({4, 3}));
+  EXPECT_EQ(o2.shape(), Shape({4, 3}));
+}
+
+TEST(TranADModelTest, OutputsInUnitInterval) {
+  // Sigmoid decoders (Eq. 6) keep reconstructions in (0, 1).
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(2);
+  Variable w(Tensor::Randn({2, 6, 3}, &rng, 3.0f));
+  auto [o1, o2] = model.ForwardPhase1(w);
+  for (int64_t i = 0; i < o1.value().numel(); ++i) {
+    EXPECT_GT(o1.value()[i], 0.0f);
+    EXPECT_LT(o1.value()[i], 1.0f);
+    EXPECT_GT(o2.value()[i], 0.0f);
+    EXPECT_LT(o2.value()[i], 1.0f);
+  }
+}
+
+TEST(TranADModelTest, DecodersDiffer) {
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(3);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  auto [o1, o2] = model.ForwardPhase1(w);
+  EXPECT_FALSE(o1.value().AllClose(o2.value(), 1e-6f));
+}
+
+TEST(TranADModelTest, FocusScoreChangesPhase2) {
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(4);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  Variable zero_focus(Tensor::Zeros({2, 3}));
+  Variable big_focus(Tensor::Full({2, 3}, 0.5f));
+  const Tensor a = model.ForwardPhase2(w, zero_focus).value();
+  const Tensor b = model.ForwardPhase2(w, big_focus).value();
+  EXPECT_FALSE(a.AllClose(b, 1e-6f));
+}
+
+TEST(TranADModelTest, BroadcastFocusRepeats) {
+  TranADModel model(SmallConfig());
+  Variable focus(Tensor({2, 3}, {1, 2, 3, 4, 5, 6}));
+  const Tensor full = model.BroadcastFocus(focus, 6).value();
+  EXPECT_EQ(full.shape(), Shape({2, 6, 3}));
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_FLOAT_EQ(full.At({1, t, 2}), 6.0f);
+  }
+}
+
+TEST(TranADModelTest, SelfConditioningAblationIgnoresFocus) {
+  TranADConfig c = SmallConfig();
+  c.use_self_conditioning = false;
+  TranADModel model(c);
+  model.SetTraining(false);
+  Rng rng(5);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  Variable zero_focus(Tensor::Zeros({2, 3}));
+  Variable big_focus(Tensor::Full({2, 3}, 0.5f));
+  const Tensor a = model.ForwardPhase2(w, zero_focus).value();
+  const Tensor b = model.ForwardPhase2(w, big_focus).value();
+  EXPECT_TRUE(a.AllClose(b, 1e-7f));
+}
+
+TEST(TranADModelTest, FeedForwardAblationRuns) {
+  TranADConfig c = SmallConfig();
+  c.use_transformer = false;
+  TranADModel model(c);
+  model.SetTraining(false);
+  Rng rng(6);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  auto [o1, o2] = model.ForwardPhase1(w);
+  EXPECT_EQ(o1.shape(), Shape({2, 3}));
+  // The FF ablation has no attention map.
+  EXPECT_EQ(model.LastEncoderAttention().numel(), 1);
+}
+
+TEST(TranADModelTest, ParameterGroupsPartition) {
+  TranADModel model(SmallConfig());
+  const auto all = model.Parameters();
+  const auto enc = model.EncoderParameters();
+  const auto d1 = model.Decoder1Parameters();
+  const auto d2 = model.Decoder2Parameters();
+  EXPECT_EQ(all.size(), enc.size() + d1.size() + d2.size());
+  EXPECT_FALSE(d1.empty());
+  EXPECT_FALSE(d2.empty());
+}
+
+TEST(TranADModelTest, HeadsDefaultToDims) {
+  // d_model = 2m must be divisible by m heads for any m.
+  for (int64_t m : {1, 2, 5, 8}) {
+    TranADModel model(SmallConfig(m));
+    model.SetTraining(false);
+    Rng rng(7);
+    Variable w(Tensor::Rand({1, 6, m}, &rng));
+    auto [o1, o2] = model.ForwardPhase1(w);
+    EXPECT_EQ(o1.shape(), Shape({1, m}));
+  }
+}
+
+TEST(TranADModelTest, AttentionMapAvailableAfterForward) {
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(8);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  model.ForwardPhase1(w);
+  const Tensor attn = model.LastEncoderAttention();
+  EXPECT_EQ(attn.shape(), Shape({2, 6, 6}));
+}
+
+TEST(TranADModelTest, GradientsReachEverything) {
+  TranADModel model(SmallConfig());
+  Rng rng(9);
+  Tensor batch = Tensor::Rand({4, 6, 3}, &rng);
+  const Tensor target = SliceAxis(batch, 1, 5, 1).Reshape({4, 3});
+  Variable w(batch);
+  auto [o1, o2] = model.ForwardPhase1(w);
+  Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+  Variable o2hat = model.ForwardPhase2(w, focus);
+  Variable loss =
+      ag::Add(ag::MseLoss(o1, target), ag::MseLoss(o2hat, target));
+  model.ZeroGrad();
+  loss.Backward();
+  int64_t touched = 0;
+  for (const auto& p : model.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      if (p.grad()[i] != 0.0f) {
+        ++touched;
+        break;
+      }
+    }
+  }
+  // All but decoder2's direct-phase-1 parameters participate; nearly all
+  // tensors should be touched.
+  EXPECT_GT(touched,
+            static_cast<int64_t>(model.Parameters().size() * 2 / 3));
+}
+
+TEST(TranADModelTest, BidirectionalVariantSeesFuture) {
+  // The future-work extension drops the causal mask: the window encoder's
+  // self-attention must attend to future positions (which the causal model
+  // provably cannot; see AttentionTest.CausalityProperty).
+  TranADConfig c = SmallConfig();
+  c.bidirectional = true;
+  TranADModel model(c);
+  model.SetTraining(false);
+  TranADModel causal(SmallConfig());
+  causal.SetTraining(false);
+  Rng rng(12);
+  Variable w(Tensor::Rand({1, 6, 3}, &rng));
+  auto [b1, b2] = model.ForwardPhase1(w);
+  auto [c1, c2] = causal.ForwardPhase1(w);
+  EXPECT_EQ(b1.shape(), c1.shape());
+  for (int64_t i = 0; i < b1.value().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(b1.value()[i]));
+  }
+}
+
+TEST(TranADModelTest, DeterministicInEvalMode) {
+  TranADModel model(SmallConfig());
+  model.SetTraining(false);
+  Rng rng(10);
+  Variable w(Tensor::Rand({2, 6, 3}, &rng));
+  auto [a1, a2] = model.ForwardPhase1(w);
+  auto [b1, b2] = model.ForwardPhase1(w);
+  EXPECT_TRUE(a1.value().AllClose(b1.value(), 1e-7f));
+  EXPECT_TRUE(a2.value().AllClose(b2.value(), 1e-7f));
+}
+
+}  // namespace
+}  // namespace tranad

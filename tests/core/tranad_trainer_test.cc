@@ -1,0 +1,162 @@
+#include "core/tranad_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+Tensor TrainingWindows(double scale = 0.1, int64_t k = 6) {
+  Dataset ds = GenerateSynthetic(SmdConfig(scale));
+  MinMaxNormalizer norm;
+  norm.Fit(ds.train.values);
+  return MakeWindows(norm.Transform(ds.train.values), k);
+}
+
+TranADConfig SmallConfig() {
+  TranADConfig c;
+  c.dims = 8;
+  c.window = 6;
+  c.d_ff = 16;
+  c.seed = 3;
+  return c;
+}
+
+TrainOptions FastOptions() {
+  TrainOptions o;
+  o.max_epochs = 4;
+  o.batch_size = 64;
+  o.early_stop_patience = 10;  // no early stop in short tests
+  return o;
+}
+
+TEST(TrainerTest, LossDecreases) {
+  const Tensor windows = TrainingWindows();
+  TranADModel model(SmallConfig());
+  const TrainStats stats = TrainTranAD(&model, windows, FastOptions());
+  ASSERT_GE(stats.train_losses.size(), 2u);
+  EXPECT_LT(stats.train_losses.back(), stats.train_losses.front());
+}
+
+TEST(TrainerTest, StatsBookkeeping) {
+  const Tensor windows = TrainingWindows();
+  TranADModel model(SmallConfig());
+  TrainOptions opts = FastOptions();
+  const TrainStats stats = TrainTranAD(&model, windows, opts);
+  EXPECT_EQ(stats.epochs_run, opts.max_epochs);
+  EXPECT_EQ(stats.train_losses.size(),
+            static_cast<size_t>(stats.epochs_run));
+  EXPECT_EQ(stats.val_losses.size(), stats.train_losses.size());
+  EXPECT_GT(stats.seconds_per_epoch, 0.0);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  const Tensor windows = TrainingWindows(0.05);
+  TranADModel model(SmallConfig());
+  TrainOptions opts = FastOptions();
+  opts.max_epochs = 50;
+  opts.early_stop_patience = 1;
+  const TrainStats stats = TrainTranAD(&model, windows, opts);
+  EXPECT_LT(stats.epochs_run, 50);
+}
+
+TEST(TrainerTest, ModelLeftInEvalMode) {
+  const Tensor windows = TrainingWindows(0.05);
+  TranADModel model(SmallConfig());
+  TrainTranAD(&model, windows, FastOptions());
+  EXPECT_FALSE(model.training());
+}
+
+TEST(TrainerTest, ReconstructionImproves) {
+  // After training, phase-1 reconstruction of training windows must beat
+  // the untrained model's by a clear margin.
+  const Tensor windows = TrainingWindows();
+  const Tensor probe = SliceAxis(windows, 0, 0, 32);
+
+  const Tensor target =
+      SliceAxis(probe, 1, probe.size(1) - 1, 1)
+          .Reshape({probe.size(0), probe.size(2)});
+  auto recon_error = [&](TranADModel* m) {
+    m->SetTraining(false);
+    auto [o1, o2] = m->ForwardPhase1(Variable(probe));
+    double err = 0.0;
+    for (int64_t i = 0; i < target.numel(); ++i) {
+      const double d = o1.value()[i] - target[i];
+      err += d * d;
+    }
+    return err / target.numel();
+  };
+
+  TranADModel model(SmallConfig());
+  const double before = recon_error(&model);
+  model.SetTraining(true);
+  TrainTranAD(&model, windows, FastOptions());
+  const double after = recon_error(&model);
+  EXPECT_LT(after, before * 0.7);
+}
+
+TEST(TrainerTest, AblationsAllTrain) {
+  const Tensor windows = TrainingWindows(0.05);
+  for (int variant = 0; variant < 4; ++variant) {
+    TranADConfig c = SmallConfig();
+    c.use_transformer = variant != 0;
+    c.use_self_conditioning = variant != 1;
+    c.use_adversarial = variant != 2;
+    c.use_maml = variant != 3;
+    TranADModel model(c);
+    TrainOptions opts = FastOptions();
+    opts.max_epochs = 2;
+    const TrainStats stats = TrainTranAD(&model, windows, opts);
+    EXPECT_EQ(stats.epochs_run, 2) << "variant " << variant;
+    EXPECT_TRUE(std::isfinite(stats.train_losses.back()));
+  }
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  const Tensor windows = TrainingWindows(0.05);
+  auto train_once = [&]() {
+    TranADModel model(SmallConfig());
+    TrainOptions opts = FastOptions();
+    opts.max_epochs = 2;
+    TrainTranAD(&model, windows, opts);
+    return model.SnapshotParameters();
+  };
+  const auto a = train_once();
+  const auto b = train_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].AllClose(b[i], 1e-6f)) << "param " << i;
+  }
+}
+
+TEST(TrainerTest, WrongDimsDies) {
+  TranADModel model(SmallConfig());  // dims = 8
+  Tensor windows({10, 6, 5});
+  EXPECT_DEATH(TrainTranAD(&model, windows, FastOptions()), "CHECK");
+}
+
+TEST(TrainerTest, MamlStepChangesOutcome) {
+  const Tensor windows = TrainingWindows(0.05);
+  auto train_with = [&](bool maml) {
+    TranADConfig c = SmallConfig();
+    c.use_maml = maml;
+    TranADModel model(c);
+    TrainOptions opts = FastOptions();
+    opts.max_epochs = 2;
+    TrainTranAD(&model, windows, opts);
+    return model.SnapshotParameters();
+  };
+  const auto with = train_with(true);
+  const auto without = train_with(false);
+  bool any_diff = false;
+  for (size_t i = 0; i < with.size() && !any_diff; ++i) {
+    any_diff = !with[i].AllClose(without[i], 1e-7f);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,143 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+TEST(MinMaxNormalizerTest, MapsTrainIntoUnitRange) {
+  Tensor train({4, 2}, {0, -10, 5, 0, 10, 10, 2, 5});
+  MinMaxNormalizer norm;
+  norm.Fit(train);
+  const Tensor out = norm.Transform(train);
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LT(out[i], 1.0f);  // epsilon keeps max below 1
+  }
+  EXPECT_FLOAT_EQ(out.At({0, 0}), 0.0f);  // the min maps to 0
+}
+
+TEST(MinMaxNormalizerTest, PerDimensionRanges) {
+  Tensor train({2, 2}, {0, 100, 10, 200});
+  MinMaxNormalizer norm;
+  norm.Fit(train);
+  Tensor x({1, 2}, {5, 150});
+  const Tensor out = norm.Transform(x);
+  EXPECT_NEAR(out.At({0, 0}), 0.5f, 1e-3);
+  EXPECT_NEAR(out.At({0, 1}), 0.5f, 1e-3);
+}
+
+TEST(MinMaxNormalizerTest, ClipBoundsOutOfRange) {
+  Tensor train({2, 1}, {0, 1});
+  MinMaxNormalizer norm;
+  norm.Fit(train);
+  Tensor wild({2, 1}, {100.0f, -100.0f});
+  const Tensor hard = norm.Transform(wild, 0.0f);
+  EXPECT_FLOAT_EQ(hard.At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(hard.At({1, 0}), 0.0f);
+  const Tensor soft = norm.Transform(wild, 4.0f);
+  EXPECT_FLOAT_EQ(soft.At({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(soft.At({1, 0}), -4.0f);
+}
+
+TEST(MinMaxNormalizerTest, ConstantDimensionSafe) {
+  Tensor train({3, 1}, {5, 5, 5});
+  MinMaxNormalizer norm;
+  norm.Fit(train);
+  const Tensor out = norm.Transform(train);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(out[i]));
+    EXPECT_NEAR(out[i], 0.0f, 1e-3);
+  }
+}
+
+TEST(MinMaxNormalizerTest, TransformBeforeFitDies) {
+  MinMaxNormalizer norm;
+  EXPECT_DEATH(norm.Transform(Tensor({1, 1})), "CHECK");
+}
+
+TEST(MakeWindowsTest, ShapeAndAlignment) {
+  Tensor series({5, 2});
+  for (int64_t i = 0; i < 10; ++i) series[i] = static_cast<float>(i);
+  const Tensor w = MakeWindows(series, 3);
+  EXPECT_EQ(w.shape(), Shape({5, 3, 2}));
+  // Window at t=4 holds x_2, x_3, x_4.
+  EXPECT_FLOAT_EQ(w.At({4, 0, 0}), series.At({2, 0}));
+  EXPECT_FLOAT_EQ(w.At({4, 2, 1}), series.At({4, 1}));
+}
+
+TEST(MakeWindowsTest, ReplicationPaddingAtStart) {
+  Tensor series({4, 1}, {10, 20, 30, 40});
+  const Tensor w = MakeWindows(series, 3);
+  // t=0: all three entries replicate x_0.
+  EXPECT_FLOAT_EQ(w.At({0, 0, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(w.At({0, 1, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(w.At({0, 2, 0}), 10.0f);
+  // t=1: [x0, x0, x1].
+  EXPECT_FLOAT_EQ(w.At({1, 1, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(w.At({1, 2, 0}), 20.0f);
+}
+
+TEST(MakeWindowsTest, WindowOneIsIdentity) {
+  Tensor series({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor w = MakeWindows(series, 1);
+  EXPECT_EQ(w.shape(), Shape({3, 1, 2}));
+  EXPECT_FLOAT_EQ(w.At({2, 0, 1}), 6.0f);
+}
+
+TEST(MakeWindowsTest, LastWindowEndsAtCurrentTimestamp) {
+  // Invariant from §3.2: W_t ends at x_t for every t.
+  Tensor series({6, 1}, {0, 1, 2, 3, 4, 5});
+  const Tensor w = MakeWindows(series, 4);
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_FLOAT_EQ(w.At({t, 3, 0}), series.At({t, 0}));
+  }
+}
+
+TEST(SplitTrainValTest, ChronologicalSplit) {
+  Tensor data({10, 2});
+  for (int64_t i = 0; i < 20; ++i) data[i] = static_cast<float>(i);
+  const auto [train, val] = SplitTrainVal(data, 0.2);
+  EXPECT_EQ(train.size(0), 8);
+  EXPECT_EQ(val.size(0), 2);
+  EXPECT_FLOAT_EQ(val.At({0, 0}), data.At({8, 0}));
+}
+
+TEST(SplitTrainValTest, ZeroFractionKeepsAll) {
+  Tensor data({5, 1});
+  const auto [train, val] = SplitTrainVal(data, 0.0);
+  EXPECT_EQ(train.size(0), 5);
+  EXPECT_EQ(val.size(0), 0);
+}
+
+TEST(SubsampleTrainTest, FractionLength) {
+  TimeSeries ts;
+  ts.values = Tensor({100, 3});
+  Rng rng(1);
+  const TimeSeries sub = SubsampleTrain(ts, 0.2, &rng);
+  EXPECT_EQ(sub.length(), 20);
+  EXPECT_EQ(sub.dims(), 3);
+}
+
+TEST(SubsampleTrainTest, FullFractionReturnsOriginal) {
+  TimeSeries ts;
+  ts.values = Tensor({50, 2});
+  Rng rng(2);
+  EXPECT_EQ(SubsampleTrain(ts, 1.0, &rng).length(), 50);
+}
+
+TEST(SubsampleTrainTest, ContiguousSlice) {
+  TimeSeries ts;
+  ts.values = Tensor({100, 1});
+  for (int64_t i = 0; i < 100; ++i) {
+    ts.values.At({i, 0}) = static_cast<float>(i);
+  }
+  Rng rng(3);
+  const TimeSeries sub = SubsampleTrain(ts, 0.3, &rng);
+  for (int64_t i = 1; i < sub.length(); ++i) {
+    EXPECT_FLOAT_EQ(sub.values.At({i, 0}) - sub.values.At({i - 1, 0}), 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace tranad

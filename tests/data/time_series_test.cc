@@ -1,0 +1,124 @@
+#include "data/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace tranad {
+namespace {
+
+TimeSeries MakeSeries(int64_t t, int64_t m, bool labels) {
+  TimeSeries ts;
+  ts.name = "toy";
+  ts.values = Tensor({t, m});
+  if (labels) {
+    ts.labels.assign(static_cast<size_t>(t), 0);
+    ts.labels[0] = 1;
+  }
+  return ts;
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries ts = MakeSeries(10, 3, true);
+  EXPECT_EQ(ts.length(), 10);
+  EXPECT_EQ(ts.dims(), 3);
+  EXPECT_TRUE(ts.has_labels());
+  EXPECT_FALSE(ts.has_dim_labels());
+  EXPECT_NEAR(ts.AnomalyRate(), 0.1, 1e-9);
+}
+
+TEST(TimeSeriesTest, ValidateCatchesLabelMismatch) {
+  TimeSeries ts = MakeSeries(10, 2, true);
+  ts.labels.resize(5);
+  EXPECT_FALSE(ts.Validate().ok());
+}
+
+TEST(TimeSeriesTest, ValidateCatchesDimLabelShape) {
+  TimeSeries ts = MakeSeries(10, 2, true);
+  ts.dim_labels = Tensor({10, 3});
+  EXPECT_FALSE(ts.Validate().ok());
+  ts.dim_labels = Tensor({10, 2});
+  EXPECT_TRUE(ts.Validate().ok());
+  EXPECT_TRUE(ts.has_dim_labels());
+}
+
+TEST(DatasetTest, ValidateRequiresLabeledTest) {
+  Dataset ds;
+  ds.name = "d";
+  ds.train = MakeSeries(10, 2, false);
+  ds.test = MakeSeries(8, 2, false);
+  EXPECT_FALSE(ds.Validate().ok());
+  ds.test.labels.assign(8, 0);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesDimMismatch) {
+  Dataset ds;
+  ds.train = MakeSeries(10, 2, false);
+  ds.test = MakeSeries(8, 3, true);
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+class LoadCsvTest : public ::testing::Test {
+ protected:
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+};
+
+TEST_F(LoadCsvTest, LoadsWithScalarLabels) {
+  const auto train = Write("tr.csv", "1,2\n3,4\n5,6\n");
+  const auto test = Write("te.csv", "1,2\n9,9\n");
+  const auto labels = Write("la.csv", "0\n1\n");
+  auto ds = LoadDatasetCsv("toy", train, test, labels);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->train.length(), 3);
+  EXPECT_EQ(ds->test.length(), 2);
+  EXPECT_EQ(ds->dims(), 2);
+  EXPECT_EQ(ds->test.labels[1], 1);
+  EXPECT_FALSE(ds->test.has_dim_labels());
+}
+
+TEST_F(LoadCsvTest, LoadsWithPerDimLabels) {
+  const auto train = Write("tr2.csv", "1,2\n3,4\n");
+  const auto test = Write("te2.csv", "1,2\n9,9\n");
+  const auto labels = Write("la2.csv", "0,0\n1,0\n");
+  auto ds = LoadDatasetCsv("toy", train, test, labels);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->test.has_dim_labels());
+  EXPECT_EQ(ds->test.labels[1], 1);  // OR of dim labels
+  EXPECT_EQ(ds->test.labels[0], 0);
+}
+
+TEST_F(LoadCsvTest, LabelRowCountMismatchRejected) {
+  const auto train = Write("tr3.csv", "1\n2\n");
+  const auto test = Write("te3.csv", "1\n2\n");
+  const auto labels = Write("la3.csv", "0\n");
+  EXPECT_FALSE(LoadDatasetCsv("toy", train, test, labels).ok());
+}
+
+TEST_F(LoadCsvTest, MissingFileFails) {
+  const auto train = Write("tr4.csv", "1\n");
+  EXPECT_FALSE(
+      LoadDatasetCsv("toy", train, "/nonexistent.csv", train).ok());
+}
+
+TEST(SaveTimeSeriesTest, RoundTripThroughCsv) {
+  TimeSeries ts = MakeSeries(4, 2, true);
+  ts.values.At({2, 1}) = 7.5f;
+  const std::string path = ::testing::TempDir() + "/series.csv";
+  ASSERT_TRUE(SaveTimeSeriesCsv(ts, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "dim0,dim1,label");
+  std::string row0;
+  std::getline(in, row0);
+  EXPECT_EQ(row0, "0,0,1");
+}
+
+}  // namespace
+}  // namespace tranad

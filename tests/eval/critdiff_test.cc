@@ -1,0 +1,129 @@
+#include "eval/critdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tranad {
+namespace {
+
+TEST(GammaTest, RegularizedPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+}
+
+TEST(ChiSquareTest, SurvivalKnownValues) {
+  // Chi-square with k=2: SF(x) = e^{-x/2}.
+  EXPECT_NEAR(ChiSquareSf(2.0, 2), std::exp(-1.0), 1e-9);
+  // Critical value: SF(3.841, 1) ~ 0.05.
+  EXPECT_NEAR(ChiSquareSf(3.841, 1), 0.05, 2e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(-1.0, 3), 1.0);
+}
+
+TEST(FriedmanTest, DominantMethodRanksFirst) {
+  // Method 0 wins every dataset.
+  std::vector<std::vector<double>> scores{
+      {0.9, 0.95, 0.92, 0.88, 0.91, 0.93, 0.9, 0.94, 0.9},
+      {0.5, 0.55, 0.52, 0.48, 0.51, 0.53, 0.5, 0.54, 0.5},
+      {0.1, 0.15, 0.12, 0.08, 0.11, 0.13, 0.1, 0.14, 0.1}};
+  const auto result = FriedmanTest(scores);
+  EXPECT_DOUBLE_EQ(result.avg_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.avg_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.avg_ranks[2], 3.0);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(FriedmanTest, IdenticalMethodsNotSignificant) {
+  std::vector<std::vector<double>> scores{
+      {0.5, 0.5, 0.5, 0.5}, {0.5, 0.5, 0.5, 0.5}, {0.5, 0.5, 0.5, 0.5}};
+  const auto result = FriedmanTest(scores);
+  EXPECT_GT(result.p_value, 0.9);
+  for (double r : result.avg_ranks) EXPECT_DOUBLE_EQ(r, 2.0);  // tied
+}
+
+TEST(WilcoxonTest, LargeConsistentDifferenceSignificant) {
+  std::vector<double> a, b;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Uniform();
+    a.push_back(base + 0.3 + 0.01 * rng.Uniform());
+    b.push_back(base);
+  }
+  EXPECT_LT(WilcoxonSignedRankP(a, b), 0.01);
+}
+
+TEST(WilcoxonTest, NoDifferenceNotSignificant) {
+  std::vector<double> a, b;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  EXPECT_GT(WilcoxonSignedRankP(a, b), 0.05);
+}
+
+TEST(WilcoxonTest, IdenticalVectorsPValueOne) {
+  std::vector<double> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRankP(a, a), 1.0);
+}
+
+TEST(WilcoxonTest, SymmetricInSign) {
+  std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> b{2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_NEAR(WilcoxonSignedRankP(a, b), WilcoxonSignedRankP(b, a), 1e-12);
+}
+
+TEST(CritDiffTest, EntriesSortedByRank) {
+  std::vector<std::string> methods{"weak", "strong", "middle"};
+  std::vector<std::vector<double>> scores{
+      {0.1, 0.2, 0.1, 0.15, 0.2, 0.1, 0.12, 0.18, 0.14},
+      {0.9, 0.92, 0.95, 0.91, 0.9, 0.94, 0.93, 0.92, 0.9},
+      {0.5, 0.52, 0.55, 0.51, 0.5, 0.54, 0.53, 0.52, 0.5}};
+  const auto result = CriticalDifference(methods, scores);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_EQ(result.entries[0].method, "strong");
+  EXPECT_EQ(result.entries[1].method, "middle");
+  EXPECT_EQ(result.entries[2].method, "weak");
+  EXPECT_LT(result.friedman.p_value, 0.05);
+}
+
+TEST(CritDiffTest, SimilarMethodsShareClique) {
+  // a and b alternate wins with identical margins (Wilcoxon p = 1 by
+  // symmetry); weak is always far behind.
+  std::vector<std::string> methods{"a", "b", "weak"};
+  std::vector<std::vector<double>> scores(3);
+  for (int j = 0; j < 10; ++j) {
+    const double base = 0.6 + 0.03 * j;
+    const double delta = (j % 2 == 0) ? 0.01 : -0.01;
+    scores[0].push_back(base + delta);
+    scores[1].push_back(base - delta);
+    scores[2].push_back(base - 0.5);
+  }
+  const auto result = CriticalDifference(methods, scores);
+  ASSERT_FALSE(result.cliques.empty());
+  // The top two entries (a, b in some order) form a clique.
+  const auto& clique = result.cliques.front();
+  EXPECT_EQ(clique.size(), 2u);
+  EXPECT_EQ(clique[0], 0);
+  EXPECT_EQ(clique[1], 1);
+}
+
+TEST(CritDiffTest, RenderContainsMethodsAndStatistic) {
+  std::vector<std::string> methods{"TranAD", "USAD"};
+  std::vector<std::vector<double>> scores{{0.9, 0.8, 0.95, 0.85},
+                                          {0.7, 0.6, 0.75, 0.65}};
+  const auto result = CriticalDifference(methods, scores);
+  const std::string text = RenderCritDiff(result);
+  EXPECT_NE(text.find("TranAD"), std::string::npos);
+  EXPECT_NE(text.find("USAD"), std::string::npos);
+  EXPECT_NE(text.find("Friedman"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tranad

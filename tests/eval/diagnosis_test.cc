@@ -1,0 +1,106 @@
+#include "eval/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+TEST(DiagnosisTest, PerfectRankingScoresOne) {
+  // 3 timestamps, 4 dims; scores rank true dims on top everywhere.
+  Tensor truth({3, 4});
+  Tensor scores({3, 4});
+  truth.At({0, 1}) = 1.0f;
+  scores.At({0, 1}) = 9.0f;
+  truth.At({1, 0}) = 1.0f;
+  truth.At({1, 2}) = 1.0f;
+  scores.At({1, 0}) = 8.0f;
+  scores.At({1, 2}) = 7.0f;
+  truth.At({2, 3}) = 1.0f;
+  scores.At({2, 3}) = 5.0f;
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 1.0);
+  EXPECT_DOUBLE_EQ(m.hitrate_150, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg_100, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg_150, 1.0);
+  EXPECT_EQ(m.evaluated_timestamps, 3);
+}
+
+TEST(DiagnosisTest, WorstRankingScoresZeroAt100) {
+  Tensor truth({1, 4});
+  Tensor scores({1, 4});
+  truth.At({0, 0}) = 1.0f;       // true dim is 0
+  scores.At({0, 3}) = 3.0f;      // model ranks others higher
+  scores.At({0, 2}) = 2.0f;
+  scores.At({0, 1}) = 1.0f;
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg_100, 0.0);
+}
+
+TEST(DiagnosisTest, HitRate150ConsidersMoreCandidates) {
+  // 2 true dims; model puts one at rank 1 and the other at rank 3.
+  Tensor truth({1, 4});
+  Tensor scores({1, 4});
+  truth.At({0, 0}) = 1.0f;
+  truth.At({0, 1}) = 1.0f;
+  scores.At({0, 0}) = 9.0f;  // rank 1 (hit)
+  scores.At({0, 2}) = 8.0f;  // rank 2 (miss)
+  scores.At({0, 1}) = 7.0f;  // rank 3 (hit at 150%)
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 0.5);  // top-2 contains 1 of 2
+  EXPECT_DOUBLE_EQ(m.hitrate_150, 1.0);  // top-3 contains both
+  EXPECT_GT(m.ndcg_150, m.ndcg_100);
+}
+
+TEST(DiagnosisTest, NormalTimestampsIgnored) {
+  Tensor truth({5, 3});  // all zeros
+  Tensor scores({5, 3});
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_EQ(m.evaluated_timestamps, 0);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 0.0);
+}
+
+TEST(DiagnosisTest, AveragesAcrossTimestamps) {
+  Tensor truth({2, 2});
+  Tensor scores({2, 2});
+  // t=0: perfect. t=1: wrong.
+  truth.At({0, 0}) = 1.0f;
+  scores.At({0, 0}) = 1.0f;
+  truth.At({1, 1}) = 1.0f;
+  scores.At({1, 0}) = 1.0f;
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 0.5);
+}
+
+TEST(DiagnosisTest, AllDimsAnomalousAlwaysHit) {
+  Tensor truth({1, 3});
+  Tensor scores({1, 3});
+  for (int64_t d = 0; d < 3; ++d) truth.At({0, d}) = 1.0f;
+  const auto m = EvaluateDiagnosis(scores, truth);
+  EXPECT_DOUBLE_EQ(m.hitrate_100, 1.0);  // top-3 of 3 necessarily hits all
+}
+
+TEST(DiagnosisTest, ShapeMismatchDies) {
+  EXPECT_DEATH(EvaluateDiagnosis(Tensor({2, 3}), Tensor({2, 4})), "CHECK");
+}
+
+TEST(DiagnosisTest, NdcgPrefersTopRankedHits) {
+  // Same hit count, different rank placement -> NDCG discriminates.
+  Tensor truth({1, 4});
+  truth.At({0, 0}) = 1.0f;
+  truth.At({0, 1}) = 1.0f;
+  Tensor good({1, 4});
+  good.At({0, 0}) = 9.0f;  // hit at rank 1
+  good.At({0, 2}) = 8.0f;
+  good.At({0, 1}) = 7.0f;  // hit at rank 3
+  Tensor bad({1, 4});
+  bad.At({0, 2}) = 9.0f;   // miss at rank 1
+  bad.At({0, 3}) = 8.0f;   // miss at rank 2
+  bad.At({0, 0}) = 7.0f;   // hit at rank 3
+  const auto mg = EvaluateDiagnosis(good, truth);
+  const auto mb = EvaluateDiagnosis(bad, truth);
+  EXPECT_GT(mg.ndcg_150, mb.ndcg_150);
+}
+
+}  // namespace
+}  // namespace tranad

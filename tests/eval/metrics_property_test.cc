@@ -1,0 +1,101 @@
+// Property-based metric tests on random inputs: invariants that must hold
+// for any scores/labels, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace tranad {
+namespace {
+
+struct RandomCase {
+  std::vector<double> scores;
+  std::vector<uint8_t> truth;
+};
+
+RandomCase MakeRandomCase(uint64_t seed, size_t n = 400) {
+  Rng rng(seed);
+  RandomCase c;
+  c.scores.reserve(n);
+  c.truth.reserve(n);
+  bool in_segment = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (!in_segment && rng.Bernoulli(0.02)) in_segment = true;
+    if (in_segment && rng.Bernoulli(0.2)) in_segment = false;
+    c.truth.push_back(in_segment ? 1 : 0);
+    c.scores.push_back(rng.Uniform() + (in_segment ? rng.Uniform() : 0.0));
+  }
+  return c;
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, PointAdjustNeverShrinksPredictions) {
+  const RandomCase c = MakeRandomCase(GetParam());
+  const auto pred = ApplyThreshold(c.scores, 1.0);
+  const auto adjusted = PointAdjust(pred, c.truth);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    // Adjustment can only add positives inside true segments.
+    if (pred[i] != 0) EXPECT_NE(adjusted[i], 0);
+    if (adjusted[i] != 0 && pred[i] == 0) EXPECT_NE(c.truth[i], 0);
+  }
+}
+
+TEST_P(MetricsPropertyTest, PointAdjustIsIdempotent) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0xABCD);
+  const auto pred = ApplyThreshold(c.scores, 1.2);
+  const auto once = PointAdjust(pred, c.truth);
+  const auto twice = PointAdjust(once, c.truth);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(MetricsPropertyTest, AdjustedF1AtLeastRawF1) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0x1234);
+  const auto pred = ApplyThreshold(c.scores, 1.1);
+  const auto raw = CountConfusion(pred, c.truth);
+  const auto adj = CountConfusion(PointAdjust(pred, c.truth), c.truth);
+  EXPECT_GE(F1Of(adj), F1Of(raw) - 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucInvariantUnderMonotoneTransform) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0x9999);
+  std::vector<double> transformed(c.scores.size());
+  for (size_t i = 0; i < c.scores.size(); ++i) {
+    transformed[i] = std::exp(2.0 * c.scores[i]) + 5.0;
+  }
+  EXPECT_NEAR(RocAuc(c.scores, c.truth), RocAuc(transformed, c.truth),
+              1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucComplementOnNegatedScores) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0x7777);
+  std::vector<double> negated(c.scores.size());
+  for (size_t i = 0; i < c.scores.size(); ++i) negated[i] = -c.scores[i];
+  EXPECT_NEAR(RocAuc(c.scores, c.truth) + RocAuc(negated, c.truth), 1.0,
+              1e-12);
+}
+
+TEST_P(MetricsPropertyTest, BestF1DominatesFixedThresholds) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0x4242);
+  const auto best = EvaluateBestF1(c.scores, c.truth);
+  for (double thr : {0.5, 1.0, 1.5}) {
+    const auto fixed = EvaluateAtThreshold(c.scores, c.truth, thr);
+    EXPECT_GE(best.f1, fixed.f1 - 1e-9);
+  }
+}
+
+TEST_P(MetricsPropertyTest, ConfusionCountsSumToN) {
+  const RandomCase c = MakeRandomCase(GetParam() ^ 0x2468);
+  const auto pred = ApplyThreshold(c.scores, 0.9);
+  const auto counts = CountConfusion(pred, c.truth);
+  EXPECT_EQ(counts.tp + counts.fp + counts.tn + counts.fn,
+            static_cast<int64_t>(c.scores.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,155 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tranad {
+namespace {
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const std::vector<uint8_t> pred{1, 1, 0, 0};
+  const std::vector<uint8_t> truth{1, 0, 1, 0};
+  const auto c = CountConfusion(pred, truth);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(PrfTest, KnownValues) {
+  ConfusionCounts c{.tp = 8, .fp = 2, .tn = 80, .fn = 10};
+  EXPECT_DOUBLE_EQ(PrecisionOf(c), 0.8);
+  EXPECT_NEAR(RecallOf(c), 8.0 / 18.0, 1e-12);
+  const double p = 0.8;
+  const double r = 8.0 / 18.0;
+  EXPECT_NEAR(F1Of(c), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(PrfTest, DegenerateCasesZero) {
+  ConfusionCounts empty;
+  EXPECT_DOUBLE_EQ(PrecisionOf(empty), 0.0);
+  EXPECT_DOUBLE_EQ(RecallOf(empty), 0.0);
+  EXPECT_DOUBLE_EQ(F1Of(empty), 0.0);
+}
+
+TEST(PointAdjustTest, WholeSegmentCreditedOnAnyHit) {
+  const std::vector<uint8_t> truth{0, 1, 1, 1, 0, 1, 1, 0};
+  const std::vector<uint8_t> pred{0, 0, 1, 0, 0, 0, 0, 0};
+  const auto adj = PointAdjust(pred, truth);
+  EXPECT_EQ(adj, (std::vector<uint8_t>{0, 1, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(PointAdjustTest, MissedSegmentStaysMissed) {
+  const std::vector<uint8_t> truth{1, 1, 0};
+  const std::vector<uint8_t> pred{0, 0, 1};
+  const auto adj = PointAdjust(pred, truth);
+  EXPECT_EQ(adj[0], 0);
+  EXPECT_EQ(adj[1], 0);
+  EXPECT_EQ(adj[2], 1);  // false positive untouched
+}
+
+TEST(PointAdjustTest, NoTruthIsIdentity) {
+  const std::vector<uint8_t> truth{0, 0, 0};
+  const std::vector<uint8_t> pred{1, 0, 1};
+  EXPECT_EQ(PointAdjust(pred, truth), pred);
+}
+
+TEST(ApplyThresholdTest, InclusiveBoundary) {
+  const auto pred = ApplyThreshold({1.0, 2.0, 3.0}, 2.0);
+  EXPECT_EQ(pred, (std::vector<uint8_t>{0, 1, 1}));
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  const std::vector<double> scores{0.1, 0.2, 0.9, 0.8};
+  const std::vector<uint8_t> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 1.0);
+}
+
+TEST(RocAucTest, PerfectInversionIsZero) {
+  const std::vector<double> scores{0.9, 0.8, 0.1, 0.2};
+  const std::vector<uint8_t> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores(2000);
+  std::vector<uint8_t> truth(2000);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Uniform();
+    truth[i] = rng.Bernoulli(0.2);
+  }
+  EXPECT_NEAR(RocAuc(scores, truth), 0.5, 0.05);
+}
+
+TEST(RocAucTest, TiesAveraged) {
+  const std::vector<double> scores{1.0, 1.0, 1.0, 1.0};
+  const std::vector<uint8_t> truth{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 0.5);
+}
+
+TEST(RocAucTest, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1.0, 2.0}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({1.0, 2.0}, {1, 1}), 0.5);
+}
+
+TEST(EvaluateAtThresholdTest, AppliesPointAdjust) {
+  // Truth segment [1,3]; scores only exceed at index 2.
+  const std::vector<double> scores{0.0, 0.1, 5.0, 0.1, 0.0};
+  const std::vector<uint8_t> truth{0, 1, 1, 1, 0};
+  const auto m = EvaluateAtThreshold(scores, truth, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);  // whole segment credited
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluateBestF1Test, FindsSeparatingThreshold) {
+  std::vector<double> scores(100, 0.1);
+  std::vector<uint8_t> truth(100, 0);
+  for (int i = 40; i < 44; ++i) {
+    scores[static_cast<size_t>(i)] = 0.9;
+    truth[static_cast<size_t>(i)] = 1;
+  }
+  const auto m = EvaluateBestF1(scores, truth);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_GT(m.threshold, 0.1);
+  EXPECT_LE(m.threshold, 0.9);
+}
+
+TEST(EvaluateBestF1Test, ImperfectScoresGivePartialF1) {
+  // Overlapping score distributions cannot reach F1 = 1 without
+  // point-adjust rescue: use isolated single-point anomalies.
+  std::vector<double> scores;
+  std::vector<uint8_t> truth;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const bool anom = i % 20 == 10;
+    scores.push_back(anom ? rng.Uniform(0.4, 1.0) : rng.Uniform(0.0, 0.6));
+    truth.push_back(anom ? 1 : 0);
+    scores.push_back(0.0);  // spacer keeps segments isolated
+    truth.push_back(0);
+  }
+  const auto m = EvaluateBestF1(scores, truth);
+  EXPECT_GT(m.f1, 0.3);
+  EXPECT_LT(m.f1, 1.0);
+}
+
+TEST(EvaluateBestF1Test, SubsamplingStillCoversRange) {
+  std::vector<double> scores(5000);
+  std::vector<uint8_t> truth(5000, 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>(i);
+  }
+  truth[4999] = 1;
+  const auto m = EvaluateBestF1(scores, truth, 64);
+  EXPECT_GT(m.f1, 0.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchDies) {
+  EXPECT_DEATH(CountConfusion({1}, {1, 0}), "CHECK");
+  EXPECT_DEATH(RocAuc({1.0}, {1, 0}), "CHECK");
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,176 @@
+#include "eval/pot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tranad {
+namespace {
+
+std::vector<double> ExponentialSample(double rate, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = -std::log(1.0 - rng.Uniform()) / rate;
+  return out;
+}
+
+TEST(QuantileTest, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_NEAR(Quantile(v, 0.3), 3.0, 1e-12);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(GpdFitTest, ExponentialTailGivesGammaNearZero) {
+  // Exponential excesses are GPD with gamma = 0, sigma = 1/rate.
+  const auto excesses = ExponentialSample(2.0, 5000, 42);
+  const GpdFit fit = FitGpdGrimshaw(excesses);
+  EXPECT_NEAR(fit.gamma, 0.0, 0.12);
+  EXPECT_NEAR(fit.sigma, 0.5, 0.1);
+}
+
+TEST(GpdFitTest, HeavyTailGivesPositiveGamma) {
+  // Pareto-like excesses: X = sigma/gamma ((1-U)^-gamma - 1).
+  Rng rng(43);
+  const double gamma = 0.5;
+  const double sigma = 1.0;
+  std::vector<double> excesses(5000);
+  for (auto& v : excesses) {
+    v = sigma / gamma * (std::pow(1.0 - rng.Uniform(), -gamma) - 1.0);
+  }
+  const GpdFit fit = FitGpdGrimshaw(excesses);
+  EXPECT_GT(fit.gamma, 0.2);
+}
+
+TEST(PotThresholdTest, CalibratedExceedanceProbability) {
+  // For exponential scores the POT threshold at risk q should be exceeded
+  // by about q of an independent sample.
+  const auto calib = ExponentialSample(1.0, 20000, 7);
+  PotParams params;
+  params.risk = 1e-3;
+  params.init_quantile = 0.98;
+  const double z = PotThreshold(calib, params);
+  const auto fresh = ExponentialSample(1.0, 50000, 8);
+  int64_t above = 0;
+  for (double s : fresh) above += s > z;
+  const double rate = static_cast<double>(above) / fresh.size();
+  EXPECT_NEAR(rate, 1e-3, 8e-4);
+}
+
+TEST(PotThresholdTest, ThresholdAboveInitQuantile) {
+  const auto calib = ExponentialSample(1.0, 5000, 9);
+  PotParams params;
+  const double z = PotThreshold(calib, params);
+  EXPECT_GT(z, Quantile(calib, params.init_quantile));
+}
+
+TEST(PotThresholdTest, FewExcessesFallsBackToQuantile) {
+  std::vector<double> tiny{1, 2, 3, 4, 5};
+  PotParams params;
+  params.min_excesses = 10;
+  const double z = PotThreshold(tiny, params);
+  EXPECT_NEAR(z, Quantile(tiny, 1.0 - params.risk), 1e-9);
+}
+
+TEST(StreamingPotTest, FlagsInjectedExtremes) {
+  StreamingPot spot({.risk = 1e-4, .init_quantile = 0.95});
+  spot.Initialize(ExponentialSample(1.0, 5000, 10));
+  ASSERT_TRUE(spot.initialized());
+  Rng rng(11);
+  int64_t false_alarms = 0;
+  for (int i = 0; i < 2000; ++i) {
+    false_alarms += spot.Observe(-std::log(1.0 - rng.Uniform()));
+  }
+  EXPECT_LT(false_alarms, 10);
+  EXPECT_TRUE(spot.Observe(spot.threshold() + 100.0));
+}
+
+TEST(StreamingPotTest, AdaptsPeaksOverTime) {
+  StreamingPot spot({.risk = 1e-3, .init_quantile = 0.9});
+  spot.Initialize(ExponentialSample(1.0, 1000, 12));
+  const int64_t peaks_before = spot.num_peaks();
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    spot.Observe(-std::log(1.0 - rng.Uniform()));
+  }
+  EXPECT_GT(spot.num_peaks(), peaks_before);
+}
+
+TEST(StreamingPotTest, ObserveBeforeInitDies) {
+  StreamingPot spot;
+  EXPECT_DEATH(spot.Observe(1.0), "CHECK");
+}
+
+TEST(NdtThresholdTest, AboveMeanOfErrors) {
+  Rng rng(14);
+  std::vector<double> errors(2000);
+  double mean = 0.0;
+  for (auto& e : errors) {
+    e = std::fabs(rng.Normal(0.0, 1.0));
+    mean += e;
+  }
+  mean /= errors.size();
+  // Plant a few extreme errors.
+  errors[100] = 20.0;
+  errors[500] = 25.0;
+  const double eps = NdtThreshold(errors);
+  EXPECT_GT(eps, mean);
+  EXPECT_LT(eps, 25.0);
+}
+
+TEST(NdtThresholdTest, SeparatesPlantedAnomalies) {
+  std::vector<double> errors(500, 0.1);
+  for (int i = 0; i < 5; ++i) errors[static_cast<size_t>(i * 100 + 7)] = 10.0;
+  const double eps = NdtThreshold(errors);
+  EXPECT_GT(eps, 0.1);
+  EXPECT_LT(eps, 10.0);
+}
+
+TEST(AnnualMaximumTest, ThresholdAboveTypicalMaxima) {
+  const auto calib = ExponentialSample(1.0, 10000, 15);
+  const double z = AnnualMaximumThreshold(calib, 0.01, 100);
+  // 1% return level should exceed the median block maximum.
+  std::vector<double> maxima;
+  for (size_t i = 0; i < calib.size(); i += 100) {
+    double m = calib[i];
+    for (size_t j = i; j < i + 100; ++j) m = std::max(m, calib[j]);
+    maxima.push_back(m);
+  }
+  EXPECT_GT(z, Quantile(maxima, 0.5));
+}
+
+TEST(AnnualMaximumTest, HigherRiskLowersThreshold) {
+  const auto calib = ExponentialSample(1.0, 5000, 16);
+  EXPECT_GT(AnnualMaximumThreshold(calib, 0.001, 50),
+            AnnualMaximumThreshold(calib, 0.1, 50));
+}
+
+TEST(PotVsAmTest, PotTracksTailMoreClosely) {
+  // The paper reports POT outperforming AM; a necessary condition is that
+  // POT's threshold for small risks stays below AM's overly conservative
+  // one on light-tailed data while both exceed the bulk.
+  const auto calib = ExponentialSample(1.0, 20000, 17);
+  PotParams params;
+  params.risk = 1e-3;
+  const double pot = PotThreshold(calib, params);
+  const double am = AnnualMaximumThreshold(calib, 1e-3, 200);
+  const double bulk = Quantile(calib, 0.99);
+  EXPECT_GT(pot, bulk);
+  EXPECT_GT(am, bulk);
+}
+
+}  // namespace
+}  // namespace tranad

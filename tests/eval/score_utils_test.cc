@@ -1,0 +1,84 @@
+#include "eval/score_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+TEST(EwmaTest, AlphaOneIsIdentity) {
+  const std::vector<double> s{1, 5, 2, 8};
+  EXPECT_EQ(EwmaSmooth(s, 1.0), s);
+}
+
+TEST(EwmaTest, SmoothsSpike) {
+  std::vector<double> s(20, 0.0);
+  s[10] = 10.0;
+  const auto out = EwmaSmooth(s, 0.3);
+  EXPECT_LT(out[10], 10.0);   // spike damped
+  EXPECT_GT(out[11], 0.0);    // energy spread forward
+  EXPECT_GT(out[10], out[12]);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  std::vector<double> s(100, 4.0);
+  const auto out = EwmaSmooth(s, 0.2);
+  EXPECT_NEAR(out.back(), 4.0, 1e-9);
+}
+
+TEST(EwmaTest, PerDimMatchesScalar) {
+  Tensor scores({4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  const Tensor out = EwmaSmoothPerDim(scores, 0.5);
+  std::vector<double> col0{1, 2, 3, 4};
+  const auto ref = EwmaSmooth(col0, 0.5);
+  for (int64_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(out.At({t, 0}), ref[static_cast<size_t>(t)], 1e-5);
+  }
+}
+
+TEST(EwmaTest, InvalidAlphaDies) {
+  EXPECT_DEATH(EwmaSmooth({1.0}, 0.0), "CHECK");
+  EXPECT_DEATH(EwmaSmooth({1.0}, 1.5), "CHECK");
+}
+
+TEST(RobustStandardizeTest, CentersAtMedian) {
+  Tensor scores({5, 1}, {1, 2, 3, 4, 100});
+  const Tensor out = RobustStandardizePerDim(scores);
+  EXPECT_NEAR(out.At({2, 0}), 0.0f, 1e-5);  // median row -> 0
+  EXPECT_GT(out.At({4, 0}), 1.0f);          // outlier stays large
+}
+
+TEST(RobustStandardizeTest, ScalesDimsIndependently) {
+  // Dim 0 in [0,1], dim 1 in [0,1000]: after standardization the same
+  // relative outlier gets a comparable score.
+  Tensor scores({5, 2},
+                {0.1f, 100, 0.2f, 200, 0.3f, 300, 0.4f, 400, 0.9f, 900});
+  const Tensor out = RobustStandardizePerDim(scores);
+  EXPECT_NEAR(out.At({4, 0}), out.At({4, 1}), 0.05f);
+}
+
+TEST(RobustStandardizeTest, ConstantDimSafe) {
+  Tensor scores({4, 1}, {2, 2, 2, 2});
+  const Tensor out = RobustStandardizePerDim(scores);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(out.At({i, 0})));
+  }
+}
+
+TEST(RollingMaxTest, WidensSpikes) {
+  std::vector<double> s(10, 0.0);
+  s[4] = 5.0;
+  const auto out = RollingMax(s, 3);
+  EXPECT_DOUBLE_EQ(out[4], 5.0);
+  EXPECT_DOUBLE_EQ(out[5], 5.0);
+  EXPECT_DOUBLE_EQ(out[6], 5.0);
+  EXPECT_DOUBLE_EQ(out[7], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);  // strictly trailing window
+}
+
+TEST(RollingMaxTest, WindowOneIsIdentity) {
+  const std::vector<double> s{3, 1, 4, 1, 5};
+  EXPECT_EQ(RollingMax(s, 1), s);
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,149 @@
+// Full-stack integration tests: synthetic data -> normalization ->
+// windows -> TranAD training -> two-phase scoring -> POT thresholding ->
+// detection + diagnosis metrics — the complete Alg. 1 + Alg. 2 pipeline.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/pipeline.h"
+#include "core/tranad_detector.h"
+#include "data/synthetic.h"
+#include "eval/critdiff.h"
+#include "eval/pot.h"
+
+namespace tranad {
+namespace {
+
+TEST(EndToEndTest, TranADBeatsWeakBaselineOnSmd) {
+  // Scale 0.3 is the smallest size with enough anomaly segments for stable
+  // F1 (tiny scales leave only 1-2 events and metric noise dominates).
+  auto config = SmdConfig(0.3);
+  Dataset ds = GenerateSynthetic(config);
+
+  DetectorOptions opts;
+  opts.epochs = 4;
+  auto tranad = CreateDetector("TranAD", opts);
+  auto iforest = CreateDetector("IsolationForest", opts);
+  ASSERT_TRUE(tranad.ok() && iforest.ok());
+
+  const EvalOutcome a = EvaluateDetector(tranad->get(), ds);
+  const EvalOutcome b = EvaluateDetector(iforest->get(), ds);
+  EXPECT_GT(a.detection.f1, 0.6);
+  EXPECT_GE(a.detection.f1, b.detection.f1 - 0.05);
+}
+
+TEST(EndToEndTest, AblationOrderingOnWadi) {
+  // Table 6's strongest effect: removing the transformer hurts most on
+  // large, noisy datasets (the paper reports a 56% drop on WADI).
+  Dataset ds = GenerateSynthetic(WadiConfig(0.08));
+  DetectorOptions opts;
+  opts.epochs = 3;
+  auto full = CreateDetector("TranAD", opts);
+  auto no_transformer = CreateDetector("TranAD-w/o-transformer", opts);
+  ASSERT_TRUE(full.ok() && no_transformer.ok());
+  const EvalOutcome a = EvaluateDetector(full->get(), ds);
+  const EvalOutcome b = EvaluateDetector(no_transformer->get(), ds);
+  // The full model should not lose; allow slack for the tiny scale.
+  EXPECT_GE(a.detection.f1 + 0.1, b.detection.f1);
+}
+
+TEST(EndToEndTest, OnlineInferenceMatchesBatchScores) {
+  // Alg. 2 is sequential/online; our batched scorer must produce the same
+  // scores as feeding one window at a time.
+  Dataset ds = GenerateSynthetic(NabConfig(0.4));
+  TranADConfig mc;
+  mc.window = 8;
+  mc.d_ff = 16;
+  TrainOptions to;
+  to.max_epochs = 2;
+  TranADDetector det(mc, to);
+  det.Fit(ds.train);
+  const Tensor batch_scores = det.Score(ds.test);
+
+  // Chunked "online" pass: score the prefix stream in pieces and compare
+  // the overlap (windows only look backwards, so scores are causal).
+  const int64_t prefix_len = std::min<int64_t>(100, ds.test.length());
+  TimeSeries prefix;
+  prefix.values = Tensor({prefix_len, 1});
+  std::copy(ds.test.values.data(), ds.test.values.data() + prefix_len,
+            prefix.values.data());
+  const Tensor prefix_scores = det.Score(prefix);
+  for (int64_t t = 0; t < prefix_len; ++t) {
+    EXPECT_NEAR(prefix_scores.At({t, 0}), batch_scores.At({t, 0}), 1e-4)
+        << "score at t=" << t << " depends on future data";
+  }
+}
+
+TEST(EndToEndTest, StreamingPotOnTranADScores) {
+  auto config = SmapConfig(0.25);
+  config.anomaly_magnitude = 1.5;
+  Dataset ds = GenerateSynthetic(config);
+  TranADConfig mc;
+  mc.window = 8;
+  mc.d_ff = 16;
+  TrainOptions to;
+  to.max_epochs = 3;
+  TranADDetector det(mc, to);
+  det.Fit(ds.train);
+
+  const std::vector<double> calib =
+      DetectionScores(det.Score(ds.train));
+  const std::vector<double> stream =
+      DetectionScores(det.Score(ds.test));
+
+  StreamingPot spot(PotParamsForDataset("SMAP"));
+  spot.Initialize(calib);
+  std::vector<uint8_t> pred;
+  pred.reserve(stream.size());
+  for (double s : stream) pred.push_back(spot.Observe(s) ? 1 : 0);
+  const auto adjusted = PointAdjust(pred, ds.test.labels);
+  const auto c = CountConfusion(adjusted, ds.test.labels);
+  // The streaming detector catches at least part of the anomalies without
+  // drowning in false positives.
+  EXPECT_GT(RecallOf(c), 0.2);
+  EXPECT_GT(PrecisionOf(c), 0.2);
+}
+
+TEST(EndToEndTest, CriticalDifferencePipelineRuns) {
+  // Mini Fig. 4: three methods, four datasets, full statistical pipeline.
+  std::vector<std::string> methods{"TranAD", "USAD", "IsolationForest"};
+  std::vector<std::vector<double>> f1(methods.size());
+  DetectorOptions opts;
+  opts.epochs = 2;
+  for (const char* data : {"NAB", "MBA", "SMD", "MSDS"}) {
+    auto ds = GenerateDatasetByName(data, 0.06);
+    ASSERT_TRUE(ds.ok());
+    for (size_t i = 0; i < methods.size(); ++i) {
+      auto det = CreateDetector(methods[i], opts);
+      ASSERT_TRUE(det.ok());
+      f1[i].push_back(EvaluateDetector(det->get(), *ds).detection.f1);
+    }
+  }
+  const auto cd = CriticalDifference(methods, f1);
+  EXPECT_EQ(cd.entries.size(), 3u);
+  const std::string rendered = RenderCritDiff(cd);
+  EXPECT_NE(rendered.find("TranAD"), std::string::npos);
+}
+
+TEST(EndToEndTest, LimitedDataStillLearns) {
+  // The F1* protocol: 20% of training data.
+  Dataset ds = GenerateSynthetic(SmdConfig(0.15));
+  Rng rng(9);
+  TimeSeries small = SubsampleTrain(ds.train, 0.2, &rng);
+  TranADConfig mc;
+  mc.d_ff = 16;
+  TrainOptions to;
+  to.max_epochs = 4;
+  TranADDetector det(mc, to);
+  det.Fit(small);
+  const EvalOutcome out = [&] {
+    // Score manually since Fit already happened.
+    EvalOutcome o;
+    const Tensor scores = det.Score(ds.test);
+    o.detection = EvaluateBestF1(DetectionScores(scores), ds.test.labels);
+    return o;
+  }();
+  EXPECT_GT(out.detection.f1, 0.4);
+}
+
+}  // namespace
+}  // namespace tranad

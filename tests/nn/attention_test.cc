@@ -1,0 +1,138 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(CausalMaskTest, UpperTriangleBlocked) {
+  Tensor mask = CausalMask(4);
+  EXPECT_EQ(mask.shape(), Shape({4, 4}));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      if (j > i) {
+        EXPECT_LT(mask.At({i, j}), -1e8f);
+      } else {
+        EXPECT_FLOAT_EQ(mask.At({i, j}), 0.0f);
+      }
+    }
+  }
+}
+
+class AttentionHeadsTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(AttentionHeadsTest, OutputShapeAndFiniteness) {
+  const int64_t heads = GetParam();
+  Rng rng(1);
+  MultiHeadAttention attn(8, heads, &rng);
+  Variable x(Tensor::Randn({2, 5, 8}, &rng));
+  Variable y = attn.Forward(x, x, x);
+  EXPECT_EQ(y.shape(), Shape({2, 5, 8}));
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.value()[i]));
+  }
+}
+
+TEST_P(AttentionHeadsTest, AttentionRowsSumToOne) {
+  const int64_t heads = GetParam();
+  Rng rng(2);
+  MultiHeadAttention attn(8, heads, &rng);
+  Variable x(Tensor::Randn({1, 6, 8}, &rng));
+  attn.Forward(x, x, x);
+  const Tensor& w = attn.last_attention();
+  ASSERT_EQ(w.shape(), Shape({1, 6, 6}));
+  for (int64_t r = 0; r < 6; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 6; ++c) sum += w.At({0, r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeadCounts, AttentionHeadsTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(AttentionTest, CausalMaskZeroesFutureWeights) {
+  Rng rng(3);
+  MultiHeadAttention attn(4, 2, &rng);
+  Variable x(Tensor::Randn({1, 5, 4}, &rng));
+  const Tensor mask = CausalMask(5);
+  attn.Forward(x, x, x, &mask);
+  const Tensor& w = attn.last_attention();
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = i + 1; j < 5; ++j) {
+      EXPECT_NEAR(w.At({0, i, j}), 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(AttentionTest, CausalityProperty) {
+  // With a causal mask, changing a future timestamp must not change the
+  // output at earlier positions.
+  Rng rng(4);
+  MultiHeadAttention attn(4, 2, &rng);
+  Tensor base = Tensor::Randn({1, 5, 4}, &rng);
+  Tensor modified = base;
+  for (int64_t j = 0; j < 4; ++j) modified.At({0, 4, j}) += 10.0f;
+  const Tensor mask = CausalMask(5);
+  const Tensor y1 =
+      attn.Forward(Variable(base), Variable(base), Variable(base), &mask)
+          .value();
+  const Tensor y2 = attn.Forward(Variable(modified), Variable(modified),
+                                 Variable(modified), &mask)
+                        .value();
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(y1.At({0, t, j}), y2.At({0, t, j}), 1e-4)
+          << "position " << t << " leaked future information";
+    }
+  }
+}
+
+TEST(AttentionTest, CrossAttentionShape) {
+  Rng rng(5);
+  MultiHeadAttention attn(6, 3, &rng);
+  Variable q(Tensor::Randn({2, 4, 6}, &rng));
+  Variable kv(Tensor::Randn({2, 9, 6}, &rng));
+  Variable y = attn.Forward(q, kv, kv);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 6}));
+  EXPECT_EQ(attn.last_attention().shape(), Shape({2, 4, 9}));
+}
+
+TEST(AttentionTest, GradientsReachAllProjections) {
+  Rng rng(6);
+  MultiHeadAttention attn(4, 2, &rng);
+  Variable x(Tensor::Randn({1, 3, 4}, &rng));
+  ag::SumAll(attn.Forward(x, x, x)).Backward();
+  for (const auto& p : attn.Parameters()) {
+    double norm = 0.0;
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      norm += std::fabs(p.grad()[i]);
+    }
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+TEST(AttentionTest, HeadsMustDivideModel) {
+  Rng rng(7);
+  EXPECT_DEATH(MultiHeadAttention(6, 4, &rng), "divisible");
+}
+
+TEST(AttentionTest, UniformKeysGiveUniformWeights) {
+  Rng rng(8);
+  MultiHeadAttention attn(4, 1, &rng);
+  // All timesteps identical -> attention cannot prefer any position.
+  Tensor x({1, 4, 4});
+  x.Fill(0.7f);
+  attn.Forward(Variable(x), Variable(x), Variable(x));
+  const Tensor& w = attn.last_attention();
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(w.At({0, r, c}), 0.25f, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tranad::nn

@@ -1,0 +1,84 @@
+#include "nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(Conv1dTest, ValidPaddingLength) {
+  Rng rng(1);
+  Conv1d conv(2, 4, 3, /*same_padding=*/false, &rng);
+  Variable x(Tensor::Randn({2, 10, 2}, &rng));
+  EXPECT_EQ(conv.Forward(x).shape(), Shape({2, 8, 4}));
+}
+
+TEST(Conv1dTest, SamePaddingKeepsLength) {
+  Rng rng(2);
+  Conv1d conv(2, 4, 3, /*same_padding=*/true, &rng);
+  Variable x(Tensor::Randn({2, 10, 2}, &rng));
+  EXPECT_EQ(conv.Forward(x).shape(), Shape({2, 10, 4}));
+}
+
+TEST(Conv1dTest, Kernel1IsPointwiseLinear) {
+  Rng rng(3);
+  Conv1d conv(3, 2, 1, false, &rng);
+  Variable x(Tensor::Randn({1, 5, 3}, &rng));
+  EXPECT_EQ(conv.Forward(x).shape(), Shape({1, 5, 2}));
+}
+
+TEST(Conv1dTest, TranslationEquivariance) {
+  // A shifted input produces a shifted output (away from boundaries).
+  Rng rng(4);
+  Conv1d conv(1, 1, 3, false, &rng);
+  Tensor x({1, 12, 1});
+  for (int64_t t = 0; t < 12; ++t) {
+    x.At({0, t, 0}) = static_cast<float>(std::sin(0.7 * t));
+  }
+  Tensor shifted({1, 12, 1});
+  for (int64_t t = 1; t < 12; ++t) {
+    shifted.At({0, t, 0}) = x.At({0, t - 1, 0});
+  }
+  shifted.At({0, 0, 0}) = 0.0f;
+  const Tensor y = conv.Forward(Variable(x)).value();        // [1, 10, 1]
+  const Tensor ys = conv.Forward(Variable(shifted)).value();  // [1, 10, 1]
+  for (int64_t t = 1; t < 10; ++t) {
+    EXPECT_NEAR(ys.At({0, t, 0}), y.At({0, t - 1, 0}), 1e-5);
+  }
+}
+
+TEST(Conv1dTest, KnownKernelComputesMovingSum) {
+  Rng rng(5);
+  Conv1d conv(1, 1, 2, false, &rng);
+  // Force weights to [1, 1] and bias 0: output = x_t + x_{t+1}.
+  auto params = conv.Parameters();
+  params[0].mutable_value()->Fill(1.0f);  // weight [2, 1]
+  params[1].mutable_value()->Fill(0.0f);  // bias
+  Tensor x({1, 4, 1}, {1, 2, 3, 4});
+  const Tensor y = conv.Forward(Variable(x)).value();
+  EXPECT_FLOAT_EQ(y.At({0, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(y.At({0, 1, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(y.At({0, 2, 0}), 7.0f);
+}
+
+TEST(Conv1dTest, GradientsFlow) {
+  Rng rng(6);
+  Conv1d conv(2, 3, 3, true, &rng);
+  Variable x(Tensor::Randn({1, 6, 2}, &rng), true);
+  ag::SumAll(conv.Forward(x)).Backward();
+  double norm = 0.0;
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    norm += std::fabs(x.grad()[i]);
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(Conv1dTest, WrongChannelsDies) {
+  Rng rng(7);
+  Conv1d conv(2, 3, 3, true, &rng);
+  EXPECT_DEATH(conv.Forward(Variable(Tensor::Ones({1, 5, 4}))), "CHECK");
+}
+
+}  // namespace
+}  // namespace tranad::nn

@@ -1,0 +1,65 @@
+#include "nn/layer_norm.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln(8);
+  Rng rng(1);
+  Variable x(Tensor::Randn({4, 8}, &rng, 3.0f));
+  Variable y = ln.Forward(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    float mean = 0.0f;
+    for (int64_t c = 0; c < 8; ++c) mean += y.value().At({r, c});
+    EXPECT_NEAR(mean / 8.0f, 0.0f, 1e-4);  // gain=1, bias=0 at init
+  }
+}
+
+TEST(LayerNormTest, LearnedAffineApplies) {
+  LayerNorm ln(4);
+  auto params = ln.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  params[0].mutable_value()->Fill(2.0f);  // gain
+  params[1].mutable_value()->Fill(0.5f);  // bias
+  Rng rng(2);
+  Variable x(Tensor::Randn({2, 4}, &rng));
+  Variable y = ln.Forward(x);
+  // mean of each row should now be bias = 0.5 (gain scales zero-mean data).
+  for (int64_t r = 0; r < 2; ++r) {
+    float mean = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) mean += y.value().At({r, c});
+    EXPECT_NEAR(mean / 4.0f, 0.5f, 1e-4);
+  }
+}
+
+TEST(LayerNormTest, GradFlowsToGainBias) {
+  LayerNorm ln(4);
+  Rng rng(3);
+  Variable x(Tensor::Randn({3, 4}, &rng));
+  ag::SumAll(ln.Forward(x)).Backward();
+  auto params = ln.Parameters();
+  bool any_nonzero = false;
+  for (int64_t i = 0; i < 4; ++i) {
+    any_nonzero |= params[0].grad()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  EXPECT_FLOAT_EQ(params[1].grad()[0], 3.0f);  // d(sum)/d(bias_j) = rows
+}
+
+TEST(LayerNormTest, WorksOn3D) {
+  LayerNorm ln(6);
+  Variable x(Tensor::Ones({2, 3, 6}));
+  EXPECT_EQ(ln.Forward(x).shape(), Shape({2, 3, 6}));
+}
+
+TEST(LayerNormTest, WrongFeatureDimDies) {
+  LayerNorm ln(4);
+  EXPECT_DEATH(ln.Forward(Variable(Tensor::Ones({2, 5}))), "CHECK");
+}
+
+}  // namespace
+}  // namespace tranad::nn

@@ -1,0 +1,96 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(LinearTest, OutputShape2D) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Variable y = layer.Forward(Variable(Tensor::Ones({5, 4})));
+  EXPECT_EQ(y.shape(), Shape({5, 3}));
+}
+
+TEST(LinearTest, OutputShape3D) {
+  Rng rng(1);
+  Linear layer(4, 6, &rng);
+  Variable y = layer.Forward(Variable(Tensor::Ones({2, 7, 4})));
+  EXPECT_EQ(y.shape(), Shape({2, 7, 6}));
+}
+
+TEST(LinearTest, ZeroBiasInit) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng);
+  // y(0) = b = 0 at init.
+  Variable y = layer.Forward(Variable(Tensor::Zeros({1, 3})));
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.value()[1], 0.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, ParametersRegistered) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  const auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].shape(), Shape({3, 2}));
+  EXPECT_EQ(params[1].shape(), Shape({2}));
+}
+
+TEST(LinearTest, GradientsFlowToWeights) {
+  Rng rng(5);
+  Linear layer(3, 2, &rng);
+  Variable y = layer.Forward(Variable(Tensor::Ones({4, 3})));
+  ag::SumAll(y).Backward();
+  const auto params = layer.Parameters();
+  // dL/dW = sum over batch of x = 4 per entry; dL/db = 4.
+  EXPECT_FLOAT_EQ(params[0].grad()[0], 4.0f);
+  EXPECT_FLOAT_EQ(params[1].grad()[0], 4.0f);
+}
+
+TEST(LinearTest, LinearityProperty) {
+  Rng rng(6);
+  Linear layer(3, 3, &rng, /*bias=*/false);
+  Tensor x({1, 3}, {1.0f, -2.0f, 0.5f});
+  Variable y1 = layer.Forward(Variable(x));
+  Variable y2 = layer.Forward(Variable(tranad::MulScalar(x, 2.0f)));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y2.value()[i], 2.0f * y1.value()[i], 1e-5);
+  }
+}
+
+TEST(LinearTest, WrongInputDimDies) {
+  Rng rng(7);
+  Linear layer(3, 2, &rng);
+  EXPECT_DEATH(layer.Forward(Variable(Tensor::Ones({1, 4}))), "CHECK");
+}
+
+TEST(XavierInitTest, BoundsRespectFanInOut) {
+  Rng rng(8);
+  Tensor w = XavierUniform(100, 100, &rng);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), bound);
+  }
+}
+
+TEST(KaimingInitTest, VarianceScale) {
+  Rng rng(9);
+  Tensor w = KaimingNormal(200, 50, &rng);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) sum_sq += w[i] * w[i];
+  EXPECT_NEAR(sum_sq / w.numel(), 2.0 / 200.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace tranad::nn

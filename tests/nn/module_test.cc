@@ -1,0 +1,151 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+// A small composite module for tree-structure tests.
+class ToyNet : public Module {
+ public:
+  explicit ToyNet(Rng* rng) {
+    fc1_ = std::make_unique<Linear>(4, 8, rng);
+    norm_ = std::make_unique<LayerNorm>(8);
+    fc2_ = std::make_unique<Linear>(8, 2, rng);
+    RegisterModule("fc1", fc1_.get());
+    RegisterModule("norm", norm_.get());
+    RegisterModule("fc2", fc2_.get());
+  }
+  Variable Forward(const Variable& x) const {
+    return fc2_->Forward(norm_->Forward(ag::Relu(fc1_->Forward(x))));
+  }
+
+ private:
+  std::unique_ptr<Linear> fc1_;
+  std::unique_ptr<LayerNorm> norm_;
+  std::unique_ptr<Linear> fc2_;
+};
+
+TEST(ModuleTest, ParameterTreeCollected) {
+  Rng rng(1);
+  ToyNet net(&rng);
+  // fc1: W+b, norm: gain+bias, fc2: W+b.
+  EXPECT_EQ(net.Parameters().size(), 6u);
+  EXPECT_EQ(net.NumParameters(), 4 * 8 + 8 + 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ModuleTest, ParameterNamesDotted) {
+  Rng rng(2);
+  ToyNet net(&rng);
+  const auto names = net.ParameterNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "fc1.weight");
+  EXPECT_EQ(names[1], "fc1.bias");
+  EXPECT_EQ(names[2], "norm.gain");
+  EXPECT_EQ(names[5], "fc2.bias");
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(3);
+  ToyNet net(&rng);
+  ag::SumAll(net.Forward(Variable(Tensor::Ones({2, 4})))).Backward();
+  net.ZeroGrad();
+  for (const auto& p : net.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      EXPECT_FLOAT_EQ(p.grad()[i], 0.0f);
+    }
+  }
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(4);
+  ToyNet net(&rng);
+  EXPECT_TRUE(net.training());
+  net.SetTraining(false);
+  EXPECT_FALSE(net.training());
+}
+
+TEST(ModuleTest, SnapshotRestoreRoundTrip) {
+  Rng rng(5);
+  ToyNet net(&rng);
+  const auto snapshot = net.SnapshotParameters();
+  // Perturb all parameters.
+  for (auto p : net.Parameters()) {
+    p.mutable_value()->Fill(99.0f);
+  }
+  net.RestoreParameters(snapshot);
+  auto params = net.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(params[i].value().Equals(snapshot[i]));
+  }
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(6);
+  ToyNet a(&rng);
+  const std::string path = ::testing::TempDir() + "/toynet.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+
+  Rng rng2(7);
+  ToyNet b(&rng2);
+  const Tensor x = Tensor::Randn({3, 4}, &rng2);
+  const Tensor before = b.Forward(Variable(x)).value();
+  ASSERT_TRUE(b.Load(path).ok());
+  const Tensor after = b.Forward(Variable(x)).value();
+  EXPECT_FALSE(before.AllClose(after, 1e-7f));
+  EXPECT_TRUE(after.AllClose(a.Forward(Variable(x)).value(), 1e-7f));
+}
+
+TEST(ModuleTest, LoadRejectsWrongArchitecture) {
+  Rng rng(8);
+  ToyNet net(&rng);
+  const std::string path = ::testing::TempDir() + "/toynet2.bin";
+  ASSERT_TRUE(net.Save(path).ok());
+  Linear other(4, 8, &rng);
+  EXPECT_FALSE(other.Load(path).ok());
+}
+
+TEST(ModuleTest, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  Rng rng(9);
+  ToyNet net(&rng);
+  EXPECT_FALSE(net.Load(path).ok());
+}
+
+TEST(ModuleTest, LoadMissingFileIsIoError) {
+  Rng rng(10);
+  ToyNet net(&rng);
+  const auto status = net.Load(::testing::TempDir() + "/nope.bin");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(ModuleTest, TransformerCheckpointRoundTrip) {
+  // Serialization covers a realistic full architecture.
+  Rng rng(11);
+  TransformerEncoder enc(2, 8, 2, 16, 0.0f, &rng);
+  enc.SetTraining(false);
+  const std::string path = ::testing::TempDir() + "/encoder.bin";
+  ASSERT_TRUE(enc.Save(path).ok());
+  Rng rng2(12);
+  TransformerEncoder enc2(2, 8, 2, 16, 0.0f, &rng2);
+  enc2.SetTraining(false);
+  ASSERT_TRUE(enc2.Load(path).ok());
+  Rng drng(13);
+  Variable x(Tensor::Randn({1, 5, 8}, &drng));
+  EXPECT_TRUE(enc.Forward(x, &drng).value().AllClose(
+      enc2.Forward(x, &drng).value(), 1e-6f));
+}
+
+}  // namespace
+}  // namespace tranad::nn

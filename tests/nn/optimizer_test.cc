@@ -1,0 +1,130 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+// Minimizes f(w) = mean((w - target)^2) for `steps` iterations.
+template <typename Opt>
+float OptimizeQuadratic(Opt* opt, Variable* w, float target, int steps) {
+  const Tensor t = Tensor::Full(w->shape(), target);
+  float loss_value = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    Variable loss = ag::MseLoss(*w, t);
+    loss_value = loss.value().Item();
+    opt->ZeroGrad();
+    loss.Backward();
+    opt->Step();
+  }
+  return loss_value;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Full({4}, 5.0f), true);
+  Sgd opt({w}, 0.1f);
+  const float final_loss = OptimizeQuadratic(&opt, &w, 1.0f, 200);
+  EXPECT_LT(final_loss, 1e-6f);
+  EXPECT_NEAR(w.value()[0], 1.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  Variable w1(Tensor::Full({1}, 5.0f), true);
+  Variable w2(Tensor::Full({1}, 5.0f), true);
+  Sgd plain({w1}, 0.02f);
+  Sgd momentum({w2}, 0.02f, 0.9f);
+  OptimizeQuadratic(&plain, &w1, 0.0f, 30);
+  OptimizeQuadratic(&momentum, &w2, 0.0f, 30);
+  EXPECT_LT(std::fabs(w2.value()[0]), std::fabs(w1.value()[0]));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Full({4}, -3.0f), true);
+  Adam opt({w}, 0.1f);
+  OptimizeQuadratic(&opt, &w, 2.0f, 300);
+  EXPECT_NEAR(w.value()[0], 2.0f, 1e-2);
+}
+
+TEST(AdamWTest, DecoupledDecayShrinksWeights) {
+  // With zero gradient signal, AdamW's decoupled decay still shrinks w.
+  Variable w(Tensor::Full({2}, 1.0f), true);
+  AdamW opt({w}, 0.1f, 0.9f, 0.999f, 1e-8f, 0.1f);
+  for (int i = 0; i < 10; ++i) {
+    opt.ZeroGrad();
+    w.AccumulateGrad(Tensor::Zeros({2}));
+    opt.Step();
+  }
+  EXPECT_LT(w.value()[0], 1.0f);
+  EXPECT_GT(w.value()[0], 0.8f);
+}
+
+TEST(AdamWTest, ConvergesDespiteDecay) {
+  Variable w(Tensor::Full({3}, 4.0f), true);
+  AdamW opt({w}, 0.05f);
+  OptimizeQuadratic(&opt, &w, 1.0f, 400);
+  EXPECT_NEAR(w.value()[0], 1.0f, 0.1);
+}
+
+TEST(OptimizerTest, RequiresGradParams) {
+  Variable w(Tensor::Ones({2}), /*requires_grad=*/false);
+  EXPECT_DEATH(Sgd({w}, 0.1f), "CHECK");
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Variable w(Tensor::Zeros({4}), true);
+  Sgd opt({w}, 0.1f);
+  w.AccumulateGrad(Tensor::Full({4}, 10.0f));  // norm = 20
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(pre, 20.0f, 1e-3);
+  double norm = 0.0;
+  for (int64_t i = 0; i < 4; ++i) norm += w.grad()[i] * w.grad()[i];
+  EXPECT_NEAR(std::sqrt(norm), 1.0f, 1e-3);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable w(Tensor::Zeros({4}), true);
+  Sgd opt({w}, 0.1f);
+  w.AccumulateGrad(Tensor::Full({4}, 0.1f));
+  opt.ClipGradNorm(5.0f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.1f);
+}
+
+TEST(StepLrTest, HalvesAtSchedule) {
+  Variable w(Tensor::Zeros({1}), true);
+  Sgd opt({w}, 1.0f);
+  StepLr sched(&opt, /*step_size=*/2, /*gamma=*/0.5f);
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  sched.Step();
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);
+}
+
+TEST(OptimizerIntegrationTest, LinearRegressionRecovery) {
+  // Recover a planted linear map with AdamW — end-to-end optimizer check.
+  Rng rng(11);
+  Linear model(3, 1, &rng);
+  Tensor true_w({3, 1}, {1.0f, -2.0f, 0.5f});
+  AdamW opt(model.Parameters(), 0.05f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  for (int step = 0; step < 500; ++step) {
+    Tensor x = Tensor::Randn({16, 3}, &rng);
+    Tensor y = MatMul(x, true_w);
+    Variable loss = ag::MseLoss(model.Forward(Variable(x)), y);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  const Tensor& w = model.Parameters()[0].value();
+  EXPECT_NEAR(w[0], 1.0f, 0.05);
+  EXPECT_NEAR(w[1], -2.0f, 0.05);
+  EXPECT_NEAR(w[2], 0.5f, 0.05);
+}
+
+}  // namespace
+}  // namespace tranad::nn

@@ -1,0 +1,141 @@
+#include "nn/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(GruCellTest, StateShapes) {
+  Rng rng(1);
+  GruCell cell(3, 5, &rng);
+  Variable h = cell.InitialState(2);
+  EXPECT_EQ(h.shape(), Shape({2, 5}));
+  Variable x(Tensor::Randn({2, 3}, &rng));
+  EXPECT_EQ(cell.Forward(x, h).shape(), Shape({2, 5}));
+}
+
+TEST(GruCellTest, HiddenStateBounded) {
+  // GRU state is a convex combination of tanh outputs and prior state:
+  // starting from zero it must stay in (-1, 1).
+  Rng rng(2);
+  GruCell cell(2, 4, &rng);
+  Variable h = cell.InitialState(1);
+  for (int step = 0; step < 50; ++step) {
+    Variable x(Tensor::Randn({1, 2}, &rng, 5.0f));
+    h = cell.Forward(x, h);
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_GT(h.value()[i], -1.0f);
+      EXPECT_LT(h.value()[i], 1.0f);
+    }
+  }
+}
+
+TEST(GruCellTest, ZeroInputZeroStateGivesBoundedUpdate) {
+  Rng rng(3);
+  GruCell cell(2, 3, &rng);
+  Variable h = cell.Forward(Variable(Tensor::Zeros({1, 2})),
+                            cell.InitialState(1));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(h.value()[i]));
+  }
+}
+
+TEST(LstmCellTest, StateShapes) {
+  Rng rng(4);
+  LstmCell cell(3, 6, &rng);
+  auto s = cell.InitialState(2);
+  EXPECT_EQ(s.h.shape(), Shape({2, 6}));
+  EXPECT_EQ(s.c.shape(), Shape({2, 6}));
+  Variable x(Tensor::Randn({2, 3}, &rng));
+  auto s2 = cell.Forward(x, s);
+  EXPECT_EQ(s2.h.shape(), Shape({2, 6}));
+  EXPECT_EQ(s2.c.shape(), Shape({2, 6}));
+}
+
+TEST(LstmCellTest, HiddenBoundedByTanh) {
+  Rng rng(5);
+  LstmCell cell(2, 4, &rng);
+  auto s = cell.InitialState(1);
+  for (int step = 0; step < 30; ++step) {
+    Variable x(Tensor::Randn({1, 2}, &rng, 3.0f));
+    s = cell.Forward(x, s);
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_GE(s.h.value()[i], -1.0f);
+      EXPECT_LE(s.h.value()[i], 1.0f);
+    }
+  }
+}
+
+TEST(RunGruTest, SequenceOutputShape) {
+  Rng rng(6);
+  GruCell cell(3, 5, &rng);
+  Variable seq(Tensor::Randn({2, 7, 3}, &rng));
+  Variable out = RunGru(cell, seq);
+  EXPECT_EQ(out.shape(), Shape({2, 7, 5}));
+  // Final slice equals RunGruLast.
+  Variable last = RunGruLast(cell, seq);
+  const Tensor final_step =
+      SliceAxis(out.value(), 1, 6, 1).Reshape({2, 5});
+  EXPECT_TRUE(final_step.AllClose(last.value(), 1e-5f));
+}
+
+TEST(RunLstmTest, SequenceOutputShape) {
+  Rng rng(7);
+  LstmCell cell(3, 4, &rng);
+  Variable seq(Tensor::Randn({2, 6, 3}, &rng));
+  Variable out = RunLstm(cell, seq);
+  EXPECT_EQ(out.shape(), Shape({2, 6, 4}));
+  Variable last = RunLstmLast(cell, seq);
+  const Tensor final_step =
+      SliceAxis(out.value(), 1, 5, 1).Reshape({2, 4});
+  EXPECT_TRUE(final_step.AllClose(last.value(), 1e-5f));
+}
+
+TEST(RnnGradTest, BackpropThroughTime) {
+  Rng rng(8);
+  GruCell cell(2, 3, &rng);
+  Variable seq(Tensor::Randn({1, 5, 2}, &rng), /*requires_grad=*/true);
+  ag::SumAll(RunGruLast(cell, seq)).Backward();
+  // Gradient flows back to every timestep of the input.
+  for (int64_t t = 0; t < 5; ++t) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < 2; ++j) {
+      norm += std::fabs(seq.grad().At({0, t, j}));
+    }
+    EXPECT_GT(norm, 0.0) << "timestep " << t;
+  }
+}
+
+TEST(RnnGradTest, LstmParamsReceiveGrads) {
+  Rng rng(9);
+  LstmCell cell(2, 3, &rng);
+  Variable seq(Tensor::Randn({2, 4, 2}, &rng));
+  ag::SumAll(RunLstmLast(cell, seq)).Backward();
+  int nonzero = 0;
+  for (const auto& p : cell.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      if (p.grad()[i] != 0.0f) {
+        ++nonzero;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(nonzero, 10);  // most of the 16 parameter tensors touched
+}
+
+TEST(RnnDeterminismTest, SameSeedSameOutput) {
+  Rng rng1(10);
+  Rng rng2(10);
+  GruCell a(2, 3, &rng1);
+  GruCell b(2, 3, &rng2);
+  Tensor x = Tensor::Ones({1, 4, 2});
+  EXPECT_TRUE(RunGruLast(a, Variable(x))
+                  .value()
+                  .AllClose(RunGruLast(b, Variable(x)).value(), 1e-7f));
+}
+
+}  // namespace
+}  // namespace tranad::nn

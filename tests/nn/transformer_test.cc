@@ -1,0 +1,153 @@
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/positional_encoding.h"
+#include "tensor/autograd_ops.h"
+
+namespace tranad::nn {
+namespace {
+
+TEST(PositionalEncodingTest, TableMatchesVaswaniFormula) {
+  PositionalEncoding pe(4, 16);
+  const Tensor& table = pe.table();
+  EXPECT_NEAR(table.At({0, 0}), 0.0f, 1e-6);  // sin(0)
+  EXPECT_NEAR(table.At({0, 1}), 1.0f, 1e-6);  // cos(0)
+  EXPECT_NEAR(table.At({1, 0}), std::sin(1.0), 1e-5);
+  EXPECT_NEAR(table.At({1, 1}), std::cos(1.0), 1e-5);
+  // Second frequency pair: omega = 10000^(-2/4).
+  const double omega = std::pow(10000.0, -2.0 / 4.0);
+  EXPECT_NEAR(table.At({3, 2}), std::sin(3.0 * omega), 1e-5);
+  EXPECT_NEAR(table.At({3, 3}), std::cos(3.0 * omega), 1e-5);
+}
+
+TEST(PositionalEncodingTest, DistinguishesPositions) {
+  PositionalEncoding pe(8, 32);
+  const Tensor& t = pe.table();
+  // No two positions share an identical encoding row.
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = i + 1; j < 8; ++j) {
+      bool same = true;
+      for (int64_t k = 0; k < 8; ++k) {
+        if (std::fabs(t.At({i, k}) - t.At({j, k})) > 1e-5) {
+          same = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(same) << "positions " << i << " and " << j;
+    }
+  }
+}
+
+TEST(PositionalEncodingTest, ForwardAddsTable) {
+  PositionalEncoding pe(4, 8, /*dropout=*/0.0f);
+  pe.SetTraining(false);
+  Rng rng(1);
+  Variable x(Tensor::Zeros({1, 3, 4}));
+  Variable y = pe.Forward(x, &rng);
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_NEAR(y.value().At({0, t, d}), pe.table().At({t, d}), 1e-6);
+    }
+  }
+}
+
+TEST(PositionalEncodingTest, TooLongSequenceDies) {
+  PositionalEncoding pe(4, 8);
+  Rng rng(2);
+  EXPECT_DEATH(pe.Forward(Variable(Tensor::Zeros({1, 9, 4})), &rng),
+               "CHECK");
+}
+
+TEST(FeedForwardTest, ShapeAndGrad) {
+  Rng rng(3);
+  FeedForward ff(6, 16, 4, 0.0f, &rng);
+  ff.SetTraining(false);
+  Variable x(Tensor::Randn({2, 5, 6}, &rng));
+  Variable y = ff.Forward(x, &rng);
+  EXPECT_EQ(y.shape(), Shape({2, 5, 4}));
+  ag::SumAll(y).Backward();
+  for (const auto& p : ff.Parameters()) {
+    EXPECT_EQ(p.grad().shape(), p.value().shape());
+  }
+}
+
+TEST(TransformerEncoderLayerTest, PreservesShape) {
+  Rng rng(4);
+  TransformerEncoderLayer layer(8, 2, 16, 0.0f, &rng);
+  layer.SetTraining(false);
+  Variable x(Tensor::Randn({3, 7, 8}, &rng));
+  EXPECT_EQ(layer.Forward(x, &rng).shape(), Shape({3, 7, 8}));
+}
+
+TEST(TransformerEncoderLayerTest, OutputIsLayerNormalized) {
+  Rng rng(5);
+  TransformerEncoderLayer layer(8, 2, 16, 0.0f, &rng);
+  layer.SetTraining(false);
+  Variable x(Tensor::Randn({1, 4, 8}, &rng, 2.0f));
+  Variable y = layer.Forward(x, &rng);
+  // Post-norm design: each output row has near-zero mean (gain/bias at
+  // init are identity).
+  for (int64_t t = 0; t < 4; ++t) {
+    float mean = 0.0f;
+    for (int64_t d = 0; d < 8; ++d) mean += y.value().At({0, t, d});
+    EXPECT_NEAR(mean / 8.0f, 0.0f, 1e-4);
+  }
+}
+
+TEST(TransformerEncoderTest, StacksLayers) {
+  Rng rng(6);
+  TransformerEncoder enc(3, 8, 2, 16, 0.0f, &rng);
+  enc.SetTraining(false);
+  EXPECT_EQ(enc.num_layers(), 3);
+  Variable x(Tensor::Randn({2, 5, 8}, &rng));
+  EXPECT_EQ(enc.Forward(x, &rng).shape(), Shape({2, 5, 8}));
+  // Parameter count = 3x single layer.
+  TransformerEncoder single(1, 8, 2, 16, 0.0f, &rng);
+  EXPECT_EQ(enc.NumParameters(), 3 * single.NumParameters());
+}
+
+TEST(WindowEncoderLayerTest, CrossAttendsContext) {
+  Rng rng(7);
+  WindowEncoderLayer layer(8, 2, 16, 0.0f, &rng);
+  layer.SetTraining(false);
+  Variable window(Tensor::Randn({2, 4, 8}, &rng));
+  Variable context(Tensor::Randn({2, 6, 8}, &rng));
+  Variable y = layer.Forward(window, context, &rng);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 8}));
+  // Changing the context must change the output (cross-attention works).
+  Variable context2(Tensor::Randn({2, 6, 8}, &rng));
+  Variable y2 = layer.Forward(window, context2, &rng);
+  EXPECT_FALSE(y.value().AllClose(y2.value(), 1e-6f));
+}
+
+TEST(WindowEncoderLayerTest, SelfAttentionIsCausal) {
+  Rng rng(8);
+  WindowEncoderLayer layer(4, 2, 8, 0.0f, &rng);
+  layer.SetTraining(false);
+  Variable w(Tensor::Randn({1, 5, 4}, &rng));
+  layer.Forward(w, w, &rng);
+  const Tensor& attn = layer.self_attention().last_attention();
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = i + 1; j < 5; ++j) {
+      EXPECT_NEAR(attn.At({0, i, j}), 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(TransformerEncoderLayerTest, DropoutChangesTrainingOutput) {
+  Rng rng(9);
+  TransformerEncoderLayer layer(8, 2, 16, 0.5f, &rng);
+  Variable x(Tensor::Randn({1, 4, 8}, &rng));
+  layer.SetTraining(true);
+  const Tensor y1 = layer.Forward(x, &rng).value();
+  const Tensor y2 = layer.Forward(x, &rng).value();
+  EXPECT_FALSE(y1.AllClose(y2, 1e-6f));  // different dropout masks
+  layer.SetTraining(false);
+  const Tensor e1 = layer.Forward(x, &rng).value();
+  const Tensor e2 = layer.Forward(x, &rng).value();
+  EXPECT_TRUE(e1.AllClose(e2, 1e-6f));  // eval is deterministic
+}
+
+}  // namespace
+}  // namespace tranad::nn

@@ -1,0 +1,234 @@
+#include "tensor/autograd_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+TEST(VariableTest, LeafBasics) {
+  Variable v(Tensor::Ones({2}), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.shape(), Shape({2}));
+  Variable null;
+  EXPECT_FALSE(null.defined());
+}
+
+TEST(VariableTest, ConstLeafGetsNoGrad) {
+  Variable a(Tensor::Ones({2}), false);
+  Variable b(Tensor::Ones({2}), true);
+  Variable loss = ag::SumAll(ag::Mul(a, b));
+  loss.Backward();
+  // a never accumulates (not requires_grad).
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable v(Tensor::Ones({2}), true);
+  Variable y = ag::MulScalar(v, 2.0f);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(VariableTest, BackwardWithSeed) {
+  Variable v(Tensor::Ones({2}), true);
+  Variable y = ag::MulScalar(v, 3.0f);
+  y.Backward(Tensor({2}, {1.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(v.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(v.grad()[1], 6.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossUses) {
+  // y = sum(x + x) -> dy/dx = 2.
+  Variable x(Tensor::Ones({3}), true);
+  Variable loss = ag::SumAll(ag::Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable x(Tensor::Ones({2}), true);
+  ag::SumAll(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, DetachBlocksGradient) {
+  Variable x(Tensor::Full({2}, 3.0f), true);
+  Variable d = ag::MulScalar(x, 2.0f).Detach();
+  Variable loss = ag::SumAll(ag::Mul(d, x));
+  loss.Backward();
+  // Only the direct x path contributes: d treated as constant 6.
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(VariableTest, ClearTapeGradientsEnablesSecondBackward) {
+  Variable x(Tensor::Full({2}, 2.0f), true);
+  Variable mid = ag::Square(x);
+  Variable loss1 = ag::SumAll(mid);
+  Variable loss2 = ag::SumAll(ag::MulScalar(mid, 3.0f));
+  loss1.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  loss1.ClearTapeGradients();
+  loss2.ClearTapeGradients();
+  loss2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);  // fresh, not 4 + 12
+}
+
+TEST(AutogradOpsTest, AddBroadcastGradReduces) {
+  Variable a(Tensor::Ones({2, 3}), true);
+  Variable b(Tensor::Ones({3}), true);
+  ag::SumAll(ag::Add(a, b)).Backward();
+  EXPECT_EQ(b.grad().shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);  // summed over broadcast axis
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+}
+
+TEST(AutogradOpsTest, MulGradIsOtherOperand) {
+  Variable a(Tensor({2}, {2.0f, 3.0f}), true);
+  Variable b(Tensor({2}, {5.0f, 7.0f}), true);
+  ag::SumAll(ag::Mul(a, b)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 3.0f);
+}
+
+TEST(AutogradOpsTest, DivGrad) {
+  Variable a(Tensor({1}, {6.0f}), true);
+  Variable b(Tensor({1}, {2.0f}), true);
+  ag::SumAll(ag::Div(a, b)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.5f);
+  EXPECT_FLOAT_EQ(b.grad()[0], -1.5f);  // -a/b^2
+}
+
+TEST(AutogradOpsTest, MatMulGradShapes) {
+  Variable a(Tensor::Ones({2, 3}), true);
+  Variable b(Tensor::Ones({3, 4}), true);
+  ag::SumAll(ag::MatMul(a, b)).Backward();
+  EXPECT_EQ(a.grad().shape(), Shape({2, 3}));
+  EXPECT_EQ(b.grad().shape(), Shape({3, 4}));
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);  // row-sum of ones(3,4)
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);
+}
+
+TEST(AutogradOpsTest, BatchedMatMulBroadcastGrad) {
+  Variable a(Tensor::Ones({4, 2, 3}), true);
+  Variable b(Tensor::Ones({3, 2}), true);  // broadcast over batch
+  ag::SumAll(ag::MatMul(a, b)).Backward();
+  EXPECT_EQ(b.grad().shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(b.grad()[0], 8.0f);  // 4 batches x 2 rows
+}
+
+TEST(AutogradOpsTest, SliceGradScattersZeros) {
+  Variable x(Tensor::Ones({4, 2}), true);
+  ag::SumAll(ag::SliceAxis(x, 0, 1, 2)).Backward();
+  EXPECT_FLOAT_EQ(x.grad().At({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().At({1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().At({2, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().At({3, 1}), 0.0f);
+}
+
+TEST(AutogradOpsTest, ConcatSplitsGrad) {
+  Variable a(Tensor::Ones({2, 1}), true);
+  Variable b(Tensor::Ones({2, 2}), true);
+  Variable y = ag::Concat({a, b}, 1);
+  y.Backward(Tensor({2, 3}, {1, 2, 3, 4, 5, 6}));
+  EXPECT_FLOAT_EQ(a.grad().At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(a.grad().At({1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(b.grad().At({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(b.grad().At({1, 1}), 6.0f);
+}
+
+TEST(AutogradOpsTest, ReshapeGradReshapesBack) {
+  Variable x(Tensor::Ones({2, 3}), true);
+  ag::SumAll(ag::Reshape(x, {6})).Backward();
+  EXPECT_EQ(x.grad().shape(), Shape({2, 3}));
+}
+
+TEST(AutogradOpsTest, MeanAxisGrad) {
+  Variable x(Tensor::Ones({2, 4}), true);
+  ag::SumAll(ag::Mean(x, 1, false)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.25f);
+}
+
+TEST(AutogradOpsTest, SumAxisKeepdimsGrad) {
+  Variable x(Tensor::Ones({2, 3}), true);
+  ag::SumAll(ag::Sum(x, 0, true)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(AutogradOpsTest, MseLossValueAndGrad) {
+  Variable pred(Tensor({2}, {1.0f, 3.0f}), true);
+  Tensor target({2}, {0.0f, 1.0f});
+  Variable loss = ag::MseLoss(pred, target);
+  EXPECT_NEAR(loss.value().Item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  loss.Backward();
+  EXPECT_NEAR(pred.grad()[0], 1.0f, 1e-6);   // 2*(1-0)/2
+  EXPECT_NEAR(pred.grad()[1], 2.0f, 1e-6);
+}
+
+TEST(AutogradOpsTest, MseLossVarBothSidesGetGrads) {
+  Variable a(Tensor({1}, {2.0f}), true);
+  Variable b(Tensor({1}, {0.0f}), true);
+  ag::MseLossVar(a, b).Backward();
+  EXPECT_NEAR(a.grad()[0], 4.0f, 1e-6);
+  EXPECT_NEAR(b.grad()[0], -4.0f, 1e-6);
+}
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Rng rng(3);
+  Variable x(Tensor::Ones({100}), true);
+  Variable y = ag::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(y.value().Equals(x.value()));
+}
+
+TEST(DropoutTest, TrainZeroesAndScales) {
+  Rng rng(4);
+  Variable x(Tensor::Ones({10000}), true);
+  Variable y = ag::Dropout(x, 0.25f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    const float v = y.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 1.0f / 0.75f) < 1e-5);
+    zeros += v == 0.0f;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.25, 0.02);
+}
+
+TEST(DropoutTest, GradUsesSameMask) {
+  Rng rng(5);
+  Variable x(Tensor::Ones({1000}), true);
+  Variable y = ag::Dropout(x, 0.5f, true, &rng);
+  ag::SumAll(y).Backward();
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_FLOAT_EQ(x.grad()[i], y.value()[i]);
+  }
+}
+
+TEST(AutogradOpsTest, SwapAxes12GradRoundTrip) {
+  Variable x(Tensor::Ones({2, 3, 4, 5}), true);
+  ag::SumAll(ag::SwapAxes12(x)).Backward();
+  EXPECT_EQ(x.grad().shape(), Shape({2, 3, 4, 5}));
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(AutogradOpsTest, DeepChainComposes) {
+  // loss = mean(sigmoid(W x)^2) through several ops; check it runs and
+  // produces finite gradients.
+  Rng rng(6);
+  Variable w(Tensor::Randn({4, 4}, &rng), true);
+  Variable x(Tensor::Randn({8, 4}, &rng), true);
+  Variable y = ag::Sigmoid(ag::MatMul(x, w));
+  y = ag::LayerNormLastDim(y, 1e-5f);
+  y = ag::Gelu(y);
+  Variable loss = ag::MeanAll(ag::Square(y));
+  loss.Backward();
+  for (int64_t i = 0; i < w.grad().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(w.grad()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace tranad

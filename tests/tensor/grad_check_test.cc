@@ -1,0 +1,219 @@
+// Property tests: every autograd op's analytic gradient must agree with
+// central finite differences on random inputs — the certification the
+// whole training stack rests on.
+#include "tensor/grad_check.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+using OpFn = std::function<Variable(const std::vector<Variable>&)>;
+
+struct GradCase {
+  std::string name;
+  OpFn fn;
+  std::vector<Shape> input_shapes;
+  // Inputs drawn uniform in [lo, hi] (kept away from non-smooth points).
+  float lo = -2.0f;
+  float hi = 2.0f;
+};
+
+class GradCheckSuite : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckSuite, MatchesFiniteDifferences) {
+  const GradCase& c = GetParam();
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(c.name));
+  std::vector<Tensor> inputs;
+  for (const auto& shape : c.input_shapes) {
+    inputs.push_back(Tensor::Rand(shape, &rng, c.lo, c.hi));
+  }
+  const auto result = CheckGradients(c.fn, std::move(inputs));
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.detail
+                         << " (max err " << result.max_abs_err << ")";
+}
+
+Variable Sum0(const Variable& v) { return ag::SumAll(v); }
+
+std::vector<GradCase> MakeCases() {
+  std::vector<GradCase> cases;
+  auto unary = [&](const std::string& name, auto op, float lo = -2.0f,
+                   float hi = 2.0f) {
+    cases.push_back({name,
+                     [op](const std::vector<Variable>& in) {
+                       return ag::MeanAll(ag::Square(op(in[0])));
+                     },
+                     {{3, 4}},
+                     lo,
+                     hi});
+  };
+  unary("sigmoid", [](const Variable& v) { return ag::Sigmoid(v); });
+  unary("tanh", [](const Variable& v) { return ag::Tanh(v); });
+  unary("gelu", [](const Variable& v) { return ag::Gelu(v); });
+  unary("exp", [](const Variable& v) { return ag::Exp(v); }, -1.5f, 1.5f);
+  unary("log", [](const Variable& v) { return ag::Log(v); }, 0.5f, 3.0f);
+  unary("sqrt", [](const Variable& v) { return ag::Sqrt(v); }, 0.5f, 3.0f);
+  unary("square", [](const Variable& v) { return ag::Square(v); });
+  unary("relu_positive", [](const Variable& v) { return ag::Relu(v); },
+        0.3f, 2.0f);
+  unary("relu_negative", [](const Variable& v) { return ag::Relu(v); },
+        -2.0f, -0.3f);
+  unary("leaky_relu",
+        [](const Variable& v) { return ag::LeakyRelu(v, 0.1f); }, 0.3f,
+        2.0f);
+  unary("abs_positive", [](const Variable& v) { return ag::Abs(v); }, 0.3f,
+        2.0f);
+  unary("neg", [](const Variable& v) { return ag::Neg(v); });
+  unary("add_scalar",
+        [](const Variable& v) { return ag::AddScalar(v, 1.5f); });
+  unary("mul_scalar",
+        [](const Variable& v) { return ag::MulScalar(v, -2.5f); });
+  unary("softmax",
+        [](const Variable& v) { return ag::SoftmaxLastDim(v); });
+  unary("layer_norm",
+        [](const Variable& v) { return ag::LayerNormLastDim(v, 1e-3f); });
+
+  cases.push_back({"add_same",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Add(in[0], in[1])));
+                   },
+                   {{3, 4}, {3, 4}}});
+  cases.push_back({"add_broadcast",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Add(in[0], in[1])));
+                   },
+                   {{3, 4}, {4}}});
+  cases.push_back({"sub_broadcast_col",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Sub(in[0], in[1])));
+                   },
+                   {{3, 4}, {3, 1}}});
+  cases.push_back({"mul_same",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Mul(in[0], in[1])));
+                   },
+                   {{2, 5}, {2, 5}}});
+  cases.push_back({"mul_broadcast",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Mul(in[0], in[1])));
+                   },
+                   {{2, 5}, {5}}});
+  cases.push_back({"div",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Div(in[0], in[1])));
+                   },
+                   {{3, 3}, {3, 3}},
+                   0.5f,
+                   2.0f});
+  cases.push_back({"matmul",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::MatMul(in[0], in[1])));
+                   },
+                   {{3, 4}, {4, 2}}});
+  cases.push_back({"matmul_batched",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::MatMul(in[0], in[1])));
+                   },
+                   {{2, 3, 4}, {2, 4, 2}}});
+  cases.push_back({"matmul_broadcast_rhs",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::MatMul(in[0], in[1])));
+                   },
+                   {{2, 3, 4}, {4, 2}}});
+  cases.push_back({"transpose",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(
+                         ag::Square(ag::TransposeLast2(in[0])));
+                   },
+                   {{3, 5}}});
+  cases.push_back({"swap_axes12",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::SwapAxes12(in[0])));
+                   },
+                   {{2, 3, 2, 2}}});
+  cases.push_back({"reshape",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(
+                         ag::Square(ag::Reshape(in[0], {6, 2})));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"concat",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(
+                         ag::Square(ag::Concat({in[0], in[1]}, 1)));
+                   },
+                   {{2, 3}, {2, 2}}});
+  cases.push_back({"slice",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(
+                         ag::Square(ag::SliceAxis(in[0], 1, 1, 2)));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"sum_axis",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Sum(in[0], 0, false)));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"mean_axis_keepdims",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MeanAll(ag::Square(ag::Mean(in[0], 1, true)));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"mse_var",
+                   [](const std::vector<Variable>& in) {
+                     return ag::MseLossVar(in[0], in[1]);
+                   },
+                   {{3, 3}, {3, 3}}});
+  cases.push_back(
+      {"attention_shaped",
+       [](const std::vector<Variable>& in) {
+         // softmax(Q K^T) V — the exact op pattern of Eq. (2).
+         Variable logits =
+             ag::MulScalar(ag::MatMul(in[0], ag::TransposeLast2(in[1])),
+                           0.5f);
+         Variable w = ag::SoftmaxLastDim(logits);
+         return ag::MeanAll(ag::Square(ag::MatMul(w, in[2])));
+       },
+       {{3, 4}, {3, 4}, {3, 2}}});
+  cases.push_back(
+      {"residual_norm_block",
+       [](const std::vector<Variable>& in) {
+         // LayerNorm(x + f(x)) — the Eq. (4) block shape.
+         Variable f = ag::Tanh(ag::MatMul(in[0], in[1]));
+         return ag::MeanAll(
+             ag::Square(ag::LayerNormLastDim(ag::Add(in[0], f), 1e-3f)));
+       },
+       {{3, 3}, {3, 3}}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckSuite, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      std::string name = info.param.name;
+      for (auto& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(GradCheckHarnessTest, DetectsWrongGradient) {
+  // A deliberately broken op: forward = x^2 but backward pretends dy/dx=1.
+  auto broken = [](const std::vector<Variable>& in) {
+    Variable x = in[0];
+    Variable pa = x;
+    Tensor y = Square(x.value());
+    Variable bad = Variable::MakeNode(
+        std::move(y), {x},
+        [pa](const Tensor& g) mutable { pa.AccumulateGrad(g); });
+    return ag::SumAll(bad);
+  };
+  Rng rng(3);
+  const auto result = CheckGradients(broken, {Tensor::Rand({3}, &rng, 1.0f, 2.0f)});
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace tranad

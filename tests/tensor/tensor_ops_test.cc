@@ -1,0 +1,304 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tranad {
+namespace {
+
+TEST(BroadcastTest, Shapes) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {2, 3}), Shape({2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1}, {1, 3}), Shape({2, 3}));
+  EXPECT_EQ(BroadcastShapes({3}, {2, 3}), Shape({2, 3}));
+  EXPECT_EQ(BroadcastShapes({}, {4}), Shape({4}));
+  EXPECT_DEATH(BroadcastShapes({2}, {3}), "broadcast");
+}
+
+TEST(BinaryOpsTest, AddSameShape) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.At({1, 1}), 44.0f);
+}
+
+TEST(BinaryOpsTest, AddBroadcastRow) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor row({3}, {10, 20, 30});
+  Tensor c = Add(a, row);
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 2}), 35.0f);
+}
+
+TEST(BinaryOpsTest, AddBroadcastColumn) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor col({2, 1}, {100, 200});
+  Tensor c = Add(a, col);
+  EXPECT_FLOAT_EQ(c.At({0, 2}), 102.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 0}), 203.0f);
+}
+
+TEST(BinaryOpsTest, ScalarOperandBroadcasts) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor c = Mul(a, Tensor::Scalar(3.0f));
+  EXPECT_FLOAT_EQ(c.At({1, 0}), 9.0f);
+  Tensor d = Sub(Tensor::Scalar(10.0f), a);
+  EXPECT_FLOAT_EQ(d.At({0, 1}), 8.0f);
+}
+
+TEST(BinaryOpsTest, SubMulDivMaximum) {
+  Tensor a({3}, {4, 9, -2});
+  Tensor b({3}, {2, 3, 4});
+  EXPECT_FLOAT_EQ(Sub(a, b)[1], 6.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[2], -8.0f);
+  EXPECT_FLOAT_EQ(Div(a, b)[0], 2.0f);
+  EXPECT_FLOAT_EQ(Maximum(a, b)[2], 4.0f);
+}
+
+TEST(BinaryOpsTest, ThreeDimBroadcast) {
+  Tensor a({2, 2, 2});
+  a.Fill(1.0f);
+  Tensor b({2, 1, 2}, {1, 2, 3, 4});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2, 2}));
+  EXPECT_FLOAT_EQ(c.At({1, 0, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 1, 1}), 5.0f);
+}
+
+TEST(ReduceToTest, SumsOverBroadcastAxes) {
+  Tensor g({2, 3});
+  g.Fill(1.0f);
+  Tensor r = ReduceTo(g, {3});
+  EXPECT_EQ(r.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(r[0], 2.0f);
+  Tensor r2 = ReduceTo(g, {2, 1});
+  EXPECT_EQ(r2.shape(), Shape({2, 1}));
+  EXPECT_FLOAT_EQ(r2[0], 3.0f);
+  // Identity when shapes match.
+  EXPECT_TRUE(ReduceTo(g, {2, 3}).Equals(g));
+}
+
+TEST(UnaryOpsTest, Values) {
+  Tensor a({4}, {-1.0f, 0.0f, 1.0f, 4.0f});
+  EXPECT_FLOAT_EQ(Neg(a)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Abs(a)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Square(a)[3], 16.0f);
+  EXPECT_FLOAT_EQ(Sqrt(a)[3], 2.0f);
+  EXPECT_NEAR(Exp(a)[2], std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(a)[3], std::log(4.0f), 1e-5);
+  EXPECT_FLOAT_EQ(Relu(a)[0], 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a)[3], 4.0f);
+  EXPECT_FLOAT_EQ(LeakyRelu(a, 0.1f)[0], -0.1f);
+  EXPECT_NEAR(Sigmoid(a)[1], 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(a)[2], std::tanh(1.0f), 1e-5);
+}
+
+TEST(UnaryOpsTest, GeluKnownValues) {
+  Tensor a({3}, {0.0f, 1.0f, -1.0f});
+  Tensor g = Gelu(a);
+  EXPECT_NEAR(g[0], 0.0f, 1e-6);
+  EXPECT_NEAR(g[1], 0.8412f, 1e-3);
+  EXPECT_NEAR(g[2], -0.1588f, 1e-3);
+}
+
+TEST(MatMulTest, Square2D) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 19.0f);
+  EXPECT_FLOAT_EQ(c.At({0, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 0}), 43.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 1}), 50.0f);
+}
+
+TEST(MatMulTest, Rectangular) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(c[0], 4.0f);
+  EXPECT_FLOAT_EQ(c[1], 5.0f);
+}
+
+TEST(MatMulTest, Batched3D) {
+  Tensor a({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2, 1}, {1, 1, 2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 1, 1}));
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 14.0f);
+}
+
+TEST(MatMulTest, BroadcastRhs2D) {
+  Tensor a({3, 2, 2});
+  a.Fill(1.0f);
+  Tensor b({2, 1}, {1, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({3, 2, 1}));
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+}
+
+TEST(MatMulTest, InnerDimMismatchDies) {
+  EXPECT_DEATH(MatMul(Tensor({2, 3}), Tensor({2, 2})), "matmul");
+}
+
+TEST(TransposeTest, Last2) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.At({2, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(t.At({0, 1}), 3.0f);
+}
+
+TEST(TransposeTest, BatchedLast2) {
+  Tensor a({2, 2, 3});
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(i);
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.shape(), Shape({2, 3, 2}));
+  EXPECT_FLOAT_EQ(t.At({1, 2, 0}), a.At({1, 0, 2}));
+}
+
+TEST(SwapAxesTest, Swap12) {
+  Tensor a({2, 3, 4, 5});
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(i);
+  Tensor s = SwapAxes12(a);
+  EXPECT_EQ(s.shape(), Shape({2, 4, 3, 5}));
+  EXPECT_FLOAT_EQ(s.At({1, 2, 0, 3}), a.At({1, 0, 2, 3}));
+  // Involution.
+  EXPECT_TRUE(SwapAxes12(s).Equals(a));
+}
+
+TEST(ConcatTest, Axis0) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(c.At({2, 1}), 6.0f);
+}
+
+TEST(ConcatTest, LastAxisNegative) {
+  Tensor a({2, 1}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, -1);
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(c.At({0, 2}), 4.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 1}), 5.0f);
+}
+
+TEST(ConcatTest, MiddleAxis3D) {
+  Tensor a({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), Shape({2, 3, 2}));
+  EXPECT_FLOAT_EQ(c.At({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(c.At({0, 1, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 2, 1}), 12.0f);
+}
+
+TEST(SliceTest, MiddleOfAxis) {
+  Tensor a({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = SliceAxis(a, 0, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.At({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(s.At({1, 1}), 5.0f);
+}
+
+TEST(SliceTest, LastAxis) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor s = SliceAxis(a, -1, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.At({1, 0}), 4.0f);
+}
+
+TEST(SliceTest, SliceConcatRoundTrip) {
+  Tensor a({3, 4});
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(i);
+  Tensor left = SliceAxis(a, 1, 0, 2);
+  Tensor right = SliceAxis(a, 1, 2, 2);
+  EXPECT_TRUE(Concat({left, right}, 1).Equals(a));
+}
+
+TEST(ReductionTest, AllVariants) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(a), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a), 2.5f);
+  EXPECT_FLOAT_EQ(MaxAll(a), 4.0f);
+  EXPECT_FLOAT_EQ(MinAll(a), 1.0f);
+}
+
+TEST(ReductionTest, AxisSumKeepdims) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(a, 0, true);
+  EXPECT_EQ(s0.shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(s0[0], 5.0f);
+  Tensor s1 = Sum(a, 1, false);
+  EXPECT_EQ(s1.shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(s1[1], 15.0f);
+}
+
+TEST(ReductionTest, MeanAndMaxAxis) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Mean(a, 1, false)[0], 2.0f);
+  EXPECT_FLOAT_EQ(Max(a, 0, false)[2], 6.0f);
+  EXPECT_FLOAT_EQ(Mean(a, -1, false)[1], 5.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor a({3, 4});
+  Rng rng(5);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.Normal(0, 3));
+  }
+  Tensor s = SoftmaxLastDim(a);
+  for (int64_t r = 0; r < 3; ++r) {
+    float row_sum = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) row_sum += s.At({r, c});
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, LargeValuesStable) {
+  Tensor a({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = SoftmaxLastDim(a);
+  EXPECT_NEAR(s[0], 1.0f / 3.0f, 1e-5);
+  EXPECT_FALSE(std::isnan(s[1]));
+}
+
+TEST(SoftmaxTest, OrderingPreserved) {
+  Tensor a({1, 3}, {1.0f, 3.0f, 2.0f});
+  Tensor s = SoftmaxLastDim(a);
+  EXPECT_GT(s[1], s[2]);
+  EXPECT_GT(s[2], s[0]);
+}
+
+TEST(LayerNormTest, ZeroMeanUnitVar) {
+  Tensor a({2, 8});
+  Rng rng(6);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.Normal(5, 3));
+  }
+  Tensor n = LayerNormLastDim(a, 1e-5f);
+  for (int64_t r = 0; r < 2; ++r) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int64_t c = 0; c < 8; ++c) mean += n.At({r, c});
+    mean /= 8.0f;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (n.At({r, c}) - mean) * (n.At({r, c}) - mean);
+    }
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, ConstantRowMapsToZero) {
+  Tensor a({1, 4}, {3, 3, 3, 3});
+  Tensor n = LayerNormLastDim(a, 1e-5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(n[i], 0.0f, 1e-2);
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,145 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace tranad {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+}
+
+TEST(ShapeTest, ContiguousStrides) {
+  const auto s = ContiguousStrides({2, 3, 4});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 12);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 1);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.Item(), 0.0f);
+}
+
+TEST(TensorTest, ZerosAndOnes) {
+  Tensor z = Tensor::Zeros({2, 2});
+  Tensor o = Tensor::Ones({2, 2});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(z[i], 0.0f);
+    EXPECT_FLOAT_EQ(o[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor f = Tensor::Full({3}, 2.5f);
+  EXPECT_FLOAT_EQ(f[2], 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(-1.0f).Item(), -1.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.At({1, 0}), 3.0f);
+  EXPECT_DEATH(Tensor({2, 2}, {1, 2, 3}), "CHECK");
+}
+
+TEST(TensorTest, AtRowMajorLayout) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.At({0, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.At({2, 0}), "CHECK");
+  EXPECT_DEATH(t.At({0}), "CHECK");
+}
+
+TEST(TensorTest, ArangeValues) {
+  Tensor t = Tensor::Arange(4, 1.0f, 0.5f);
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+  EXPECT_FLOAT_EQ(t[3], 2.5f);
+}
+
+TEST(TensorTest, RandnRespectsStddev) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({10000}, &rng, 2.0f);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) sum_sq += t[i] * t[i];
+  EXPECT_NEAR(sum_sq / t.numel(), 4.0, 0.3);
+}
+
+TEST(TensorTest, RandBounds) {
+  Rng rng(2);
+  Tensor t = Tensor::Rand({1000}, &rng, -1.0f, 1.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_FLOAT_EQ(r.At({2, 1}), 5.0f);
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+}
+
+TEST(TensorTest, ReshapeInfersDim) {
+  Tensor t({2, 6});
+  EXPECT_EQ(t.Reshape({4, -1}).shape(), Shape({4, 3}));
+  EXPECT_EQ(t.Reshape({-1}).shape(), Shape({12}));
+}
+
+TEST(TensorTest, ReshapeBadSizeDies) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "reshape");
+}
+
+TEST(TensorTest, SizeNegativeAxis) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_DEATH(t.size(3), "out of range");
+}
+
+TEST(TensorTest, EqualsAndAllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f, 2.0f});
+  Tensor c({2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_TRUE(a.AllClose(c, 1e-3f));
+  EXPECT_FALSE(a.AllClose(c, 1e-7f));
+  EXPECT_FALSE(a.AllClose(Tensor({3})));  // shape mismatch
+}
+
+TEST(TensorTest, ItemRequiresSingleElement) {
+  EXPECT_DEATH(Tensor({2}).Item(), "CHECK");
+}
+
+TEST(TensorTest, ToStringSmall) {
+  Tensor t({2}, {1.0f, 2.0f});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("[2]"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t({3});
+  t.Fill(7.0f);
+  EXPECT_FLOAT_EQ(t[1], 7.0f);
+}
+
+}  // namespace
+}  // namespace tranad
