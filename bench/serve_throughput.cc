@@ -1,0 +1,188 @@
+// Serving throughput bench: streams scored per second through the
+// ServeEngine as a function of worker count and micro-batch size, against
+// the single-thread OnlineTranAD::Observe baseline. The acceptance target
+// is >2x the baseline at 4 workers — on a single-core host that speedup
+// comes from micro-batching (one [B, K, m] forward amortizes per-op tape
+// and dispatch overhead over B windows), with worker parallelism stacking
+// on top wherever cores allow.
+//
+// Environment knobs: TRANAD_SCALE (dataset size), TRANAD_EPOCHS (training),
+// TRANAD_SERVE_OBS (observations per configuration, default 2000),
+// TRANAD_SERVE_STREAMS (concurrent streams, default 8),
+// TRANAD_SERVE_REPS (repetitions per configuration, default 3; each row
+// reports the best rep — peak throughput is the stable statistic on a
+// shared/noisy host).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/online_detector.h"
+#include "core/tranad_detector.h"
+#include "serve/serve_engine.h"
+
+namespace tranad::bench {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoll(v);
+}
+
+struct RunResult {
+  double throughput = 0.0;  // observations / second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+/// Sequential baseline: one OnlineTranAD per stream, observations scored
+/// one at a time on the caller thread (batch size 1, no pipeline).
+RunResult RunSequential(TranADDetector* detector, const Dataset& dataset,
+                        int64_t streams, int64_t observations) {
+  std::vector<OnlineTranAD> online;
+  online.reserve(static_cast<size_t>(streams));
+  for (int64_t s = 0; s < streams; ++s) {
+    online.emplace_back(detector, PotParamsForDataset(dataset.name));
+    online.back().Calibrate(dataset.train);
+  }
+  const int64_t m = dataset.dims();
+  Tensor row({m});
+  Stopwatch watch;
+  for (int64_t i = 0; i < observations; ++i) {
+    const int64_t t = (i / streams) % dataset.test.length();
+    for (int64_t d = 0; d < m; ++d) {
+      row[d] = dataset.test.values.At({t, d});
+    }
+    online[static_cast<size_t>(i % streams)].Observe(row);
+  }
+  RunResult result;
+  result.throughput = static_cast<double>(observations) /
+                      watch.ElapsedSeconds();
+  result.mean_batch = 1.0;
+  return result;
+}
+
+RunResult RunServe(TranADDetector* detector, const Dataset& dataset,
+                   int64_t streams, int64_t observations, int64_t workers,
+                   int64_t max_batch) {
+  serve::ServeOptions options;
+  options.num_workers = workers;
+  options.max_batch = max_batch;
+  options.max_wait_us = 500;
+  options.queue_capacity = 4096;
+  options.pot = PotParamsForDataset(dataset.name);
+  serve::ServeEngine engine(detector, options);
+
+  std::vector<serve::StreamId> ids;
+  for (int64_t s = 0; s < streams; ++s) {
+    auto created = engine.CreateStream(dataset.train);
+    if (!created.ok()) {
+      std::fprintf(stderr, "CreateStream: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    ids.push_back(created.value());
+  }
+
+  const int64_t m = dataset.dims();
+  Tensor row({m});
+  Stopwatch watch;
+  for (int64_t i = 0; i < observations; ++i) {
+    const int64_t t = (i / streams) % dataset.test.length();
+    for (int64_t d = 0; d < m; ++d) {
+      row[d] = dataset.test.values.At({t, d});
+    }
+    Status st = Status::Ok();
+    do {
+      st = engine.Submit(ids[static_cast<size_t>(i % streams)], row, nullptr);
+    } while (st.code() == StatusCode::kResourceExhausted);
+  }
+  engine.Flush();
+  const double elapsed = watch.ElapsedSeconds();
+
+  const serve::ServeStatsSnapshot stats = engine.stats();
+  RunResult result;
+  result.throughput = static_cast<double>(stats.completed) / elapsed;
+  result.p50_ms = stats.p50_latency_ms;
+  result.p99_ms = stats.p99_latency_ms;
+  result.mean_batch = stats.mean_batch_size;
+  return result;
+}
+
+int Main() {
+  const int64_t observations = EnvInt("TRANAD_SERVE_OBS", 2000);
+  const int64_t streams = EnvInt("TRANAD_SERVE_STREAMS", 8);
+  const int64_t reps = std::max<int64_t>(1, EnvInt("TRANAD_SERVE_REPS", 3));
+  const Dataset& dataset = BenchDataset("SMAP");
+
+  TranADConfig config;
+  config.window = 10;
+  config.d_ff = 32;
+  TrainOptions train;
+  train.max_epochs = DefaultEpochs();
+  TranADDetector detector(config, train);
+  detector.Fit(dataset.train);
+
+  // Warm-up (page-faults, allocator pools), then best-of-reps both paths.
+  RunSequential(&detector, dataset, streams, std::min<int64_t>(observations, 256));
+  RunResult base;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    const RunResult r =
+        RunSequential(&detector, dataset, streams, observations);
+    if (r.throughput > base.throughput) base = r;
+  }
+
+  struct Config {
+    int64_t workers;
+    int64_t max_batch;
+  };
+  const std::vector<Config> grid = {
+      {1, 1}, {1, 8}, {1, 32}, {2, 32}, {4, 32}, {4, 64},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> csv;
+  rows.push_back({"sequential Observe()", "1", "1", Fmt2(base.throughput),
+                  "1.00", "-", "-", "1.00"});
+  csv.push_back({0, 1, 1, base.throughput, 1.0, 0, 0, 1.0});
+  double at4 = 0.0;
+  for (const Config& c : grid) {
+    RunResult r;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      const RunResult attempt = RunServe(&detector, dataset, streams,
+                                         observations, c.workers, c.max_batch);
+      if (attempt.throughput > r.throughput) r = attempt;
+    }
+    const double speedup = r.throughput / base.throughput;
+    if (c.workers == 4) at4 = std::max(at4, speedup);
+    rows.push_back({"serve engine", std::to_string(c.workers),
+                    std::to_string(c.max_batch), Fmt2(r.throughput),
+                    Fmt2(speedup), Fmt2(r.p50_ms), Fmt2(r.p99_ms),
+                    Fmt2(r.mean_batch)});
+    csv.push_back({1, static_cast<double>(c.workers),
+                   static_cast<double>(c.max_batch), r.throughput, speedup,
+                   r.p50_ms, r.p99_ms, r.mean_batch});
+  }
+
+  PrintTable(
+      "Serving throughput (" + std::to_string(streams) + " streams, " +
+          std::to_string(observations) + " observations, SMAP)",
+      {"path", "workers", "max_batch", "obs/s", "speedup", "p50 ms", "p99 ms",
+       "mean batch"},
+      rows);
+  WriteBenchCsv("serve_throughput",
+                {"serve", "workers", "max_batch", "obs_per_sec", "speedup",
+                 "p50_ms", "p99_ms", "mean_batch"},
+                csv);
+  std::printf("\nbest speedup at 4 workers: %.2fx (target > 2x)\n", at4);
+  return at4 > 2.0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

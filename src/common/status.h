@@ -17,6 +17,7 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/pipeline.h"
+#include "tensor/tensor_ops.h"
 
 namespace tranad {
 
@@ -15,45 +16,35 @@ void OnlineTranAD::Calibrate(const TimeSeries& calibration) {
   const Tensor scores = detector_->Score(calibration);
   spot_.Initialize(DetectionScores(scores));
 
-  // Seed the ring buffer with the calibration tail so the first streamed
-  // observation has full context.
+  // Seed the ring buffer with the calibration tail (normalized once) so the
+  // first streamed observation has full context.
   const int64_t k = detector_->model()->config().window;
   const int64_t m = calibration.dims();
-  buffer_.clear();
+  ring_.Reset(k, m);
   const int64_t start = std::max<int64_t>(0, calibration.length() - k + 1);
-  for (int64_t t = start; t < calibration.length(); ++t) {
-    Tensor row({m});
-    for (int64_t d = 0; d < m; ++d) row[d] = calibration.values.At({t, d});
-    buffer_.push_back(std::move(row));
+  const int64_t len = calibration.length() - start;
+  if (len > 0) {
+    ring_.Seed(detector_->NormalizeForScoring(
+        SliceAxis(calibration.values, 0, start, len)));
   }
 }
 
 OnlineVerdict OnlineTranAD::Observe(const Tensor& observation) {
   TRANAD_CHECK(spot_.initialized());
   const int64_t m = detector_->model()->config().dims;
-  const int64_t k = detector_->model()->config().window;
   TRANAD_CHECK_EQ(observation.numel(), m);
 
-  buffer_.push_back(observation.Reshape({m}));
-  while (static_cast<int64_t>(buffer_.size()) > k) buffer_.pop_front();
-
-  // Assemble the trailing window as a short series and reuse the batched
-  // scorer (replication padding covers a cold-start buffer).
-  const int64_t t_len = static_cast<int64_t>(buffer_.size());
-  TimeSeries window_series;
-  window_series.values = Tensor({t_len, m});
-  for (int64_t t = 0; t < t_len; ++t) {
-    for (int64_t d = 0; d < m; ++d) {
-      window_series.values.At({t, d}) = buffer_[static_cast<size_t>(t)][d];
-    }
-  }
-  const Tensor scores = detector_->Score(window_series);
+  // Normalize the new observation once, push it into the ring, and score
+  // the assembled [1, K, m] window through the inference-only path.
+  ring_.Push(detector_->NormalizeForScoring(observation.Reshape({1, m}))
+                 .Reshape({m}));
+  const Tensor scores = detector_->ScoreWindows(ring_.Window());  // [1, m]
 
   OnlineVerdict verdict;
   verdict.dim_scores = Tensor({m});
   double total = 0.0;
   for (int64_t d = 0; d < m; ++d) {
-    const float s = scores.At({t_len - 1, d});
+    const float s = scores[d];
     verdict.dim_scores[d] = s;
     total += s;
   }

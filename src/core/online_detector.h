@@ -1,10 +1,10 @@
 #ifndef TRANAD_CORE_ONLINE_DETECTOR_H_
 #define TRANAD_CORE_ONLINE_DETECTOR_H_
 
-#include <deque>
 #include <memory>
 
 #include "core/tranad_detector.h"
+#include "core/window_ring.h"
 #include "eval/pot.h"
 
 namespace tranad {
@@ -22,9 +22,17 @@ struct OnlineVerdict {
 };
 
 /// Stateful online front end for Alg. 2: wraps a *trained* TranADDetector,
-/// keeps the trailing window of observations in a ring buffer, scores each
-/// arriving observation with the two-phase inference, and thresholds it
-/// with a streaming POT whose tail model updates as normal peaks arrive.
+/// keeps the trailing window of observations in a normalized ring buffer,
+/// scores each arriving observation with the two-phase inference, and
+/// thresholds it with a streaming POT whose tail model updates as normal
+/// peaks arrive.
+///
+/// Each observation is normalized once on arrival and the K-length window is
+/// assembled directly from the ring (O(K m) per step), then scored through
+/// the NoGrad inference path — no re-normalization of the trailing history
+/// and no autograd tape on the hot path. The serve engine's per-stream
+/// sessions follow exactly this recipe, so a single-worker serve run is
+/// bit-for-bit identical to this class.
 ///
 /// Usage:
 ///   TranADDetector detector;  detector.Fit(train);
@@ -53,7 +61,7 @@ class OnlineTranAD {
  private:
   TranADDetector* detector_;
   StreamingPot spot_;
-  std::deque<Tensor> buffer_;  // last K raw observations
+  WindowRing ring_;  // last K observations, already normalized
   int64_t observed_ = 0;
 };
 

@@ -31,6 +31,56 @@ void TranADDetector::Fit(const TimeSeries& train) {
   stats_ = TrainTranAD(model_.get(), windows, train_options_);
 }
 
+Tensor TranADDetector::NormalizeForScoring(const Tensor& x) const {
+  TRANAD_CHECK(normalizer_.fitted());
+  return normalizer_.Transform(x, kNormClip);
+}
+
+Tensor TranADDetector::ScoreWindows(const Tensor& windows) const {
+  TRANAD_CHECK(model_ != nullptr);
+  const int64_t b = windows.size(0);
+  const int64_t k = windows.size(1);
+  const int64_t m = windows.size(2);
+  TRANAD_CHECK_EQ(m, model_config_.dims);
+  const auto [o1, o2hat] = model_->TwoPhaseInference(windows);
+  const Tensor target = SliceAxis(windows, 1, k - 1, 1).Reshape({b, m});
+  Tensor scores({b, m});
+  const float* v1 = o1.data();
+  const float* v2 = o2hat.data();
+  const float* tgt = target.data();
+  float* out = scores.data();
+  for (int64_t i = 0; i < b * m; ++i) {
+    const float e1 = v1[i] - tgt[i];
+    const float e2 = v2[i] - tgt[i];
+    out[i] = 0.5f * e1 * e1 + 0.5f * e2 * e2;
+  }
+  return scores;
+}
+
+Tensor TranADDetector::ScoreSeries(const TimeSeries& series) const {
+  TRANAD_CHECK(model_ != nullptr);
+  TRANAD_CHECK_EQ(series.dims(), model_config_.dims);
+  const Tensor normalized = NormalizeForScoring(series.values);
+  const Tensor windows = MakeWindows(normalized, model_config_.window);
+  const int64_t t = windows.size(0);
+  const int64_t m = model_config_.dims;
+  Tensor scores({t, m});
+  constexpr int64_t kBatch = 256;
+  for (int64_t start = 0; start < t; start += kBatch) {
+    const int64_t len = std::min<int64_t>(kBatch, t - start);
+    const Tensor batch_scores =
+        ScoreWindows(SliceAxis(windows, 0, start, len));
+    std::copy(batch_scores.data(), batch_scores.data() + len * m,
+              scores.data() + start * m);
+  }
+  return scores;
+}
+
+void TranADDetector::FreezeForInference() {
+  TRANAD_CHECK(model_ != nullptr);
+  model_->SetTraining(false);
+}
+
 Tensor TranADDetector::Score(const TimeSeries& series) {
   TRANAD_CHECK(model_ != nullptr);
   TRANAD_CHECK_EQ(series.dims(), model_config_.dims);

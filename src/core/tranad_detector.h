@@ -26,8 +26,34 @@ class TranADDetector : public AnomalyDetector {
   double seconds_per_epoch() const override { return stats_.seconds_per_epoch; }
   int64_t epochs_run() const override { return stats_.epochs_run; }
 
+  /// Const, thread-safe scoring surface for the serving engine. All three
+  /// methods require a fitted model in eval mode (Score() and
+  /// FreezeForInference() both switch it) and touch no detector state, so
+  /// they can run concurrently with each other on any number of threads.
+
+  /// Applies the Eq. (1) normalization with the same out-of-range clip the
+  /// batched scorer uses; x is [T, m] (T may be 1 for a single observation).
+  Tensor NormalizeForScoring(const Tensor& x) const;
+
+  /// Scores pre-normalized windows [B, K, m] -> per-dimension Eq. (13)
+  /// scores [B, m] via the NoGrad two-phase pass. Rows are independent, so
+  /// the result is bit-for-bit identical whether windows are scored one at
+  /// a time or coalesced into one micro-batch.
+  Tensor ScoreWindows(const Tensor& windows) const;
+
+  /// Const equivalent of Score() (same values) that records no attention /
+  /// focus state; used to calibrate new stream sessions while workers are
+  /// concurrently scoring.
+  Tensor ScoreSeries(const TimeSeries& series) const;
+
+  /// Puts the model in eval mode. Call once before handing the detector to
+  /// concurrent scorers; the const methods above never flip the flag
+  /// themselves (that write would race with running forwards).
+  void FreezeForInference();
+
   /// Trained model access (visualizations, checkpointing).
   TranADModel* model() { return model_.get(); }
+  const TranADModel* model() const { return model_.get(); }
   const TrainStats& train_stats() const { return stats_; }
   const MinMaxNormalizer& normalizer() const { return normalizer_; }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
 
 namespace tranad {
 
@@ -50,32 +51,39 @@ TranADModel::TranADModel(const TranADConfig& config)
   RegisterModule("decoder2", decoder2_.get());
 }
 
-Variable TranADModel::EncodeTransformer(const Variable& input) {
+Variable TranADModel::EncodeTransformer(const Variable& input,
+                                        Rng* rng) const {
   // Scale as in Vaswani et al. / the reference implementation, then add
   // position encodings before the attention stack.
   Variable scaled =
       ag::MulScalar(input, std::sqrt(static_cast<float>(config_.dims)));
-  Variable encoded = pos_->Forward(scaled, &rng_);
+  Variable encoded = pos_->Forward(scaled, rng);
   // I1_2: context encoding of the full (window+focus) sequence (Eq. 4).
-  Variable context = encoder_->Forward(encoded, &rng_);
+  Variable context = encoder_->Forward(encoded, rng);
   // I2_3: masked window encoding cross-attending to the context (Eq. 5);
   // the bidirectional variant drops the future mask.
-  return window_encoder_->Forward(encoded, context, &rng_,
+  return window_encoder_->Forward(encoded, context, rng,
                                   /*causal=*/!config_.bidirectional);
 }
 
-Variable TranADModel::EncodeFeedForward(const Variable& input) {
-  Variable h = ff_encoder_->Forward(input, &rng_);
-  return ff_encoder2_->Forward(h, &rng_);
+Variable TranADModel::EncodeFeedForward(const Variable& input,
+                                        Rng* rng) const {
+  Variable h = ff_encoder_->Forward(input, rng);
+  return ff_encoder2_->Forward(h, rng);
 }
 
-Variable TranADModel::Encode(const Variable& window, const Variable& focus) {
+Variable TranADModel::EncodeWith(const Variable& window, const Variable& focus,
+                                 Rng* rng) const {
   TRANAD_CHECK(window.shape() == focus.shape());
   TRANAD_CHECK_EQ(window.value().size(-1), config_.dims);
   // Concatenate the focus score onto the window: [B, K, 2m].
   Variable input = ag::Concat({window, focus}, -1);
-  return config_.use_transformer ? EncodeTransformer(input)
-                                 : EncodeFeedForward(input);
+  return config_.use_transformer ? EncodeTransformer(input, rng)
+                                 : EncodeFeedForward(input, rng);
+}
+
+Variable TranADModel::Encode(const Variable& window, const Variable& focus) {
+  return EncodeWith(window, focus, &rng_);
 }
 
 Variable TranADModel::BroadcastFocus(const Variable& focus,
@@ -100,12 +108,20 @@ Variable LastLatent(const Variable& latent) {
 
 }  // namespace
 
+Variable TranADModel::Decode1With(const Variable& latent, Rng* rng) const {
+  return ag::Sigmoid(decoder1_->Forward(LastLatent(latent), rng));
+}
+
+Variable TranADModel::Decode2With(const Variable& latent, Rng* rng) const {
+  return ag::Sigmoid(decoder2_->Forward(LastLatent(latent), rng));
+}
+
 Variable TranADModel::Decode1(const Variable& latent) {
-  return ag::Sigmoid(decoder1_->Forward(LastLatent(latent), &rng_));
+  return Decode1With(latent, &rng_);
 }
 
 Variable TranADModel::Decode2(const Variable& latent) {
-  return ag::Sigmoid(decoder2_->Forward(LastLatent(latent), &rng_));
+  return Decode2With(latent, &rng_);
 }
 
 std::pair<Variable, Variable> TranADModel::ForwardPhase1(
@@ -124,6 +140,36 @@ Variable TranADModel::ForwardPhase2(const Variable& window,
           : Variable(Tensor::Zeros(window.shape()));
   Variable latent = Encode(window, effective_focus);
   return Decode2(latent);
+}
+
+std::pair<Tensor, Tensor> TranADModel::TwoPhaseInference(
+    const Tensor& windows) const {
+  TRANAD_CHECK_MSG(!training(),
+                   "TwoPhaseInference requires eval mode; call "
+                   "SetTraining(false) before serving");
+  TRANAD_CHECK_EQ(windows.ndim(), 3);
+  TRANAD_CHECK_EQ(windows.size(2), config_.dims);
+  const int64_t b = windows.size(0);
+  const int64_t k = windows.size(1);
+  const int64_t m = config_.dims;
+
+  NoGradGuard no_grad;
+  Variable window(windows);
+  // Dropout is identity in eval mode, so the layers never touch the rng.
+  Variable zero_focus(Tensor::Zeros(windows.shape()));
+  Variable latent = EncodeWith(window, zero_focus, /*rng=*/nullptr);
+  Variable o1 = Decode1With(latent, /*rng=*/nullptr);
+
+  // Phase-2 focus: (O1 - x_t)^2 against the window's final timestamp.
+  const Tensor target = SliceAxis(windows, 1, k - 1, 1).Reshape({b, m});
+  Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+  Variable effective_focus =
+      config_.use_self_conditioning
+          ? BroadcastFocus(focus, k)
+          : Variable(Tensor::Zeros(windows.shape()));
+  Variable latent2 = EncodeWith(window, effective_focus, /*rng=*/nullptr);
+  Variable o2hat = Decode2With(latent2, /*rng=*/nullptr);
+  return {o1.value(), o2hat.value()};
 }
 
 namespace {

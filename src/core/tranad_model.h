@@ -66,6 +66,15 @@ class TranADModel : public nn::Module {
   /// implementation repeats it). Honors use_self_conditioning.
   Variable ForwardPhase2(const Variable& window, const Variable& focus);
 
+  /// Const, inference-only two-phase pass for the serving path: windows
+  /// [B, K, m] (already normalized) -> (O1, O_hat_2), both [B, m]. Runs
+  /// under NoGrad (no tape, no attention recording, no dropout) and touches
+  /// no mutable model state, so it is safe to call concurrently from many
+  /// threads on a frozen model. Precondition: !training(). The phase-2
+  /// focus is computed internally as (O1 - x_t)^2 against the window's
+  /// final timestamp, exactly as TranADDetector::Score does.
+  std::pair<Tensor, Tensor> TwoPhaseInference(const Tensor& windows) const;
+
   /// Broadcasts a [B, m] focus score over the window length: [B, K, m].
   Variable BroadcastFocus(const Variable& focus, int64_t window_len) const;
 
@@ -85,8 +94,12 @@ class TranADModel : public nn::Module {
   Rng* rng() { return &rng_; }
 
  private:
-  Variable EncodeTransformer(const Variable& input);
-  Variable EncodeFeedForward(const Variable& input);
+  Variable EncodeTransformer(const Variable& input, Rng* rng) const;
+  Variable EncodeFeedForward(const Variable& input, Rng* rng) const;
+  Variable EncodeWith(const Variable& window, const Variable& focus,
+                      Rng* rng) const;
+  Variable Decode1With(const Variable& latent, Rng* rng) const;
+  Variable Decode2With(const Variable& latent, Rng* rng) const;
 
   TranADConfig config_;
   Rng rng_;

@@ -1,0 +1,68 @@
+#include "core/window_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tranad {
+
+void WindowRing::Reset(int64_t window, int64_t dims) {
+  TRANAD_CHECK_GT(window, 0);
+  TRANAD_CHECK_GT(dims, 0);
+  k_ = window;
+  m_ = dims;
+  size_ = 0;
+  head_ = 0;
+  rows_.assign(static_cast<size_t>(k_ * m_), 0.0f);
+}
+
+void WindowRing::Push(const Tensor& normalized_row) {
+  TRANAD_CHECK_EQ(normalized_row.numel(), m_);
+  PushRow(normalized_row.data());
+}
+
+void WindowRing::PushRow(const float* normalized_row) {
+  TRANAD_CHECK_GT(k_, 0);
+  const int64_t slot = (head_ + size_) % k_;
+  std::copy(normalized_row, normalized_row + m_, rows_.data() + slot * m_);
+  if (size_ < k_) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % k_;
+  }
+}
+
+void WindowRing::Seed(const Tensor& normalized_tail) {
+  TRANAD_CHECK_EQ(normalized_tail.ndim(), 2);
+  TRANAD_CHECK_EQ(normalized_tail.size(1), m_);
+  const int64_t t = normalized_tail.size(0);
+  Tensor row({m_});
+  for (int64_t i = std::max<int64_t>(0, t - k_); i < t; ++i) {
+    std::copy(normalized_tail.data() + i * m_,
+              normalized_tail.data() + (i + 1) * m_, row.data());
+    Push(row);
+  }
+}
+
+void WindowRing::AssembleInto(float* dst) const {
+  TRANAD_CHECK_GT(size_, 0);
+  // Cold-start replication: repeat the oldest row while fewer than K rows
+  // exist, matching MakeWindows' padding with the series' first observation.
+  const float* oldest = rows_.data() + head_ * m_;
+  for (int64_t w = 0; w < k_ - size_; ++w) {
+    std::copy(oldest, oldest + m_, dst + w * m_);
+  }
+  for (int64_t i = 0; i < size_; ++i) {
+    const int64_t slot = (head_ + i) % k_;
+    std::copy(rows_.data() + slot * m_, rows_.data() + (slot + 1) * m_,
+              dst + (k_ - size_ + i) * m_);
+  }
+}
+
+Tensor WindowRing::Window() const {
+  Tensor out({1, k_, m_});
+  AssembleInto(out.data());
+  return out;
+}
+
+}  // namespace tranad

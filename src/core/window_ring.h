@@ -1,0 +1,59 @@
+#ifndef TRANAD_CORE_WINDOW_RING_H_
+#define TRANAD_CORE_WINDOW_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tranad {
+
+/// Fixed-capacity ring buffer of *normalized* observations that assembles
+/// TranAD scoring windows in O(K m) without re-normalizing or re-copying the
+/// trailing history on every step. Shared by the single-stream OnlineTranAD
+/// front end and the serve engine's per-stream sessions so both produce
+/// bit-identical windows: a window is {x_{t-K+1}, ..., x_t} with the oldest
+/// buffered row replicated in front while fewer than K observations exist
+/// (the MakeWindows cold-start padding).
+class WindowRing {
+ public:
+  WindowRing() = default;
+  WindowRing(int64_t window, int64_t dims) { Reset(window, dims); }
+
+  /// (Re)configures capacity and clears all rows.
+  void Reset(int64_t window, int64_t dims);
+
+  /// Appends one normalized observation [m], evicting the oldest row once
+  /// K rows are held.
+  void Push(const Tensor& normalized_row);
+
+  /// Same, from a raw pointer to m contiguous floats (a row of an already
+  /// normalized batch) — no per-row Tensor required.
+  void PushRow(const float* normalized_row);
+
+  /// Appends every row of a normalized [T, m] tail (seeding from
+  /// calibration data); only the last K survive.
+  void Seed(const Tensor& normalized_tail);
+
+  /// Copies the current window into `dst` (K*m floats, row-major [K, m]).
+  void AssembleInto(float* dst) const;
+
+  /// The current window as a [1, K, m] tensor ready for ScoreWindows.
+  Tensor Window() const;
+
+  int64_t window() const { return k_; }
+  int64_t dims() const { return m_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  int64_t k_ = 0;
+  int64_t m_ = 0;
+  int64_t size_ = 0;  // valid rows, <= k_
+  int64_t head_ = 0;  // slot of the oldest row
+  std::vector<float> rows_;  // k_ * m_ storage
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_CORE_WINDOW_RING_H_

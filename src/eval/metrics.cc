@@ -132,28 +132,77 @@ DetectionMetrics EvaluateBestF1(const std::vector<double>& scores,
                                 const std::vector<uint8_t>& truth,
                                 int64_t max_candidates) {
   TRANAD_CHECK(!scores.empty());
-  std::vector<double> cand = scores;
-  std::sort(cand.begin(), cand.end());
-  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
-  if (static_cast<int64_t>(cand.size()) > max_candidates) {
-    std::vector<double> sub;
-    sub.reserve(static_cast<size_t>(max_candidates));
-    const double step = static_cast<double>(cand.size() - 1) /
-                        static_cast<double>(max_candidates - 1);
-    for (int64_t i = 0; i < max_candidates; ++i) {
-      sub.push_back(cand[static_cast<size_t>(i * step)]);
+  TRANAD_CHECK_EQ(scores.size(), truth.size());
+  (void)max_candidates;  // retained for API compatibility; sweep is exact
+  const size_t n = scores.size();
+
+  // Map each timestamp to its ground-truth segment (-1 outside segments).
+  // Point-adjusted confusion counts are then incremental in the threshold:
+  // lowering the threshold only adds raw positives, which either (a) land
+  // outside every segment (one more FP), or (b) hit a segment, and the
+  // first hit converts the whole segment into TPs at once. Sweeping the
+  // distinct scores in descending order therefore visits every achievable
+  // point-adjusted confusion matrix in O(n log n) — no candidate
+  // subsampling, so the best F1 dominates every fixed threshold exactly.
+  std::vector<int64_t> segment_of(n, -1);
+  std::vector<int64_t> segment_len;
+  int64_t total_pos = 0;
+  for (size_t i = 0; i < n;) {
+    if (truth[i] == 0) {
+      ++i;
+      continue;
     }
-    cand = std::move(sub);
+    size_t j = i;
+    while (j < n && truth[j] != 0) ++j;
+    for (size_t k = i; k < j; ++k) {
+      segment_of[k] = static_cast<int64_t>(segment_len.size());
+    }
+    segment_len.push_back(static_cast<int64_t>(j - i));
+    total_pos += static_cast<int64_t>(j - i);
+    i = j;
   }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
   DetectionMetrics best;
   best.roc_auc = RocAuc(scores, truth);
-  for (double t : cand) {
-    DetectionMetrics m = EvaluateAtThreshold(scores, truth, t);
-    if (m.f1 > best.f1) {
-      best.precision = m.precision;
-      best.recall = m.recall;
-      best.f1 = m.f1;
-      best.threshold = m.threshold;
+  std::vector<int64_t> hits(segment_len.size(), 0);
+  int64_t tp = 0;  // adjusted true positives
+  int64_t fp = 0;  // raw positives outside every segment
+  size_t i = 0;
+  while (i < n) {
+    const double threshold = scores[order[i]];
+    // Admit every point tied at this threshold before evaluating (>= thr).
+    size_t j = i;
+    while (j < n && scores[order[j]] == threshold) {
+      const size_t idx = order[j];
+      const int64_t seg = segment_of[idx];
+      if (seg < 0) {
+        ++fp;
+      } else if (++hits[static_cast<size_t>(seg)] == 1) {
+        tp += segment_len[static_cast<size_t>(seg)];
+      }
+      ++j;
+    }
+    i = j;
+    const double precision =
+        tp + fp == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    const double recall =
+        total_pos == 0
+            ? 0.0
+            : static_cast<double>(tp) / static_cast<double>(total_pos);
+    const double f1 = precision + recall == 0.0
+                          ? 0.0
+                          : 2.0 * precision * recall / (precision + recall);
+    if (f1 > best.f1) {
+      best.precision = precision;
+      best.recall = recall;
+      best.f1 = f1;
+      best.threshold = threshold;
     }
   }
   return best;

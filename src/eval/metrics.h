@@ -51,9 +51,11 @@ DetectionMetrics EvaluateAtThreshold(const std::vector<double>& scores,
                                      const std::vector<uint8_t>& truth,
                                      double threshold);
 
-/// Sweeps candidate thresholds (all distinct score values, subsampled to at
-/// most `max_candidates`) and returns the point-adjusted best-F1 metrics —
-/// the protocol used when POT's automatic threshold is not applicable.
+/// Exact point-adjusted best-F1 sweep over every distinct score value in
+/// O(n log n) (incremental confusion counts; no candidate subsampling), so
+/// the result dominates EvaluateAtThreshold for any threshold — the
+/// protocol used when POT's automatic threshold is not applicable.
+/// `max_candidates` is ignored and kept only for API compatibility.
 DetectionMetrics EvaluateBestF1(const std::vector<double>& scores,
                                 const std::vector<uint8_t>& truth,
                                 int64_t max_candidates = 256);

@@ -209,9 +209,12 @@ void StreamingPot::Initialize(const std::vector<double>& calibration) {
 }
 
 void StreamingPot::Refit() {
+  // Conservative fallback, also used when the fitted level is degenerate:
+  // slightly above the peak threshold, and always finite and positive.
+  const double fallback = t_ <= 0.0 ? 1e-12 : t_ * 1.5;
   if (static_cast<int64_t>(peaks_.size()) < params_.min_excesses) {
-    // Too few peaks for a stable fit: conservative fallback.
-    z_q_ = t_ <= 0.0 ? 1e-12 : t_ * 1.5;
+    // Too few peaks for a stable fit.
+    z_q_ = fallback;
     return;
   }
   const GpdFit fit = FitGpdGrimshaw(peaks_);
@@ -219,11 +222,18 @@ void StreamingPot::Refit() {
       std::max(params_.risk, 5.0 / static_cast<double>(n_));
   const double r = risk * static_cast<double>(n_) /
                    static_cast<double>(peaks_.size());
+  double z;
   if (std::fabs(fit.gamma) < 1e-9) {
-    z_q_ = t_ - fit.sigma * std::log(r);
+    z = t_ - fit.sigma * std::log(r);
   } else {
-    z_q_ = t_ + fit.sigma / fit.gamma * (std::pow(r, -fit.gamma) - 1.0);
+    z = t_ + fit.sigma / fit.gamma * (std::pow(r, -fit.gamma) - 1.0);
   }
+  // A constant or near-constant calibration tail can push the GPD fit to a
+  // degenerate corner (sigma ~ 0, extreme gamma): never emit a NaN/inf
+  // level, never drop the threshold to or below the peak threshold t_, and
+  // never go non-positive on non-negative score streams.
+  if (!std::isfinite(z) || z <= t_) z = fallback;
+  z_q_ = z;
 }
 
 bool StreamingPot::Observe(double score) {

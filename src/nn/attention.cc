@@ -69,10 +69,13 @@ Variable MultiHeadAttention::Forward(const Variable& query,
   }
   Variable weights = ag::SoftmaxLastDim(logits);  // [B*h, Tq, Tk]
 
-  // Head-averaged attention map for the Fig. 3 visualization.
-  last_attention_ = MulScalar(
-      Sum(weights.value().Reshape({b, num_heads_, tq, tk}), 1, false),
-      1.0f / static_cast<float>(num_heads_));
+  // Head-averaged attention map for the Fig. 3 visualization. Skipped under
+  // NoGrad so concurrent inference threads never write shared layer state.
+  if (!NoGradEnabled()) {
+    last_attention_ = MulScalar(
+        Sum(weights.value().Reshape({b, num_heads_, tq, tk}), 1, false),
+        1.0f / static_cast<float>(num_heads_));
+  }
 
   Variable context = ag::MatMul(weights, vh);  // [B*h, Tq, dh]
   Variable merged = ag::Reshape(

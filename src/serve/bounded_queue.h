@@ -1,0 +1,125 @@
+#ifndef TRANAD_SERVE_BOUNDED_QUEUE_H_
+#define TRANAD_SERVE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace tranad::serve {
+
+/// Thread-safe bounded FIFO queue with backpressure. Producers either get an
+/// immediate ResourceExhausted status when the queue is full (TryPush, the
+/// admission-control path) or block until space frees (Push, used between
+/// pipeline stages whose upstream must stall rather than drop). Closing the
+/// queue rejects further pushes while consumers drain the remaining items;
+/// Pop returns nullopt only once the queue is both closed and empty.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
+    TRANAD_CHECK_GT(capacity, 0);
+  }
+
+  /// Non-blocking admission: ResourceExhausted when full, FailedPrecondition
+  /// when closed.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue is closed");
+      }
+      if (static_cast<int64_t>(items_.size()) >= capacity_) {
+        return Status::ResourceExhausted("queue is full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocking push: waits for space. Returns false (item dropped) if the
+  /// queue is closed before space frees.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] {
+        return closed_ || static_cast<int64_t>(items_.size()) < capacity_;
+      });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item; nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Pop with a deadline: nullopt on timeout or once closed and drained. A
+  /// deadline in the past degrades to a non-blocking poll.
+  std::optional<T> PopBefore(std::chrono::steady_clock::time_point deadline) {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait_until(lock, deadline,
+                            [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Rejects further pushes and wakes every waiter; queued items remain
+  /// poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,30 @@
+#include "serve/micro_batcher.h"
+
+#include "common/check.h"
+
+namespace tranad::serve {
+
+MicroBatcher::MicroBatcher(int64_t max_batch, int64_t max_wait_us)
+    : max_batch_(max_batch), max_wait_us_(max_wait_us) {
+  TRANAD_CHECK_GT(max_batch, 0);
+  TRANAD_CHECK_GE(max_wait_us, 0);
+}
+
+std::vector<ServeRequest> MicroBatcher::NextBatch(
+    BoundedQueue<ServeRequest>* queue) const {
+  std::vector<ServeRequest> batch;
+  auto first = queue->Pop();
+  if (!first.has_value()) return batch;  // closed and drained
+  batch.reserve(static_cast<size_t>(max_batch_));
+  batch.push_back(std::move(*first));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(max_wait_us_);
+  while (static_cast<int64_t>(batch.size()) < max_batch_) {
+    auto next = queue->PopBefore(deadline);
+    if (!next.has_value()) break;  // linger expired (or closed and drained)
+    batch.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+}  // namespace tranad::serve

@@ -1,0 +1,56 @@
+#ifndef TRANAD_SERVE_MICRO_BATCHER_H_
+#define TRANAD_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/online_detector.h"
+#include "serve/bounded_queue.h"
+#include "serve/stream_session.h"
+#include "tensor/tensor.h"
+
+namespace tranad::serve {
+
+/// Verdict delivery: invoked once per admitted observation, on a worker
+/// thread, in per-stream submission order. Must be fast and must not call
+/// back into ServeEngine::Flush or destroy the engine.
+using VerdictCallback =
+    std::function<void(StreamId stream, int64_t seq, const OnlineVerdict&)>;
+
+/// One admitted observation waiting to be scored.
+struct ServeRequest {
+  std::shared_ptr<StreamSession> session;
+  Tensor observation;  // raw (un-normalized) [m]
+  VerdictCallback callback;
+  int64_t seq = 0;  // per-stream submission sequence
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// Micro-batching policy: coalesces pending observations from any mix of
+/// streams into one batch for a single two-phase forward pass. Blocks for
+/// the first request, then keeps extending the batch until it holds
+/// `max_batch` observations or `max_wait_us` has elapsed since the first
+/// one arrived. With max_wait_us = 0 it still greedily drains whatever is
+/// already queued (no artificial latency), so batching kicks in exactly
+/// when the queue runs hot — the classic serving trade-off dial.
+class MicroBatcher {
+ public:
+  MicroBatcher(int64_t max_batch, int64_t max_wait_us);
+
+  /// Pulls the next batch. An empty result means the queue was closed and
+  /// fully drained — time to shut down.
+  std::vector<ServeRequest> NextBatch(BoundedQueue<ServeRequest>* queue) const;
+
+  int64_t max_batch() const { return max_batch_; }
+  int64_t max_wait_us() const { return max_wait_us_; }
+
+ private:
+  int64_t max_batch_;
+  int64_t max_wait_us_;
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,215 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tranad::serve {
+
+ServeEngine::ServeEngine(TranADDetector* detector, ServeOptions options)
+    : detector_(detector),
+      options_(options),
+      stats_(options.max_batch),
+      submit_queue_(options.queue_capacity),
+      // One in-flight batch per worker bounds memory; the batcher blocks
+      // (backpressure, not drop) when every worker is busy.
+      work_queue_(std::max<int64_t>(options.num_workers, 1)),
+      batcher_policy_(options.max_batch, options.max_wait_us) {
+  TRANAD_CHECK(detector != nullptr);
+  TRANAD_CHECK_GT(options_.num_workers, 0);
+  TRANAD_CHECK(detector->model() != nullptr);  // must be fitted
+  detector_->FreezeForInference();
+  batcher_ = std::thread([this] { BatcherLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() {
+  submit_queue_.Close();
+  if (batcher_.joinable()) batcher_.join();
+  // BatcherLoop closes the work queue on exit; workers drain it and stop.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Result<StreamId> ServeEngine::CreateStream(const TimeSeries& calibration) {
+  if (calibration.length() <= 0) {
+    return Status::InvalidArgument("calibration series is empty");
+  }
+  if (calibration.dims() != detector_->model()->config().dims) {
+    return Status::InvalidArgument(
+        "calibration has " + std::to_string(calibration.dims()) +
+        " dims; detector expects " +
+        std::to_string(detector_->model()->config().dims));
+  }
+  StreamId id;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    id = next_stream_id_++;
+  }
+  // Calibration scores the series through the detector's const path, so it
+  // runs here on the caller thread — outside the registry lock — while
+  // workers keep scoring traffic.
+  auto session = std::make_shared<StreamSession>(id, detector_, options_.pot);
+  session->Calibrate(calibration);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Status ServeEngine::CloseStream(StreamId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no stream with id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status ServeEngine::Submit(StreamId stream, const Tensor& observation,
+                           VerdictCallback callback) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(stream);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no stream with id " + std::to_string(stream));
+    }
+    session = it->second;
+  }
+  const int64_t m = detector_->model()->config().dims;
+  if (observation.numel() != m) {
+    return Status::InvalidArgument(
+        "observation has " + std::to_string(observation.numel()) +
+        " values; detector expects " + std::to_string(m));
+  }
+
+  ServeRequest request;
+  request.session = std::move(session);
+  request.observation = observation.Reshape({m});
+  request.callback = std::move(callback);
+  request.enqueued = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> admit_lock(admit_mu_);
+  // Count the request as pending *before* it becomes visible to the
+  // pipeline: a worker must never decrement below a concurrent Flush's
+  // view of what was admitted.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  request.seq = request.session->NextSeq();
+  const Status status = submit_queue_.TryPush(std::move(request));
+  if (!status.ok()) {
+    DecrementPending(1);
+    stats_.RecordRejected();
+    return status;
+  }
+  stats_.RecordSubmitted();
+  return Status::Ok();
+}
+
+void ServeEngine::BatcherLoop() {
+  const int64_t k = detector_->model()->config().window;
+  const int64_t m = detector_->model()->config().dims;
+  int64_t ticket = 0;
+  for (;;) {
+    std::vector<ServeRequest> requests =
+        batcher_policy_.NextBatch(&submit_queue_);
+    if (requests.empty()) break;  // closed and drained
+
+    // Ring updates happen only here, in admission order; a window is a pure
+    // function of its stream's ring, so scores do not depend on how
+    // requests were grouped into batches. Normalization is elementwise per
+    // dimension, so one [B, m] pass equals B per-row passes bit-for-bit.
+    const int64_t b = static_cast<int64_t>(requests.size());
+    Tensor raw({b, m});
+    for (int64_t i = 0; i < b; ++i) {
+      const Tensor& obs = requests[static_cast<size_t>(i)].observation;
+      std::copy(obs.data(), obs.data() + m, raw.data() + i * m);
+    }
+    const Tensor normalized = detector_->NormalizeForScoring(raw);  // [B, m]
+    WindowBatch batch;
+    batch.windows = Tensor({b, k, m});
+    for (int64_t i = 0; i < b; ++i) {
+      ServeRequest& r = requests[static_cast<size_t>(i)];
+      r.session->ring()->PushRow(normalized.data() + i * m);
+      r.session->ring()->AssembleInto(batch.windows.data() + i * k * m);
+    }
+    batch.requests = std::move(requests);
+    batch.ticket = ticket++;
+    stats_.RecordBatch(b);
+    work_queue_.Push(std::move(batch));
+  }
+  work_queue_.Close();
+}
+
+void ServeEngine::WorkerLoop() {
+  const int64_t m = detector_->model()->config().dims;
+  for (;;) {
+    std::optional<WindowBatch> batch = work_queue_.Pop();
+    if (!batch.has_value()) break;
+
+    // The expensive part runs concurrently across workers: one batched
+    // two-phase forward through the frozen model (const, NoGrad).
+    const Tensor scores = detector_->ScoreWindows(batch->windows);  // [B, m]
+
+    // Completions are applied in ticket order under one lock: POT updates
+    // stay per-stream-sequential and callbacks observe a consistent order.
+    std::unique_lock<std::mutex> lock(completion_mu_);
+    completion_cv_.wait(
+        lock, [&] { return next_completion_ticket_ == batch->ticket; });
+    const auto now = std::chrono::steady_clock::now();
+    const int64_t b = static_cast<int64_t>(batch->requests.size());
+    for (int64_t i = 0; i < b; ++i) {
+      ServeRequest& r = batch->requests[static_cast<size_t>(i)];
+      OnlineVerdict verdict;
+      verdict.dim_scores = Tensor({m});
+      double total = 0.0;
+      for (int64_t d = 0; d < m; ++d) {
+        const float s = scores[i * m + d];
+        verdict.dim_scores[d] = s;
+        total += s;
+      }
+      verdict.score = total / static_cast<double>(m);
+      verdict.anomalous = r.session->spot()->Observe(verdict.score);
+      verdict.threshold = r.session->spot()->threshold();
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - r.enqueued).count();
+      stats_.RecordCompletion(latency_ms, verdict.anomalous);
+      if (r.callback) r.callback(r.session->id(), r.seq, verdict);
+    }
+    ++next_completion_ticket_;
+    lock.unlock();
+    completion_cv_.notify_all();
+
+    DecrementPending(b);
+  }
+}
+
+void ServeEngine::DecrementPending(int64_t n) {
+  if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Dropped to zero: wake any Flush(). The empty critical section orders
+    // the notify after a concurrent Flush's predicate check.
+    { std::lock_guard<std::mutex> lock(pending_mu_); }
+    pending_cv_.notify_all();
+  }
+}
+
+void ServeEngine::Flush() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(
+      lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+ServeStatsSnapshot ServeEngine::stats() const {
+  return stats_.Snapshot(submit_queue_.size());
+}
+
+int64_t ServeEngine::num_streams() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+}  // namespace tranad::serve

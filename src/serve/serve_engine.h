@@ -1,0 +1,136 @@
+#ifndef TRANAD_SERVE_SERVE_ENGINE_H_
+#define TRANAD_SERVE_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online_detector.h"
+#include "core/tranad_detector.h"
+#include "serve/bounded_queue.h"
+#include "serve/micro_batcher.h"
+#include "serve/serve_stats.h"
+#include "serve/stream_session.h"
+
+namespace tranad::serve {
+
+struct ServeOptions {
+  /// Worker threads running the batched two-phase forward pass.
+  int64_t num_workers = 4;
+  /// Submission-queue capacity; Submit rejects with ResourceExhausted
+  /// beyond this (backpressure instead of unbounded buffering).
+  int64_t queue_capacity = 1024;
+  /// Micro-batch coalescing policy: dispatch when `max_batch` observations
+  /// are pending or `max_wait_us` has elapsed since the first, whichever
+  /// comes first. max_wait_us = 0 still drains everything already queued.
+  int64_t max_batch = 32;
+  int64_t max_wait_us = 200;
+  /// Streaming-POT parameters applied to every created stream.
+  PotParams pot;
+};
+
+/// Concurrent multi-stream serving engine: many independent time series
+/// scored online through one shared, frozen TranADDetector (Alg. 2 at
+/// serving scale). The pipeline is
+///
+///   Submit --admission--> [bounded queue] --batcher thread--> ring update +
+///   window assembly --> [work queue] --worker pool--> batched NoGrad
+///   two-phase forward --> ordered completion (POT update + callback)
+///
+/// Correctness invariants:
+///   - Per-stream FIFO: admissions are sequenced, the single batcher thread
+///     updates each stream's ring in admission order, and completions are
+///     applied in batch order, so every stream sees its POT updates in
+///     exactly submission order.
+///   - Batching transparency: scoring is row-independent and windows are
+///     functions of the ring alone, so verdicts are bit-for-bit identical
+///     to a sequential OnlineTranAD run regardless of batch boundaries,
+///     worker count, or timing.
+///   - The detector is frozen at construction; workers only use its const
+///     scoring surface, so no worker ever touches trainer/autograd state.
+class ServeEngine {
+ public:
+  /// `detector` must be fitted and must outlive the engine. The engine
+  /// freezes it for inference; do not call Fit()/Score() on it (or run
+  /// another engine over it) while this engine is alive.
+  explicit ServeEngine(TranADDetector* detector, ServeOptions options = {});
+
+  /// Drains every admitted request (callbacks fire), then joins all
+  /// threads.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Registers a new stream: calibrates its POT threshold from the series'
+  /// scores and seeds its window ring with the series tail (exactly
+  /// OnlineTranAD::Calibrate). Safe to call while traffic is flowing.
+  Result<StreamId> CreateStream(const TimeSeries& calibration);
+
+  /// Unregisters a stream. Already-admitted observations still complete
+  /// (their callbacks fire); later Submits return NotFound.
+  Status CloseStream(StreamId id);
+
+  /// Admits one observation x_t in R^m for `stream`. Returns NotFound for
+  /// an unknown stream, InvalidArgument on a dimension mismatch, and
+  /// ResourceExhausted when the submission queue is full (shed load and
+  /// retry later). On Ok, `callback` will be invoked exactly once.
+  Status Submit(StreamId stream, const Tensor& observation,
+                VerdictCallback callback);
+
+  /// Blocks until every admitted observation has completed. Do not call
+  /// from inside a verdict callback.
+  void Flush();
+
+  ServeStatsSnapshot stats() const;
+  int64_t num_streams() const;
+
+ private:
+  struct WindowBatch {
+    std::vector<ServeRequest> requests;
+    Tensor windows;  // [B, K, m], normalized
+    int64_t ticket = 0;
+  };
+
+  void BatcherLoop();
+  void WorkerLoop();
+  void DecrementPending(int64_t n);
+
+  TranADDetector* detector_;
+  ServeOptions options_;
+  ServeStats stats_;
+  BoundedQueue<ServeRequest> submit_queue_;
+  BoundedQueue<WindowBatch> work_queue_;
+  MicroBatcher batcher_policy_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<StreamId, std::shared_ptr<StreamSession>> sessions_;
+  StreamId next_stream_id_ = 1;
+
+  // Serializes {seq assignment, queue push} so per-stream sequence numbers
+  // agree with queue order even under concurrent same-stream submitters.
+  std::mutex admit_mu_;
+
+  // Ordered completion: workers score batches in parallel but apply POT
+  // updates and callbacks strictly in ticket (batch) order.
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+  int64_t next_completion_ticket_ = 0;
+
+  // Admitted-but-not-completed count. Lock-free on the hot paths; the
+  // mutex/cv pair only serializes against a blocked Flush().
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::atomic<int64_t> pending_{0};
+
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_SERVE_ENGINE_H_

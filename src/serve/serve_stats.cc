@@ -1,0 +1,84 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tranad::serve {
+
+ServeStats::ServeStats(int64_t max_batch, int64_t reservoir_size) {
+  TRANAD_CHECK_GT(max_batch, 0);
+  TRANAD_CHECK_GT(reservoir_size, 0);
+  batch_size_hist_.assign(static_cast<size_t>(max_batch) + 1, 0);
+  latency_reservoir_.reserve(static_cast<size_t>(reservoir_size));
+  reservoir_capacity_ = reservoir_size;
+}
+
+void ServeStats::RecordSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+}
+
+void ServeStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeStats::RecordBatch(int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_observations_ += batch_size;
+  if (batch_size >= 0 &&
+      batch_size < static_cast<int64_t>(batch_size_hist_.size())) {
+    ++batch_size_hist_[static_cast<size_t>(batch_size)];
+  }
+}
+
+void ServeStats::RecordCompletion(double latency_ms, bool anomalous) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (anomalous) ++anomalies_;
+  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+  if (static_cast<int64_t>(latency_reservoir_.size()) < reservoir_capacity_) {
+    latency_reservoir_.push_back(latency_ms);
+  } else {
+    latency_reservoir_[static_cast<size_t>(completed_ % reservoir_capacity_)] =
+        latency_ms;
+  }
+  ++completed_;
+}
+
+ServeStatsSnapshot ServeStats::Snapshot(int64_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStatsSnapshot s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.anomalies = anomalies_;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_observations_) /
+                          static_cast<double>(batches_);
+  s.batch_size_hist = batch_size_hist_;
+  s.queue_depth = queue_depth;
+  s.max_latency_ms = max_latency_ms_;
+  s.elapsed_seconds = started_.ElapsedSeconds();
+  s.throughput_per_sec =
+      s.elapsed_seconds <= 0.0
+          ? 0.0
+          : static_cast<double>(completed_) / s.elapsed_seconds;
+  if (!latency_reservoir_.empty()) {
+    std::vector<double> sorted = latency_reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    s.p50_latency_ms = at(0.50);
+    s.p99_latency_ms = at(0.99);
+  }
+  return s;
+}
+
+}  // namespace tranad::serve

@@ -1,0 +1,63 @@
+#ifndef TRANAD_SERVE_SERVE_STATS_H_
+#define TRANAD_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace tranad::serve {
+
+/// Point-in-time view of the serving counters; everything the throughput
+/// bench needs to report scaling curves.
+struct ServeStatsSnapshot {
+  int64_t submitted = 0;   // admitted observations
+  int64_t rejected = 0;    // refused with ResourceExhausted (queue full)
+  int64_t completed = 0;   // verdicts delivered
+  int64_t anomalies = 0;   // completed verdicts flagged anomalous
+  int64_t batches = 0;     // scored micro-batches
+  double mean_batch_size = 0.0;
+  /// batch_size_hist[s] = number of scored batches holding s observations;
+  /// index 0 is unused (batches are never empty).
+  std::vector<int64_t> batch_size_hist;
+  int64_t queue_depth = 0;  // submission queue depth at snapshot time
+  double p50_latency_ms = 0.0;  // submit-to-verdict, over a recent window
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double elapsed_seconds = 0.0;     // since engine start
+  double throughput_per_sec = 0.0;  // completed / elapsed
+};
+
+/// Mutex-guarded metrics collector. Latency percentiles come from a sliding
+/// reservoir of the most recent completions (exact within the window), so a
+/// long-running engine reports current behavior, not lifetime averages.
+class ServeStats {
+ public:
+  explicit ServeStats(int64_t max_batch, int64_t reservoir_size = 8192);
+
+  void RecordSubmitted();
+  void RecordRejected();
+  void RecordBatch(int64_t batch_size);
+  void RecordCompletion(double latency_ms, bool anomalous);
+
+  ServeStatsSnapshot Snapshot(int64_t queue_depth) const;
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch started_;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  int64_t anomalies_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_observations_ = 0;
+  std::vector<int64_t> batch_size_hist_;
+  int64_t reservoir_capacity_ = 0;
+  std::vector<double> latency_reservoir_;  // ring of most recent latencies
+  double max_latency_ms_ = 0.0;
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_SERVE_STATS_H_

@@ -1,0 +1,33 @@
+#include "serve/stream_session.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/pipeline.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::serve {
+
+StreamSession::StreamSession(StreamId id, const TranADDetector* detector,
+                             PotParams pot)
+    : id_(id), detector_(detector), spot_(pot) {
+  TRANAD_CHECK(detector != nullptr);
+}
+
+void StreamSession::Calibrate(const TimeSeries& calibration) {
+  TRANAD_CHECK_GT(calibration.length(), 0);
+  const Tensor scores = detector_->ScoreSeries(calibration);
+  spot_.Initialize(DetectionScores(scores));
+
+  const int64_t k = detector_->model()->config().window;
+  const int64_t m = calibration.dims();
+  ring_.Reset(k, m);
+  const int64_t start = std::max<int64_t>(0, calibration.length() - k + 1);
+  const int64_t len = calibration.length() - start;
+  if (len > 0) {
+    ring_.Seed(detector_->NormalizeForScoring(
+        SliceAxis(calibration.values, 0, start, len)));
+  }
+}
+
+}  // namespace tranad::serve

@@ -1,0 +1,55 @@
+#ifndef TRANAD_SERVE_STREAM_SESSION_H_
+#define TRANAD_SERVE_STREAM_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/tranad_detector.h"
+#include "core/window_ring.h"
+#include "eval/pot.h"
+
+namespace tranad::serve {
+
+/// Identifier of a registered stream; never reused within one engine.
+using StreamId = uint64_t;
+
+/// Per-stream serving state: the normalized trailing-window ring buffer and
+/// the streaming POT threshold, mirroring exactly what OnlineTranAD keeps
+/// for a single stream (same calibration recipe, same cold-start seeding),
+/// so serve verdicts are bit-for-bit comparable to the single-stream path.
+///
+/// Thread discipline (enforced by ServeEngine, not by locks here):
+///   - Calibrate() runs once, before the session is published to the
+///     registry.
+///   - ring() is touched only by the batcher thread (window assembly).
+///   - spot() is touched only inside the engine's ordered-completion
+///     section, which is serialized under a single mutex.
+/// Requests hold the session by shared_ptr, so a stream closed mid-flight
+/// stays alive until its last admitted observation completes.
+class StreamSession {
+ public:
+  StreamSession(StreamId id, const TranADDetector* detector, PotParams pot);
+
+  /// Initializes the POT threshold from the calibration series' scores (via
+  /// the detector's const scoring path) and seeds the ring with the
+  /// normalized calibration tail — the OnlineTranAD::Calibrate recipe.
+  void Calibrate(const TimeSeries& calibration);
+
+  StreamId id() const { return id_; }
+  WindowRing* ring() { return &ring_; }
+  StreamingPot* spot() { return &spot_; }
+
+  /// Per-stream submission sequence number, assigned at admission.
+  int64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  StreamId id_;
+  const TranADDetector* detector_;
+  StreamingPot spot_;
+  WindowRing ring_;
+  std::atomic<int64_t> seq_{0};
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_STREAM_SESSION_H_

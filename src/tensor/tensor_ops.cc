@@ -35,6 +35,92 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
     for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(s, pb[i]);
     return out;
   }
+  // Fast path: one operand broadcasts along the last axis only, i.e. its
+  // shape matches the other except for a trailing 1 ([..., K, 1] vs
+  // [..., K, n] — LayerNorm's mean/var normalization). One scalar per row.
+  auto last_dim_broadcast = [](const Tensor& full, const Tensor& rowwise) {
+    if (full.ndim() != rowwise.ndim() || full.ndim() == 0) return false;
+    const int64_t nd = full.ndim();
+    if (rowwise.shape()[static_cast<size_t>(nd - 1)] != 1) return false;
+    for (int64_t i = 0; i < nd - 1; ++i) {
+      if (full.shape()[static_cast<size_t>(i)] !=
+          rowwise.shape()[static_cast<size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (last_dim_broadcast(a, b)) {
+    Tensor out(a.shape());
+    const int64_t n = a.shape()[static_cast<size_t>(a.ndim() - 1)];
+    const int64_t rows = b.numel();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float s = pb[r];
+      const float* row_a = pa + r * n;
+      float* row_o = po + r * n;
+      for (int64_t j = 0; j < n; ++j) row_o[j] = f(row_a[j], s);
+    }
+    return out;
+  }
+  if (last_dim_broadcast(b, a)) {
+    Tensor out(b.shape());
+    const int64_t n = b.shape()[static_cast<size_t>(b.ndim() - 1)];
+    const int64_t rows = a.numel();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float s = pa[r];
+      const float* row_b = pb + r * n;
+      float* row_o = po + r * n;
+      for (int64_t j = 0; j < n; ++j) row_o[j] = f(s, row_b[j]);
+    }
+    return out;
+  }
+  // Fast path: one operand's shape equals the other's trailing dims (a bias
+  // [n] added to [B, T, n], a mask [Tq, Tk] on [B, Tq, Tk]) — tiled loop.
+  auto tail_broadcast = [](const Tensor& full, const Tensor& tail) {
+    if (tail.ndim() >= full.ndim()) return false;
+    const int64_t off = full.ndim() - tail.ndim();
+    for (int64_t i = 0; i < tail.ndim(); ++i) {
+      if (tail.shape()[static_cast<size_t>(i)] !=
+          full.shape()[static_cast<size_t>(off + i)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (tail_broadcast(a, b)) {
+    Tensor out(a.shape());
+    const int64_t tile = b.numel();
+    const int64_t reps = a.numel() / tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < reps; ++r) {
+      const float* block_a = pa + r * tile;
+      float* block_o = po + r * tile;
+      for (int64_t j = 0; j < tile; ++j) block_o[j] = f(block_a[j], pb[j]);
+    }
+    return out;
+  }
+  if (tail_broadcast(b, a)) {
+    Tensor out(b.shape());
+    const int64_t tile = a.numel();
+    const int64_t reps = b.numel() / tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < reps; ++r) {
+      const float* block_b = pb + r * tile;
+      float* block_o = po + r * tile;
+      for (int64_t j = 0; j < tile; ++j) block_o[j] = f(pa[j], block_b[j]);
+    }
+    return out;
+  }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   Tensor out(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
@@ -185,16 +271,39 @@ namespace {
 
 // Multiplies one (M,K)x(K,N) pair of contiguous matrices into out (M,N),
 // accumulating from zero. ikj loop order for cache-friendly access.
-void MatMul2D(const float* a, const float* b, float* out, int64_t m, int64_t k,
-              int64_t n) {
+void MatMul2D(const float* __restrict a, const float* __restrict b,
+              float* __restrict out, int64_t m, int64_t k, int64_t n) {
   std::fill(out, out + m * n, 0.0f);
   for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (int64_t p = 0; p < k; ++p) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict orow = out + i * n;
+    int64_t p = 0;
+    // Four k-rows per sweep over orow: quarters the store traffic. Each
+    // contribution is accumulated as its own rounding step (+= av0*...,
+    // then += av1*..., ...), i.e. ascending-p order, so results stay
+    // bit-identical to the scalar loop. All-zero groups (the zeroed focus
+    // half of the phase-1 input) are skipped wholesale.
+    for (; p + 3 < k; p += 4) {
+      const float av0 = arow[p];
+      const float av1 = arow[p + 1];
+      const float av2 = arow[p + 2];
+      const float av3 = arow[p + 3];
+      const float* __restrict brow0 = b + p * n;
+      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+        continue;
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = orow[j] + av0 * brow0[j];
+        acc += av1 * brow0[n + j];
+        acc += av2 * brow0[2 * n + j];
+        acc += av3 * brow0[3 * n + j];
+        orow[j] = acc;
+      }
+    }
+    for (; p < k; ++p) {
       const float av = arow[p];
       if (av == 0.0f) continue;
-      const float* brow = b + p * n;
+      const float* __restrict brow = b + p * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }

@@ -6,6 +6,16 @@
 
 namespace tranad {
 
+namespace {
+thread_local bool t_no_grad = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(t_no_grad) { t_no_grad = true; }
+
+NoGradGuard::~NoGradGuard() { t_no_grad = previous_; }
+
+bool NoGradEnabled() { return t_no_grad; }
+
 Variable::Variable(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);
@@ -81,6 +91,11 @@ Variable Variable::Detach() const {
 Variable Variable::MakeNode(Tensor value, const std::vector<Variable>& parents,
                             BackwardFn backward) {
   bool any_grad = false;
+  if (t_no_grad) {
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    return Variable(std::move(node));
+  }
   for (const auto& p : parents) {
     if (p.defined() && p.requires_grad()) {
       any_grad = true;

@@ -10,6 +10,26 @@
 
 namespace tranad {
 
+/// Scoped, thread-local inference mode. While a NoGradGuard is alive on the
+/// current thread, MakeNode produces constant nodes with no tape edges and
+/// no backward closures, so forward passes allocate no autograd state and
+/// never mutate shared parameter nodes. Guards nest; each restores the
+/// previous state on destruction. Being thread-local, one thread can train
+/// while others run guarded inference over the same parameters.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True while a NoGradGuard is alive on the current thread.
+bool NoGradEnabled();
+
 /// A node in the reverse-mode autodiff tape. `Variable` is a cheap
 /// shared-ownership handle to a Node; operations in autograd_ops.h build the
 /// DAG by creating new nodes whose backward closures accumulate gradients

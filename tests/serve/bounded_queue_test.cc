@@ -1,0 +1,104 @@
+#include "serve/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace tranad::serve {
+namespace {
+
+TEST(ServeBoundedQueueTest, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1).ok());
+  EXPECT_TRUE(queue.TryPush(2).ok());
+  const Status full = queue.TryPush(3);
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2);
+
+  // Popping frees a slot; admission resumes.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_TRUE(queue.TryPush(3).ok());
+}
+
+TEST(ServeBoundedQueueTest, TryPushFailsAfterClose) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1).ok());
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(2).code(), StatusCode::kFailedPrecondition);
+  // Items enqueued before the close still drain.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(ServeBoundedQueueTest, PopBeforePastDeadlineIsNonBlockingPoll) {
+  BoundedQueue<int> queue(4);
+  const auto past = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.PopBefore(past).has_value());
+  ASSERT_TRUE(queue.TryPush(7).ok());
+  EXPECT_EQ(queue.PopBefore(past).value(), 7);
+}
+
+TEST(ServeBoundedQueueTest, PopBeforeTimesOutOnEmptyQueue) {
+  BoundedQueue<int> queue(4);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(20);
+  EXPECT_FALSE(queue.PopBefore(deadline).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(ServeBoundedQueueTest, BlockingPushWaitsForConsumer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(ServeBoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  BoundedQueue<int> queue(16);
+
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        seen[static_cast<size_t>(*item)].fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  for (size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+}  // namespace
+}  // namespace tranad::serve

@@ -1,0 +1,366 @@
+#include "serve/serve_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/online_detector.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+namespace tranad::serve {
+namespace {
+
+// One small detector trained once for the whole suite: engine tests
+// exercise the serving machinery, not training.
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = SmapConfig(0.2);
+    config.anomaly_magnitude = 1.6;
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      config.seed = 42 + s;
+      datasets_->push_back(GenerateSynthetic(config));
+    }
+    TranADConfig model_config;
+    model_config.window = 8;
+    model_config.d_ff = 16;
+    TrainOptions train;
+    train.max_epochs = 2;
+    detector_ = new TranADDetector(model_config, train);
+    detector_->Fit((*datasets_)[0].train);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+    datasets_->clear();
+  }
+
+  static Tensor Observation(const TimeSeries& series, int64_t t) {
+    Tensor row({series.dims()});
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      row[d] = series.values.At({t, d});
+    }
+    return row;
+  }
+
+  struct RecordedVerdict {
+    int64_t seq = 0;
+    OnlineVerdict verdict;
+  };
+
+  /// Thread-safe per-stream verdict log.
+  struct VerdictLog {
+    std::mutex mu;
+    std::map<StreamId, std::vector<RecordedVerdict>> by_stream;
+
+    VerdictCallback Callback() {
+      return [this](StreamId stream, int64_t seq, const OnlineVerdict& v) {
+        std::lock_guard<std::mutex> lock(mu);
+        by_stream[stream].push_back({seq, v});
+      };
+    }
+  };
+
+  static constexpr uint64_t kNumStreams = 3;
+  static TranADDetector* detector_;
+  static std::vector<Dataset>* datasets_;
+};
+
+TranADDetector* ServeEngineTest::detector_ = nullptr;
+std::vector<Dataset>* ServeEngineTest::datasets_ = new std::vector<Dataset>();
+
+// The tentpole acceptance test: N streams served concurrently through the
+// micro-batched worker pool produce exactly the verdicts of N independent
+// sequential OnlineTranAD runs — same scores, same POT thresholds, same
+// anomaly flags, regardless of how requests interleaved into batches.
+TEST_F(ServeEngineTest, ConcurrentStreamsMatchSequentialOnline) {
+  const int64_t steps = 40;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  // Reference: one sequential OnlineTranAD run per stream.
+  std::vector<std::vector<OnlineVerdict>> expected(kNumStreams);
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    OnlineTranAD online(detector_, pot);
+    online.Calibrate((*datasets_)[s].train);
+    for (int64_t t = 0; t < steps; ++t) {
+      expected[s].push_back(
+          online.Observe(Observation((*datasets_)[s].test, t)));
+    }
+  }
+
+  ServeOptions options;
+  options.num_workers = 4;
+  options.max_batch = 8;
+  options.max_wait_us = 100;
+  options.pot = pot;
+  ServeEngine engine(detector_, options);
+
+  std::vector<StreamId> ids;
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    auto created = engine.CreateStream((*datasets_)[s].train);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ids.push_back(created.value());
+  }
+  EXPECT_EQ(engine.num_streams(), static_cast<int64_t>(kNumStreams));
+
+  // Interleave submissions round-robin so every micro-batch mixes streams.
+  VerdictLog log;
+  for (int64_t t = 0; t < steps; ++t) {
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      Status st = Status::Ok();
+      do {  // backpressure: retry rejected submissions
+        st = engine.Submit(ids[s], Observation((*datasets_)[s].test, t),
+                           log.Callback());
+      } while (st.code() == StatusCode::kResourceExhausted);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+  engine.Flush();
+
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    const auto& got = log.by_stream[ids[s]];
+    ASSERT_EQ(got.size(), static_cast<size_t>(steps)) << "stream " << s;
+    for (int64_t t = 0; t < steps; ++t) {
+      const auto& g = got[static_cast<size_t>(t)];
+      const auto& e = expected[s][static_cast<size_t>(t)];
+      ASSERT_EQ(g.seq, t) << "stream " << s;  // per-stream FIFO
+      EXPECT_EQ(g.verdict.score, e.score) << "stream " << s << " t=" << t;
+      EXPECT_EQ(g.verdict.threshold, e.threshold)
+          << "stream " << s << " t=" << t;
+      EXPECT_EQ(g.verdict.anomalous, e.anomalous)
+          << "stream " << s << " t=" << t;
+      for (int64_t d = 0; d < g.verdict.dim_scores.numel(); ++d) {
+        ASSERT_EQ(g.verdict.dim_scores[d], e.dim_scores[d])
+            << "stream " << s << " t=" << t << " d=" << d;
+      }
+    }
+  }
+
+  const ServeStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(kNumStreams) * steps);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+// Determinism satellite: single worker, serial submission — the serve path
+// must reproduce OnlineTranAD::Observe bit-for-bit even through batching.
+TEST_F(ServeEngineTest, ServeDeterminismSingleWorkerBitExact) {
+  const int64_t steps = 30;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  OnlineTranAD online(detector_, pot);
+  online.Calibrate((*datasets_)[0].train);
+  std::vector<OnlineVerdict> expected;
+  for (int64_t t = 0; t < steps; ++t) {
+    expected.push_back(online.Observe(Observation((*datasets_)[0].test, t)));
+  }
+
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_batch = 8;
+  options.max_wait_us = 0;  // greedy drain, no linger
+  options.pot = pot;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  VerdictLog log;
+  for (int64_t t = 0; t < steps; ++t) {
+    ASSERT_TRUE(engine
+                    .Submit(created.value(),
+                            Observation((*datasets_)[0].test, t),
+                            log.Callback())
+                    .ok());
+  }
+  engine.Flush();
+
+  const auto& got = log.by_stream[created.value()];
+  ASSERT_EQ(got.size(), static_cast<size_t>(steps));
+  for (int64_t t = 0; t < steps; ++t) {
+    const auto& g = got[static_cast<size_t>(t)].verdict;
+    const auto& e = expected[static_cast<size_t>(t)];
+    // Bit-for-bit: no tolerance.
+    ASSERT_EQ(g.score, e.score) << "t=" << t;
+    ASSERT_EQ(g.threshold, e.threshold) << "t=" << t;
+    ASSERT_EQ(g.anomalous, e.anomalous) << "t=" << t;
+  }
+}
+
+TEST_F(ServeEngineTest, SubmitValidatesStreamAndShape) {
+  ServeEngine engine(detector_, {});
+  const int64_t m = detector_->model()->config().dims;
+
+  EXPECT_EQ(engine.Submit(999, Tensor({m}), nullptr).code(),
+            StatusCode::kNotFound);
+
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(engine.Submit(created.value(), Tensor({m + 1}), nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(engine.Submit(created.value(), Tensor({m}), nullptr).ok());
+  engine.Flush();
+
+  EXPECT_EQ(engine.CloseStream(999).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine.CloseStream(created.value()).ok());
+  EXPECT_EQ(engine.Submit(created.value(), Tensor({m}), nullptr).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServeEngineTest, CreateStreamValidatesCalibration) {
+  ServeEngine engine(detector_, {});
+  TimeSeries empty;
+  EXPECT_EQ(engine.CreateStream(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TimeSeries wrong_dims;
+  wrong_dims.values =
+      Tensor({10, (*datasets_)[0].dims() + 1});
+  EXPECT_EQ(engine.CreateStream(wrong_dims).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Backpressure: with a tiny queue and a stalled pipeline, Submit must shed
+// load with ResourceExhausted instead of buffering unboundedly — and every
+// admitted observation must still complete exactly once.
+TEST_F(ServeEngineTest, BackpressureRejectsWhenQueueFull) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.max_batch = 1;  // no coalescing: the queue drains slowly
+  options.max_wait_us = 0;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  const int64_t m = detector_->model()->config().dims;
+  std::atomic<int64_t> delivered{0};
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  for (int64_t i = 0; i < 300; ++i) {
+    const Status st =
+        engine.Submit(created.value(), Observation((*datasets_)[0].test, 0),
+                      [&](StreamId, int64_t, const OnlineVerdict&) {
+                        delivered.fetch_add(1);
+                      });
+    if (st.ok()) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "queue of 2 absorbed 300 instant submissions";
+  engine.Flush();
+  EXPECT_EQ(delivered.load(), admitted);
+
+  const ServeStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.submitted, admitted);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, admitted);
+  (void)m;
+}
+
+// Streams can be created and destroyed while traffic is in flight; closing
+// a stream never loses an admitted observation.
+TEST_F(ServeEngineTest, CreateAndCloseStreamsDuringTraffic) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  ServeEngine engine(detector_, options);
+  auto base = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(base.ok());
+
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    int64_t t = 0;
+    while (!stop.load()) {
+      const Status st = engine.Submit(
+          base.value(),
+          Observation((*datasets_)[0].test,
+                      t++ % (*datasets_)[0].test.length()),
+          [&](StreamId, int64_t, const OnlineVerdict&) {
+            delivered.fetch_add(1);
+          });
+      if (st.ok()) submitted.fetch_add(1);
+    }
+  });
+
+  // Churn the registry while the traffic thread hammers the base stream.
+  for (int round = 0; round < 5; ++round) {
+    auto a = engine.CreateStream((*datasets_)[1].train);
+    auto b = engine.CreateStream((*datasets_)[2].train);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    Status st = Status::Ok();
+    do {  // the traffic thread may be keeping the queue full
+      st = engine.Submit(a.value(), Observation((*datasets_)[1].test, 0),
+                         [&](StreamId, int64_t, const OnlineVerdict&) {
+                           delivered.fetch_add(1);
+                         });
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    submitted.fetch_add(1);
+    // Close with the observation possibly still in flight: the session is
+    // held by shared_ptr, so the verdict must still be delivered.
+    ASSERT_TRUE(engine.CloseStream(a.value()).ok());
+    ASSERT_TRUE(engine.CloseStream(b.value()).ok());
+  }
+  stop.store(true);
+  traffic.join();
+  engine.Flush();
+
+  EXPECT_EQ(engine.num_streams(), 1);
+  EXPECT_EQ(delivered.load(), submitted.load());
+}
+
+TEST_F(ServeEngineTest, StatsSnapshotIsConsistent) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.max_wait_us = 200;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  const int64_t n = 24;
+  for (int64_t t = 0; t < n; ++t) {
+    Status st = Status::Ok();
+    do {
+      st = engine.Submit(created.value(),
+                         Observation((*datasets_)[0].test, t), nullptr);
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok());
+  }
+  engine.Flush();
+
+  const ServeStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.completed, n);
+  EXPECT_EQ(stats.submitted, n);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+  EXPECT_LE(stats.mean_batch_size, static_cast<double>(options.max_batch));
+
+  int64_t hist_total = 0;
+  for (size_t s = 0; s < stats.batch_size_hist.size(); ++s) {
+    hist_total += stats.batch_size_hist[s] * static_cast<int64_t>(s);
+  }
+  EXPECT_EQ(hist_total, n);
+
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+  EXPECT_LE(stats.p99_latency_ms, stats.max_latency_ms);
+  EXPECT_GT(stats.throughput_per_sec, 0.0);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace tranad::serve
