@@ -2,11 +2,14 @@
 
 #include <sys/stat.h>
 
+#include <fstream>
 #include <map>
 
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "tensor/arena.h"
 
 namespace tranad::bench {
 
@@ -81,6 +84,33 @@ std::string WriteBenchCsv(const std::string& name,
     std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
   }
   return path;
+}
+
+std::string WriteBenchJson(const std::string& name, const std::string& json) {
+  ::mkdir("bench_out", 0755);
+  const std::string path = "bench_out/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return path;
+  }
+  out << json;
+  if (!json.empty() && json.back() != '\n') out << '\n';
+  return path;
+}
+
+std::string ComputeBackendJsonFields() {
+  const ArenaStats s = TensorArena::Global().stats();
+  return StrFormat(
+      "\"threads\": %lld, \"arena\": {\"hits\": %lld, \"misses\": %lld, "
+      "\"releases\": %lld, \"trims\": %lld, \"bytes_cached\": %lld, "
+      "\"bytes_live\": %lld, \"bytes_peak_live\": %lld}",
+      static_cast<long long>(NumComputeThreads()),
+      static_cast<long long>(s.hits), static_cast<long long>(s.misses),
+      static_cast<long long>(s.releases), static_cast<long long>(s.trims),
+      static_cast<long long>(s.bytes_cached),
+      static_cast<long long>(s.bytes_live),
+      static_cast<long long>(s.bytes_peak_live));
 }
 
 std::vector<std::string> DatasetNames() {

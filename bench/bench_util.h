@@ -40,6 +40,16 @@ std::string WriteBenchCsv(const std::string& name,
                           const std::vector<std::string>& header,
                           const std::vector<std::vector<double>>& rows);
 
+/// Writes a machine-readable result blob to bench_out/BENCH_<name>.json
+/// (the string is written verbatim; callers render the JSON). Returns the
+/// path.
+std::string WriteBenchJson(const std::string& name, const std::string& json);
+
+/// Renders the compute-backend context every bench should report — thread
+/// count plus arena counters — as a JSON object fragment (no trailing
+/// comma), e.g. `"threads": 4, "arena": {...}`.
+std::string ComputeBackendJsonFields();
+
 /// The nine paper dataset names in table order.
 std::vector<std::string> DatasetNames();
 

@@ -3,6 +3,7 @@
 // two-phase step, window construction and POT fitting.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/tranad_model.h"
 #include "data/preprocess.h"
 #include "eval/pot.h"
@@ -105,6 +106,71 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxLastDim);
+
+// --- intra-op parallel backend: the same kernels swept over compute-thread
+// counts. Each benchmark resizes the shared pool for its run and restores
+// the default afterwards so the serial benchmarks above stay unaffected.
+
+class PoolSizeScope {
+ public:
+  explicit PoolSizeScope(int64_t n) : saved_(NumComputeThreads()) {
+    SetNumComputeThreads(n);
+  }
+  ~PoolSizeScope() { SetNumComputeThreads(saved_); }
+
+ private:
+  int64_t saved_;
+};
+
+void BM_ParallelMatMul(benchmark::State& state) {
+  PoolSizeScope pool(state.range(0));
+  const int64_t b = state.range(1);
+  Rng rng(9);
+  Tensor x = Tensor::Randn({b, 10, 64}, &rng);
+  Tensor w = Tensor::Randn({64, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * b * 10 * 64 * 64);
+}
+BENCHMARK(BM_ParallelMatMul)
+    ->Args({1, 32})
+    ->Args({2, 32})
+    ->Args({4, 32})
+    ->Args({1, 128})
+    ->Args({2, 128})
+    ->Args({4, 128});
+
+void BM_ParallelSoftmax(benchmark::State& state) {
+  PoolSizeScope pool(state.range(0));
+  Rng rng(10);
+  Tensor x = Tensor::Randn({512, 10, 10}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(x));
+  }
+}
+BENCHMARK(BM_ParallelSoftmax)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelElementwise(benchmark::State& state) {
+  PoolSizeScope pool(state.range(0));
+  Rng rng(11);
+  Tensor a = Tensor::Randn({128, 10, 64}, &rng);
+  Tensor bias = Tensor::Randn({64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gelu(Add(a, bias)));
+  }
+}
+BENCHMARK(BM_ParallelElementwise)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelLayerNorm(benchmark::State& state) {
+  PoolSizeScope pool(state.range(0));
+  Rng rng(12);
+  Tensor x = Tensor::Randn({1280, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNormLastDim(x, 1e-5f));
+  }
+}
+BENCHMARK(BM_ParallelLayerNorm)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace tranad

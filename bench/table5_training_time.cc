@@ -1,9 +1,12 @@
 // Table 5: training time in seconds per epoch for every method on every
 // dataset. MERLIN (training-free) reports its discovery time on the test
 // data, as in the paper.
-#include "bench/bench_util.h"
+#include <sstream>
 
+#include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "tensor/arena.h"
 
 namespace tranad::bench {
 namespace {
@@ -15,7 +18,10 @@ int Main() {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::vector<double>> csv;
   const auto datasets = DatasetNames();
+  TensorArena::Global().ResetStatsForTesting();
+  Stopwatch wall;
 
+  std::ostringstream cells;
   for (const auto& method : methods) {
     std::vector<std::string> row{method};
     std::vector<double> csv_row;
@@ -34,6 +40,9 @@ int Main() {
       }
       row.push_back(Fmt2(sec));
       csv_row.push_back(sec);
+      if (cells.tellp() > 0) cells << ", ";
+      cells << "{\"method\": \"" << method << "\", \"dataset\": \""
+            << dataset_name << "\", \"seconds_per_epoch\": " << sec << "}";
       std::fflush(stdout);
     }
     rows.push_back(std::move(row));
@@ -45,9 +54,22 @@ int Main() {
   PrintTable("Table 5: training times (seconds per epoch)", header, rows);
   const auto path = WriteBenchCsv("table5_training_time", datasets, csv);
   std::printf("\nCSV: %s\n", path.c_str());
+  std::printf("wall-clock %.2fs at %lld compute threads\n",
+              wall.ElapsedSeconds(),
+              static_cast<long long>(NumComputeThreads()));
+  const ArenaStats arena = TensorArena::Global().stats();
+  std::printf("arena: %lld hits / %lld misses, peak live %.1f MB\n",
+              static_cast<long long>(arena.hits),
+              static_cast<long long>(arena.misses),
+              static_cast<double>(arena.bytes_peak_live) / (1 << 20));
 
-  // Paper headline: TranAD's training-time reduction vs the slowest and
-  // the recurrent baselines.
+  std::ostringstream json;
+  json << "{\"bench\": \"table5_training_time\", \"epochs\": " << epochs
+       << ", \"wall_seconds\": " << wall.ElapsedSeconds() << ", "
+       << ComputeBackendJsonFields() << ", \"cells\": [" << cells.str()
+       << "]}";
+  std::printf("JSON: %s\n",
+              WriteBenchJson("table5_training_time", json.str()).c_str());
   return 0;
 }
 

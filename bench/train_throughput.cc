@@ -1,0 +1,174 @@
+// End-to-end training throughput of the parallel compute backend: TranAD
+// epochs/second across compute-thread counts, plus microbenchmarks of the
+// parallelized kernels (matmul, softmax, elementwise) at serve-realistic
+// (B=32) and train-realistic (B=128) shapes. Results land both on stdout
+// and machine-readably in bench_out/BENCH_train_throughput.json.
+//
+// The thread sweep reconfigures the shared pool in-process via
+// SetNumComputeThreads, so the 1-thread and N-thread rows run identical
+// code on identical data — by the ParallelFor determinism contract they
+// also produce bit-identical floats, which the determinism test suite
+// asserts; this binary measures only the time.
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/tranad_trainer.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "tensor/arena.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad::bench {
+namespace {
+
+struct Row {
+  std::string name;
+  int64_t threads = 0;
+  double seconds = 0.0;
+  double per_second = 0.0;  // epochs/s or ops/s
+};
+
+std::vector<int64_t> ThreadSweep() {
+  // Always measure 1 and 4 (the acceptance comparison); include 2 for the
+  // scaling curve and the machine's own default when it differs.
+  std::vector<int64_t> sweep{1, 2, 4};
+  const int64_t dflt = NumComputeThreads();
+  bool seen = false;
+  for (int64_t t : sweep) seen = seen || t == dflt;
+  if (!seen) sweep.push_back(dflt);
+  return sweep;
+}
+
+double TrainEpochsPerSecond(const Tensor& windows, int64_t epochs) {
+  TranADConfig config;
+  config.dims = windows.size(2);
+  config.window = windows.size(1);
+  config.seed = 11;
+  TranADModel model(config);
+  TrainOptions opts;
+  opts.max_epochs = epochs;
+  opts.batch_size = 128;
+  opts.early_stop_patience = epochs + 1;
+  Stopwatch timer;
+  const TrainStats stats = TrainTranAD(&model, windows, opts);
+  const double sec = timer.ElapsedSeconds();
+  return static_cast<double>(stats.epochs_run) / sec;
+}
+
+// Times `iters` repetitions of `fn` and returns ops/second.
+template <typename F>
+double OpsPerSecond(int64_t iters, F fn) {
+  fn();  // warm the arena and the pool
+  Stopwatch timer;
+  for (int64_t i = 0; i < iters; ++i) fn();
+  return static_cast<double>(iters) / timer.ElapsedSeconds();
+}
+
+int Main() {
+  std::vector<Row> rows;
+  const int64_t epochs = DefaultEpochs();
+
+  // --- end-to-end training ---
+  Dataset ds = GenerateSynthetic(SmdConfig(DefaultScale()));
+  MinMaxNormalizer norm;
+  norm.Fit(ds.train.values);
+  const Tensor windows = MakeWindows(norm.Transform(ds.train.values), 10);
+  std::printf("training set: %lld windows of [%lld x %lld]\n",
+              static_cast<long long>(windows.size(0)),
+              static_cast<long long>(windows.size(1)),
+              static_cast<long long>(windows.size(2)));
+
+  const auto sweep = ThreadSweep();
+  for (int64_t threads : sweep) {
+    SetNumComputeThreads(threads);
+    Row r;
+    r.name = "train_epoch";
+    r.threads = threads;
+    Stopwatch timer;
+    r.per_second = TrainEpochsPerSecond(windows, epochs);
+    r.seconds = timer.ElapsedSeconds();
+    rows.push_back(r);
+  }
+
+  // --- kernel micro-ops at serve (B=32) and train (B=128) shapes ---
+  Rng rng(21);
+  const struct {
+    std::string tag;
+    int64_t batch;
+  } regimes[] = {{"serve_b32", 32}, {"train_b128", 128}};
+  for (const auto& regime : regimes) {
+    const int64_t b = regime.batch;
+    const Tensor mm_a = Tensor::Randn({b, 10, 64}, &rng);
+    const Tensor mm_b = Tensor::Randn({64, 64}, &rng);
+    const Tensor sm_x = Tensor::Randn({b, 8, 10, 10}, &rng);
+    const Tensor ew_a = Tensor::Randn({b, 10, 64}, &rng);
+    const Tensor ew_b = Tensor::Randn({64}, &rng);
+    for (int64_t threads : sweep) {
+      SetNumComputeThreads(threads);
+      auto add_row = [&](const std::string& op, double ops) {
+        Row r;
+        r.name = regime.tag + "/" + op;
+        r.threads = threads;
+        r.per_second = ops;
+        r.seconds = 1.0 / ops;
+        rows.push_back(r);
+      };
+      add_row("matmul", OpsPerSecond(200, [&] {
+                volatile float sink = MatMul(mm_a, mm_b)[0];
+                (void)sink;
+              }));
+      add_row("softmax", OpsPerSecond(500, [&] {
+                volatile float sink = SoftmaxLastDim(sm_x)[0];
+                (void)sink;
+              }));
+      add_row("elementwise", OpsPerSecond(500, [&] {
+                volatile float sink = Gelu(Add(ew_a, ew_b))[0];
+                (void)sink;
+              }));
+    }
+  }
+
+  // --- report ---
+  std::vector<std::vector<std::string>> table;
+  for (const auto& r : rows) {
+    table.push_back({r.name, std::to_string(r.threads), Fmt2(r.per_second)});
+  }
+  PrintTable("Training/kernel throughput (per second)",
+             {"case", "threads", "per_sec"}, table);
+
+  double base_epoch = 0.0, best_epoch = 0.0;
+  for (const auto& r : rows) {
+    if (r.name != "train_epoch") continue;
+    if (r.threads == 1) base_epoch = r.per_second;
+    best_epoch = std::max(best_epoch, r.per_second);
+  }
+  if (base_epoch > 0.0) {
+    std::printf("\nepoch-throughput speedup vs 1 thread: %.2fx "
+                "(hardware threads available: %lld)\n",
+                best_epoch / base_epoch,
+                static_cast<long long>(NumComputeThreads()));
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\": \"train_throughput\", \"epochs\": " << epochs << ", "
+       << ComputeBackendJsonFields() << ", \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i > 0) json << ", ";
+    json << "{\"case\": \"" << r.name << "\", \"threads\": " << r.threads
+         << ", \"per_second\": " << r.per_second
+         << ", \"seconds\": " << r.seconds << "}";
+  }
+  json << "]}";
+  std::printf("JSON: %s\n",
+              WriteBenchJson("train_throughput", json.str()).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tranad::bench
+
+int main() { return tranad::bench::Main(); }

@@ -27,4 +27,10 @@ double BenchScale() { return EnvDouble("TRANAD_SCALE", 1.0); }
 
 int64_t BenchEpochs() { return EnvInt("TRANAD_EPOCHS", 0); }
 
+int64_t EnvNumThreads() { return EnvInt("TRANAD_NUM_THREADS", 0); }
+
+int64_t EnvArenaCapBytes() {
+  return EnvInt("TRANAD_ARENA_MAX_MB", 256) * (1 << 20);
+}
+
 }  // namespace tranad

@@ -23,6 +23,15 @@ double BenchScale();
 /// default).
 int64_t BenchEpochs();
 
+/// Requested compute-pool size (TRANAD_NUM_THREADS; <=0 or unset means
+/// "auto": one lane per hardware thread). The pool reads this once, at
+/// first use.
+int64_t EnvNumThreads();
+
+/// Tensor-arena cache ceiling in bytes (TRANAD_ARENA_MAX_MB, default 256).
+/// Buffers released beyond the ceiling are freed instead of cached.
+int64_t EnvArenaCapBytes();
+
 }  // namespace tranad
 
 #endif  // TRANAD_COMMON_ENV_H_

@@ -1,0 +1,238 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+
+namespace tranad {
+namespace {
+
+// InlineComputeGuard nesting depth on this thread.
+thread_local int64_t t_inline_depth = 0;
+// True while this thread executes a ParallelFor chunk (workers and the
+// caller alike); nested ParallelFor calls then run inline.
+thread_local bool t_in_chunk = false;
+
+// Leaked on purpose: ParallelFor may be reached from static destructors
+// (e.g. cached datasets freeing tensors), which must never touch an
+// already-destroyed mutex.
+std::mutex& HookMu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::function<void()>& WorkerInitHook() {
+  static std::function<void()>* hook = new std::function<void()>;
+  return *hook;
+}
+
+// One ParallelFor invocation. Chunks are claimed dynamically via `next`;
+// which thread runs a chunk never affects the values produced (the
+// ParallelFor contract), only the schedule. Shared-ptr ownership keeps the
+// block alive for stragglers that grab the region right as it finishes:
+// they only ever touch `next`/`nchunks` (and observe exhaustion), never the
+// caller-owned RangeFn.
+struct Region {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 0;
+  int64_t nchunks = 0;
+  const RangeFn* fn = nullptr;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void RunChunks(Region* r) {
+  t_in_chunk = true;
+  for (;;) {
+    const int64_t c = r->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= r->nchunks) break;
+    const int64_t lo = r->begin + c * r->chunk;
+    const int64_t hi = std::min(r->end, lo + r->chunk);
+    (*r->fn)(lo, hi);
+    if (r->done.fetch_add(1, std::memory_order_acq_rel) + 1 == r->nchunks) {
+      // Empty critical section orders the notify after a concurrent
+      // Execute()'s predicate check.
+      { std::lock_guard<std::mutex> lock(r->mu); }
+      r->cv.notify_all();
+    }
+  }
+  t_in_chunk = false;
+}
+
+class Pool {
+ public:
+  explicit Pool(int64_t workers) {
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int64_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int64_t lanes() const { return static_cast<int64_t>(threads_.size()) + 1; }
+
+  // Runs the region's chunks on the pool workers plus the calling thread,
+  // returning once every chunk has completed. If another region already
+  // owns the pool (two non-pool threads issuing ParallelFor at once), the
+  // caller runs all of its own chunks inline — bounded thread use, no
+  // deadlock, identical results.
+  void Execute(std::shared_ptr<Region> r) {
+    bool published = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (region_ == nullptr) {
+        region_ = r;
+        ++seq_;
+        published = true;
+      }
+    }
+    if (published) cv_.notify_all();
+    RunChunks(r.get());
+    if (!published) return;  // caller claimed every chunk itself
+    {
+      std::unique_lock<std::mutex> lock(r->mu);
+      r->cv.wait(lock, [&] {
+        return r->done.load(std::memory_order_acquire) == r->nchunks;
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    region_ = nullptr;
+  }
+
+ private:
+  void WorkerMain() {
+    {
+      std::function<void()> hook;
+      {
+        std::lock_guard<std::mutex> lock(HookMu());
+        hook = WorkerInitHook();
+      }
+      if (hook) hook();
+    }
+    uint64_t last_seq = 0;
+    for (;;) {
+      std::shared_ptr<Region> r;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (region_ != nullptr && seq_ != last_seq);
+        });
+        if (shutdown_) return;
+        r = region_;
+        last_seq = seq_;
+      }
+      RunChunks(r.get());
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Region> region_;
+  uint64_t seq_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+std::mutex& PoolMu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+Pool*& PoolSlot() {
+  static Pool* pool = nullptr;
+  return pool;
+}
+
+Pool* GetPool() {
+  std::lock_guard<std::mutex> lock(PoolMu());
+  Pool*& slot = PoolSlot();
+  if (slot == nullptr) {
+    int64_t n = EnvNumThreads();
+    if (n <= 0) n = static_cast<int64_t>(std::thread::hardware_concurrency());
+    n = std::clamp<int64_t>(n, 1, 256);
+    slot = new Pool(n - 1);
+  }
+  return slot;
+}
+
+}  // namespace
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (t_inline_depth > 0 || t_in_chunk) {
+    fn(begin, end);
+    return;
+  }
+  Pool* pool = GetPool();
+  const int64_t lanes = pool->lanes();
+  if (lanes <= 1 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  // A few chunks per lane gives dynamic balance without dropping below the
+  // grain. Chunk boundaries influence only the schedule, never the values
+  // (see the header contract), so the lane count staying out of the
+  // per-index arithmetic keeps results bit-identical across thread counts.
+  const int64_t target = lanes * 4;
+  const int64_t chunk = std::max(grain, (n + target - 1) / target);
+  const int64_t nchunks = (n + chunk - 1) / chunk;
+  if (nchunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  region->chunk = chunk;
+  region->nchunks = nchunks;
+  region->fn = &fn;
+  pool->Execute(std::move(region));
+}
+
+int64_t NumComputeThreads() { return GetPool()->lanes(); }
+
+void SetNumComputeThreads(int64_t n) {
+  n = std::clamp<int64_t>(n, 1, 256);
+  Pool* old = nullptr;
+  Pool* fresh = new Pool(n - 1);
+  {
+    std::lock_guard<std::mutex> lock(PoolMu());
+    old = PoolSlot();
+    PoolSlot() = fresh;
+  }
+  delete old;  // joins the previous workers
+}
+
+InlineComputeGuard::InlineComputeGuard() { ++t_inline_depth; }
+
+InlineComputeGuard::~InlineComputeGuard() { --t_inline_depth; }
+
+bool ParallelForRunsInline() { return t_inline_depth > 0 || t_in_chunk; }
+
+void SetWorkerThreadInit(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(HookMu());
+  WorkerInitHook() = std::move(fn);
+}
+
+}  // namespace tranad

@@ -1,0 +1,68 @@
+#ifndef TRANAD_COMMON_THREAD_POOL_H_
+#define TRANAD_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tranad {
+
+/// Range task for ParallelFor: processes indices [lo, hi).
+using RangeFn = std::function<void(int64_t lo, int64_t hi)>;
+
+/// Deterministic intra-op parallel for over [begin, end).
+///
+/// The range is cut into contiguous chunks of at least `grain` indices and
+/// the chunks are executed by the shared compute pool plus the calling
+/// thread (the caller always participates, so ParallelFor makes progress
+/// even when every pool worker is busy with another region). Determinism
+/// contract: `fn` must compute each index independently — every float the
+/// kernel produces for index i depends only on i and on the kernel inputs,
+/// never on chunk boundaries or on values produced for other indices in the
+/// same call. Under that contract the results are bit-identical for 1, 2,
+/// or N threads, because parallelism only changes *which thread* runs an
+/// index, not the arithmetic the index performs.
+///
+/// Nested calls (from inside a chunk) run inline on the calling thread.
+/// `grain` is the minimum number of indices worth shipping to another
+/// thread; tune it so one chunk amortizes ~10us of scheduling overhead.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn& fn);
+
+/// Total parallel lanes used by ParallelFor (pool workers + the caller).
+/// Sized by TRANAD_NUM_THREADS at first use; defaults to the hardware
+/// concurrency when the variable is unset or <= 0.
+int64_t NumComputeThreads();
+
+/// Reconfigures the shared pool to `n` total lanes (n-1 workers). Joins the
+/// old workers; must not race in-flight ParallelFor calls. Intended for
+/// tests and benchmarks that compare thread counts inside one process.
+void SetNumComputeThreads(int64_t n);
+
+/// While alive on the current thread, every ParallelFor issued from this
+/// thread runs inline (single-threaded) instead of fanning out to the
+/// shared pool. Serve workers install one when several of them score
+/// batches concurrently: inter-request parallelism already covers the
+/// cores, and stacking intra-op fan-out on top would only oversubscribe.
+/// Guards nest.
+class InlineComputeGuard {
+ public:
+  InlineComputeGuard();
+  ~InlineComputeGuard();
+  InlineComputeGuard(const InlineComputeGuard&) = delete;
+  InlineComputeGuard& operator=(const InlineComputeGuard&) = delete;
+};
+
+/// True while the current thread is a pool worker executing a chunk, or an
+/// InlineComputeGuard is alive on it (i.e. ParallelFor would run inline).
+bool ParallelForRunsInline();
+
+/// Installs a function run once at the start of every pool worker thread,
+/// before it executes any chunk. The autograd layer uses this to mark
+/// workers tape-free (a permanent NoGradGuard) without common/ depending on
+/// tensor/. Register before the pool is first used; only workers created
+/// afterwards run the hook.
+void SetWorkerThreadInit(std::function<void()> fn);
+
+}  // namespace tranad
+
+#endif  // TRANAD_COMMON_THREAD_POOL_H_

@@ -232,6 +232,10 @@ TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (int64_t start = 0; start < n; start += options.batch_size) {
+      // Drain the arena back down to its cap as each batch's tape dies:
+      // steady-state batches then recycle an identical working set instead
+      // of growing the cache monotonically.
+      ArenaDrainScope drain;
       const int64_t len = std::min(options.batch_size, n - start);
       Tensor batch = SliceAxis(train_windows, 0, start, len);
       epoch_loss +=

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace tranad::nn {
 
@@ -16,6 +17,8 @@ void Optimizer::ZeroGrad() {
 }
 
 float Optimizer::ClipGradNorm(float max_norm) {
+  // The norm accumulation stays serial: its ordered double summation is
+  // part of the deterministic contract (see DESIGN.md, compute backend).
   double total = 0.0;
   for (const auto& p : params_) {
     const Tensor& g = p.grad();
@@ -30,7 +33,10 @@ float Optimizer::ClipGradNorm(float max_norm) {
       // grad() hands back a const ref; scaling in place via Accumulate with
       // the complement keeps the API small.
       Tensor scaled = p.grad();
-      for (int64_t i = 0; i < scaled.numel(); ++i) scaled[i] *= scale;
+      float* ps = scaled.data();
+      ParallelFor(0, scaled.numel(), 1 << 12, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ps[i] *= scale;
+      });
       p.ZeroGrad();
       p.AccumulateGrad(scaled);
     }
@@ -88,19 +94,28 @@ void Adam::Step() {
     const Tensor& grad = params_[i].grad();
     Tensor& m = m_[i];
     Tensor& v = v_[i];
-    for (int64_t j = 0; j < w->numel(); ++j) {
-      float g = grad[j];
-      if (!decoupled_ && weight_decay_ > 0.0f) g += weight_decay_ * (*w)[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
-      if (decoupled_ && weight_decay_ > 0.0f) {
-        update += lr_ * weight_decay_ * (*w)[j];
+    // Each element's moment/weight update is self-contained, so the
+    // parallel step is bit-identical to the serial one (the ParallelFor
+    // contract).
+    float* pw = w->data();
+    const float* pg = grad.data();
+    float* pm = m.data();
+    float* pv = v.data();
+    ParallelFor(0, w->numel(), 1 << 12, [&](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        float g = pg[j];
+        if (!decoupled_ && weight_decay_ > 0.0f) g += weight_decay_ * pw[j];
+        pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
+        pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * g * g;
+        const float mhat = pm[j] / bc1;
+        const float vhat = pv[j] / bc2;
+        float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+        if (decoupled_ && weight_decay_ > 0.0f) {
+          update += lr_ * weight_decay_ * pw[j];
+        }
+        pw[j] -= update;
       }
-      (*w)[j] -= update;
-    }
+    });
   }
 }
 

@@ -1,10 +1,12 @@
 #include "serve/serve_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace tranad::serve {
 
@@ -146,6 +148,13 @@ void ServeEngine::BatcherLoop() {
 }
 
 void ServeEngine::WorkerLoop() {
+  // With several serve workers the inter-request parallelism already covers
+  // the cores; letting each forward pass also fan out over the shared
+  // compute pool would oversubscribe it. Pin this worker's kernels to
+  // inline (single-thread) execution in that case — results are
+  // bit-identical either way, per the ParallelFor contract.
+  std::optional<InlineComputeGuard> inline_guard;
+  if (options_.num_workers > 1) inline_guard.emplace();
   const int64_t m = detector_->model()->config().dims;
   for (;;) {
     std::optional<WindowBatch> batch = work_queue_.Pop();

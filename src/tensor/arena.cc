@@ -1,0 +1,211 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace tranad {
+namespace {
+
+constexpr int64_t kMinClassElems = 32;
+constexpr size_t kNumClasses = 48;  // covers up to 2^47 elements
+constexpr std::align_val_t kAlign{64};
+
+// Smallest power of two >= max(n, kMinClassElems).
+int64_t RoundUpClass(int64_t n) {
+  int64_t c = kMinClassElems;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+size_t ClassIndex(int64_t rounded) {
+  size_t idx = 0;
+  int64_t c = kMinClassElems;
+  while (c < rounded) {
+    c <<= 1;
+    ++idx;
+  }
+  TRANAD_CHECK_LT(idx, kNumClasses);
+  return idx;
+}
+
+float* HeapAllocate(int64_t rounded) {
+  return static_cast<float*>(::operator new(
+      static_cast<size_t>(rounded) * sizeof(float), kAlign));
+}
+
+void HeapFree(float* ptr) { ::operator delete(ptr, kAlign); }
+
+}  // namespace
+
+struct TensorArena::Impl {
+  mutable std::mutex mu;
+  std::vector<float*> free_lists[kNumClasses];
+  ArenaStats stats;
+  int64_t cap_bytes = 0;
+};
+
+TensorArena::TensorArena() : impl_(new Impl) {
+  impl_->cap_bytes = std::max<int64_t>(0, EnvArenaCapBytes());
+}
+
+TensorArena& TensorArena::Global() {
+  // Leaked: tensors destroyed during static destruction still release here.
+  static TensorArena* arena = new TensorArena;
+  return *arena;
+}
+
+float* TensorArena::Allocate(int64_t numel, int64_t* rounded) {
+  TRANAD_CHECK_GE(numel, 0);
+  const int64_t r = RoundUpClass(numel);
+  *rounded = r;
+  const int64_t bytes = r * static_cast<int64_t>(sizeof(float));
+  const size_t cls = ClassIndex(r);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ArenaStats& s = impl_->stats;
+    s.bytes_live += bytes;
+    s.bytes_peak_live = std::max(s.bytes_peak_live, s.bytes_live);
+    auto& list = impl_->free_lists[cls];
+    if (!list.empty()) {
+      float* ptr = list.back();
+      list.pop_back();
+      s.bytes_cached -= bytes;
+      ++s.hits;
+      return ptr;
+    }
+    ++s.misses;
+  }
+  return HeapAllocate(r);
+}
+
+void TensorArena::Release(float* ptr, int64_t rounded) {
+  if (ptr == nullptr) return;
+  const int64_t bytes = rounded * static_cast<int64_t>(sizeof(float));
+  const size_t cls = ClassIndex(rounded);
+  bool cache = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ArenaStats& s = impl_->stats;
+    s.bytes_live -= bytes;
+    ++s.releases;
+    if (s.bytes_cached + bytes <= impl_->cap_bytes) {
+      impl_->free_lists[cls].push_back(ptr);
+      s.bytes_cached += bytes;
+      cache = true;
+    } else {
+      ++s.trims;
+    }
+  }
+  if (!cache) HeapFree(ptr);
+}
+
+void TensorArena::Trim(int64_t keep_bytes) {
+  if (keep_bytes < 0) keep_bytes = impl_->cap_bytes;
+  std::vector<float*> to_free;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ArenaStats& s = impl_->stats;
+    for (size_t cls = kNumClasses; cls-- > 0 && s.bytes_cached > keep_bytes;) {
+      const int64_t bytes = (kMinClassElems << cls)
+                            * static_cast<int64_t>(sizeof(float));
+      auto& list = impl_->free_lists[cls];
+      while (!list.empty() && s.bytes_cached > keep_bytes) {
+        to_free.push_back(list.back());
+        list.pop_back();
+        s.bytes_cached -= bytes;
+        ++s.trims;
+      }
+    }
+  }
+  for (float* ptr : to_free) HeapFree(ptr);
+}
+
+ArenaStats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+void TensorArena::ResetStatsForTesting() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int64_t cached = impl_->stats.bytes_cached;
+  const int64_t live = impl_->stats.bytes_live;
+  impl_->stats = ArenaStats{};
+  impl_->stats.bytes_cached = cached;
+  impl_->stats.bytes_live = live;
+  impl_->stats.bytes_peak_live = live;
+}
+
+ArenaBuffer ArenaBuffer::Uninitialized(int64_t n) {
+  ArenaBuffer b;
+  b.size_ = n;
+  b.data_ = TensorArena::Global().Allocate(n, &b.rounded_);
+  return b;
+}
+
+ArenaBuffer ArenaBuffer::Zeroed(int64_t n) {
+  ArenaBuffer b = Uninitialized(n);
+  std::fill(b.data_, b.data_ + n, 0.0f);
+  return b;
+}
+
+ArenaBuffer ArenaBuffer::FromVector(const std::vector<float>& v) {
+  ArenaBuffer b = Uninitialized(static_cast<int64_t>(v.size()));
+  std::memcpy(b.data_, v.data(), v.size() * sizeof(float));
+  return b;
+}
+
+ArenaBuffer::ArenaBuffer(const ArenaBuffer& other) {
+  if (other.data_ == nullptr) return;
+  size_ = other.size_;
+  data_ = TensorArena::Global().Allocate(size_, &rounded_);
+  std::memcpy(data_, other.data_, static_cast<size_t>(size_) * sizeof(float));
+}
+
+ArenaBuffer& ArenaBuffer::operator=(const ArenaBuffer& other) {
+  if (this == &other) return *this;
+  if (other.data_ == nullptr) {
+    if (data_ != nullptr) TensorArena::Global().Release(data_, rounded_);
+    data_ = nullptr;
+    size_ = 0;
+    rounded_ = 0;
+    return *this;
+  }
+  // Reuse the existing buffer when it is the same size class.
+  if (data_ == nullptr || rounded_ != RoundUpClass(other.size_)) {
+    if (data_ != nullptr) TensorArena::Global().Release(data_, rounded_);
+    data_ = TensorArena::Global().Allocate(other.size_, &rounded_);
+  }
+  size_ = other.size_;
+  std::memcpy(data_, other.data_, static_cast<size_t>(size_) * sizeof(float));
+  return *this;
+}
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_), rounded_(other.rounded_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.rounded_ = 0;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) TensorArena::Global().Release(data_, rounded_);
+  data_ = other.data_;
+  size_ = other.size_;
+  rounded_ = other.rounded_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.rounded_ = 0;
+  return *this;
+}
+
+ArenaBuffer::~ArenaBuffer() {
+  if (data_ != nullptr) TensorArena::Global().Release(data_, rounded_);
+}
+
+}  // namespace tranad

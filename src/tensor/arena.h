@@ -1,0 +1,115 @@
+#ifndef TRANAD_TENSOR_ARENA_H_
+#define TRANAD_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tranad {
+
+/// Counters describing the arena's lifetime behaviour. Monotonic counts are
+/// never reset except via ResetStatsForTesting; byte gauges track current
+/// state.
+struct ArenaStats {
+  int64_t hits = 0;            ///< allocations served from the free lists
+  int64_t misses = 0;          ///< allocations that went to the heap
+  int64_t releases = 0;        ///< buffers returned (cached or freed)
+  int64_t trims = 0;           ///< buffers actually freed (cap or Trim)
+  int64_t bytes_cached = 0;    ///< bytes currently sitting in free lists
+  int64_t bytes_live = 0;      ///< bytes currently held by tensors
+  int64_t bytes_peak_live = 0; ///< high-water mark of bytes_live
+};
+
+/// Thread-safe size-class recycler backing every Tensor buffer. Requested
+/// element counts are rounded up to the next power of two (min 32 floats)
+/// and released buffers are kept on a per-class free list, so the
+/// forward+backward tape's churn of identically-shaped intermediates is
+/// served from recycled memory instead of malloc. Buffers are 64-byte
+/// aligned. The cached footprint is capped (TRANAD_ARENA_MAX_MB, default
+/// 256); releases beyond the cap free eagerly. The singleton is leaked so
+/// tensors with static storage duration can release safely during program
+/// exit.
+class TensorArena {
+ public:
+  static TensorArena& Global();
+
+  /// Returns a 64-byte-aligned buffer of at least `numel` floats (contents
+  /// unspecified). `*rounded` receives the size-class element count, which
+  /// must be passed back to Release.
+  float* Allocate(int64_t numel, int64_t* rounded);
+
+  /// Returns a buffer obtained from Allocate. Cached for reuse, or freed if
+  /// the cache is at its cap.
+  void Release(float* ptr, int64_t rounded);
+
+  /// Frees cached buffers (largest classes first) until at most
+  /// `keep_bytes` remain cached; keep_bytes < 0 trims down to the cap.
+  void Trim(int64_t keep_bytes = 0);
+
+  ArenaStats stats() const;
+  void ResetStatsForTesting();
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+ private:
+  TensorArena();
+  ~TensorArena() = default;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII arena maintenance for iteration boundaries (one training batch, one
+/// serve burst): on destruction, trims the cache down to `keep_bytes`
+/// (default: the arena cap, i.e. keep everything the cap allows — reuse
+/// across iterations stays hot while transient spikes above the cap are
+/// returned to the OS at a quiescent point rather than mid-kernel).
+class ArenaDrainScope {
+ public:
+  explicit ArenaDrainScope(int64_t keep_bytes = -1)
+      : keep_bytes_(keep_bytes) {}
+  ~ArenaDrainScope() { TensorArena::Global().Trim(keep_bytes_); }
+
+  ArenaDrainScope(const ArenaDrainScope&) = delete;
+  ArenaDrainScope& operator=(const ArenaDrainScope&) = delete;
+
+ private:
+  int64_t keep_bytes_;
+};
+
+/// Flat float buffer owned by the arena; the storage behind Tensor. Value
+/// semantics match std::vector<float>: deep copy, cheap move, destructor
+/// returns the buffer to the arena.
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+
+  /// Buffer of n floats with unspecified contents.
+  static ArenaBuffer Uninitialized(int64_t n);
+  /// Buffer of n zeros.
+  static ArenaBuffer Zeroed(int64_t n);
+  /// Buffer holding a copy of `v`.
+  static ArenaBuffer FromVector(const std::vector<float>& v);
+
+  ArenaBuffer(const ArenaBuffer& other);
+  ArenaBuffer& operator=(const ArenaBuffer& other);
+  ArenaBuffer(ArenaBuffer&& other) noexcept;
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept;
+  ~ArenaBuffer();
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
+
+ private:
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+  int64_t rounded_ = 0;
+};
+
+}  // namespace tranad
+
+#endif  // TRANAD_TENSOR_ARENA_H_

@@ -2,10 +2,32 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace tranad::ag {
 namespace {
+
+// Grain sizes mirroring tensor_ops.cc: pure functions of the shapes, so
+// backward passes are as schedule-independent as the forward kernels.
+constexpr int64_t kElemGrain = 1 << 13;
+
+int64_t RowGrain(int64_t row_len) {
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, row_len));
+}
+
+// Element-wise gradient mask m[i] = f(x[i]) — the derivative pattern shared
+// by Relu/LeakyRelu/Gelu/Abs backward.
+template <typename F>
+Tensor ElemwiseMask(const Tensor& x, F f) {
+  Tensor m = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* pm = m.data();
+  ParallelFor(0, x.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pm[i] = f(px[i]);
+  });
+  return m;
+}
 
 // Convenience: element-wise unary op with backward dy/dx expressed via a
 // tensor-valued multiplier computed from input and output values.
@@ -178,10 +200,12 @@ Variable SliceAxis(const Variable& a, int64_t axis, int64_t start,
         const int64_t g_row = len * inner;
         const float* pg = g.data();
         float* pf = full.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          std::copy(pg + o * g_row, pg + (o + 1) * g_row,
-                    pf + o * in_row + start * inner);
-        }
+        ParallelFor(0, outer, RowGrain(g_row), [&](int64_t lo, int64_t hi) {
+          for (int64_t o = lo; o < hi; ++o) {
+            std::copy(pg + o * g_row, pg + (o + 1) * g_row,
+                      pf + o * in_row + start * inner);
+          }
+        });
         pa.AccumulateGrad(full);
       });
 }
@@ -207,11 +231,7 @@ Variable Relu(const Variable& a) {
   return UnaryOp(
       a, [](const Tensor& x) { return tranad::Relu(x); },
       [](const Tensor& x, const Tensor&) {
-        Tensor m(x.shape());
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          m[i] = x[i] > 0.0f ? 1.0f : 0.0f;
-        }
-        return m;
+        return ElemwiseMask(x, [](float v) { return v > 0.0f ? 1.0f : 0.0f; });
       });
 }
 
@@ -220,11 +240,8 @@ Variable LeakyRelu(const Variable& a, float slope) {
       a,
       [slope](const Tensor& x) { return tranad::LeakyRelu(x, slope); },
       [slope](const Tensor& x, const Tensor&) {
-        Tensor m(x.shape());
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          m[i] = x[i] > 0.0f ? 1.0f : slope;
-        }
-        return m;
+        return ElemwiseMask(
+            x, [slope](float v) { return v > 0.0f ? 1.0f : slope; });
       });
 }
 
@@ -233,15 +250,12 @@ Variable Gelu(const Variable& a) {
       a, [](const Tensor& x) { return tranad::Gelu(x); },
       [](const Tensor& x, const Tensor&) {
         constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-        Tensor m(x.shape());
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          const float xv = x[i];
+        return ElemwiseMask(x, [](float xv) {
           const float u = kC * (xv + 0.044715f * xv * xv * xv);
           const float t = std::tanh(u);
           const float du = kC * (1.0f + 3.0f * 0.044715f * xv * xv);
-          m[i] = 0.5f * (1.0f + t) + 0.5f * xv * (1.0f - t * t) * du;
-        }
-        return m;
+          return 0.5f * (1.0f + t) + 0.5f * xv * (1.0f - t * t) * du;
+        });
       });
 }
 
@@ -277,11 +291,9 @@ Variable Abs(const Variable& a) {
   return UnaryOp(
       a, [](const Tensor& x) { return tranad::Abs(x); },
       [](const Tensor& x, const Tensor&) {
-        Tensor m(x.shape());
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          m[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
-        }
-        return m;
+        return ElemwiseMask(x, [](float v) {
+          return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+        });
       });
 }
 
@@ -294,18 +306,20 @@ Variable SoftmaxLastDim(const Variable& a) {
         // dx = y * (g - sum(g * y, lastdim))
         const int64_t n = y.size(-1);
         const int64_t rows = y.numel() / n;
-        Tensor gx(y.shape());
+        Tensor gx = Tensor::Uninitialized(y.shape());
         const float* py = y.data();
         const float* pg = g.data();
         float* po = gx.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* yr = py + r * n;
-          const float* gr = pg + r * n;
-          float dot = 0.0f;
-          for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
-          float* orow = po + r * n;
-          for (int64_t j = 0; j < n; ++j) orow[j] = yr[j] * (gr[j] - dot);
-        }
+        ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* yr = py + r * n;
+            const float* gr = pg + r * n;
+            float dot = 0.0f;
+            for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+            float* orow = po + r * n;
+            for (int64_t j = 0; j < n; ++j) orow[j] = yr[j] * (gr[j] - dot);
+          }
+        });
         pa.AccumulateGrad(gx);
       });
 }
@@ -316,27 +330,29 @@ Variable LayerNormLastDim(const Variable& a, float eps) {
   const Tensor& x = a.value();
   const int64_t n = x.size(-1);
   const int64_t rows = x.numel() / n;
-  Tensor y(x.shape());
+  Tensor y = Tensor::Uninitialized(x.shape());
   std::vector<float> inv_std(static_cast<size_t>(rows));
   {
     const float* px = x.data();
     float* py = y.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* row = px + r * n;
-      float mean = 0.0f;
-      for (int64_t j = 0; j < n; ++j) mean += row[j];
-      mean /= static_cast<float>(n);
-      float var = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        const float d = row[j] - mean;
-        var += d * d;
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* row = px + r * n;
+        float mean = 0.0f;
+        for (int64_t j = 0; j < n; ++j) mean += row[j];
+        mean /= static_cast<float>(n);
+        float var = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          const float d = row[j] - mean;
+          var += d * d;
+        }
+        var /= static_cast<float>(n);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        inv_std[static_cast<size_t>(r)] = inv;
+        float* orow = py + r * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
       }
-      var /= static_cast<float>(n);
-      const float inv = 1.0f / std::sqrt(var + eps);
-      inv_std[static_cast<size_t>(r)] = inv;
-      float* orow = py + r * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
-    }
+    });
   }
   Variable pa = a;
   Tensor y_copy = y;
@@ -345,26 +361,28 @@ Variable LayerNormLastDim(const Variable& a, float eps) {
       [pa, y = std::move(y_copy), inv_std = std::move(inv_std),
        n, rows](const Tensor& g) mutable {
         // dx = inv/n * (n*g - sum(g) - xhat * sum(g*xhat))
-        Tensor gx(y.shape());
+        Tensor gx = Tensor::Uninitialized(y.shape());
         const float* py = y.data();
         const float* pg = g.data();
         float* po = gx.data();
         const float nf = static_cast<float>(n);
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* yr = py + r * n;
-          const float* gr = pg + r * n;
-          float sum_g = 0.0f;
-          float sum_gy = 0.0f;
-          for (int64_t j = 0; j < n; ++j) {
-            sum_g += gr[j];
-            sum_gy += gr[j] * yr[j];
+        ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* yr = py + r * n;
+            const float* gr = pg + r * n;
+            float sum_g = 0.0f;
+            float sum_gy = 0.0f;
+            for (int64_t j = 0; j < n; ++j) {
+              sum_g += gr[j];
+              sum_gy += gr[j] * yr[j];
+            }
+            const float inv = inv_std[static_cast<size_t>(r)];
+            float* orow = po + r * n;
+            for (int64_t j = 0; j < n; ++j) {
+              orow[j] = inv / nf * (nf * gr[j] - sum_g - yr[j] * sum_gy);
+            }
           }
-          const float inv = inv_std[static_cast<size_t>(r)];
-          float* orow = po + r * n;
-          for (int64_t j = 0; j < n; ++j) {
-            orow[j] = inv / nf * (nf * gr[j] - sum_g - yr[j] * sum_gy);
-          }
-        }
+        });
         pa.AccumulateGrad(gx);
       });
 }

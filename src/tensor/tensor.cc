@@ -35,13 +35,20 @@ std::string ShapeToString(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  TRANAD_CHECK_EQ(static_cast<int64_t>(data_.size()), NumElements(shape_));
+    : shape_(std::move(shape)), data_(ArenaBuffer::FromVector(data)) {
+  TRANAD_CHECK_EQ(data_.size(), NumElements(shape_));
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = ArenaBuffer::Uninitialized(NumElements(t.shape_));
   return t;
 }
 
@@ -93,7 +100,7 @@ float& Tensor::At(std::initializer_list<int64_t> idx) {
     off += i * strides[k];
     ++k;
   }
-  return data_[static_cast<size_t>(off)];
+  return data_[off];
 }
 
 float Tensor::At(std::initializer_list<int64_t> idx) const {
@@ -134,7 +141,9 @@ Tensor Tensor::Reshape(Shape new_shape) && {
 }
 
 void Tensor::Fill(float value) {
-  for (auto& v : data_) v = value;
+  float* p = data_.data();
+  const int64_t n = data_.size();
+  for (int64_t i = 0; i < n; ++i) p[i] = value;
 }
 
 float Tensor::Item() const {
@@ -144,12 +153,15 @@ float Tensor::Item() const {
 
 bool Tensor::Equals(const Tensor& other) const {
   if (shape_ != other.shape_) return false;
-  return data_ == other.data_;
+  for (int64_t i = 0; i < data_.size(); ++i) {
+    if (data_[i] != other.data_[i]) return false;
+  }
+  return true;
 }
 
 bool Tensor::AllClose(const Tensor& other, float atol) const {
   if (shape_ != other.shape_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
+  for (int64_t i = 0; i < data_.size(); ++i) {
     if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
   }
   return true;
@@ -162,7 +174,7 @@ std::string Tensor::ToString() const {
     oss << " {";
     for (int64_t i = 0; i < numel(); ++i) {
       if (i > 0) oss << ", ";
-      oss << data_[static_cast<size_t>(i)];
+      oss << data_[i];
     }
     oss << "}";
   }

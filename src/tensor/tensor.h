@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace tranad {
 
@@ -25,7 +26,10 @@ std::string ShapeToString(const Shape& shape);
 
 /// Dense, contiguous, row-major float32 tensor. Value semantics: copying a
 /// Tensor copies its buffer; moves are cheap. All neural-network state and
-/// time-series buffers in the library are Tensors.
+/// time-series buffers in the library are Tensors. Storage lives in the
+/// process-wide TensorArena (arena.h), so the forward+backward tape's churn
+/// of identically-shaped intermediates recycles buffers instead of hitting
+/// malloc.
 ///
 /// Performance note: every element access in hot loops goes through raw
 /// data() pointers inside the kernels in tensor_ops.cc; the indexed At()
@@ -33,19 +37,23 @@ std::string ShapeToString(const Shape& shape);
 class Tensor {
  public:
   /// Empty 0-d tensor holding a single zero.
-  Tensor() : shape_(), data_(1, 0.0f) {}
+  Tensor() : shape_(), data_(ArenaBuffer::Zeroed(1)) {}
 
   /// Zero-filled tensor of the given shape.
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)),
-        data_(static_cast<size_t>(NumElements(shape_)), 0.0f) {}
+        data_(ArenaBuffer::Zeroed(NumElements(shape_))) {}
 
-  /// Tensor adopting the given flat buffer; sizes must agree.
+  /// Tensor copying the given flat buffer; sizes must agree.
   Tensor(Shape shape, std::vector<float> data);
 
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
   static Tensor Full(Shape shape, float value);
+  /// Tensor whose contents are unspecified. Strictly for kernels that
+  /// overwrite every element before the tensor escapes; skips the zero-fill
+  /// pass of Tensor(shape).
+  static Tensor Uninitialized(Shape shape);
   /// 0-d tensor holding a single value.
   static Tensor Scalar(float value);
   /// I.i.d. normal entries with the given standard deviation.
@@ -59,14 +67,14 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   /// Size along `axis`; negative axes count from the back.
   int64_t size(int64_t axis) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return data_.size(); }
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
   /// Flat element access.
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
 
   /// Multi-index element access (slow; tests/debugging).
   float& At(std::initializer_list<int64_t> idx);
@@ -97,7 +105,7 @@ class Tensor {
   Shape ResolveReshape(Shape new_shape) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  ArenaBuffer data_;
 };
 
 }  // namespace tranad

@@ -4,35 +4,57 @@
 #include <cmath>
 #include <functional>
 
+#include "common/thread_pool.h"
+
 namespace tranad {
 namespace {
 
-// Applies `f` element-wise with numpy-style broadcasting.
+// Parallel grain sizes: one chunk should amortize the scheduling overhead
+// of shipping it to a pool worker. Elementwise work is ~1 flop/index;
+// heavier per-index kernels scale the grain down by their inner size. Both
+// are pure functions of the operand shapes, never of the thread count, so
+// the per-index arithmetic (and therefore every output bit) is the same on
+// 1 or N threads.
+constexpr int64_t kElemGrain = 1 << 13;
+constexpr int64_t kFlopGrain = 1 << 14;
+
+int64_t RowGrain(int64_t row_len) {
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, row_len));
+}
+
+// Applies `f` element-wise with numpy-style broadcasting. Every fast path
+// parallelizes over self-contained output indices (an element, a row, or a
+// tile), so chunk boundaries never touch the arithmetic.
 template <typename F>
 Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return out;
   }
   if (b.numel() == 1) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float s = b.data()[0];
     const float* pa = a.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], s);
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], s);
+    });
     return out;
   }
   if (a.numel() == 1) {
-    Tensor out(b.shape());
+    Tensor out = Tensor::Uninitialized(b.shape());
     const float s = a.data()[0];
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(s, pb[i]);
+    ParallelFor(0, b.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(s, pb[i]);
+    });
     return out;
   }
   // Fast path: one operand broadcasts along the last axis only, i.e. its
@@ -51,33 +73,37 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
     return true;
   };
   if (last_dim_broadcast(a, b)) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const int64_t n = a.shape()[static_cast<size_t>(a.ndim() - 1)];
     const int64_t rows = b.numel();
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float s = pb[r];
-      const float* row_a = pa + r * n;
-      float* row_o = po + r * n;
-      for (int64_t j = 0; j < n; ++j) row_o[j] = f(row_a[j], s);
-    }
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float s = pb[r];
+        const float* row_a = pa + r * n;
+        float* row_o = po + r * n;
+        for (int64_t j = 0; j < n; ++j) row_o[j] = f(row_a[j], s);
+      }
+    });
     return out;
   }
   if (last_dim_broadcast(b, a)) {
-    Tensor out(b.shape());
+    Tensor out = Tensor::Uninitialized(b.shape());
     const int64_t n = b.shape()[static_cast<size_t>(b.ndim() - 1)];
     const int64_t rows = a.numel();
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float s = pa[r];
-      const float* row_b = pb + r * n;
-      float* row_o = po + r * n;
-      for (int64_t j = 0; j < n; ++j) row_o[j] = f(s, row_b[j]);
-    }
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float s = pa[r];
+        const float* row_b = pb + r * n;
+        float* row_o = po + r * n;
+        for (int64_t j = 0; j < n; ++j) row_o[j] = f(s, row_b[j]);
+      }
+    });
     return out;
   }
   // Fast path: one operand's shape equals the other's trailing dims (a bias
@@ -94,35 +120,39 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
     return true;
   };
   if (tail_broadcast(a, b)) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const int64_t tile = b.numel();
     const int64_t reps = a.numel() / tile;
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t r = 0; r < reps; ++r) {
-      const float* block_a = pa + r * tile;
-      float* block_o = po + r * tile;
-      for (int64_t j = 0; j < tile; ++j) block_o[j] = f(block_a[j], pb[j]);
-    }
+    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* block_a = pa + r * tile;
+        float* block_o = po + r * tile;
+        for (int64_t j = 0; j < tile; ++j) block_o[j] = f(block_a[j], pb[j]);
+      }
+    });
     return out;
   }
   if (tail_broadcast(b, a)) {
-    Tensor out(b.shape());
+    Tensor out = Tensor::Uninitialized(b.shape());
     const int64_t tile = a.numel();
     const int64_t reps = b.numel() / tile;
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t r = 0; r < reps; ++r) {
-      const float* block_b = pb + r * tile;
-      float* block_o = po + r * tile;
-      for (int64_t j = 0; j < tile; ++j) block_o[j] = f(pa[j], block_b[j]);
-    }
+    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* block_b = pb + r * tile;
+        float* block_o = po + r * tile;
+        for (int64_t j = 0; j < tile; ++j) block_o[j] = f(pa[j], block_b[j]);
+      }
+    });
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
   // Effective strides with 0 for broadcast axes.
   auto eff_strides = [&](const Tensor& t) {
@@ -138,36 +168,53 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
   };
   const auto sa = eff_strides(a);
   const auto sb = eff_strides(b);
-  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = out.numel();
-  int64_t oa = 0;
-  int64_t ob = 0;
-  for (int64_t lin = 0; lin < n; ++lin) {
-    po[lin] = f(pa[oa], pb[ob]);
-    // Increment the multi-index (odometer), updating offsets incrementally.
+  // Each chunk re-derives its odometer state from its first linear index,
+  // then walks incrementally — identical element arithmetic to the serial
+  // walk, just resumable at any index.
+  ParallelFor(0, n, kElemGrain, [&](int64_t chunk_lo, int64_t chunk_hi) {
+    std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+    int64_t oa = 0;
+    int64_t ob = 0;
+    int64_t rem = chunk_lo;
     for (int64_t d = nd - 1; d >= 0; --d) {
       const size_t ud = static_cast<size_t>(d);
-      ++idx[ud];
-      oa += sa[ud];
-      ob += sb[ud];
-      if (idx[ud] < out_shape[ud]) break;
-      oa -= sa[ud] * out_shape[ud];
-      ob -= sb[ud] * out_shape[ud];
-      idx[ud] = 0;
+      const int64_t i_d = rem % out_shape[ud];
+      rem /= out_shape[ud];
+      idx[ud] = i_d;
+      oa += i_d * sa[ud];
+      ob += i_d * sb[ud];
     }
-  }
+    for (int64_t lin = chunk_lo; lin < chunk_hi; ++lin) {
+      po[lin] = f(pa[oa], pb[ob]);
+      // Increment the multi-index (odometer), updating offsets
+      // incrementally.
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        const size_t ud = static_cast<size_t>(d);
+        ++idx[ud];
+        oa += sa[ud];
+        ob += sb[ud];
+        if (idx[ud] < out_shape[ud]) break;
+        oa -= sa[ud] * out_shape[ud];
+        ob -= sb[ud] * out_shape[ud];
+        idx[ud] = 0;
+      }
+    }
+  });
   return out;
 }
 
 template <typename F>
 Tensor Unary(const Tensor& a, F f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -269,43 +316,39 @@ Tensor Gelu(const Tensor& a) {
 
 namespace {
 
-// Multiplies one (M,K)x(K,N) pair of contiguous matrices into out (M,N),
-// accumulating from zero. ikj loop order for cache-friendly access.
-void MatMul2D(const float* __restrict a, const float* __restrict b,
-              float* __restrict out, int64_t m, int64_t k, int64_t n) {
-  std::fill(out, out + m * n, 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* __restrict arow = a + i * k;
-    float* __restrict orow = out + i * n;
-    int64_t p = 0;
-    // Four k-rows per sweep over orow: quarters the store traffic. Each
-    // contribution is accumulated as its own rounding step (+= av0*...,
-    // then += av1*..., ...), i.e. ascending-p order, so results stay
-    // bit-identical to the scalar loop. All-zero groups (the zeroed focus
-    // half of the phase-1 input) are skipped wholesale.
-    for (; p + 3 < k; p += 4) {
-      const float av0 = arow[p];
-      const float av1 = arow[p + 1];
-      const float av2 = arow[p + 2];
-      const float av3 = arow[p + 3];
-      const float* __restrict brow0 = b + p * n;
-      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
-        continue;
-      }
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = orow[j] + av0 * brow0[j];
-        acc += av1 * brow0[n + j];
-        acc += av2 * brow0[2 * n + j];
-        acc += av3 * brow0[3 * n + j];
-        orow[j] = acc;
-      }
+// One output row of an (M,K)x(K,N) product: orow = arow @ b, accumulated
+// from zero. Four k-rows per sweep over orow: quarters the store traffic.
+// Each contribution is accumulated as its own rounding step (+= av0*...,
+// then += av1*..., ...), i.e. ascending-p order, so results stay
+// bit-identical to the scalar loop — and to any parallel schedule, since a
+// row is always computed whole by one thread. All-zero groups (the zeroed
+// focus half of the phase-1 input) are skipped wholesale.
+void MatMulRow(const float* __restrict arow, const float* __restrict b,
+               float* __restrict orow, int64_t k, int64_t n) {
+  std::fill(orow, orow + n, 0.0f);
+  int64_t p = 0;
+  for (; p + 3 < k; p += 4) {
+    const float av0 = arow[p];
+    const float av1 = arow[p + 1];
+    const float av2 = arow[p + 2];
+    const float av3 = arow[p + 3];
+    const float* __restrict brow0 = b + p * n;
+    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+      continue;
     }
-    for (; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* __restrict brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = orow[j] + av0 * brow0[j];
+      acc += av1 * brow0[n + j];
+      acc += av2 * brow0[2 * n + j];
+      acc += av3 * brow0[3 * n + j];
+      orow[j] = acc;
     }
+  }
+  for (; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.0f) continue;
+    const float* __restrict brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
   }
 }
 
@@ -328,7 +371,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t a_batches = NumElements(ba);
   const int64_t b_batches = NumElements(bb);
   // Simple broadcast rule for batches: each operand either matches the
@@ -338,11 +381,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t bi = 0; bi < nbatch; ++bi) {
-    const float* am = pa + (a_batches == 1 ? 0 : bi) * m * k;
-    const float* bm = pb + (b_batches == 1 ? 0 : bi) * k * n;
-    MatMul2D(am, bm, po + bi * m * n, m, k, n);
-  }
+  // Partition over batch x output-rows; each row is produced whole by one
+  // thread, with k*n flops per index setting the grain.
+  const int64_t row_grain =
+      std::max<int64_t>(1, kFlopGrain / std::max<int64_t>(1, k * n));
+  ParallelFor(0, nbatch * m, row_grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t bi = r / m;
+      const int64_t i = r % m;
+      const float* am = pa + (a_batches == 1 ? 0 : bi) * m * k + i * k;
+      const float* bm = pb + (b_batches == 1 ? 0 : bi) * k * n;
+      MatMulRow(am, bm, po + r * n, k, n);
+    }
+  });
   return out;
 }
 
@@ -352,17 +403,19 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t n = a.size(-1);
   Shape out_shape = a.shape();
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t nbatch = a.numel() / (m * n);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t b = 0; b < nbatch; ++b) {
-    const float* am = pa + b * m * n;
-    float* om = po + b * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) om[j * m + i] = am[i * n + j];
+  ParallelFor(0, nbatch, RowGrain(m * n), [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      const float* am = pa + b * m * n;
+      float* om = po + b * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) om[j * m + i] = am[i * n + j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -372,18 +425,20 @@ Tensor SwapAxes12(const Tensor& a) {
   const int64_t n1 = a.size(1);
   const int64_t n2 = a.size(2);
   const int64_t n3 = a.size(3);
-  Tensor out({n0, n2, n1, n3});
+  Tensor out = Tensor::Uninitialized({n0, n2, n1, n3});
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i0 = 0; i0 < n0; ++i0) {
-    for (int64_t i1 = 0; i1 < n1; ++i1) {
+  ParallelFor(0, n0 * n1, RowGrain(n2 * n3), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t i0 = r / n1;
+      const int64_t i1 = r % n1;
       for (int64_t i2 = 0; i2 < n2; ++i2) {
         std::copy(pa + ((i0 * n1 + i1) * n2 + i2) * n3,
                   pa + ((i0 * n1 + i1) * n2 + i2 + 1) * n3,
                   po + ((i0 * n2 + i2) * n1 + i1) * n3);
       }
     }
-  }
+  });
   return out;
 }
 
@@ -402,7 +457,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     total += p.size(axis);
   }
   out_shape[static_cast<size_t>(axis)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   // outer = product of dims before axis; inner = product after.
   int64_t outer = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= out_shape[static_cast<size_t>(i)];
@@ -416,10 +471,12 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   for (const auto& p : parts) {
     const int64_t len = p.size(axis);
     const float* pp = p.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      std::copy(pp + o * len * inner, pp + (o + 1) * len * inner,
-                po + o * out_row + col_off * inner);
-    }
+    ParallelFor(0, outer, RowGrain(len * inner), [&](int64_t lo, int64_t hi) {
+      for (int64_t o = lo; o < hi; ++o) {
+        std::copy(pp + o * len * inner, pp + (o + 1) * len * inner,
+                  po + o * out_row + col_off * inner);
+      }
+    });
     col_off += len;
   }
   return out;
@@ -432,7 +489,7 @@ Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   TRANAD_CHECK(start >= 0 && len >= 0 && start + len <= a.size(axis));
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t outer = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= a.size(i);
   int64_t inner = 1;
@@ -441,14 +498,19 @@ Tensor SliceAxis(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   const int64_t out_row = len * inner;
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::copy(pa + o * in_row + start * inner,
-              pa + o * in_row + (start + len) * inner, po + o * out_row);
-  }
+  ParallelFor(0, outer, RowGrain(out_row), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      std::copy(pa + o * in_row + start * inner,
+                pa + o * in_row + (start + len) * inner, po + o * out_row);
+    }
+  });
   return out;
 }
 
 float SumAll(const Tensor& a) {
+  // Serial on purpose: the ordered double accumulation is part of the
+  // deterministic contract (a parallel tree reduction would round
+  // differently), and full reductions are a negligible slice of runtime.
   double s = 0.0;
   const float* p = a.data();
   for (int64_t i = 0; i < a.numel(); ++i) s += p[i];
@@ -495,18 +557,23 @@ Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdims, Init init,
       out_shape.push_back(a.size(i));
     }
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
+  // Each output element reduces its own strided fiber sequentially (in
+  // ascending axis order), so the accumulation order per output never
+  // depends on the schedule.
+  ParallelFor(0, outer * inner, RowGrain(len), [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const int64_t o = t / inner;
+      const int64_t in = t % inner;
       float v = init(pa[o * len * inner + in]);
       for (int64_t l = 1; l < len; ++l) {
         v = acc(v, pa[(o * len + l) * inner + in]);
       }
       po[o * inner + in] = v;
     }
-  }
+  });
   return out;
 }
 
@@ -535,22 +602,24 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   TRANAD_CHECK_GE(a.ndim(), 1);
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * n;
-    float* orow = po + r * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * n;
+      float* orow = po + r * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -558,24 +627,26 @@ Tensor LayerNormLastDim(const Tensor& a, float eps) {
   TRANAD_CHECK_GE(a.ndim(), 1);
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * n;
-    float* orow = po + r * n;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < n; ++j) mean += row[j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
+  ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * n;
+      float* orow = po + r * n;
+      float mean = 0.0f;
+      for (int64_t j = 0; j < n; ++j) mean += row[j];
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float d = row[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float inv = 1.0f / std::sqrt(var + eps);
+      for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
     }
-    var /= static_cast<float>(n);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
-  }
+  });
   return out;
 }
 

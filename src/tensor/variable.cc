@@ -1,14 +1,35 @@
 #include "tensor/variable.h"
 
+#include <atomic>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace tranad {
 
 namespace {
 thread_local bool t_no_grad = false;
+
+// Count of tape nodes created with backward edges; lets tests assert that
+// guarded (no-grad) forward passes — including the chunks pool workers run
+// on behalf of one — record nothing.
+std::atomic<int64_t> g_tape_nodes{0};
+
+// Compute-pool workers execute kernel chunks only; the chunk bodies never
+// call MakeNode themselves, but defense-in-depth: mark every worker thread
+// permanently no-grad so a closure that *did* build graph on a worker would
+// produce constant nodes instead of racing on the tape. Registered here
+// (not in thread_pool.cc) because common/ cannot depend on tensor/.
+const bool g_worker_init_registered = [] {
+  SetWorkerThreadInit([] { t_no_grad = true; });
+  return true;
+}();
 }  // namespace
+
+int64_t TapeNodesCreatedForTesting() {
+  return g_tape_nodes.load(std::memory_order_relaxed);
+}
 
 NoGradGuard::NoGradGuard() : previous_(t_no_grad) { t_no_grad = true; }
 
@@ -63,7 +84,9 @@ void Variable::AccumulateGrad(const Tensor& g) {
   } else {
     float* pg = node_->grad.data();
     const float* ps = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) pg[i] += ps[i];
+    ParallelFor(0, g.numel(), 1 << 13, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) pg[i] += ps[i];
+    });
   }
 }
 
@@ -110,6 +133,7 @@ Variable Variable::MakeNode(Tensor value, const std::vector<Variable>& parents,
       if (p.defined()) node->parents.push_back(p.node_);
     }
     node->backward = std::move(backward);
+    g_tape_nodes.fetch_add(1, std::memory_order_relaxed);
   }
   return Variable(std::move(node));
 }

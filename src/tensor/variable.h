@@ -30,6 +30,11 @@ class NoGradGuard {
 /// True while a NoGradGuard is alive on the current thread.
 bool NoGradEnabled();
 
+/// Process-wide count of tape nodes created with backward edges. Test-only:
+/// sample before and after a region to prove it recorded no autograd state
+/// (e.g. parallel kernels under a NoGradGuard).
+int64_t TapeNodesCreatedForTesting();
+
 /// A node in the reverse-mode autodiff tape. `Variable` is a cheap
 /// shared-ownership handle to a Node; operations in autograd_ops.h build the
 /// DAG by creating new nodes whose backward closures accumulate gradients

@@ -1,0 +1,198 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace tranad {
+namespace {
+
+// Restores the pool size a test changed, so suites can run in any order.
+class ThreadCountRestorer {
+ public:
+  ThreadCountRestorer() : saved_(NumComputeThreads()) {}
+  ~ThreadCountRestorer() { SetNumComputeThreads(saved_); }
+
+ private:
+  int64_t saved_;
+};
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, kN, 128, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      counts[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  std::atomic<int64_t> visited{0};
+  ParallelFor(0, 0, 1, [&](int64_t lo, int64_t hi) {
+    visited.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(visited.load(), 0);
+  ParallelFor(5, 6, 1, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 5);
+    EXPECT_EQ(hi, 6);
+    visited.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(visited.load(), 1);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsOnCaller) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  const auto caller = std::this_thread::get_id();
+  // n <= grain: must not be shipped anywhere.
+  ParallelFor(0, 100, 1000, [&](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, SetNumComputeThreadsReconfigures) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(1);
+  EXPECT_EQ(NumComputeThreads(), 1);
+  SetNumComputeThreads(4);
+  EXPECT_EQ(NumComputeThreads(), 4);
+  // Still functions after reconfiguration.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, 10, [&](int64_t lo, int64_t hi) {
+    int64_t local = 0;
+    for (int64_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPoolTest, MultipleThreadsUsedForLargeRange) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  // Many chunks with a busy body so workers get a chance to claim some.
+  ParallelFor(0, 4096, 1, [&](int64_t lo, int64_t hi) {
+    volatile double x = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int k = 0; k < 2000; ++k) x = x + 1.0;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  // On a single-core machine workers may never win a chunk; the contract is
+  // only that the range completes. Require >1 thread only when the hardware
+  // can actually run two at once.
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(ids.size(), 1u);
+  } else {
+    EXPECT_GE(ids.size(), 1u);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCompletes) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  constexpr int64_t kOuter = 64;
+  constexpr int64_t kInner = 64;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, kOuter, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      // Any thread running a chunk (caller or worker) must execute nested
+      // ParallelFor calls inline.
+      EXPECT_TRUE(ParallelForRunsInline());
+      ParallelFor(0, kInner, 1, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          counts[static_cast<size_t>(o * kInner + i)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& c : counts) ASSERT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlineComputeGuardForcesInline) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  EXPECT_FALSE(ParallelForRunsInline());
+  {
+    InlineComputeGuard guard;
+    EXPECT_TRUE(ParallelForRunsInline());
+    {
+      InlineComputeGuard nested;
+      EXPECT_TRUE(ParallelForRunsInline());
+    }
+    EXPECT_TRUE(ParallelForRunsInline());
+    const auto caller = std::this_thread::get_id();
+    ParallelFor(0, 100000, 1, [&](int64_t, int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+  }
+  EXPECT_FALSE(ParallelForRunsInline());
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersAllComplete) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  // Several external threads race to use the one shared pool; losers must
+  // fall back to running their own chunks rather than deadlocking.
+  constexpr int kCallers = 4;
+  constexpr int64_t kN = 20000;
+  std::vector<int64_t> sums(kCallers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      std::atomic<int64_t> sum{0};
+      ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+        int64_t local = 0;
+        for (int64_t i = lo; i < hi; ++i) local += i;
+        sum.fetch_add(local);
+      });
+      sums[static_cast<size_t>(t)] = sum.load();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(sums[static_cast<size_t>(t)], kN * (kN - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerThreadsAreTapeFree) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int64_t> worker_chunks{0};
+  std::atomic<int64_t> worker_violations{0};
+  // Busy chunks so pool workers claim some; every chunk that lands on a
+  // worker thread must observe the permanent no-grad mark.
+  ParallelFor(0, 2048, 1, [&](int64_t lo, int64_t hi) {
+    volatile double x = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int k = 0; k < 2000; ++k) x = x + 1.0;
+    }
+    if (std::this_thread::get_id() != caller) {
+      worker_chunks.fetch_add(1);
+      if (!NoGradEnabled()) worker_violations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(worker_violations.load(), 0)
+      << worker_chunks.load() << " worker chunks ran";
+}
+
+}  // namespace
+}  // namespace tranad

@@ -1,0 +1,184 @@
+// The determinism contract of the parallel compute backend: every kernel,
+// gradient, and full training run must produce bit-identical floats whether
+// ParallelFor uses 1 thread or several. Chunking may only change which
+// thread runs an index, never the arithmetic the index performs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/tranad_trainer.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/grad_check.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+class ThreadCountRestorer {
+ public:
+  ThreadCountRestorer() : saved_(NumComputeThreads()) {}
+  ~ThreadCountRestorer() { SetNumComputeThreads(saved_); }
+
+ private:
+  int64_t saved_;
+};
+
+// Runs `fn` at 1 thread and at 4 threads and asserts the outputs are
+// bit-identical (Tensor::Equals is exact float equality).
+void ExpectBitIdentical(const std::function<std::vector<Tensor>()>& fn,
+                        const char* what) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(1);
+  const std::vector<Tensor> serial = fn();
+  SetNumComputeThreads(4);
+  const std::vector<Tensor> parallel = fn();
+  ASSERT_EQ(serial.size(), parallel.size()) << what;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].Equals(parallel[i]))
+        << what << " output " << i << " differs between 1 and 4 threads";
+  }
+}
+
+Tensor RandInput(Shape shape, uint64_t seed, float lo = -2.0f,
+                 float hi = 2.0f) {
+  Rng rng(seed);
+  return Tensor::Rand(std::move(shape), &rng, lo, hi);
+}
+
+TEST(DeterminismTest, MatMulForward) {
+  // Odd sizes so chunks never align with rows; batched + broadcast cases.
+  const Tensor a = RandInput({7, 45, 33}, 1);
+  const Tensor b = RandInput({7, 33, 29}, 2);
+  const Tensor b2 = RandInput({33, 29}, 3);
+  ExpectBitIdentical(
+      [&] {
+        return std::vector<Tensor>{MatMul(a, b), MatMul(a, b2)};
+      },
+      "MatMul");
+}
+
+TEST(DeterminismTest, SoftmaxAndLayerNormForward) {
+  const Tensor x = RandInput({5, 37, 41}, 4);
+  ExpectBitIdentical(
+      [&] {
+        return std::vector<Tensor>{SoftmaxLastDim(x),
+                                   LayerNormLastDim(x, 1e-5f)};
+      },
+      "Softmax/LayerNorm");
+}
+
+TEST(DeterminismTest, BroadcastFamily) {
+  const Tensor x = RandInput({6, 31, 17}, 5);
+  const Tensor same = RandInput({6, 31, 17}, 6);
+  const Tensor scalar = RandInput({}, 7);
+  const Tensor rowwise = RandInput({6, 31, 1}, 8);
+  const Tensor tail = RandInput({17}, 9);
+  const Tensor general = RandInput({6, 1, 17}, 10);
+  ExpectBitIdentical(
+      [&] {
+        return std::vector<Tensor>{
+            Add(x, same),    Mul(x, scalar), Div(x, rowwise),
+            Add(x, tail),    Sub(x, general), Maximum(general, rowwise),
+        };
+      },
+      "BinaryBroadcast");
+}
+
+TEST(DeterminismTest, UnaryAndReductions) {
+  const Tensor x = RandInput({9, 23, 15}, 11, 0.5f, 3.0f);
+  ExpectBitIdentical(
+      [&] {
+        return std::vector<Tensor>{
+            Gelu(x),
+            Sigmoid(x),
+            Sum(x, 1, /*keepdims=*/false),
+            Mean(x, 2, /*keepdims=*/true),
+            Max(x, 0, /*keepdims=*/false),
+            TransposeLast2(x),
+            SliceAxis(x, 1, 3, 11),
+        };
+      },
+      "Unary/Reduce");
+}
+
+TEST(DeterminismTest, BackwardGradients) {
+  // A composite graph exercising matmul, layernorm, softmax, gelu, and
+  // broadcast backward closures; leaf gradients must match bitwise.
+  const Tensor wx = RandInput({19, 21}, 12, -0.5f, 0.5f);
+  const Tensor wb = RandInput({21}, 13, -0.5f, 0.5f);
+  const Tensor in = RandInput({11, 19}, 14);
+  ExpectBitIdentical(
+      [&] {
+        Variable w(wx, /*requires_grad=*/true);
+        Variable b(wb, /*requires_grad=*/true);
+        Variable x(in, /*requires_grad=*/true);
+        Variable h = ag::Add(ag::MatMul(x, w), b);
+        h = ag::LayerNormLastDim(h, 1e-5f);
+        h = ag::Gelu(h);
+        h = ag::SoftmaxLastDim(h);
+        ag::MeanAll(ag::Square(h)).Backward();
+        return std::vector<Tensor>{w.grad(), b.grad(), x.grad()};
+      },
+      "Backward");
+}
+
+TEST(DeterminismTest, GradCheckPassesUnderParallelBackend) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  Rng rng(0xD15C0);
+  const auto result = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        Variable h = ag::MatMul(in[0], in[1]);
+        h = ag::LayerNormLastDim(h, 1e-5f);
+        return ag::MeanAll(ag::Square(ag::SoftmaxLastDim(h)));
+      },
+      {Tensor::Rand({4, 5}, &rng, -1.0f, 1.0f),
+       Tensor::Rand({5, 6}, &rng, -1.0f, 1.0f)});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(DeterminismTest, FullTrainingRunIsThreadCountInvariant) {
+  Dataset ds = GenerateSynthetic(SmdConfig(0.05));
+  MinMaxNormalizer norm;
+  norm.Fit(ds.train.values);
+  const Tensor windows = MakeWindows(norm.Transform(ds.train.values), 6);
+
+  auto train_once = [&] {
+    TranADConfig c;
+    c.dims = 8;
+    c.window = 6;
+    c.d_ff = 16;
+    c.seed = 3;
+    TranADModel model(c);
+    TrainOptions opts;
+    opts.max_epochs = 2;
+    opts.batch_size = 64;
+    opts.early_stop_patience = 10;
+    TrainTranAD(&model, windows, opts);
+    return model.SnapshotParameters();
+  };
+  ExpectBitIdentical(train_once, "TrainTranAD");
+}
+
+TEST(DeterminismTest, NoGradParallelOpsRecordNoTapeNodes) {
+  ThreadCountRestorer restore;
+  SetNumComputeThreads(4);
+  const Tensor wx = RandInput({33, 35}, 15);
+  Variable w(wx, /*requires_grad=*/true);
+  const Tensor in = RandInput({41, 33}, 16);
+  NoGradGuard guard;
+  const int64_t before = TapeNodesCreatedForTesting();
+  Variable h = ag::MatMul(Variable(in), w);
+  h = ag::SoftmaxLastDim(ag::LayerNormLastDim(h, 1e-5f));
+  ag::MeanAll(h);
+  EXPECT_EQ(TapeNodesCreatedForTesting(), before)
+      << "guarded forward pass must allocate zero tape nodes, even with "
+         "parallel kernels";
+}
+
+}  // namespace
+}  // namespace tranad
