@@ -1,11 +1,27 @@
 #include "common/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
 
 namespace tranad {
+
+namespace {
+
+// Splits one logical CSV line into fields, tolerating CRLF line endings
+// (getline leaves the '\r') and a single trailing delimiter (a common
+// exporter artifact that would otherwise read as a spurious empty cell).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::string_view body(line);
+  if (!body.empty() && body.back() == '\r') body.remove_suffix(1);
+  auto fields = Split(body, ',');
+  if (fields.size() > 1 && Trim(fields.back()).empty()) fields.pop_back();
+  return fields;
+}
+
+}  // namespace
 
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
   std::ifstream in(path);
@@ -17,7 +33,7 @@ Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    auto fields = Split(line, ',');
+    auto fields = SplitCsvLine(line);
     if (first && has_header) {
       for (auto& f : fields) table.header.emplace_back(Trim(f));
       first = false;
@@ -31,6 +47,13 @@ Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
       if (!ParseDouble(f, &v)) {
         return Status::InvalidArgument(
             StrFormat("%s:%zu: non-numeric cell '%s'", path.c_str(), line_no,
+                      f.c_str()));
+      }
+      // strtod happily parses "nan"/"inf"; a non-finite cell would poison
+      // every downstream normalizer fit and loss, so reject it here.
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: non-finite cell '%s'", path.c_str(), line_no,
                       f.c_str()));
       }
       row.push_back(v);

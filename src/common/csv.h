@@ -17,8 +17,10 @@ struct CsvTable {
 };
 
 /// Reads a numeric CSV file. If `has_header` the first row is kept as column
-/// names. Fails with IoError / InvalidArgument on unreadable files or
-/// non-numeric cells.
+/// names. CRLF line endings and a single trailing delimiter per row are
+/// tolerated; unreadable files, non-numeric cells (including empty cells)
+/// and non-finite values ("nan", "inf") fail with IoError / InvalidArgument
+/// rather than injecting garbage rows.
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
 
 /// Writes a numeric CSV file; header is emitted when non-empty.

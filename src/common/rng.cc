@@ -79,4 +79,18 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+Rng::State Rng::ExportState() const {
+  State state{};
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace tranad

@@ -46,6 +46,16 @@ class Rng {
   /// parallel experiment arms never share a stream.
   Rng Split();
 
+  /// Complete generator state, exportable for checkpointing so a resumed
+  /// run draws the exact same stream as an uninterrupted one.
+  struct State {
+    uint64_t s[4];
+    bool has_cached_normal;
+    double cached_normal;
+  };
+  State ExportState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -14,7 +14,8 @@ OnlineTranAD::OnlineTranAD(TranADDetector* detector, PotParams pot)
 void OnlineTranAD::Calibrate(const TimeSeries& calibration) {
   TRANAD_CHECK_GT(calibration.length(), 0);
   const Tensor scores = detector_->Score(calibration);
-  spot_.Initialize(DetectionScores(scores));
+  const Status st = spot_.Initialize(DetectionScores(scores));
+  TRANAD_CHECK_MSG(st.ok(), "SPOT calibration failed");
 
   // Seed the ring buffer with the calibration tail (normalized once) so the
   // first streamed observation has full context.

@@ -1,7 +1,9 @@
 #include "core/tranad_detector.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "io/checkpoint.h"
 #include "tensor/autograd_ops.h"
 #include "tensor/tensor_ops.h"
 
@@ -79,6 +81,79 @@ Tensor TranADDetector::ScoreSeries(const TimeSeries& series) const {
 void TranADDetector::FreezeForInference() {
   TRANAD_CHECK(model_ != nullptr);
   model_->SetTraining(false);
+}
+
+Status TranADDetector::SaveCheckpoint(const std::string& path) const {
+  if (model_ == nullptr || !normalizer_.fitted()) {
+    return Status::FailedPrecondition(
+        "detector is not fitted: nothing to checkpoint");
+  }
+  io::CheckpointWriter writer;
+  writer.PutString("meta/kind", "tranad-detector");
+  writer.PutString("meta/name", display_name_);
+  const TranADConfig& c = model_->config();
+  writer.PutI64Array("config/ints",
+                     {c.dims, c.window, c.num_layers, c.d_ff, c.num_heads,
+                      c.max_len, static_cast<int64_t>(c.seed),
+                      c.bidirectional ? 1 : 0, c.use_transformer ? 1 : 0,
+                      c.use_self_conditioning ? 1 : 0,
+                      c.use_adversarial ? 1 : 0, c.use_maml ? 1 : 0});
+  writer.PutScalar("config/dropout", static_cast<double>(c.dropout));
+  model_->SaveTo(&writer, "model/");
+  writer.PutTensor("norm/min", normalizer_.min());
+  writer.PutTensor("norm/max", normalizer_.max());
+  return writer.WriteAtomic(path);
+}
+
+Result<std::unique_ptr<TranADDetector>> TranADDetector::FromCheckpoint(
+    const std::string& path) {
+  TRANAD_ASSIGN_OR_RETURN(io::CheckpointReader reader,
+                          io::CheckpointReader::Open(path));
+  TRANAD_ASSIGN_OR_RETURN(std::string kind, reader.GetString("meta/kind"));
+  if (kind != "tranad-detector") {
+    return Status::InvalidArgument(path + ": not a detector checkpoint ('" +
+                                   kind + "')");
+  }
+  TRANAD_ASSIGN_OR_RETURN(std::string name, reader.GetString("meta/name"));
+  TRANAD_ASSIGN_OR_RETURN(std::vector<int64_t> ints,
+                          reader.GetI64Array("config/ints"));
+  if (ints.size() != 12) {
+    return Status::InvalidArgument(path + ": malformed config/ints");
+  }
+  TRANAD_ASSIGN_OR_RETURN(double dropout, reader.GetScalar("config/dropout"));
+  TranADConfig config;
+  config.dims = ints[0];
+  config.window = ints[1];
+  config.num_layers = ints[2];
+  config.d_ff = ints[3];
+  config.num_heads = ints[4];
+  config.max_len = ints[5];
+  config.seed = static_cast<uint64_t>(ints[6]);
+  config.bidirectional = ints[7] != 0;
+  config.use_transformer = ints[8] != 0;
+  config.use_self_conditioning = ints[9] != 0;
+  config.use_adversarial = ints[10] != 0;
+  config.use_maml = ints[11] != 0;
+  config.dropout = static_cast<float>(dropout);
+  if (config.dims <= 0 || config.window <= 0) {
+    return Status::InvalidArgument(path + ": invalid model geometry");
+  }
+
+  auto detector = std::make_unique<TranADDetector>(config, TrainOptions{},
+                                                   std::move(name));
+  detector->model_ = std::make_unique<TranADModel>(config);
+  TRANAD_RETURN_IF_ERROR(detector->model_->LoadFrom(reader, "model/"));
+  TRANAD_ASSIGN_OR_RETURN(Tensor norm_min, reader.GetTensor("norm/min"));
+  TRANAD_ASSIGN_OR_RETURN(Tensor norm_max, reader.GetTensor("norm/max"));
+  if (norm_min.numel() != config.dims) {
+    return Status::InvalidArgument(path +
+                                   ": normalizer does not match model dims");
+  }
+  TRANAD_RETURN_IF_ERROR(detector->normalizer_.Restore(norm_min, norm_max));
+  // A freshly constructed Module starts in training mode (dropout live);
+  // force eval recursively so a restored detector scores deterministically.
+  detector->model_->SetTraining(false);
+  return detector;
 }
 
 Tensor TranADDetector::Score(const TimeSeries& series) {

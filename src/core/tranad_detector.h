@@ -51,6 +51,17 @@ class TranADDetector : public AnomalyDetector {
   /// themselves (that write would race with running forwards).
   void FreezeForInference();
 
+  /// Persists the fitted detector — model config, weights, and normalizer
+  /// ranges — as one crash-safe checkpoint (atomic tmp+fsync+rename).
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Reconstructs a ready-to-score detector from a checkpoint written by
+  /// SaveCheckpoint. The restored model is forced into eval mode
+  /// recursively, so scoring is bit-identical to the live frozen detector —
+  /// dropout can never perturb it.
+  static Result<std::unique_ptr<TranADDetector>> FromCheckpoint(
+      const std::string& path);
+
   /// Trained model access (visualizations, checkpointing).
   TranADModel* model() { return model_.get(); }
   const TranADModel* model() const { return model_.get(); }

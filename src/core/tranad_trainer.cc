@@ -1,11 +1,14 @@
 #include "core/tranad_trainer.h"
 
 #include <cmath>
+#include <fstream>
+#include <string>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/preprocess.h"
+#include "io/checkpoint.h"
 #include "nn/optimizer.h"
 #include "tensor/autograd_ops.h"
 #include "tensor/tensor_ops.h"
@@ -45,12 +48,26 @@ class GradStash {
   std::unordered_map<const void*, Tensor> acc_;
 };
 
+// NaN-poisoning guard: an optimizer step is applied only when both the
+// batch loss and the (pre-clip) gradient norm are finite. One poisoned
+// window (sensor Inf, corrupt row) then costs a single skipped batch
+// instead of irrecoverably NaN-ing every weight — and the last checkpoint
+// stays valid. Returns whether the step was applied.
+bool GuardedStep(nn::AdamW* opt, double loss, float grad_clip) {
+  if (!std::isfinite(loss)) return false;
+  const float norm = opt->ClipGradNorm(grad_clip);
+  if (!std::isfinite(norm)) return false;
+  opt->Step();
+  return true;
+}
+
 double BatchAdversarialStep(TranADModel* model, const Tensor& batch, float w,
                             nn::AdamW* opt, const TrainOptions& options,
                             const std::vector<Variable>& enc_params,
                             const std::vector<Variable>& dec1_params,
                             const std::vector<Variable>& dec2_params,
-                            const std::vector<Variable>& all_params) {
+                            const std::vector<Variable>& all_params,
+                            bool* stepped) {
   Variable window(batch);
   const bool adversarial = model->config().use_adversarial;
   const int64_t b = batch.size(0);
@@ -70,9 +87,9 @@ double BatchAdversarialStep(TranADModel* model, const Tensor& batch, float w,
         ag::MulScalar(ag::Add(rec1, rec2), 0.5f);
     model->ZeroGrad();
     loss.Backward();
-    opt->ClipGradNorm(options.grad_clip);
-    opt->Step();
-    return loss.value().Item();
+    const double value = loss.value().Item();
+    *stepped = GuardedStep(opt, value, options.grad_clip);
+    return value;
   }
 
   // Phase 2: self-conditioned focus score F = (O1 - x_t)^2 (Alg. 1 line 6).
@@ -99,9 +116,9 @@ double BatchAdversarialStep(TranADModel* model, const Tensor& batch, float w,
   stash.Add(dec2_params);
   stash.Install(all_params);
 
-  opt->ClipGradNorm(options.grad_clip);
-  opt->Step();
-  return 0.5 * (l1.value().Item() + std::fabs(l2.value().Item()));
+  const double value = 0.5 * (l1.value().Item() + std::fabs(l2.value().Item()));
+  *stepped = GuardedStep(opt, value, options.grad_clip);
+  return value;
 }
 
 double EvalLoss(TranADModel* model, const Tensor& windows,
@@ -157,7 +174,13 @@ void MamlStep(TranADModel* model, const Tensor& windows, int64_t batch_size,
 
   // Inner step: theta' = theta - alpha * grad L_A(theta).
   model->ZeroGrad();
-  plain_loss(sample_batch()).Backward();
+  Variable inner_loss = plain_loss(sample_batch());
+  if (!std::isfinite(inner_loss.value().Item())) {
+    // Poisoned batch: abandon the meta step, weights untouched.
+    model->ZeroGrad();
+    return;
+  }
+  inner_loss.Backward();
   for (auto& p : params) {
     Tensor* w = p.mutable_value();
     const Tensor& g = p.grad();
@@ -166,7 +189,13 @@ void MamlStep(TranADModel* model, const Tensor& windows, int64_t batch_size,
 
   // Outer gradient at theta' on an independent batch.
   model->ZeroGrad();
-  plain_loss(sample_batch()).Backward();
+  Variable outer_loss = plain_loss(sample_batch());
+  if (!std::isfinite(outer_loss.value().Item())) {
+    model->RestoreParameters(snapshot);
+    model->ZeroGrad();
+    return;
+  }
+  outer_loss.Backward();
   std::vector<Tensor> outer_grads;
   outer_grads.reserve(params.size());
   for (auto& p : params) outer_grads.push_back(p.grad());
@@ -222,9 +251,160 @@ TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
   std::vector<Tensor> best_snapshot;
   int64_t bad_epochs = 0;
   double total_seconds = 0.0;
+  bool warned_non_finite = false;
+
+  const bool checkpointing =
+      !options.checkpoint_path.empty() && options.checkpoint_every > 0;
+
+  // Serializes the complete resumable state — model weights, dropout RNG,
+  // Adam moments + step count, scheduler epoch, effective lr, early-stop
+  // bookkeeping and loss curves — so a restored run continues bitwise
+  // identically to an uninterrupted one. Written atomically (tmp + fsync +
+  // rename), so a SIGKILL mid-save leaves the previous checkpoint intact.
+  auto save_checkpoint = [&](int64_t epoch, bool finished) {
+    io::CheckpointWriter writer;
+    model->SaveTo(&writer, "model/");
+    const Rng::State rng_state = model->rng()->ExportState();
+    std::vector<int64_t> rng_words(4);
+    for (int i = 0; i < 4; ++i) {
+      rng_words[i] = static_cast<int64_t>(rng_state.s[i]);
+    }
+    writer.PutI64Array("rng/s", rng_words);
+    writer.PutInt("rng/has_cached", rng_state.has_cached_normal ? 1 : 0);
+    writer.PutScalar("rng/cached", rng_state.cached_normal);
+    writer.PutInt("opt/step", opt.step_count());
+    writer.PutScalar("opt/lr", static_cast<double>(opt.lr()));
+    for (size_t i = 0; i < opt.moments1().size(); ++i) {
+      writer.PutTensor("opt/m/" + std::to_string(i), opt.moments1()[i]);
+      writer.PutTensor("opt/v/" + std::to_string(i), opt.moments2()[i]);
+    }
+    writer.PutInt("sched/epoch", scheduler.epoch());
+    writer.PutInt("trainer/epoch", epoch);
+    writer.PutInt("trainer/finished", finished ? 1 : 0);
+    writer.PutScalar("trainer/best_val", best_val);
+    writer.PutInt("trainer/bad_epochs", bad_epochs);
+    writer.PutScalar("trainer/total_seconds", total_seconds);
+    writer.PutF64Array("trainer/train_losses", stats.train_losses);
+    writer.PutF64Array("trainer/val_losses", stats.val_losses);
+    writer.PutInt("trainer/skipped_non_finite", stats.skipped_non_finite);
+    writer.PutInt("best/present", best_snapshot.empty() ? 0 : 1);
+    for (size_t i = 0; i < best_snapshot.size(); ++i) {
+      writer.PutTensor("best/" + std::to_string(i), best_snapshot[i]);
+    }
+    const Status st = writer.WriteAtomic(options.checkpoint_path);
+    if (!st.ok()) {
+      TRANAD_LOG(Warning) << "checkpoint write failed: " << st.ToString();
+    }
+  };
+
+  // Reads everything into temporaries first, then commits, so a checkpoint
+  // for a different architecture or a damaged file leaves training state
+  // untouched and we fall back to a fresh run.
+  bool restored_finished = false;
+  auto restore_checkpoint =
+      [&](const io::CheckpointReader& reader) -> Result<int64_t> {
+    TRANAD_ASSIGN_OR_RETURN(std::vector<int64_t> rng_words,
+                            reader.GetI64Array("rng/s"));
+    if (rng_words.size() != 4) {
+      return Status::InvalidArgument("rng/s must hold 4 words");
+    }
+    TRANAD_ASSIGN_OR_RETURN(int64_t rng_has_cached,
+                            reader.GetInt("rng/has_cached"));
+    TRANAD_ASSIGN_OR_RETURN(double rng_cached, reader.GetScalar("rng/cached"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t opt_step, reader.GetInt("opt/step"));
+    TRANAD_ASSIGN_OR_RETURN(double opt_lr, reader.GetScalar("opt/lr"));
+    std::vector<Tensor> m, v;
+    for (size_t i = 0; i < all_params.size(); ++i) {
+      TRANAD_ASSIGN_OR_RETURN(Tensor mi,
+                              reader.GetTensor("opt/m/" + std::to_string(i)));
+      TRANAD_ASSIGN_OR_RETURN(Tensor vi,
+                              reader.GetTensor("opt/v/" + std::to_string(i)));
+      m.push_back(std::move(mi));
+      v.push_back(std::move(vi));
+    }
+    TRANAD_ASSIGN_OR_RETURN(int64_t sched_epoch, reader.GetInt("sched/epoch"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t epoch, reader.GetInt("trainer/epoch"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t finished, reader.GetInt("trainer/finished"));
+    TRANAD_ASSIGN_OR_RETURN(double saved_best_val,
+                            reader.GetScalar("trainer/best_val"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t saved_bad_epochs,
+                            reader.GetInt("trainer/bad_epochs"));
+    TRANAD_ASSIGN_OR_RETURN(double saved_seconds,
+                            reader.GetScalar("trainer/total_seconds"));
+    TRANAD_ASSIGN_OR_RETURN(std::vector<double> train_losses,
+                            reader.GetF64Array("trainer/train_losses"));
+    TRANAD_ASSIGN_OR_RETURN(std::vector<double> val_losses,
+                            reader.GetF64Array("trainer/val_losses"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t skipped,
+                            reader.GetInt("trainer/skipped_non_finite"));
+    TRANAD_ASSIGN_OR_RETURN(int64_t best_present,
+                            reader.GetInt("best/present"));
+    std::vector<Tensor> saved_best;
+    if (best_present != 0) {
+      for (size_t i = 0; i < all_params.size(); ++i) {
+        TRANAD_ASSIGN_OR_RETURN(Tensor bi,
+                                reader.GetTensor("best/" + std::to_string(i)));
+        saved_best.push_back(std::move(bi));
+      }
+    }
+    // Model weights last: LoadFrom itself validates before committing.
+    TRANAD_RETURN_IF_ERROR(model->LoadFrom(reader, "model/"));
+    TRANAD_RETURN_IF_ERROR(
+        opt.RestoreState(opt_step, std::move(m), std::move(v)));
+    opt.set_lr(static_cast<float>(opt_lr));
+    scheduler.set_epoch(sched_epoch);
+    Rng::State rng_state{};
+    for (int i = 0; i < 4; ++i) {
+      rng_state.s[i] = static_cast<uint64_t>(rng_words[i]);
+    }
+    rng_state.has_cached_normal = rng_has_cached != 0;
+    rng_state.cached_normal = rng_cached;
+    model->rng()->RestoreState(rng_state);
+    best_val = saved_best_val;
+    bad_epochs = saved_bad_epochs;
+    total_seconds = saved_seconds;
+    stats.train_losses = std::move(train_losses);
+    stats.val_losses = std::move(val_losses);
+    stats.skipped_non_finite = skipped;
+    stats.epochs_run = epoch;
+    best_snapshot = std::move(saved_best);
+    restored_finished = finished != 0;
+    return epoch;
+  };
+
+  int64_t start_epoch = 1;
+  if (checkpointing && options.resume) {
+    const bool exists = std::ifstream(options.checkpoint_path).good();
+    if (exists) {
+      auto opened = io::CheckpointReader::Open(options.checkpoint_path);
+      Result<int64_t> restored =
+          opened.ok() ? restore_checkpoint(*opened) : opened.status();
+      if (restored.ok()) {
+        // Replay the stop decision the loop would make at this point:
+        // budget exhausted or early stop tripped means the loop is skipped
+        // and only the final best-snapshot restore runs, so resuming a
+        // completed run is a no-op that reproduces its exact final state.
+        // Otherwise (e.g. a finished run handed a larger max_epochs, or a
+        // periodic checkpoint from an interrupted run) training continues
+        // from the stored end-of-loop weights.
+        const bool done = *restored >= options.max_epochs ||
+                          bad_epochs > options.early_stop_patience;
+        start_epoch = done ? options.max_epochs + 1 : *restored + 1;
+        if (options.verbose) {
+          TRANAD_LOG(Info) << "resumed from " << options.checkpoint_path
+                           << " at epoch " << *restored
+                           << (restored_finished ? " (finished run)" : "");
+        }
+      } else {
+        TRANAD_LOG(Warning) << "cannot resume from " << options.checkpoint_path
+                            << " (" << restored.status().ToString()
+                            << "); training from scratch";
+      }
+    }
+  }
 
   const int64_t n = train_windows.size(0);
-  for (int64_t epoch = 1; epoch <= options.max_epochs; ++epoch) {
+  for (int64_t epoch = start_epoch; epoch <= options.max_epochs; ++epoch) {
     Stopwatch epoch_timer;
     // Evolving weight eps^-n (Eq. 10): reconstruction-dominated early,
     // adversarial-dominated late.
@@ -238,10 +418,22 @@ TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
       ArenaDrainScope drain;
       const int64_t len = std::min(options.batch_size, n - start);
       Tensor batch = SliceAxis(train_windows, 0, start, len);
-      epoch_loss +=
+      bool stepped = false;
+      const double batch_loss =
           BatchAdversarialStep(model, batch, w, &opt, options, enc_params,
-                               dec1_params, dec2_params, all_params);
-      ++batches;
+                               dec1_params, dec2_params, all_params, &stepped);
+      if (stepped) {
+        epoch_loss += batch_loss;
+        ++batches;
+      } else {
+        ++stats.skipped_non_finite;
+        if (!warned_non_finite) {
+          TRANAD_LOG(Warning)
+              << "non-finite batch loss or gradient norm at epoch " << epoch
+              << "; skipping optimizer step (further skips logged silently)";
+          warned_non_finite = true;
+        }
+      }
     }
     if (model->config().use_maml) {
       MamlStep(model, train_windows, options.batch_size, options.lr,
@@ -265,15 +457,25 @@ TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
 
     // Early stopping: "we stop the training process once the validation
     // accuracy starts to decrease" (§4), with a small patience.
+    bool stop = false;
     if (val_loss < best_val - 1e-6) {
       best_val = val_loss;
       best_snapshot = model->SnapshotParameters();
       bad_epochs = 0;
     } else {
       ++bad_epochs;
-      if (bad_epochs > options.early_stop_patience) break;
+      if (bad_epochs > options.early_stop_patience) stop = true;
     }
+    if (checkpointing && epoch % options.checkpoint_every == 0) {
+      save_checkpoint(epoch, /*finished=*/false);
+    }
+    if (stop) break;
   }
+  // Final checkpoint, written *before* the best-snapshot restore so the
+  // model entries hold the raw end-of-loop weights: resuming with a larger
+  // max_epochs then continues training bitwise as if never interrupted,
+  // while resuming a completed run replays only the restore below.
+  if (checkpointing) save_checkpoint(stats.epochs_run, /*finished=*/true);
   if (!best_snapshot.empty()) model->RestoreParameters(best_snapshot);
   model->SetTraining(false);
   stats.seconds_per_epoch =

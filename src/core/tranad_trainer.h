@@ -2,6 +2,7 @@
 #define TRANAD_CORE_TRANAD_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/tranad_model.h"
@@ -25,6 +26,16 @@ struct TrainOptions {
   double val_fraction = 0.2;
   int64_t early_stop_patience = 2;
   bool verbose = false;
+
+  /// Crash-safe training checkpoints: when `checkpoint_path` is non-empty
+  /// and `checkpoint_every` > 0, the full training state (model, optimizer
+  /// moments, scheduler, RNG, early-stop bookkeeping) is written atomically
+  /// every that many epochs. With `resume` set, an existing readable
+  /// checkpoint at that path restarts training at the next epoch — and the
+  /// resumed run is bitwise-identical to an uninterrupted one.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 0;
+  bool resume = true;
 };
 
 /// Per-run training statistics (Table 5 consumes seconds_per_epoch).
@@ -33,6 +44,9 @@ struct TrainStats {
   std::vector<double> val_losses;
   double seconds_per_epoch = 0.0;
   int64_t epochs_run = 0;
+  /// Batches whose loss or gradient norm went non-finite and whose
+  /// optimizer step was therefore skipped (NaN-poisoning guard).
+  int64_t skipped_non_finite = 0;
 };
 
 /// Offline two-phase adversarial training of Alg. 1 over precomputed

@@ -51,6 +51,18 @@ Tensor MinMaxNormalizer::Transform(const Tensor& x, float clip) const {
   return out;
 }
 
+Status MinMaxNormalizer::Restore(const Tensor& min, const Tensor& max) {
+  if (min.ndim() != 1 || max.ndim() != 1 || min.numel() != max.numel() ||
+      min.numel() <= 0) {
+    return Status::InvalidArgument(
+        "normalizer restore needs matching rank-1 min/max tensors");
+  }
+  min_ = min;
+  max_ = max;
+  fitted_ = true;
+  return Status::Ok();
+}
+
 Tensor MakeWindows(const Tensor& series, int64_t k) {
   TRANAD_CHECK_EQ(series.ndim(), 2);
   TRANAD_CHECK_GT(k, 0);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/time_series.h"
 
 namespace tranad {
@@ -24,6 +25,10 @@ class MinMaxNormalizer {
   bool fitted() const { return fitted_; }
   const Tensor& min() const { return min_; }
   const Tensor& max() const { return max_; }
+
+  /// Restores a previously fitted range (checkpoint load). Both tensors
+  /// must be rank-1 and the same length.
+  Status Restore(const Tensor& min, const Tensor& max);
 
  private:
   bool fitted_ = false;

@@ -190,14 +190,26 @@ double PotThreshold(const std::vector<double>& calibration,
 
 StreamingPot::StreamingPot(PotParams params) : params_(params) {}
 
-void StreamingPot::Initialize(const std::vector<double>& calibration) {
-  TRANAD_CHECK(!calibration.empty());
+Status StreamingPot::Initialize(const std::vector<double>& calibration) {
+  if (calibration.empty()) {
+    return Status::InvalidArgument(
+        "SPOT calibration set is empty: cannot fit an initial threshold");
+  }
+  for (double s : calibration) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument(
+          "SPOT calibration set contains a non-finite score");
+    }
+  }
   double init_q = params_.init_quantile;
   const double needed =
       static_cast<double>(std::max<int64_t>(params_.min_excesses * 3, 30));
   init_q = std::min(init_q,
                     1.0 - needed / static_cast<double>(calibration.size()));
-  init_q = std::max(init_q, 0.5);
+  // Clamp into a valid quantile range even for tiny calibration sets (where
+  // 1 - needed/n goes negative) or callers passing init_quantile outside
+  // [0, 1].
+  init_q = std::clamp(init_q, 0.5, 1.0);
   t_ = Quantile(calibration, init_q);
   peaks_.clear();
   for (double s : calibration) {
@@ -206,20 +218,24 @@ void StreamingPot::Initialize(const std::vector<double>& calibration) {
   n_ = static_cast<int64_t>(calibration.size());
   Refit();
   initialized_ = true;
+  return Status::Ok();
 }
 
 void StreamingPot::Refit() {
   // Conservative fallback, also used when the fitted level is degenerate:
-  // slightly above the peak threshold, and always finite and positive.
-  const double fallback = t_ <= 0.0 ? 1e-12 : t_ * 1.5;
+  // strictly above the peak threshold by a margin proportional to its
+  // magnitude, and always finite (covers t_ zero and negative too).
+  const double fallback = t_ + std::max(std::fabs(t_) * 0.5, 1e-12);
   if (static_cast<int64_t>(peaks_.size()) < params_.min_excesses) {
-    // Too few peaks for a stable fit.
+    // Too few peaks for a stable fit (including a zero-length tail).
     z_q_ = fallback;
     return;
   }
   const GpdFit fit = FitGpdGrimshaw(peaks_);
-  const double risk =
-      std::max(params_.risk, 5.0 / static_cast<double>(n_));
+  // Floor the risk at ~5 expected exceedances' worth of evidence, and cap
+  // it below 1 so the quantile extrapolation stays on the right side of t_.
+  const double risk = std::clamp(
+      std::max(params_.risk, 5.0 / static_cast<double>(n_)), 1e-300, 1.0);
   const double r = risk * static_cast<double>(n_) /
                    static_cast<double>(peaks_.size());
   double z;
@@ -238,6 +254,10 @@ void StreamingPot::Refit() {
 
 bool StreamingPot::Observe(double score) {
   TRANAD_CHECK(initialized_);
+  // A non-finite score (NaN/Inf from an upstream numeric blow-up) is
+  // anomalous by definition; keep it out of the peak set so one poisoned
+  // value cannot wreck the tail model or the threshold.
+  if (!std::isfinite(score)) return true;
   ++n_;
   if (score >= z_q_) return true;  // anomaly: do not pollute the tail model
   if (score > t_) {
@@ -245,6 +265,33 @@ bool StreamingPot::Observe(double score) {
     Refit();
   }
   return false;
+}
+
+StreamingPotState StreamingPot::ExportState() const {
+  StreamingPotState state;
+  state.initialized = initialized_;
+  state.t = t_;
+  state.z_q = z_q_;
+  state.n = n_;
+  state.peaks = peaks_;
+  return state;
+}
+
+Status StreamingPot::RestoreState(const StreamingPotState& state) {
+  if (!std::isfinite(state.t) || !std::isfinite(state.z_q) || state.n < 0) {
+    return Status::InvalidArgument("SPOT state is non-finite or negative");
+  }
+  for (double p : state.peaks) {
+    if (!std::isfinite(p)) {
+      return Status::InvalidArgument("SPOT state contains a non-finite peak");
+    }
+  }
+  initialized_ = state.initialized;
+  t_ = state.t;
+  z_q_ = state.z_q;
+  n_ = state.n;
+  peaks_ = state.peaks;
+  return Status::Ok();
 }
 
 double NdtThreshold(const std::vector<double>& errors) {

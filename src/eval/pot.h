@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace tranad {
 
 /// Empirical quantile (linear interpolation) of a sample, q in [0, 1].
@@ -39,6 +41,16 @@ struct PotParams {
 double PotThreshold(const std::vector<double>& calibration,
                     const PotParams& params);
 
+/// Complete mutable state of a StreamingPot, exportable for checkpointing
+/// so a restored session thresholds exactly like the live one.
+struct StreamingPotState {
+  bool initialized = false;
+  double t = 0.0;
+  double z_q = 0.0;
+  int64_t n = 0;
+  std::vector<double> peaks;
+};
+
 /// Streaming POT (SPOT): calibrates on an initial batch, then processes one
 /// score at a time, flagging anomalies above z_q and re-fitting the GPD as
 /// new (non-anomalous) peaks arrive — the "dynamic" thresholding of Alg. 2.
@@ -46,17 +58,27 @@ class StreamingPot {
  public:
   explicit StreamingPot(PotParams params = {});
 
-  /// Fits the initial threshold. Must be called before Observe().
-  void Initialize(const std::vector<double>& calibration);
+  /// Fits the initial threshold. Must be called before Observe(). Rejects
+  /// an empty calibration set or one containing non-finite scores with
+  /// InvalidArgument (the object stays uninitialized); on success the
+  /// threshold is always finite and strictly above the peak threshold.
+  Status Initialize(const std::vector<double>& calibration);
 
   /// Processes one score: returns true if it is anomalous (>= z_q). Normal
   /// scores above the peak threshold are absorbed as new peaks and the
-  /// GPD/threshold are updated.
+  /// GPD/threshold are updated. A non-finite score is reported anomalous
+  /// without polluting the tail model.
   bool Observe(double score);
 
   double threshold() const { return z_q_; }
   bool initialized() const { return initialized_; }
   int64_t num_peaks() const { return static_cast<int64_t>(peaks_.size()); }
+  const PotParams& params() const { return params_; }
+
+  /// Checkpoint support: exports/restores every mutable field. Restore
+  /// validates finiteness so a corrupt state cannot poison thresholds.
+  StreamingPotState ExportState() const;
+  Status RestoreState(const StreamingPotState& state);
 
  private:
   void Refit();

@@ -1,0 +1,415 @@
+#include "io/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace tranad::io {
+
+namespace {
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t endian;
+  uint32_t reserved;
+  uint64_t entry_count;
+  uint64_t payload_len;
+};
+static_assert(sizeof(Header) == 32, "header layout is part of the format");
+
+void AppendRaw(std::vector<uint8_t>* out, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+// Bounds-checked reads from the payload buffer during parsing.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (size_ - pos_ < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadString(size_t n, std::string* out) {
+    if (size_ - pos_ < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+size_t ElementSize(EntryType type) {
+  switch (type) {
+    case EntryType::kTensorF32:
+      return sizeof(float);
+    case EntryType::kF64Array:
+      return sizeof(double);
+    case EntryType::kI64Array:
+      return sizeof(int64_t);
+    case EntryType::kBytes:
+      return 1;
+  }
+  return 0;
+}
+
+Status WriteFileDurably(const std::string& path, const uint8_t* data,
+                        size_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(path.c_str());
+      return Status::IoError("short write to " + path + ": " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::IoError("fsync " + path + ": " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best effort; the data file itself is already synced
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  // IEEE CRC32, table-driven; the table is built once.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void CheckpointWriter::Add(std::string name, EntryType type, Shape shape,
+                           std::vector<uint8_t> bytes) {
+  TRANAD_CHECK(!name.empty());
+  for (const auto& e : entries_) {
+    TRANAD_CHECK_MSG(e.name != name, "duplicate checkpoint entry name");
+  }
+  entries_.push_back(Entry{std::move(name), type, std::move(shape),
+                           std::move(bytes)});
+}
+
+void CheckpointWriter::PutTensor(const std::string& name, const Tensor& t) {
+  std::vector<uint8_t> bytes(static_cast<size_t>(t.numel()) * sizeof(float));
+  std::memcpy(bytes.data(), t.data(), bytes.size());
+  Add(name, EntryType::kTensorF32, t.shape(), std::move(bytes));
+}
+
+void CheckpointWriter::PutF64Array(const std::string& name,
+                                   const std::vector<double>& v) {
+  std::vector<uint8_t> bytes(v.size() * sizeof(double));
+  if (!v.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+  Add(name, EntryType::kF64Array, {static_cast<int64_t>(v.size())},
+      std::move(bytes));
+}
+
+void CheckpointWriter::PutI64Array(const std::string& name,
+                                   const std::vector<int64_t>& v) {
+  std::vector<uint8_t> bytes(v.size() * sizeof(int64_t));
+  if (!v.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+  Add(name, EntryType::kI64Array, {static_cast<int64_t>(v.size())},
+      std::move(bytes));
+}
+
+void CheckpointWriter::PutString(const std::string& name,
+                                 const std::string& v) {
+  std::vector<uint8_t> bytes(v.begin(), v.end());
+  Add(name, EntryType::kBytes, {static_cast<int64_t>(v.size())},
+      std::move(bytes));
+}
+
+void CheckpointWriter::PutScalar(const std::string& name, double v) {
+  PutF64Array(name, {v});
+}
+
+void CheckpointWriter::PutInt(const std::string& name, int64_t v) {
+  PutI64Array(name, {v});
+}
+
+Status CheckpointWriter::WriteAtomic(const std::string& path) const {
+  std::vector<uint8_t> payload;
+  for (const auto& e : entries_) {
+    AppendPod<uint32_t>(&payload, static_cast<uint32_t>(e.name.size()));
+    AppendRaw(&payload, e.name.data(), e.name.size());
+    AppendPod<uint32_t>(&payload, static_cast<uint32_t>(e.type));
+    AppendPod<uint32_t>(&payload, static_cast<uint32_t>(e.shape.size()));
+    for (int64_t d : e.shape) AppendPod<int64_t>(&payload, d);
+    AppendPod<uint64_t>(&payload, static_cast<uint64_t>(e.bytes.size()));
+    AppendRaw(&payload, e.bytes.data(), e.bytes.size());
+  }
+
+  std::vector<uint8_t> file;
+  file.reserve(sizeof(Header) + payload.size() + sizeof(uint32_t));
+  Header header{};
+  header.magic = kCheckpointMagic;
+  header.version = kCheckpointVersion;
+  header.endian = kCheckpointEndianGuard;
+  header.reserved = 0;
+  header.entry_count = entries_.size();
+  header.payload_len = payload.size();
+  AppendRaw(&file, &header, sizeof(header));
+  AppendRaw(&file, payload.data(), payload.size());
+  AppendPod<uint32_t>(&file, Crc32(payload.data(), payload.size()));
+
+  // Crash-safety protocol: durable tmp write, then atomic rename.
+  const std::string tmp = path + ".tmp";
+  TRANAD_RETURN_IF_ERROR(WriteFileDurably(tmp, file.data(), file.size()));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + ": " + err);
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Result<CheckpointReader> CheckpointReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  if (size < static_cast<std::streamsize>(sizeof(Header) + sizeof(uint32_t))) {
+    return Status::IoError(path + ": truncated checkpoint (shorter than header)");
+  }
+  std::vector<uint8_t> file(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(file.data()), size)) {
+    return Status::IoError(path + ": read failed");
+  }
+
+  Header header{};
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + ": not a TranAD checkpoint");
+  }
+  if (header.endian != kCheckpointEndianGuard) {
+    return Status::InvalidArgument(path +
+                                   ": checkpoint written on a foreign byte order");
+  }
+  if (header.version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported checkpoint format version " +
+        std::to_string(header.version) + " (expected " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  const size_t expected =
+      sizeof(Header) + header.payload_len + sizeof(uint32_t);
+  if (header.payload_len > file.size() || expected != file.size()) {
+    return Status::IoError(path + ": truncated checkpoint payload");
+  }
+
+  const uint8_t* payload = file.data() + sizeof(Header);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + header.payload_len, sizeof(stored_crc));
+  const uint32_t actual_crc =
+      Crc32(payload, static_cast<size_t>(header.payload_len));
+  if (stored_crc != actual_crc) {
+    return Status::IoError(path + ": CRC mismatch (corrupt or torn checkpoint)");
+  }
+
+  CheckpointReader reader;
+  reader.version_ = header.version;
+  reader.payload_.assign(payload, payload + header.payload_len);
+
+  Cursor cursor(reader.payload_.data(), reader.payload_.size());
+  for (uint64_t i = 0; i < header.entry_count; ++i) {
+    CheckpointEntry entry;
+    uint32_t name_len = 0;
+    uint32_t type = 0;
+    uint32_t ndim = 0;
+    if (!cursor.Read(&name_len) || !cursor.ReadString(name_len, &entry.name) ||
+        !cursor.Read(&type) || !cursor.Read(&ndim)) {
+      return Status::IoError(path + ": malformed entry header");
+    }
+    if (type < 1 || type > 4) {
+      return Status::InvalidArgument(path + ": unknown entry type " +
+                                     std::to_string(type) + " for '" +
+                                     entry.name + "'");
+    }
+    entry.type = static_cast<EntryType>(type);
+    entry.shape.resize(ndim);
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      if (!cursor.Read(&entry.shape[d])) {
+        return Status::IoError(path + ": malformed entry dims");
+      }
+      if (entry.shape[d] < 0) {
+        return Status::IoError(path + ": negative dimension");
+      }
+      numel *= entry.shape[d];
+    }
+    if (!cursor.Read(&entry.byte_len)) {
+      return Status::IoError(path + ": malformed entry length");
+    }
+    if (entry.byte_len !=
+        static_cast<uint64_t>(numel) * ElementSize(entry.type)) {
+      return Status::IoError(path + ": entry '" + entry.name +
+                             "' byte length disagrees with its shape");
+    }
+    entry.offset = cursor.pos();
+    if (!cursor.Skip(entry.byte_len)) {
+      return Status::IoError(path + ": entry '" + entry.name +
+                             "' overruns the payload");
+    }
+    if (reader.index_.count(entry.name) != 0) {
+      return Status::InvalidArgument(path + ": duplicate entry '" +
+                                     entry.name + "'");
+    }
+    reader.index_.emplace(entry.name, reader.entries_.size());
+    reader.entries_.push_back(std::move(entry));
+  }
+  if (!cursor.done()) {
+    return Status::IoError(path + ": trailing bytes after last entry");
+  }
+  return reader;
+}
+
+const CheckpointEntry* CheckpointReader::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+Result<Tensor> CheckpointReader::GetTensor(const std::string& name) const {
+  const CheckpointEntry* e = Find(name);
+  if (e == nullptr) return Status::NotFound("no checkpoint entry '" + name + "'");
+  if (e->type != EntryType::kTensorF32) {
+    return Status::InvalidArgument("entry '" + name + "' is not a tensor");
+  }
+  Tensor t(e->shape);
+  std::memcpy(t.data(), payload_.data() + e->offset, e->byte_len);
+  return t;
+}
+
+Result<std::vector<double>> CheckpointReader::GetF64Array(
+    const std::string& name) const {
+  const CheckpointEntry* e = Find(name);
+  if (e == nullptr) return Status::NotFound("no checkpoint entry '" + name + "'");
+  if (e->type != EntryType::kF64Array) {
+    return Status::InvalidArgument("entry '" + name + "' is not an f64 array");
+  }
+  std::vector<double> out(e->byte_len / sizeof(double));
+  if (!out.empty()) {
+    std::memcpy(out.data(), payload_.data() + e->offset, e->byte_len);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> CheckpointReader::GetI64Array(
+    const std::string& name) const {
+  const CheckpointEntry* e = Find(name);
+  if (e == nullptr) return Status::NotFound("no checkpoint entry '" + name + "'");
+  if (e->type != EntryType::kI64Array) {
+    return Status::InvalidArgument("entry '" + name + "' is not an i64 array");
+  }
+  std::vector<int64_t> out(e->byte_len / sizeof(int64_t));
+  if (!out.empty()) {
+    std::memcpy(out.data(), payload_.data() + e->offset, e->byte_len);
+  }
+  return out;
+}
+
+Result<std::string> CheckpointReader::GetString(const std::string& name) const {
+  const CheckpointEntry* e = Find(name);
+  if (e == nullptr) return Status::NotFound("no checkpoint entry '" + name + "'");
+  if (e->type != EntryType::kBytes) {
+    return Status::InvalidArgument("entry '" + name + "' is not a byte string");
+  }
+  return std::string(reinterpret_cast<const char*>(payload_.data() + e->offset),
+                     e->byte_len);
+}
+
+Result<double> CheckpointReader::GetScalar(const std::string& name) const {
+  TRANAD_ASSIGN_OR_RETURN(std::vector<double> v, GetF64Array(name));
+  if (v.size() != 1) {
+    return Status::InvalidArgument("entry '" + name + "' is not a scalar");
+  }
+  return v[0];
+}
+
+Result<int64_t> CheckpointReader::GetInt(const std::string& name) const {
+  TRANAD_ASSIGN_OR_RETURN(std::vector<int64_t> v, GetI64Array(name));
+  if (v.size() != 1) {
+    return Status::InvalidArgument("entry '" + name + "' is not a scalar");
+  }
+  return v[0];
+}
+
+uint32_t CheckpointReader::EntryCrc(const CheckpointEntry& entry) const {
+  return Crc32(payload_.data() + entry.offset,
+               static_cast<size_t>(entry.byte_len));
+}
+
+}  // namespace tranad::io

@@ -1,0 +1,137 @@
+#ifndef TRANAD_IO_CHECKPOINT_H_
+#define TRANAD_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tranad::io {
+
+/// Versioned binary checkpoint container: the durable-state layer under
+/// model weights, optimizer moments, scheduler/POT/normalizer state and any
+/// other named blobs the trainer or detector persists.
+///
+/// File layout (all integers little-endian, fixed width):
+///
+///   offset  size  field
+///   0       4     magic "TADC" (0x43444154)
+///   4       4     format version (kCheckpointVersion)
+///   8       4     endian guard 0x01020304 (readers on a foreign byte order
+///                 see 0x04030201 and refuse the file)
+///   12      4     reserved (0)
+///   16      8     entry count
+///   24      8     payload byte length
+///   32      N     payload: `entry count` packed entries
+///   32+N    4     CRC32 (IEEE) of the payload bytes
+///
+/// Entry encoding inside the payload:
+///
+///   u32 name length, name bytes (no terminator)
+///   u32 entry type (EntryType)
+///   u32 ndim, i64 dims[ndim]       (arrays/strings use ndim = 1)
+///   u64 byte length, raw bytes     (must equal numel * element size)
+///
+/// Versioning/compat policy: readers accept exactly kCheckpointVersion and
+/// reject anything else with InvalidArgument; any layout change bumps the
+/// version. Unknown entry *names* are ignored by consumers (forward-
+/// compatible additions), unknown entry *types* fail the load. A torn or
+/// bit-flipped file fails the CRC (or a structural bound check) and Open()
+/// returns a Status instead of corrupt state.
+inline constexpr uint32_t kCheckpointMagic = 0x43444154;  // "TADC"
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointEndianGuard = 0x01020304;
+
+/// Typed payload kinds. Values are part of the on-disk format.
+enum class EntryType : uint32_t {
+  kTensorF32 = 1,  // float32 tensor with shape
+  kF64Array = 2,   // raw double array (POT peaks, loss curves)
+  kI64Array = 3,   // raw int64 array (counters, RNG words)
+  kBytes = 4,      // opaque bytes (strings)
+};
+
+/// IEEE CRC32 (polynomial 0xEDB88320) of `n` bytes, chainable via `seed`.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Accumulates named entries and serializes them crash-safely: the file is
+/// written to `path + ".tmp"`, fsync'd, then atomically renamed over `path`
+/// (and the directory fsync'd), so a SIGKILL at any instant leaves either
+/// the old complete file or the new complete file — never a torn one.
+class CheckpointWriter {
+ public:
+  /// Each Put* registers one entry; names must be unique per checkpoint.
+  void PutTensor(const std::string& name, const Tensor& t);
+  void PutF64Array(const std::string& name, const std::vector<double>& v);
+  void PutI64Array(const std::string& name, const std::vector<int64_t>& v);
+  void PutString(const std::string& name, const std::string& v);
+  void PutScalar(const std::string& name, double v);
+  void PutInt(const std::string& name, int64_t v);
+
+  /// Serializes all entries to `path` with the atomic tmp+rename protocol.
+  Status WriteAtomic(const std::string& path) const;
+
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    EntryType type;
+    Shape shape;
+    std::vector<uint8_t> bytes;
+  };
+  void Add(std::string name, EntryType type, Shape shape,
+           std::vector<uint8_t> bytes);
+
+  std::vector<Entry> entries_;
+};
+
+/// One parsed entry's metadata (payload bytes stay in the reader's buffer).
+struct CheckpointEntry {
+  std::string name;
+  EntryType type = EntryType::kBytes;
+  Shape shape;
+  uint64_t byte_len = 0;
+  size_t offset = 0;  // into the payload buffer
+};
+
+/// Parses and validates a checkpoint file. Open() verifies magic, version,
+/// endian guard, structural bounds, and the payload CRC before any entry is
+/// exposed; a failed Open never hands back partial state.
+class CheckpointReader {
+ public:
+  static Result<CheckpointReader> Open(const std::string& path);
+
+  bool Has(const std::string& name) const;
+  /// Entries in file order (for the inspector).
+  const std::vector<CheckpointEntry>& entries() const { return entries_; }
+  uint32_t version() const { return version_; }
+
+  /// Typed accessors; NotFound for a missing name, InvalidArgument for a
+  /// type mismatch.
+  Result<Tensor> GetTensor(const std::string& name) const;
+  Result<std::vector<double>> GetF64Array(const std::string& name) const;
+  Result<std::vector<int64_t>> GetI64Array(const std::string& name) const;
+  Result<std::string> GetString(const std::string& name) const;
+  /// Single-element conveniences over the array accessors.
+  Result<double> GetScalar(const std::string& name) const;
+  Result<int64_t> GetInt(const std::string& name) const;
+
+  /// CRC32 of one entry's raw payload bytes (the inspector's digest).
+  uint32_t EntryCrc(const CheckpointEntry& entry) const;
+
+ private:
+  CheckpointReader() = default;
+  const CheckpointEntry* Find(const std::string& name) const;
+
+  uint32_t version_ = 0;
+  std::vector<uint8_t> payload_;
+  std::vector<CheckpointEntry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace tranad::io
+
+#endif  // TRANAD_IO_CHECKPOINT_H_

@@ -1,7 +1,6 @@
 #include "nn/module.h"
 
 #include <cstdint>
-#include <fstream>
 
 #include "common/check.h"
 
@@ -72,61 +71,49 @@ void Module::RestoreParameters(const std::vector<Tensor>& snapshot) {
   }
 }
 
-namespace {
-constexpr uint32_t kMagic = 0x54414431;  // "TAD1"
+void Module::SaveTo(io::CheckpointWriter* writer,
+                    const std::string& prefix) const {
+  std::vector<Variable> params;
+  std::vector<std::string> names;
+  Collect("", &params, &names);
+  for (size_t i = 0; i < params.size(); ++i) {
+    writer->PutTensor(prefix + names[i], params[i].value());
+  }
+}
+
+Status Module::LoadFrom(const io::CheckpointReader& reader,
+                        const std::string& prefix) {
+  std::vector<Variable> params;
+  std::vector<std::string> names;
+  Collect("", &params, &names);
+  // Two passes: validate every entry first, then commit, so a mismatched
+  // checkpoint cannot leave the module half-restored.
+  std::vector<Tensor> loaded;
+  loaded.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    TRANAD_ASSIGN_OR_RETURN(Tensor t, reader.GetTensor(prefix + names[i]));
+    if (t.shape() != params[i].value().shape()) {
+      return Status::InvalidArgument("parameter '" + prefix + names[i] +
+                                     "' shape mismatch");
+    }
+    loaded.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    *params[i].mutable_value() = std::move(loaded[i]);
+  }
+  return Status::Ok();
 }
 
 Status Module::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  const auto params = Parameters();
-  const uint32_t magic = kMagic;
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    const auto& t = p.value();
-    const uint64_t nd = t.shape().size();
-    out.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
-    for (int64_t d : t.shape()) {
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  }
-  if (!out) return Status::IoError("short write to " + path);
-  return Status::Ok();
+  io::CheckpointWriter writer;
+  SaveTo(&writer, "model/");
+  return writer.WriteAtomic(path);
 }
 
 Status Module::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  uint32_t magic = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
-    return Status::InvalidArgument(path + ": not a TranAD checkpoint");
-  }
-  auto params = Parameters();
-  if (count != params.size()) {
-    return Status::InvalidArgument(path + ": parameter count mismatch");
-  }
-  for (auto& p : params) {
-    uint64_t nd = 0;
-    in.read(reinterpret_cast<char*>(&nd), sizeof(nd));
-    Shape shape(nd);
-    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
-    if (!in || shape != p.value().shape()) {
-      return Status::InvalidArgument(path + ": parameter shape mismatch");
-    }
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) return Status::IoError(path + ": truncated checkpoint");
-    *p.mutable_value() = std::move(t);
-  }
-  return Status::Ok();
+  TRANAD_ASSIGN_OR_RETURN(io::CheckpointReader reader,
+                          io::CheckpointReader::Open(path));
+  return LoadFrom(reader, "model/");
 }
 
 }  // namespace tranad::nn

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/checkpoint.h"
 #include "tensor/variable.h"
 
 namespace tranad::nn {
@@ -47,7 +48,20 @@ class Module {
   /// structured module.
   void RestoreParameters(const std::vector<Tensor>& snapshot);
 
-  /// Binary serialization of all parameters.
+  /// Adds every parameter to `writer` as "<prefix><dotted name>" tensor
+  /// entries, so callers can pack model state alongside optimizer/POT/
+  /// normalizer state in one checkpoint.
+  void SaveTo(io::CheckpointWriter* writer, const std::string& prefix) const;
+
+  /// Restores every parameter from `reader` entries named
+  /// "<prefix><dotted name>". Validates all names and shapes before writing
+  /// anything, so a failed load leaves the module untouched.
+  Status LoadFrom(const io::CheckpointReader& reader,
+                  const std::string& prefix);
+
+  /// Standalone whole-module (de)serialization over the crash-safe
+  /// checkpoint container: Save writes tmp+fsync+rename, Load rejects torn
+  /// or corrupt files with a Status.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 

@@ -119,6 +119,26 @@ void Adam::Step() {
   }
 }
 
+Status Adam::RestoreState(int64_t step_count, std::vector<Tensor> m,
+                          std::vector<Tensor> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("Adam step count must be >= 0");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument("Adam moment count mismatch");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (m[i].shape() != params_[i].value().shape() ||
+        v[i].shape() != params_[i].value().shape()) {
+      return Status::InvalidArgument("Adam moment shape mismatch");
+    }
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
+}
+
 AdamW::AdamW(std::vector<Variable> params, float lr, float beta1, float beta2,
              float eps, float weight_decay)
     : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay) {

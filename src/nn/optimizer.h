@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/variable.h"
 
 namespace tranad::nn {
@@ -48,6 +49,17 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
 
+  /// Resumable state: step count plus per-parameter first/second moments,
+  /// in parameter order.
+  int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& moments1() const { return m_; }
+  const std::vector<Tensor>& moments2() const { return v_; }
+
+  /// Restores step count and moments (checkpoint resume). Moment vectors
+  /// must match the parameter list in count and shapes.
+  Status RestoreState(int64_t step_count, std::vector<Tensor> m,
+                      std::vector<Tensor> v);
+
  protected:
   float beta1_, beta2_, eps_, weight_decay_;
   int64_t t_ = 0;
@@ -74,6 +86,9 @@ class StepLr {
   void Step();
 
   int64_t epoch() const { return epoch_; }
+  /// Restores the epoch counter on resume; does NOT touch the optimizer's
+  /// lr (the checkpoint stores the effective lr separately).
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
 
  private:
   Optimizer* opt_;

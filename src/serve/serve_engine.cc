@@ -11,8 +11,7 @@
 namespace tranad::serve {
 
 ServeEngine::ServeEngine(TranADDetector* detector, ServeOptions options)
-    : detector_(detector),
-      options_(options),
+    : options_(options),
       stats_(options.max_batch),
       submit_queue_(options.queue_capacity),
       // One in-flight batch per worker bounds memory; the batcher blocks
@@ -22,12 +21,23 @@ ServeEngine::ServeEngine(TranADDetector* detector, ServeOptions options)
   TRANAD_CHECK(detector != nullptr);
   TRANAD_CHECK_GT(options_.num_workers, 0);
   TRANAD_CHECK(detector->model() != nullptr);  // must be fitted
-  detector_->FreezeForInference();
+  detector->FreezeForInference();
+  // The caller's detector is borrowed, never owned; reloaded replacements
+  // (shared with any batches still scoring under them) are owned.
+  detector_ = std::shared_ptr<const TranADDetector>(
+      detector, [](const TranADDetector*) {});
+  dims_ = detector->model()->config().dims;
+  window_ = detector->model()->config().window;
   batcher_ = std::thread([this] { BatcherLoop(); });
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+std::shared_ptr<const TranADDetector> ServeEngine::CurrentDetector() const {
+  std::lock_guard<std::mutex> lock(detector_mu_);
+  return detector_;
 }
 
 ServeEngine::~ServeEngine() {
@@ -43,11 +53,10 @@ Result<StreamId> ServeEngine::CreateStream(const TimeSeries& calibration) {
   if (calibration.length() <= 0) {
     return Status::InvalidArgument("calibration series is empty");
   }
-  if (calibration.dims() != detector_->model()->config().dims) {
+  if (calibration.dims() != dims_) {
     return Status::InvalidArgument(
         "calibration has " + std::to_string(calibration.dims()) +
-        " dims; detector expects " +
-        std::to_string(detector_->model()->config().dims));
+        " dims; detector expects " + std::to_string(dims_));
   }
   StreamId id;
   {
@@ -56,9 +65,11 @@ Result<StreamId> ServeEngine::CreateStream(const TimeSeries& calibration) {
   }
   // Calibration scores the series through the detector's const path, so it
   // runs here on the caller thread — outside the registry lock — while
-  // workers keep scoring traffic.
-  auto session = std::make_shared<StreamSession>(id, detector_, options_.pot);
-  session->Calibrate(calibration);
+  // workers keep scoring traffic. The session keeps no detector pointer
+  // (only the POT state and ring it derives here), so a later ReloadModel
+  // never has to touch existing sessions.
+  auto session = std::make_shared<StreamSession>(id, options_.pot);
+  session->Calibrate(*CurrentDetector(), calibration);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.emplace(id, std::move(session));
   return id;
@@ -83,7 +94,7 @@ Status ServeEngine::Submit(StreamId stream, const Tensor& observation,
     }
     session = it->second;
   }
-  const int64_t m = detector_->model()->config().dims;
+  const int64_t m = dims_;
   if (observation.numel() != m) {
     return Status::InvalidArgument(
         "observation has " + std::to_string(observation.numel()) +
@@ -113,8 +124,8 @@ Status ServeEngine::Submit(StreamId stream, const Tensor& observation,
 }
 
 void ServeEngine::BatcherLoop() {
-  const int64_t k = detector_->model()->config().window;
-  const int64_t m = detector_->model()->config().dims;
+  const int64_t k = window_;
+  const int64_t m = dims_;
   int64_t ticket = 0;
   for (;;) {
     std::vector<ServeRequest> requests =
@@ -131,17 +142,30 @@ void ServeEngine::BatcherLoop() {
       const Tensor& obs = requests[static_cast<size_t>(i)].observation;
       std::copy(obs.data(), obs.data() + m, raw.data() + i * m);
     }
-    const Tensor normalized = detector_->NormalizeForScoring(raw);  // [B, m]
     WindowBatch batch;
-    batch.windows = Tensor({b, k, m});
-    for (int64_t i = 0; i < b; ++i) {
-      ServeRequest& r = requests[static_cast<size_t>(i)];
-      r.session->ring()->PushRow(normalized.data() + i * m);
-      r.session->ring()->AssembleInto(batch.windows.data() + i * k * m);
+    {
+      // Batch formation is the reload boundary: under pipeline_mu_ the
+      // batch binds one model snapshot (used for both normalization here
+      // and scoring later) and registers itself in-flight, so ReloadModel
+      // can only swap between fully formed, fully completed batches.
+      std::lock_guard<std::mutex> pipeline_lock(pipeline_mu_);
+      batch.detector = CurrentDetector();
+      const Tensor normalized = batch.detector->NormalizeForScoring(raw);
+      batch.windows = Tensor({b, k, m});
+      for (int64_t i = 0; i < b; ++i) {
+        ServeRequest& r = requests[static_cast<size_t>(i)];
+        r.session->ring()->PushRow(normalized.data() + i * m);
+        r.session->ring()->AssembleInto(batch.windows.data() + i * k * m);
+      }
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      ++in_flight_batches_;
     }
     batch.requests = std::move(requests);
     batch.ticket = ticket++;
     stats_.RecordBatch(b);
+    // Push outside pipeline_mu_: it may block on a full work queue, and a
+    // concurrent ReloadModel must still be able to observe the already-
+    // registered in-flight batch drain through the workers.
     work_queue_.Push(std::move(batch));
   }
   work_queue_.Close();
@@ -155,14 +179,15 @@ void ServeEngine::WorkerLoop() {
   // bit-identical either way, per the ParallelFor contract.
   std::optional<InlineComputeGuard> inline_guard;
   if (options_.num_workers > 1) inline_guard.emplace();
-  const int64_t m = detector_->model()->config().dims;
+  const int64_t m = dims_;
   for (;;) {
     std::optional<WindowBatch> batch = work_queue_.Pop();
     if (!batch.has_value()) break;
 
     // The expensive part runs concurrently across workers: one batched
-    // two-phase forward through the frozen model (const, NoGrad).
-    const Tensor scores = detector_->ScoreWindows(batch->windows);  // [B, m]
+    // two-phase forward through the frozen model (const, NoGrad) — the
+    // exact snapshot the batch was normalized against.
+    const Tensor scores = batch->detector->ScoreWindows(batch->windows);
 
     // Completions are applied in ticket order under one lock: POT updates
     // stay per-stream-sequential and callbacks observe a consistent order.
@@ -193,8 +218,42 @@ void ServeEngine::WorkerLoop() {
     lock.unlock();
     completion_cv_.notify_all();
 
+    // Release the batch's model snapshot before signaling the drain, so a
+    // waiting ReloadModel observes the old detector fully quiesced.
+    batch->detector.reset();
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      --in_flight_batches_;
+    }
+    drain_cv_.notify_all();
+
     DecrementPending(b);
   }
+}
+
+Status ServeEngine::ReloadModel(const std::string& path) {
+  TRANAD_ASSIGN_OR_RETURN(std::unique_ptr<TranADDetector> loaded,
+                          TranADDetector::FromCheckpoint(path));
+  const TranADConfig& config = loaded->model()->config();
+  if (config.dims != dims_ || config.window != window_) {
+    return Status::InvalidArgument(
+        "checkpoint geometry [dims=" + std::to_string(config.dims) +
+        ", window=" + std::to_string(config.window) +
+        "] does not match the serving model [dims=" + std::to_string(dims_) +
+        ", window=" + std::to_string(window_) + "]");
+  }
+  loaded->FreezeForInference();
+  std::shared_ptr<const TranADDetector> replacement(std::move(loaded));
+
+  // Micro-batch-boundary swap: block new batch formation, let every formed
+  // batch finish scoring and completing, then flip the pointer. Queued
+  // submissions stay queued throughout and score under the new model.
+  std::lock_guard<std::mutex> pipeline_lock(pipeline_mu_);
+  std::unique_lock<std::mutex> drain_lock(drain_mu_);
+  drain_cv_.wait(drain_lock, [&] { return in_flight_batches_ == 0; });
+  std::lock_guard<std::mutex> detector_lock(detector_mu_);
+  detector_ = std::move(replacement);
+  return Status::Ok();
 }
 
 void ServeEngine::DecrementPending(int64_t n) {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,11 @@ struct ServeOptions {
 ///     worker count, or timing.
 ///   - The detector is frozen at construction; workers only use its const
 ///     scoring surface, so no worker ever touches trainer/autograd state.
+///   - Hot reload: ReloadModel() swaps in a checkpointed detector at a
+///     micro-batch boundary — batch formation pauses, in-flight batches
+///     drain, the frozen model pointer flips — without dropping a single
+///     queued submission, so the concurrent==sequential guarantee holds on
+///     both sides of the swap (each batch scores wholly under one model).
 class ServeEngine {
  public:
   /// `detector` must be fitted and must outlive the engine. The engine
@@ -86,6 +92,14 @@ class ServeEngine {
   /// from inside a verdict callback.
   void Flush();
 
+  /// Hot-swaps the serving model from a TranADDetector::SaveCheckpoint
+  /// file. The replacement must match the current model's geometry (dims
+  /// and window); on any load/validation error the engine keeps serving the
+  /// old model and returns the Status. Queued submissions are preserved:
+  /// the swap happens between micro-batches, after in-flight batches drain.
+  /// Safe to call while traffic is flowing (but not reentrantly).
+  Status ReloadModel(const std::string& path);
+
   ServeStatsSnapshot stats() const;
   int64_t num_streams() const;
 
@@ -94,13 +108,27 @@ class ServeEngine {
     std::vector<ServeRequest> requests;
     Tensor windows;  // [B, K, m], normalized
     int64_t ticket = 0;
+    /// The model snapshot this batch was normalized against; scoring uses
+    /// the same snapshot, so a reload mid-pipeline never splits a batch
+    /// across two models.
+    std::shared_ptr<const TranADDetector> detector;
   };
 
   void BatcherLoop();
   void WorkerLoop();
   void DecrementPending(int64_t n);
+  std::shared_ptr<const TranADDetector> CurrentDetector() const;
 
-  TranADDetector* detector_;
+  /// The serving model. Read via CurrentDetector() (pointer swap guarded by
+  /// detector_mu_); replaced only by ReloadModel() after the pipeline
+  /// drains. The initial detector is borrowed (no-op deleter); reloaded
+  /// ones are owned.
+  std::shared_ptr<const TranADDetector> detector_;
+  mutable std::mutex detector_mu_;
+  /// Model geometry, fixed for the engine's lifetime (reloads must match).
+  int64_t dims_ = 0;
+  int64_t window_ = 0;
+
   ServeOptions options_;
   ServeStats stats_;
   BoundedQueue<ServeRequest> submit_queue_;
@@ -126,6 +154,16 @@ class ServeEngine {
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
   std::atomic<int64_t> pending_{0};
+
+  // Reload coordination. pipeline_mu_ serializes batch formation against
+  // ReloadModel (held by the batcher only around the normalize/ring/assemble
+  // section, never while blocked pushing to the work queue). in_flight_
+  // counts batches formed but not yet fully completed; ReloadModel waits
+  // for it to reach zero before flipping the detector pointer.
+  std::mutex pipeline_mu_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int64_t in_flight_batches_ = 0;
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

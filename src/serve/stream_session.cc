@@ -8,24 +8,23 @@
 
 namespace tranad::serve {
 
-StreamSession::StreamSession(StreamId id, const TranADDetector* detector,
-                             PotParams pot)
-    : id_(id), detector_(detector), spot_(pot) {
-  TRANAD_CHECK(detector != nullptr);
-}
+StreamSession::StreamSession(StreamId id, PotParams pot)
+    : id_(id), spot_(pot) {}
 
-void StreamSession::Calibrate(const TimeSeries& calibration) {
+void StreamSession::Calibrate(const TranADDetector& detector,
+                              const TimeSeries& calibration) {
   TRANAD_CHECK_GT(calibration.length(), 0);
-  const Tensor scores = detector_->ScoreSeries(calibration);
-  spot_.Initialize(DetectionScores(scores));
+  const Tensor scores = detector.ScoreSeries(calibration);
+  const Status st = spot_.Initialize(DetectionScores(scores));
+  TRANAD_CHECK_MSG(st.ok(), "SPOT calibration failed");
 
-  const int64_t k = detector_->model()->config().window;
+  const int64_t k = detector.model()->config().window;
   const int64_t m = calibration.dims();
   ring_.Reset(k, m);
   const int64_t start = std::max<int64_t>(0, calibration.length() - k + 1);
   const int64_t len = calibration.length() - start;
   if (len > 0) {
-    ring_.Seed(detector_->NormalizeForScoring(
+    ring_.Seed(detector.NormalizeForScoring(
         SliceAxis(calibration.values, 0, start, len)));
   }
 }

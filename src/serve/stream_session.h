@@ -28,12 +28,15 @@ using StreamId = uint64_t;
 /// stays alive until its last admitted observation completes.
 class StreamSession {
  public:
-  StreamSession(StreamId id, const TranADDetector* detector, PotParams pot);
+  StreamSession(StreamId id, PotParams pot);
 
   /// Initializes the POT threshold from the calibration series' scores (via
   /// the detector's const scoring path) and seeds the ring with the
-  /// normalized calibration tail — the OnlineTranAD::Calibrate recipe.
-  void Calibrate(const TimeSeries& calibration);
+  /// normalized calibration tail — the OnlineTranAD::Calibrate recipe. The
+  /// detector is borrowed only for the duration of the call: sessions hold
+  /// no detector pointer, so ServeEngine::ReloadModel can swap the model
+  /// without touching live sessions.
+  void Calibrate(const TranADDetector& detector, const TimeSeries& calibration);
 
   StreamId id() const { return id_; }
   WindowRing* ring() { return &ring_; }
@@ -44,7 +47,6 @@ class StreamSession {
 
  private:
   StreamId id_;
-  const TranADDetector* detector_;
   StreamingPot spot_;
   WindowRing ring_;
   std::atomic<int64_t> seq_{0};

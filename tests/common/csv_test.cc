@@ -82,6 +82,59 @@ TEST_F(CsvTest, HeaderParsedAndTrimmed) {
   EXPECT_EQ(table->header[1], "y");
 }
 
+TEST_F(CsvTest, CrlfLineEndingsParsedCleanly) {
+  // Windows-exported files terminate lines with \r\n; the \r must not leak
+  // into the last cell (or the header name).
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,b\r\n1,2\r\n3,4.5\r\n");
+  auto table = ReadCsv(path, true);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->header.size(), 2u);
+  EXPECT_EQ(table->header[1], "b");
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[1][1], 4.5);
+}
+
+TEST_F(CsvTest, TrailingDelimiterDoesNotAddPhantomColumn) {
+  const std::string path = TempPath("trailing.csv");
+  WriteFile(path, "x,y,\n1,2,\n3,4,\n");
+  auto table = ReadCsv(path, true);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->header.size(), 2u);
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[1][0], 3.0);
+}
+
+TEST_F(CsvTest, CrlfWithTrailingDelimiterCombined) {
+  const std::string path = TempPath("crlf_trailing.csv");
+  WriteFile(path, "1,2,\r\n3,4,\r\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0].size(), 2u);
+}
+
+TEST_F(CsvTest, NonFiniteCellsRejected) {
+  // strtod accepts "nan"/"inf" spellings; letting them through poisons the
+  // normalizer fit and every loss downstream.
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "INFINITY"}) {
+    const std::string path = TempPath("nonfinite.csv");
+    WriteFile(path, std::string("1,2\n3,") + bad + "\n");
+    auto table = ReadCsv(path, false);
+    ASSERT_FALSE(table.ok()) << "cell '" << bad << "' was accepted";
+    EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(CsvTest, EmptyInteriorCellRejected) {
+  const std::string path = TempPath("emptycell.csv");
+  WriteFile(path, "1,,3\n");
+  auto table = ReadCsv(path, false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(CsvTest, WriteWithoutHeaderOmitsHeaderLine) {
   CsvTable table;
   table.rows = {{1.5}};

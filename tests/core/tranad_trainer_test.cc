@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "data/preprocess.h"
 #include "data/synthetic.h"
 #include "tensor/tensor_ops.h"
@@ -130,6 +133,34 @@ TEST(TrainerTest, DeterministicGivenSeed) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_TRUE(a[i].AllClose(b[i], 1e-6f)) << "param " << i;
   }
+}
+
+TEST(TrainerTest, PoisonedWindowsSkipStepsInsteadOfNaNingWeights) {
+  // A few Inf cells (a dead sensor, a corrupt CSV row) must cost skipped
+  // optimizer steps, not poison every weight irreversibly.
+  Tensor windows = TrainingWindows();
+  const int64_t stride = windows.size(1) * windows.size(2);
+  for (int64_t i = 0; i < windows.size(0); i += 100) {
+    windows.data()[i * stride] = std::numeric_limits<float>::infinity();
+  }
+
+  TranADModel model(SmallConfig());
+  const TrainStats stats = TrainTranAD(&model, windows, FastOptions());
+  EXPECT_GT(stats.skipped_non_finite, 0);
+  for (const Tensor& p : model.SnapshotParameters()) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p[i])) << "weight went non-finite";
+    }
+  }
+}
+
+TEST(TrainerTest, CleanDataSkipsNothing) {
+  const Tensor windows = TrainingWindows(0.05);
+  TranADModel model(SmallConfig());
+  TrainOptions opts = FastOptions();
+  opts.max_epochs = 2;
+  const TrainStats stats = TrainTranAD(&model, windows, opts);
+  EXPECT_EQ(stats.skipped_non_finite, 0);
 }
 
 TEST(TrainerTest, WrongDimsDies) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 
@@ -112,6 +113,106 @@ TEST(StreamingPotTest, AdaptsPeaksOverTime) {
 TEST(StreamingPotTest, ObserveBeforeInitDies) {
   StreamingPot spot;
   EXPECT_DEATH(spot.Observe(1.0), "CHECK");
+}
+
+TEST(StreamingPotTest, InitializeRejectsEmptyCalibration) {
+  StreamingPot spot;
+  const Status st = spot.Initialize({});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(spot.initialized());
+}
+
+TEST(StreamingPotTest, InitializeRejectsNonFiniteCalibration) {
+  StreamingPot spot;
+  EXPECT_EQ(spot.Initialize({1.0, 2.0, std::nan(""), 3.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(spot.Initialize(
+                    {1.0, std::numeric_limits<double>::infinity()})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(spot.initialized());
+}
+
+TEST(StreamingPotTest, AllEqualCalibrationYieldsFiniteThreshold) {
+  // A constant score stream has a zero-length tail; the threshold must
+  // still come back finite and strictly above the constant so normal
+  // traffic is not all flagged.
+  StreamingPot spot({.risk = 1e-3, .init_quantile = 0.98});
+  ASSERT_TRUE(spot.Initialize(std::vector<double>(1000, 3.0)).ok());
+  EXPECT_TRUE(std::isfinite(spot.threshold()));
+  EXPECT_GT(spot.threshold(), 3.0);
+  EXPECT_FALSE(spot.Observe(3.0));
+  EXPECT_TRUE(spot.Observe(1e6));
+}
+
+TEST(StreamingPotTest, ExtremeInitQuantilesStayFinite) {
+  const auto calib = ExponentialSample(1.0, 2000, 21);
+  for (const double q : {0.0, 1.0}) {
+    StreamingPot spot({.risk = 1e-4, .init_quantile = q});
+    ASSERT_TRUE(spot.Initialize(calib).ok()) << "q=" << q;
+    EXPECT_TRUE(std::isfinite(spot.threshold())) << "q=" << q;
+    EXPECT_FALSE(spot.Observe(0.0)) << "q=" << q;
+  }
+}
+
+TEST(StreamingPotTest, TinyCalibrationSetStillInitializes) {
+  StreamingPot spot;
+  ASSERT_TRUE(spot.Initialize({1.0, 2.0, 3.0}).ok());
+  EXPECT_TRUE(std::isfinite(spot.threshold()));
+  EXPECT_GT(spot.threshold(), 2.0);  // above the median at least
+}
+
+TEST(StreamingPotTest, NonFiniteScoreFlaggedWithoutPollutingTail) {
+  StreamingPot spot({.risk = 1e-3, .init_quantile = 0.9});
+  ASSERT_TRUE(spot.Initialize(ExponentialSample(1.0, 2000, 22)).ok());
+  const double threshold_before = spot.threshold();
+  const int64_t peaks_before = spot.num_peaks();
+
+  EXPECT_TRUE(spot.Observe(std::nan("")));
+  EXPECT_TRUE(spot.Observe(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(spot.Observe(-std::numeric_limits<double>::infinity()));
+
+  // The poisoned observations left no trace in the tail model.
+  EXPECT_EQ(spot.num_peaks(), peaks_before);
+  EXPECT_EQ(spot.threshold(), threshold_before);
+  EXPECT_TRUE(std::isfinite(spot.threshold()));
+}
+
+TEST(StreamingPotTest, ExportRestoreThresholdsIdentically) {
+  StreamingPot live({.risk = 1e-3, .init_quantile = 0.9});
+  ASSERT_TRUE(live.Initialize(ExponentialSample(1.0, 1000, 23)).ok());
+  Rng rng(24);
+  for (int i = 0; i < 500; ++i) {
+    live.Observe(-std::log(1.0 - rng.Uniform()));
+  }
+
+  StreamingPot restored(live.params());
+  ASSERT_TRUE(restored.RestoreState(live.ExportState()).ok());
+  ASSERT_TRUE(restored.initialized());
+  EXPECT_EQ(restored.threshold(), live.threshold());
+
+  // Both must now evolve identically on the same future stream.
+  Rng future(25);
+  for (int i = 0; i < 500; ++i) {
+    const double s = -std::log(1.0 - future.Uniform());
+    ASSERT_EQ(live.Observe(s), restored.Observe(s)) << "step " << i;
+    ASSERT_EQ(live.threshold(), restored.threshold()) << "step " << i;
+  }
+}
+
+TEST(StreamingPotTest, RestoreRejectsCorruptState) {
+  StreamingPot spot;
+  StreamingPotState state;
+  state.initialized = true;
+  state.t = std::nan("");
+  EXPECT_FALSE(spot.RestoreState(state).ok());
+  state.t = 1.0;
+  state.n = -5;
+  EXPECT_FALSE(spot.RestoreState(state).ok());
+  state.n = 10;
+  state.peaks = {0.5, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(spot.RestoreState(state).ok());
+  EXPECT_FALSE(spot.initialized());
 }
 
 TEST(NdtThresholdTest, AboveMeanOfErrors) {

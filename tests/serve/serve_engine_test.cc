@@ -321,6 +321,174 @@ TEST_F(ServeEngineTest, CreateAndCloseStreamsDuringTraffic) {
   EXPECT_EQ(delivered.load(), submitted.load());
 }
 
+TEST_F(ServeEngineTest, ReloadModelRejectsBadCheckpoints) {
+  ServeEngine engine(detector_, {});
+
+  // Nonexistent and non-detector files leave the engine serving untouched.
+  EXPECT_FALSE(engine.ReloadModel(::testing::TempDir() + "/missing.ckpt").ok());
+
+  // A detector with different geometry (window 4 instead of 8) is refused.
+  TranADConfig narrow;
+  narrow.window = 4;
+  narrow.d_ff = 16;
+  TrainOptions quick;
+  quick.max_epochs = 1;
+  TranADDetector other(narrow, quick);
+  other.Fit((*datasets_)[0].train);
+  const std::string mismatched = ::testing::TempDir() + "/mismatched.ckpt";
+  ASSERT_TRUE(other.SaveCheckpoint(mismatched).ok());
+  EXPECT_EQ(engine.ReloadModel(mismatched).code(),
+            StatusCode::kInvalidArgument);
+
+  // The engine still scores correctly after the failed reloads.
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(
+      engine.Submit(created.value(), Observation((*datasets_)[0].test, 0),
+                    nullptr)
+          .ok());
+  engine.Flush();
+  EXPECT_EQ(engine.stats().completed, 1);
+}
+
+// Reloading a checkpoint of the *same* weights mid-traffic must be
+// invisible: the full verdict stream still matches a sequential
+// OnlineTranAD run bit for bit, proving no submission is dropped, reordered
+// or scored under a half-swapped model.
+TEST_F(ServeEngineTest, ReloadIdenticalWeightsKeepsBitExactVerdicts) {
+  const int64_t steps = 30;
+  const PotParams pot = PotParamsForDataset("SMAP");
+  const std::string ckpt = ::testing::TempDir() + "/same_weights.ckpt";
+  ASSERT_TRUE(detector_->SaveCheckpoint(ckpt).ok());
+
+  OnlineTranAD online(detector_, pot);
+  online.Calibrate((*datasets_)[0].train);
+  std::vector<OnlineVerdict> expected;
+  for (int64_t t = 0; t < 2 * steps; ++t) {
+    expected.push_back(online.Observe(Observation((*datasets_)[0].test, t)));
+  }
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.pot = pot;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  VerdictLog log;
+  auto submit_range = [&](int64_t from, int64_t to) {
+    for (int64_t t = from; t < to; ++t) {
+      Status st = Status::Ok();
+      do {
+        st = engine.Submit(created.value(),
+                           Observation((*datasets_)[0].test, t),
+                           log.Callback());
+      } while (st.code() == StatusCode::kResourceExhausted);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  };
+  // Swap while the first half is still in flight — no Flush in between.
+  submit_range(0, steps);
+  ASSERT_TRUE(engine.ReloadModel(ckpt).ok());
+  submit_range(steps, 2 * steps);
+  engine.Flush();
+
+  const auto& got = log.by_stream[created.value()];
+  ASSERT_EQ(got.size(), static_cast<size_t>(2 * steps));
+  for (int64_t t = 0; t < 2 * steps; ++t) {
+    const auto& g = got[static_cast<size_t>(t)];
+    const auto& e = expected[static_cast<size_t>(t)];
+    ASSERT_EQ(g.seq, t);
+    ASSERT_EQ(g.verdict.score, e.score) << "t=" << t;
+    ASSERT_EQ(g.verdict.threshold, e.threshold) << "t=" << t;
+    ASSERT_EQ(g.verdict.anomalous, e.anomalous) << "t=" << t;
+  }
+}
+
+// Reloading genuinely different weights takes effect: verdict scores after
+// the swap differ from what the original model would have produced.
+TEST_F(ServeEngineTest, ReloadSwapsToNewWeights) {
+  const PotParams pot = PotParamsForDataset("SMAP");
+  TranADConfig config;
+  config.window = 8;
+  config.d_ff = 16;
+  config.seed = 99;  // different init => different weights, same geometry
+  TrainOptions quick;
+  quick.max_epochs = 1;
+  TranADDetector other(config, quick);
+  other.Fit((*datasets_)[1].train);
+  const std::string ckpt = ::testing::TempDir() + "/new_weights.ckpt";
+  ASSERT_TRUE(other.SaveCheckpoint(ckpt).ok());
+
+  ServeOptions options;
+  options.pot = pot;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  VerdictLog log;
+  auto submit_one = [&](int64_t t) {
+    Status st = Status::Ok();
+    do {
+      st = engine.Submit(created.value(), Observation((*datasets_)[0].test, t),
+                         log.Callback());
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok());
+    engine.Flush();
+  };
+  submit_one(0);
+  ASSERT_TRUE(engine.ReloadModel(ckpt).ok());
+  submit_one(0);  // same observation, new model
+
+  const auto& got = log.by_stream[created.value()];
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0].verdict.score, got[1].verdict.score)
+      << "reload did not change the serving weights";
+}
+
+// Stress the swap under concurrent load (the TSan target): a traffic thread
+// hammers the engine while the main thread flips between two checkpoints;
+// every admitted observation must still complete exactly once.
+TEST_F(ServeEngineTest, ReloadUnderConcurrentTrafficLosesNothing) {
+  const std::string ckpt_a = ::testing::TempDir() + "/reload_a.ckpt";
+  ASSERT_TRUE(detector_->SaveCheckpoint(ckpt_a).ok());
+
+  ServeOptions options;
+  options.num_workers = 4;
+  options.max_batch = 4;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    int64_t t = 0;
+    while (!stop.load()) {
+      const Status st = engine.Submit(
+          created.value(),
+          Observation((*datasets_)[0].test,
+                      t++ % (*datasets_)[0].test.length()),
+          [&](StreamId, int64_t, const OnlineVerdict&) {
+            delivered.fetch_add(1);
+          });
+      if (st.ok()) submitted.fetch_add(1);
+    }
+  });
+
+  for (int round = 0; round < 6; ++round) {
+    const Status st = engine.ReloadModel(ckpt_a);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  stop.store(true);
+  traffic.join();
+  engine.Flush();
+  EXPECT_EQ(delivered.load(), submitted.load());
+  EXPECT_GT(delivered.load(), 0);
+}
+
 TEST_F(ServeEngineTest, StatsSnapshotIsConsistent) {
   ServeOptions options;
   options.num_workers = 2;

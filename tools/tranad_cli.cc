@@ -5,11 +5,18 @@
 //
 //   tranad_cli train --train train.csv --model model.ckpt
 //                    [--window 10] [--epochs 10] [--seed 7]
+//                    [--checkpoint_every N] [--train_state path] [--resume 1]
 //       Trains TranAD on a CSV series (rows = timestamps, cols = dims).
+//       With --checkpoint_every N, the full training state is written
+//       atomically to --train_state (default: <model>.train_state) every N
+//       epochs; an interrupted run restarted with the same flags resumes
+//       from the last checkpoint and finishes bitwise-identically to an
+//       uninterrupted one (--resume 0 disables).
 //
-//   tranad_cli score --train train.csv --model model.ckpt
-//                    --input series.csv --output scores.csv
-//       Scores a series with a trained model (per-dimension scores).
+//   tranad_cli score --model model.ckpt --input series.csv
+//                    --output scores.csv
+//       Scores a series with a trained model (per-dimension scores). The
+//       checkpoint is self-contained (config + weights + normalizer).
 //
 //   tranad_cli evaluate --dataset SMD [--scale 0.5] [--method TranAD]
 //       End-to-end evaluation of any registered method on a synthetic
@@ -117,13 +124,19 @@ int CmdTrain(const Args& args) {
   TrainOptions options;
   options.max_epochs = std::stoll(Get(args, "epochs", "10"));
   options.verbose = true;
+  options.checkpoint_every = std::stoll(Get(args, "checkpoint_every", "0"));
+  if (options.checkpoint_every > 0) {
+    options.checkpoint_path =
+        Get(args, "train_state", model_path + ".train_state");
+  }
+  options.resume = std::stoll(Get(args, "resume", "1")) != 0;
 
   TimeSeries train;
   train.name = train_path;
   train.values = std::move(series).value();
   TranADDetector detector(config, options);
   detector.Fit(train);
-  const Status st = detector.model()->Save(model_path);
+  const Status st = detector.SaveCheckpoint(model_path);
   if (!st.ok()) return Fail(st.ToString());
   std::printf("trained %lld epochs (%.3f s/epoch) on %lld x %lld; model -> "
               "%s\n",
@@ -135,32 +148,23 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdScore(const Args& args) {
-  const std::string train_path = Get(args, "train");
   const std::string model_path = Get(args, "model", "tranad.ckpt");
   const std::string input_path = Get(args, "input");
   const std::string output_path = Get(args, "output", "scores.csv");
-  if (train_path.empty() || input_path.empty()) {
-    return Fail("--train and --input are required");
-  }
-  auto train_series = LoadSeriesCsv(train_path);
-  if (!train_series.ok()) return Fail(train_series.status().ToString());
+  if (input_path.empty()) return Fail("--input is required");
   auto input_series = LoadSeriesCsv(input_path);
   if (!input_series.ok()) return Fail(input_series.status().ToString());
 
-  TranADConfig config;
-  config.window = std::stoll(Get(args, "window", "10"));
-  TrainOptions options;
-  options.max_epochs = 1;  // weights come from the checkpoint
-  TimeSeries train;
-  train.values = std::move(train_series).value();
-  TranADDetector detector(config, options);
-  detector.Fit(train);  // builds architecture + normalizer
-  const Status st = detector.model()->Load(model_path);
-  if (!st.ok()) return Fail(st.ToString());
+  // The checkpoint carries config, weights and the fitted normalizer, so no
+  // retraining pass over the training CSV is needed (or wanted: rebuilding
+  // the detector via a 1-epoch Fit used to waste time and drift from the
+  // shipped normalizer on different data).
+  auto detector = TranADDetector::FromCheckpoint(model_path);
+  if (!detector.ok()) return Fail(detector.status().ToString());
 
   TimeSeries input;
   input.values = std::move(input_series).value();
-  const Tensor scores = detector.Score(input);
+  const Tensor scores = (*detector)->Score(input);
   CsvTable out;
   for (int64_t d = 0; d < scores.size(1); ++d) {
     out.header.push_back(StrFormat("score%lld", static_cast<long long>(d)));
