@@ -1,0 +1,265 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace tranad::failpoint {
+
+namespace internal {
+std::atomic<int64_t> g_armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Action action;
+  Schedule schedule;
+  int64_t hits = 0;   // evaluations since armed
+  int64_t fires = 0;  // evaluations the schedule selected
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+// Leaked singleton: failpoints may be evaluated from detached/worker
+// threads during process teardown, so the registry must outlive statics.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool Selects(const Schedule& schedule, int64_t hit) {
+  if (!schedule.hits.empty()) {
+    return std::find(schedule.hits.begin(), schedule.hits.end(), hit) !=
+           schedule.hits.end();
+  }
+  if (schedule.every_k > 0) return hit % schedule.every_k == 0;
+  return true;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseCode(std::string_view name, StatusCode* out) {
+  if (name == "io") *out = StatusCode::kIoError;
+  else if (name == "internal") *out = StatusCode::kInternal;
+  else if (name == "unavailable") *out = StatusCode::kUnavailable;
+  else if (name == "deadline") *out = StatusCode::kDeadlineExceeded;
+  else if (name == "invalid") *out = StatusCode::kInvalidArgument;
+  else if (name == "notfound") *out = StatusCode::kNotFound;
+  else if (name == "resource") *out = StatusCode::kResourceExhausted;
+  else if (name == "precondition") *out = StatusCode::kFailedPrecondition;
+  else return false;
+  return true;
+}
+
+Status ParseEntry(std::string_view entry, std::string* site, Action* action,
+                  Schedule* schedule) {
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("failpoint spec '" + std::string(entry) +
+                                   "': " + why);
+  };
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return bad("expected site=action[@schedule]");
+  }
+  *site = std::string(Trim(entry.substr(0, eq)));
+
+  std::string_view rest = entry.substr(eq + 1);
+  std::string_view action_str = rest;
+  std::string_view schedule_str;
+  const size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    action_str = rest.substr(0, at);
+    schedule_str = rest.substr(at + 1);
+  }
+  action_str = Trim(action_str);
+  schedule_str = Trim(schedule_str);
+
+  // Action: err[:code] | delay:micros | trunc:bytes
+  std::string_view action_name = action_str;
+  std::string_view action_arg;
+  const size_t colon = action_str.find(':');
+  if (colon != std::string_view::npos) {
+    action_name = action_str.substr(0, colon);
+    action_arg = action_str.substr(colon + 1);
+  }
+  if (action_name == "err") {
+    *action = Action::Error();
+    if (!action_arg.empty() && !ParseCode(action_arg, &action->code)) {
+      return bad("unknown status code '" + std::string(action_arg) + "'");
+    }
+  } else if (action_name == "delay") {
+    int64_t micros = 0;
+    if (!ParseInt(action_arg, &micros)) {
+      return bad("delay needs a microsecond count (delay:5000)");
+    }
+    *action = Action::Delay(micros);
+  } else if (action_name == "trunc") {
+    int64_t bytes = 0;
+    if (!ParseInt(action_arg, &bytes)) {
+      return bad("trunc needs a byte count (trunc:16)");
+    }
+    *action = Action::Truncate(bytes);
+  } else {
+    return bad("unknown action '" + std::string(action_name) +
+               "' (err|delay|trunc)");
+  }
+
+  // Schedule: always | once | everyK | N[,N...]
+  if (schedule_str.empty() || schedule_str == "always") {
+    *schedule = Schedule::Always();
+  } else if (schedule_str == "once") {
+    *schedule = Schedule::OnHit(1);
+  } else if (schedule_str.substr(0, 5) == "every") {
+    int64_t k = 0;
+    if (!ParseInt(schedule_str.substr(5), &k) || k <= 0) {
+      return bad("everyK needs a positive K (every2)");
+    }
+    *schedule = Schedule::EveryK(k);
+  } else {
+    std::vector<int64_t> hits;
+    for (const std::string& piece : Split(schedule_str, ',')) {
+      int64_t n = 0;
+      if (!ParseInt(Trim(piece), &n) || n <= 0) {
+        return bad("hit list entries must be positive integers");
+      }
+      hits.push_back(n);
+    }
+    *schedule = Schedule::HitList(std::move(hits));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Action::ToStatus(const std::string& context) const {
+  return Status(code, "injected failure at " + context);
+}
+
+Action Action::Error(StatusCode code) {
+  Action a;
+  a.kind = ActionKind::kError;
+  a.code = code;
+  return a;
+}
+
+Action Action::Delay(int64_t micros) {
+  Action a;
+  a.kind = ActionKind::kDelay;
+  a.delay_us = micros;
+  return a;
+}
+
+Action Action::Truncate(int64_t bytes) {
+  Action a;
+  a.kind = ActionKind::kTruncate;
+  a.truncate_bytes = bytes;
+  return a;
+}
+
+void Arm(const std::string& site, Action action, Schedule schedule) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) {
+    registry.sites.emplace(site, SiteState{action, std::move(schedule), 0, 0});
+    internal::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-arming replaces the action/schedule and restarts the hit counter.
+    it->second = SiteState{action, std::move(schedule), 0, 0};
+  }
+}
+
+bool Disarm(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.sites.erase(site) == 0) return false;
+  internal::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  internal::g_armed_sites.fetch_sub(
+      static_cast<int64_t>(registry.sites.size()), std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t FireCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  // Parse everything first so a malformed spec arms nothing.
+  std::vector<std::pair<std::string, std::pair<Action, Schedule>>> parsed;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (Trim(entry).empty()) continue;
+    std::string site;
+    Action action;
+    Schedule schedule;
+    TRANAD_RETURN_IF_ERROR(ParseEntry(Trim(entry), &site, &action, &schedule));
+    parsed.emplace_back(std::move(site), std::make_pair(action, schedule));
+  }
+  for (auto& [site, armed] : parsed) {
+    Arm(site, armed.first, std::move(armed.second));
+  }
+  return Status::Ok();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("TRANAD_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::Ok();
+  return ArmFromSpec(spec);
+}
+
+Action Hit(const char* site) {
+  Registry& registry = GetRegistry();
+  Action fired;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return Action{};
+    SiteState& state = it->second;
+    ++state.hits;
+    if (!Selects(state.schedule, state.hits)) return Action{};
+    ++state.fires;
+    fired = state.action;
+  }
+  // Sleep outside the registry lock so a delay at one site never serializes
+  // hits at other sites.
+  if (fired.is_delay() && fired.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(fired.delay_us));
+  }
+  return fired;
+}
+
+}  // namespace tranad::failpoint

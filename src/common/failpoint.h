@@ -1,0 +1,159 @@
+#ifndef TRANAD_COMMON_FAILPOINT_H_
+#define TRANAD_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tranad::failpoint {
+
+/// Deterministic fault-injection framework. Production code marks the
+/// places that can fail (an fsync, a rename, a worker scoring pass) with a
+/// named failpoint:
+///
+///   if (auto fp = TRANAD_FAILPOINT("io.checkpoint.fsync"); fp.is_error()) {
+///     return fp.ToStatus("fsync " + path);
+///   }
+///
+/// Tests (or an operator, via the TRANAD_FAILPOINTS environment variable)
+/// arm a site with an action and a deterministic activation schedule —
+/// fire on the Nth hit, every K-th hit, a fixed hit list, or every hit —
+/// and the site misbehaves exactly on those evaluations. When nothing is
+/// armed anywhere, TRANAD_FAILPOINT compiles down to a single relaxed
+/// atomic load, so the hooks are free on the happy path.
+///
+/// Spec syntax (environment variable or ArmFromSpec):
+///
+///   TRANAD_FAILPOINTS="io.checkpoint.fsync=err@3;serve.worker.score=delay:5000@every2"
+///
+///   spec     := entry (';' entry)*
+///   entry    := site '=' action ['@' schedule]
+///   action   := 'err' [':' code] | 'delay' ':' micros | 'trunc' ':' bytes
+///   code     := 'io' | 'internal' | 'unavailable' | 'deadline' |
+///               'invalid' | 'notfound' | 'resource' | 'precondition'
+///   schedule := 'always' | 'once' | 'every' K | N | N (',' N)*
+///
+/// Hits are counted per site starting at 1 from the moment it is armed;
+/// '@3' fires only on the third evaluation, '@every2' on every second one,
+/// '@2,5,7' on exactly those. All registry operations are thread-safe and
+/// the framework is TSan-clean: schedule evaluation is serialized under one
+/// mutex, and the fast path is a relaxed atomic read.
+
+/// What an armed failpoint does when its schedule selects a hit.
+enum class ActionKind : uint8_t {
+  kNone = 0,  // not armed / schedule did not select this hit
+  kError,     // site should fail with the injected Status
+  kDelay,     // Hit() sleeps delay_us in place (stall injection)
+  kTruncate,  // IO site should short-write truncate_bytes then fail
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kNone;
+  /// Injected status code for kError (and for the failure a kTruncate site
+  /// reports after the short write).
+  StatusCode code = StatusCode::kIoError;
+  int64_t delay_us = 0;        // kDelay: microseconds slept inside Hit()
+  int64_t truncate_bytes = 0;  // kTruncate: bytes actually written
+
+  bool active() const { return kind != ActionKind::kNone; }
+  explicit operator bool() const { return active(); }
+  bool is_error() const { return kind == ActionKind::kError; }
+  bool is_delay() const { return kind == ActionKind::kDelay; }
+  bool is_truncate() const { return kind == ActionKind::kTruncate; }
+
+  /// The status an error (or post-truncation) site should surface:
+  /// "<code>: injected failure at <context>".
+  Status ToStatus(const std::string& context) const;
+
+  static Action Error(StatusCode code = StatusCode::kIoError);
+  static Action Delay(int64_t micros);
+  static Action Truncate(int64_t bytes);
+};
+
+/// Deterministic activation schedule over a site's 1-based hit counter.
+struct Schedule {
+  /// every_k > 0: fire when hit % every_k == 0. Ignored if `hits` is set.
+  int64_t every_k = 0;
+  /// Non-empty: fire exactly on these hit indices.
+  std::vector<int64_t> hits;
+  // Both unset: fire on every hit.
+
+  static Schedule Always() { return {}; }
+  static Schedule OnHit(int64_t n) { return Schedule{0, {n}}; }
+  static Schedule EveryK(int64_t k) { return Schedule{k, {}}; }
+  static Schedule HitList(std::vector<int64_t> hit_list) {
+    return Schedule{0, std::move(hit_list)};
+  }
+};
+
+namespace internal {
+extern std::atomic<int64_t> g_armed_sites;
+}  // namespace internal
+
+/// True when at least one failpoint is armed anywhere in the process.
+/// Single relaxed atomic load — the entire cost of an inactive failpoint.
+inline bool AnyActive() {
+  return internal::g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arms (or re-arms, resetting the hit counter of) a named site.
+void Arm(const std::string& site, Action action,
+         Schedule schedule = Schedule::Always());
+
+/// Disarms one site; returns false if it was not armed.
+bool Disarm(const std::string& site);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// Evaluations at `site` since it was armed (0 if not armed).
+int64_t HitCount(const std::string& site);
+
+/// Selected (fired) evaluations at `site` since it was armed.
+int64_t FireCount(const std::string& site);
+
+/// Parses the TRANAD_FAILPOINTS spec syntax and arms every entry. On a
+/// malformed spec nothing is armed and InvalidArgument names the bad entry.
+Status ArmFromSpec(const std::string& spec);
+
+/// Arms from the TRANAD_FAILPOINTS environment variable; no-op when unset.
+Status ArmFromEnv();
+
+/// Evaluates one hit at `site`: bumps the hit counter and, when the
+/// schedule selects this hit, returns the armed action (after sleeping in
+/// place for kDelay). Call through TRANAD_FAILPOINT so the unarmed process
+/// pays only the relaxed load.
+Action Hit(const char* site);
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Action action,
+                  Schedule schedule = Schedule::Always())
+      : site_(std::move(site)) {
+    Arm(site_, action, std::move(schedule));
+  }
+  ~ScopedFailpoint() { Disarm(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace tranad::failpoint
+
+/// Evaluates the named failpoint site. Yields an inactive Action (one
+/// relaxed atomic load, no lock) unless some failpoint is armed in the
+/// process and this site's schedule selects the current hit.
+#define TRANAD_FAILPOINT(site)              \
+  (::tranad::failpoint::AnyActive()         \
+       ? ::tranad::failpoint::Hit(site)     \
+       : ::tranad::failpoint::Action{})
+
+#endif  // TRANAD_COMMON_FAILPOINT_H_

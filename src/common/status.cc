@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -57,6 +59,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,6 +19,11 @@ struct OnlineVerdict {
   bool anomalous = false;
   /// The current dynamic threshold.
   double threshold = 0.0;
+  /// Ok for a scored verdict. The serve engine completes submissions it
+  /// could not score (deadline expired, load shed, injected fault, stalled
+  /// pipeline) with a non-OK status here; score/threshold are then
+  /// meaningless and the observation never touched the stream's POT state.
+  Status status;
 };
 
 /// Stateful online front end for Alg. 2: wraps a *trained* TranADDetector,

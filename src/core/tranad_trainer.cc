@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/preprocess.h"
@@ -291,7 +292,15 @@ TrainStats TrainTranAD(TranADModel* model, const Tensor& windows,
     for (size_t i = 0; i < best_snapshot.size(); ++i) {
       writer.PutTensor("best/" + std::to_string(i), best_snapshot[i]);
     }
-    const Status st = writer.WriteAtomic(options.checkpoint_path);
+    Status st;
+    if (auto fp = TRANAD_FAILPOINT("core.trainer.checkpoint_save");
+        fp.is_error()) {
+      st = fp.ToStatus("core.trainer.checkpoint_save");
+    } else {
+      st = writer.WriteAtomic(options.checkpoint_path);
+    }
+    // A failed save is survivable by design: training continues and the
+    // previous on-disk checkpoint (if any) stays valid for resume.
     if (!st.ok()) {
       TRANAD_LOG(Warning) << "checkpoint write failed: " << st.ToString();
     }

@@ -3,12 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace tranad::io {
 
@@ -85,10 +87,37 @@ size_t ElementSize(EntryType type) {
 
 Status WriteFileDurably(const std::string& path, const uint8_t* data,
                         size_t size) {
+  if (auto fp = TRANAD_FAILPOINT("io.checkpoint.open"); fp.is_error()) {
+    return fp.ToStatus("open " + path);
+  }
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + " for writing: " +
                            std::strerror(errno));
+  }
+  if (auto fp = TRANAD_FAILPOINT("io.checkpoint.write"); fp.active()) {
+    if (fp.is_truncate()) {
+      // Simulate a torn write (power cut / disk full mid-stream): only a
+      // prefix reaches the disk and the tmp file is left behind, exactly as
+      // a crash would leave it. The caller's rename never happens, so the
+      // previous checkpoint must survive intact.
+      const size_t partial =
+          std::min(size, static_cast<size_t>(fp.truncate_bytes));
+      size_t torn = 0;
+      while (torn < partial) {
+        const ssize_t n = ::write(fd, data + torn, partial - torn);
+        if (n <= 0) break;
+        torn += static_cast<size_t>(n);
+      }
+      ::close(fd);
+      return fp.ToStatus("write " + path + " (torn after " +
+                         std::to_string(torn) + " bytes)");
+    }
+    if (fp.is_error()) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      return fp.ToStatus("write " + path);
+    }
   }
   size_t written = 0;
   while (written < size) {
@@ -101,6 +130,11 @@ Status WriteFileDurably(const std::string& path, const uint8_t* data,
       return Status::IoError("short write to " + path + ": " + err);
     }
     written += static_cast<size_t>(n);
+  }
+  if (auto fp = TRANAD_FAILPOINT("io.checkpoint.fsync"); fp.is_error()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return fp.ToStatus("fsync " + path);
   }
   if (::fsync(fd) != 0) {
     const std::string err = std::strerror(errno);
@@ -223,6 +257,10 @@ Status CheckpointWriter::WriteAtomic(const std::string& path) const {
   // Crash-safety protocol: durable tmp write, then atomic rename.
   const std::string tmp = path + ".tmp";
   TRANAD_RETURN_IF_ERROR(WriteFileDurably(tmp, file.data(), file.size()));
+  if (auto fp = TRANAD_FAILPOINT("io.checkpoint.rename"); fp.is_error()) {
+    ::unlink(tmp.c_str());
+    return fp.ToStatus("rename " + tmp + " -> " + path);
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     const std::string err = std::strerror(errno);
     ::unlink(tmp.c_str());

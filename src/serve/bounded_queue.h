@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
@@ -41,6 +42,44 @@ class BoundedQueue {
     }
     not_empty_.notify_one();
     return Status::Ok();
+  }
+
+  /// Admission under a shed-oldest overload policy: always accepts `item`
+  /// (unless closed — FailedPrecondition), evicting the oldest queued item
+  /// into `*evicted` when the queue is full so the caller can complete it
+  /// with an Unavailable status. Eviction and push are one atomic step.
+  Status PushEvictOldest(T item, std::optional<T>* evicted) {
+    evicted->reset();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue is closed");
+      }
+      if (static_cast<int64_t>(items_.size()) >= capacity_) {
+        evicted->emplace(std::move(items_.front()));
+        items_.pop_front();
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Atomically removes and returns everything currently queued (the
+  /// watchdog's unwedge path). Consumers blocked in Pop simply keep
+  /// waiting; producers see the freed space.
+  std::vector<T> TryDrain() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return out;
   }
 
   /// Blocking push: waits for space. Returns false (item dropped) if the

@@ -13,9 +13,13 @@
 
 namespace tranad::serve {
 
-/// Verdict delivery: invoked once per admitted observation, on a worker
-/// thread, in per-stream submission order. Must be fast and must not call
-/// back into ServeEngine::Flush or destroy the engine.
+/// Verdict delivery: invoked exactly once per admitted observation with a
+/// definite verdict.status — usually on a worker thread in per-stream
+/// submission order for scored (Ok) verdicts; failure completions
+/// (deadline expiry, shed, watchdog, injected fault) may arrive on the
+/// batcher, watchdog, or submitting thread and may overtake scored
+/// verdicts. Must be fast and must not call back into ServeEngine::Flush,
+/// Stop, or destroy the engine.
 using VerdictCallback =
     std::function<void(StreamId stream, int64_t seq, const OnlineVerdict&)>;
 
@@ -26,6 +30,11 @@ struct ServeRequest {
   VerdictCallback callback;
   int64_t seq = 0;  // per-stream submission sequence
   std::chrono::steady_clock::time_point enqueued;
+  /// Completion deadline (max() = none). Checked when the batcher picks the
+  /// request up; an expired request completes with DeadlineExceeded and is
+  /// never scored.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Micro-batching policy: coalesces pending observations from any mix of

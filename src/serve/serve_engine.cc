@@ -1,11 +1,15 @@
 #include "serve/serve_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace tranad::serve {
@@ -33,6 +37,9 @@ ServeEngine::ServeEngine(TranADDetector* detector, ServeOptions options)
   for (int64_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.watchdog_timeout_us > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 std::shared_ptr<const TranADDetector> ServeEngine::CurrentDetector() const {
@@ -40,13 +47,31 @@ std::shared_ptr<const TranADDetector> ServeEngine::CurrentDetector() const {
   return detector_;
 }
 
-ServeEngine::~ServeEngine() {
+ServeEngine::~ServeEngine() { Stop(); }
+
+void ServeEngine::Stop() {
+  // Advisory flag first: racing Submits and Reloads fail fast instead of
+  // starting work the drain below would have to absorb.
+  stop_requested_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
   submit_queue_.Close();
+  // A concurrent ReloadModel holds pipeline_mu_ only until the in-flight
+  // batches drain through the workers (which Stop never blocks), so the
+  // batcher's exit below cannot deadlock against a reload — the reload
+  // completes (or rolls back), then the batcher finishes draining.
   if (batcher_.joinable()) batcher_.join();
   // BatcherLoop closes the work queue on exit; workers drain it and stop.
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  {
+    std::lock_guard<std::mutex> watchdog_lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  stopped_ = true;
 }
 
 Result<StreamId> ServeEngine::CreateStream(const TimeSeries& calibration) {
@@ -85,6 +110,9 @@ Status ServeEngine::CloseStream(StreamId id) {
 
 Status ServeEngine::Submit(StreamId stream, const Tensor& observation,
                            VerdictCallback callback) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
   std::shared_ptr<StreamSession> session;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -100,26 +128,96 @@ Status ServeEngine::Submit(StreamId stream, const Tensor& observation,
         "observation has " + std::to_string(observation.numel()) +
         " values; detector expects " + std::to_string(m));
   }
+  if (session->quarantined()) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream) + " is quarantined after " +
+        std::to_string(session->non_finite_streak()) +
+        " consecutive non-finite observations; call ReleaseQuarantine to "
+        "resume");
+  }
+  // Poisoned-input gate: one NaN admitted into the ring would corrupt every
+  // window overlapping it, so non-finite observations never enter the
+  // pipeline — the stream's ring and POT state stay exactly as if the value
+  // was never sent, and sibling streams are untouched.
+  for (int64_t i = 0; i < m; ++i) {
+    if (!std::isfinite(static_cast<double>(observation.data()[i]))) {
+      stats_.RecordNonFiniteRejected();
+      const int64_t streak = session->RecordNonFinite();
+      if (options_.quarantine_after > 0 &&
+          streak >= options_.quarantine_after && session->MarkQuarantined()) {
+        stats_.RecordQuarantined();
+      }
+      return Status::InvalidArgument(
+          "observation for stream " + std::to_string(stream) +
+          " contains a non-finite value at dim " + std::to_string(i) +
+          " (consecutive streak: " + std::to_string(streak) + ")");
+    }
+  }
+  session->ResetNonFiniteStreak();
 
   ServeRequest request;
   request.session = std::move(session);
   request.observation = observation.Reshape({m});
   request.callback = std::move(callback);
   request.enqueued = std::chrono::steady_clock::now();
-
-  std::lock_guard<std::mutex> admit_lock(admit_mu_);
-  // Count the request as pending *before* it becomes visible to the
-  // pipeline: a worker must never decrement below a concurrent Flush's
-  // view of what was admitted.
-  pending_.fetch_add(1, std::memory_order_acq_rel);
-  request.seq = request.session->NextSeq();
-  const Status status = submit_queue_.TryPush(std::move(request));
-  if (!status.ok()) {
-    DecrementPending(1);
-    stats_.RecordRejected();
-    return status;
+  if (options_.deadline_us > 0) {
+    request.deadline =
+        request.enqueued + std::chrono::microseconds(options_.deadline_us);
   }
-  stats_.RecordSubmitted();
+
+  std::optional<ServeRequest> evicted;
+  Status status;
+  {
+    std::lock_guard<std::mutex> admit_lock(admit_mu_);
+    // Count the request as pending *before* it becomes visible to the
+    // pipeline: a worker must never decrement below a concurrent Flush's
+    // view of what was admitted.
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    request.seq = request.session->NextSeq();
+    status = options_.shed_policy == ShedPolicy::kShedOldest
+                 ? submit_queue_.PushEvictOldest(std::move(request), &evicted)
+                 : submit_queue_.TryPush(std::move(request));
+    if (!status.ok()) {
+      DecrementPending(1);
+      stats_.RecordRejected();
+    } else {
+      stats_.RecordSubmitted();
+    }
+  }
+  // The evicted request completes outside admit_mu_ so its callback cannot
+  // serialize (or deadlock) other submitters.
+  if (evicted.has_value()) {
+    FailRequest(&*evicted,
+                Status::Unavailable(
+                    "shed under overload: submission queue reached capacity " +
+                    std::to_string(options_.queue_capacity) +
+                    " and newer work arrived (shed-oldest policy)"));
+  }
+  return status;
+}
+
+void ServeEngine::FailRequest(ServeRequest* request, const Status& status) {
+  stats_.RecordFailure(status.code());
+  if (request->callback) {
+    OnlineVerdict verdict;
+    verdict.status = status;
+    request->callback(request->session->id(), request->seq, verdict);
+  }
+  progress_.fetch_add(1, std::memory_order_acq_rel);
+  DecrementPending(1);
+}
+
+Status ServeEngine::ReleaseQuarantine(StreamId id) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no stream with id " + std::to_string(id));
+    }
+    session = it->second;
+  }
+  session->ReleaseQuarantine();
   return Status::Ok();
 }
 
@@ -131,6 +229,32 @@ void ServeEngine::BatcherLoop() {
     std::vector<ServeRequest> requests =
         batcher_policy_.NextBatch(&submit_queue_);
     if (requests.empty()) break;  // closed and drained
+
+    // Chaos hook: a delay here simulates a slow/stalled batcher (the
+    // watchdog's target); an error action is meaningless for a loop that
+    // must keep draining, so only the side effect (sleep) is consumed.
+    (void)TRANAD_FAILPOINT("serve.batcher.wakeup");
+
+    // Deadline sweep at pickup: requests that expired while queued complete
+    // with DeadlineExceeded and never reach a ring or a worker, so an
+    // expired observation leaves no trace in the stream's state.
+    if (options_.deadline_us > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<ServeRequest> live;
+      live.reserve(requests.size());
+      for (ServeRequest& r : requests) {
+        if (now >= r.deadline) {
+          FailRequest(&r, Status::DeadlineExceeded(
+                              "deadline of " +
+                              std::to_string(options_.deadline_us) +
+                              "us expired while queued"));
+        } else {
+          live.push_back(std::move(r));
+        }
+      }
+      requests = std::move(live);
+      if (requests.empty()) continue;
+    }
 
     // Ring updates happen only here, in admission order; a window is a pure
     // function of its stream's ring, so scores do not depend on how
@@ -162,7 +286,8 @@ void ServeEngine::BatcherLoop() {
     }
     batch.requests = std::move(requests);
     batch.ticket = ticket++;
-    stats_.RecordBatch(b);
+    stats_.RecordBatch(static_cast<int64_t>(batch.requests.size()));
+    progress_.fetch_add(1, std::memory_order_acq_rel);
     // Push outside pipeline_mu_: it may block on a full work queue, and a
     // concurrent ReloadModel must still be able to observe the already-
     // registered in-flight batch drain through the workers.
@@ -184,10 +309,17 @@ void ServeEngine::WorkerLoop() {
     std::optional<WindowBatch> batch = work_queue_.Pop();
     if (!batch.has_value()) break;
 
-    // The expensive part runs concurrently across workers: one batched
-    // two-phase forward through the frozen model (const, NoGrad) — the
-    // exact snapshot the batch was normalized against.
-    const Tensor scores = batch->detector->ScoreWindows(batch->windows);
+    // Chaos hook: a delay stalls this worker mid-pipeline; an error skips
+    // scoring and fails the whole batch through the same ordered-completion
+    // protocol below, so tickets advance and no sibling batch wedges.
+    const failpoint::Action fault = TRANAD_FAILPOINT("serve.worker.score");
+    Tensor scores;
+    if (!fault.is_error()) {
+      // The expensive part runs concurrently across workers: one batched
+      // two-phase forward through the frozen model (const, NoGrad) — the
+      // exact snapshot the batch was normalized against.
+      scores = batch->detector->ScoreWindows(batch->windows);
+    }
 
     // Completions are applied in ticket order under one lock: POT updates
     // stay per-stream-sequential and callbacks observe a consistent order.
@@ -199,6 +331,15 @@ void ServeEngine::WorkerLoop() {
     for (int64_t i = 0; i < b; ++i) {
       ServeRequest& r = batch->requests[static_cast<size_t>(i)];
       OnlineVerdict verdict;
+      if (fault.is_error()) {
+        // Injected scoring fault: the observation already entered the ring
+        // (admission-order invariant), but no score exists, so the POT tail
+        // is left untouched and the callback carries the fault's status.
+        verdict.status = fault.ToStatus("serve.worker.score");
+        stats_.RecordFailure(verdict.status.code());
+        if (r.callback) r.callback(r.session->id(), r.seq, verdict);
+        continue;
+      }
       verdict.dim_scores = Tensor({m});
       double total = 0.0;
       for (int64_t d = 0; d < m; ++d) {
@@ -217,6 +358,7 @@ void ServeEngine::WorkerLoop() {
     ++next_completion_ticket_;
     lock.unlock();
     completion_cv_.notify_all();
+    progress_.fetch_add(1, std::memory_order_acq_rel);
 
     // Release the batch's model snapshot before signaling the drain, so a
     // waiting ReloadModel observes the old detector fully quiesced.
@@ -232,10 +374,20 @@ void ServeEngine::WorkerLoop() {
 }
 
 Status ServeEngine::ReloadModel(const std::string& path) {
-  TRANAD_ASSIGN_OR_RETURN(std::unique_ptr<TranADDetector> loaded,
-                          TranADDetector::FromCheckpoint(path));
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  Result<std::unique_ptr<TranADDetector>> loaded_or =
+      TranADDetector::FromCheckpoint(path);
+  if (!loaded_or.ok()) {
+    stats_.RecordReload(false);
+    return loaded_or.status();
+  }
+  std::unique_ptr<TranADDetector> loaded = std::move(loaded_or).value();
   const TranADConfig& config = loaded->model()->config();
   if (config.dims != dims_ || config.window != window_) {
+    stats_.RecordReload(false);
     return Status::InvalidArgument(
         "checkpoint geometry [dims=" + std::to_string(config.dims) +
         ", window=" + std::to_string(config.window) +
@@ -251,9 +403,76 @@ Status ServeEngine::ReloadModel(const std::string& path) {
   std::lock_guard<std::mutex> pipeline_lock(pipeline_mu_);
   std::unique_lock<std::mutex> drain_lock(drain_mu_);
   drain_cv_.wait(drain_lock, [&] { return in_flight_batches_ == 0; });
-  std::lock_guard<std::mutex> detector_lock(detector_mu_);
-  detector_ = std::move(replacement);
+  {
+    std::lock_guard<std::mutex> detector_lock(detector_mu_);
+    std::shared_ptr<const TranADDetector> previous = detector_;
+    detector_ = replacement;
+    // Chaos hook: a fault here models a failure after the pointer flip but
+    // before the swap commits (e.g. a validation pass on the live model).
+    // Rollback restores the previous detector under the same lock hold, so
+    // no batch can ever form against a half-committed swap.
+    if (auto fp = TRANAD_FAILPOINT("serve.reload.swap"); fp.is_error()) {
+      detector_ = std::move(previous);
+      stats_.RecordReload(false);
+      return fp.ToStatus("serve.reload.swap (rolled back to previous model)");
+    }
+  }
+  stats_.RecordReload(true);
   return Status::Ok();
+}
+
+void ServeEngine::WatchdogLoop() {
+  const auto timeout = std::chrono::microseconds(options_.watchdog_timeout_us);
+  const auto poll = std::max(timeout / 4, std::chrono::microseconds(100));
+  int64_t last_progress = progress_.load(std::memory_order_acquire);
+  auto last_change = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; })) {
+      return;
+    }
+    const int64_t now_progress = progress_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    if (now_progress != last_progress) {
+      last_progress = now_progress;
+      last_change = now;
+      continue;
+    }
+    if (pending_.load(std::memory_order_acquire) == 0 ||
+        now - last_change < timeout) {
+      continue;
+    }
+    // Stall: submissions are pending but nothing has moved for a full
+    // timeout. Fail everything still in the submission queue — those
+    // requests have not touched any ring, so failing them is safe and
+    // exactly-once (a request lives in the submit queue XOR in a formed
+    // batch). Work already inside the pipeline is left alone: its tickets
+    // belong to the ordered-completion protocol and it will complete if its
+    // stage ever resumes.
+    std::vector<ServeRequest> stalled = submit_queue_.TryDrain();
+    if (stalled.empty()) {
+      // Everything pending is already inside the pipeline (formed batches);
+      // those tickets belong to the workers and will complete when the
+      // stall clears. Nothing to unwedge — rearm and keep watching.
+      last_change = now;
+      continue;
+    }
+    stats_.RecordWatchdogStall();
+    lock.unlock();
+    for (ServeRequest& r : stalled) {
+      FailRequest(
+          &r, Status::Internal(
+                  "watchdog: no pipeline progress for " +
+                  std::to_string(options_.watchdog_timeout_us) +
+                  "us with " +
+                  std::to_string(pending_.load(std::memory_order_acquire)) +
+                  " pending; failing " + std::to_string(stalled.size()) +
+                  " queued submission(s) (batcher or worker stalled)"));
+    }
+    lock.lock();
+    last_change = std::chrono::steady_clock::now();
+    last_progress = progress_.load(std::memory_order_acquire);
+  }
 }
 
 void ServeEngine::DecrementPending(int64_t n) {

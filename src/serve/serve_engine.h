@@ -19,11 +19,22 @@
 
 namespace tranad::serve {
 
+/// What Submit does when the submission queue is already full.
+enum class ShedPolicy {
+  /// Refuse the new submission with ResourceExhausted (default: the caller
+  /// sees backpressure and retries).
+  kRejectNewest,
+  /// Admit the new submission and evict the oldest queued one, completing
+  /// it with Unavailable. Freshest-data-wins — the right policy when stale
+  /// observations lose value faster than new ones (live monitoring).
+  kShedOldest,
+};
+
 struct ServeOptions {
   /// Worker threads running the batched two-phase forward pass.
   int64_t num_workers = 4;
-  /// Submission-queue capacity; Submit rejects with ResourceExhausted
-  /// beyond this (backpressure instead of unbounded buffering).
+  /// Submission-queue capacity; beyond this Submit applies `shed_policy`
+  /// (backpressure instead of unbounded buffering).
   int64_t queue_capacity = 1024;
   /// Micro-batch coalescing policy: dispatch when `max_batch` observations
   /// are pending or `max_wait_us` has elapsed since the first, whichever
@@ -32,6 +43,31 @@ struct ServeOptions {
   int64_t max_wait_us = 200;
   /// Streaming-POT parameters applied to every created stream.
   PotParams pot;
+
+  // ---- Resilience knobs (all disabled by default: with every knob off and
+  // no failpoint armed, the engine's verdict stream is bit-for-bit the
+  // sequential OnlineTranAD path). ----
+
+  /// Per-submission deadline, microseconds from admission; 0 disables.
+  /// A submission still queued when its deadline passes completes with
+  /// DeadlineExceeded instead of occupying a worker; it never touches the
+  /// stream's ring or POT state.
+  int64_t deadline_us = 0;
+  ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+  /// Quarantine a stream after this many consecutive non-finite (NaN/Inf)
+  /// observations; further Submits on it fail fast with FailedPrecondition
+  /// until ReleaseQuarantine. 0 disables quarantine — but a non-finite
+  /// observation is always rejected with InvalidArgument at admission, so a
+  /// poisoned producer can never corrupt its own (or any sibling's) ring,
+  /// scores or POT tail.
+  int64_t quarantine_after = 0;
+  /// Stalled-pipeline watchdog, microseconds; 0 disables. If no pipeline
+  /// progress happens for this long while submissions are pending, the
+  /// watchdog fails everything still in the submission queue with Internal
+  /// (and a diagnostic) so Flush()/Stop() cannot hang on a wedged batcher
+  /// or worker; work already inside the pipeline completes whenever its
+  /// stage finishes.
+  int64_t watchdog_timeout_us = 0;
 };
 
 /// Concurrent multi-stream serving engine: many independent time series
@@ -65,12 +101,20 @@ class ServeEngine {
   /// another engine over it) while this engine is alive.
   explicit ServeEngine(TranADDetector* detector, ServeOptions options = {});
 
-  /// Drains every admitted request (callbacks fire), then joins all
-  /// threads.
+  /// Calls Stop().
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Graceful shutdown: stops admission (later Submits fail with
+  /// FailedPrecondition), drains every already-admitted request (its
+  /// callback fires with a definite status), then joins all pipeline
+  /// threads. Idempotent and safe to call concurrently with traffic or an
+  /// in-flight ReloadModel — a reload that loses the race completes (or
+  /// rolls back) first, then Stop proceeds; neither deadlocks. Do not call
+  /// from inside a verdict callback.
+  void Stop();
 
   /// Registers a new stream: calibrates its POT threshold from the series'
   /// scores and seeds its window ring with the series tail (exactly
@@ -82,11 +126,22 @@ class ServeEngine {
   Status CloseStream(StreamId id);
 
   /// Admits one observation x_t in R^m for `stream`. Returns NotFound for
-  /// an unknown stream, InvalidArgument on a dimension mismatch, and
-  /// ResourceExhausted when the submission queue is full (shed load and
-  /// retry later). On Ok, `callback` will be invoked exactly once.
+  /// an unknown stream, InvalidArgument on a dimension mismatch or a
+  /// non-finite observation, FailedPrecondition for a quarantined stream
+  /// (or a stopped engine), and ResourceExhausted when the submission queue
+  /// is full under the default shed policy (shed load and retry later;
+  /// under ShedPolicy::kShedOldest the new submission is admitted and the
+  /// oldest queued one completes with Unavailable). On Ok, `callback` will
+  /// be invoked exactly once with a definite status — Ok with a scored
+  /// verdict, or the failure that prevented scoring.
   Status Submit(StreamId stream, const Tensor& observation,
                 VerdictCallback callback);
+
+  /// Lifts a stream's quarantine and resets its non-finite streak. The
+  /// stream's ring and POT state were never touched by the rejected
+  /// observations, so scoring resumes exactly where it left off. NotFound
+  /// for unknown streams; Ok (no-op) when not quarantined.
+  Status ReleaseQuarantine(StreamId id);
 
   /// Blocks until every admitted observation has completed. Do not call
   /// from inside a verdict callback.
@@ -94,10 +149,13 @@ class ServeEngine {
 
   /// Hot-swaps the serving model from a TranADDetector::SaveCheckpoint
   /// file. The replacement must match the current model's geometry (dims
-  /// and window); on any load/validation error the engine keeps serving the
-  /// old model and returns the Status. Queued submissions are preserved:
-  /// the swap happens between micro-batches, after in-flight batches drain.
-  /// Safe to call while traffic is flowing (but not reentrantly).
+  /// and window); on any load/validation error — including a fault injected
+  /// mid-swap (failpoint serve.reload.swap) — the previous frozen model is
+  /// restored and the engine keeps serving it: a reload either fully
+  /// succeeds or leaves the engine exactly as it was, never half-swapped.
+  /// Queued submissions are preserved: the swap happens between
+  /// micro-batches, after in-flight batches drain. Safe to call while
+  /// traffic is flowing; concurrent calls serialize.
   Status ReloadModel(const std::string& path);
 
   ServeStatsSnapshot stats() const;
@@ -116,8 +174,13 @@ class ServeEngine {
 
   void BatcherLoop();
   void WorkerLoop();
+  void WatchdogLoop();
   void DecrementPending(int64_t n);
   std::shared_ptr<const TranADDetector> CurrentDetector() const;
+  /// Completes one admitted-but-unscored request: fires its callback with a
+  /// verdict carrying `status` (no ring/POT touch) and releases its pending
+  /// slot. Used by the deadline, shed, and watchdog paths.
+  void FailRequest(ServeRequest* request, const Status& status);
 
   /// The serving model. Read via CurrentDetector() (pointer swap guarded by
   /// detector_mu_); replaced only by ReloadModel() after the pipeline
@@ -165,8 +228,29 @@ class ServeEngine {
   std::condition_variable drain_cv_;
   int64_t in_flight_batches_ = 0;
 
+  // Serializes concurrent ReloadModel calls (each still swaps at a
+  // micro-batch boundary under pipeline_mu_).
+  std::mutex reload_mu_;
+
+  // Shutdown coordination. stop_requested_ flips before the submit queue
+  // closes so racing Submits/Reloads fail fast; stop_mu_ serializes the
+  // join sequence so Stop() is idempotent and concurrently callable.
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+
+  // Watchdog: progress_ ticks whenever the pipeline moves (batch formed,
+  // batch completed, request failed). If it sits still for
+  // watchdog_timeout_us while pending_ > 0, the watchdog drains the
+  // submission queue and fails those requests with a diagnostic.
+  std::atomic<int64_t> progress_{0};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+
   std::thread batcher_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace tranad::serve

@@ -47,6 +47,37 @@ void ServeStats::RecordCompletion(double latency_ms, bool anomalous) {
   ++completed_;
 }
 
+void ServeStats::RecordFailure(StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failed_;
+  if (code == StatusCode::kDeadlineExceeded) ++deadline_expired_;
+  if (code == StatusCode::kUnavailable) ++shed_;
+}
+
+void ServeStats::RecordNonFiniteRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++non_finite_rejected_;
+}
+
+void ServeStats::RecordQuarantined() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++quarantined_streams_;
+}
+
+void ServeStats::RecordWatchdogStall() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++watchdog_stalls_;
+}
+
+void ServeStats::RecordReload(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++reloads_;
+  } else {
+    ++reload_failures_;
+  }
+}
+
 ServeStatsSnapshot ServeStats::Snapshot(int64_t queue_depth) const {
   std::lock_guard<std::mutex> lock(mu_);
   ServeStatsSnapshot s;
@@ -54,6 +85,14 @@ ServeStatsSnapshot ServeStats::Snapshot(int64_t queue_depth) const {
   s.rejected = rejected_;
   s.completed = completed_;
   s.anomalies = anomalies_;
+  s.failed = failed_;
+  s.deadline_expired = deadline_expired_;
+  s.shed = shed_;
+  s.non_finite_rejected = non_finite_rejected_;
+  s.quarantined_streams = quarantined_streams_;
+  s.watchdog_stalls = watchdog_stalls_;
+  s.reloads = reloads_;
+  s.reload_failures = reload_failures_;
   s.batches = batches_;
   s.mean_batch_size =
       batches_ == 0 ? 0.0

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 
 namespace tranad::serve {
@@ -14,8 +15,20 @@ namespace tranad::serve {
 struct ServeStatsSnapshot {
   int64_t submitted = 0;   // admitted observations
   int64_t rejected = 0;    // refused with ResourceExhausted (queue full)
-  int64_t completed = 0;   // verdicts delivered
+  int64_t completed = 0;   // scored verdicts delivered (status Ok)
   int64_t anomalies = 0;   // completed verdicts flagged anomalous
+  /// Resilience counters: admitted submissions completed with a non-OK
+  /// status, by cause. failed is the total; the others are disjoint causes
+  /// (deadline expiry, shed-oldest eviction, injected/worker fault or
+  /// watchdog unwedge).
+  int64_t failed = 0;
+  int64_t deadline_expired = 0;  // completed with DeadlineExceeded
+  int64_t shed = 0;              // evicted oldest under overload (Unavailable)
+  int64_t non_finite_rejected = 0;  // refused at Submit (poisoned input)
+  int64_t quarantined_streams = 0;  // streams put into quarantine (lifetime)
+  int64_t watchdog_stalls = 0;      // watchdog fired and unwedged the queue
+  int64_t reloads = 0;              // successful ReloadModel swaps
+  int64_t reload_failures = 0;      // ReloadModel attempts rolled back
   int64_t batches = 0;     // scored micro-batches
   double mean_batch_size = 0.0;
   /// batch_size_hist[s] = number of scored batches holding s observations;
@@ -40,6 +53,13 @@ class ServeStats {
   void RecordRejected();
   void RecordBatch(int64_t batch_size);
   void RecordCompletion(double latency_ms, bool anomalous);
+  /// An admitted submission completed with a non-OK status. `code` selects
+  /// the per-cause counter (DeadlineExceeded / Unavailable / other).
+  void RecordFailure(StatusCode code);
+  void RecordNonFiniteRejected();
+  void RecordQuarantined();
+  void RecordWatchdogStall();
+  void RecordReload(bool ok);
 
   ServeStatsSnapshot Snapshot(int64_t queue_depth) const;
 
@@ -50,6 +70,14 @@ class ServeStats {
   int64_t rejected_ = 0;
   int64_t completed_ = 0;
   int64_t anomalies_ = 0;
+  int64_t failed_ = 0;
+  int64_t deadline_expired_ = 0;
+  int64_t shed_ = 0;
+  int64_t non_finite_rejected_ = 0;
+  int64_t quarantined_streams_ = 0;
+  int64_t watchdog_stalls_ = 0;
+  int64_t reloads_ = 0;
+  int64_t reload_failures_ = 0;
   int64_t batches_ = 0;
   int64_t batched_observations_ = 0;
   std::vector<int64_t> batch_size_hist_;

@@ -45,11 +45,39 @@ class StreamSession {
   /// Per-stream submission sequence number, assigned at admission.
   int64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Poisoned-stream quarantine bookkeeping (engine admission path).
+  /// Non-finite observations are rejected at Submit and never reach the
+  /// ring or the POT state; a stream whose consecutive-rejection streak
+  /// crosses the engine's threshold is quarantined until released, so one
+  /// misbehaving producer cannot degrade its siblings.
+  int64_t RecordNonFinite() {
+    return consecutive_non_finite_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  void ResetNonFiniteStreak() {
+    consecutive_non_finite_.store(0, std::memory_order_release);
+  }
+  int64_t non_finite_streak() const {
+    return consecutive_non_finite_.load(std::memory_order_acquire);
+  }
+  bool quarantined() const {
+    return quarantined_.load(std::memory_order_acquire);
+  }
+  /// Returns true if this call transitioned the stream into quarantine.
+  bool MarkQuarantined() {
+    return !quarantined_.exchange(true, std::memory_order_acq_rel);
+  }
+  void ReleaseQuarantine() {
+    quarantined_.store(false, std::memory_order_release);
+    ResetNonFiniteStreak();
+  }
+
  private:
   StreamId id_;
   StreamingPot spot_;
   WindowRing ring_;
   std::atomic<int64_t> seq_{0};
+  std::atomic<int64_t> consecutive_non_finite_{0};
+  std::atomic<bool> quarantined_{false};
 };
 
 }  // namespace tranad::serve

@@ -1,0 +1,224 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace tranad::failpoint {
+namespace {
+
+// Every test disarms the global registry on entry and exit so the suite is
+// order-independent and never leaks an armed site into another binary run.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  EXPECT_FALSE(AnyActive());
+  const Action a = TRANAD_FAILPOINT("nothing.armed.here");
+  EXPECT_FALSE(a.active());
+  EXPECT_FALSE(static_cast<bool>(a));
+  // The macro short-circuits before Hit(), so no counter exists.
+  EXPECT_EQ(HitCount("nothing.armed.here"), 0);
+}
+
+TEST_F(FailpointTest, ArmAlwaysFiresEveryHit) {
+  Arm("t.always", Action::Error());
+  EXPECT_TRUE(AnyActive());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(TRANAD_FAILPOINT("t.always").is_error());
+  }
+  EXPECT_EQ(HitCount("t.always"), 5);
+  EXPECT_EQ(FireCount("t.always"), 5);
+}
+
+TEST_F(FailpointTest, UnarmedSiteStaysQuietWhileAnotherIsArmed) {
+  Arm("t.armed", Action::Error());
+  // AnyActive() is process-wide, so this site takes the slow path — and the
+  // registry must still say "no" for it.
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.other").active());
+  EXPECT_TRUE(TRANAD_FAILPOINT("t.armed").is_error());
+}
+
+TEST_F(FailpointTest, OnHitFiresExactlyOnce) {
+  Arm("t.nth", Action::Error(), Schedule::OnHit(3));
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.nth").active());  // hit 1
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.nth").active());  // hit 2
+  EXPECT_TRUE(TRANAD_FAILPOINT("t.nth").is_error()); // hit 3
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.nth").active());  // hit 4
+  EXPECT_EQ(HitCount("t.nth"), 4);
+  EXPECT_EQ(FireCount("t.nth"), 1);
+}
+
+TEST_F(FailpointTest, EveryKFiresOnMultiples) {
+  Arm("t.everyk", Action::Error(), Schedule::EveryK(2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(TRANAD_FAILPOINT("t.everyk").is_error());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(FireCount("t.everyk"), 3);
+}
+
+TEST_F(FailpointTest, HitListFiresOnListedHitsOnly) {
+  Arm("t.list", Action::Error(), Schedule::HitList({2, 5}));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(TRANAD_FAILPOINT("t.list").is_error());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, false, true, false}));
+}
+
+TEST_F(FailpointTest, RearmResetsHitCounter) {
+  Arm("t.rearm", Action::Error(), Schedule::OnHit(2));
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.rearm").active());
+  EXPECT_TRUE(TRANAD_FAILPOINT("t.rearm").is_error());
+  Arm("t.rearm", Action::Error(), Schedule::OnHit(2));  // re-arm: counter -> 0
+  EXPECT_EQ(HitCount("t.rearm"), 0);
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.rearm").active());
+  EXPECT_TRUE(TRANAD_FAILPOINT("t.rearm").is_error());
+}
+
+TEST_F(FailpointTest, DisarmDeactivates) {
+  Arm("t.disarm", Action::Error());
+  EXPECT_TRUE(Disarm("t.disarm"));
+  EXPECT_FALSE(Disarm("t.disarm"));  // second disarm: was not armed
+  EXPECT_FALSE(AnyActive());
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.disarm").active());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint guard("t.scoped", Action::Error());
+    EXPECT_TRUE(TRANAD_FAILPOINT("t.scoped").is_error());
+  }
+  EXPECT_FALSE(AnyActive());
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.scoped").active());
+}
+
+TEST_F(FailpointTest, ErrorActionCarriesCodeAndContext) {
+  Arm("t.status", Action::Error(StatusCode::kUnavailable));
+  const Action a = TRANAD_FAILPOINT("t.status");
+  ASSERT_TRUE(a.is_error());
+  const Status st = a.ToStatus("worker 3");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("injected failure"), std::string::npos);
+  EXPECT_NE(st.message().find("worker 3"), std::string::npos);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsInHit) {
+  Arm("t.delay", Action::Delay(20000));  // 20ms
+  const auto start = std::chrono::steady_clock::now();
+  const Action a = TRANAD_FAILPOINT("t.delay");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(a.is_delay());
+  EXPECT_EQ(a.delay_us, 20000);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            20000);
+}
+
+TEST_F(FailpointTest, TruncateActionCarriesByteBudget) {
+  Arm("t.trunc", Action::Truncate(7));
+  const Action a = TRANAD_FAILPOINT("t.trunc");
+  EXPECT_TRUE(a.is_truncate());
+  EXPECT_EQ(a.truncate_bytes, 7);
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesFullGrammar) {
+  ASSERT_TRUE(ArmFromSpec("a.b=err@3;c.d=delay:5000@every2;e.f=trunc:16;"
+                          "g.h=err:unavailable@2,4")
+                  .ok());
+  // a.b: error on the 3rd hit only.
+  EXPECT_FALSE(TRANAD_FAILPOINT("a.b").active());
+  EXPECT_FALSE(TRANAD_FAILPOINT("a.b").active());
+  EXPECT_TRUE(TRANAD_FAILPOINT("a.b").is_error());
+  // c.d: delay on even hits.
+  EXPECT_FALSE(TRANAD_FAILPOINT("c.d").active());
+  const Action d = TRANAD_FAILPOINT("c.d");
+  EXPECT_TRUE(d.is_delay());
+  EXPECT_EQ(d.delay_us, 5000);
+  // e.f: truncate, always.
+  const Action t = TRANAD_FAILPOINT("e.f");
+  EXPECT_TRUE(t.is_truncate());
+  EXPECT_EQ(t.truncate_bytes, 16);
+  // g.h: unavailable error on hits 2 and 4.
+  EXPECT_FALSE(TRANAD_FAILPOINT("g.h").active());
+  const Action g = TRANAD_FAILPOINT("g.h");
+  ASSERT_TRUE(g.is_error());
+  EXPECT_EQ(g.code, StatusCode::kUnavailable);
+}
+
+TEST_F(FailpointTest, ArmFromSpecOnceFiresFirstHitOnly) {
+  ASSERT_TRUE(ArmFromSpec("t.once=err@once").ok());
+  EXPECT_TRUE(TRANAD_FAILPOINT("t.once").is_error());
+  EXPECT_FALSE(TRANAD_FAILPOINT("t.once").active());
+}
+
+TEST_F(FailpointTest, MalformedSpecArmsNothing) {
+  const char* bad[] = {
+      "no-equals-sign",      "a.b=",           "a.b=explode",
+      "a.b=err@zero",        "a.b=delay",      "a.b=trunc:notanum",
+      "a.b=err@every0",      "a.b=err@0",      "=err",
+      "a.b=delay:-5",
+  };
+  for (const char* spec : bad) {
+    const Status st = ArmFromSpec(spec);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << spec;
+    EXPECT_FALSE(AnyActive()) << "spec '" << spec << "' armed something";
+  }
+  // A partially valid spec must also arm nothing (all-or-nothing parse).
+  EXPECT_FALSE(ArmFromSpec("good.site=err;bad.site=bogus").ok());
+  EXPECT_FALSE(AnyActive());
+  EXPECT_FALSE(TRANAD_FAILPOINT("good.site").active());
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsVariable) {
+  ::setenv("TRANAD_FAILPOINTS", "env.site=err:internal@2", 1);
+  ASSERT_TRUE(ArmFromEnv().ok());
+  ::unsetenv("TRANAD_FAILPOINTS");
+  EXPECT_FALSE(TRANAD_FAILPOINT("env.site").active());
+  const Action a = TRANAD_FAILPOINT("env.site");
+  ASSERT_TRUE(a.is_error());
+  EXPECT_EQ(a.code, StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ArmFromEnvNoOpWhenUnset) {
+  ::unsetenv("TRANAD_FAILPOINTS");
+  EXPECT_TRUE(ArmFromEnv().ok());
+  EXPECT_FALSE(AnyActive());
+}
+
+TEST_F(FailpointTest, ConcurrentHitsCountExactly) {
+  // 8 threads x 1000 hits on a site firing every 4th: the counters must be
+  // exact (TSan-clean and lock-correct), even though which thread observes
+  // which firing is unspecified.
+  Arm("t.mt", Action::Error(), Schedule::EveryK(4));
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 1000;
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (TRANAD_FAILPOINT("t.mt").is_error()) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(HitCount("t.mt"), kThreads * kHitsPerThread);
+  EXPECT_EQ(FireCount("t.mt"), kThreads * kHitsPerThread / 4);
+  EXPECT_EQ(fired.load(), kThreads * kHitsPerThread / 4);
+}
+
+}  // namespace
+}  // namespace tranad::failpoint

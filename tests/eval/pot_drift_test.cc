@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -81,6 +82,46 @@ TEST_F(StreamingPotDriftTest, NearConstantTailStaysFiniteAndPositive) {
   }
   // The threshold never dropped to (or below) the normal level.
   EXPECT_GE(spot.threshold(), 0.5);
+}
+
+// Serve-path quarantine contract: non-finite scores must leave the SPOT
+// tail state untouched — a stream that was poisoned, quarantined, and
+// released must threshold exactly like one that never saw the junk.
+TEST_F(StreamingPotDriftTest, NonFiniteObservationsNeverPolluteTailState) {
+  const std::vector<double> calibration = Noisy(0.1, 0.05, 600, 7);
+  StreamingPot clean;
+  StreamingPot poisoned;
+  clean.Initialize(calibration);
+  poisoned.Initialize(calibration);
+
+  const double kNan = std::nan("");
+  const double kInf = std::numeric_limits<double>::infinity();
+  Rng rng(8);
+  for (int64_t i = 0; i < 1000; ++i) {
+    const double score = 0.1 + 0.05 * rng.Uniform();
+    clean.Observe(score);
+    poisoned.Observe(score);
+    if (i % 50 == 10) {
+      // A quarantined-then-released producer: bursts of junk between the
+      // valid scores. None of it may touch the tail.
+      poisoned.Observe(kNan);
+      poisoned.Observe(kInf);
+      poisoned.Observe(-kInf);
+    }
+  }
+
+  const StreamingPotState a = clean.ExportState();
+  const StreamingPotState b = poisoned.ExportState();
+  EXPECT_EQ(a.initialized, b.initialized);
+  EXPECT_EQ(a.t, b.t);          // bitwise: same initial threshold
+  EXPECT_EQ(a.z_q, b.z_q);      // bitwise: same dynamic threshold
+  EXPECT_EQ(a.n, b.n) << "non-finite observations were counted";
+  ASSERT_EQ(a.peaks.size(), b.peaks.size())
+      << "non-finite observations entered the peak set";
+  for (size_t i = 0; i < a.peaks.size(); ++i) {
+    ASSERT_EQ(a.peaks[i], b.peaks[i]) << "peak " << i;
+  }
+  ASSERT_TRUE(std::isfinite(b.z_q));
 }
 
 TEST_F(StreamingPotDriftTest, ZeroScoresNeverYieldNegativeThreshold) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/tranad_detector.h"
 #include "core/tranad_trainer.h"
@@ -369,6 +370,133 @@ TEST(CheckpointTest, TruncatedDetectorCheckpointLoadsCleanly) {
   const std::string other = TempPath("other_kind.ckpt");
   ASSERT_TRUE(SampleWriter().WriteAtomic(other).ok());
   EXPECT_FALSE(TranADDetector::FromCheckpoint(other).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Injected-fault crash safety: every failure mode of the durable-write
+// protocol must leave the previous checkpoint readable and report a clean
+// Status — never a CHECK-crash, never a half-valid file at the final path.
+
+io::CheckpointWriter VersionedWriter(int64_t version) {
+  io::CheckpointWriter writer;
+  writer.PutInt("version", version);
+  writer.PutString("meta/kind", "fault-test");
+  return writer;
+}
+
+int64_t ReadVersion(const std::string& path) {
+  auto reader = io::CheckpointReader::Open(path);
+  if (!reader.ok()) return -1;
+  auto v = reader->GetInt("version");
+  return v.ok() ? *v : -1;
+}
+
+TEST(CheckpointFaultTest, InjectedOpenFailureLeavesPreviousIntact) {
+  const std::string path = TempPath("fault_open.ckpt");
+  ASSERT_TRUE(VersionedWriter(1).WriteAtomic(path).ok());
+
+  failpoint::ScopedFailpoint fault("io.checkpoint.open",
+                                   failpoint::Action::Error());
+  const Status st = VersionedWriter(2).WriteAtomic(path);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("injected failure"), std::string::npos);
+  EXPECT_EQ(ReadVersion(path), 1);
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(CheckpointFaultTest, InjectedFsyncFailureLeavesPreviousIntact) {
+  const std::string path = TempPath("fault_fsync.ckpt");
+  ASSERT_TRUE(VersionedWriter(1).WriteAtomic(path).ok());
+
+  {
+    failpoint::ScopedFailpoint fault("io.checkpoint.fsync",
+                                     failpoint::Action::Error());
+    const Status st = VersionedWriter(2).WriteAtomic(path);
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_EQ(ReadVersion(path), 1);
+    EXPECT_FALSE(FileExists(path + ".tmp"));
+  }
+  // Disarmed: the very next write succeeds and replaces the checkpoint.
+  ASSERT_TRUE(VersionedWriter(3).WriteAtomic(path).ok());
+  EXPECT_EQ(ReadVersion(path), 3);
+}
+
+TEST(CheckpointFaultTest, InjectedRenameFailureLeavesPreviousIntact) {
+  const std::string path = TempPath("fault_rename.ckpt");
+  ASSERT_TRUE(VersionedWriter(1).WriteAtomic(path).ok());
+
+  {
+    failpoint::ScopedFailpoint fault("io.checkpoint.rename",
+                                     failpoint::Action::Error());
+    const Status st = VersionedWriter(2).WriteAtomic(path);
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_NE(st.message().find("rename"), std::string::npos);
+    EXPECT_EQ(ReadVersion(path), 1);
+    // The durably-written tmp is cleaned up when the rename step fails.
+    EXPECT_FALSE(FileExists(path + ".tmp"));
+  }
+  ASSERT_TRUE(VersionedWriter(2).WriteAtomic(path).ok());
+  EXPECT_EQ(ReadVersion(path), 2);
+}
+
+TEST(CheckpointFaultTest, TornWriteLeavesTornTmpAndPreviousIntact) {
+  const std::string path = TempPath("fault_torn.ckpt");
+  ASSERT_TRUE(VersionedWriter(1).WriteAtomic(path).ok());
+
+  {
+    // Power-cut simulation: 16 bytes of the new checkpoint reach the disk,
+    // then the write stops and the tmp file is left behind — exactly the
+    // on-disk state a crash mid-write produces.
+    failpoint::ScopedFailpoint fault("io.checkpoint.write",
+                                     failpoint::Action::Truncate(16));
+    const Status st = VersionedWriter(2).WriteAtomic(path);
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_NE(st.message().find("torn"), std::string::npos);
+  }
+
+  // The previous checkpoint at the final path is untouched...
+  EXPECT_EQ(ReadVersion(path), 1);
+  // ...the torn tmp exists with exactly the truncated prefix...
+  ASSERT_TRUE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadBytes(path + ".tmp").size(), 16u);
+  // ...and opening the torn file fails with a Status, never a crash.
+  auto torn = io::CheckpointReader::Open(path + ".tmp");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_FALSE(torn.status().ok());
+  std::remove((path + ".tmp").c_str());
+}
+
+// A failed mid-training checkpoint save is survivable by design: training
+// runs to completion with the same weights as an unfaulted run, and the
+// failure is reported, not fatal.
+TEST(CheckpointFaultTest, TrainerSurvivesInjectedCheckpointSaveFailure) {
+  const Tensor windows = TrainingWindows();
+  const std::string ckpt = TempPath("fault_trainer.ckpt");
+  std::remove(ckpt.c_str());
+
+  TranADModel reference(SmallConfig());
+  TrainOptions plain = FastOptions();
+  plain.max_epochs = 2;
+  TrainTranAD(&reference, windows, plain);
+
+  failpoint::ScopedFailpoint fault("core.trainer.checkpoint_save",
+                                   failpoint::Action::Error());
+  TrainOptions opts = FastOptions();
+  opts.max_epochs = 2;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every = 1;
+  TranADModel model(SmallConfig());
+  const TrainStats stats = TrainTranAD(&model, windows, opts);
+  EXPECT_EQ(stats.epochs_run, 2);  // did not die
+  EXPECT_FALSE(FileExists(ckpt));  // every save failed cleanly
+
+  const auto a = model.SnapshotParameters();
+  const auto b = reference.SnapshotParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].Equals(b[i]))
+        << "failed checkpoint saves perturbed training (param " << i << ")";
+  }
 }
 
 }  // namespace

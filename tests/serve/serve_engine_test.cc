@@ -489,6 +489,93 @@ TEST_F(ServeEngineTest, ReloadUnderConcurrentTrafficLosesNothing) {
   EXPECT_GT(delivered.load(), 0);
 }
 
+// Shutdown ordering audit: Stop() racing an in-flight ReloadModel() must
+// not deadlock — the reload completes (or fails fast) and every admitted
+// observation still gets its callback exactly once.
+TEST_F(ServeEngineTest, StopDuringReloadDoesNotDeadlockOrLeakCallbacks) {
+  const std::string ckpt = ::testing::TempDir() + "/stop_reload.ckpt";
+  ASSERT_TRUE(detector_->SaveCheckpoint(ckpt).ok());
+
+  for (int round = 0; round < 4; ++round) {
+    ServeOptions options;
+    options.num_workers = 2;
+    options.max_batch = 4;
+    ServeEngine engine(detector_, options);
+    auto created = engine.CreateStream((*datasets_)[0].train);
+    ASSERT_TRUE(created.ok());
+
+    std::atomic<int64_t> delivered{0};
+    std::atomic<int64_t> submitted{0};
+    std::atomic<bool> stop_traffic{false};
+    std::thread traffic([&] {
+      int64_t t = 0;
+      while (!stop_traffic.load()) {
+        const Status st = engine.Submit(
+            created.value(),
+            Observation((*datasets_)[0].test,
+                        t++ % (*datasets_)[0].test.length()),
+            [&](StreamId, int64_t, const OnlineVerdict&) {
+              delivered.fetch_add(1);
+            });
+        if (st.ok()) submitted.fetch_add(1);
+      }
+    });
+    std::thread reloader([&] {
+      // Races Stop(): each call either commits before the stop or fails
+      // fast with FailedPrecondition; it must never wedge.
+      for (int i = 0; i < 3; ++i) {
+        const Status st = engine.ReloadModel(ckpt);
+        EXPECT_TRUE(st.ok() ||
+                    st.code() == StatusCode::kFailedPrecondition)
+            << st.ToString();
+      }
+    });
+
+    engine.Stop();  // concurrent with both threads above
+    stop_traffic.store(true);
+    traffic.join();
+    reloader.join();
+    EXPECT_EQ(delivered.load(), submitted.load()) << "round " << round;
+  }
+}
+
+TEST_F(ServeEngineTest, StopIsIdempotentAndDrainsAdmittedWork) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  ServeEngine engine(detector_, options);
+  auto created = engine.CreateStream((*datasets_)[0].train);
+  ASSERT_TRUE(created.ok());
+
+  std::atomic<int64_t> delivered{0};
+  int64_t admitted = 0;
+  for (int64_t t = 0; t < 16; ++t) {
+    if (engine
+            .Submit(created.value(), Observation((*datasets_)[0].test, t),
+                    [&](StreamId, int64_t, const OnlineVerdict&) {
+                      delivered.fetch_add(1);
+                    })
+            .ok()) {
+      ++admitted;
+    }
+  }
+  engine.Stop();
+  EXPECT_EQ(delivered.load(), admitted)
+      << "Stop() must drain admitted work, not drop it";
+  engine.Stop();  // idempotent
+  engine.Stop();
+  EXPECT_EQ(delivered.load(), admitted);
+
+  // Admission after Stop fails fast with a clear precondition error.
+  EXPECT_EQ(engine
+                .Submit(created.value(), Observation((*datasets_)[0].test, 0),
+                        nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.ReloadModel("anything.ckpt").code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(ServeEngineTest, StatsSnapshotIsConsistent) {
   ServeOptions options;
   options.num_workers = 2;

@@ -28,6 +28,7 @@
 
 #include "baselines/registry.h"
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "core/tranad_detector.h"
@@ -54,9 +55,38 @@ std::string Get(const Args& args, const std::string& key,
   return it == args.end() ? def : it->second;
 }
 
+// Exit-code contract (documented in --help): scripts can branch on the
+// failure category without parsing stderr.
+constexpr int kExitOk = 0;
+constexpr int kExitConfig = 2;    // bad usage, flags, inputs, missing files
+constexpr int kExitIo = 3;        // filesystem/serialization failures
+constexpr int kExitInternal = 4;  // internal/runtime errors
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnimplemented:
+      return kExitConfig;
+    case StatusCode::kIoError:
+      return kExitIo;
+    default:  // Internal, ResourceExhausted, DeadlineExceeded, Unavailable
+      return kExitInternal;
+  }
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+// Usage-level failures (missing required flags) are configuration errors.
 int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
+  return Fail(Status::InvalidArgument(message));
 }
 
 Result<Tensor> LoadSeriesCsv(const std::string& path) {
@@ -83,15 +113,15 @@ int CmdGenerate(const Args& args) {
   const double scale = std::stod(Get(args, "scale", "0.5"));
   const std::string prefix = Get(args, "prefix", name);
   auto ds = GenerateDatasetByName(name, scale);
-  if (!ds.ok()) return Fail(ds.status().ToString());
+  if (!ds.ok()) return Fail(ds.status());
   TimeSeries train = ds->train;
   train.labels.clear();
   Status st = SaveTimeSeriesCsv(train, prefix + "_train.csv");
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail(st);
   TimeSeries test_values = ds->test;
   test_values.labels.clear();
   st = SaveTimeSeriesCsv(test_values, prefix + "_test.csv");
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail(st);
   CsvTable labels;
   for (int64_t t = 0; t < ds->test.length(); ++t) {
     std::vector<double> row;
@@ -101,7 +131,7 @@ int CmdGenerate(const Args& args) {
     labels.rows.push_back(std::move(row));
   }
   st = WriteCsv(prefix + "_labels.csv", labels);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail(st);
   std::printf("wrote %s_{train,test,labels}.csv (%lld/%lld rows, %lld dims, "
               "%.2f%% anomalous)\n",
               prefix.c_str(), static_cast<long long>(ds->train.length()),
@@ -116,7 +146,7 @@ int CmdTrain(const Args& args) {
   const std::string model_path = Get(args, "model", "tranad.ckpt");
   if (train_path.empty()) return Fail("--train is required");
   auto series = LoadSeriesCsv(train_path);
-  if (!series.ok()) return Fail(series.status().ToString());
+  if (!series.ok()) return Fail(series.status());
 
   TranADConfig config;
   config.window = std::stoll(Get(args, "window", "10"));
@@ -137,7 +167,7 @@ int CmdTrain(const Args& args) {
   TranADDetector detector(config, options);
   detector.Fit(train);
   const Status st = detector.SaveCheckpoint(model_path);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail(st);
   std::printf("trained %lld epochs (%.3f s/epoch) on %lld x %lld; model -> "
               "%s\n",
               static_cast<long long>(detector.epochs_run()),
@@ -153,14 +183,14 @@ int CmdScore(const Args& args) {
   const std::string output_path = Get(args, "output", "scores.csv");
   if (input_path.empty()) return Fail("--input is required");
   auto input_series = LoadSeriesCsv(input_path);
-  if (!input_series.ok()) return Fail(input_series.status().ToString());
+  if (!input_series.ok()) return Fail(input_series.status());
 
   // The checkpoint carries config, weights and the fitted normalizer, so no
   // retraining pass over the training CSV is needed (or wanted: rebuilding
   // the detector via a 1-epoch Fit used to waste time and drift from the
   // shipped normalizer on different data).
   auto detector = TranADDetector::FromCheckpoint(model_path);
-  if (!detector.ok()) return Fail(detector.status().ToString());
+  if (!detector.ok()) return Fail(detector.status());
 
   TimeSeries input;
   input.values = std::move(input_series).value();
@@ -177,7 +207,7 @@ int CmdScore(const Args& args) {
     out.rows.push_back(std::move(row));
   }
   const Status wst = WriteCsv(output_path, out);
-  if (!wst.ok()) return Fail(wst.ToString());
+  if (!wst.ok()) return Fail(wst);
   std::printf("scored %lld timestamps -> %s\n",
               static_cast<long long>(scores.size(0)), output_path.c_str());
   return 0;
@@ -188,11 +218,11 @@ int CmdEvaluate(const Args& args) {
   const double scale = std::stod(Get(args, "scale", "0.5"));
   const std::string method = Get(args, "method", "TranAD");
   auto ds = GenerateDatasetByName(name, scale);
-  if (!ds.ok()) return Fail(ds.status().ToString());
+  if (!ds.ok()) return Fail(ds.status());
   DetectorOptions options;
   options.epochs = std::stoll(Get(args, "epochs", "5"));
   auto detector = CreateDetector(method, options);
-  if (!detector.ok()) return Fail(detector.status().ToString());
+  if (!detector.ok()) return Fail(detector.status());
   const EvalOutcome out = EvaluateDetector(detector->get(), *ds);
   std::printf("%s on %s (scale %.2f):\n", method.c_str(), name.c_str(),
               scale);
@@ -205,23 +235,42 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: tranad_cli <generate|train|score|evaluate> "
-               "[--key value ...]\n"
-               "see the header comment of tools/tranad_cli.cc\n");
-  return 2;
+int Usage(bool requested) {
+  std::fprintf(
+      requested ? stdout : stderr,
+      "usage: tranad_cli <generate|train|score|evaluate> [--key value ...]\n"
+      "see the header comment of tools/tranad_cli.cc for per-command flags\n"
+      "\n"
+      "exit codes (scriptable; category, not success/failure only):\n"
+      "  0  success\n"
+      "  2  configuration error: bad usage or flags, invalid/missing\n"
+      "     inputs, unknown dataset/method, precondition not met\n"
+      "  3  I/O error: unreadable/unwritable files, corrupt or torn\n"
+      "     checkpoints (CRC/format failures)\n"
+      "  4  internal error: runtime failures that are neither config nor\n"
+      "     I/O (internal invariants, resource exhaustion)\n"
+      "\n"
+      "environment:\n"
+      "  TRANAD_FAILPOINTS  arm deterministic fault injection, e.g.\n"
+      "                     \"io.checkpoint.fsync=err@2\" (see\n"
+      "                     src/common/failpoint.h for the full grammar)\n");
+  return requested ? kExitOk : kExitConfig;
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  // Operators inject faults into real CLI runs the same way tests do; a
+  // malformed spec is a configuration error like any other bad flag.
+  const Status armed = failpoint::ArmFromEnv();
+  if (!armed.ok()) return Fail(armed);
+  if (argc < 2) return Usage(false);
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return Usage(true);
   const Args args = ParseArgs(argc, argv, 2);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "score") return CmdScore(args);
   if (cmd == "evaluate") return CmdEvaluate(args);
-  return Usage();
+  return Usage(false);
 }
 
 }  // namespace
