@@ -1,0 +1,273 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace tranad::net {
+
+NetClient::NetClient(ClientOptions options) : options_(std::move(options)) {}
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return Status::FailedPrecondition("already connected");
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  Status last = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) return last;
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    conn_status_ = Status::Ok();
+    rpc_active_ = false;
+    rpc_done_ = false;
+  }
+  fd_.store(fd, std::memory_order_release);
+  reader_ = std::thread([this] { ReaderThread(); });
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) shutdown(fd, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (fd >= 0) close(fd);
+}
+
+Status NetClient::SendBytes(const std::vector<uint8_t>& bytes) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::Unavailable("not connected");
+  std::lock_guard<std::mutex> lock(send_mu_);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Submit(uint64_t stream_key, uint64_t tag,
+                         const float* values, int64_t dims) {
+  if (dims <= 0) return Status::InvalidArgument("dims must be positive");
+  WireSubmit submit;
+  submit.stream_key = stream_key;
+  submit.tag = tag;
+  submit.values.assign(values, values + dims);
+  std::vector<uint8_t> bytes;
+  submit.EncodeTo(&bytes);
+  return SendBytes(bytes);
+}
+
+Status NetClient::Rpc(const std::vector<uint8_t>& bytes, FrameType expect,
+                      OwnedFrame* reply) {
+  std::lock_guard<std::mutex> rpc_lock(rpc_mu_);
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (!conn_status_.ok()) return conn_status_;
+    rpc_active_ = true;
+    rpc_expect_ = expect;
+    rpc_done_ = false;
+  }
+  const Status sent = SendBytes(bytes);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    rpc_active_ = false;
+    return sent;
+  }
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  const bool done = wait_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.rpc_timeout_ms),
+      [this] { return rpc_done_ || !conn_status_.ok(); });
+  rpc_active_ = false;
+  if (rpc_done_) {
+    *reply = std::move(rpc_reply_);
+    return Status::Ok();
+  }
+  if (!conn_status_.ok()) return conn_status_;
+  return done ? Status::Internal("rpc woke without reply")
+              : Status::DeadlineExceeded("rpc timed out");
+}
+
+Status NetClient::CreateStream(uint64_t stream_key,
+                               const Tensor& calibration) {
+  if (calibration.ndim() != 2 || calibration.size(0) <= 0 ||
+      calibration.size(1) <= 0) {
+    return Status::InvalidArgument("calibration must be [rows, dims]");
+  }
+  WireCreateStream req;
+  req.stream_key = stream_key;
+  req.rows = calibration.size(0);
+  req.dims = calibration.size(1);
+  req.values.assign(calibration.data(),
+                    calibration.data() + calibration.numel());
+  std::vector<uint8_t> bytes;
+  req.EncodeTo(&bytes);
+  OwnedFrame reply;
+  TRANAD_RETURN_IF_ERROR(Rpc(bytes, FrameType::kCreateStreamAck, &reply));
+  WireAck ack;
+  FrameView view{reply.type, reply.payload.data(), reply.payload.size()};
+  TRANAD_RETURN_IF_ERROR(WireAck::Decode(view, &ack));
+  return ack.status;
+}
+
+Status NetClient::CloseStream(uint64_t stream_key) {
+  WireCloseStream req;
+  req.stream_key = stream_key;
+  std::vector<uint8_t> bytes;
+  req.EncodeTo(&bytes);
+  OwnedFrame reply;
+  TRANAD_RETURN_IF_ERROR(Rpc(bytes, FrameType::kCloseStreamAck, &reply));
+  WireAck ack;
+  FrameView view{reply.type, reply.payload.data(), reply.payload.size()};
+  TRANAD_RETURN_IF_ERROR(WireAck::Decode(view, &ack));
+  return ack.status;
+}
+
+Result<serve::ServeStatsSnapshot> NetClient::Stats() {
+  WireStatsRequest req;
+  std::vector<uint8_t> bytes;
+  req.EncodeTo(&bytes);
+  OwnedFrame reply;
+  TRANAD_RETURN_IF_ERROR(Rpc(bytes, FrameType::kStatsReply, &reply));
+  WireStatsReply stats;
+  FrameView view{reply.type, reply.payload.data(), reply.payload.size()};
+  TRANAD_RETURN_IF_ERROR(WireStatsReply::Decode(view, &stats));
+  return stats.snapshot;
+}
+
+Status NetClient::Reload(const std::string& path) {
+  WireReload req;
+  req.path = path;
+  std::vector<uint8_t> bytes;
+  req.EncodeTo(&bytes);
+  OwnedFrame reply;
+  TRANAD_RETURN_IF_ERROR(Rpc(bytes, FrameType::kReloadAck, &reply));
+  WireAck ack;
+  FrameView view{reply.type, reply.payload.data(), reply.payload.size()};
+  TRANAD_RETURN_IF_ERROR(WireAck::Decode(view, &ack));
+  return ack.status;
+}
+
+Status NetClient::Ping() {
+  WirePing ping;
+  ping.token = 0x70696e67;  // arbitrary echo payload
+  std::vector<uint8_t> bytes;
+  ping.EncodeTo(&bytes, FrameType::kPing);
+  OwnedFrame reply;
+  TRANAD_RETURN_IF_ERROR(Rpc(bytes, FrameType::kPong, &reply));
+  WirePing pong;
+  FrameView view{reply.type, reply.payload.data(), reply.payload.size()};
+  TRANAD_RETURN_IF_ERROR(WirePing::Decode(view, &pong));
+  if (pong.token != ping.token) {
+    return Status::Internal("pong token mismatch");
+  }
+  return Status::Ok();
+}
+
+void NetClient::FailPending(const Status& status) {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  if (conn_status_.ok()) conn_status_ = status;
+  wait_cv_.notify_all();
+}
+
+void NetClient::ReaderThread() {
+  FrameReader reader(options_.max_frame_payload);
+  std::vector<uint8_t> buf(64 * 1024);
+  for (;;) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) {
+      FailPending(Status::Unavailable("connection closed"));
+      return;
+    }
+    const size_t want = std::min(buf.size(), reader.writable());
+    const ssize_t n = read(fd, buf.data(), want);
+    if (n == 0) {
+      FailPending(Status::Unavailable("server closed the connection"));
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailPending(Status::Unavailable(std::string("read: ") +
+                                      std::strerror(errno)));
+      return;
+    }
+    if (!reader.Feed(buf.data(), static_cast<size_t>(n)).ok()) {
+      FailPending(Status::Internal("client reader overfed its buffer"));
+      return;
+    }
+    for (;;) {
+      FrameView frame;
+      bool got = false;
+      const Status st = reader.Next(&frame, &got);
+      if (!st.ok()) {
+        FailPending(st);
+        return;
+      }
+      if (!got) break;
+      if (frame.type == FrameType::kVerdict) {
+        WireVerdict verdict;
+        if (WireVerdict::Decode(frame, &verdict).ok() && handler_) {
+          handler_(verdict);
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kError) {
+        WireAck error;
+        const Status decoded = WireAck::Decode(frame, &error);
+        FailPending(decoded.ok()
+                        ? (error.status.ok()
+                               ? Status::Internal("server sent empty error")
+                               : error.status)
+                        : decoded);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      if (rpc_active_ && !rpc_done_ && frame.type == rpc_expect_) {
+        rpc_reply_.type = frame.type;
+        rpc_reply_.payload.assign(frame.payload,
+                                  frame.payload + frame.payload_len);
+        rpc_done_ = true;
+        wait_cv_.notify_all();
+      }
+      // A reply nobody is waiting for (e.g. a ReloadAck after the RPC
+      // timed out) is dropped by design.
+    }
+  }
+}
+
+}  // namespace tranad::net

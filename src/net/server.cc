@@ -1,0 +1,534 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "data/time_series.h"
+
+namespace tranad::net {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Self-pipe: worker threads write one byte to kick the poll() loop out of
+/// its wait so freshly queued verdict frames flush promptly. Shared by
+/// shared_ptr with every connection, so a verdict callback completing
+/// after Stop() signals a still-live pipe instead of a dangling fd.
+struct NetServer::Wakeup {
+  int fds[2] = {-1, -1};
+
+  Status Init() {
+    if (pipe(fds) != 0) {
+      return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+    }
+    TRANAD_RETURN_IF_ERROR(SetNonBlocking(fds[0]));
+    return SetNonBlocking(fds[1]);
+  }
+  ~Wakeup() {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  void Signal() {
+    char b = 1;
+    // EAGAIN means the pipe already holds a wakeup byte — good enough.
+    (void)!write(fds[1], &b, 1);
+  }
+  void Drain() {
+    char buf[256];
+    while (read(fds[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+};
+
+/// One client connection. The event loop owns fd and reader; the outbox is
+/// the only cross-thread surface (verdict callbacks append under out_mu).
+struct NetServer::Connection {
+  Connection(int fd_in, size_t max_payload, std::shared_ptr<Wakeup> wk)
+      : fd(fd_in), reader(max_payload), wakeup(std::move(wk)) {}
+
+  ~Connection() {
+    if (fd >= 0) close(fd);
+  }
+
+  /// Appends encoded frame bytes for the event loop to flush. Returns
+  /// false when the connection is closed or the outbox cap is exceeded
+  /// (the slow-client drop; the loop notices `overflowed` and closes).
+  bool QueueBytes(const uint8_t* data, size_t n, size_t cap) {
+    bool ok;
+    {
+      std::lock_guard<std::mutex> lock(out_mu);
+      if (closed) return false;
+      if (outbox.size() - out_head + n > cap) {
+        overflowed = true;
+        ok = false;
+      } else {
+        outbox.insert(outbox.end(), data, data + n);
+        ok = true;
+      }
+    }
+    wakeup->Signal();
+    return ok;
+  }
+
+  const int fd;
+  FrameReader reader;
+  std::shared_ptr<Wakeup> wakeup;
+
+  std::mutex out_mu;
+  std::vector<uint8_t> outbox;  // encoded frames awaiting the socket
+  size_t out_head = 0;          // bytes of outbox already written
+  bool closed = false;          // no further queueing (guarded by out_mu)
+  bool overflowed = false;      // outbox cap exceeded -> drop connection
+  /// Close once the outbox drains (set after queueing a kError frame).
+  bool close_after_flush = false;
+};
+
+NetServer::NetServer(serve::ShardRouter* router, ServerOptions options)
+    : router_(router), options_(std::move(options)) {
+  TRANAD_CHECK(router_ != nullptr);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  if (auto fp = TRANAD_FAILPOINT("net.listen"); fp.is_error()) {
+    return fp.ToStatus("net.listen");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st =
+        Status::IoError("bind " + options_.bind_address + ":" +
+                        std::to_string(options_.port) + ": " +
+                        std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 128) != 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  TRANAD_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  wakeup_ = std::make_shared<Wakeup>();
+  TRANAD_RETURN_IF_ERROR(wakeup_->Init());
+  stop_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  wakeup_->Signal();
+  if (loop_.joinable()) loop_.join();
+  {
+    std::lock_guard<std::mutex> reload_lock(reload_threads_mu_);
+    for (auto& t : reload_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reload_threads_.clear();
+  }
+  started_ = false;
+}
+
+int64_t NetServer::num_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return static_cast<int64_t>(conns_.size());
+}
+
+void NetServer::LoopThread() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Connection>> snapshot;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wakeup_->fds[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      snapshot = conns_;
+    }
+    for (const auto& conn : snapshot) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (conn->out_head < conn->outbox.size()) events |= POLLOUT;
+      }
+      pfds.push_back({conn->fd, events, 0});
+    }
+    if (poll(pfds.data(), pfds.size(), 100) < 0 && errno != EINTR) break;
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (pfds[1].revents & POLLIN) wakeup_->Drain();
+    if (pfds[0].revents & POLLIN) AcceptReady();
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      const auto& conn = snapshot[i];
+      const short revents = pfds[i + 2].revents;
+      bool alive = true;
+      bool overflowed;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        overflowed = conn->overflowed;
+      }
+      if (overflowed || (revents & (POLLERR | POLLHUP | POLLNVAL))) {
+        alive = false;
+      }
+      if (alive && (revents & POLLIN)) alive = ReadReady(conn);
+      if (alive) alive = WriteReady(conn);  // flush anything queued
+      if (!alive) CloseConnection(conn);
+    }
+  }
+  // Shutdown: close the listen socket, then every connection. Worker
+  // callbacks still in flight find conn->closed and drop their verdicts.
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::shared_ptr<Connection>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    remaining.swap(conns_);
+  }
+  for (const auto& conn : remaining) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closed = true;
+    shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error: poll again later
+    }
+    // Chaos hook: an injected accept fault drops this client on the floor
+    // exactly as a SYN-flooded or fd-exhausted server would.
+    if (auto fp = TRANAD_FAILPOINT("net.accept"); fp.is_error()) {
+      close(fd);
+      continue;
+    }
+    bool full;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      full = static_cast<int64_t>(conns_.size()) >= options_.max_connections;
+    }
+    if (full || !SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd, options_.max_frame_payload,
+                                             wakeup_);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool NetServer::ReadReady(const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[64 * 1024];
+  const size_t want = std::min(sizeof(buf), conn->reader.writable());
+  if (want == 0) return true;  // cannot happen while frames are drained
+  const ssize_t n = read(conn->fd, buf, want);
+  if (n == 0) return false;  // clean EOF
+  if (n < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  size_t feed = static_cast<size_t>(n);
+  // Chaos hook: torn-frame injection. A truncate action swallows the tail
+  // of this read — exactly what a peer dying mid-write (or a buggy proxy)
+  // produces — so the reader's CRC/bounds checks, not luck, decide what
+  // happens next. An error action models a connection reset.
+  if (auto fp = TRANAD_FAILPOINT("net.read.torn_frame"); fp.active()) {
+    if (fp.is_truncate()) {
+      feed = std::min(feed,
+                      static_cast<size_t>(std::max<int64_t>(
+                          0, fp.truncate_bytes)));
+    } else if (fp.is_error()) {
+      return false;
+    }
+  }
+  if (!conn->reader.Feed(buf, feed).ok()) return false;
+  for (;;) {
+    FrameView frame;
+    bool got = false;
+    const Status st = conn->reader.Next(&frame, &got);
+    if (!st.ok()) {
+      protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, st);
+      return true;  // keep alive long enough to flush the error frame
+    }
+    if (!got) break;
+    if (!HandleFrame(conn, frame)) return false;
+  }
+  return true;
+}
+
+bool NetServer::WriteReady(const std::shared_ptr<Connection>& conn) {
+  // Chaos hook: a delay action stalls the flush path — the server-side
+  // half of a slow client (its socket buffer stays full longer, the outbox
+  // grows, the cap eventually trips).
+  (void)TRANAD_FAILPOINT("net.write.slow_client");
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  while (conn->out_head < conn->outbox.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->outbox.data() + conn->out_head,
+             conn->outbox.size() - conn->out_head, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return false;
+    }
+    conn->out_head += static_cast<size_t>(n);
+  }
+  if (conn->out_head == conn->outbox.size()) {
+    conn->outbox.clear();
+    conn->out_head = 0;
+    if (conn->close_after_flush) return false;
+  } else if (conn->out_head > (1u << 20)) {
+    conn->outbox.erase(conn->outbox.begin(),
+                       conn->outbox.begin() +
+                           static_cast<ptrdiff_t>(conn->out_head));
+    conn->out_head = 0;
+  }
+  return true;
+}
+
+void NetServer::SendError(const std::shared_ptr<Connection>& conn,
+                          const Status& status) {
+  WireAck error;
+  error.status = status;
+  std::vector<uint8_t> bytes;
+  error.EncodeTo(&bytes, FrameType::kError);
+  conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  conn->close_after_flush = true;
+}
+
+void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    // Best-effort final flush (a queued kError frame, trailing verdicts)
+    // before the fd goes away; the socket is non-blocking so this cannot
+    // stall the loop.
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->closed && conn->out_head < conn->outbox.size()) {
+      (void)!send(conn->fd, conn->outbox.data() + conn->out_head,
+                  conn->outbox.size() - conn->out_head, MSG_NOSIGNAL);
+    }
+    conn->closed = true;
+    shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      conns_.erase(it);
+      break;
+    }
+  }
+}
+
+bool NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                            const FrameView& frame) {
+  switch (frame.type) {
+    case FrameType::kPing: {
+      WirePing ping;
+      if (!WirePing::Decode(frame, &ping).ok()) return false;
+      std::vector<uint8_t> bytes;
+      ping.EncodeTo(&bytes, FrameType::kPong);
+      conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+      return true;
+    }
+    case FrameType::kSubmit:
+      HandleSubmit(conn, frame);
+      // An injected drop here models a client vanishing with a batch in
+      // flight: the shard still completes every admitted observation
+      // exactly once; the verdicts just have nowhere to go.
+      if (auto fp = TRANAD_FAILPOINT("net.conn.drop_mid_batch");
+          fp.is_error()) {
+        return false;
+      }
+      return true;
+    case FrameType::kCreateStream: {
+      WireCreateStream req;
+      const Status decoded = WireCreateStream::Decode(frame, &req);
+      WireAck ack;
+      ack.stream_key = req.stream_key;
+      if (!decoded.ok()) {
+        ack.status = decoded;
+      } else if (req.rows <= 0 || req.dims <= 0) {
+        ack.status = Status::InvalidArgument("empty calibration series");
+      } else {
+        TimeSeries calibration;
+        calibration.name = "wire:" + std::to_string(req.stream_key);
+        calibration.values = Tensor({req.rows, req.dims});
+        std::memcpy(calibration.values.data(), req.values.data(),
+                    req.values.size() * sizeof(float));
+        // Calibration scores a full series; it runs here on the loop
+        // thread because stream setup is rare and orders of magnitude
+        // cheaper than the traffic it enables.
+        ack.status = router_->CreateStream(req.stream_key, calibration);
+      }
+      std::vector<uint8_t> bytes;
+      ack.EncodeTo(&bytes, FrameType::kCreateStreamAck);
+      conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+      return true;
+    }
+    case FrameType::kCloseStream: {
+      WireCloseStream req;
+      const Status decoded = WireCloseStream::Decode(frame, &req);
+      WireAck ack;
+      ack.stream_key = req.stream_key;
+      ack.status = decoded.ok() ? router_->CloseStream(req.stream_key)
+                                : decoded;
+      std::vector<uint8_t> bytes;
+      ack.EncodeTo(&bytes, FrameType::kCloseStreamAck);
+      conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+      return true;
+    }
+    case FrameType::kStats: {
+      WireStatsRequest req;
+      if (!WireStatsRequest::Decode(frame, &req).ok()) return false;
+      WireStatsReply reply;
+      reply.snapshot = router_->stats();
+      std::vector<uint8_t> bytes;
+      reply.EncodeTo(&bytes);
+      conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+      return true;
+    }
+    case FrameType::kReload:
+      HandleReload(conn, frame);
+      return true;
+    default:
+      // Server-to-client frame types have no business arriving here.
+      protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, Status::InvalidArgument(
+                          "unexpected frame type " +
+                          std::to_string(static_cast<int>(frame.type)) +
+                          " from a client"));
+      return true;
+  }
+}
+
+void NetServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
+                             const FrameView& frame) {
+  WireSubmit submit;
+  const Status decoded = WireSubmit::Decode(frame, &submit);
+  if (!decoded.ok()) {
+    protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, decoded);
+    return;
+  }
+  Tensor observation({static_cast<int64_t>(submit.values.size())});
+  std::memcpy(observation.data(), submit.values.data(),
+              submit.values.size() * sizeof(float));
+  const uint64_t tag = submit.tag;
+  const uint64_t key = submit.stream_key;
+  const size_t cap = options_.max_outbox_bytes;
+  const Status admitted = router_->Submit(
+      key, observation,
+      [conn, tag, cap](serve::StreamId stream_key, int64_t seq,
+                       const OnlineVerdict& verdict) {
+        WireVerdict wire;
+        wire.stream_key = stream_key;
+        wire.tag = tag;
+        wire.seq = seq;
+        wire.status = verdict.status;
+        wire.anomalous = verdict.anomalous;
+        wire.score = verdict.score;
+        wire.threshold = verdict.threshold;
+        std::vector<uint8_t> bytes;
+        wire.EncodeTo(&bytes);
+        conn->QueueBytes(bytes.data(), bytes.size(), cap);
+      });
+  if (!admitted.ok()) {
+    // Admission failures (unknown stream, full queue, quarantine, bad
+    // dims) come back as a verdict frame carrying the status with seq=-1,
+    // so the client's per-submit accounting always balances.
+    WireVerdict wire;
+    wire.stream_key = key;
+    wire.tag = tag;
+    wire.seq = -1;
+    wire.status = admitted;
+    std::vector<uint8_t> bytes;
+    wire.EncodeTo(&bytes);
+    conn->QueueBytes(bytes.data(), bytes.size(), cap);
+  }
+}
+
+void NetServer::HandleReload(const std::shared_ptr<Connection>& conn,
+                             const FrameView& frame) {
+  WireReload req;
+  const Status decoded = WireReload::Decode(frame, &req);
+  if (!decoded.ok()) {
+    WireAck ack;
+    ack.status = decoded;
+    std::vector<uint8_t> bytes;
+    ack.EncodeTo(&bytes, FrameType::kReloadAck);
+    conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
+    return;
+  }
+  // A rolling reload takes as long as the slowest shard drain; running it
+  // on the event loop would freeze every connection's reads and writes for
+  // that long. A helper thread keeps traffic moving and acks when done.
+  const size_t cap = options_.max_outbox_bytes;
+  std::thread worker([this, conn, cap, path = std::move(req.path)] {
+    WireAck ack;
+    ack.status = router_->ReloadModel(path);
+    std::vector<uint8_t> bytes;
+    ack.EncodeTo(&bytes, FrameType::kReloadAck);
+    conn->QueueBytes(bytes.data(), bytes.size(), cap);
+  });
+  std::lock_guard<std::mutex> lock(reload_threads_mu_);
+  reload_threads_.push_back(std::move(worker));
+}
+
+}  // namespace tranad::net

@@ -1,0 +1,135 @@
+#ifndef TRANAD_NET_SERVER_H_
+#define TRANAD_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "serve/shard_router.h"
+
+namespace tranad::net {
+
+struct ServerOptions {
+  /// Listen port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Bind address. Loopback by default: the fleet fronts a trusted LAN /
+  /// sidecar topology, not the open internet.
+  std::string bind_address = "127.0.0.1";
+  int64_t max_connections = 64;
+  /// Per-connection frame reader limit (also the reader's fixed buffer).
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Per-connection write-buffer cap. A client that stops reading while
+  /// verdicts pile up past this is dropped (slow-consumer protection) —
+  /// the alternative is unbounded server memory.
+  size_t max_outbox_bytes = 8u << 20;
+};
+
+/// TCP front end for a ShardRouter: a single poll()-based event-loop
+/// thread owns every socket (non-blocking accept/read/write), while all
+/// scoring happens on the router's shard worker pools. Verdict callbacks
+/// fire on worker threads and enqueue encoded frames into the owning
+/// connection's outbox; a self-pipe wakes the loop to flush them. The
+/// pipeline is therefore:
+///
+///   client --Submit frame--> event loop --router Submit--> shard queues
+///     --worker verdict callback--> connection outbox --event loop write-->
+///     client Verdict frame
+///
+/// Backpressure composes end to end: a full shard queue fails admission
+/// with ResourceExhausted, which travels back as a Verdict frame carrying
+/// that status (the client's retry signal), and a client that reads too
+/// slowly hits the outbox cap and is disconnected.
+///
+/// Failure semantics: a malformed frame (bad magic/CRC/bounds — including
+/// torn input injected via failpoint net.read.torn_frame) elicits one
+/// kError frame with the decode Status, then the connection closes. A
+/// connection dropped with submissions in flight never wedges the router:
+/// the shard callbacks still fire exactly once and simply find the outbox
+/// closed. Failpoint sites: net.accept, net.read.torn_frame,
+/// net.write.slow_client, net.conn.drop_mid_batch.
+class NetServer {
+ public:
+  /// `router` must outlive the server. Declare the router first and the
+  /// server second, so destruction tears the front end down before the
+  /// fleet behind it.
+  explicit NetServer(serve::ShardRouter* router, ServerOptions options = {});
+
+  /// Calls Stop().
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the event loop. IoError on bind/listen
+  /// failure; FailedPrecondition if already started.
+  Status Start();
+
+  /// Closes the listen socket and every connection, then joins the loop.
+  /// In-flight router submissions still complete (their verdicts are
+  /// dropped with the connections). Idempotent.
+  void Stop();
+
+  /// Bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  int64_t num_connections() const;
+
+  /// Lifetime counters for tests and ops.
+  int64_t accepted_total() const {
+    return accepted_total_.load(std::memory_order_relaxed);
+  }
+  int64_t protocol_errors_total() const {
+    return protocol_errors_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Wakeup;
+  struct Connection;
+
+  void LoopThread();
+  void AcceptReady();
+  /// Reads once from the connection; false = close it.
+  bool ReadReady(const std::shared_ptr<Connection>& conn);
+  /// Flushes the outbox once; false = close it.
+  bool WriteReady(const std::shared_ptr<Connection>& conn);
+  /// Decodes and dispatches one frame; false = close the connection.
+  bool HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const FrameView& frame);
+  void HandleSubmit(const std::shared_ptr<Connection>& conn,
+                    const FrameView& frame);
+  void HandleReload(const std::shared_ptr<Connection>& conn,
+                    const FrameView& frame);
+  void SendError(const std::shared_ptr<Connection>& conn,
+                 const Status& status);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  serve::ShardRouter* router_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::shared_ptr<Wakeup> wakeup_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex start_mu_;
+  std::thread loop_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  /// Rolling reloads run on helper threads so the event loop keeps moving
+  /// traffic while shards swap; joined in Stop().
+  std::mutex reload_threads_mu_;
+  std::vector<std::thread> reload_threads_;
+
+  std::atomic<int64_t> accepted_total_{0};
+  std::atomic<int64_t> protocol_errors_total_{0};
+};
+
+}  // namespace tranad::net
+
+#endif  // TRANAD_NET_SERVER_H_

@@ -1,0 +1,562 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "io/checkpoint.h"  // io::Crc32 — same polynomial as checkpoints
+
+namespace tranad::net {
+namespace {
+
+void PutLe32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t value) {
+  return value >= static_cast<uint8_t>(FrameType::kPing) &&
+         value <= static_cast<uint8_t>(FrameType::kError);
+}
+
+void AppendFrame(FrameType type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out) {
+  TRANAD_CHECK(payload != nullptr || payload_len == 0);
+  const size_t start = out->size();
+  out->resize(start + kFrameHeaderBytes + payload_len + kFrameTrailerBytes);
+  uint8_t* p = out->data() + start;
+  PutLe32(kWireMagic, p);
+  p[4] = kWireVersion;
+  p[5] = static_cast<uint8_t>(type);
+  p[6] = 0;
+  p[7] = 0;
+  PutLe32(static_cast<uint32_t>(payload_len), p + 8);
+  if (payload_len > 0) {
+    std::memcpy(p + kFrameHeaderBytes, payload, payload_len);
+  }
+  const uint32_t crc =
+      io::Crc32(p + 4, kFrameHeaderBytes - 4 + payload_len);
+  PutLe32(crc, p + kFrameHeaderBytes + payload_len);
+}
+
+FrameReader::FrameReader(size_t max_payload) : max_payload_(max_payload) {
+  // Room for one maximal frame plus a partial successor's header, so the
+  // caller can always make progress with alternating Feed/Next.
+  buf_.resize(2 * kFrameOverheadBytes + max_payload_);
+}
+
+Status FrameReader::Feed(const void* data, size_t n) {
+  if (!poisoned_.ok()) return poisoned_;
+  if (n == 0) return Status::Ok();
+  if (n > writable()) {
+    return Status::Internal("FrameReader::Feed overflow: fed " +
+                            std::to_string(n) + " bytes with only " +
+                            std::to_string(writable()) + " writable");
+  }
+  // Compact (shift the unparsed suffix to the front) only when the tail
+  // can't hold the new bytes; no allocation either way.
+  if (buf_.size() - end_ < n) {
+    std::memmove(buf_.data(), buf_.data() + begin_, end_ - begin_);
+    end_ -= begin_;
+    begin_ = 0;
+  }
+  std::memcpy(buf_.data() + end_, data, n);
+  end_ += n;
+  return Status::Ok();
+}
+
+Status FrameReader::Poison(const std::string& detail) {
+  poisoned_ = Status::InvalidArgument("wire protocol violation: " + detail);
+  return poisoned_;
+}
+
+Status FrameReader::Next(FrameView* out, bool* got) {
+  *got = false;
+  if (!poisoned_.ok()) return poisoned_;
+  const size_t avail = end_ - begin_;
+  if (avail < kFrameHeaderBytes) return Status::Ok();
+  const uint8_t* p = buf_.data() + begin_;
+  if (GetLe32(p) != kWireMagic) {
+    return Poison("bad magic 0x" + std::to_string(GetLe32(p)));
+  }
+  if (p[4] != kWireVersion) {
+    return Poison("unsupported protocol version " + std::to_string(p[4]) +
+                  " (expected " + std::to_string(kWireVersion) + ")");
+  }
+  if (!IsKnownFrameType(p[5])) {
+    return Poison("unknown frame type " + std::to_string(p[5]));
+  }
+  if (p[6] != 0 || p[7] != 0) {
+    return Poison("nonzero reserved header bits");
+  }
+  const uint32_t payload_len = GetLe32(p + 8);
+  if (payload_len > max_payload_) {
+    return Poison("frame payload of " + std::to_string(payload_len) +
+                  " bytes exceeds the " + std::to_string(max_payload_) +
+                  "-byte limit");
+  }
+  const size_t total = kFrameOverheadBytes + payload_len;
+  if (avail < total) return Status::Ok();  // wait for the rest
+  const uint32_t crc_expected =
+      GetLe32(p + kFrameHeaderBytes + payload_len);
+  const uint32_t crc_actual =
+      io::Crc32(p + 4, kFrameHeaderBytes - 4 + payload_len);
+  if (crc_expected != crc_actual) {
+    return Poison("frame CRC mismatch (torn or corrupted stream)");
+  }
+  out->type = static_cast<FrameType>(p[5]);
+  out->payload = p + kFrameHeaderBytes;
+  out->payload_len = payload_len;
+  begin_ += total;
+  if (begin_ == end_) {
+    begin_ = 0;
+    end_ = 0;
+  }
+  *got = true;
+  return Status::Ok();
+}
+
+// ---- Payload cursor ----
+
+Status PayloadReader::Take(size_t n, const uint8_t** p) {
+  if (len_ - pos_ < n) {
+    return Status::InvalidArgument(
+        "payload truncated: wanted " + std::to_string(n) + " bytes, " +
+        std::to_string(len_ - pos_) + " remain");
+  }
+  *p = data_ + pos_;
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status PayloadReader::U8(uint8_t* v) {
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(1, &p));
+  *v = p[0];
+  return Status::Ok();
+}
+
+Status PayloadReader::U16(uint16_t* v) {
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(2, &p));
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return Status::Ok();
+}
+
+Status PayloadReader::U32(uint32_t* v) {
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(4, &p));
+  *v = GetLe32(p);
+  return Status::Ok();
+}
+
+Status PayloadReader::U64(uint64_t* v) {
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(8, &p));
+  *v = static_cast<uint64_t>(GetLe32(p)) |
+       (static_cast<uint64_t>(GetLe32(p + 4)) << 32);
+  return Status::Ok();
+}
+
+Status PayloadReader::I64(int64_t* v) {
+  uint64_t u;
+  TRANAD_RETURN_IF_ERROR(U64(&u));
+  std::memcpy(v, &u, sizeof(*v));
+  return Status::Ok();
+}
+
+Status PayloadReader::F32(float* v) {
+  uint32_t u;
+  TRANAD_RETURN_IF_ERROR(U32(&u));
+  std::memcpy(v, &u, sizeof(*v));
+  return Status::Ok();
+}
+
+Status PayloadReader::F64(double* v) {
+  uint64_t u;
+  TRANAD_RETURN_IF_ERROR(U64(&u));
+  std::memcpy(v, &u, sizeof(*v));
+  return Status::Ok();
+}
+
+Status PayloadReader::String(std::string* v, size_t max_len) {
+  uint32_t n;
+  TRANAD_RETURN_IF_ERROR(U32(&n));
+  if (n > max_len) {
+    return Status::InvalidArgument("string of " + std::to_string(n) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_len) + "-byte limit");
+  }
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(n, &p));
+  v->assign(reinterpret_cast<const char*>(p), n);
+  return Status::Ok();
+}
+
+Status PayloadReader::F32Array(std::vector<float>* v, size_t max_elems) {
+  uint32_t n;
+  TRANAD_RETURN_IF_ERROR(U32(&n));
+  if (n > max_elems) {
+    return Status::InvalidArgument("array of " + std::to_string(n) +
+                                   " floats exceeds the " +
+                                   std::to_string(max_elems) +
+                                   "-element limit");
+  }
+  // Bounds first, then one bulk copy — a huge declared length with a tiny
+  // actual payload fails before any allocation is sized from it.
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(static_cast<size_t>(n) * 4, &p));
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t u = GetLe32(p + static_cast<size_t>(i) * 4);
+    std::memcpy(&(*v)[i], &u, sizeof(float));
+  }
+  return Status::Ok();
+}
+
+Status PayloadReader::I64Array(std::vector<int64_t>* v, size_t max_elems) {
+  uint32_t n;
+  TRANAD_RETURN_IF_ERROR(U32(&n));
+  if (n > max_elems) {
+    return Status::InvalidArgument("array of " + std::to_string(n) +
+                                   " int64s exceeds the " +
+                                   std::to_string(max_elems) +
+                                   "-element limit");
+  }
+  const uint8_t* p;
+  TRANAD_RETURN_IF_ERROR(Take(static_cast<size_t>(n) * 8, &p));
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t u = static_cast<uint64_t>(GetLe32(p + i * 8)) |
+                 (static_cast<uint64_t>(GetLe32(p + i * 8 + 4)) << 32);
+    std::memcpy(&(*v)[i], &u, sizeof(int64_t));
+  }
+  return Status::Ok();
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (pos_ != len_) {
+    return Status::InvalidArgument(std::to_string(len_ - pos_) +
+                                   " trailing payload byte(s)");
+  }
+  return Status::Ok();
+}
+
+// ---- Payload builder ----
+
+void PayloadWriter::U8(uint8_t v) { out_->push_back(v); }
+
+void PayloadWriter::U16(uint16_t v) {
+  out_->push_back(static_cast<uint8_t>(v));
+  out_->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PayloadWriter::U32(uint32_t v) {
+  const size_t at = out_->size();
+  out_->resize(at + 4);
+  PutLe32(v, out_->data() + at);
+}
+
+void PayloadWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void PayloadWriter::I64(int64_t v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  U64(u);
+}
+
+void PayloadWriter::F32(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  U32(u);
+}
+
+void PayloadWriter::F64(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  U64(u);
+}
+
+void PayloadWriter::String(const std::string& v) {
+  U32(static_cast<uint32_t>(v.size()));
+  out_->insert(out_->end(), v.begin(), v.end());
+}
+
+void PayloadWriter::F32Array(const float* v, size_t n) {
+  U32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) F32(v[i]);
+}
+
+void PayloadWriter::I64Array(const int64_t* v, size_t n) {
+  U32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) I64(v[i]);
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint8_t value) {
+  if (value > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(value);
+}
+
+// ---- Typed messages ----
+
+namespace {
+
+void EncodeStatus(PayloadWriter* w, const Status& status) {
+  w->U8(StatusCodeToWire(status.code()));
+  w->String(status.message());
+}
+
+Status DecodeStatus(PayloadReader* r, Status* out) {
+  uint8_t code;
+  std::string message;
+  TRANAD_RETURN_IF_ERROR(r->U8(&code));
+  TRANAD_RETURN_IF_ERROR(r->String(&message));
+  *out = Status(StatusCodeFromWire(code), std::move(message));
+  return Status::Ok();
+}
+
+Status CheckType(const FrameView& frame, FrameType expected) {
+  if (frame.type != expected) {
+    return Status::InvalidArgument(
+        "frame type " + std::to_string(static_cast<int>(frame.type)) +
+        " where " + std::to_string(static_cast<int>(expected)) +
+        " was expected");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WirePing::EncodeTo(std::vector<uint8_t>* out, FrameType type) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(token);
+  AppendFrame(type, payload.data(), payload.size(), out);
+}
+
+Status WirePing::Decode(const FrameView& frame, WirePing* out) {
+  if (frame.type != FrameType::kPing && frame.type != FrameType::kPong) {
+    return Status::InvalidArgument("not a ping/pong frame");
+  }
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->token));
+  return r.ExpectEnd();
+}
+
+void WireSubmit::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(stream_key);
+  w.U64(tag);
+  w.F32Array(values.data(), values.size());
+  AppendFrame(FrameType::kSubmit, payload.data(), payload.size(), out);
+}
+
+Status WireSubmit::Decode(const FrameView& frame, WireSubmit* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kSubmit));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->tag));
+  TRANAD_RETURN_IF_ERROR(r.F32Array(&out->values, 1u << 20));
+  return r.ExpectEnd();
+}
+
+void WireVerdict::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(stream_key);
+  w.U64(tag);
+  w.I64(seq);
+  EncodeStatus(&w, status);
+  w.U8(anomalous ? 1 : 0);
+  w.F64(score);
+  w.F64(threshold);
+  AppendFrame(FrameType::kVerdict, payload.data(), payload.size(), out);
+}
+
+Status WireVerdict::Decode(const FrameView& frame, WireVerdict* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kVerdict));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->tag));
+  TRANAD_RETURN_IF_ERROR(r.I64(&out->seq));
+  TRANAD_RETURN_IF_ERROR(DecodeStatus(&r, &out->status));
+  uint8_t anomalous;
+  TRANAD_RETURN_IF_ERROR(r.U8(&anomalous));
+  out->anomalous = anomalous != 0;
+  TRANAD_RETURN_IF_ERROR(r.F64(&out->score));
+  TRANAD_RETURN_IF_ERROR(r.F64(&out->threshold));
+  return r.ExpectEnd();
+}
+
+void WireCreateStream::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(stream_key);
+  w.U32(static_cast<uint32_t>(rows));
+  w.U32(static_cast<uint32_t>(dims));
+  w.F32Array(values.data(), values.size());
+  AppendFrame(FrameType::kCreateStream, payload.data(), payload.size(), out);
+}
+
+Status WireCreateStream::Decode(const FrameView& frame,
+                                WireCreateStream* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kCreateStream));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
+  uint32_t rows, dims;
+  TRANAD_RETURN_IF_ERROR(r.U32(&rows));
+  TRANAD_RETURN_IF_ERROR(r.U32(&dims));
+  out->rows = rows;
+  out->dims = dims;
+  TRANAD_RETURN_IF_ERROR(r.F32Array(&out->values, 1u << 22));
+  if (out->values.size() !=
+      static_cast<size_t>(out->rows) * static_cast<size_t>(out->dims)) {
+    return Status::InvalidArgument(
+        "calibration payload holds " + std::to_string(out->values.size()) +
+        " floats for a declared " + std::to_string(out->rows) + "x" +
+        std::to_string(out->dims) + " series");
+  }
+  return r.ExpectEnd();
+}
+
+void WireAck::EncodeTo(std::vector<uint8_t>* out, FrameType type) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(stream_key);
+  EncodeStatus(&w, status);
+  AppendFrame(type, payload.data(), payload.size(), out);
+}
+
+Status WireAck::Decode(const FrameView& frame, WireAck* out) {
+  if (frame.type != FrameType::kCreateStreamAck &&
+      frame.type != FrameType::kCloseStreamAck &&
+      frame.type != FrameType::kReloadAck && frame.type != FrameType::kError) {
+    return Status::InvalidArgument("not an acknowledgement frame");
+  }
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
+  TRANAD_RETURN_IF_ERROR(DecodeStatus(&r, &out->status));
+  return r.ExpectEnd();
+}
+
+void WireCloseStream::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(stream_key);
+  AppendFrame(FrameType::kCloseStream, payload.data(), payload.size(), out);
+}
+
+Status WireCloseStream::Decode(const FrameView& frame, WireCloseStream* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kCloseStream));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
+  return r.ExpectEnd();
+}
+
+void WireStatsRequest::EncodeTo(std::vector<uint8_t>* out) const {
+  AppendFrame(FrameType::kStats, nullptr, 0, out);
+}
+
+Status WireStatsRequest::Decode(const FrameView& frame,
+                                WireStatsRequest* /*out*/) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kStats));
+  PayloadReader r(frame.payload, frame.payload_len);
+  return r.ExpectEnd();
+}
+
+void WireStatsReply::EncodeTo(std::vector<uint8_t>* out) const {
+  const serve::ServeStatsSnapshot& s = snapshot;
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.I64(s.submitted);
+  w.I64(s.rejected);
+  w.I64(s.completed);
+  w.I64(s.anomalies);
+  w.I64(s.failed);
+  w.I64(s.deadline_expired);
+  w.I64(s.shed);
+  w.I64(s.non_finite_rejected);
+  w.I64(s.quarantined_streams);
+  w.I64(s.watchdog_stalls);
+  w.I64(s.reloads);
+  w.I64(s.reload_failures);
+  w.I64(s.batches);
+  w.I64(s.batched_observations);
+  w.I64(s.queue_depth);
+  w.I64(s.shards);
+  w.F64(s.mean_batch_size);
+  w.F64(s.p50_latency_ms);
+  w.F64(s.p99_latency_ms);
+  w.F64(s.max_latency_ms);
+  w.F64(s.elapsed_seconds);
+  w.F64(s.throughput_per_sec);
+  w.I64Array(s.latency_hist.data(), s.latency_hist.size());
+  w.I64Array(s.batch_size_hist.data(), s.batch_size_hist.size());
+  AppendFrame(FrameType::kStatsReply, payload.data(), payload.size(), out);
+}
+
+Status WireStatsReply::Decode(const FrameView& frame, WireStatsReply* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kStatsReply));
+  PayloadReader r(frame.payload, frame.payload_len);
+  serve::ServeStatsSnapshot& s = out->snapshot;
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.submitted));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.rejected));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.completed));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.anomalies));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.failed));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.deadline_expired));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.shed));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.non_finite_rejected));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.quarantined_streams));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.watchdog_stalls));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.reloads));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.reload_failures));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.batches));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.batched_observations));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.queue_depth));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.shards));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.mean_batch_size));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.p50_latency_ms));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.p99_latency_ms));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.max_latency_ms));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.elapsed_seconds));
+  TRANAD_RETURN_IF_ERROR(r.F64(&s.throughput_per_sec));
+  TRANAD_RETURN_IF_ERROR(r.I64Array(&s.latency_hist, 1u << 12));
+  TRANAD_RETURN_IF_ERROR(r.I64Array(&s.batch_size_hist, 1u << 16));
+  return r.ExpectEnd();
+}
+
+void WireReload::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.String(path);
+  AppendFrame(FrameType::kReload, payload.data(), payload.size(), out);
+}
+
+Status WireReload::Decode(const FrameView& frame, WireReload* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kReload));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.String(&out->path, 4096));
+  return r.ExpectEnd();
+}
+
+}  // namespace tranad::net

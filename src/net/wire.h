@@ -1,0 +1,250 @@
+#ifndef TRANAD_NET_WIRE_H_
+#define TRANAD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serve_stats.h"
+
+namespace tranad::net {
+
+/// Compact length-prefixed binary wire protocol for the serving fleet,
+/// following the checkpoint container's discipline (src/io/checkpoint.h):
+/// fixed-width little-endian integers, typed payloads, and a trailing
+/// IEEE CRC32 so torn or bit-flipped input is detected before any field is
+/// trusted.
+///
+/// Frame layout (all integers little-endian, fixed width):
+///
+///   offset  size  field
+///   0       4     magic "TADW" (0x57444154)
+///   4       1     protocol version (kWireVersion)
+///   5       1     frame type (FrameType)
+///   6       2     reserved (must be 0)
+///   8       4     payload byte length N (<= reader's max payload)
+///   12      N     payload (typed encoding per FrameType)
+///   12+N    4     CRC32 (IEEE, io::Crc32) of bytes [4, 12+N) — everything
+///                 after the magic, so a corrupted header fails the CRC
+///                 just like a corrupted payload
+///
+/// Versioning: readers accept exactly kWireVersion and reject anything
+/// else with InvalidArgument; any layout change bumps the version. A
+/// stream protocol cannot resync after corruption (frame boundaries are
+/// gone), so the first malformed frame poisons the reader — the peer
+/// reports a clean Status and drops the connection, never undefined
+/// behavior.
+inline constexpr uint32_t kWireMagic = 0x57444154;  // "TADW"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameTrailerBytes = 4;
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameTrailerBytes;
+/// Default cap on one frame's payload. Big enough for a calibration series
+/// (rows x dims float32), small enough that a per-connection reader buffer
+/// is cheap.
+inline constexpr size_t kDefaultMaxFramePayload = 4u << 20;  // 4 MiB
+
+/// Frame kinds. Values are part of the wire format.
+enum class FrameType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kSubmit = 3,        // client -> server: one observation
+  kVerdict = 4,       // server -> client: scored (or failed) verdict
+  kCreateStream = 5,  // client -> server: register + calibrate a stream
+  kCreateStreamAck = 6,
+  kCloseStream = 7,
+  kCloseStreamAck = 8,
+  kStats = 9,          // client -> server: fleet snapshot request
+  kStatsReply = 10,    // server -> client: merged ServeStatsSnapshot
+  kReload = 11,        // client -> server: rolling fleet model reload
+  kReloadAck = 12,
+  kError = 13,  // server -> client: terminal connection error, then close
+};
+
+/// True for values that decode to a known FrameType.
+bool IsKnownFrameType(uint8_t value);
+
+/// Appends one complete frame (header + payload + CRC) to `out`.
+void AppendFrame(FrameType type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out);
+
+/// One parsed frame; `payload` points into the FrameReader's buffer and is
+/// valid until the next Feed() call.
+struct FrameView {
+  FrameType type = FrameType::kPing;
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+};
+
+/// Incremental frame parser over a byte stream. All memory is allocated at
+/// construction (capacity() never changes afterwards): Feed() copies into
+/// the fixed buffer, Next() parses in place — the serve path never
+/// allocates per frame, and adversarial input can only produce a clean
+/// InvalidArgument, never growth or UB.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_payload = kDefaultMaxFramePayload);
+
+  /// Bytes Feed() can accept right now (free buffer space). At least one
+  /// full frame always fits, so a reader drained with Next() never stalls.
+  size_t writable() const { return buf_.size() - (end_ - begin_); }
+
+  /// Appends raw stream bytes. Internal if `n` exceeds writable() — that
+  /// is a caller bug (read more than it asked), not a peer behavior.
+  Status Feed(const void* data, size_t n);
+
+  /// Parses the next complete frame. Ok with *got=true: *out is valid
+  /// until the next Feed(). Ok with *got=false: need more bytes. Any
+  /// malformed input (bad magic, unknown version, nonzero reserved bits,
+  /// oversized length, unknown type, CRC mismatch) returns InvalidArgument
+  /// and poisons the reader: every later call fails identically, because a
+  /// byte stream has no trustworthy frame boundary after corruption.
+  Status Next(FrameView* out, bool* got);
+
+  /// Fixed buffer capacity in bytes (test hook: proves no reallocation).
+  size_t capacity() const { return buf_.size(); }
+  size_t max_payload() const { return max_payload_; }
+  bool poisoned() const { return !poisoned_.ok(); }
+
+ private:
+  Status Poison(const std::string& detail);
+
+  std::vector<uint8_t> buf_;
+  size_t begin_ = 0;  // parse cursor
+  size_t end_ = 0;    // fill cursor
+  size_t max_payload_;
+  Status poisoned_;
+};
+
+// ---- Typed payloads. Each message encodes itself as a complete frame and
+// decodes from a FrameView with full bounds/type checking; trailing bytes
+// after the last field are rejected (no smuggling). ----
+
+/// Bounds-checked little-endian payload cursor.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F32(float* v);
+  Status F64(double* v);
+  /// u32 length prefix + raw bytes; InvalidArgument beyond `max_len`.
+  Status String(std::string* v, size_t max_len = 1u << 16);
+  Status F32Array(std::vector<float>* v, size_t max_elems);
+  Status I64Array(std::vector<int64_t>* v, size_t max_elems);
+
+  size_t remaining() const { return len_ - pos_; }
+  /// InvalidArgument if any undecoded bytes remain.
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(size_t n, const uint8_t** p);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Little-endian payload builder (appends to a caller-owned vector).
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  void F32(float v);
+  void F64(double v);
+  void String(const std::string& v);
+  void F32Array(const float* v, size_t n);
+  void I64Array(const int64_t* v, size_t n);
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// StatusCode <-> wire byte. Unknown bytes decode as kInternal (a peer
+/// speaking a newer status vocabulary still yields a definite failure).
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t value);
+
+struct WirePing {
+  uint64_t token = 0;
+  void EncodeTo(std::vector<uint8_t>* out, FrameType type = FrameType::kPing)
+      const;
+  static Status Decode(const FrameView& frame, WirePing* out);
+};
+
+struct WireSubmit {
+  uint64_t stream_key = 0;
+  /// Client-chosen correlation tag, echoed verbatim on the verdict.
+  uint64_t tag = 0;
+  std::vector<float> values;  // x_t in R^m
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireSubmit* out);
+};
+
+struct WireVerdict {
+  uint64_t stream_key = 0;
+  uint64_t tag = 0;
+  int64_t seq = -1;  // per-stream sequence; -1 when admission itself failed
+  Status status;     // Ok for a scored verdict
+  bool anomalous = false;
+  double score = 0.0;
+  double threshold = 0.0;
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireVerdict* out);
+};
+
+struct WireCreateStream {
+  uint64_t stream_key = 0;
+  int64_t rows = 0;
+  int64_t dims = 0;
+  std::vector<float> values;  // calibration series, row-major [rows, dims]
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireCreateStream* out);
+};
+
+/// Generic acknowledgement (CreateStreamAck / CloseStreamAck / ReloadAck /
+/// Error): a stream key (0 where meaningless) plus a Status.
+struct WireAck {
+  uint64_t stream_key = 0;
+  Status status;
+  void EncodeTo(std::vector<uint8_t>* out, FrameType type) const;
+  static Status Decode(const FrameView& frame, WireAck* out);
+};
+
+struct WireCloseStream {
+  uint64_t stream_key = 0;
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireCloseStream* out);
+};
+
+struct WireStatsRequest {
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireStatsRequest* out);
+};
+
+struct WireStatsReply {
+  serve::ServeStatsSnapshot snapshot;
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireStatsReply* out);
+};
+
+struct WireReload {
+  std::string path;
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireReload* out);
+};
+
+}  // namespace tranad::net
+
+#endif  // TRANAD_NET_WIRE_H_

@@ -97,8 +97,11 @@ struct ServeOptions {
 class ServeEngine {
  public:
   /// `detector` must be fitted and must outlive the engine. The engine
-  /// freezes it for inference; do not call Fit()/Score() on it (or run
-  /// another engine over it) while this engine is alive.
+  /// freezes it for inference; do not call Fit()/Score() on it while this
+  /// engine is alive. Several engines (the ShardRouter's shards) may share
+  /// one frozen detector: FreezeForInference is idempotent and every
+  /// engine-side access goes through the const, thread-safe scoring
+  /// surface.
   explicit ServeEngine(TranADDetector* detector, ServeOptions options = {});
 
   /// Calls Stop().

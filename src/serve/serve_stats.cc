@@ -1,16 +1,95 @@
 #include "serve/serve_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
 namespace tranad::serve {
+
+int LatencyBucketIndex(double latency_ms) {
+  if (!(latency_ms > kLatencyHistMinMs)) return 0;
+  const int idx = 1 + static_cast<int>(std::floor(
+                          std::log(latency_ms / kLatencyHistMinMs) /
+                          std::log(kLatencyHistRatio)));
+  return std::min(idx, kLatencyHistBuckets - 1);
+}
+
+double LatencyBucketMidpointMs(int bucket) {
+  if (bucket <= 0) return kLatencyHistMinMs * 0.5;
+  // Bucket i covers (min * r^(i-1), min * r^i]; geometric midpoint.
+  return kLatencyHistMinMs *
+         std::pow(kLatencyHistRatio, static_cast<double>(bucket) - 0.5);
+}
+
+double LatencyHistPercentileMs(const std::vector<int64_t>& hist, double q) {
+  int64_t total = 0;
+  for (int64_t c : hist) total += c;
+  if (total <= 0) return 0.0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the percentile observation (1-based, nearest-rank).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(clamped * static_cast<double>(total))));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    cumulative += hist[b];
+    if (cumulative >= rank) return LatencyBucketMidpointMs(static_cast<int>(b));
+  }
+  return LatencyBucketMidpointMs(static_cast<int>(hist.size()) - 1);
+}
+
+void ServeStatsSnapshot::MergeFrom(const ServeStatsSnapshot& other) {
+  submitted += other.submitted;
+  rejected += other.rejected;
+  completed += other.completed;
+  anomalies += other.anomalies;
+  failed += other.failed;
+  deadline_expired += other.deadline_expired;
+  shed += other.shed;
+  non_finite_rejected += other.non_finite_rejected;
+  quarantined_streams += other.quarantined_streams;
+  watchdog_stalls += other.watchdog_stalls;
+  reloads += other.reloads;
+  reload_failures += other.reload_failures;
+  batches += other.batches;
+  batched_observations += other.batched_observations;
+  mean_batch_size = batches == 0 ? 0.0
+                                 : static_cast<double>(batched_observations) /
+                                       static_cast<double>(batches);
+  if (batch_size_hist.size() < other.batch_size_hist.size()) {
+    batch_size_hist.resize(other.batch_size_hist.size(), 0);
+  }
+  for (size_t b = 0; b < other.batch_size_hist.size(); ++b) {
+    batch_size_hist[b] += other.batch_size_hist[b];
+  }
+  queue_depth += other.queue_depth;
+  if (latency_hist.empty()) {
+    latency_hist.assign(static_cast<size_t>(kLatencyHistBuckets), 0);
+  }
+  for (size_t b = 0; b < other.latency_hist.size() && b < latency_hist.size();
+       ++b) {
+    latency_hist[b] += other.latency_hist[b];
+  }
+  max_latency_ms = std::max(max_latency_ms, other.max_latency_ms);
+  shards += other.shards;
+  // Shards serve concurrently: fleet elapsed is the longest-lived shard,
+  // and fleet throughput is total completions over that wall clock.
+  elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
+  throughput_per_sec = elapsed_seconds <= 0.0
+                           ? 0.0
+                           : static_cast<double>(completed) / elapsed_seconds;
+  // True fleet percentiles from the merged histogram — never an average of
+  // per-shard percentiles.
+  p50_latency_ms = LatencyHistPercentileMs(latency_hist, 0.50);
+  p99_latency_ms = LatencyHistPercentileMs(latency_hist, 0.99);
+}
 
 ServeStats::ServeStats(int64_t max_batch, int64_t reservoir_size) {
   TRANAD_CHECK_GT(max_batch, 0);
   TRANAD_CHECK_GT(reservoir_size, 0);
   batch_size_hist_.assign(static_cast<size_t>(max_batch) + 1, 0);
   latency_reservoir_.reserve(static_cast<size_t>(reservoir_size));
+  latency_hist_.assign(static_cast<size_t>(kLatencyHistBuckets), 0);
   reservoir_capacity_ = reservoir_size;
 }
 
@@ -37,6 +116,7 @@ void ServeStats::RecordBatch(int64_t batch_size) {
 void ServeStats::RecordCompletion(double latency_ms, bool anomalous) {
   std::lock_guard<std::mutex> lock(mu_);
   if (anomalous) ++anomalies_;
+  ++latency_hist_[static_cast<size_t>(LatencyBucketIndex(latency_ms))];
   max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
   if (static_cast<int64_t>(latency_reservoir_.size()) < reservoir_capacity_) {
     latency_reservoir_.push_back(latency_ms);
@@ -94,12 +174,14 @@ ServeStatsSnapshot ServeStats::Snapshot(int64_t queue_depth) const {
   s.reloads = reloads_;
   s.reload_failures = reload_failures_;
   s.batches = batches_;
+  s.batched_observations = batched_observations_;
   s.mean_batch_size =
       batches_ == 0 ? 0.0
                     : static_cast<double>(batched_observations_) /
                           static_cast<double>(batches_);
   s.batch_size_hist = batch_size_hist_;
   s.queue_depth = queue_depth;
+  s.latency_hist = latency_hist_;
   s.max_latency_ms = max_latency_ms_;
   s.elapsed_seconds = started_.ElapsedSeconds();
   s.throughput_per_sec =

@@ -10,6 +10,28 @@
 
 namespace tranad::serve {
 
+/// Fixed log-spaced latency histogram geometry, shared by every engine so
+/// per-shard histograms merge bucket-by-bucket. Bucket 0 covers
+/// (0, kLatencyHistMinMs]; bucket i >= 1 covers
+/// (kLatencyHistMinMs * r^(i-1), kLatencyHistMinMs * r^i] with
+/// r = kLatencyHistRatio; the last bucket absorbs everything above
+/// (~64 s). ~15% relative resolution — coarse enough to stay tiny, fine
+/// enough that a fleet p99 derived from merged buckets is honest.
+inline constexpr int kLatencyHistBuckets = 64;
+inline constexpr double kLatencyHistMinMs = 0.001;  // 1 microsecond
+inline constexpr double kLatencyHistRatio = 1.33;
+
+/// Bucket index for one latency (see geometry above).
+int LatencyBucketIndex(double latency_ms);
+
+/// Representative latency (geometric bucket midpoint) for percentile
+/// estimates read back out of a histogram.
+double LatencyBucketMidpointMs(int bucket);
+
+/// Exclusive-rank percentile estimate over a bucket-count histogram
+/// (any vector sized kLatencyHistBuckets). Returns 0 for an empty one.
+double LatencyHistPercentileMs(const std::vector<int64_t>& hist, double q);
+
 /// Point-in-time view of the serving counters; everything the throughput
 /// bench needs to report scaling curves.
 struct ServeStatsSnapshot {
@@ -30,6 +52,7 @@ struct ServeStatsSnapshot {
   int64_t reloads = 0;              // successful ReloadModel swaps
   int64_t reload_failures = 0;      // ReloadModel attempts rolled back
   int64_t batches = 0;     // scored micro-batches
+  int64_t batched_observations = 0;  // sum of scored batch sizes
   double mean_batch_size = 0.0;
   /// batch_size_hist[s] = number of scored batches holding s observations;
   /// index 0 is unused (batches are never empty).
@@ -38,13 +61,33 @@ struct ServeStatsSnapshot {
   double p50_latency_ms = 0.0;  // submit-to-verdict, over a recent window
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  /// Full-lifetime latency histogram (kLatencyHistBuckets log buckets, see
+  /// LatencyBucketIndex). Unlike the reservoir percentiles above this is
+  /// lossless under merging: fleet percentiles come from summed buckets,
+  /// never from averaging per-shard percentiles (averaging a p99 across
+  /// shards is statistically meaningless — one slow shard's tail vanishes
+  /// into the mean).
+  std::vector<int64_t> latency_hist;
+  /// Snapshots merged into this one (1 for a single engine's snapshot).
+  int64_t shards = 1;
   double elapsed_seconds = 0.0;     // since engine start
   double throughput_per_sec = 0.0;  // completed / elapsed
+
+  /// Folds another shard's snapshot into this one: counters and histograms
+  /// add, elapsed takes the max (shards run concurrently), throughput and
+  /// mean batch size are recomputed from the merged sums, and p50/p99 are
+  /// re-derived from the merged latency *histogram* (after the first merge
+  /// the reservoir-exact per-shard values are gone — by design).
+  void MergeFrom(const ServeStatsSnapshot& other);
 };
 
 /// Mutex-guarded metrics collector. Latency percentiles come from a sliding
 /// reservoir of the most recent completions (exact within the window), so a
-/// long-running engine reports current behavior, not lifetime averages.
+/// long-running engine reports current behavior, not lifetime averages; the
+/// parallel log-bucketed histogram is what rolls up across shards.
+/// Snapshot() reads everything under one mutex hold, so a snapshot is an
+/// atomic, mutually consistent view — a fleet rollup merges N such views,
+/// never a torn mix of counters from different instants.
 class ServeStats {
  public:
   explicit ServeStats(int64_t max_batch, int64_t reservoir_size = 8192);
@@ -83,6 +126,7 @@ class ServeStats {
   std::vector<int64_t> batch_size_hist_;
   int64_t reservoir_capacity_ = 0;
   std::vector<double> latency_reservoir_;  // ring of most recent latencies
+  std::vector<int64_t> latency_hist_;      // lifetime, log-bucketed
   double max_latency_ms_ = 0.0;
 };
 

@@ -1,0 +1,195 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tranad::serve {
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer, so sequential
+/// stream keys (1, 2, 3, ...) land uniformly on the ring instead of
+/// clustering. Stable across platforms — placement is part of the
+/// observable contract (clients may cache shard assignments).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Ring point for one (shard, vnode) virtual node.
+uint64_t VnodePoint(int64_t shard, int64_t vnode) {
+  return Mix64((static_cast<uint64_t>(shard) << 32) ^
+               static_cast<uint64_t>(vnode) ^ 0x5ca1ab1edeadbeefULL);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(TranADDetector* detector,
+                         ShardRouterOptions options) {
+  TRANAD_CHECK(detector != nullptr);
+  TRANAD_CHECK_GT(options.num_shards, 0);
+  TRANAD_CHECK_GT(options.vnodes_per_shard, 0);
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int64_t s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<ServeEngine>(detector, options.shard));
+  }
+  ring_.reserve(
+      static_cast<size_t>(options.num_shards * options.vnodes_per_shard));
+  for (int64_t s = 0; s < options.num_shards; ++s) {
+    for (int64_t v = 0; v < options.vnodes_per_shard; ++v) {
+      ring_.emplace_back(VnodePoint(s, v), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+void ShardRouter::Stop() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+int64_t ShardRouter::ShardOf(uint64_t key) const {
+  const uint64_t h = Mix64(key);
+  // First ring point at or after h, wrapping to the start (the classic
+  // consistent-hash successor walk).
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, int64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+Status ShardRouter::CreateStream(uint64_t key, const TimeSeries& calibration) {
+  const int64_t shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    if (routes_.count(key) != 0) {
+      return Status::FailedPrecondition("stream key " + std::to_string(key) +
+                                        " is already registered");
+    }
+  }
+  // Calibration (a full scoring pass) runs outside routes_mu_ so other
+  // streams keep routing; the insert below re-checks for a racing create.
+  Result<StreamId> local =
+      shards_[static_cast<size_t>(shard)]->CreateStream(calibration);
+  if (!local.ok()) return local.status();
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  auto [it, inserted] = routes_.emplace(key, Route{shard, local.value()});
+  if (!inserted) {
+    // Lost a create race for the same key: undo our shard-local stream.
+    (void)shards_[static_cast<size_t>(shard)]->CloseStream(local.value());
+    return Status::FailedPrecondition("stream key " + std::to_string(key) +
+                                      " is already registered");
+  }
+  return Status::Ok();
+}
+
+Result<ShardRouter::Route> ShardRouter::FindRoute(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  auto it = routes_.find(key);
+  if (it == routes_.end()) {
+    return Status::NotFound("no stream with key " + std::to_string(key));
+  }
+  return it->second;
+}
+
+Status ShardRouter::CloseStream(uint64_t key) {
+  Route route;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(key);
+    if (it == routes_.end()) {
+      return Status::NotFound("no stream with key " + std::to_string(key));
+    }
+    route = it->second;
+    routes_.erase(it);
+  }
+  return shards_[static_cast<size_t>(route.shard)]->CloseStream(route.local);
+}
+
+Status ShardRouter::Submit(uint64_t key, const Tensor& observation,
+                           VerdictCallback callback) {
+  TRANAD_ASSIGN_OR_RETURN(const Route route, FindRoute(key));
+  // Re-key the verdict so callers see their own stream key, not the
+  // shard-local id (which is meaningless — and colliding — fleet-wide).
+  VerdictCallback rekeyed;
+  if (callback) {
+    rekeyed = [key, cb = std::move(callback)](StreamId /*local*/, int64_t seq,
+                                              const OnlineVerdict& verdict) {
+      cb(key, seq, verdict);
+    };
+  }
+  return shards_[static_cast<size_t>(route.shard)]->Submit(
+      route.local, observation, std::move(rekeyed));
+}
+
+Status ShardRouter::ReleaseQuarantine(uint64_t key) {
+  TRANAD_ASSIGN_OR_RETURN(const Route route, FindRoute(key));
+  return shards_[static_cast<size_t>(route.shard)]->ReleaseQuarantine(
+      route.local);
+}
+
+Status ShardRouter::ReloadModel(const std::string& path) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Status st = shards_[s]->ReloadModel(path);
+    if (st.ok()) continue;
+    // Shard s rolled itself back (ServeEngine's swap is all-or-nothing).
+    // Re-converge the shards already swapped onto the previous checkpoint
+    // when one is known; without one the fleet is left mixed-version and
+    // the status says so.
+    std::string detail = "rolling reload failed at shard " +
+                         std::to_string(s) + "/" +
+                         std::to_string(shards_.size()) + ": " + st.message();
+    if (s == 0) {
+      return Status(st.code(), detail + " (no shard was swapped)");
+    }
+    if (model_path_.empty()) {
+      return Status(st.code(),
+                    detail + " (shards 0.." + std::to_string(s - 1) +
+                        " serve the new model; no previous checkpoint path "
+                        "is known to roll them back to)");
+    }
+    int64_t rolled_back = 0;
+    for (size_t r = 0; r < s; ++r) {
+      if (shards_[r]->ReloadModel(model_path_).ok()) ++rolled_back;
+    }
+    return Status(st.code(), detail + " (rolled " +
+                                 std::to_string(rolled_back) + "/" +
+                                 std::to_string(s) +
+                                 " earlier shard(s) back to " + model_path_ +
+                                 ")");
+  }
+  model_path_ = path;
+  return Status::Ok();
+}
+
+void ShardRouter::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+ServeStatsSnapshot ShardRouter::stats() const {
+  // A single-shard fleet keeps its reservoir-exact percentiles; merging
+  // re-derives p50/p99 from the summed latency histograms.
+  ServeStatsSnapshot fleet = shards_.front()->stats();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    fleet.MergeFrom(shards_[s]->stats());
+  }
+  return fleet;
+}
+
+ServeStatsSnapshot ShardRouter::shard_stats(int64_t shard) const {
+  TRANAD_CHECK_GE(shard, 0);
+  TRANAD_CHECK_LT(shard, num_shards());
+  return shards_[static_cast<size_t>(shard)]->stats();
+}
+
+int64_t ShardRouter::num_streams() const {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  return static_cast<int64_t>(routes_.size());
+}
+
+}  // namespace tranad::serve

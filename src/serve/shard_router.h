@@ -1,0 +1,140 @@
+#ifndef TRANAD_SERVE_SHARD_ROUTER_H_
+#define TRANAD_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/serve_engine.h"
+
+namespace tranad::serve {
+
+struct ShardRouterOptions {
+  /// Independent ServeEngine shards, each with its own batcher, worker
+  /// pool, submission queue, and stream registry. Aggregate throughput
+  /// scales with shards because nothing — no queue, no mutex, no batcher —
+  /// is shared between them on the hot path.
+  int64_t num_shards = 4;
+  /// Virtual nodes per shard on the consistent-hash ring. More vnodes ->
+  /// smoother stream distribution (the classic consistent-hashing variance
+  /// argument); 64 keeps the worst shard within a few percent of mean for
+  /// fleet-sized stream counts.
+  int64_t vnodes_per_shard = 64;
+  /// Engine options applied to every shard (workers *per shard*, queue
+  /// capacity per shard, batching and resilience knobs).
+  ServeOptions shard;
+};
+
+/// Scale-out front end over N ServeEngine shards: client-chosen stream keys
+/// (uint64) map to shards by consistent hashing, so the mapping is a pure
+/// function of (key, ring) — stable across runs, processes, and machines,
+/// and minimally disturbed if the shard count ever changes. Each stream
+/// lives wholly on one shard, which preserves every single-engine
+/// invariant per stream (FIFO order, POT sequencing, bit-exact verdicts vs
+/// the sequential OnlineTranAD path).
+///
+/// The router is intentionally thin on the hot path: Submit is one ring
+/// lookup (read-only after construction) + one route-table read + the
+/// engine's own admission. All engines score through the same frozen
+/// detector's const surface (see ServeEngine's detector contract).
+///
+/// Fleet semantics:
+///   - stats() merges per-shard atomic snapshots: counters add, latency
+///     *histograms* merge, and fleet p50/p99 are re-derived from the merged
+///     buckets (never averaged across shards).
+///   - ReloadModel is a *rolling* reload: shards swap one at a time, so at
+///     every instant N-1 shards are serving at full speed — the fleet is
+///     never globally paused. A shard that fails to swap rolls itself back
+///     (ServeEngine's contract); shards already swapped are then rolled
+///     back to the previous checkpoint (best effort) so the fleet converges
+///     to one model version.
+class ShardRouter {
+ public:
+  /// `detector` must be fitted and must outlive the router; it is frozen
+  /// for inference and shared by every shard's const scoring path.
+  explicit ShardRouter(TranADDetector* detector, ShardRouterOptions options);
+
+  /// Calls Stop().
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Stops every shard (graceful drain; see ServeEngine::Stop). Idempotent.
+  void Stop();
+
+  /// Registers stream `key` on its consistent-hash shard and calibrates it
+  /// there. FailedPrecondition if the key is already registered.
+  Status CreateStream(uint64_t key, const TimeSeries& calibration);
+
+  /// Unregisters stream `key`; in-flight observations still complete.
+  Status CloseStream(uint64_t key);
+
+  /// Admits one observation for stream `key`. The callback receives `key`
+  /// (not the shard-local id) plus the shard engine's per-stream sequence
+  /// number; all ServeEngine::Submit admission statuses pass through
+  /// (NotFound / InvalidArgument / FailedPrecondition / ResourceExhausted).
+  Status Submit(uint64_t key, const Tensor& observation,
+                VerdictCallback callback);
+
+  /// Lifts quarantine on stream `key` (see ServeEngine::ReleaseQuarantine).
+  Status ReleaseQuarantine(uint64_t key);
+
+  /// Rolling fleet reload from a TranADDetector::SaveCheckpoint file.
+  /// Shards swap one at a time; traffic keeps flowing on every shard not
+  /// currently at its own micro-batch-boundary swap, and no queued
+  /// submission is dropped anywhere. On a mid-fleet failure the failing
+  /// shard has already rolled itself back, and shards swapped earlier are
+  /// re-reloaded from the previous checkpoint path when one is known; the
+  /// returned status describes the rollback. Concurrent calls serialize.
+  Status ReloadModel(const std::string& path);
+
+  /// Blocks until every admitted observation on every shard has completed.
+  void Flush();
+
+  /// Merged fleet snapshot (see ServeStatsSnapshot::MergeFrom): true fleet
+  /// percentiles from merged latency histograms, summed counters,
+  /// `shards` = num_shards().
+  ServeStatsSnapshot stats() const;
+
+  /// One shard's own snapshot (reservoir-exact percentiles).
+  ServeStatsSnapshot shard_stats(int64_t shard) const;
+
+  /// Consistent-hash shard index for a stream key (pure function; exposed
+  /// for tests, placement debugging, and client-side shard awareness).
+  int64_t ShardOf(uint64_t key) const;
+
+  int64_t num_shards() const {
+    return static_cast<int64_t>(shards_.size());
+  }
+  int64_t num_streams() const;
+
+ private:
+  struct Route {
+    int64_t shard = 0;
+    StreamId local = 0;  // shard-engine stream id
+  };
+
+  Result<Route> FindRoute(uint64_t key) const;
+
+  std::vector<std::unique_ptr<ServeEngine>> shards_;
+  /// Consistent-hash ring: (point, shard), sorted by point. Immutable
+  /// after construction, so lookups are lock-free.
+  std::vector<std::pair<uint64_t, int64_t>> ring_;
+
+  mutable std::mutex routes_mu_;
+  std::unordered_map<uint64_t, Route> routes_;
+
+  /// Serializes rolling reloads and remembers the last committed
+  /// checkpoint path (the rollback target for partially applied fleets).
+  std::mutex reload_mu_;
+  std::string model_path_;
+};
+
+}  // namespace tranad::serve
+
+#endif  // TRANAD_SERVE_SHARD_ROUTER_H_

@@ -1,0 +1,54 @@
+#ifndef TRANAD_TESTS_NET_FLEET_FIXTURE_H_
+#define TRANAD_TESTS_NET_FLEET_FIXTURE_H_
+
+#include <vector>
+
+#include "core/online_detector.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+namespace tranad::net {
+
+/// One small trained detector + synthetic datasets shared by every network
+/// test in this binary (training is the expensive part; the tests exercise
+/// sockets and framing, not learning). Lazily built on first use.
+struct TestFleet {
+  TranADDetector* detector = nullptr;
+  std::vector<Dataset> datasets;
+
+  static constexpr uint64_t kNumStreams = 2;
+
+  static TestFleet& Get() {
+    static TestFleet* fleet = [] {
+      auto* f = new TestFleet;
+      auto config = SmapConfig(0.2);
+      config.anomaly_magnitude = 1.6;
+      for (uint64_t s = 0; s < kNumStreams; ++s) {
+        config.seed = 242 + s;
+        f->datasets.push_back(GenerateSynthetic(config));
+      }
+      TranADConfig model_config;
+      model_config.window = 8;
+      model_config.d_ff = 16;
+      TrainOptions train;
+      train.max_epochs = 2;
+      f->detector = new TranADDetector(model_config, train);
+      f->detector->Fit(f->datasets[0].train);
+      return f;
+    }();
+    return *fleet;
+  }
+
+  Tensor Observation(uint64_t s, int64_t t) const {
+    const TimeSeries& series = datasets[s].test;
+    Tensor row({series.dims()});
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      row[d] = series.values.At({t, d});
+    }
+    return row;
+  }
+};
+
+}  // namespace tranad::net
+
+#endif  // TRANAD_TESTS_NET_FLEET_FIXTURE_H_

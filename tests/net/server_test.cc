@@ -1,0 +1,355 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/client.h"
+#include "fleet_fixture.h"
+
+namespace tranad::net {
+namespace {
+
+using serve::ShardRouter;
+using serve::ShardRouterOptions;
+
+/// Collects verdicts off the client's reader thread and lets tests block
+/// until an expected number have arrived.
+struct VerdictSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<uint64_t, std::vector<WireVerdict>> by_stream;  // ordered by seq
+  int64_t count = 0;
+
+  NetClient::VerdictHandler Handler() {
+    return [this](const WireVerdict& v) {
+      std::lock_guard<std::mutex> lock(mu);
+      by_stream[v.stream_key].push_back(v);
+      ++count;
+      cv.notify_all();
+    };
+  }
+
+  bool WaitFor(int64_t n, int64_t timeout_ms = 60'000) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return count >= n; });
+  }
+};
+
+/// Router + server + connected client, torn down in declaration order
+/// (server before router, per the NetServer lifetime contract).
+struct Harness {
+  explicit Harness(int64_t shards, ServerOptions server_options = {}) {
+    ShardRouterOptions options;
+    options.num_shards = shards;
+    options.shard.num_workers = 1;
+    options.shard.max_batch = 4;
+    options.shard.max_wait_us = 100;
+    options.shard.pot = PotParamsForDataset("SMAP");
+    router = std::make_unique<ShardRouter>(TestFleet::Get().detector,
+                                           options);
+    server = std::make_unique<NetServer>(router.get(), server_options);
+    const Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  Status ConnectClient(NetClient* client) {
+    return client->Connect("127.0.0.1", server->port());
+  }
+
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<NetServer> server;
+};
+
+int ConnectRaw(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// Reads until EOF (or error) and returns everything received.
+std::vector<uint8_t> DrainUntilEof(int fd) {
+  std::vector<uint8_t> all;
+  uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    all.insert(all.end(), buf, buf + n);
+  }
+  return all;
+}
+
+TEST(NetServerTest, StartStopAndPing) {
+  Harness h(/*shards=*/1);
+  EXPECT_NE(h.server->port(), 0);
+  EXPECT_EQ(h.server->Start().code(), StatusCode::kFailedPrecondition);
+
+  NetClient client;
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());
+  client.Close();
+
+  h.server->Stop();
+  h.server->Stop();  // idempotent
+}
+
+// The acceptance test for the socket path: verdicts served over TCP are
+// bit-exact with the in-process sequential OnlineTranAD reference — the
+// wire adds transport, not noise.
+TEST(NetServerTest, SocketVerdictsMatchInProcessScoringBitExact) {
+  const TestFleet& fleet = TestFleet::Get();
+  const int64_t steps = 25;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  std::vector<std::vector<OnlineVerdict>> expected(TestFleet::kNumStreams);
+  for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+    OnlineTranAD online(fleet.detector, pot);
+    online.Calibrate(fleet.datasets[s].train);
+    for (int64_t t = 0; t < steps; ++t) {
+      expected[s].push_back(online.Observe(fleet.Observation(s, t)));
+    }
+  }
+
+  Harness h(/*shards=*/2);
+  VerdictSink sink;
+  NetClient client;
+  client.set_verdict_handler(sink.Handler());
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+
+  const uint64_t keys[TestFleet::kNumStreams] = {101, 202};
+  for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+    const Status st =
+        client.CreateStream(keys[s], fleet.datasets[s].train.values);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  for (int64_t t = 0; t < steps; ++t) {
+    for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+      const Tensor obs = fleet.Observation(s, t);
+      ASSERT_TRUE(client
+                      .Submit(keys[s], /*tag=*/s * 1000 + t, obs.data(),
+                              obs.numel())
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(sink.WaitFor(static_cast<int64_t>(TestFleet::kNumStreams) *
+                           steps))
+      << "verdicts did not all arrive";
+
+  std::lock_guard<std::mutex> lock(sink.mu);
+  for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+    const auto& got = sink.by_stream[keys[s]];
+    ASSERT_EQ(got.size(), static_cast<size_t>(steps));
+    for (int64_t t = 0; t < steps; ++t) {
+      const WireVerdict& v = got[static_cast<size_t>(t)];
+      const OnlineVerdict& e = expected[s][static_cast<size_t>(t)];
+      ASSERT_TRUE(v.status.ok()) << v.status.ToString();
+      ASSERT_EQ(v.seq, t) << "stream " << s;  // per-stream FIFO on the wire
+      ASSERT_EQ(v.tag, s * 1000 + static_cast<uint64_t>(t));
+      // Bit-exact doubles end to end: process -> frame -> TCP -> frame.
+      ASSERT_EQ(v.score, e.score) << "stream " << s << " t=" << t;
+      ASSERT_EQ(v.threshold, e.threshold) << "stream " << s << " t=" << t;
+      ASSERT_EQ(v.anomalous, e.anomalous) << "stream " << s << " t=" << t;
+    }
+  }
+}
+
+TEST(NetServerTest, AdmissionFailuresComeBackAsStatusVerdicts) {
+  const TestFleet& fleet = TestFleet::Get();
+  Harness h(/*shards=*/1);
+  VerdictSink sink;
+  NetClient client;
+  client.set_verdict_handler(sink.Handler());
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+
+  // Unknown stream: the submit is answered, not dropped.
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(client.Submit(/*stream_key=*/999, /*tag=*/1, obs.data(),
+                            obs.numel())
+                  .ok());
+  ASSERT_TRUE(sink.WaitFor(1));
+  {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    const WireVerdict& v = sink.by_stream[999][0];
+    EXPECT_EQ(v.seq, -1);
+    EXPECT_EQ(v.tag, 1u);
+    EXPECT_EQ(v.status.code(), StatusCode::kNotFound);
+  }
+
+  // Wrong dimensionality on a real stream: InvalidArgument, seq=-1.
+  ASSERT_TRUE(
+      client.CreateStream(7, fleet.datasets[0].train.values).ok());
+  std::vector<float> wrong(obs.numel() + 1, 0.0f);
+  ASSERT_TRUE(client.Submit(7, /*tag=*/2, wrong.data(),
+                            static_cast<int64_t>(wrong.size()))
+                  .ok());
+  ASSERT_TRUE(sink.WaitFor(2));
+  std::lock_guard<std::mutex> lock(sink.mu);
+  const WireVerdict& v = sink.by_stream[7][0];
+  EXPECT_EQ(v.seq, -1);
+  EXPECT_EQ(v.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetServerTest, StatsAndRollingReloadOverTheWire) {
+  const TestFleet& fleet = TestFleet::Get();
+  const std::string ckpt = ::testing::TempDir() + "/net_reload.ckpt";
+  ASSERT_TRUE(fleet.detector->SaveCheckpoint(ckpt).ok());
+
+  Harness h(/*shards=*/2);
+  VerdictSink sink;
+  NetClient client;
+  client.set_verdict_handler(sink.Handler());
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+  ASSERT_TRUE(client.CreateStream(1, fleet.datasets[0].train.values).ok());
+
+  const int64_t n = 8;
+  for (int64_t t = 0; t < n; ++t) {
+    const Tensor obs = fleet.Observation(0, t);
+    ASSERT_TRUE(
+        client.Submit(1, static_cast<uint64_t>(t), obs.data(), obs.numel())
+            .ok());
+  }
+  ASSERT_TRUE(sink.WaitFor(n));
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->shards, 2);
+  EXPECT_EQ(stats->completed, n);
+  EXPECT_GE(stats->p99_latency_ms, 0.0);
+
+  // Rolling reload through the socket; the ack carries the fleet status.
+  ASSERT_TRUE(client.Reload(ckpt).ok());
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reloads, 2) << "one swap per shard";
+
+  // A bad path fails cleanly and the fleet keeps serving.
+  EXPECT_FALSE(client.Reload(::testing::TempDir() + "/missing.ckpt").ok());
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(client.Submit(1, 99, obs.data(), obs.numel()).ok());
+  EXPECT_TRUE(sink.WaitFor(n + 1));
+}
+
+TEST(NetServerTest, CloseStreamOverTheWire) {
+  const TestFleet& fleet = TestFleet::Get();
+  Harness h(/*shards=*/1);
+  VerdictSink sink;
+  NetClient client;
+  client.set_verdict_handler(sink.Handler());
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+
+  ASSERT_TRUE(client.CreateStream(5, fleet.datasets[0].train.values).ok());
+  EXPECT_EQ(client.CreateStream(5, fleet.datasets[0].train.values).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(client.CloseStream(5).ok());
+  EXPECT_EQ(client.CloseStream(5).code(), StatusCode::kNotFound);
+
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(client.Submit(5, 1, obs.data(), obs.numel()).ok());
+  ASSERT_TRUE(sink.WaitFor(1));
+  std::lock_guard<std::mutex> lock(sink.mu);
+  EXPECT_EQ(sink.by_stream[5][0].status.code(), StatusCode::kNotFound);
+}
+
+TEST(NetServerTest, GarbageInputGetsOneErrorFrameThenClose) {
+  Harness h(/*shards=*/1);
+  const int fd = ConnectRaw(h.server->port());
+  const char garbage[] = "POST /totally/not/the/protocol HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(write(fd, garbage, sizeof(garbage) - 1),
+            static_cast<ssize_t>(sizeof(garbage) - 1));
+
+  // The server answers with exactly one kError frame, then EOF.
+  const std::vector<uint8_t> reply = DrainUntilEof(fd);
+  close(fd);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(reply.data(), reply.size()).ok());
+  FrameView frame;
+  bool got = false;
+  ASSERT_TRUE(reader.Next(&frame, &got).ok());
+  ASSERT_TRUE(got) << "no error frame before close";
+  EXPECT_EQ(frame.type, FrameType::kError);
+  WireAck error;
+  ASSERT_TRUE(WireAck::Decode(frame, &error).ok());
+  EXPECT_EQ(error.status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(reader.Next(&frame, &got).ok());
+  EXPECT_FALSE(got) << "more than one frame after a protocol error";
+  EXPECT_GE(h.server->protocol_errors_total(), 1);
+
+  // The server survives hostile clients: a well-behaved one still works.
+  NetClient client;
+  ASSERT_TRUE(h.ConnectClient(&client).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(NetServerTest, OversizedFrameFromClientIsRejected) {
+  ServerOptions options;
+  options.max_frame_payload = 1024;
+  Harness h(/*shards=*/1, options);
+  const int fd = ConnectRaw(h.server->port());
+
+  // Valid header, declared payload far beyond the server's limit.
+  uint8_t header[12] = {'T', 'A', 'D', 'W', kWireVersion,
+                        static_cast<uint8_t>(FrameType::kSubmit),
+                        0,   0,   0,   0,   0x10, 0x00};  // 1 MiB length
+  ASSERT_EQ(write(fd, header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  const std::vector<uint8_t> reply = DrainUntilEof(fd);
+  close(fd);
+
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(reply.data(), reply.size()).ok());
+  FrameView frame;
+  bool got = false;
+  ASSERT_TRUE(reader.Next(&frame, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_GE(h.server->protocol_errors_total(), 1);
+}
+
+TEST(NetServerTest, ServerOutlivesClientsWithVerdictsInFlight) {
+  const TestFleet& fleet = TestFleet::Get();
+  Harness h(/*shards=*/2);
+  {
+    NetClient client;
+    ASSERT_TRUE(h.ConnectClient(&client).ok());
+    ASSERT_TRUE(
+        client.CreateStream(1, fleet.datasets[0].train.values).ok());
+    for (int64_t t = 0; t < 10; ++t) {
+      const Tensor obs = fleet.Observation(0, t);
+      ASSERT_TRUE(client
+                      .Submit(1, static_cast<uint64_t>(t), obs.data(),
+                              obs.numel())
+                      .ok());
+    }
+    client.Close();  // vanish with verdicts possibly still in flight
+  }
+  // Every admitted observation still completes exactly once server-side.
+  h.router->Flush();
+  const auto stats = h.router->stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed);
+
+  NetClient again;
+  ASSERT_TRUE(h.ConnectClient(&again).ok());
+  EXPECT_TRUE(again.Ping().ok());
+}
+
+}  // namespace
+}  // namespace tranad::net

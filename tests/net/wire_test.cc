@@ -1,0 +1,362 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace tranad::net {
+namespace {
+
+/// Feeds `bytes` into `reader` and expects exactly one clean frame out.
+FrameView MustParseOne(FrameReader* reader, const std::vector<uint8_t>& bytes) {
+  EXPECT_TRUE(reader->Feed(bytes.data(), bytes.size()).ok());
+  FrameView frame;
+  bool got = false;
+  const Status st = reader->Next(&frame, &got);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(got);
+  return frame;
+}
+
+TEST(WireFrameTest, ByteLevelLayoutMatchesTheSpec) {
+  WirePing ping;
+  ping.token = 0x1122334455667788ULL;
+  std::vector<uint8_t> bytes;
+  ping.EncodeTo(&bytes);
+
+  // 12-byte header + 8-byte payload + 4-byte CRC.
+  ASSERT_EQ(bytes.size(), kFrameOverheadBytes + 8);
+  // Magic is "TADW" in little-endian byte order.
+  EXPECT_EQ(bytes[0], 'T');
+  EXPECT_EQ(bytes[1], 'A');
+  EXPECT_EQ(bytes[2], 'D');
+  EXPECT_EQ(bytes[3], 'W');
+  EXPECT_EQ(bytes[4], kWireVersion);
+  EXPECT_EQ(bytes[5], static_cast<uint8_t>(FrameType::kPing));
+  EXPECT_EQ(bytes[6], 0);  // reserved
+  EXPECT_EQ(bytes[7], 0);
+  // Payload length, little-endian u32.
+  EXPECT_EQ(bytes[8], 8);
+  EXPECT_EQ(bytes[9], 0);
+  EXPECT_EQ(bytes[10], 0);
+  EXPECT_EQ(bytes[11], 0);
+  // Token payload, little-endian u64.
+  EXPECT_EQ(bytes[12], 0x88);
+  EXPECT_EQ(bytes[19], 0x11);
+}
+
+TEST(WireFrameTest, AllFrameTypesRoundTrip) {
+  FrameReader reader;
+  std::vector<uint8_t> bytes;
+
+  WirePing ping;
+  ping.token = 42;
+  ping.EncodeTo(&bytes, FrameType::kPong);
+  WirePing ping2;
+  ASSERT_TRUE(WirePing::Decode(MustParseOne(&reader, bytes), &ping2).ok());
+  EXPECT_EQ(ping2.token, 42u);
+
+  bytes.clear();
+  WireSubmit submit;
+  submit.stream_key = 0xdeadbeefcafef00dULL;
+  submit.tag = 77;
+  submit.values = {1.5f, -2.25f, 0.0f};
+  submit.EncodeTo(&bytes);
+  WireSubmit submit2;
+  ASSERT_TRUE(WireSubmit::Decode(MustParseOne(&reader, bytes), &submit2).ok());
+  EXPECT_EQ(submit2.stream_key, submit.stream_key);
+  EXPECT_EQ(submit2.tag, 77u);
+  EXPECT_EQ(submit2.values, submit.values);
+
+  bytes.clear();
+  WireVerdict verdict;
+  verdict.stream_key = 9;
+  verdict.tag = 8;
+  verdict.seq = 123456789012345LL;
+  verdict.status = Status::ResourceExhausted("queue full");
+  verdict.anomalous = true;
+  verdict.score = 3.14159265358979;
+  verdict.threshold = 2.71828182845905;
+  verdict.EncodeTo(&bytes);
+  WireVerdict verdict2;
+  ASSERT_TRUE(
+      WireVerdict::Decode(MustParseOne(&reader, bytes), &verdict2).ok());
+  EXPECT_EQ(verdict2.seq, verdict.seq);
+  EXPECT_EQ(verdict2.status, verdict.status);
+  EXPECT_TRUE(verdict2.anomalous);
+  // Doubles cross the wire bit-exactly, not via text round-trip.
+  EXPECT_EQ(verdict2.score, verdict.score);
+  EXPECT_EQ(verdict2.threshold, verdict.threshold);
+
+  bytes.clear();
+  WireCreateStream create;
+  create.stream_key = 4;
+  create.rows = 2;
+  create.dims = 3;
+  create.values = {1, 2, 3, 4, 5, 6};
+  create.EncodeTo(&bytes);
+  WireCreateStream create2;
+  ASSERT_TRUE(
+      WireCreateStream::Decode(MustParseOne(&reader, bytes), &create2).ok());
+  EXPECT_EQ(create2.rows, 2);
+  EXPECT_EQ(create2.dims, 3);
+  EXPECT_EQ(create2.values, create.values);
+
+  bytes.clear();
+  WireAck ack;
+  ack.stream_key = 5;
+  ack.status = Status::NotFound("no such stream");
+  ack.EncodeTo(&bytes, FrameType::kCloseStreamAck);
+  WireAck ack2;
+  ASSERT_TRUE(WireAck::Decode(MustParseOne(&reader, bytes), &ack2).ok());
+  EXPECT_EQ(ack2.stream_key, 5u);
+  EXPECT_EQ(ack2.status, ack.status);
+
+  bytes.clear();
+  WireCloseStream close_req;
+  close_req.stream_key = 6;
+  close_req.EncodeTo(&bytes);
+  WireCloseStream close2;
+  ASSERT_TRUE(
+      WireCloseStream::Decode(MustParseOne(&reader, bytes), &close2).ok());
+  EXPECT_EQ(close2.stream_key, 6u);
+
+  bytes.clear();
+  WireStatsRequest stats_req;
+  stats_req.EncodeTo(&bytes);
+  WireStatsRequest stats_req2;
+  ASSERT_TRUE(
+      WireStatsRequest::Decode(MustParseOne(&reader, bytes), &stats_req2)
+          .ok());
+
+  bytes.clear();
+  WireStatsReply reply;
+  reply.snapshot.completed = 100;
+  reply.snapshot.anomalies = 7;
+  reply.snapshot.shards = 8;
+  reply.snapshot.p99_latency_ms = 12.5;
+  reply.snapshot.latency_hist.assign(serve::kLatencyHistBuckets, 0);
+  reply.snapshot.latency_hist[10] = 100;
+  reply.snapshot.batch_size_hist = {0, 3, 5};
+  reply.EncodeTo(&bytes);
+  WireStatsReply reply2;
+  ASSERT_TRUE(
+      WireStatsReply::Decode(MustParseOne(&reader, bytes), &reply2).ok());
+  EXPECT_EQ(reply2.snapshot.completed, 100);
+  EXPECT_EQ(reply2.snapshot.anomalies, 7);
+  EXPECT_EQ(reply2.snapshot.shards, 8);
+  EXPECT_EQ(reply2.snapshot.p99_latency_ms, 12.5);
+  EXPECT_EQ(reply2.snapshot.latency_hist, reply.snapshot.latency_hist);
+  EXPECT_EQ(reply2.snapshot.batch_size_hist,
+            reply.snapshot.batch_size_hist);
+
+  bytes.clear();
+  WireReload reload;
+  reload.path = "/models/tranad_v2.ckpt";
+  reload.EncodeTo(&bytes);
+  WireReload reload2;
+  ASSERT_TRUE(WireReload::Decode(MustParseOne(&reader, bytes), &reload2).ok());
+  EXPECT_EQ(reload2.path, reload.path);
+}
+
+TEST(WireFrameTest, ParsesAcrossArbitraryChunkBoundaries) {
+  WireSubmit submit;
+  submit.stream_key = 1;
+  submit.tag = 2;
+  submit.values = {1.0f, 2.0f};
+  std::vector<uint8_t> bytes;
+  submit.EncodeTo(&bytes);
+  submit.tag = 3;
+  submit.EncodeTo(&bytes);  // two frames back to back
+
+  // Feed one byte at a time — the TCP worst case.
+  FrameReader reader;
+  int frames = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(reader.Feed(&bytes[i], 1).ok());
+    FrameView frame;
+    bool got = false;
+    ASSERT_TRUE(reader.Next(&frame, &got).ok());
+    if (got) {
+      WireSubmit decoded;
+      ASSERT_TRUE(WireSubmit::Decode(frame, &decoded).ok());
+      EXPECT_EQ(decoded.tag, frames == 0 ? 2u : 3u);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(WireFrameTest, TruncatedFrameIsNotAnErrorUntilCorrupted) {
+  WirePing ping;
+  std::vector<uint8_t> bytes;
+  ping.EncodeTo(&bytes);
+
+  FrameReader reader;
+  // A prefix is just "need more bytes" — never an error, never a frame.
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size() - 1).ok());
+  FrameView frame;
+  bool got = true;
+  ASSERT_TRUE(reader.Next(&frame, &got).ok());
+  EXPECT_FALSE(got);
+  EXPECT_FALSE(reader.poisoned());
+  // The last byte completes it.
+  ASSERT_TRUE(reader.Feed(bytes.data() + bytes.size() - 1, 1).ok());
+  ASSERT_TRUE(reader.Next(&frame, &got).ok());
+  EXPECT_TRUE(got);
+}
+
+TEST(WireFrameTest, BadMagicPoisonsTheReader) {
+  FrameReader reader;
+  const uint8_t garbage[16] = {'G', 'A', 'R', 'B', 'A', 'G', 'E', '!',
+                               1,   2,   3,   4,   5,   6,   7,   8};
+  ASSERT_TRUE(reader.Feed(garbage, sizeof(garbage)).ok());
+  FrameView frame;
+  bool got = false;
+  EXPECT_EQ(reader.Next(&frame, &got).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(reader.poisoned());
+  // Poisoned for good: the stream has no trustworthy boundary anymore.
+  EXPECT_EQ(reader.Next(&frame, &got).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.Feed(garbage, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, EveryHeaderCorruptionIsACleanError) {
+  WirePing ping;
+  ping.token = 99;
+  std::vector<uint8_t> pristine;
+  ping.EncodeTo(&pristine);
+
+  struct Case {
+    size_t offset;
+    uint8_t value;
+    const char* what;
+  };
+  const Case cases[] = {
+      {1, 'X', "bad magic"},
+      {4, 99, "unsupported version"},
+      {5, 200, "unknown frame type"},
+      {6, 1, "nonzero reserved"},
+      {15, 0xAA, "payload bit flip -> CRC mismatch"},
+      {pristine.size() - 1, 0xAA, "CRC trailer bit flip"},
+  };
+  for (const Case& c : cases) {
+    std::vector<uint8_t> bytes = pristine;
+    ASSERT_NE(bytes[c.offset], c.value) << c.what;
+    bytes[c.offset] = c.value;
+    FrameReader reader;
+    ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+    FrameView frame;
+    bool got = false;
+    EXPECT_EQ(reader.Next(&frame, &got).code(), StatusCode::kInvalidArgument)
+        << c.what;
+    EXPECT_FALSE(got) << c.what;
+    EXPECT_TRUE(reader.poisoned()) << c.what;
+  }
+}
+
+TEST(WireFrameTest, OversizedPayloadRejectedWithoutAllocation) {
+  FrameReader reader(/*max_payload=*/1024);
+  const size_t capacity_before = reader.capacity();
+
+  // Valid header declaring a 16 MiB payload: rejected from the length
+  // field alone — no buffer growth, no waiting for 16 MiB.
+  std::vector<uint8_t> bytes = {'T', 'A', 'D', 'W', kWireVersion,
+                                static_cast<uint8_t>(FrameType::kPing),
+                                0,   0};
+  const uint32_t huge = 16u << 20;
+  bytes.push_back(static_cast<uint8_t>(huge));
+  bytes.push_back(static_cast<uint8_t>(huge >> 8));
+  bytes.push_back(static_cast<uint8_t>(huge >> 16));
+  bytes.push_back(static_cast<uint8_t>(huge >> 24));
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  FrameView frame;
+  bool got = false;
+  EXPECT_EQ(reader.Next(&frame, &got).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.capacity(), capacity_before)
+      << "adversarial length caused buffer growth";
+}
+
+TEST(WireFrameTest, DeclaredArrayLengthCannotSizeAllocations) {
+  // A frame whose CRC is valid but whose payload *claims* 2^19 floats while
+  // carrying none: the typed decoder must fail on bounds before sizing any
+  // vector from the declared count.
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(1);          // stream_key
+  w.U64(2);          // tag
+  w.U32(1u << 19);   // declared float count, no data behind it
+  std::vector<uint8_t> bytes;
+  AppendFrame(FrameType::kSubmit, payload.data(), payload.size(), &bytes);
+
+  FrameReader reader;
+  const FrameView frame = MustParseOne(&reader, bytes);
+  WireSubmit submit;
+  const Status st = WireSubmit::Decode(frame, &submit);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(submit.values.empty())
+      << "decoder sized a buffer from an unbacked declared length";
+}
+
+TEST(WireFrameTest, TrailingPayloadBytesAreRejected) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(123);  // a CloseStream payload is exactly one u64...
+  w.U8(0xFF);  // ...so a smuggled extra byte must be rejected
+  std::vector<uint8_t> bytes;
+  AppendFrame(FrameType::kCloseStream, payload.data(), payload.size(), &bytes);
+
+  FrameReader reader;
+  const FrameView frame = MustParseOne(&reader, bytes);
+  WireCloseStream req;
+  EXPECT_EQ(WireCloseStream::Decode(frame, &req).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, TypeMismatchIsRejectedByTypedDecoders) {
+  WireCloseStream req;
+  req.stream_key = 1;
+  std::vector<uint8_t> bytes;
+  req.EncodeTo(&bytes);
+  FrameReader reader;
+  const FrameView frame = MustParseOne(&reader, bytes);
+  WireSubmit submit;
+  EXPECT_EQ(WireSubmit::Decode(frame, &submit).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, StatusCodesSurviveTheWireAndUnknownsMapToInternal) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    const StatusCode code = static_cast<StatusCode>(c);
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
+  }
+  EXPECT_EQ(StatusCodeFromWire(200), StatusCode::kInternal);
+}
+
+TEST(WireFrameTest, ReaderNeverReallocatesAcrossSustainedTraffic) {
+  FrameReader reader(/*max_payload=*/4096);
+  const size_t capacity = reader.capacity();
+  WireSubmit submit;
+  submit.values.assign(64, 1.0f);
+  std::vector<uint8_t> bytes;
+  submit.EncodeTo(&bytes);
+
+  // Thousands of frames through a buffer that can hold only a couple at a
+  // time: compaction, not growth.
+  for (int i = 0; i < 5000; ++i) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const size_t n = std::min(reader.writable(), bytes.size() - off);
+      ASSERT_GT(n, 0u);
+      ASSERT_TRUE(reader.Feed(bytes.data() + off, n).ok());
+      off += n;
+      FrameView frame;
+      bool got = false;
+      ASSERT_TRUE(reader.Next(&frame, &got).ok());
+    }
+  }
+  EXPECT_EQ(reader.capacity(), capacity);
+}
+
+}  // namespace
+}  // namespace tranad::net

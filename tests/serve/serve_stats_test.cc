@@ -1,0 +1,180 @@
+#include "serve/serve_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tranad::serve {
+namespace {
+
+TEST(LatencyHistogramTest, BucketIndexCoversRangeMonotonically) {
+  EXPECT_EQ(LatencyBucketIndex(0.0), 0);
+  EXPECT_EQ(LatencyBucketIndex(-1.0), 0);
+  EXPECT_EQ(LatencyBucketIndex(kLatencyHistMinMs / 2), 0);
+  EXPECT_EQ(LatencyBucketIndex(1e12), kLatencyHistBuckets - 1);
+
+  int prev = 0;
+  for (double ms = kLatencyHistMinMs; ms < 1e5; ms *= 1.1) {
+    const int b = LatencyBucketIndex(ms);
+    ASSERT_GE(b, prev) << "bucket index not monotone at " << ms << "ms";
+    ASSERT_LT(b, kLatencyHistBuckets);
+    prev = b;
+  }
+}
+
+TEST(LatencyHistogramTest, MidpointLandsInItsOwnBucket) {
+  for (int b = 0; b < kLatencyHistBuckets; ++b) {
+    EXPECT_EQ(LatencyBucketIndex(LatencyBucketMidpointMs(b)), b)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileOfEmptyHistogramIsZero) {
+  const std::vector<int64_t> empty(kLatencyHistBuckets, 0);
+  EXPECT_EQ(LatencyHistPercentileMs(empty, 0.5), 0.0);
+  EXPECT_EQ(LatencyHistPercentileMs({}, 0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileTracksKnownDistribution) {
+  // 90 observations at ~1ms, 10 at ~100ms: p50 must sit near 1ms and
+  // p95/p99 near 100ms (within the ~15% bucket resolution).
+  std::vector<int64_t> hist(kLatencyHistBuckets, 0);
+  hist[LatencyBucketIndex(1.0)] = 90;
+  hist[LatencyBucketIndex(100.0)] = 10;
+  EXPECT_NEAR(LatencyHistPercentileMs(hist, 0.50), 1.0, 0.2);
+  EXPECT_NEAR(LatencyHistPercentileMs(hist, 0.99), 100.0, 20.0);
+}
+
+// The histogram-merge satellite's core claim: merging shard histograms and
+// re-deriving percentiles gives the true fleet percentile, while averaging
+// per-shard percentiles does not (one slow shard's tail vanishes into the
+// mean). This is the regression test that keeps stats() honest.
+TEST(ServeStatsMergeTest, MergedPercentilesAreNotAveragedPercentiles) {
+  // Shard A: 100 completions at ~1ms. Shard B: 100 at ~100ms.
+  ServeStatsSnapshot a;
+  a.latency_hist.assign(kLatencyHistBuckets, 0);
+  a.latency_hist[LatencyBucketIndex(1.0)] = 100;
+  a.completed = 100;
+  a.p50_latency_ms = a.p99_latency_ms = 1.0;  // exact per-shard values
+  a.elapsed_seconds = 1.0;
+
+  ServeStatsSnapshot b;
+  b.latency_hist.assign(kLatencyHistBuckets, 0);
+  b.latency_hist[LatencyBucketIndex(100.0)] = 100;
+  b.completed = 100;
+  b.p50_latency_ms = b.p99_latency_ms = 100.0;
+  b.elapsed_seconds = 1.0;
+
+  const double averaged_p99 = (a.p99_latency_ms + b.p99_latency_ms) / 2;
+  EXPECT_NEAR(averaged_p99, 50.5, 1.0);  // the wrong answer
+
+  ServeStatsSnapshot merged = a;
+  merged.MergeFrom(b);
+  // True fleet p99: 199 of 200 observations are <= ~100ms, so the 99th
+  // percentile lies in the 100ms bucket — nowhere near the 50ms average.
+  EXPECT_NEAR(merged.p99_latency_ms, 100.0, 20.0);
+  EXPECT_GT(merged.p99_latency_ms, 1.5 * averaged_p99);
+  // Fleet p50 is ~1ms (100 of 200 at 1ms), not 50ms.
+  EXPECT_LT(merged.p50_latency_ms, 2.0);
+
+  EXPECT_EQ(merged.completed, 200);
+  EXPECT_EQ(merged.shards, 2);
+}
+
+TEST(ServeStatsMergeTest, CountersSumAndThroughputRecomputes) {
+  ServeStatsSnapshot a;
+  a.submitted = 10;
+  a.rejected = 1;
+  a.completed = 9;
+  a.anomalies = 2;
+  a.failed = 1;
+  a.batches = 3;
+  a.batched_observations = 9;
+  a.queue_depth = 2;
+  a.elapsed_seconds = 2.0;
+  a.max_latency_ms = 5.0;
+  a.batch_size_hist.assign(4, 0);
+  a.batch_size_hist[3] = 3;
+  a.latency_hist.assign(kLatencyHistBuckets, 0);
+
+  ServeStatsSnapshot b;
+  b.submitted = 20;
+  b.rejected = 0;
+  b.completed = 20;
+  b.anomalies = 1;
+  b.batches = 4;
+  b.batched_observations = 20;
+  b.queue_depth = 1;
+  b.elapsed_seconds = 4.0;
+  b.max_latency_ms = 9.0;
+  b.batch_size_hist.assign(6, 0);
+  b.batch_size_hist[5] = 4;
+  b.latency_hist.assign(kLatencyHistBuckets, 0);
+
+  ServeStatsSnapshot m = a;
+  m.MergeFrom(b);
+  EXPECT_EQ(m.submitted, 30);
+  EXPECT_EQ(m.rejected, 1);
+  EXPECT_EQ(m.completed, 29);
+  EXPECT_EQ(m.anomalies, 3);
+  EXPECT_EQ(m.failed, 1);
+  EXPECT_EQ(m.batches, 7);
+  EXPECT_EQ(m.batched_observations, 29);
+  EXPECT_EQ(m.queue_depth, 3);
+  // Shards run concurrently: fleet elapsed is the max, not the sum, and
+  // throughput is merged completions over that window.
+  EXPECT_EQ(m.elapsed_seconds, 4.0);
+  EXPECT_NEAR(m.throughput_per_sec, 29 / 4.0, 1e-9);
+  EXPECT_EQ(m.max_latency_ms, 9.0);
+  EXPECT_NEAR(m.mean_batch_size, 29.0 / 7.0, 1e-9);
+  // Batch histogram widened to the larger shard's and summed.
+  ASSERT_EQ(m.batch_size_hist.size(), 6u);
+  EXPECT_EQ(m.batch_size_hist[3], 3);
+  EXPECT_EQ(m.batch_size_hist[5], 4);
+}
+
+TEST(ServeStatsMergeTest, MergeIsAssociativeOnCounters) {
+  auto make = [](int64_t completed, double ms) {
+    ServeStatsSnapshot s;
+    s.completed = completed;
+    s.submitted = completed;
+    s.elapsed_seconds = 1.0;
+    s.latency_hist.assign(kLatencyHistBuckets, 0);
+    s.latency_hist[LatencyBucketIndex(ms)] = completed;
+    return s;
+  };
+  ServeStatsSnapshot left = make(5, 1.0);
+  left.MergeFrom(make(7, 4.0));
+  left.MergeFrom(make(9, 16.0));
+
+  ServeStatsSnapshot tail = make(7, 4.0);
+  tail.MergeFrom(make(9, 16.0));
+  ServeStatsSnapshot right = make(5, 1.0);
+  right.MergeFrom(tail);
+
+  EXPECT_EQ(left.completed, right.completed);
+  EXPECT_EQ(left.shards, right.shards);
+  EXPECT_EQ(left.latency_hist, right.latency_hist);
+  EXPECT_EQ(left.p99_latency_ms, right.p99_latency_ms);
+}
+
+TEST(ServeStatsTest, RecordCompletionFillsTheHistogram) {
+  ServeStats stats(/*max_batch=*/8);
+  stats.RecordSubmitted();
+  stats.RecordSubmitted();
+  stats.RecordCompletion(1.0, false);
+  stats.RecordCompletion(8.0, true);
+  const ServeStatsSnapshot snap = stats.Snapshot(/*queue_depth=*/0);
+  ASSERT_EQ(snap.latency_hist.size(),
+            static_cast<size_t>(kLatencyHistBuckets));
+  EXPECT_EQ(snap.latency_hist[LatencyBucketIndex(1.0)], 1);
+  EXPECT_EQ(snap.latency_hist[LatencyBucketIndex(8.0)], 1);
+  int64_t total = 0;
+  for (int64_t c : snap.latency_hist) total += c;
+  EXPECT_EQ(total, snap.completed);
+  EXPECT_EQ(snap.shards, 1);
+}
+
+}  // namespace
+}  // namespace tranad::serve

@@ -1,0 +1,294 @@
+#include "serve/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/online_detector.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+namespace tranad::serve {
+namespace {
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = SmapConfig(0.2);
+    config.anomaly_magnitude = 1.6;
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      config.seed = 142 + s;
+      datasets_->push_back(GenerateSynthetic(config));
+    }
+    TranADConfig model_config;
+    model_config.window = 8;
+    model_config.d_ff = 16;
+    TrainOptions train;
+    train.max_epochs = 2;
+    detector_ = new TranADDetector(model_config, train);
+    detector_->Fit((*datasets_)[0].train);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+    datasets_->clear();
+  }
+
+  static Tensor Observation(const TimeSeries& series, int64_t t) {
+    Tensor row({series.dims()});
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      row[d] = series.values.At({t, d});
+    }
+    return row;
+  }
+
+  static ShardRouterOptions FastOptions(int64_t shards) {
+    ShardRouterOptions options;
+    options.num_shards = shards;
+    options.shard.num_workers = 1;
+    options.shard.max_batch = 4;
+    options.shard.max_wait_us = 100;
+    options.shard.pot = PotParamsForDataset("SMAP");
+    return options;
+  }
+
+  /// Submits with backpressure retry, like a well-behaved client.
+  static void SubmitRetrying(ShardRouter* router, uint64_t key,
+                             const Tensor& obs, VerdictCallback cb) {
+    Status st = Status::Ok();
+    do {
+      st = router->Submit(key, obs, cb);
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  static constexpr uint64_t kNumStreams = 3;
+  static TranADDetector* detector_;
+  static std::vector<Dataset>* datasets_;
+};
+
+TranADDetector* ShardRouterTest::detector_ = nullptr;
+std::vector<Dataset>* ShardRouterTest::datasets_ = new std::vector<Dataset>();
+
+TEST_F(ShardRouterTest, ShardOfIsDeterministicAndBalanced) {
+  ShardRouter router(detector_, FastOptions(4));
+  ASSERT_EQ(router.num_shards(), 4);
+
+  std::vector<int64_t> counts(4, 0);
+  for (uint64_t key = 0; key < 8192; ++key) {
+    const int64_t shard = router.ShardOf(key);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    ASSERT_EQ(shard, router.ShardOf(key)) << "unstable placement";
+    ++counts[static_cast<size_t>(shard)];
+  }
+  // Consistent hashing with 64 vnodes/shard: every shard owns a material
+  // share. The bound is loose (placement is hash-driven, not round-robin).
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 8192 / 16) << "a shard owns almost nothing";
+  }
+
+  // The ring is a pure function of (key, shard count): a second router
+  // with the same geometry places every key identically.
+  ShardRouter other(detector_, FastOptions(4));
+  for (uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(router.ShardOf(key), other.ShardOf(key));
+  }
+}
+
+// The tentpole parity test: streams spread across shards produce exactly
+// the verdicts of independent sequential OnlineTranAD runs, and callbacks
+// see the client's key, not the shard-local stream id.
+TEST_F(ShardRouterTest, ShardedVerdictsMatchSequentialOnlineBitExact) {
+  const int64_t steps = 30;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  std::vector<std::vector<OnlineVerdict>> expected(kNumStreams);
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    OnlineTranAD online(detector_, pot);
+    online.Calibrate((*datasets_)[s].train);
+    for (int64_t t = 0; t < steps; ++t) {
+      expected[s].push_back(
+          online.Observe(Observation((*datasets_)[s].test, t)));
+    }
+  }
+
+  ShardRouter router(detector_, FastOptions(3));
+  const uint64_t keys[kNumStreams] = {1000, 2000, 3000};
+  std::set<int64_t> used_shards;
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    ASSERT_TRUE(router.CreateStream(keys[s], (*datasets_)[s].train).ok());
+    used_shards.insert(router.ShardOf(keys[s]));
+  }
+  EXPECT_EQ(router.num_streams(), 3);
+
+  std::mutex mu;
+  std::map<uint64_t, std::vector<std::pair<int64_t, OnlineVerdict>>> got;
+  for (int64_t t = 0; t < steps; ++t) {
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      SubmitRetrying(&router, keys[s], Observation((*datasets_)[s].test, t),
+                     [&](StreamId key, int64_t seq, const OnlineVerdict& v) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       got[key].push_back({seq, v});
+                     });
+    }
+  }
+  router.Flush();
+
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    const auto& stream_got = got[keys[s]];  // rekeyed to the client's key
+    ASSERT_EQ(stream_got.size(), static_cast<size_t>(steps));
+    for (int64_t t = 0; t < steps; ++t) {
+      const auto& [seq, v] = stream_got[static_cast<size_t>(t)];
+      const auto& e = expected[s][static_cast<size_t>(t)];
+      ASSERT_EQ(seq, t) << "per-stream FIFO broken on shard";
+      ASSERT_EQ(v.score, e.score) << "stream " << s << " t=" << t;
+      ASSERT_EQ(v.threshold, e.threshold) << "stream " << s << " t=" << t;
+      ASSERT_EQ(v.anomalous, e.anomalous) << "stream " << s << " t=" << t;
+    }
+  }
+}
+
+TEST_F(ShardRouterTest, StreamRegistryValidation) {
+  ShardRouter router(detector_, FastOptions(2));
+  ASSERT_TRUE(router.CreateStream(7, (*datasets_)[0].train).ok());
+  EXPECT_EQ(router.CreateStream(7, (*datasets_)[0].train).code(),
+            StatusCode::kFailedPrecondition)
+      << "duplicate key must be refused";
+  EXPECT_EQ(router.Submit(8, Observation((*datasets_)[0].test, 0), nullptr)
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(router.CloseStream(8).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(router.CloseStream(7).ok());
+  EXPECT_EQ(router.num_streams(), 0);
+  EXPECT_EQ(router.Submit(7, Observation((*datasets_)[0].test, 0), nullptr)
+                .code(),
+            StatusCode::kNotFound);
+  // The key is reusable after close.
+  EXPECT_TRUE(router.CreateStream(7, (*datasets_)[0].train).ok());
+}
+
+TEST_F(ShardRouterTest, StatsMergeAcrossShards) {
+  ShardRouter router(detector_, FastOptions(3));
+  const uint64_t keys[kNumStreams] = {11, 22, 33};
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    ASSERT_TRUE(router.CreateStream(keys[s], (*datasets_)[s].train).ok());
+  }
+  const int64_t steps = 10;
+  for (int64_t t = 0; t < steps; ++t) {
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      SubmitRetrying(&router, keys[s], Observation((*datasets_)[s].test, t),
+                     nullptr);
+    }
+  }
+  router.Flush();
+
+  const ServeStatsSnapshot fleet = router.stats();
+  EXPECT_EQ(fleet.shards, 3);
+  EXPECT_EQ(fleet.completed, static_cast<int64_t>(kNumStreams) * steps);
+
+  int64_t per_shard_completed = 0;
+  int64_t per_shard_hist = 0;
+  for (int64_t i = 0; i < router.num_shards(); ++i) {
+    const ServeStatsSnapshot shard = router.shard_stats(i);
+    EXPECT_EQ(shard.shards, 1);
+    per_shard_completed += shard.completed;
+    for (int64_t c : shard.latency_hist) per_shard_hist += c;
+  }
+  EXPECT_EQ(per_shard_completed, fleet.completed);
+
+  int64_t fleet_hist = 0;
+  for (int64_t c : fleet.latency_hist) fleet_hist += c;
+  EXPECT_EQ(fleet_hist, per_shard_hist)
+      << "fleet histogram must be the sum of shard histograms";
+  EXPECT_GT(fleet.p99_latency_ms, 0.0);
+}
+
+// Rolling reload under live traffic: every admitted observation completes
+// exactly once (no drops, no duplicates), and every shard ends up having
+// swapped.
+TEST_F(ShardRouterTest, RollingReloadUnderTrafficLosesNothing) {
+  const std::string ckpt = ::testing::TempDir() + "/router_roll.ckpt";
+  ASSERT_TRUE(detector_->SaveCheckpoint(ckpt).ok());
+
+  ShardRouter router(detector_, FastOptions(2));
+  const uint64_t keys[kNumStreams] = {5, 6, 7};
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    ASSERT_TRUE(router.CreateStream(keys[s], (*datasets_)[s].train).ok());
+  }
+
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    int64_t t = 0;
+    while (!stop.load()) {
+      const uint64_t s = static_cast<uint64_t>(t) % kNumStreams;
+      const Status st = router.Submit(
+          keys[s],
+          Observation((*datasets_)[s].test,
+                      t % (*datasets_)[s].test.length()),
+          [&](StreamId, int64_t, const OnlineVerdict&) {
+            delivered.fetch_add(1);
+          });
+      if (st.ok()) submitted.fetch_add(1);
+      ++t;
+    }
+  });
+
+  for (int round = 0; round < 3; ++round) {
+    const Status st = router.ReloadModel(ckpt);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  stop.store(true);
+  traffic.join();
+  router.Flush();
+
+  EXPECT_EQ(delivered.load(), submitted.load());
+  EXPECT_GT(delivered.load(), 0);
+  // Every shard swapped on every round: fleet reloads = rounds * shards.
+  EXPECT_EQ(router.stats().reloads, 3 * router.num_shards());
+}
+
+TEST_F(ShardRouterTest, ReloadFailureLeavesFleetServing) {
+  ShardRouter router(detector_, FastOptions(2));
+  ASSERT_TRUE(router.CreateStream(1, (*datasets_)[0].train).ok());
+
+  EXPECT_FALSE(
+      router.ReloadModel(::testing::TempDir() + "/does_not_exist.ckpt").ok());
+
+  SubmitRetrying(&router, 1, Observation((*datasets_)[0].test, 0), nullptr);
+  router.Flush();
+  EXPECT_EQ(router.stats().completed, 1);
+}
+
+TEST_F(ShardRouterTest, QuarantineRoutesToTheRightShard) {
+  ShardRouterOptions options = FastOptions(2);
+  options.shard.quarantine_after = 1;
+  ShardRouter router(detector_, options);
+  ASSERT_TRUE(router.CreateStream(3, (*datasets_)[0].train).ok());
+
+  Tensor poisoned({(*datasets_)[0].dims()});
+  poisoned[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(router.Submit(3, poisoned, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  // One strike with quarantine_after=1: the stream is now quarantined.
+  EXPECT_EQ(router.Submit(3, Observation((*datasets_)[0].test, 0), nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(router.ReleaseQuarantine(3).ok());
+  SubmitRetrying(&router, 3, Observation((*datasets_)[0].test, 0), nullptr);
+  router.Flush();
+  EXPECT_EQ(router.stats().completed, 1);
+  EXPECT_EQ(router.ReleaseQuarantine(99).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tranad::serve

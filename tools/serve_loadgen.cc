@@ -1,27 +1,51 @@
-// Load generator for the serving engine: trains a small TranAD detector on
-// a synthetic dataset, registers a fleet of streams, then drives them from
-// closed-loop submitter threads while printing a live stats line — queue
-// depth, batch coalescing, latency percentiles, rejection rate. Use it to
-// explore the max_batch / max_wait latency-throughput trade-off and to
-// demonstrate backpressure under overload.
+// Load generator for the serving fleet. Three modes share one flag set:
+//
+//   in-process (default): trains a small TranAD detector on a synthetic
+//     dataset, stands up a ShardRouter fleet (--shards engines behind the
+//     consistent-hash ring), registers a fleet of streams, and drives them
+//     from closed-loop submitter threads while printing a live stats line —
+//     queue depth, batch coalescing, latency percentiles, rejection rate.
+//     Use it to explore the max_batch / max_wait latency-throughput
+//     trade-off, shard scaling, and backpressure under overload.
+//
+//   socket (--connect HOST:PORT): drives a remote fleet started with
+//     `tranad_cli serve` over the binary wire protocol instead of an
+//     in-process engine. No local training; streams are registered and
+//     calibrated over the wire, stats lines come from the Stats RPC.
+//
+//   parity (--connect ... --verify-model CKPT): submits a fixed
+//     deterministic schedule (--steps observations per stream), then loads
+//     the same checkpoint the server is serving and replays the identical
+//     schedule through a sequential OnlineTranAD. Every socket verdict must
+//     match the replay bit for bit (score, threshold, anomaly flag); any
+//     mismatch fails the run. This is the end-to-end proof that the wire
+//     path changes nothing about the math. Assumes the server was started
+//     with the same --pot profile (default SMAP) and a model whose
+//     dimensionality matches the synthetic dataset (--scale).
 //
 // Usage:
 //   serve_loadgen [--streams N] [--submitters N] [--workers N]
-//                 [--max-batch N] [--max-wait-us N] [--queue N]
-//                 [--duration-s N] [--epochs N] [--scale F]
+//                 [--shards N] [--max-batch N] [--max-wait-us N]
+//                 [--queue N] [--duration-s N] [--epochs N] [--scale F]
+//                 [--connect HOST:PORT] [--steps N] [--verify-model CKPT]
+//                 [--pot NAME]
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "core/online_detector.h"
 #include "core/pipeline.h"
 #include "core/tranad_detector.h"
 #include "data/synthetic.h"
-#include "serve/serve_engine.h"
+#include "net/client.h"
+#include "serve/shard_router.h"
 
 namespace tranad {
 namespace {
@@ -30,17 +54,23 @@ struct Args {
   int64_t streams = 16;
   int64_t submitters = 2;
   int64_t workers = 4;
+  int64_t shards = 1;
   int64_t max_batch = 32;
   int64_t max_wait_us = 200;
   int64_t queue = 1024;
   int64_t duration_s = 10;
   int64_t epochs = 2;
+  int64_t steps = 0;  // > 0: fixed schedule instead of a closed loop
   double scale = 0.2;
+  std::string connect;       // "host:port" -> socket mode
+  std::string verify_model;  // checkpoint for the bit-exact parity replay
+  std::string pot = "SMAP";
 };
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
   auto next_i64 = [&](int& i) { return std::atoll(argv[++i]); };
+  auto next_str = [&](int& i) { return std::string(argv[++i]); };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (!std::strcmp(a, "--streams")) {
@@ -49,6 +79,8 @@ Args ParseArgs(int argc, char** argv) {
       args.submitters = next_i64(i);
     } else if (!std::strcmp(a, "--workers")) {
       args.workers = next_i64(i);
+    } else if (!std::strcmp(a, "--shards")) {
+      args.shards = next_i64(i);
     } else if (!std::strcmp(a, "--max-batch")) {
       args.max_batch = next_i64(i);
     } else if (!std::strcmp(a, "--max-wait-us")) {
@@ -59,8 +91,16 @@ Args ParseArgs(int argc, char** argv) {
       args.duration_s = next_i64(i);
     } else if (!std::strcmp(a, "--epochs")) {
       args.epochs = next_i64(i);
+    } else if (!std::strcmp(a, "--steps")) {
+      args.steps = next_i64(i);
     } else if (!std::strcmp(a, "--scale")) {
       args.scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(a, "--connect")) {
+      args.connect = next_str(i);
+    } else if (!std::strcmp(a, "--verify-model")) {
+      args.verify_model = next_str(i);
+    } else if (!std::strcmp(a, "--pot")) {
+      args.pot = next_str(i);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       std::exit(2);
@@ -75,18 +115,68 @@ Args ParseArgs(int argc, char** argv) {
   require(args.streams > 0, "--streams must be >= 1");
   require(args.submitters > 0, "--submitters must be >= 1");
   require(args.workers > 0, "--workers must be >= 1");
+  require(args.shards > 0, "--shards must be >= 1");
   require(args.max_batch > 0, "--max-batch must be >= 1");
   require(args.max_wait_us >= 0, "--max-wait-us must be >= 0");
   require(args.queue > 0, "--queue must be >= 1");
   require(args.duration_s > 0, "--duration-s must be >= 1");
   require(args.epochs > 0, "--epochs must be >= 1");
+  require(args.steps >= 0, "--steps must be >= 0");
   require(args.scale > 0.0, "--scale must be > 0");
+  require(args.verify_model.empty() || !args.connect.empty(),
+          "--verify-model requires --connect (it checks the socket path)");
+  if (!args.verify_model.empty() && args.steps == 0) args.steps = 64;
   return args;
 }
 
-int Main(int argc, char** argv) {
-  const Args args = ParseArgs(argc, argv);
+// Client-chosen correlation tag: stream index in the high 32 bits, step in
+// the low 32 (the server echoes tags verbatim on verdicts).
+uint64_t TagOf(int64_t s, int64_t t) {
+  return (static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(t);
+}
 
+// Client stream keys start at 1000 so logs visually separate them from
+// stream/step indices.
+uint64_t KeyOf(int64_t s) { return 1000 + static_cast<uint64_t>(s); }
+
+void FillRow(const TimeSeries& series, int64_t t, Tensor* row) {
+  for (int64_t d = 0; d < series.dims(); ++d) {
+    (*row)[d] = series.values.At({t, d});
+  }
+}
+
+void PrintStatsLine(double elapsed_s, const serve::ServeStatsSnapshot& s,
+                    int64_t anomalies) {
+  std::printf(
+      "t=%4.0fs  %8.1f obs/s  done %lld  rej %lld  depth %lld  "
+      "batch %4.1f  p50 %6.2fms  p99 %6.2fms  shards %lld  anomalies %lld\n",
+      elapsed_s, s.throughput_per_sec, static_cast<long long>(s.completed),
+      static_cast<long long>(s.rejected),
+      static_cast<long long>(s.queue_depth), s.mean_batch_size,
+      s.p50_latency_ms, s.p99_latency_ms, static_cast<long long>(s.shards),
+      static_cast<long long>(anomalies));
+}
+
+void PrintFinal(const serve::ServeStatsSnapshot& s) {
+  std::printf(
+      "\nfinal: %lld completed, %lld rejected, %.1f obs/s, mean batch %.1f, "
+      "%lld shards\n",
+      static_cast<long long>(s.completed), static_cast<long long>(s.rejected),
+      s.throughput_per_sec, s.mean_batch_size,
+      static_cast<long long>(s.shards));
+  std::printf("batch-size histogram:");
+  for (size_t b = 1; b < s.batch_size_hist.size(); ++b) {
+    if (s.batch_size_hist[b] > 0) {
+      std::printf(" %zu:%lld", b,
+                  static_cast<long long>(s.batch_size_hist[b]));
+    }
+  }
+  std::printf("\n");
+}
+
+// ---- In-process mode: train locally, serve through a ShardRouter. ----
+
+int RunLocal(const Args& args) {
   std::printf("loadgen: training detector (scale %.2f, %lld epochs)...\n",
               args.scale, static_cast<long long>(args.epochs));
   auto config = SmapConfig(args.scale);
@@ -99,25 +189,25 @@ int Main(int argc, char** argv) {
   TranADDetector detector(model_config, train);
   detector.Fit(dataset.train);
 
-  serve::ServeOptions options;
-  options.num_workers = args.workers;
-  options.queue_capacity = args.queue;
-  options.max_batch = args.max_batch;
-  options.max_wait_us = args.max_wait_us;
-  options.pot = PotParamsForDataset("SMAP");
-  serve::ServeEngine engine(&detector, options);
+  serve::ShardRouterOptions options;
+  options.num_shards = args.shards;
+  options.shard.num_workers = args.workers;
+  options.shard.queue_capacity = args.queue;
+  options.shard.max_batch = args.max_batch;
+  options.shard.max_wait_us = args.max_wait_us;
+  options.shard.pot = PotParamsForDataset(args.pot);
+  serve::ShardRouter router(&detector, options);
 
-  std::printf("loadgen: calibrating %lld streams...\n",
-              static_cast<long long>(args.streams));
-  std::vector<serve::StreamId> ids;
+  std::printf("loadgen: calibrating %lld streams on %lld shards...\n",
+              static_cast<long long>(args.streams),
+              static_cast<long long>(args.shards));
   for (int64_t s = 0; s < args.streams; ++s) {
-    auto created = engine.CreateStream(dataset.train);
+    const Status created = router.CreateStream(KeyOf(s), dataset.train);
     if (!created.ok()) {
       std::fprintf(stderr, "CreateStream: %s\n",
-                   created.status().ToString().c_str());
+                   created.ToString().c_str());
       return 1;
     }
-    ids.push_back(created.value());
   }
 
   // Closed-loop submitters: each hammers its share of the streams as fast
@@ -132,13 +222,10 @@ int Main(int argc, char** argv) {
       Tensor row({m});
       int64_t i = w;  // stride the streams across submitters
       while (!stop.load(std::memory_order_relaxed)) {
-        const serve::StreamId id =
-            ids[static_cast<size_t>(i % args.streams)];
+        const int64_t s = i % args.streams;
         const int64_t t = (i / args.streams) % dataset.test.length();
-        for (int64_t d = 0; d < m; ++d) {
-          row[d] = dataset.test.values.At({t, d});
-        }
-        engine.Submit(id, row,
+        FillRow(dataset.test, t, &row);
+        router.Submit(KeyOf(s), row,
                       [&](serve::StreamId, int64_t, const OnlineVerdict& v) {
                         if (v.anomalous) anomalies.fetch_add(1);
                       });
@@ -150,35 +237,239 @@ int Main(int argc, char** argv) {
   Stopwatch watch;
   while (watch.ElapsedSeconds() < static_cast<double>(args.duration_s)) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
-    const serve::ServeStatsSnapshot s = engine.stats();
-    std::printf(
-        "t=%4.0fs  %8.1f obs/s  done %lld  rej %lld  depth %lld  "
-        "batch %4.1f  p50 %6.2fms  p99 %6.2fms  anomalies %lld\n",
-        watch.ElapsedSeconds(), s.throughput_per_sec,
-        static_cast<long long>(s.completed),
-        static_cast<long long>(s.rejected),
-        static_cast<long long>(s.queue_depth), s.mean_batch_size,
-        s.p50_latency_ms, s.p99_latency_ms,
-        static_cast<long long>(anomalies.load()));
+    PrintStatsLine(watch.ElapsedSeconds(), router.stats(), anomalies.load());
   }
   stop.store(true);
   for (auto& t : submitters) t.join();
-  engine.Flush();
+  router.Flush();
+  PrintFinal(router.stats());
+  return 0;
+}
 
-  const serve::ServeStatsSnapshot s = engine.stats();
-  std::printf(
-      "\nfinal: %lld completed, %lld rejected, %.1f obs/s, mean batch %.1f\n",
-      static_cast<long long>(s.completed),
-      static_cast<long long>(s.rejected), s.throughput_per_sec,
-      s.mean_batch_size);
-  std::printf("batch-size histogram:");
-  for (size_t b = 1; b < s.batch_size_hist.size(); ++b) {
-    if (s.batch_size_hist[b] > 0) {
-      std::printf(" %zu:%lld", b, static_cast<long long>(s.batch_size_hist[b]));
+// ---- Socket mode: drive a remote `tranad_cli serve` fleet. ----
+
+struct SocketVerdicts {
+  std::mutex mu;
+  std::vector<std::vector<net::WireVerdict>> got;  // [stream][step]
+  std::atomic<int64_t> received{0};
+  std::atomic<int64_t> anomalies{0};
+  std::atomic<int64_t> failed{0};
+};
+
+int VerifyAgainstReplay(const Args& args, const Dataset& dataset,
+                        const SocketVerdicts& verdicts) {
+  std::printf("loadgen: replaying %lld steps through OnlineTranAD (%s)...\n",
+              static_cast<long long>(args.steps), args.verify_model.c_str());
+  auto detector = TranADDetector::FromCheckpoint(args.verify_model);
+  if (!detector.ok()) {
+    std::fprintf(stderr, "verify: %s\n",
+                 detector.status().ToString().c_str());
+    return 1;
+  }
+  OnlineTranAD online(detector->get(), PotParamsForDataset(args.pot));
+  online.Calibrate(dataset.train);
+  std::vector<OnlineVerdict> expected;
+  Tensor row({dataset.dims()});
+  for (int64_t t = 0; t < args.steps; ++t) {
+    FillRow(dataset.test, t % dataset.test.length(), &row);
+    expected.push_back(online.Observe(row));
+  }
+
+  // Every stream saw the same calibration and the same observation order,
+  // so one sequential replay is the oracle for all of them.
+  int64_t mismatches = 0;
+  for (int64_t s = 0; s < args.streams; ++s) {
+    for (int64_t t = 0; t < args.steps; ++t) {
+      const net::WireVerdict& v =
+          verdicts.got[static_cast<size_t>(s)][static_cast<size_t>(t)];
+      const OnlineVerdict& e = expected[static_cast<size_t>(t)];
+      const bool match = v.status.ok() && v.seq == t && v.score == e.score &&
+                         v.threshold == e.threshold &&
+                         v.anomalous == e.anomalous;
+      if (!match) {
+        if (++mismatches <= 5) {
+          std::fprintf(stderr,
+                       "verify: stream %lld step %lld: socket "
+                       "(seq=%lld score=%.17g thr=%.17g anom=%d st=%s) != "
+                       "replay (score=%.17g thr=%.17g anom=%d)\n",
+                       static_cast<long long>(s), static_cast<long long>(t),
+                       static_cast<long long>(v.seq), v.score, v.threshold,
+                       v.anomalous ? 1 : 0, v.status.ToString().c_str(),
+                       e.score, e.threshold, e.anomalous ? 1 : 0);
+        }
+      }
     }
   }
-  std::printf("\n");
+  const int64_t total = args.streams * args.steps;
+  if (mismatches > 0) {
+    std::fprintf(stderr, "verify: FAIL — %lld/%lld verdicts diverged\n",
+                 static_cast<long long>(mismatches),
+                 static_cast<long long>(total));
+    return 1;
+  }
+  std::printf("verify: PASS — %lld socket verdicts bit-identical to the "
+              "sequential OnlineTranAD replay\n",
+              static_cast<long long>(total));
   return 0;
+}
+
+int RunSocket(const Args& args) {
+  const size_t colon = args.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == args.connect.size()) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got %s\n",
+                 args.connect.c_str());
+    return 2;
+  }
+  const std::string host = args.connect.substr(0, colon);
+  const int port = std::atoi(args.connect.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect port out of range: %s\n",
+                 args.connect.c_str());
+    return 2;
+  }
+
+  auto config = SmapConfig(args.scale);
+  const Dataset dataset = GenerateSynthetic(config);
+  const int64_t m = dataset.dims();
+  const bool fixed = args.steps > 0;
+
+  SocketVerdicts verdicts;
+  if (fixed) {
+    verdicts.got.assign(
+        static_cast<size_t>(args.streams),
+        std::vector<net::WireVerdict>(static_cast<size_t>(args.steps)));
+  }
+  net::NetClient client;
+  client.set_verdict_handler([&](const net::WireVerdict& v) {
+    if (!v.status.ok()) {
+      verdicts.failed.fetch_add(1);
+    } else if (v.anomalous) {
+      verdicts.anomalies.fetch_add(1);
+    }
+    if (fixed) {
+      const int64_t s = static_cast<int64_t>(v.tag >> 32);
+      const int64_t t = static_cast<int64_t>(v.tag & 0xffffffffu);
+      if (s < args.streams && t < args.steps) {
+        std::lock_guard<std::mutex> lock(verdicts.mu);
+        verdicts.got[static_cast<size_t>(s)][static_cast<size_t>(t)] = v;
+      }
+    }
+    verdicts.received.fetch_add(1);
+  });
+  Status st = client.Connect(host, static_cast<uint16_t>(port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect %s: %s\n", args.connect.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("loadgen: calibrating %lld streams over the wire...\n",
+              static_cast<long long>(args.streams));
+  for (int64_t s = 0; s < args.streams; ++s) {
+    st = client.CreateStream(KeyOf(s), dataset.train.values);
+    if (!st.ok()) {
+      std::fprintf(stderr, "CreateStream(%lld): %s\n",
+                   static_cast<long long>(KeyOf(s)),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Keep a bounded number of observations in flight: far enough ahead to
+  // keep every shard busy, bounded so a slow fleet backpressures the
+  // client instead of ballooning the server's queues and outboxes.
+  const int64_t kWindow = 512;
+  std::atomic<int64_t> sent{0};
+  auto await_window = [&] {
+    while (sent.load() - verdicts.received.load() >= kWindow) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  if (fixed) {
+    Tensor row({m});
+    for (int64_t t = 0; t < args.steps; ++t) {
+      FillRow(dataset.test, t % dataset.test.length(), &row);
+      for (int64_t s = 0; s < args.streams; ++s) {
+        await_window();
+        st = client.Submit(KeyOf(s), TagOf(s, t), row.data(), m);
+        if (!st.ok()) {
+          std::fprintf(stderr, "Submit: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        sent.fetch_add(1);
+      }
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (verdicts.received.load() < sent.load()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "timed out: %lld/%lld verdicts arrived\n",
+                     static_cast<long long>(verdicts.received.load()),
+                     static_cast<long long>(sent.load()));
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::printf("loadgen: %lld verdicts received (%lld failed)\n",
+                static_cast<long long>(verdicts.received.load()),
+                static_cast<long long>(verdicts.failed.load()));
+  } else {
+    // Closed-loop duration mode over the socket.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    std::atomic<bool> send_failed{false};
+    for (int64_t w = 0; w < args.submitters; ++w) {
+      submitters.emplace_back([&, w] {
+        Tensor row({m});
+        int64_t i = w;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const int64_t s = i % args.streams;
+          const int64_t t = (i / args.streams) % dataset.test.length();
+          FillRow(dataset.test, t, &row);
+          await_window();
+          if (!client.Submit(KeyOf(s), TagOf(s, t), row.data(), m).ok()) {
+            send_failed.store(true);
+            return;
+          }
+          sent.fetch_add(1);
+          i += args.submitters;
+        }
+      });
+    }
+    Stopwatch watch;
+    while (watch.ElapsedSeconds() < static_cast<double>(args.duration_s) &&
+           !send_failed.load()) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      auto stats = client.Stats();
+      if (stats.ok()) {
+        PrintStatsLine(watch.ElapsedSeconds(), *stats,
+                       verdicts.anomalies.load());
+      }
+    }
+    stop.store(true);
+    for (auto& t : submitters) t.join();
+    if (send_failed.load()) {
+      std::fprintf(stderr, "a submitter lost the connection\n");
+      return 1;
+    }
+  }
+
+  auto stats = client.Stats();
+  if (stats.ok()) PrintFinal(*stats);
+  client.Close();
+
+  if (!args.verify_model.empty()) {
+    return VerifyAgainstReplay(args, dataset, verdicts);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (!args.connect.empty()) return RunSocket(args);
+  return RunLocal(args);
 }
 
 }  // namespace

@@ -21,18 +21,36 @@
 //   tranad_cli evaluate --dataset SMD [--scale 0.5] [--method TranAD]
 //       End-to-end evaluation of any registered method on a synthetic
 //       benchmark (P/R/AUC/F1 + diagnosis).
+//
+//   tranad_cli serve --model model.ckpt [--port 0] [--shards 4]
+//                    [--workers 4] [--batch 32] [--max-wait-us 200]
+//                    [--queue 1024] [--pot SMAP] [--duration-s 0]
+//       Starts a sharded serving fleet behind the TCP wire protocol:
+//       --shards independent ServeEngines behind a consistent-hash
+//       router, each with --workers scoring threads. --port 0 binds an
+//       ephemeral port; the chosen port is printed on the "serving:"
+//       line (flushed, so scripts can scrape it). Runs until SIGINT/
+//       SIGTERM (exit 0) or for --duration-s seconds when positive.
+//       Drive it with serve_loadgen --connect 127.0.0.1:<port>.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "baselines/registry.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "core/tranad_detector.h"
 #include "data/synthetic.h"
+#include "net/server.h"
+#include "serve/shard_router.h"
 
 namespace tranad {
 namespace {
@@ -235,11 +253,93 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int CmdServe(const Args& args) {
+  const std::string model_path = Get(args, "model");
+  if (model_path.empty()) return Fail("--model is required");
+  const int64_t port = std::stoll(Get(args, "port", "0"));
+  const int64_t shards = std::stoll(Get(args, "shards", "4"));
+  const int64_t workers = std::stoll(Get(args, "workers", "4"));
+  const int64_t batch = std::stoll(Get(args, "batch", "32"));
+  const int64_t max_wait_us = std::stoll(Get(args, "max-wait-us", "200"));
+  const int64_t queue = std::stoll(Get(args, "queue", "1024"));
+  const std::string pot = Get(args, "pot", "SMAP");
+  const int64_t duration_s = std::stoll(Get(args, "duration-s", "0"));
+  if (port < 0 || port > 65535) return Fail("--port must be in [0, 65535]");
+  if (shards < 1) return Fail("--shards must be >= 1");
+  if (workers < 1) return Fail("--workers must be >= 1");
+  if (batch < 1) return Fail("--batch must be >= 1");
+  if (max_wait_us < 0) return Fail("--max-wait-us must be >= 0");
+  if (queue < 1) return Fail("--queue must be >= 1");
+
+  auto detector = TranADDetector::FromCheckpoint(model_path);
+  if (!detector.ok()) return Fail(detector.status());
+
+  serve::ShardRouterOptions router_options;
+  router_options.num_shards = shards;
+  router_options.shard.num_workers = workers;
+  router_options.shard.max_batch = batch;
+  router_options.shard.max_wait_us = max_wait_us;
+  router_options.shard.queue_capacity = queue;
+  router_options.shard.pot = PotParamsForDataset(pot);
+  serve::ShardRouter router(detector->get(), router_options);
+
+  net::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  net::NetServer server(&router, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  // Scraped by scripts (CI net-smoke) to learn the ephemeral port; flushed
+  // so a pipe reader sees it before the first client connects.
+  std::printf("serving: port=%u shards=%lld workers=%lld batch=%lld "
+              "model=%s\n",
+              server.port(), static_cast<long long>(shards),
+              static_cast<long long>(workers), static_cast<long long>(batch),
+              model_path.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  Stopwatch watch;
+  while (!g_stop_requested &&
+         (duration_s <= 0 ||
+          watch.ElapsedSeconds() < static_cast<double>(duration_s))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  router.Flush();
+  const serve::ServeStatsSnapshot stats = router.stats();
+  router.Stop();
+  std::printf("served: completed=%lld failed=%lld rejected=%lld "
+              "anomalies=%lld p50=%.3fms p99=%.3fms connections=%lld "
+              "protocol_errors=%lld\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.failed),
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.anomalies), stats.p50_latency_ms,
+              stats.p99_latency_ms,
+              static_cast<long long>(server.accepted_total()),
+              static_cast<long long>(server.protocol_errors_total()));
+  return kExitOk;
+}
+
 int Usage(bool requested) {
   std::fprintf(
       requested ? stdout : stderr,
-      "usage: tranad_cli <generate|train|score|evaluate> [--key value ...]\n"
+      "usage: tranad_cli <generate|train|score|evaluate|serve>\n"
+      "                  [--key value ...]\n"
       "see the header comment of tools/tranad_cli.cc for per-command flags\n"
+      "\n"
+      "serve: sharded TCP serving fleet (tranad_cli serve --model m.ckpt\n"
+      "  [--port 0] [--shards 4] [--workers 4] [--batch 32]\n"
+      "  [--max-wait-us 200] [--queue 1024] [--pot SMAP]\n"
+      "  [--duration-s 0]); prints the bound port on the \"serving:\"\n"
+      "  line and runs until SIGINT/SIGTERM (exit 0) or --duration-s\n"
       "\n"
       "exit codes (scriptable; category, not success/failure only):\n"
       "  0  success\n"
@@ -270,6 +370,7 @@ int Main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "score") return CmdScore(args);
   if (cmd == "evaluate") return CmdEvaluate(args);
+  if (cmd == "serve") return CmdServe(args);
   return Usage(false);
 }
 
