@@ -65,4 +65,38 @@ Tensor WindowRing::Window() const {
   return out;
 }
 
+std::vector<float> WindowRing::ExportRows() const {
+  std::vector<float> rows(static_cast<size_t>(size_ * m_));
+  for (int64_t i = 0; i < size_; ++i) {
+    const int64_t slot = (head_ + i) % k_;
+    std::copy(rows_.data() + slot * m_, rows_.data() + (slot + 1) * m_,
+              rows.data() + i * m_);
+  }
+  return rows;
+}
+
+Status WindowRing::Restore(int64_t window, int64_t dims,
+                           const std::vector<float>& rows) {
+  if (window <= 0 || dims <= 0) {
+    return Status::InvalidArgument("ring restore needs window > 0, dims > 0");
+  }
+  if (rows.size() % static_cast<size_t>(dims) != 0) {
+    return Status::InvalidArgument(
+        "ring restore payload of " + std::to_string(rows.size()) +
+        " floats is not a whole number of " + std::to_string(dims) +
+        "-dim rows");
+  }
+  const int64_t count = static_cast<int64_t>(rows.size()) / dims;
+  if (count > window) {
+    return Status::InvalidArgument(
+        "ring restore payload holds " + std::to_string(count) +
+        " rows; capacity is " + std::to_string(window));
+  }
+  Reset(window, dims);
+  for (int64_t i = 0; i < count; ++i) {
+    PushRow(rows.data() + i * dims);
+  }
+  return Status::Ok();
+}
+
 }  // namespace tranad

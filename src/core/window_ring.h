@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace tranad {
@@ -40,6 +41,18 @@ class WindowRing {
 
   /// The current window as a [1, K, m] tensor ready for ScoreWindows.
   Tensor Window() const;
+
+  /// The buffered rows in logical (oldest -> newest) order, size()*dims()
+  /// floats. Together with Restore this is the failover handoff surface: a
+  /// ring restored from an export assembles bit-identical windows, because
+  /// a window is a pure function of the logical row sequence (head_ and the
+  /// physical slot layout are representation, not state).
+  std::vector<float> ExportRows() const;
+
+  /// Rebuilds the ring from an ExportRows payload: Reset(window, dims) then
+  /// re-push every row. InvalidArgument when `rows` is not a whole number
+  /// of dims-sized rows or holds more than `window` rows.
+  Status Restore(int64_t window, int64_t dims, const std::vector<float>& rows);
 
   int64_t window() const { return k_; }
   int64_t dims() const { return m_; }

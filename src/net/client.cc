@@ -1,8 +1,10 @@
 #include "net/client.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,13 +15,54 @@
 #include <utility>
 
 namespace tranad::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Completed (stream_key, tag) pairs remembered for duplicate-verdict
+/// suppression. Bounds client memory the same way the server's dedup
+/// cache bounds its own.
+constexpr size_t kDoneTagsCap = 4096;
+
+/// Echo payload shared by Ping() and the keepalive path, so a keepalive
+/// pong that races a Ping() RPC still carries the expected token.
+constexpr uint64_t kPingToken = 0x70696e67;
+
+bool RetryableDial(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kIoError;
+}
+
+}  // namespace
+
+int64_t BackoffDelayMs(int64_t attempt, int64_t initial_ms, int64_t max_ms,
+                       uint64_t seed) {
+  if (initial_ms <= 0) return 0;
+  int64_t base = initial_ms;
+  for (int64_t i = 0; i < attempt; ++i) {
+    if (max_ms > 0 && base >= max_ms) break;
+    base = base * 2;
+  }
+  if (max_ms > 0) base = std::min(base, max_ms);
+  // SplitMix64 over (seed, attempt): full-avalanche, so nearby seeds and
+  // attempts decorrelate — clients seeded differently never stampede on
+  // the same schedule, and the same seed replays exactly (testable).
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(attempt) + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const int64_t half = std::max<int64_t>(1, base / 2);
+  return half + static_cast<int64_t>(x % static_cast<uint64_t>(half));
+}
 
 NetClient::NetClient(ClientOptions options) : options_(std::move(options)) {}
 
 NetClient::~NetClient() { Close(); }
 
-Status NetClient::Connect(const std::string& host, uint16_t port) {
-  if (connected()) return Status::FailedPrecondition("already connected");
+Status NetClient::DialOnce(const std::string& host, uint16_t port,
+                           int* out_fd) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -34,33 +77,126 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last = Status::Unavailable("connect " + host + ":" +
-                               std::to_string(port) + ": " +
-                               std::strerror(errno));
-    close(fd);
-    fd = -1;
+    // Non-blocking connect + poll: the kernel's default connect timeout is
+    // minutes; a serving client needs its answer in connect_timeout_ms.
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int crc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc != 0 && errno == EINPROGRESS) {
+      pollfd p{fd, POLLOUT, 0};
+      const int pr = poll(
+          &p, 1, static_cast<int>(std::max<int64_t>(
+                     1, options_.connect_timeout_ms)));
+      if (pr == 0) {
+        last = Status::DeadlineExceeded(
+            "connect " + host + ":" + std::to_string(port) +
+            " timed out after " + std::to_string(options_.connect_timeout_ms) +
+            " ms");
+        close(fd);
+        fd = -1;
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (pr < 0 ||
+          getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        err = errno;
+      }
+      if (err != 0) {
+        last = Status::Unavailable("connect " + host + ":" +
+                                   std::to_string(port) + ": " +
+                                   std::strerror(err));
+        close(fd);
+        fd = -1;
+        continue;
+      }
+    } else if (crc != 0) {
+      last = Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+      close(fd);
+      fd = -1;
+      continue;
+    }
+    fcntl(fd, F_SETFL, flags);  // back to blocking for the reader/sender
+    break;
   }
   freeaddrinfo(res);
   if (fd < 0) return last;
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::Ok();
+}
+
+void NetClient::AdoptSocket(int fd) {
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
     conn_status_ = Status::Ok();
     rpc_active_ = false;
     rpc_done_ = false;
   }
+  conn_dead_.store(false, std::memory_order_release);
   fd_.store(fd, std::memory_order_release);
   reader_ = std::thread([this] { ReaderThread(); });
+}
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (connected()) return Status::FailedPrecondition("already connected");
+  if (reader_.joinable()) reader_.join();  // a previous connection's reader
+  int fd = -1;
+  TRANAD_RETURN_IF_ERROR(DialOnce(host, port, &fd));
+  remote_host_ = host;
+  remote_port_ = port;
+  closing_ = false;
+  drained_.store(false, std::memory_order_release);
+  AdoptSocket(fd);
+  if (!maintenance_.joinable()) {
+    {
+      std::lock_guard<std::mutex> maint_lock(maint_mu_);
+      maint_stop_ = false;
+      last_send_ = Clock::now();
+    }
+    maintenance_ = std::thread([this] { MaintenanceThread(); });
+  }
   return Status::Ok();
 }
 
+Status NetClient::ConnectWithBackoff(const std::string& host, uint16_t port,
+                                     int64_t max_attempts) {
+  if (max_attempts <= 0) max_attempts = options_.reconnect_max_attempts;
+  if (max_attempts <= 0) max_attempts = 1;
+  Status last = Status::Unavailable("no connect attempt made");
+  for (int64_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          BackoffDelayMs(attempt - 1, options_.backoff_initial_ms,
+                         options_.backoff_max_ms, options_.backoff_seed)));
+    }
+    last = Connect(host, port);
+    if (last.ok() || !RetryableDial(last)) return last;
+  }
+  return last;
+}
+
 void NetClient::Close() {
+  {
+    std::lock_guard<std::mutex> lock(start_mu_);
+    closing_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    maint_stop_ = true;
+  }
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  std::lock_guard<std::mutex> lock(start_mu_);
   const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
   if (fd >= 0) shutdown(fd, SHUT_RDWR);
   if (reader_.joinable()) reader_.join();
   if (fd >= 0) close(fd);
+  AbortTracked(Status::Unavailable("client closed"));
 }
 
 Status NetClient::SendBytes(const std::vector<uint8_t>& bytes) {
@@ -78,6 +214,10 @@ Status NetClient::SendBytes(const std::vector<uint8_t>& bytes) {
     }
     off += static_cast<size_t>(n);
   }
+  {
+    std::lock_guard<std::mutex> maint_lock(maint_mu_);
+    last_send_ = Clock::now();
+  }
   return Status::Ok();
 }
 
@@ -91,6 +231,60 @@ Status NetClient::Submit(uint64_t stream_key, uint64_t tag,
   std::vector<uint8_t> bytes;
   submit.EncodeTo(&bytes);
   return SendBytes(bytes);
+}
+
+Status NetClient::SubmitTracked(uint64_t stream_key, uint64_t tag,
+                                const float* values, int64_t dims) {
+  if (dims <= 0) return Status::InvalidArgument("dims must be positive");
+  if (drained()) {
+    return Status::Unavailable("server is draining; submit elsewhere");
+  }
+  WireSubmit submit;
+  submit.stream_key = stream_key;
+  submit.tag = tag;
+  submit.flags = kSubmitFlagIdempotent;
+  submit.values.assign(values, values + dims);
+  std::vector<uint8_t> bytes;
+  submit.EncodeTo(&bytes);
+  const TrackedKey id{stream_key, tag};
+  {
+    std::lock_guard<std::mutex> lock(tracked_mu_);
+    if (tracked_.count(id) != 0) {
+      return Status::FailedPrecondition(
+          "tag " + std::to_string(tag) + " is already in flight on stream " +
+          std::to_string(stream_key));
+    }
+    // Reusing a completed tag restarts its dedup life.
+    done_tags_.erase(id);
+    TrackedSubmit t;
+    t.bytes = bytes;
+    t.next_send = options_.submit_retry_ms > 0
+                      ? Clock::now() + std::chrono::milliseconds(
+                                           options_.submit_retry_ms)
+                      : Clock::time_point::max();
+    tracked_.emplace(id, std::move(t));
+  }
+  const Status sent = SendBytes(bytes);
+  if (!sent.ok()) {
+    if (options_.reconnect_max_attempts > 0 && !drained()) {
+      // Queued: the reconnect path resends every pending tracked submit.
+      return Status::Ok();
+    }
+    std::lock_guard<std::mutex> lock(tracked_mu_);
+    tracked_.erase(id);
+    return sent;
+  }
+  return Status::Ok();
+}
+
+int64_t NetClient::pending_tracked() const {
+  std::lock_guard<std::mutex> lock(tracked_mu_);
+  return static_cast<int64_t>(tracked_.size());
+}
+
+ClientCounters NetClient::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
 }
 
 Status NetClient::Rpc(const std::vector<uint8_t>& bytes, FrameType expect,
@@ -185,7 +379,7 @@ Status NetClient::Reload(const std::string& path) {
 
 Status NetClient::Ping() {
   WirePing ping;
-  ping.token = 0x70696e67;  // arbitrary echo payload
+  ping.token = kPingToken;
   std::vector<uint8_t> bytes;
   ping.EncodeTo(&bytes, FrameType::kPing);
   OwnedFrame reply;
@@ -205,29 +399,101 @@ void NetClient::FailPending(const Status& status) {
   wait_cv_.notify_all();
 }
 
+void NetClient::AbortTracked(const Status& status) {
+  std::vector<WireVerdict> failed;
+  {
+    std::lock_guard<std::mutex> lock(tracked_mu_);
+    for (const auto& [id, t] : tracked_) {
+      WireVerdict v;
+      v.stream_key = id.first;
+      v.tag = id.second;
+      v.seq = -1;
+      v.status = status;
+      failed.push_back(std::move(v));
+      if (done_tags_.insert(id).second) done_tags_lru_.push_back(id);
+    }
+    tracked_.clear();
+    while (done_tags_lru_.size() > kDoneTagsCap) {
+      done_tags_.erase(done_tags_lru_.front());
+      done_tags_lru_.pop_front();
+    }
+  }
+  if (handler_) {
+    for (const WireVerdict& v : failed) handler_(v);
+  }
+}
+
+void NetClient::OnVerdict(const WireVerdict& verdict) {
+  const TrackedKey id{verdict.stream_key, verdict.tag};
+  {
+    std::lock_guard<std::mutex> lock(tracked_mu_);
+    auto it = tracked_.find(id);
+    if (it == tracked_.end()) {
+      if (done_tags_.count(id) != 0) {
+        // The duplicate half of at-least-once delivery: a resend raced the
+        // original verdict. Exactly-once = retry + this suppression.
+        std::lock_guard<std::mutex> clock(counters_mu_);
+        ++counters_.retries_deduped;
+        return;
+      }
+      // Untracked (plain Submit) verdict: straight through.
+    } else {
+      const bool retryable =
+          !verdict.status.ok() &&
+          (verdict.status.code() == StatusCode::kUnavailable ||
+           verdict.status.code() == StatusCode::kResourceExhausted);
+      if (retryable && options_.submit_retry_ms > 0 && !drained() &&
+          it->second.retries < options_.submit_max_retries) {
+        // Suppress the failure and schedule a resend: by then a killed
+        // shard's streams have migrated, so the retry scores on the new
+        // shard and the caller only ever sees the final verdict.
+        it->second.has_failure = true;
+        it->second.last_failure = verdict;
+        it->second.next_send =
+            Clock::now() +
+            std::chrono::milliseconds(options_.submit_retry_ms);
+        return;
+      }
+      tracked_.erase(it);
+      if (done_tags_.insert(id).second) done_tags_lru_.push_back(id);
+      while (done_tags_lru_.size() > kDoneTagsCap) {
+        done_tags_.erase(done_tags_lru_.front());
+        done_tags_lru_.pop_front();
+      }
+    }
+  }
+  if (handler_) handler_(verdict);
+}
+
 void NetClient::ReaderThread() {
   FrameReader reader(options_.max_frame_payload);
   std::vector<uint8_t> buf(64 * 1024);
+  const auto die = [this](const Status& status) {
+    conn_dead_.store(true, std::memory_order_release);
+    FailPending(status);
+    maint_cv_.notify_all();  // wake the reconnect path promptly
+  };
   for (;;) {
     const int fd = fd_.load(std::memory_order_acquire);
     if (fd < 0) {
-      FailPending(Status::Unavailable("connection closed"));
+      die(Status::Unavailable("connection closed"));
       return;
     }
     const size_t want = std::min(buf.size(), reader.writable());
     const ssize_t n = read(fd, buf.data(), want);
     if (n == 0) {
-      FailPending(Status::Unavailable("server closed the connection"));
+      die(drained()
+              ? Status::Unavailable("server drained and closed")
+              : Status::Unavailable("server closed the connection"));
       return;
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      FailPending(Status::Unavailable(std::string("read: ") +
-                                      std::strerror(errno)));
+      die(Status::Unavailable(std::string("read: ") + std::strerror(errno)));
       return;
     }
     if (!reader.Feed(buf.data(), static_cast<size_t>(n)).ok()) {
-      FailPending(Status::Internal("client reader overfed its buffer"));
+      die(Status::Internal("client reader overfed its buffer"));
       return;
     }
     for (;;) {
@@ -235,25 +501,29 @@ void NetClient::ReaderThread() {
       bool got = false;
       const Status st = reader.Next(&frame, &got);
       if (!st.ok()) {
-        FailPending(st);
+        die(st);
         return;
       }
       if (!got) break;
       if (frame.type == FrameType::kVerdict) {
         WireVerdict verdict;
-        if (WireVerdict::Decode(frame, &verdict).ok() && handler_) {
-          handler_(verdict);
-        }
+        if (WireVerdict::Decode(frame, &verdict).ok()) OnVerdict(verdict);
+        continue;
+      }
+      if (frame.type == FrameType::kDrain) {
+        // Graceful server shutdown: stop retrying/reconnecting, let the
+        // in-flight verdicts land, treat the coming close as normal.
+        drained_.store(true, std::memory_order_release);
         continue;
       }
       if (frame.type == FrameType::kError) {
         WireAck error;
         const Status decoded = WireAck::Decode(frame, &error);
-        FailPending(decoded.ok()
-                        ? (error.status.ok()
-                               ? Status::Internal("server sent empty error")
-                               : error.status)
-                        : decoded);
+        die(decoded.ok()
+                ? (error.status.ok()
+                       ? Status::Internal("server sent empty error")
+                       : error.status)
+                : decoded);
         return;
       }
       std::lock_guard<std::mutex> lock(wait_mu_);
@@ -265,8 +535,170 @@ void NetClient::ReaderThread() {
         wait_cv_.notify_all();
       }
       // A reply nobody is waiting for (e.g. a ReloadAck after the RPC
-      // timed out) is dropped by design.
+      // timed out, or a keepalive pong) is dropped by design.
     }
+  }
+}
+
+void NetClient::MaintenanceThread() {
+  const bool any_timer = options_.keepalive_ms > 0 ||
+                         options_.submit_retry_ms > 0 ||
+                         options_.reconnect_max_attempts > 0;
+  int64_t reconnect_attempt = 0;
+  Clock::time_point next_reconnect = Clock::now();
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  for (;;) {
+    if (any_timer) {
+      maint_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                         [this] { return maint_stop_; });
+    } else {
+      maint_cv_.wait(lock, [this] { return maint_stop_; });
+    }
+    if (maint_stop_) return;
+    const Clock::time_point now = Clock::now();
+    const Clock::time_point last_send = last_send_;
+    lock.unlock();
+
+    // ---- Reconnect a dead connection (resending pending tracked work).
+    if (conn_dead_.load(std::memory_order_acquire)) {
+      if (drained() || options_.reconnect_max_attempts <= 0) {
+        // Nothing to reconnect to (graceful drain) or reconnect is off:
+        // pending tracked submissions will never complete — fail them.
+        conn_dead_.store(false, std::memory_order_release);
+        AbortTracked(drained()
+                         ? Status::Unavailable("server drained")
+                         : Status::Unavailable("connection lost"));
+      } else if (now >= next_reconnect) {
+        std::vector<std::vector<uint8_t>> resend;
+        bool adopted = false;
+        {
+          std::lock_guard<std::mutex> start_lock(start_mu_);
+          if (!closing_ && conn_dead_.load(std::memory_order_acquire)) {
+            const int old = fd_.exchange(-1, std::memory_order_acq_rel);
+            if (old >= 0) shutdown(old, SHUT_RDWR);
+            if (reader_.joinable()) reader_.join();
+            if (old >= 0) close(old);
+            int fd = -1;
+            if (DialOnce(remote_host_, remote_port_, &fd).ok()) {
+              AdoptSocket(fd);
+              adopted = true;
+              reconnect_attempt = 0;
+              {
+                std::lock_guard<std::mutex> clock_(counters_mu_);
+                ++counters_.reconnects;
+              }
+              std::lock_guard<std::mutex> tlock(tracked_mu_);
+              for (auto& [id, t] : tracked_) {
+                resend.push_back(t.bytes);
+                if (options_.submit_retry_ms > 0) {
+                  t.next_send = now + std::chrono::milliseconds(
+                                          options_.submit_retry_ms);
+                }
+              }
+            } else {
+              ++reconnect_attempt;
+              next_reconnect =
+                  now + std::chrono::milliseconds(BackoffDelayMs(
+                            reconnect_attempt - 1, options_.backoff_initial_ms,
+                            options_.backoff_max_ms, options_.backoff_seed));
+            }
+          }
+        }
+        if (adopted) {
+          // The session-state handoff made the server side seamless; the
+          // resends make the client side seamless too.
+          for (const auto& bytes : resend) {
+            (void)SendBytes(bytes);
+            std::lock_guard<std::mutex> clock_(counters_mu_);
+            ++counters_.retries_sent;
+          }
+        } else if (reconnect_attempt >= options_.reconnect_max_attempts) {
+          conn_dead_.store(false, std::memory_order_release);
+          AbortTracked(Status::Unavailable(
+              "reconnect gave up after " +
+              std::to_string(reconnect_attempt) + " attempts"));
+          reconnect_attempt = 0;
+        }
+      }
+    }
+
+    // ---- Resend overdue tracked submits (and fail exhausted ones).
+    if (options_.submit_retry_ms > 0 && connected() &&
+        !conn_dead_.load(std::memory_order_acquire)) {
+      std::vector<std::vector<uint8_t>> resend;
+      std::vector<WireVerdict> exhausted;
+      {
+        std::lock_guard<std::mutex> tlock(tracked_mu_);
+        for (auto it = tracked_.begin(); it != tracked_.end();) {
+          TrackedSubmit& t = it->second;
+          if (now < t.next_send) {
+            ++it;
+            continue;
+          }
+          if (t.retries >= options_.submit_max_retries) {
+            WireVerdict v;
+            if (t.has_failure) {
+              v = t.last_failure;
+            } else {
+              v.stream_key = it->first.first;
+              v.tag = it->first.second;
+              v.seq = -1;
+              v.status = Status::DeadlineExceeded(
+                  "tracked submit exhausted " +
+                  std::to_string(options_.submit_max_retries) + " retries");
+            }
+            exhausted.push_back(std::move(v));
+            if (done_tags_.insert(it->first).second) {
+              done_tags_lru_.push_back(it->first);
+            }
+            it = tracked_.erase(it);
+            continue;
+          }
+          ++t.retries;
+          t.next_send =
+              now + std::chrono::milliseconds(options_.submit_retry_ms);
+          resend.push_back(t.bytes);
+          ++it;
+        }
+        while (done_tags_lru_.size() > kDoneTagsCap) {
+          done_tags_.erase(done_tags_lru_.front());
+          done_tags_lru_.pop_front();
+        }
+      }
+      for (const auto& bytes : resend) {
+        (void)SendBytes(bytes);
+        std::lock_guard<std::mutex> clock_(counters_mu_);
+        ++counters_.retries_sent;
+      }
+      if (handler_) {
+        for (const WireVerdict& v : exhausted) handler_(v);
+      }
+    }
+
+    // ---- Keepalive: ping an idle, healthy connection so silent peer
+    // death surfaces as a read error instead of an eternal hang.
+    if (options_.keepalive_ms > 0 && connected() &&
+        !conn_dead_.load(std::memory_order_acquire) &&
+        now - last_send >=
+            std::chrono::milliseconds(options_.keepalive_ms)) {
+      bool rpc_busy;
+      {
+        std::lock_guard<std::mutex> wlock(wait_mu_);
+        rpc_busy = rpc_active_;
+      }
+      if (!rpc_busy) {
+        WirePing ping;
+        ping.token = kPingToken;
+        std::vector<uint8_t> bytes;
+        ping.EncodeTo(&bytes, FrameType::kPing);
+        if (SendBytes(bytes).ok()) {
+          std::lock_guard<std::mutex> clock_(counters_mu_);
+          ++counters_.keepalive_pings;
+        }
+      }
+    }
+
+    lock.lock();
   }
 }
 

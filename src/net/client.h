@@ -2,12 +2,17 @@
 #define TRANAD_NET_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -21,6 +26,50 @@ struct ClientOptions {
   /// How long a synchronous RPC (CreateStream/CloseStream/Stats/Reload/
   /// Ping) waits for its reply before giving up with DeadlineExceeded.
   int64_t rpc_timeout_ms = 120'000;
+  /// TCP connect() deadline. A dead host absorbs SYNs for minutes under
+  /// the kernel default; a serving client needs an answer in seconds.
+  int64_t connect_timeout_ms = 5'000;
+  /// Reconnect/ConnectWithBackoff schedule: capped exponential backoff with
+  /// deterministic jitter (see BackoffDelayMs). Attempt k sleeps roughly
+  /// min(backoff_initial_ms << k, backoff_max_ms), jittered into
+  /// [delay/2, delay) by a SplitMix64 hash of (backoff_seed, k) — seeded,
+  /// so tests replay the exact schedule and simultaneous clients with
+  /// different seeds don't stampede in lockstep.
+  int64_t backoff_initial_ms = 50;
+  int64_t backoff_max_ms = 2'000;
+  uint64_t backoff_seed = 1;
+  /// ConnectWithBackoff gives up (and auto-reconnect stops) after this
+  /// many consecutive failed dials. 0 disables auto-reconnect entirely:
+  /// a lost connection stays lost, as in a plain Connect() client.
+  int64_t reconnect_max_attempts = 0;
+  /// Tracked submits (SubmitTracked) are resent when no verdict arrived
+  /// within this long, and after a retryable failure verdict
+  /// (Unavailable / ResourceExhausted — e.g. a shard mid-failover). The
+  /// server dedups by (stream_key, tag), so a resend never double-scores.
+  /// 0 disables timer/retry resends (reconnect resends still happen).
+  int64_t submit_retry_ms = 0;
+  /// A tracked submit that failed retryably this many times completes with
+  /// its last failure instead of retrying forever.
+  int64_t submit_max_retries = 8;
+  /// Send a fire-and-forget Ping after this long with no outgoing traffic,
+  /// so half-dead connections (NAT timeout, silent peer death) surface as
+  /// read errors instead of infinite silence. 0 disables keepalive.
+  int64_t keepalive_ms = 0;
+};
+
+/// Deterministic backoff delay for attempt `attempt` (0-based): capped
+/// exponential with seeded jitter in [base/2, base). Pure function —
+/// identical (attempt, initial, max, seed) always yields the identical
+/// delay, which is what makes reconnect schedules unit-testable.
+int64_t BackoffDelayMs(int64_t attempt, int64_t initial_ms, int64_t max_ms,
+                       uint64_t seed);
+
+/// Client-side resilience counters.
+struct ClientCounters {
+  int64_t reconnects = 0;       // successful re-dials after a lost connection
+  int64_t retries_sent = 0;     // tracked-submit resends (timer or verdict)
+  int64_t retries_deduped = 0;  // duplicate verdicts suppressed client-side
+  int64_t keepalive_pings = 0;  // idle-connection pings sent
 };
 
 /// Blocking TCP client for the serving wire protocol. One background
@@ -30,6 +79,21 @@ struct ClientOptions {
 /// Submit() may be called from any thread; RPCs serialize among
 /// themselves. The verdict handler runs on the reader thread — keep it
 /// cheap and do not call back into the client's RPCs from inside it.
+///
+/// Resilience (all opt-in via ClientOptions):
+///   - ConnectWithBackoff retries refused dials on a capped, seeded
+///     exponential schedule — the standard fix for the "client starts
+///     before the server finishes binding" race.
+///   - With reconnect_max_attempts > 0, a lost connection is re-dialed in
+///     the background and every pending tracked submit is resent.
+///   - SubmitTracked sends with kSubmitFlagIdempotent and guarantees the
+///     verdict handler fires exactly once per tag: lost frames are resent,
+///     duplicate verdicts are suppressed (counters().retries_deduped), and
+///     retryable failures (Unavailable / ResourceExhausted — a queue spike
+///     or a shard mid-failover) are retried up to submit_max_retries.
+///   - A kDrain frame from the server flips drained(): retries and
+///     reconnects stop, in-flight verdicts still deliver, and the eventual
+///     close is not treated as a failure.
 class NetClient {
  public:
   using VerdictHandler = std::function<void(const WireVerdict&)>;
@@ -46,15 +110,36 @@ class NetClient {
   }
 
   Status Connect(const std::string& host, uint16_t port);
+  /// Connect, retrying refused/timed-out dials on the backoff schedule.
+  /// `max_attempts` <= 0 uses options.reconnect_max_attempts (and if that
+  /// is also 0, a single attempt). Returns the last dial failure.
+  Status ConnectWithBackoff(const std::string& host, uint16_t port,
+                            int64_t max_attempts = 0);
   /// Shuts the socket down and joins the reader. Idempotent.
   void Close();
   bool connected() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  /// True once the server announced a graceful drain on this connection.
+  bool drained() const { return drained_.load(std::memory_order_acquire); }
 
   /// Fire-and-forget: one observation for `stream_key`. The verdict (or
   /// the admission failure, seq=-1) arrives at the verdict handler with
-  /// `tag` echoed. Fails only on transport errors.
+  /// `tag` echoed. Fails only on transport errors. No retry, no dedup —
+  /// the at-most-once flavor.
   Status Submit(uint64_t stream_key, uint64_t tag, const float* values,
                 int64_t dims);
+
+  /// Exactly-once flavor: sends with the idempotent flag and tracks the
+  /// submission until a final verdict arrives (see class comment). `tag`
+  /// must be unique per logical observation on this stream. The call
+  /// itself only fails on immediate, non-recoverable errors; with
+  /// reconnect enabled a send into a dead connection is queued and resent
+  /// once the connection returns.
+  Status SubmitTracked(uint64_t stream_key, uint64_t tag, const float* values,
+                       int64_t dims);
+
+  /// Tracked submissions whose final verdict has not arrived yet.
+  int64_t pending_tracked() const;
+  ClientCounters counters() const;
 
   /// Registers + calibrates a stream on the fleet. `calibration` is
   /// [rows, dims]. Returns the server's ack status.
@@ -74,19 +159,51 @@ class NetClient {
     std::vector<uint8_t> payload;
   };
 
+  using TrackedKey = std::pair<uint64_t, uint64_t>;  // (stream_key, tag)
+  struct TrackedSubmit {
+    std::vector<uint8_t> bytes;  // the encoded frame, resent verbatim
+    int64_t retries = 0;
+    std::chrono::steady_clock::time_point next_send;
+    WireVerdict last_failure;  // delivered if retries run out
+    bool has_failure = false;
+  };
+
+  /// One dial attempt honoring connect_timeout_ms (non-blocking connect +
+  /// poll). On success *out_fd holds a connected blocking socket.
+  Status DialOnce(const std::string& host, uint16_t port, int* out_fd);
+  /// Installs a freshly dialed fd and starts the reader (start_mu_ held).
+  void AdoptSocket(int fd);
   Status SendBytes(const std::vector<uint8_t>& bytes);
   /// Sends `bytes`, waits for a frame of type `expect` (or kError), and
   /// copies it to *reply.
   Status Rpc(const std::vector<uint8_t>& bytes, FrameType expect,
              OwnedFrame* reply);
   void ReaderThread();
+  void MaintenanceThread();
+  /// Tracked-verdict demux (runs on the reader thread): exactly-once
+  /// delivery, retry scheduling, duplicate suppression.
+  void OnVerdict(const WireVerdict& verdict);
   /// Fails any RPC in flight and marks the connection dead.
   void FailPending(const Status& status);
+  /// Completes every pending tracked submit with `status` (terminal
+  /// transport failure: reconnect exhausted or client closing).
+  void AbortTracked(const Status& status);
 
   ClientOptions options_;
   VerdictHandler handler_;
   std::atomic<int> fd_{-1};
   std::thread reader_;
+
+  /// Guards connection lifecycle (Connect/Close/reconnect) — the reader_
+  /// thread object, remote_host_/remote_port_, and closing_.
+  std::mutex start_mu_;
+  std::string remote_host_;
+  uint16_t remote_port_ = 0;
+  bool closing_ = false;
+
+  std::atomic<bool> drained_{false};
+  /// Reader exited on error; the maintenance thread should reconnect.
+  std::atomic<bool> conn_dead_{false};
 
   std::mutex send_mu_;  // serializes socket writes (frames stay whole)
   std::mutex rpc_mu_;   // one outstanding synchronous RPC at a time
@@ -98,6 +215,23 @@ class NetClient {
   bool rpc_done_ = false;
   OwnedFrame rpc_reply_;
   Status conn_status_;  // first transport/protocol failure, sticky
+
+  mutable std::mutex tracked_mu_;
+  std::map<TrackedKey, TrackedSubmit> tracked_;
+  /// Tags already completed, for duplicate-verdict suppression (bounded).
+  std::set<TrackedKey> done_tags_;
+  std::deque<TrackedKey> done_tags_lru_;
+
+  /// Timer thread for keepalive, tracked-submit resends, and reconnect;
+  /// parked on maint_cv_ when nothing is enabled.
+  std::thread maintenance_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+  std::chrono::steady_clock::time_point last_send_{};
+
+  mutable std::mutex counters_mu_;
+  ClientCounters counters_;
 };
 
 }  // namespace tranad::net

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -183,11 +184,76 @@ int64_t NetServer::num_connections() const {
   return static_cast<int64_t>(conns_.size());
 }
 
+void NetServer::Drain(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_reason_ = reason;
+  }
+  draining_.store(true, std::memory_order_release);
+  // The loop thread does the actual work (closing the listen socket,
+  // broadcasting kDrain) — fds are loop-owned.
+  if (wakeup_) wakeup_->Signal();
+}
+
+Status NetServer::WaitForDrain(int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool pending = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& conn : conns_) {
+        std::lock_guard<std::mutex> out_lock(conn->out_mu);
+        if (conn->out_head < conn->outbox.size()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending) return Status::Ok();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "drain did not flush every outbox within " +
+          std::to_string(timeout_ms) + " ms");
+    }
+    if (wakeup_) wakeup_->Signal();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
 void NetServer::LoopThread() {
   std::vector<pollfd> pfds;
   std::vector<std::shared_ptr<Connection>> snapshot;
+  bool drain_announced = false;
   while (!stop_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire) && !drain_announced) {
+      drain_announced = true;
+      // Stop accepting at the OS level: later connect()s are refused, which
+      // a resilient client reads as "find another replica", not an error.
+      if (listen_fd_ >= 0) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      WireDrain drain;
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drain.reason = drain_reason_;
+      }
+      std::vector<uint8_t> bytes;
+      drain.EncodeTo(&bytes);
+      std::vector<std::shared_ptr<Connection>> live;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        live = conns_;
+      }
+      for (const auto& conn : live) {
+        conn->QueueBytes(bytes.data(), bytes.size(),
+                         options_.max_outbox_bytes);
+      }
+    }
     pfds.clear();
+    // poll() ignores negative fds, so the closed-by-drain listen slot stays
+    // in place and the fixed indexing below keeps working.
     pfds.push_back({listen_fd_, POLLIN, 0});
     pfds.push_back({wakeup_->fds[0], POLLIN, 0});
     {
@@ -439,6 +505,10 @@ bool NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       if (!WireStatsRequest::Decode(frame, &req).ok()) return false;
       WireStatsReply reply;
       reply.snapshot = router_->stats();
+      // The router never sees duplicate submits (they are settled here, in
+      // front of it), so the dedup tally is the server's to report.
+      reply.snapshot.retries_deduped +=
+          submits_deduped_total_.load(std::memory_order_relaxed);
       std::vector<uint8_t> bytes;
       reply.EncodeTo(&bytes);
       conn->QueueBytes(bytes.data(), bytes.size(), options_.max_outbox_bytes);
@@ -458,6 +528,35 @@ bool NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
   }
 }
 
+std::shared_ptr<NetServer::Connection> NetServer::SettleDedup(
+    const DedupKey& id, bool ok, const std::vector<uint8_t>& bytes,
+    std::shared_ptr<Connection> fallback) {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  auto it = dedup_.find(id);
+  if (it == dedup_.end()) return fallback;  // evicted under pressure
+  std::shared_ptr<Connection> target = it->second.waiter.lock();
+  if (!target) target = std::move(fallback);
+  if (ok) {
+    // Cache the encoded verdict so a late replay of this submission gets
+    // the identical frame back without touching the stream again.
+    it->second.done = true;
+    it->second.verdict_bytes = bytes;
+    it->second.waiter.reset();
+    dedup_done_lru_.push_back(id);
+    while (static_cast<int64_t>(dedup_done_lru_.size()) >
+           options_.dedup_cache) {
+      dedup_.erase(dedup_done_lru_.front());
+      dedup_done_lru_.pop_front();
+    }
+  } else {
+    // A failed submission leaves no cached verdict: the retry re-executes
+    // from scratch. This is what lets a client retry *through* a shard
+    // failover — the resend lands on the stream's new shard and scores.
+    dedup_.erase(it);
+  }
+  return target;
+}
+
 void NetServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
                              const FrameView& frame) {
   WireSubmit submit;
@@ -467,16 +566,57 @@ void NetServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
     SendError(conn, decoded);
     return;
   }
-  Tensor observation({static_cast<int64_t>(submit.values.size())});
-  std::memcpy(observation.data(), submit.values.data(),
-              submit.values.size() * sizeof(float));
   const uint64_t tag = submit.tag;
   const uint64_t key = submit.stream_key;
   const size_t cap = options_.max_outbox_bytes;
+  const auto refuse = [&](const Status& status) {
+    // Admission failures (unknown stream, full queue, quarantine, bad
+    // dims, draining) come back as a verdict frame carrying the status
+    // with seq=-1, so the client's per-submit accounting always balances.
+    WireVerdict wire;
+    wire.stream_key = key;
+    wire.tag = tag;
+    wire.seq = -1;
+    wire.status = status;
+    std::vector<uint8_t> bytes;
+    wire.EncodeTo(&bytes);
+    conn->QueueBytes(bytes.data(), bytes.size(), cap);
+  };
+  if (draining_.load(std::memory_order_acquire)) {
+    refuse(Status::Unavailable("server draining"));
+    return;
+  }
+  const bool tracked = (submit.flags & kSubmitFlagIdempotent) != 0 &&
+                       options_.dedup_cache > 0;
+  const DedupKey id{key, tag};
+  if (tracked) {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    auto it = dedup_.find(id);
+    if (it != dedup_.end()) {
+      submits_deduped_total_.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.done) {
+        // Replay: the identical cached verdict, no rescoring.
+        conn->QueueBytes(it->second.verdict_bytes.data(),
+                         it->second.verdict_bytes.size(), cap);
+      } else {
+        // Still scoring (the resend usually arrived over a fresh
+        // connection): retarget delivery to the newest one.
+        it->second.waiter = conn;
+      }
+      return;
+    }
+    DedupEntry entry;
+    entry.waiter = conn;
+    dedup_.emplace(id, std::move(entry));
+  }
+  Tensor observation({static_cast<int64_t>(submit.values.size())});
+  std::memcpy(observation.data(), submit.values.data(),
+              submit.values.size() * sizeof(float));
   const Status admitted = router_->Submit(
       key, observation,
-      [conn, tag, cap](serve::StreamId stream_key, int64_t seq,
-                       const OnlineVerdict& verdict) {
+      [this, conn, id, tag, cap, tracked](serve::StreamId stream_key,
+                                          int64_t seq,
+                                          const OnlineVerdict& verdict) {
         WireVerdict wire;
         wire.stream_key = stream_key;
         wire.tag = tag;
@@ -487,20 +627,19 @@ void NetServer::HandleSubmit(const std::shared_ptr<Connection>& conn,
         wire.threshold = verdict.threshold;
         std::vector<uint8_t> bytes;
         wire.EncodeTo(&bytes);
-        conn->QueueBytes(bytes.data(), bytes.size(), cap);
+        std::shared_ptr<Connection> target = conn;
+        if (tracked) {
+          target = SettleDedup(id, verdict.status.ok(), bytes, conn);
+        }
+        target->QueueBytes(bytes.data(), bytes.size(), cap);
       });
   if (!admitted.ok()) {
-    // Admission failures (unknown stream, full queue, quarantine, bad
-    // dims) come back as a verdict frame carrying the status with seq=-1,
-    // so the client's per-submit accounting always balances.
-    WireVerdict wire;
-    wire.stream_key = key;
-    wire.tag = tag;
-    wire.seq = -1;
-    wire.status = admitted;
-    std::vector<uint8_t> bytes;
-    wire.EncodeTo(&bytes);
-    conn->QueueBytes(bytes.data(), bytes.size(), cap);
+    if (tracked) {
+      // Never cache an admission refusal: the retry must re-execute.
+      std::lock_guard<std::mutex> lock(dedup_mu_);
+      dedup_.erase(id);
+    }
+    refuse(admitted);
   }
 }
 

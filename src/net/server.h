@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +31,11 @@ struct ServerOptions {
   /// verdicts pile up past this is dropped (slow-consumer protection) —
   /// the alternative is unbounded server memory.
   size_t max_outbox_bytes = 8u << 20;
+  /// Completed idempotent-submit verdicts retained for replay dedup (LRU
+  /// by completion order). Each entry is one encoded verdict frame, so the
+  /// worst-case memory is small and bounded. 0 disables dedup entirely —
+  /// every submit, flagged or not, is scored.
+  int64_t dedup_cache = 4096;
 };
 
 /// TCP front end for a ShardRouter: a single poll()-based event-loop
@@ -75,6 +83,21 @@ class NetServer {
   /// dropped with the connections). Idempotent.
   void Stop();
 
+  /// Begins a graceful drain: the listen socket closes (new connections are
+  /// refused by the OS), every live client receives one kDrain frame, and
+  /// later Submit frames complete immediately with Unavailable — but every
+  /// verdict already in flight is still delivered. Idempotent; the server
+  /// keeps running until Stop(). The SIGTERM sequence is
+  /// Drain() -> router Flush() -> WaitForDrain() -> Stop().
+  void Drain(const std::string& reason = "server draining");
+
+  /// Blocks until every connection's outbox has flushed to the socket (all
+  /// delivered verdicts are actually on the wire), or DeadlineExceeded
+  /// after `timeout_ms`. Call after Drain() + router Flush().
+  Status WaitForDrain(int64_t timeout_ms);
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// Bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
   int64_t num_connections() const;
@@ -86,10 +109,29 @@ class NetServer {
   int64_t protocol_errors_total() const {
     return protocol_errors_total_.load(std::memory_order_relaxed);
   }
+  /// Duplicate idempotent submits suppressed (replayed from the dedup
+  /// cache or coalesced onto an in-flight scoring). Also folded into the
+  /// retries_deduped field of every Stats reply.
+  int64_t submits_deduped_total() const {
+    return submits_deduped_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Wakeup;
   struct Connection;
+
+  /// Dedup identity of one idempotent submission.
+  using DedupKey = std::pair<uint64_t, uint64_t>;  // (stream_key, tag)
+  /// One tracked idempotent submission. In flight: `waiter` names the
+  /// connection that should receive the verdict (a resend after reconnect
+  /// retargets it). Done: `verdict_bytes` holds the encoded Ok verdict for
+  /// replay. Failed submissions are erased instead — a retry re-executes,
+  /// which is what lets a client retry *through* a shard failover.
+  struct DedupEntry {
+    bool done = false;
+    std::weak_ptr<Connection> waiter;
+    std::vector<uint8_t> verdict_bytes;
+  };
 
   void LoopThread();
   void AcceptReady();
@@ -107,6 +149,13 @@ class NetServer {
   void SendError(const std::shared_ptr<Connection>& conn,
                  const Status& status);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Completion side of the dedup protocol: caches Ok verdicts (with LRU
+  /// eviction), erases failures, and returns the connection the verdict
+  /// should be delivered to (the latest waiter).
+  std::shared_ptr<Connection> SettleDedup(const DedupKey& id,
+                                          bool ok,
+                                          const std::vector<uint8_t>& bytes,
+                                          std::shared_ptr<Connection> fallback);
 
   serve::ShardRouter* router_;
   ServerOptions options_;
@@ -128,6 +177,18 @@ class NetServer {
 
   std::atomic<int64_t> accepted_total_{0};
   std::atomic<int64_t> protocol_errors_total_{0};
+
+  /// Idempotent-submit dedup state (see DedupEntry). A std::map keeps the
+  /// code simple; the LRU cap bounds it to a few thousand entries.
+  std::mutex dedup_mu_;
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::deque<DedupKey> dedup_done_lru_;  // completed entries, eviction order
+  std::atomic<int64_t> submits_deduped_total_{0};
+
+  /// Graceful drain (see Drain()).
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;
+  std::string drain_reason_;
 };
 
 }  // namespace tranad::net

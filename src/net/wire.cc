@@ -25,7 +25,7 @@ uint32_t GetLe32(const uint8_t* p) {
 
 bool IsKnownFrameType(uint8_t value) {
   return value >= static_cast<uint8_t>(FrameType::kPing) &&
-         value <= static_cast<uint8_t>(FrameType::kError);
+         value <= static_cast<uint8_t>(FrameType::kDrain);
 }
 
 void AppendFrame(FrameType type, const uint8_t* payload, size_t payload_len,
@@ -366,6 +366,7 @@ void WireSubmit::EncodeTo(std::vector<uint8_t>* out) const {
   PayloadWriter w(&payload);
   w.U64(stream_key);
   w.U64(tag);
+  w.U8(flags);
   w.F32Array(values.data(), values.size());
   AppendFrame(FrameType::kSubmit, payload.data(), payload.size(), out);
 }
@@ -375,6 +376,11 @@ Status WireSubmit::Decode(const FrameView& frame, WireSubmit* out) {
   PayloadReader r(frame.payload, frame.payload_len);
   TRANAD_RETURN_IF_ERROR(r.U64(&out->stream_key));
   TRANAD_RETURN_IF_ERROR(r.U64(&out->tag));
+  TRANAD_RETURN_IF_ERROR(r.U8(&out->flags));
+  if ((out->flags & ~kSubmitFlagIdempotent) != 0) {
+    return Status::InvalidArgument("unknown submit flag bits 0x" +
+                                   std::to_string(out->flags));
+  }
   TRANAD_RETURN_IF_ERROR(r.F32Array(&out->values, 1u << 20));
   return r.ExpectEnd();
 }
@@ -499,6 +505,10 @@ void WireStatsReply::EncodeTo(std::vector<uint8_t>* out) const {
   w.I64(s.watchdog_stalls);
   w.I64(s.reloads);
   w.I64(s.reload_failures);
+  w.I64(s.shards_failed);
+  w.I64(s.streams_migrated);
+  w.I64(s.reconnects);
+  w.I64(s.retries_deduped);
   w.I64(s.batches);
   w.I64(s.batched_observations);
   w.I64(s.queue_depth);
@@ -530,6 +540,10 @@ Status WireStatsReply::Decode(const FrameView& frame, WireStatsReply* out) {
   TRANAD_RETURN_IF_ERROR(r.I64(&s.watchdog_stalls));
   TRANAD_RETURN_IF_ERROR(r.I64(&s.reloads));
   TRANAD_RETURN_IF_ERROR(r.I64(&s.reload_failures));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.shards_failed));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.streams_migrated));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.reconnects));
+  TRANAD_RETURN_IF_ERROR(r.I64(&s.retries_deduped));
   TRANAD_RETURN_IF_ERROR(r.I64(&s.batches));
   TRANAD_RETURN_IF_ERROR(r.I64(&s.batched_observations));
   TRANAD_RETURN_IF_ERROR(r.I64(&s.queue_depth));
@@ -556,6 +570,20 @@ Status WireReload::Decode(const FrameView& frame, WireReload* out) {
   TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kReload));
   PayloadReader r(frame.payload, frame.payload_len);
   TRANAD_RETURN_IF_ERROR(r.String(&out->path, 4096));
+  return r.ExpectEnd();
+}
+
+void WireDrain::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.String(reason);
+  AppendFrame(FrameType::kDrain, payload.data(), payload.size(), out);
+}
+
+Status WireDrain::Decode(const FrameView& frame, WireDrain* out) {
+  TRANAD_RETURN_IF_ERROR(CheckType(frame, FrameType::kDrain));
+  PayloadReader r(frame.payload, frame.payload_len);
+  TRANAD_RETURN_IF_ERROR(r.String(&out->reason, 4096));
   return r.ExpectEnd();
 }
 

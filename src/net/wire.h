@@ -36,7 +36,9 @@ namespace tranad::net {
 /// reports a clean Status and drops the connection, never undefined
 /// behavior.
 inline constexpr uint32_t kWireMagic = 0x57444154;  // "TADW"
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: WireSubmit grew a flags byte (idempotent resubmission), WireStatsReply
+/// grew the four fault-tolerance counters, and kDrain joined the frame set.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameTrailerBytes = 4;
 inline constexpr size_t kFrameOverheadBytes =
@@ -61,6 +63,7 @@ enum class FrameType : uint8_t {
   kReload = 11,        // client -> server: rolling fleet model reload
   kReloadAck = 12,
   kError = 13,  // server -> client: terminal connection error, then close
+  kDrain = 14,  // server -> client: draining; finish in-flight, don't retry
 };
 
 /// True for values that decode to a known FrameType.
@@ -183,10 +186,18 @@ struct WirePing {
   static Status Decode(const FrameView& frame, WirePing* out);
 };
 
+/// WireSubmit.flags bit 0: the client may resend this exact (stream_key,
+/// tag) submission after a reconnect or timeout, and the server must
+/// deduplicate — at most one scoring, the cached verdict on replays.
+inline constexpr uint8_t kSubmitFlagIdempotent = 0x01;
+
 struct WireSubmit {
   uint64_t stream_key = 0;
-  /// Client-chosen correlation tag, echoed verbatim on the verdict.
+  /// Client-chosen correlation tag, echoed verbatim on the verdict. Under
+  /// kSubmitFlagIdempotent, (stream_key, tag) is the dedup identity and
+  /// must be unique per logical observation.
   uint64_t tag = 0;
+  uint8_t flags = 0;  // kSubmitFlag* bits; unknown bits are rejected
   std::vector<float> values;  // x_t in R^m
   void EncodeTo(std::vector<uint8_t>* out) const;
   static Status Decode(const FrameView& frame, WireSubmit* out);
@@ -243,6 +254,16 @@ struct WireReload {
   std::string path;
   void EncodeTo(std::vector<uint8_t>* out) const;
   static Status Decode(const FrameView& frame, WireReload* out);
+};
+
+/// Server -> client on graceful shutdown: the server stops accepting new
+/// work but still delivers verdicts for everything already admitted. A
+/// well-behaved client stops submitting and must NOT treat the subsequent
+/// close as a failure (no reconnect storm against a dying server).
+struct WireDrain {
+  std::string reason;
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  static Status Decode(const FrameView& frame, WireDrain* out);
 };
 
 }  // namespace tranad::net

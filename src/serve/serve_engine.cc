@@ -49,12 +49,27 @@ std::shared_ptr<const TranADDetector> ServeEngine::CurrentDetector() const {
 
 ServeEngine::~ServeEngine() { Stop(); }
 
-void ServeEngine::Stop() {
+void ServeEngine::Stop() { StopWith(nullptr); }
+
+void ServeEngine::Kill(const Status& reason) { StopWith(&reason); }
+
+void ServeEngine::StopWith(const Status* kill_reason) {
   // Advisory flag first: racing Submits and Reloads fail fast instead of
   // starting work the drain below would have to absorb.
   stop_requested_.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (stopped_) return;
+  if (kill_reason != nullptr) {
+    // Failover path: the queued backlog completes with the kill reason
+    // instead of being scored. A request lives in the submission queue XOR
+    // a formed batch, so this is exactly-once; and queued requests have
+    // touched no ring or POT, so the per-stream state stays exactly what a
+    // sequential replay of the *scored* observations would produce — the
+    // invariant the migration handoff depends on. Requests the batcher
+    // already picked up score normally below.
+    std::vector<ServeRequest> orphaned = submit_queue_.TryDrain();
+    for (ServeRequest& r : orphaned) FailRequest(&r, *kill_reason);
+  }
   submit_queue_.Close();
   // A concurrent ReloadModel holds pipeline_mu_ only until the in-flight
   // batches drain through the workers (which Stop never blocks), so the
@@ -95,6 +110,42 @@ Result<StreamId> ServeEngine::CreateStream(const TimeSeries& calibration) {
   // never has to touch existing sessions.
   auto session = std::make_shared<StreamSession>(id, options_.pot);
   session->Calibrate(*CurrentDetector(), calibration);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Result<StreamSessionState> ServeEngine::ExportStream(StreamId id) const {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no stream with id " + std::to_string(id));
+    }
+    session = it->second;
+  }
+  return session->ExportState();
+}
+
+Result<StreamId> ServeEngine::ImportStream(const StreamSessionState& state) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  if (state.window != window_ || state.dims != dims_) {
+    return Status::InvalidArgument(
+        "exported session geometry [window=" + std::to_string(state.window) +
+        ", dims=" + std::to_string(state.dims) +
+        "] does not match this engine [window=" + std::to_string(window_) +
+        ", dims=" + std::to_string(dims_) + "]");
+  }
+  StreamId id;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    id = next_stream_id_++;
+  }
+  auto session = std::make_shared<StreamSession>(id, options_.pot);
+  TRANAD_RETURN_IF_ERROR(session->RestoreState(state));
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.emplace(id, std::move(session));
   return id;

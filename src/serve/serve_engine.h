@@ -119,6 +119,27 @@ class ServeEngine {
   /// from inside a verdict callback.
   void Stop();
 
+  /// Failover shutdown: like Stop(), but requests still waiting in the
+  /// submission queue complete immediately with `reason` (Unavailable from
+  /// the router) instead of being scored. Queued requests have touched no
+  /// ring or POT state, so failing them is state-safe; anything the batcher
+  /// already picked up scores normally before the threads join. Every
+  /// admitted observation still completes exactly once. Idempotent, and a
+  /// no-op after Stop(). Do not call from inside a verdict callback.
+  void Kill(const Status& reason);
+
+  /// Snapshots one stream's full session state (ring rows + POT + sequence
+  /// + quarantine) for migration to another engine. The engine must be
+  /// quiesced — Kill()ed or Stop()ped — so no pipeline thread is touching
+  /// the session; NotFound for unknown streams.
+  Result<StreamSessionState> ExportStream(StreamId id) const;
+
+  /// Registers a stream rehydrated from another engine's ExportStream
+  /// (no calibration pass — the imported POT and ring ARE the calibrated
+  /// state). InvalidArgument when the exported geometry does not match this
+  /// engine's model; FailedPrecondition once stopped.
+  Result<StreamId> ImportStream(const StreamSessionState& state);
+
   /// Registers a new stream: calibrates its POT threshold from the series'
   /// scores and seeds its window ring with the series tail (exactly
   /// OnlineTranAD::Calibrate). Safe to call while traffic is flowing.
@@ -178,6 +199,9 @@ class ServeEngine {
   void BatcherLoop();
   void WorkerLoop();
   void WatchdogLoop();
+  /// Shared Stop/Kill shutdown; a non-null `kill_reason` fails the queued
+  /// backlog with it instead of letting the batcher drain and score it.
+  void StopWith(const Status* kill_reason);
   void DecrementPending(int64_t n);
   std::shared_ptr<const TranADDetector> CurrentDetector() const;
   /// Completes one admitted-but-unscored request: fires its callback with a

@@ -51,6 +51,10 @@ void ServeStatsSnapshot::MergeFrom(const ServeStatsSnapshot& other) {
   watchdog_stalls += other.watchdog_stalls;
   reloads += other.reloads;
   reload_failures += other.reload_failures;
+  shards_failed += other.shards_failed;
+  streams_migrated += other.streams_migrated;
+  reconnects += other.reconnects;
+  retries_deduped += other.retries_deduped;
   batches += other.batches;
   batched_observations += other.batched_observations;
   mean_batch_size = batches == 0 ? 0.0

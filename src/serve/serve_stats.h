@@ -51,6 +51,15 @@ struct ServeStatsSnapshot {
   int64_t watchdog_stalls = 0;      // watchdog fired and unwedged the queue
   int64_t reloads = 0;              // successful ReloadModel swaps
   int64_t reload_failures = 0;      // ReloadModel attempts rolled back
+  /// Fault-tolerance counters. A ServeEngine never sets these itself: the
+  /// ShardRouter folds its failover tallies into the fleet snapshot, the
+  /// NetServer adds its dedup-cache hits to the Stats reply, and a NetClient
+  /// merges its own reconnect/dedup counts client-side. They ride in the
+  /// snapshot so one MergeFrom rollup covers the whole fleet.
+  int64_t shards_failed = 0;     // shards tripped down and failed over
+  int64_t streams_migrated = 0;  // sessions rehydrated on a live shard
+  int64_t reconnects = 0;        // client reconnects after connection loss
+  int64_t retries_deduped = 0;   // duplicate idempotent submits suppressed
   int64_t batches = 0;     // scored micro-batches
   int64_t batched_observations = 0;  // sum of scored batch sizes
   double mean_batch_size = 0.0;

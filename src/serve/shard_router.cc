@@ -1,8 +1,11 @@
 #include "serve/shard_router.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace tranad::serve {
 namespace {
@@ -26,28 +29,40 @@ uint64_t VnodePoint(int64_t shard, int64_t vnode) {
 
 }  // namespace
 
-ShardRouter::ShardRouter(TranADDetector* detector,
-                         ShardRouterOptions options) {
+ShardRouter::ShardRouter(TranADDetector* detector, ShardRouterOptions options)
+    : options_(std::move(options)) {
   TRANAD_CHECK(detector != nullptr);
-  TRANAD_CHECK_GT(options.num_shards, 0);
-  TRANAD_CHECK_GT(options.vnodes_per_shard, 0);
-  shards_.reserve(static_cast<size_t>(options.num_shards));
-  for (int64_t s = 0; s < options.num_shards; ++s) {
-    shards_.push_back(std::make_unique<ServeEngine>(detector, options.shard));
+  TRANAD_CHECK_GT(options_.num_shards, 0);
+  TRANAD_CHECK_GT(options_.vnodes_per_shard, 0);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  shard_states_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<ServeEngine>(detector, options_.shard));
+    shard_states_.push_back(std::make_unique<ShardState>());
   }
   ring_.reserve(
-      static_cast<size_t>(options.num_shards * options.vnodes_per_shard));
-  for (int64_t s = 0; s < options.num_shards; ++s) {
-    for (int64_t v = 0; v < options.vnodes_per_shard; ++v) {
+      static_cast<size_t>(options_.num_shards * options_.vnodes_per_shard));
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    for (int64_t v = 0; v < options_.vnodes_per_shard; ++v) {
       ring_.emplace_back(VnodePoint(s, v), s);
     }
   }
   std::sort(ring_.begin(), ring_.end());
+  // The failover thread exists even with the health machine off: a
+  // `shard.kill` failpoint can trip a shard regardless of thresholds, and
+  // an idle thread parked on a condition variable costs nothing.
+  failover_ = std::thread([this] { FailoverLoop(); });
 }
 
 ShardRouter::~ShardRouter() { Stop(); }
 
 void ShardRouter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    failover_stop_ = true;
+  }
+  failover_cv_.notify_all();
+  if (failover_.joinable()) failover_.join();
   for (auto& shard : shards_) shard->Stop();
 }
 
@@ -62,8 +77,35 @@ int64_t ShardRouter::ShardOf(uint64_t key) const {
   return it->second;
 }
 
+int64_t ShardRouter::LiveShardOf(uint64_t key) const {
+  const uint64_t h = Mix64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, int64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Successor walk skipping vnodes of down shards: the failover placement
+  // rule ("next live shard on the ring"). Bounded by one full lap.
+  for (size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const int64_t shard = it->second;
+    if (shard_states_[static_cast<size_t>(shard)]->health.load(
+            std::memory_order_acquire) !=
+        static_cast<int>(ShardHealth::kDown)) {
+      return shard;
+    }
+  }
+  return ShardOf(key);  // every shard down: unreachable under the guard
+}
+
+ShardHealth ShardRouter::shard_health(int64_t shard) const {
+  TRANAD_CHECK_GE(shard, 0);
+  TRANAD_CHECK_LT(shard, num_shards());
+  return static_cast<ShardHealth>(
+      shard_states_[static_cast<size_t>(shard)]->health.load(
+          std::memory_order_acquire));
+}
+
 Status ShardRouter::CreateStream(uint64_t key, const TimeSeries& calibration) {
-  const int64_t shard = ShardOf(key);
+  const int64_t shard = LiveShardOf(key);
   {
     std::lock_guard<std::mutex> lock(routes_mu_);
     if (routes_.count(key) != 0) {
@@ -113,17 +155,160 @@ Status ShardRouter::CloseStream(uint64_t key) {
 Status ShardRouter::Submit(uint64_t key, const Tensor& observation,
                            VerdictCallback callback) {
   TRANAD_ASSIGN_OR_RETURN(const Route route, FindRoute(key));
+  // Chaos hook: an armed `shard.kill` takes the routed shard down as if its
+  // engine had died mid-request. The observation is refused *before*
+  // admission (it never touches the ring or POT), which is what makes the
+  // post-migration bit-exactness guarantee testable: the caller retries the
+  // refused observation on the migrated stream.
+  if (auto fp = TRANAD_FAILPOINT("shard.kill"); fp.is_error()) {
+    TripShard(route.shard);
+    return fp.ToStatus("shard " + std::to_string(route.shard) + " kill");
+  }
+  // Trip-to-migration window: the route still names the dead shard until
+  // the failover thread flips it. Refuse with the retryable code (the dead
+  // engine itself would answer FailedPrecondition, which clients rightly
+  // treat as final) so a retrying client sails through the failover.
+  if (shard_health(route.shard) == ShardHealth::kDown) {
+    return Status::Unavailable("shard " + std::to_string(route.shard) +
+                               " is failing over; retry");
+  }
   // Re-key the verdict so callers see their own stream key, not the
   // shard-local id (which is meaningless — and colliding — fleet-wide).
+  // Health observation rides on the same wrapper, and only when the health
+  // machine is actually on — the default hot path stays a plain re-key.
+  const bool observe_health =
+      options_.degraded_after > 0 || options_.down_after > 0;
   VerdictCallback rekeyed;
-  if (callback) {
-    rekeyed = [key, cb = std::move(callback)](StreamId /*local*/, int64_t seq,
-                                              const OnlineVerdict& verdict) {
-      cb(key, seq, verdict);
+  if (callback || observe_health) {
+    const int64_t shard = route.shard;
+    rekeyed = [this, key, shard, observe_health, cb = std::move(callback)](
+                  StreamId /*local*/, int64_t seq,
+                  const OnlineVerdict& verdict) {
+      if (observe_health) ObserveVerdict(shard, verdict.status);
+      if (cb) cb(key, seq, verdict);
     };
   }
   return shards_[static_cast<size_t>(route.shard)]->Submit(
       route.local, observation, std::move(rekeyed));
+}
+
+void ShardRouter::ObserveVerdict(int64_t shard, const Status& status) {
+  ShardState& state = *shard_states_[static_cast<size_t>(shard)];
+  // Only shard-fault statuses count: worker faults surface IoError (the
+  // failpoint default) or Internal (watchdog unwedge). Per-request outcomes
+  // — deadline expiry, shed, invalid input — say nothing about the shard.
+  const bool shard_fault = status.code() == StatusCode::kInternal ||
+                           status.code() == StatusCode::kIoError;
+  if (!shard_fault) {
+    state.consecutive_failures.store(0, std::memory_order_release);
+    return;
+  }
+  const int64_t streak =
+      state.consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (options_.degraded_after > 0 && streak >= options_.degraded_after) {
+    int expected = static_cast<int>(ShardHealth::kHealthy);
+    state.health.compare_exchange_strong(
+        expected, static_cast<int>(ShardHealth::kDegraded),
+        std::memory_order_acq_rel);
+  }
+  if (options_.down_after > 0 && streak >= options_.down_after) {
+    TripShard(shard);
+  }
+}
+
+bool ShardRouter::TripShard(int64_t shard) {
+  std::lock_guard<std::mutex> lock(failover_mu_);
+  ShardState& state = *shard_states_[static_cast<size_t>(shard)];
+  if (state.health.load(std::memory_order_acquire) ==
+      static_cast<int>(ShardHealth::kDown)) {
+    return false;  // already tripped (a queued failover will handle it)
+  }
+  // Last-live guard: the fleet never kills its own last engine. Pin the
+  // shard at degraded — it keeps serving, however unhealthily, because
+  // migrating its streams would have nowhere to go.
+  int64_t live = 0;
+  for (const auto& s : shard_states_) {
+    if (s->health.load(std::memory_order_acquire) !=
+        static_cast<int>(ShardHealth::kDown)) {
+      ++live;
+    }
+  }
+  if (live <= 1) {
+    state.health.store(static_cast<int>(ShardHealth::kDegraded),
+                       std::memory_order_release);
+    return false;
+  }
+  state.health.store(static_cast<int>(ShardHealth::kDown),
+                     std::memory_order_release);
+  shards_failed_.fetch_add(1, std::memory_order_acq_rel);
+  ++failovers_in_flight_;
+  failover_queue_.push_back(shard);
+  failover_cv_.notify_all();
+  return true;
+}
+
+void ShardRouter::FailoverLoop() {
+  std::unique_lock<std::mutex> lock(failover_mu_);
+  for (;;) {
+    failover_cv_.wait(lock, [this] {
+      return !failover_queue_.empty() || failover_stop_;
+    });
+    // Drain queued trips even during stop: a tripped shard's queued
+    // requests must still complete (exactly once) before shutdown.
+    if (failover_queue_.empty()) return;
+    const int64_t dead = failover_queue_.front();
+    failover_queue_.pop_front();
+    lock.unlock();
+    FailOverShard(dead);
+    lock.lock();
+    --failovers_in_flight_;
+    failover_cv_.notify_all();
+  }
+}
+
+void ShardRouter::FailOverShard(int64_t dead) {
+  ServeEngine& engine = *shards_[static_cast<size_t>(dead)];
+  // Kill, not Stop: queued-but-unscored submissions complete exactly once
+  // with this status instead of being scored on a dead shard.
+  engine.Kill(Status::Unavailable("shard " + std::to_string(dead) +
+                                  " is down; stream migrated — retry"));
+  // Migrate every victim stream under routes_mu_ so the route flip is
+  // atomic fleet-wide: no Submit ever sees a half-moved stream. Import does
+  // not score (no calibration pass), so the critical section is cheap.
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  for (auto& [key, route] : routes_) {
+    if (route.shard != dead) continue;
+    Result<StreamSessionState> exported = engine.ExportStream(route.local);
+    if (!exported.ok()) continue;  // closed concurrently: nothing to move
+    bool migrated = false;
+    if (auto fp = TRANAD_FAILPOINT("shard.migrate"); !fp.is_error()) {
+      const int64_t target = LiveShardOf(key);
+      Result<StreamId> imported =
+          shards_[static_cast<size_t>(target)]->ImportStream(exported.value());
+      if (imported.ok()) {
+        route.shard = target;
+        route.local = imported.value();
+        streams_migrated_.fetch_add(1, std::memory_order_acq_rel);
+        migrated = true;
+      }
+    }
+    // A stream that could not be re-homed is dropped from the route table;
+    // the caller sees NotFound and re-creates it (losing calibration state,
+    // which the status makes visible — never silently wrong verdicts).
+    if (!migrated) route.shard = -1;
+  }
+  // Erase dropped routes in a second pass (cannot erase while iterating).
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = it->second.shard == -1 ? routes_.erase(it) : std::next(it);
+  }
+}
+
+void ShardRouter::WaitForFailovers() {
+  std::unique_lock<std::mutex> lock(failover_mu_);
+  failover_cv_.wait(lock, [this] {
+    return (failover_queue_.empty() && failovers_in_flight_ == 0) ||
+           failover_stop_;
+  });
 }
 
 Status ShardRouter::ReleaseQuarantine(uint64_t key) {
@@ -178,6 +363,10 @@ ServeStatsSnapshot ShardRouter::stats() const {
   for (size_t s = 1; s < shards_.size(); ++s) {
     fleet.MergeFrom(shards_[s]->stats());
   }
+  // Engines know nothing about the fleet topology; the router owns the
+  // failover tallies and folds them into the rollup here.
+  fleet.shards_failed += shards_failed_.load(std::memory_order_acquire);
+  fleet.streams_migrated += streams_migrated_.load(std::memory_order_acquire);
   return fleet;
 }
 

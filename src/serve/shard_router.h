@@ -1,10 +1,14 @@
 #ifndef TRANAD_SERVE_SHARD_ROUTER_H_
 #define TRANAD_SERVE_SHARD_ROUTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -12,6 +16,15 @@
 #include "serve/serve_engine.h"
 
 namespace tranad::serve {
+
+/// Per-shard health, driven by the router's consecutive-failure counters
+/// (and `shard.*` failpoints). healthy -> degraded -> down is one-way per
+/// shard: a down shard is failed over and never restarted in-process.
+enum class ShardHealth {
+  kHealthy = 0,
+  kDegraded = 1,  // failures accumulating; still serving
+  kDown = 2,      // tripped; streams migrated to live shards
+};
 
 struct ShardRouterOptions {
   /// Independent ServeEngine shards, each with its own batcher, worker
@@ -27,6 +40,20 @@ struct ShardRouterOptions {
   /// Engine options applied to every shard (workers *per shard*, queue
   /// capacity per shard, batching and resilience knobs).
   ServeOptions shard;
+
+  // ---- Failover knobs (default off, per the resilience convention: with
+  // both thresholds 0 the health machine never trips on its own, and only
+  // an explicit `shard.kill` failpoint can take a shard down). ----
+
+  /// Mark a shard degraded after this many *consecutive* shard-fault
+  /// completions (Internal / IoError — worker faults and watchdog trips;
+  /// per-request statuses like InvalidArgument or DeadlineExceeded never
+  /// count). Any Ok completion resets the streak. 0 disables.
+  int64_t degraded_after = 0;
+  /// Trip the shard down (kill + migrate every stream) at this streak.
+  /// 0 disables automatic failover. The last live shard is never tripped:
+  /// it is pinned at degraded so the fleet always keeps serving.
+  int64_t down_after = 0;
 };
 
 /// Scale-out front end over N ServeEngine shards: client-chosen stream keys
@@ -52,6 +79,16 @@ struct ShardRouterOptions {
 ///     (ServeEngine's contract); shards already swapped are then rolled
 ///     back to the previous checkpoint (best effort) so the fleet converges
 ///     to one model version.
+///   - Failover: every verdict feeds a per-shard health state machine
+///     (healthy -> degraded -> down). When a shard trips — consecutive
+///     worker faults / watchdog stalls past `down_after`, or an armed
+///     `shard.kill` failpoint — a dedicated failover thread Kill()s the
+///     engine (queued submissions complete exactly once with Unavailable),
+///     exports every victim stream's session state (ring + POT + seq +
+///     quarantine) and rehydrates it on the next live shard along the
+///     consistent-hash ring. Scored history is ring/POT state and only Ok
+///     verdicts advance it, so post-migration verdicts stay bit-exact vs a
+///     sequential OnlineTranAD replay of the scored observations.
 class ShardRouter {
  public:
   /// `detector` must be fitted and must outlive the router; it is frozen
@@ -104,14 +141,31 @@ class ShardRouter {
   /// One shard's own snapshot (reservoir-exact percentiles).
   ServeStatsSnapshot shard_stats(int64_t shard) const;
 
-  /// Consistent-hash shard index for a stream key (pure function; exposed
-  /// for tests, placement debugging, and client-side shard awareness).
+  /// Consistent-hash shard index for a stream key (pure function of the
+  /// construction-time ring; exposed for tests, placement debugging, and
+  /// client-side shard awareness). Ignores health: live placement — which
+  /// skips down shards — is what CreateStream and failover actually use,
+  /// and the two agree whenever every shard is up.
   int64_t ShardOf(uint64_t key) const;
+
+  /// Current health of one shard.
+  ShardHealth shard_health(int64_t shard) const;
+
+  /// Blocks until every failover triggered so far has finished migrating
+  /// (the failover thread runs asynchronously from the trip). Safe to call
+  /// from tests and ops paths; do not call from a verdict callback.
+  void WaitForFailovers();
 
   int64_t num_shards() const {
     return static_cast<int64_t>(shards_.size());
   }
   int64_t num_streams() const;
+  int64_t shards_failed() const {
+    return shards_failed_.load(std::memory_order_acquire);
+  }
+  int64_t streams_migrated() const {
+    return streams_migrated_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Route {
@@ -119,7 +173,30 @@ class ShardRouter {
     StreamId local = 0;  // shard-engine stream id
   };
 
+  /// Health bookkeeping; transitions serialize under failover_mu_, reads
+  /// on the verdict hot path are lock-free.
+  struct ShardState {
+    std::atomic<int64_t> consecutive_failures{0};
+    std::atomic<int> health{static_cast<int>(ShardHealth::kHealthy)};
+  };
+
   Result<Route> FindRoute(uint64_t key) const;
+  /// First live (non-down) shard at or after the key's ring point — the
+  /// failover-aware placement walk. Falls back to ShardOf when every shard
+  /// reads down (cannot happen while the last-live guard holds).
+  int64_t LiveShardOf(uint64_t key) const;
+  /// Counts a completion against the shard's failure streak; trips the
+  /// shard when the streak crosses down_after.
+  void ObserveVerdict(int64_t shard, const Status& status);
+  /// Marks the shard down and queues it for the failover thread. Returns
+  /// false when the shard is already down or is the last live shard (which
+  /// is pinned at degraded instead — the fleet never kills its own last
+  /// engine). Never migrates inline: callers may be on worker threads.
+  bool TripShard(int64_t shard);
+  void FailoverLoop();
+  /// Kills the dead shard and migrates every victim stream to its live
+  /// ring successor. Runs on the failover thread only.
+  void FailOverShard(int64_t dead);
 
   std::vector<std::unique_ptr<ServeEngine>> shards_;
   /// Consistent-hash ring: (point, shard), sorted by point. Immutable
@@ -133,6 +210,21 @@ class ShardRouter {
   /// checkpoint path (the rollback target for partially applied fleets).
   std::mutex reload_mu_;
   std::string model_path_;
+
+  ShardRouterOptions options_;
+  std::vector<std::unique_ptr<ShardState>> shard_states_;
+  std::atomic<int64_t> shards_failed_{0};
+  std::atomic<int64_t> streams_migrated_{0};
+
+  /// Failover queue + thread. Trips enqueue; the thread Kill()s and
+  /// migrates, so no verdict callback ever joins engine threads (that
+  /// would deadlock — the callback runs *on* one of them).
+  std::mutex failover_mu_;
+  std::condition_variable failover_cv_;
+  std::deque<int64_t> failover_queue_;
+  int64_t failovers_in_flight_ = 0;
+  bool failover_stop_ = false;
+  std::thread failover_;
 };
 
 }  // namespace tranad::serve

@@ -29,4 +29,28 @@ void StreamSession::Calibrate(const TranADDetector& detector,
   }
 }
 
+StreamSessionState StreamSession::ExportState() const {
+  StreamSessionState state;
+  state.window = ring_.window();
+  state.dims = ring_.dims();
+  state.ring_rows = ring_.ExportRows();
+  state.pot = spot_.ExportState();
+  state.next_seq = seq_.load(std::memory_order_acquire);
+  state.non_finite_streak =
+      consecutive_non_finite_.load(std::memory_order_acquire);
+  state.quarantined = quarantined_.load(std::memory_order_acquire);
+  return state;
+}
+
+Status StreamSession::RestoreState(const StreamSessionState& state) {
+  TRANAD_RETURN_IF_ERROR(spot_.RestoreState(state.pot));
+  TRANAD_RETURN_IF_ERROR(
+      ring_.Restore(state.window, state.dims, state.ring_rows));
+  seq_.store(state.next_seq, std::memory_order_release);
+  consecutive_non_finite_.store(state.non_finite_streak,
+                                std::memory_order_release);
+  quarantined_.store(state.quarantined, std::memory_order_release);
+  return Status::Ok();
+}
+
 }  // namespace tranad::serve

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "core/tranad_detector.h"
 #include "core/window_ring.h"
@@ -12,6 +13,21 @@ namespace tranad::serve {
 
 /// Identifier of a registered stream; never reused within one engine.
 using StreamId = uint64_t;
+
+/// Everything a stream needs to continue scoring bit-exactly on another
+/// engine: the normalized ring rows (oldest -> newest), the full streaming
+/// POT state, the next per-stream sequence number, and the quarantine
+/// bookkeeping. Produced by StreamSession::ExportState on a quiesced
+/// session and consumed by RestoreState (the shard-failover handoff).
+struct StreamSessionState {
+  int64_t window = 0;
+  int64_t dims = 0;
+  std::vector<float> ring_rows;  // size/dims-shaped, oldest -> newest
+  StreamingPotState pot;
+  int64_t next_seq = 0;
+  int64_t non_finite_streak = 0;
+  bool quarantined = false;
+};
 
 /// Per-stream serving state: the normalized trailing-window ring buffer and
 /// the streaming POT threshold, mirroring exactly what OnlineTranAD keeps
@@ -37,6 +53,17 @@ class StreamSession {
   /// no detector pointer, so ServeEngine::ReloadModel can swap the model
   /// without touching live sessions.
   void Calibrate(const TranADDetector& detector, const TimeSeries& calibration);
+
+  /// Snapshots the session for migration. The caller must have quiesced the
+  /// engine first (no batcher/worker touching this session): export reads
+  /// the ring and POT without locks, same as the pipeline's thread
+  /// discipline above.
+  StreamSessionState ExportState() const;
+
+  /// Rebuilds the session from an export, replacing calibration: ring rows,
+  /// POT state, sequence counter, and quarantine flags all carry over, so
+  /// the next Submit scores exactly as it would have on the source engine.
+  Status RestoreState(const StreamSessionState& state);
 
   StreamId id() const { return id_; }
   WindowRing* ring() { return &ring_; }

@@ -200,6 +200,42 @@ TEST(StreamingPotTest, ExportRestoreThresholdsIdentically) {
   }
 }
 
+// The shard-failover handoff exports a pot at an arbitrary point in its
+// refit cadence. Export at the exact steps where Observe just absorbed a
+// peak and re-fit the GPD — the moments the mutable state (peaks, n, z_q)
+// all changed at once — and verify the restored pot is indistinguishable
+// from the live one from then on.
+TEST(StreamingPotTest, ExportAtRefitBoundariesRestoresBitExact) {
+  StreamingPot live({.risk = 1e-3, .init_quantile = 0.9});
+  ASSERT_TRUE(live.Initialize(ExponentialSample(1.0, 1000, 31)).ok());
+
+  // Walk the stream to the third refit boundary: the step where Observe
+  // just absorbed a peak and re-fit (peaks, n, and z_q all changed).
+  Rng rng(32);
+  int refits = 0;
+  int steps = 0;
+  while (refits < 3) {
+    ASSERT_LT(steps, 2000) << "the stream never exercised three refits";
+    const int64_t peaks_before = live.num_peaks();
+    live.Observe(-std::log(1.0 - rng.Uniform()));
+    ++steps;
+    if (live.num_peaks() > peaks_before) ++refits;
+  }
+
+  StreamingPot restored(live.params());
+  ASSERT_TRUE(restored.RestoreState(live.ExportState()).ok());
+  EXPECT_EQ(restored.threshold(), live.threshold());
+  EXPECT_EQ(restored.num_peaks(), live.num_peaks());
+
+  // Live and restored co-evolve on the same continuation: every flag and
+  // every threshold stays bit-identical.
+  for (int j = 0; j < 500; ++j) {
+    const double s = -std::log(1.0 - rng.Uniform());
+    ASSERT_EQ(live.Observe(s), restored.Observe(s)) << "step " << j;
+    ASSERT_EQ(live.threshold(), restored.threshold()) << "step " << j;
+  }
+}
+
 TEST(StreamingPotTest, RestoreRejectsCorruptState) {
   StreamingPot spot;
   StreamingPotState state;

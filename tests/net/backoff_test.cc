@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "fleet_fixture.h"
+
+namespace tranad::net {
+namespace {
+
+using failpoint::Action;
+using failpoint::Schedule;
+using failpoint::ScopedFailpoint;
+using serve::ShardRouter;
+using serve::ShardRouterOptions;
+
+// Client-resilience suite: seeded backoff, connect retry, tracked-submit
+// retry with server-side dedup, keepalive, and graceful drain — the client
+// half of the failover story. Invariant throughout: every tracked tag gets
+// exactly one final verdict, duplicates never reach the handler.
+class BackoffTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  static ShardRouterOptions RouterOptions(int64_t shards) {
+    ShardRouterOptions options;
+    options.num_shards = shards;
+    options.shard.num_workers = 1;
+    options.shard.max_batch = 4;
+    options.shard.max_wait_us = 100;
+    options.shard.pot = PotParamsForDataset("SMAP");
+    return options;
+  }
+
+  /// Counts verdicts per (stream, tag); flags any duplicate delivery.
+  struct TagLog {
+    std::mutex mu;
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<Status>> verdicts;
+    bool duplicate = false;
+
+    void Record(const WireVerdict& v) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto& list = verdicts[{v.stream_key, v.tag}];
+      if (!list.empty()) duplicate = true;
+      list.push_back(v.status);
+    }
+    size_t Count() {
+      std::lock_guard<std::mutex> lock(mu);
+      return verdicts.size();
+    }
+  };
+
+  /// Polls until the client has no tracked submissions in flight.
+  static bool AwaitSettled(NetClient* client, int64_t timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (client->pending_tracked() > 0) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+};
+
+TEST_F(BackoffTest, BackoffDelayIsDeterministicJitteredAndCapped) {
+  // Pure function: identical inputs, identical delay — the property that
+  // makes reconnect schedules replayable in tests and incident forensics.
+  for (int64_t attempt = 0; attempt < 12; ++attempt) {
+    const int64_t a = BackoffDelayMs(attempt, 50, 2000, 7);
+    const int64_t b = BackoffDelayMs(attempt, 50, 2000, 7);
+    EXPECT_EQ(a, b);
+    // Jitter lands in [base/2, base) of the capped exponential base.
+    int64_t base = 50;
+    for (int64_t k = 0; k < attempt && base < 2000; ++k) base *= 2;
+    if (base > 2000) base = 2000;
+    EXPECT_GE(a, base / 2) << "attempt " << attempt;
+    EXPECT_LT(a, base) << "attempt " << attempt;
+  }
+  // Deep attempts saturate at the cap instead of overflowing.
+  const int64_t deep = BackoffDelayMs(60, 50, 2000, 7);
+  EXPECT_GE(deep, 1000);
+  EXPECT_LT(deep, 2000);
+  // Different seeds de-correlate: two clients never stampede in lockstep.
+  bool seeds_differ = false;
+  for (int64_t attempt = 0; attempt < 10 && !seeds_differ; ++attempt) {
+    seeds_differ =
+        BackoffDelayMs(attempt, 50, 2000, 1) !=
+        BackoffDelayMs(attempt, 50, 2000, 2);
+  }
+  EXPECT_TRUE(seeds_differ);
+}
+
+// The serve_loadgen startup race, distilled: the client dials before the
+// server has bound. ConnectWithBackoff keeps retrying the refused dial on
+// the backoff schedule and wins once the server appears.
+TEST_F(BackoffTest, ConnectWithBackoffSurvivesLateServerStart) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(1));
+
+  // Reserve an ephemeral port, then release it (SO_REUSEADDR makes the
+  // rebind race-free against our own re-listen).
+  uint16_t port = 0;
+  {
+    NetServer probe(&router);
+    ASSERT_TRUE(probe.Start().ok());
+    port = probe.port();
+    probe.Stop();
+  }
+
+  ServerOptions options;
+  options.port = port;
+  NetServer server(&router, options);
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const Status st = server.Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+
+  ClientOptions copts;
+  copts.backoff_initial_ms = 20;
+  copts.backoff_max_ms = 200;
+  copts.connect_timeout_ms = 2000;
+  NetClient client(copts);
+  const Status connected = client.ConnectWithBackoff("127.0.0.1", port, 60);
+  late_start.join();
+  ASSERT_TRUE(connected.ok()) << connected.ToString();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(BackoffTest, ConnectWithBackoffGivesUpAgainstDeadPort) {
+  const TestFleet& fleet = TestFleet::Get();
+  uint16_t dead_port = 0;
+  {
+    ShardRouter router(fleet.detector, RouterOptions(1));
+    NetServer probe(&router);
+    ASSERT_TRUE(probe.Start().ok());
+    dead_port = probe.port();
+  }  // server gone; the port now refuses connections
+
+  ClientOptions copts;
+  copts.backoff_initial_ms = 10;
+  copts.backoff_max_ms = 40;
+  NetClient client(copts);
+  const Status st = client.ConnectWithBackoff("127.0.0.1", dead_port, 3);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(client.connected());
+}
+
+// A slow verdict crosses the client's retry timer: the resends reach the
+// server as duplicates, the dedup cache coalesces them onto the in-flight
+// scoring, and the handler still fires exactly once.
+TEST_F(BackoffTest, TrackedResendsAreDedupedToOneVerdict) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(1));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Every scoring pass stalls 120ms; the client resends at 30ms.
+  ScopedFailpoint slow("serve.worker.score", Action::Delay(120'000));
+
+  ClientOptions copts;
+  copts.submit_retry_ms = 30;
+  copts.submit_max_retries = 8;
+  NetClient client(copts);
+  TagLog log;
+  client.set_verdict_handler([&](const WireVerdict& v) { log.Record(v); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateStream(1, fleet.datasets[0].train.values).ok());
+
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(client.SubmitTracked(1, 42, obs.data(), obs.numel()).ok());
+  ASSERT_TRUE(AwaitSettled(&client, 10'000));
+
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    const auto key = std::make_pair(uint64_t{1}, uint64_t{42});
+    ASSERT_EQ(log.verdicts.count(key), 1u);
+    EXPECT_FALSE(log.duplicate) << "a resend produced a second verdict";
+    EXPECT_TRUE(log.verdicts[key][0].ok());
+  }
+  const ClientCounters counters = client.counters();
+  EXPECT_GE(counters.retries_sent, 1) << "the 120ms stall must trigger "
+                                         "at least one 30ms resend";
+  EXPECT_GE(server.submits_deduped_total(), 1)
+      << "the server never saw (or never suppressed) the duplicate";
+}
+
+// A duplicate tag arriving AFTER completion replays the cached verdict
+// instead of re-scoring: stream state advances exactly once. The duplicate
+// comes from a second connection — dedup is keyed by (stream, tag), which
+// is exactly what makes a reconnect-and-resend safe.
+TEST_F(BackoffTest, CompletedDuplicateReplaysCachedVerdict) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(1));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::mutex mu;
+  std::vector<WireVerdict> got;
+  auto handler = [&](const WireVerdict& v) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(v);
+  };
+  auto wait_for = [&](size_t n) {
+    for (int i = 0; i < 1000; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (got.size() >= n) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  };
+
+  NetClient first;
+  first.set_verdict_handler(handler);
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(first.CreateStream(1, fleet.datasets[0].train.values).ok());
+
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(first.SubmitTracked(1, 7, obs.data(), obs.numel()).ok());
+  ASSERT_TRUE(wait_for(1));  // scored and delivered: the entry is done
+
+  NetClient second;
+  second.set_verdict_handler(handler);
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(second.SubmitTracked(1, 7, obs.data(), obs.numel()).ok());
+  ASSERT_TRUE(wait_for(2));
+
+  router.Flush();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(got.size(), 2u);
+  // Byte-identical replay: same seq, same score, and the fleet scored it
+  // exactly once (completed == 1, not 2).
+  EXPECT_EQ(got[0].seq, got[1].seq);
+  EXPECT_EQ(got[0].score, got[1].score);
+  EXPECT_EQ(router.stats().completed, 1);
+  EXPECT_EQ(server.submits_deduped_total(), 1);
+}
+
+// Retry THROUGH a failover: the kill refuses the tracked submit with a
+// retryable status, the client resends on its timer, and once the stream
+// has migrated the retry scores — one Ok verdict, zero duplicates.
+TEST_F(BackoffTest, TrackedSubmitRetriesThroughShardFailover) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(2));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.submit_retry_ms = 30;
+  copts.submit_max_retries = 20;
+  NetClient client(copts);
+  TagLog log;
+  client.set_verdict_handler([&](const WireVerdict& v) { log.Record(v); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateStream(1, fleet.datasets[0].train.values).ok());
+
+  const Tensor obs = fleet.Observation(0, 0);
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    ASSERT_TRUE(client.SubmitTracked(1, 99, obs.data(), obs.numel()).ok());
+    ASSERT_TRUE(AwaitSettled(&client, 10'000))
+        << "the retry never made it through the failover";
+  }
+  router.WaitForFailovers();
+
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    const auto key = std::make_pair(uint64_t{1}, uint64_t{99});
+    ASSERT_EQ(log.verdicts.count(key), 1u);
+    EXPECT_FALSE(log.duplicate);
+    EXPECT_TRUE(log.verdicts[key][0].ok())
+        << log.verdicts[key][0].ToString();
+  }
+  EXPECT_GE(client.counters().retries_sent, 1);
+  EXPECT_EQ(router.shards_failed(), 1);
+  EXPECT_GE(router.streams_migrated(), 1);
+}
+
+// Keepalive pings flow on an idle connection and are invisible to RPCs.
+TEST_F(BackoffTest, KeepalivePingsFlowOnIdleConnection) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(1));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.keepalive_ms = 20;
+  NetClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GE(client.counters().keepalive_pings, 1)
+      << "200ms idle at keepalive_ms=20 must ping";
+  // The fire-and-forget pongs did not confuse the RPC demux.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.connected());
+}
+
+// Graceful drain end to end: Drain() announces to every client, later
+// submits are refused with Unavailable, in-flight verdicts still deliver,
+// WaitForDrain flushes every outbox, and the client reports drained().
+TEST_F(BackoffTest, DrainNotifiesClientsAndRefusesNewSubmits) {
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(1));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  TagLog log;
+  NetClient client;
+  client.set_verdict_handler([&](const WireVerdict& v) { log.Record(v); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateStream(1, fleet.datasets[0].train.values).ok());
+
+  const Tensor obs = fleet.Observation(0, 0);
+  ASSERT_TRUE(client.Submit(1, 1, obs.data(), obs.numel()).ok());
+  // Let the pre-drain submit complete so its verdict is truly in flight
+  // (or delivered) when the drain begins.
+  for (int i = 0; i < 1000 && log.Count() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(log.Count(), 1u);
+
+  server.Drain("rolling restart");
+  for (int i = 0; i < 1000 && !client.drained(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(client.drained()) << "the kDrain frame never arrived";
+
+  // A submit after the drain is refused immediately with the retryable
+  // code — the client's cue to fail over to another replica.
+  ASSERT_TRUE(client.Submit(1, 2, obs.data(), obs.numel()).ok());
+  for (int i = 0; i < 1000 && log.Count() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    const auto key = std::make_pair(uint64_t{1}, uint64_t{2});
+    ASSERT_EQ(log.verdicts.count(key), 1u);
+    EXPECT_EQ(log.verdicts[key][0].code(), StatusCode::kUnavailable);
+  }
+
+  router.Flush();
+  EXPECT_TRUE(server.WaitForDrain(5000).ok());
+  server.Stop();
+  // New connections are refused once draining (the listen socket closed).
+  NetClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
+}
+
+// CI matrix entry point: the chaos-failover job arms shard-kill schedules
+// from TRANAD_FAILPOINTS and runs this soak. Invariants under any armed
+// schedule: every tracked tag completes exactly once (zero duplicates),
+// and fleet accounting balances (submitted == completed + failed).
+TEST_F(BackoffTest, EnvScheduleChaosFailoverSoak) {
+  const char* preset = std::getenv("TRANAD_FAILPOINTS");
+  if (preset == nullptr || preset[0] == '\0') {
+    ::setenv("TRANAD_FAILPOINTS", "shard.kill=err:unavailable@40", 1);
+    ASSERT_TRUE(failpoint::ArmFromEnv().ok());
+    ::unsetenv("TRANAD_FAILPOINTS");
+  } else {
+    ASSERT_TRUE(failpoint::ArmFromEnv().ok());
+  }
+
+  const TestFleet& fleet = TestFleet::Get();
+  ShardRouter router(fleet.detector, RouterOptions(2));
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.submit_retry_ms = 25;
+  copts.submit_max_retries = 20;
+  copts.reconnect_max_attempts = 10;
+  NetClient client(copts);
+  TagLog log;
+  client.set_verdict_handler([&](const WireVerdict& v) { log.Record(v); });
+  ASSERT_TRUE(client.ConnectWithBackoff("127.0.0.1", server.port(), 10).ok());
+  for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+    ASSERT_TRUE(
+        client.CreateStream(s + 1, fleet.datasets[s].train.values).ok());
+  }
+
+  const int64_t per_stream = 30;
+  int64_t sent = 0;
+  for (int64_t t = 0; t < per_stream; ++t) {
+    for (uint64_t s = 0; s < TestFleet::kNumStreams; ++s) {
+      const Tensor obs =
+          fleet.Observation(s, t % fleet.datasets[s].test.length());
+      const uint64_t tag = static_cast<uint64_t>(t) * 10 + s;
+      if (client.SubmitTracked(s + 1, tag, obs.data(), obs.numel()).ok()) {
+        ++sent;
+      }
+    }
+  }
+  EXPECT_TRUE(AwaitSettled(&client, 30'000)) << "soak never settled";
+  router.WaitForFailovers();
+  router.Flush();
+
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    EXPECT_FALSE(log.duplicate) << "a tag was delivered twice";
+    EXPECT_EQ(log.verdicts.size(), static_cast<size_t>(sent))
+        << "a tracked submission vanished";
+  }
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed)
+      << "fleet accounting does not balance";
+}
+
+}  // namespace
+}  // namespace tranad::net

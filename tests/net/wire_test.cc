@@ -158,6 +158,58 @@ TEST(WireFrameTest, AllFrameTypesRoundTrip) {
   WireReload reload2;
   ASSERT_TRUE(WireReload::Decode(MustParseOne(&reader, bytes), &reload2).ok());
   EXPECT_EQ(reload2.path, reload.path);
+
+  bytes.clear();
+  WireDrain drain;
+  drain.reason = "rolling restart";
+  drain.EncodeTo(&bytes);
+  WireDrain drain2;
+  ASSERT_TRUE(WireDrain::Decode(MustParseOne(&reader, bytes), &drain2).ok());
+  EXPECT_EQ(drain2.reason, drain.reason);
+}
+
+// v2 additions: the idempotent submit flag survives the wire, unknown flag
+// bits are a protocol error (a future client cannot silently lose
+// semantics against an old server), and the fault-tolerance counters in
+// the stats snapshot round-trip.
+TEST(WireFrameTest, V2SubmitFlagsAndStatsCountersRoundTrip) {
+  FrameReader reader;
+  std::vector<uint8_t> bytes;
+
+  WireSubmit submit;
+  submit.stream_key = 3;
+  submit.tag = 4;
+  submit.flags = kSubmitFlagIdempotent;
+  submit.values = {1.0f};
+  submit.EncodeTo(&bytes);
+  WireSubmit submit2;
+  ASSERT_TRUE(WireSubmit::Decode(MustParseOne(&reader, bytes), &submit2).ok());
+  EXPECT_EQ(submit2.flags, kSubmitFlagIdempotent);
+
+  // Flip an undefined flag bit in place and re-seal the CRC by re-encoding.
+  bytes.clear();
+  submit.flags = kSubmitFlagIdempotent | 0x40;
+  submit.EncodeTo(&bytes);
+  WireSubmit rejected;
+  EXPECT_EQ(WireSubmit::Decode(MustParseOne(&reader, bytes), &rejected).code(),
+            StatusCode::kInvalidArgument)
+      << "unknown submit flag bits must be refused, not ignored";
+
+  bytes.clear();
+  WireStatsReply reply;
+  reply.snapshot.shards_failed = 2;
+  reply.snapshot.streams_migrated = 17;
+  reply.snapshot.reconnects = 5;
+  reply.snapshot.retries_deduped = 9;
+  reply.snapshot.latency_hist.assign(serve::kLatencyHistBuckets, 0);
+  reply.EncodeTo(&bytes);
+  WireStatsReply reply2;
+  ASSERT_TRUE(
+      WireStatsReply::Decode(MustParseOne(&reader, bytes), &reply2).ok());
+  EXPECT_EQ(reply2.snapshot.shards_failed, 2);
+  EXPECT_EQ(reply2.snapshot.streams_migrated, 17);
+  EXPECT_EQ(reply2.snapshot.reconnects, 5);
+  EXPECT_EQ(reply2.snapshot.retries_deduped, 9);
 }
 
 TEST(WireFrameTest, ParsesAcrossArbitraryChunkBoundaries) {

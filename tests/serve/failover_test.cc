@@ -1,0 +1,572 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/online_detector.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "serve/shard_router.h"
+#include "serve/stream_session.h"
+
+namespace tranad::serve {
+namespace {
+
+using failpoint::Action;
+using failpoint::Schedule;
+using failpoint::ScopedFailpoint;
+
+// Failover suite: shard death (injected via shard.* failpoints or driven by
+// worker-fault streaks) must migrate every victim stream's session state to
+// a live shard with zero verdict drift — the post-migration verdict stream
+// is bit-for-bit the sequential OnlineTranAD replay of the observations
+// that were actually scored.
+class FailoverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = SmapConfig(0.2);
+    config.anomaly_magnitude = 1.6;
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      config.seed = 511 + s;
+      datasets_->push_back(GenerateSynthetic(config));
+    }
+    TranADConfig model_config;
+    model_config.window = 8;
+    model_config.d_ff = 16;
+    TrainOptions train;
+    train.max_epochs = 2;
+    detector_ = new TranADDetector(model_config, train);
+    detector_->Fit((*datasets_)[0].train);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+    datasets_->clear();
+  }
+
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  static Tensor Observation(const TimeSeries& series, int64_t t) {
+    Tensor row({series.dims()});
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      row[d] = series.values.At({t, d});
+    }
+    return row;
+  }
+
+  static ShardRouterOptions FastOptions(int64_t shards) {
+    ShardRouterOptions options;
+    options.num_shards = shards;
+    options.shard.num_workers = 1;
+    options.shard.max_batch = 4;
+    options.shard.max_wait_us = 100;
+    options.shard.pot = PotParamsForDataset("SMAP");
+    return options;
+  }
+
+  static void SubmitRetrying(ShardRouter* router, uint64_t key,
+                             const Tensor& obs, VerdictCallback cb) {
+    Status st = Status::Ok();
+    do {
+      st = router->Submit(key, obs, cb);
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  struct RecordedVerdict {
+    int64_t seq = 0;
+    OnlineVerdict verdict;
+  };
+
+  struct VerdictLog {
+    std::mutex mu;
+    std::map<StreamId, std::vector<RecordedVerdict>> by_stream;
+    std::atomic<int64_t> total{0};
+
+    VerdictCallback Callback() {
+      return [this](StreamId stream, int64_t seq, const OnlineVerdict& v) {
+        std::lock_guard<std::mutex> lock(mu);
+        by_stream[stream].push_back({seq, v});
+        total.fetch_add(1, std::memory_order_relaxed);
+      };
+    }
+  };
+
+  static constexpr uint64_t kNumStreams = 3;
+  static TranADDetector* detector_;
+  static std::vector<Dataset>* datasets_;
+};
+
+TranADDetector* FailoverTest::detector_ = nullptr;
+std::vector<Dataset>* FailoverTest::datasets_ = new std::vector<Dataset>();
+
+// The tentpole parity test: kill a shard mid-traffic via shard.kill, let
+// the failover thread migrate its streams, keep submitting — and every
+// stream's complete verdict sequence (across the migration boundary) is
+// bit-for-bit what a sequential OnlineTranAD run over the same scored
+// observations produces. Exported ring + POT state IS the scored history.
+TEST_F(FailoverTest, ShardKillMigratesStreamsBitExact) {
+  const int64_t steps = 24;
+  const int64_t boundary = steps / 2;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  std::vector<std::vector<OnlineVerdict>> expected(kNumStreams);
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    OnlineTranAD online(detector_, pot);
+    online.Calibrate((*datasets_)[s].train);
+    for (int64_t t = 0; t < steps; ++t) {
+      expected[s].push_back(
+          online.Observe(Observation((*datasets_)[s].test, t)));
+    }
+  }
+
+  ShardRouter router(detector_, FastOptions(3));
+  const uint64_t keys[kNumStreams] = {1000, 2000, 3000};
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    ASSERT_TRUE(router.CreateStream(keys[s], (*datasets_)[s].train).ok());
+  }
+
+  VerdictLog log;
+  for (int64_t t = 0; t < boundary; ++t) {
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      SubmitRetrying(&router, keys[s], Observation((*datasets_)[s].test, t),
+                     log.Callback());
+    }
+  }
+  router.Flush();  // phase 1 fully scored: nothing is queued at the kill
+
+  // The next Submit routes stream 0 — the failpoint trips its shard.
+  const int64_t victim = router.ShardOf(keys[0]);
+  int64_t migrated = 0;
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    if (router.ShardOf(keys[s]) == victim) ++migrated;
+  }
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    const Status st = router.Submit(
+        keys[0], Observation((*datasets_)[0].test, boundary), log.Callback());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable)
+        << "the killed submission must be refused, not silently dropped";
+  }
+  router.WaitForFailovers();
+
+  EXPECT_EQ(router.shard_health(victim), ShardHealth::kDown);
+  EXPECT_EQ(router.shards_failed(), 1);
+  EXPECT_EQ(router.streams_migrated(), migrated);
+
+  // Phase 2: the refused observation is resubmitted (client retry), then
+  // traffic continues exactly where it left off — on the live shards.
+  for (int64_t t = boundary; t < steps; ++t) {
+    for (uint64_t s = 0; s < kNumStreams; ++s) {
+      SubmitRetrying(&router, keys[s], Observation((*datasets_)[s].test, t),
+                     log.Callback());
+    }
+  }
+  router.Flush();
+
+  for (uint64_t s = 0; s < kNumStreams; ++s) {
+    const auto& got = log.by_stream[keys[s]];
+    ASSERT_EQ(got.size(), static_cast<size_t>(steps)) << "stream " << s;
+    for (int64_t t = 0; t < steps; ++t) {
+      const auto& g = got[static_cast<size_t>(t)];
+      const auto& e = expected[s][static_cast<size_t>(t)];
+      ASSERT_EQ(g.seq, t) << "per-stream sequence broken across migration";
+      ASSERT_TRUE(g.verdict.status.ok()) << g.verdict.status.ToString();
+      ASSERT_EQ(g.verdict.score, e.score) << "stream " << s << " t=" << t;
+      ASSERT_EQ(g.verdict.threshold, e.threshold)
+          << "stream " << s << " t=" << t;
+      ASSERT_EQ(g.verdict.anomalous, e.anomalous)
+          << "stream " << s << " t=" << t;
+    }
+  }
+
+  // The merged fleet snapshot exposes the failover counters.
+  const ServeStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.shards_failed, 1);
+  EXPECT_EQ(stats.streams_migrated, migrated);
+}
+
+// Submissions still queued when their shard is killed complete exactly once
+// with Unavailable — never lost, never double-completed, and (because they
+// were queued, not scored) they leave no trace in the migrated state.
+TEST_F(FailoverTest, QueuedSubmissionsCompleteExactlyOnceUnavailable) {
+  ShardRouterOptions options = FastOptions(2);
+  ShardRouter router(detector_, options);
+  ASSERT_TRUE(router.CreateStream(1, (*datasets_)[0].train).ok());
+
+  // Stall the batcher's first wakeup so every submission is still sitting
+  // in the shard queue — not in a forming batch — when the kill lands.
+  ScopedFailpoint stall("serve.batcher.wakeup", Action::Delay(300'000),
+                        Schedule::OnHit(1));
+  VerdictLog log;
+  const int64_t queued = 8;
+  for (int64_t t = 0; t < queued; ++t) {
+    SubmitRetrying(&router, 1, Observation((*datasets_)[0].test, t),
+                   log.Callback());
+  }
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    EXPECT_EQ(router
+                  .Submit(1, Observation((*datasets_)[0].test, queued),
+                          log.Callback())
+                  .code(),
+              StatusCode::kUnavailable);
+  }
+  router.WaitForFailovers();
+  router.Flush();
+
+  EXPECT_EQ(log.total.load(), queued)
+      << "a queued submission was lost or double-completed by the kill";
+  int64_t failed = 0;
+  for (const auto& r : log.by_stream[1]) {
+    if (!r.verdict.status.ok()) {
+      ASSERT_EQ(r.verdict.status.code(), StatusCode::kUnavailable);
+      EXPECT_NE(r.verdict.status.message().find("migrated"),
+                std::string::npos)
+          << "the failure verdict should tell the client to retry";
+      ++failed;
+    }
+  }
+  EXPECT_GT(failed, 0) << "200ms batch window absorbed 8 instant submissions";
+  const ServeStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed);
+
+  // The stream migrated and keeps serving: queued-but-unscored work never
+  // advanced its state, so the fleet is immediately usable.
+  SubmitRetrying(&router, 1, Observation((*datasets_)[0].test, 0),
+                 log.Callback());
+  router.Flush();
+  EXPECT_TRUE(log.by_stream[1].back().verdict.status.ok());
+}
+
+// The health machine: consecutive worker-fault completions walk a shard
+// healthy -> degraded -> down, the down shard fails over, and the stream
+// keeps serving on its new home once the fault clears.
+TEST_F(FailoverTest, WorkerFaultStreakTripsHealthMachine) {
+  ShardRouterOptions options = FastOptions(2);
+  options.shard.max_batch = 1;
+  options.shard.max_wait_us = 0;
+  options.degraded_after = 2;
+  options.down_after = 4;
+  ShardRouter router(detector_, options);
+  ASSERT_TRUE(router.CreateStream(9, (*datasets_)[0].train).ok());
+  const int64_t home = router.ShardOf(9);
+  EXPECT_EQ(router.shard_health(home), ShardHealth::kHealthy);
+
+  VerdictLog log;
+  {
+    ScopedFailpoint fault("serve.worker.score",
+                          Action::Error(StatusCode::kInternal));
+    for (int64_t t = 0; t < 2; ++t) {
+      SubmitRetrying(&router, 9, Observation((*datasets_)[0].test, t),
+                     log.Callback());
+      router.Flush();
+    }
+    EXPECT_EQ(router.shard_health(home), ShardHealth::kDegraded)
+        << "two consecutive faults must mark the shard degraded";
+
+    for (int64_t t = 2; t < 4; ++t) {
+      SubmitRetrying(&router, 9, Observation((*datasets_)[0].test, t),
+                     log.Callback());
+      router.Flush();
+    }
+  }
+  router.WaitForFailovers();
+  EXPECT_EQ(router.shard_health(home), ShardHealth::kDown)
+      << "the streak crossed down_after; the shard must trip";
+  EXPECT_EQ(router.shards_failed(), 1);
+  EXPECT_EQ(router.streams_migrated(), 1);
+
+  // Fault cleared: the migrated stream scores normally on the other shard.
+  SubmitRetrying(&router, 9, Observation((*datasets_)[0].test, 4),
+                 log.Callback());
+  router.Flush();
+  ASSERT_FALSE(log.by_stream[9].empty());
+  EXPECT_TRUE(log.by_stream[9].back().verdict.status.ok());
+}
+
+// An Ok completion resets the failure streak: alternating fault/success
+// never reaches down_after, and the shard stays serving.
+TEST_F(FailoverTest, OkCompletionResetsFailureStreak) {
+  ShardRouterOptions options = FastOptions(2);
+  options.shard.max_batch = 1;
+  options.shard.max_wait_us = 0;
+  options.degraded_after = 2;
+  options.down_after = 2;
+  ShardRouter router(detector_, options);
+  ASSERT_TRUE(router.CreateStream(4, (*datasets_)[0].train).ok());
+  const int64_t home = router.ShardOf(4);
+
+  for (int round = 0; round < 3; ++round) {
+    {
+      ScopedFailpoint fault("serve.worker.score",
+                            Action::Error(StatusCode::kInternal),
+                            Schedule::OnHit(1));
+      SubmitRetrying(&router, 4,
+                     Observation((*datasets_)[0].test, round), nullptr);
+      router.Flush();
+    }
+    SubmitRetrying(&router, 4,
+                   Observation((*datasets_)[0].test, round), nullptr);
+    router.Flush();
+  }
+  EXPECT_EQ(router.shard_health(home), ShardHealth::kHealthy)
+      << "an interleaved Ok must reset the streak";
+  EXPECT_EQ(router.shards_failed(), 0);
+}
+
+// The last live shard is never killed: a trip against it pins it at
+// degraded and the fleet keeps serving (a cluster that executes its own
+// last engine has turned a partial outage into a total one).
+TEST_F(FailoverTest, LastLiveShardIsPinnedDegraded) {
+  ShardRouter router(detector_, FastOptions(1));
+  ASSERT_TRUE(router.CreateStream(2, (*datasets_)[0].train).ok());
+
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    EXPECT_EQ(
+        router.Submit(2, Observation((*datasets_)[0].test, 0), nullptr).code(),
+        StatusCode::kUnavailable);
+  }
+  router.WaitForFailovers();
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kDegraded)
+      << "the last live shard must be pinned, not killed";
+  EXPECT_EQ(router.shards_failed(), 0);
+  EXPECT_EQ(router.streams_migrated(), 0);
+
+  VerdictLog log;
+  SubmitRetrying(&router, 2, Observation((*datasets_)[0].test, 0),
+                 log.Callback());
+  router.Flush();
+  ASSERT_EQ(log.by_stream[2].size(), 1u);
+  EXPECT_TRUE(log.by_stream[2][0].verdict.status.ok());
+}
+
+// Quarantine is part of the exported session state: a quarantined stream
+// stays quarantined across a migration, release works through the router
+// on the new shard, and the verdict after release is bit-exact vs the
+// sequential replay of the observations that were actually scored.
+TEST_F(FailoverTest, QuarantineSurvivesMigrationBitExact) {
+  const PotParams pot = PotParamsForDataset("SMAP");
+  const int64_t scored = 5;
+
+  OnlineTranAD online(detector_, pot);
+  online.Calibrate((*datasets_)[0].train);
+  std::vector<OnlineVerdict> expected;
+  for (int64_t t = 0; t <= scored; ++t) {
+    expected.push_back(online.Observe(Observation((*datasets_)[0].test, t)));
+  }
+
+  ShardRouterOptions options = FastOptions(2);
+  options.shard.quarantine_after = 1;
+  ShardRouter router(detector_, options);
+  ASSERT_TRUE(router.CreateStream(6, (*datasets_)[0].train).ok());
+  const int64_t home = router.ShardOf(6);
+
+  VerdictLog log;
+  for (int64_t t = 0; t < scored; ++t) {
+    SubmitRetrying(&router, 6, Observation((*datasets_)[0].test, t),
+                   log.Callback());
+  }
+  router.Flush();
+
+  Tensor poisoned({(*datasets_)[0].dims()});
+  poisoned[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(router.Submit(6, poisoned, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.Submit(6, Observation((*datasets_)[0].test, scored),
+                          nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition)
+      << "stream must be quarantined before the kill";
+
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    EXPECT_EQ(router.Submit(6, poisoned, nullptr).code(),
+              StatusCode::kUnavailable);
+  }
+  router.WaitForFailovers();
+  EXPECT_EQ(router.shard_health(home), ShardHealth::kDown);
+  EXPECT_EQ(router.streams_migrated(), 1);
+
+  // Quarantine migrated with the stream; release routes to the new shard.
+  EXPECT_EQ(router.Submit(6, Observation((*datasets_)[0].test, scored),
+                          nullptr)
+                .code(),
+            StatusCode::kFailedPrecondition)
+      << "quarantine must survive the migration";
+  ASSERT_TRUE(router.ReleaseQuarantine(6).ok());
+  SubmitRetrying(&router, 6, Observation((*datasets_)[0].test, scored),
+                 log.Callback());
+  router.Flush();
+
+  const auto& got = log.by_stream[6];
+  ASSERT_EQ(got.size(), static_cast<size_t>(scored) + 1);
+  const auto& last = got.back();
+  EXPECT_EQ(last.seq, scored);
+  ASSERT_TRUE(last.verdict.status.ok());
+  // Rejected junk never touched ring/POT state, so the post-release verdict
+  // on the NEW shard equals the sequential run's next observation exactly.
+  EXPECT_EQ(last.verdict.score, expected[static_cast<size_t>(scored)].score);
+  EXPECT_EQ(last.verdict.threshold,
+            expected[static_cast<size_t>(scored)].threshold);
+}
+
+// An injected migration fault (shard.migrate) must drop the victim stream
+// rather than wedge the failover: the fleet stays serving, the dropped key
+// reports NotFound (a client re-creates it), and siblings are unaffected.
+TEST_F(FailoverTest, MigrationFaultDropsStreamWithoutWedging) {
+  ShardRouter router(detector_, FastOptions(2));
+  ASSERT_TRUE(router.CreateStream(21, (*datasets_)[0].train).ok());
+  const int64_t home = router.ShardOf(21);
+  // A sibling on the other shard must be untouched by the failover.
+  uint64_t sibling = 22;
+  while (router.ShardOf(sibling) == home) ++sibling;
+  ASSERT_TRUE(router.CreateStream(sibling, (*datasets_)[1].train).ok());
+
+  {
+    ScopedFailpoint kill("shard.kill", Action::Error(StatusCode::kUnavailable),
+                         Schedule::OnHit(1));
+    ScopedFailpoint migrate("shard.migrate",
+                            Action::Error(StatusCode::kInternal));
+    EXPECT_EQ(
+        router.Submit(21, Observation((*datasets_)[0].test, 0), nullptr)
+            .code(),
+        StatusCode::kUnavailable);
+    router.WaitForFailovers();
+  }
+
+  EXPECT_EQ(router.shards_failed(), 1);
+  EXPECT_EQ(router.streams_migrated(), 0);
+  EXPECT_EQ(
+      router.Submit(21, Observation((*datasets_)[0].test, 0), nullptr).code(),
+      StatusCode::kNotFound)
+      << "a stream whose migration failed must be dropped, not wedged";
+
+  // The key is re-creatable and the sibling never noticed.
+  ASSERT_TRUE(router.CreateStream(21, (*datasets_)[0].train).ok());
+  VerdictLog log;
+  SubmitRetrying(&router, sibling, Observation((*datasets_)[1].test, 0),
+                 log.Callback());
+  router.Flush();
+  ASSERT_EQ(log.by_stream[sibling].size(), 1u);
+  EXPECT_TRUE(log.by_stream[sibling][0].verdict.status.ok());
+}
+
+// Engine-level handoff primitive: ExportStream on a quiesced engine +
+// ImportStream on a live one continues the verdict stream bit-exactly.
+TEST_F(FailoverTest, EngineExportImportRoundTripBitExact) {
+  const int64_t steps = 16;
+  const int64_t cut = 7;
+  const PotParams pot = PotParamsForDataset("SMAP");
+
+  OnlineTranAD online(detector_, pot);
+  online.Calibrate((*datasets_)[0].train);
+  std::vector<OnlineVerdict> expected;
+  for (int64_t t = 0; t < steps; ++t) {
+    expected.push_back(online.Observe(Observation((*datasets_)[0].test, t)));
+  }
+
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;
+  options.pot = pot;
+
+  StreamSessionState exported;
+  std::vector<RecordedVerdict> first_half;
+  {
+    ServeEngine source(detector_, options);
+    auto created = source.CreateStream((*datasets_)[0].train);
+    ASSERT_TRUE(created.ok());
+    std::mutex mu;
+    for (int64_t t = 0; t < cut; ++t) {
+      Status st = Status::Ok();
+      do {
+        st = source.Submit(
+            created.value(), Observation((*datasets_)[0].test, t),
+            [&](StreamId, int64_t seq, const OnlineVerdict& v) {
+              std::lock_guard<std::mutex> lock(mu);
+              first_half.push_back({seq, v});
+            });
+      } while (st.code() == StatusCode::kResourceExhausted);
+      ASSERT_TRUE(st.ok());
+    }
+    source.Flush();
+    source.Stop();  // quiesce: the export contract
+    auto state = source.ExportStream(created.value());
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    exported = state.value();
+  }
+  EXPECT_EQ(exported.next_seq, cut);
+
+  ServeEngine target(detector_, options);
+  auto imported = target.ImportStream(exported);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  std::mutex mu;
+  std::vector<RecordedVerdict> second_half;
+  for (int64_t t = cut; t < steps; ++t) {
+    Status st = Status::Ok();
+    do {
+      st = target.Submit(imported.value(),
+                         Observation((*datasets_)[0].test, t),
+                         [&](StreamId, int64_t seq, const OnlineVerdict& v) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           second_half.push_back({seq, v});
+                         });
+    } while (st.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(st.ok());
+  }
+  target.Flush();
+
+  ASSERT_EQ(first_half.size(), static_cast<size_t>(cut));
+  ASSERT_EQ(second_half.size(), static_cast<size_t>(steps - cut));
+  for (int64_t t = 0; t < steps; ++t) {
+    const auto& g = t < cut ? first_half[static_cast<size_t>(t)]
+                            : second_half[static_cast<size_t>(t - cut)];
+    const auto& e = expected[static_cast<size_t>(t)];
+    ASSERT_EQ(g.seq, t) << "sequence must continue across the handoff";
+    ASSERT_EQ(g.verdict.score, e.score) << "t=" << t;
+    ASSERT_EQ(g.verdict.threshold, e.threshold) << "t=" << t;
+    ASSERT_EQ(g.verdict.anomalous, e.anomalous) << "t=" << t;
+  }
+}
+
+// Session-level state: quarantine flags and the non-finite streak ride the
+// export, and the sequence counter continues rather than restarting.
+TEST_F(FailoverTest, SessionStateCarriesQuarantineAndStreak) {
+  const PotParams pot = PotParamsForDataset("SMAP");
+  StreamSession session(1, pot);
+  session.Calibrate(*detector_, (*datasets_)[0].train);
+  session.NextSeq();
+  session.NextSeq();
+  session.NextSeq();
+  session.RecordNonFinite();
+  session.RecordNonFinite();
+  ASSERT_TRUE(session.MarkQuarantined());
+
+  const StreamSessionState state = session.ExportState();
+  EXPECT_EQ(state.next_seq, 3);
+  EXPECT_EQ(state.non_finite_streak, 2);
+  EXPECT_TRUE(state.quarantined);
+
+  StreamSession restored(2, pot);
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_TRUE(restored.quarantined());
+  EXPECT_EQ(restored.non_finite_streak(), 2);
+  EXPECT_EQ(restored.NextSeq(), 3) << "sequence must not restart at zero";
+  EXPECT_EQ(restored.spot()->threshold(), session.spot()->threshold());
+}
+
+}  // namespace
+}  // namespace tranad::serve

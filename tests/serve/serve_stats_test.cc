@@ -97,6 +97,10 @@ TEST(ServeStatsMergeTest, CountersSumAndThroughputRecomputes) {
   a.batch_size_hist.assign(4, 0);
   a.batch_size_hist[3] = 3;
   a.latency_hist.assign(kLatencyHistBuckets, 0);
+  a.shards_failed = 1;
+  a.streams_migrated = 3;
+  a.reconnects = 2;
+  a.retries_deduped = 5;
 
   ServeStatsSnapshot b;
   b.submitted = 20;
@@ -111,6 +115,10 @@ TEST(ServeStatsMergeTest, CountersSumAndThroughputRecomputes) {
   b.batch_size_hist.assign(6, 0);
   b.batch_size_hist[5] = 4;
   b.latency_hist.assign(kLatencyHistBuckets, 0);
+  b.shards_failed = 0;
+  b.streams_migrated = 4;
+  b.reconnects = 1;
+  b.retries_deduped = 2;
 
   ServeStatsSnapshot m = a;
   m.MergeFrom(b);
@@ -132,6 +140,11 @@ TEST(ServeStatsMergeTest, CountersSumAndThroughputRecomputes) {
   ASSERT_EQ(m.batch_size_hist.size(), 6u);
   EXPECT_EQ(m.batch_size_hist[3], 3);
   EXPECT_EQ(m.batch_size_hist[5], 4);
+  // Fault-tolerance counters sum like every other counter.
+  EXPECT_EQ(m.shards_failed, 1);
+  EXPECT_EQ(m.streams_migrated, 7);
+  EXPECT_EQ(m.reconnects, 3);
+  EXPECT_EQ(m.retries_deduped, 7);
 }
 
 TEST(ServeStatsMergeTest, MergeIsAssociativeOnCounters) {

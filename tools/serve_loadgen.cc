@@ -23,12 +23,21 @@
 //     with the same --pot profile (default SMAP) and a model whose
 //     dimensionality matches the synthetic dataset (--scale).
 //
+// Socket-mode resilience: the dial retries ECONNREFUSED with capped
+// exponential backoff (no more "loadgen raced the server to the port"
+// flakes), --connect-timeout-ms bounds each dial, and --retry-ms N turns
+// the fixed-schedule submits into tracked idempotent submissions — lost or
+// shard-failover-refused observations are resent until a final verdict
+// arrives, the server dedups by (stream, tag), and the client suppresses
+// duplicate verdicts. With --verify-model this proves a failover happened
+// *and* changed nothing about the math.
+//
 // Usage:
 //   serve_loadgen [--streams N] [--submitters N] [--workers N]
 //                 [--shards N] [--max-batch N] [--max-wait-us N]
 //                 [--queue N] [--duration-s N] [--epochs N] [--scale F]
 //                 [--connect HOST:PORT] [--steps N] [--verify-model CKPT]
-//                 [--pot NAME]
+//                 [--pot NAME] [--connect-timeout-ms N] [--retry-ms N]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -65,6 +74,8 @@ struct Args {
   std::string connect;       // "host:port" -> socket mode
   std::string verify_model;  // checkpoint for the bit-exact parity replay
   std::string pot = "SMAP";
+  int64_t connect_timeout_ms = 5000;
+  int64_t retry_ms = 0;  // > 0: tracked idempotent submits, resent every N ms
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -101,6 +112,10 @@ Args ParseArgs(int argc, char** argv) {
       args.verify_model = next_str(i);
     } else if (!std::strcmp(a, "--pot")) {
       args.pot = next_str(i);
+    } else if (!std::strcmp(a, "--connect-timeout-ms")) {
+      args.connect_timeout_ms = next_i64(i);
+    } else if (!std::strcmp(a, "--retry-ms")) {
+      args.retry_ms = next_i64(i);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       std::exit(2);
@@ -125,6 +140,10 @@ Args ParseArgs(int argc, char** argv) {
   require(args.scale > 0.0, "--scale must be > 0");
   require(args.verify_model.empty() || !args.connect.empty(),
           "--verify-model requires --connect (it checks the socket path)");
+  require(args.connect_timeout_ms > 0, "--connect-timeout-ms must be >= 1");
+  require(args.retry_ms >= 0, "--retry-ms must be >= 0");
+  require(args.retry_ms == 0 || !args.connect.empty(),
+          "--retry-ms requires --connect (it retries over the wire)");
   if (!args.verify_model.empty() && args.steps == 0) args.steps = 64;
   return args;
 }
@@ -340,7 +359,14 @@ int RunSocket(const Args& args) {
         static_cast<size_t>(args.streams),
         std::vector<net::WireVerdict>(static_cast<size_t>(args.steps)));
   }
-  net::NetClient client;
+  net::ClientOptions copts;
+  copts.connect_timeout_ms = args.connect_timeout_ms;
+  if (args.retry_ms > 0) {
+    copts.submit_retry_ms = args.retry_ms;
+    copts.reconnect_max_attempts = 20;
+    copts.keepalive_ms = 2000;
+  }
+  net::NetClient client(copts);
   client.set_verdict_handler([&](const net::WireVerdict& v) {
     if (!v.status.ok()) {
       verdicts.failed.fetch_add(1);
@@ -357,7 +383,10 @@ int RunSocket(const Args& args) {
     }
     verdicts.received.fetch_add(1);
   });
-  Status st = client.Connect(host, static_cast<uint16_t>(port));
+  // Backoff through the startup race: a loadgen launched alongside the
+  // server sees ECONNREFUSED until the listen socket is up.
+  Status st = client.ConnectWithBackoff(host, static_cast<uint16_t>(port),
+                                        /*max_attempts=*/20);
   if (!st.ok()) {
     std::fprintf(stderr, "connect %s: %s\n", args.connect.c_str(),
                  st.ToString().c_str());
@@ -387,13 +416,20 @@ int RunSocket(const Args& args) {
     }
   };
 
+  // Tracked submits guarantee exactly-once verdict delivery per tag, which
+  // makes the fixed schedule immune to shard failovers mid-run — the retry
+  // lands on the stream's migrated home. Tags are unique per (stream, step)
+  // there, as tracking requires.
+  const bool tracked = args.retry_ms > 0;
   if (fixed) {
     Tensor row({m});
     for (int64_t t = 0; t < args.steps; ++t) {
       FillRow(dataset.test, t % dataset.test.length(), &row);
       for (int64_t s = 0; s < args.streams; ++s) {
         await_window();
-        st = client.Submit(KeyOf(s), TagOf(s, t), row.data(), m);
+        st = tracked
+                 ? client.SubmitTracked(KeyOf(s), TagOf(s, t), row.data(), m)
+                 : client.Submit(KeyOf(s), TagOf(s, t), row.data(), m);
         if (!st.ok()) {
           std::fprintf(stderr, "Submit: %s\n", st.ToString().c_str());
           return 1;
@@ -458,6 +494,16 @@ int RunSocket(const Args& args) {
 
   auto stats = client.Stats();
   if (stats.ok()) PrintFinal(*stats);
+  if (tracked) {
+    const net::ClientCounters cc = client.counters();
+    std::printf(
+        "client: %lld reconnects, %lld retries sent, %lld duplicate "
+        "verdicts deduped, %lld keepalive pings\n",
+        static_cast<long long>(cc.reconnects),
+        static_cast<long long>(cc.retries_sent),
+        static_cast<long long>(cc.retries_deduped),
+        static_cast<long long>(cc.keepalive_pings));
+  }
   client.Close();
 
   if (!args.verify_model.empty()) {

@@ -25,13 +25,24 @@
 //   tranad_cli serve --model model.ckpt [--port 0] [--shards 4]
 //                    [--workers 4] [--batch 32] [--max-wait-us 200]
 //                    [--queue 1024] [--pot SMAP] [--duration-s 0]
+//                    [--degraded-after N] [--down-after N]
+//                    [--drain-timeout-ms 5000]
 //       Starts a sharded serving fleet behind the TCP wire protocol:
 //       --shards independent ServeEngines behind a consistent-hash
 //       router, each with --workers scoring threads. --port 0 binds an
 //       ephemeral port; the chosen port is printed on the "serving:"
 //       line (flushed, so scripts can scrape it). Runs until SIGINT/
-//       SIGTERM (exit 0) or for --duration-s seconds when positive.
-//       Drive it with serve_loadgen --connect 127.0.0.1:<port>.
+//       SIGTERM or for --duration-s seconds when positive; shutdown is
+//       a graceful drain (exit 0): stop accepting, announce Drain to
+//       every client, finish in-flight batches, flush outboxes for up
+//       to --drain-timeout-ms. With --down-after N a shard that fails
+//       N consecutive scorings is tripped to DOWN and every stream it
+//       owned migrates (with exported window+POT state) to the next
+//       live shard on the hash ring; --degraded-after marks it
+//       DEGRADED earlier for observability. Drive it with
+//       serve_loadgen --connect 127.0.0.1:<port>, which dials with
+//       --connect-timeout-ms and can retry idempotently via
+//       --retry-ms (the server dedups resends by stream+tag).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -268,12 +279,19 @@ int CmdServe(const Args& args) {
   const int64_t queue = std::stoll(Get(args, "queue", "1024"));
   const std::string pot = Get(args, "pot", "SMAP");
   const int64_t duration_s = std::stoll(Get(args, "duration-s", "0"));
+  const int64_t degraded_after = std::stoll(Get(args, "degraded-after", "0"));
+  const int64_t down_after = std::stoll(Get(args, "down-after", "0"));
+  const int64_t drain_timeout_ms =
+      std::stoll(Get(args, "drain-timeout-ms", "5000"));
   if (port < 0 || port > 65535) return Fail("--port must be in [0, 65535]");
   if (shards < 1) return Fail("--shards must be >= 1");
   if (workers < 1) return Fail("--workers must be >= 1");
   if (batch < 1) return Fail("--batch must be >= 1");
   if (max_wait_us < 0) return Fail("--max-wait-us must be >= 0");
   if (queue < 1) return Fail("--queue must be >= 1");
+  if (degraded_after < 0) return Fail("--degraded-after must be >= 0");
+  if (down_after < 0) return Fail("--down-after must be >= 0");
+  if (drain_timeout_ms < 0) return Fail("--drain-timeout-ms must be >= 0");
 
   auto detector = TranADDetector::FromCheckpoint(model_path);
   if (!detector.ok()) return Fail(detector.status());
@@ -285,6 +303,8 @@ int CmdServe(const Args& args) {
   router_options.shard.max_wait_us = max_wait_us;
   router_options.shard.queue_capacity = queue;
   router_options.shard.pot = PotParamsForDataset(pot);
+  router_options.degraded_after = degraded_after;
+  router_options.down_after = down_after;
   serve::ShardRouter router(detector->get(), router_options);
 
   net::ServerOptions server_options;
@@ -311,20 +331,33 @@ int CmdServe(const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  server.Stop();
+  // Graceful shutdown: stop accepting + announce Drain to every client,
+  // finish in-flight batches, flush every outbox to the wire, then tear
+  // down. A drain that cannot flush in time still exits 0 — shutdown is
+  // best-effort delivery, never a hang.
+  server.Drain();
   router.Flush();
+  const Status drained = server.WaitForDrain(drain_timeout_ms);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "warning: %s\n", drained.ToString().c_str());
+  }
+  server.Stop();
   const serve::ServeStatsSnapshot stats = router.stats();
   router.Stop();
   std::printf("served: completed=%lld failed=%lld rejected=%lld "
               "anomalies=%lld p50=%.3fms p99=%.3fms connections=%lld "
-              "protocol_errors=%lld\n",
+              "protocol_errors=%lld shards_failed=%lld "
+              "streams_migrated=%lld retries_deduped=%lld\n",
               static_cast<long long>(stats.completed),
               static_cast<long long>(stats.failed),
               static_cast<long long>(stats.rejected),
               static_cast<long long>(stats.anomalies), stats.p50_latency_ms,
               stats.p99_latency_ms,
               static_cast<long long>(server.accepted_total()),
-              static_cast<long long>(server.protocol_errors_total()));
+              static_cast<long long>(server.protocol_errors_total()),
+              static_cast<long long>(stats.shards_failed),
+              static_cast<long long>(stats.streams_migrated),
+              static_cast<long long>(server.submits_deduped_total()));
   return kExitOk;
 }
 
@@ -338,8 +371,17 @@ int Usage(bool requested) {
       "serve: sharded TCP serving fleet (tranad_cli serve --model m.ckpt\n"
       "  [--port 0] [--shards 4] [--workers 4] [--batch 32]\n"
       "  [--max-wait-us 200] [--queue 1024] [--pot SMAP]\n"
-      "  [--duration-s 0]); prints the bound port on the \"serving:\"\n"
-      "  line and runs until SIGINT/SIGTERM (exit 0) or --duration-s\n"
+      "  [--duration-s 0] [--degraded-after N] [--down-after N]\n"
+      "  [--drain-timeout-ms 5000]); prints the bound port on the\n"
+      "  \"serving:\" line and runs until SIGINT/SIGTERM or --duration-s.\n"
+      "  Shutdown is a graceful drain (exit 0): stop accepting, send a\n"
+      "  Drain frame to every client, finish in-flight batches, flush\n"
+      "  outboxes (up to --drain-timeout-ms), then stop. --down-after N\n"
+      "  trips a shard to DOWN after N consecutive worker faults and\n"
+      "  migrates its streams to live shards (--degraded-after marks it\n"
+      "  DEGRADED earlier). Clients should dial with a connect timeout\n"
+      "  (serve_loadgen --connect-timeout-ms) and may retry idempotently\n"
+      "  (serve_loadgen --retry-ms; the server dedups by stream+tag)\n"
       "\n"
       "exit codes (scriptable; category, not success/failure only):\n"
       "  0  success\n"
