@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "tensor/arena.h"
+#include "tensor/kernels.h"
 
 namespace tranad::bench {
 
@@ -102,10 +103,14 @@ std::string WriteBenchJson(const std::string& name, const std::string& json) {
 std::string ComputeBackendJsonFields() {
   const ArenaStats s = TensorArena::Global().stats();
   return StrFormat(
-      "\"threads\": %lld, \"arena\": {\"hits\": %lld, \"misses\": %lld, "
+      "\"threads\": %lld, \"kernel\": {\"mode\": \"%s\", \"isa\": \"%s\", "
+      "\"lanes\": %d}, "
+      "\"arena\": {\"hits\": %lld, \"misses\": %lld, "
       "\"releases\": %lld, \"trims\": %lld, \"bytes_cached\": %lld, "
       "\"bytes_live\": %lld, \"bytes_peak_live\": %lld}",
       static_cast<long long>(NumComputeThreads()),
+      kernels::KernelModeName(), kernels::KernelIsaName(),
+      kernels::KernelLanes(),
       static_cast<long long>(s.hits), static_cast<long long>(s.misses),
       static_cast<long long>(s.releases), static_cast<long long>(s.trims),
       static_cast<long long>(s.bytes_cached),

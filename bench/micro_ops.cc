@@ -69,10 +69,14 @@ void BM_TranADTwoPhaseForward(benchmark::State& state) {
   model.SetTraining(false);
   Rng rng(5);
   Tensor batch = Tensor::Rand({64, config.window, dims}, &rng);
+  // Phase-2 focus is the squared reconstruction error against the window's
+  // final timestamp, as in TwoPhaseInference ([B, m], not the full window).
+  const Tensor target =
+      SliceAxis(batch, 1, config.window - 1, 1).Reshape({64, dims});
   for (auto _ : state) {
     Variable w(batch);
     auto [o1, o2] = model.ForwardPhase1(w);
-    Variable focus = ag::Square(ag::Sub(o1, w));
+    Variable focus = ag::SquaredDiff(o1, Variable(target));
     benchmark::DoNotOptimize(model.ForwardPhase2(w, focus));
   }
 }
@@ -106,6 +110,109 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxLastDim);
+
+// --- fused kernels vs the unfused chains they replace, at serve-profile
+// shapes. Both sides report the same semantic byte count (input reads +
+// final output write), so the GB/s columns are directly comparable: the
+// fused row's advantage is exactly the intermediate traffic it avoids.
+
+void BM_FusedSquaredDiff(benchmark::State& state) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({128, 10, 64}, &rng);
+  Tensor b = Tensor::Randn({128, 10, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredDiff(a, b));
+  }
+  state.SetBytesProcessed(state.iterations() * a.numel() * 3 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_FusedSquaredDiff);
+
+void BM_UnfusedSubSquare(benchmark::State& state) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({128, 10, 64}, &rng);
+  Tensor b = Tensor::Randn({128, 10, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Square(Sub(a, b)));
+  }
+  state.SetBytesProcessed(state.iterations() * a.numel() * 3 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_UnfusedSubSquare);
+
+void BM_FusedMse(benchmark::State& state) {
+  Rng rng(14);
+  Tensor a = Tensor::Randn({128, 10, 64}, &rng);
+  Tensor b = Tensor::Randn({128, 10, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MseAll(a, b));
+  }
+  state.SetBytesProcessed(state.iterations() * a.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_FusedMse);
+
+void BM_UnfusedMse(benchmark::State& state) {
+  Rng rng(14);
+  Tensor a = Tensor::Randn({128, 10, 64}, &rng);
+  Tensor b = Tensor::Randn({128, 10, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeanAll(Square(Sub(a, b))));
+  }
+  state.SetBytesProcessed(state.iterations() * a.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_UnfusedMse);
+
+void BM_FusedLayerNormAffine(benchmark::State& state) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn({1280, 64}, &rng);
+  Tensor gain = Tensor::Randn({64}, &rng);
+  Tensor bias = Tensor::Randn({64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNormAffineLastDim(x, gain, bias, 1e-5f));
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_FusedLayerNormAffine);
+
+void BM_UnfusedLayerNormAffine(benchmark::State& state) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn({1280, 64}, &rng);
+  Tensor gain = Tensor::Randn({64}, &rng);
+  Tensor bias = Tensor::Randn({64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(Mul(LayerNormLastDim(x, 1e-5f), gain), bias));
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_UnfusedLayerNormAffine);
+
+void BM_FusedSoftmax(benchmark::State& state) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({512, 10, 10}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(x));
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_FusedSoftmax);
+
+void BM_UnfusedSoftmax(benchmark::State& state) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({512, 10, 10}, &rng);
+  for (auto _ : state) {
+    Tensor shifted = Sub(x, Max(x, -1, /*keepdims=*/true));
+    Tensor e = Exp(shifted);
+    benchmark::DoNotOptimize(Div(e, Sum(e, -1, /*keepdims=*/true)));
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_UnfusedSoftmax);
 
 // --- intra-op parallel backend: the same kernels swept over compute-thread
 // counts. Each benchmark resizes the shared pool for its run and restores

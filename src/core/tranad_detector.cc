@@ -179,7 +179,7 @@ Tensor TranADDetector::Score(const TimeSeries& series) {
     Variable window(batch);
     // Alg. 2 lines 2-3: two-phase inference.
     auto [o1, o2] = model_->ForwardPhase1(window);
-    Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+    Variable focus = ag::SquaredDiff(o1, Variable(target));
     const Tensor attn = model_->LastEncoderAttention();  // phase-1 attention
     Variable o2hat = model_->ForwardPhase2(window, focus);
 

@@ -162,7 +162,7 @@ std::pair<Tensor, Tensor> TranADModel::TwoPhaseInference(
 
   // Phase-2 focus: (O1 - x_t)^2 against the window's final timestamp.
   const Tensor target = SliceAxis(windows, 1, k - 1, 1).Reshape({b, m});
-  Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+  Variable focus = ag::SquaredDiff(o1, Variable(target));
   Variable effective_focus =
       config_.use_self_conditioning
           ? BroadcastFocus(focus, k)

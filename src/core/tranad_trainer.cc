@@ -94,7 +94,7 @@ double BatchAdversarialStep(TranADModel* model, const Tensor& batch, float w,
   }
 
   // Phase 2: self-conditioned focus score F = (O1 - x_t)^2 (Alg. 1 line 6).
-  Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+  Variable focus = ag::SquaredDiff(o1, Variable(target));
   Variable o2hat = model->ForwardPhase2(window, focus);
   Variable adv = ag::MseLossVar(o2hat, Variable(target));
 
@@ -136,7 +136,7 @@ double EvalLoss(TranADModel* model, const Tensor& windows,
             .Reshape({len, batch.size(2)});
     Variable window(batch);
     auto [o1, o2] = model->ForwardPhase1(window);
-    Variable focus = ag::Square(ag::Sub(o1, Variable(target)));
+    Variable focus = ag::SquaredDiff(o1, Variable(target));
     Variable o2hat = model->ForwardPhase2(window, focus);
     total += 0.5 * (ag::MseLoss(o1, target).value().Item() +
                     ag::MseLoss(o2hat, target).value().Item());

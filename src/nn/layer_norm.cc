@@ -12,8 +12,9 @@ LayerNorm::LayerNorm(int64_t features, float eps)
 
 Variable LayerNorm::Forward(const Variable& x) const {
   TRANAD_CHECK_EQ(x.value().size(-1), features_);
-  Variable normed = ag::LayerNormLastDim(x, eps_);
-  return ag::Add(ag::Mul(normed, gain_), bias_);
+  // Single fused pass (one tape node) instead of LayerNormLastDim + Mul +
+  // Add; per-element identical to the composed form.
+  return ag::LayerNormAffine(x, gain_, bias_, eps_);
 }
 
 }  // namespace tranad::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace tranad::ag {
@@ -91,6 +92,21 @@ Variable Div(const Variable& a, const Variable& b) {
         Tensor gb = tranad::Neg(
             tranad::Div(tranad::Mul(g, va), tranad::Mul(vb, vb)));
         pb.AccumulateGrad(ReduceTo(gb, vb.shape()));
+      });
+}
+
+Variable SquaredDiff(const Variable& a, const Variable& b) {
+  Variable pa = a, pb = b;
+  Tensor va = a.value(), vb = b.value();
+  return Variable::MakeNode(
+      tranad::SquaredDiff(va, vb), {a, b},
+      [pa, pb, va, vb](const Tensor& g) mutable {
+        // d/da (a-b)^2 = 2*(a-b)*g; d/db = -2*(a-b)*g. Computing g*(a-b)
+        // then scaling by +/-2 matches the unfused Square(Sub(..)) chain
+        // bit-for-bit: (g*d)*2 == g*(2*d) because *2 is exact.
+        Tensor gd = tranad::Mul(g, tranad::Sub(va, vb));
+        pa.AccumulateGrad(ReduceTo(tranad::MulScalar(gd, 2.0f), va.shape()));
+        pb.AccumulateGrad(ReduceTo(tranad::MulScalar(gd, -2.0f), vb.shape()));
       });
 }
 
@@ -311,14 +327,8 @@ Variable SoftmaxLastDim(const Variable& a) {
         const float* pg = g.data();
         float* po = gx.data();
         ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-          for (int64_t r = lo; r < hi; ++r) {
-            const float* yr = py + r * n;
-            const float* gr = pg + r * n;
-            float dot = 0.0f;
-            for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
-            float* orow = po + r * n;
-            for (int64_t j = 0; j < n; ++j) orow[j] = yr[j] * (gr[j] - dot);
-          }
+          kernels::SoftmaxBackwardRows(py + lo * n, pg + lo * n, po + lo * n,
+                                       hi - lo, n);
         });
         pa.AccumulateGrad(gx);
       });
@@ -335,23 +345,10 @@ Variable LayerNormLastDim(const Variable& a, float eps) {
   {
     const float* px = x.data();
     float* py = y.data();
+    float* pinv = inv_std.data();
     ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float* row = px + r * n;
-        float mean = 0.0f;
-        for (int64_t j = 0; j < n; ++j) mean += row[j];
-        mean /= static_cast<float>(n);
-        float var = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          const float d = row[j] - mean;
-          var += d * d;
-        }
-        var /= static_cast<float>(n);
-        const float inv = 1.0f / std::sqrt(var + eps);
-        inv_std[static_cast<size_t>(r)] = inv;
-        float* orow = py + r * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
-      }
+      kernels::LayerNormRows(px + lo * n, py + lo * n, pinv + lo, hi - lo, n,
+                             eps);
     });
   }
   Variable pa = a;
@@ -364,26 +361,64 @@ Variable LayerNormLastDim(const Variable& a, float eps) {
         Tensor gx = Tensor::Uninitialized(y.shape());
         const float* py = y.data();
         const float* pg = g.data();
+        const float* pinv = inv_std.data();
         float* po = gx.data();
-        const float nf = static_cast<float>(n);
         ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-          for (int64_t r = lo; r < hi; ++r) {
-            const float* yr = py + r * n;
-            const float* gr = pg + r * n;
-            float sum_g = 0.0f;
-            float sum_gy = 0.0f;
-            for (int64_t j = 0; j < n; ++j) {
-              sum_g += gr[j];
-              sum_gy += gr[j] * yr[j];
-            }
-            const float inv = inv_std[static_cast<size_t>(r)];
-            float* orow = po + r * n;
-            for (int64_t j = 0; j < n; ++j) {
-              orow[j] = inv / nf * (nf * gr[j] - sum_g - yr[j] * sum_gy);
-            }
-          }
+          kernels::LayerNormBackwardRows(py + lo * n, pg + lo * n, pinv + lo,
+                                         po + lo * n, hi - lo, n);
         });
         pa.AccumulateGrad(gx);
+      });
+}
+
+Variable LayerNormAffine(const Variable& a, const Variable& gain,
+                         const Variable& bias, float eps) {
+  const Tensor& x = a.value();
+  const int64_t n = x.size(-1);
+  TRANAD_CHECK_EQ(gain.value().numel(), n);
+  TRANAD_CHECK_EQ(bias.value().numel(), n);
+  const int64_t rows = n == 0 ? 0 : x.numel() / n;
+  // The backward pass needs the normalized activations and per-row inverse
+  // stddev; skip materializing them when no tape is recording (serve path).
+  const bool recording = !NoGradEnabled();
+  Tensor y = Tensor::Uninitialized(x.shape());
+  Tensor yhat = recording ? Tensor::Uninitialized(x.shape()) : Tensor();
+  std::vector<float> inv_std(recording ? static_cast<size_t>(rows) : 0);
+  {
+    const float* px = x.data();
+    const float* pg = gain.value().data();
+    const float* pb = bias.value().data();
+    float* py = y.data();
+    float* pyh = recording ? yhat.data() : nullptr;
+    float* pinv = recording ? inv_std.data() : nullptr;
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      kernels::LayerNormAffineRows(px + lo * n, pg, pb, py + lo * n,
+                                   pyh == nullptr ? nullptr : pyh + lo * n,
+                                   pinv == nullptr ? nullptr : pinv + lo,
+                                   hi - lo, n, eps);
+    });
+  }
+  Variable pa = a, pgain = gain, pbias = bias;
+  Tensor vgain = gain.value();
+  Shape sg = gain.shape(), sb = bias.shape();
+  return Variable::MakeNode(
+      std::move(y), {a, gain, bias},
+      [pa, pgain, pbias, vgain, sg, sb, yhat = std::move(yhat),
+       inv_std = std::move(inv_std), n, rows](const Tensor& g) mutable {
+        Tensor gx = Tensor::Uninitialized(yhat.shape());
+        const float* pyh = yhat.data();
+        const float* pgr = g.data();
+        const float* pgv = vgain.data();
+        const float* pinv = inv_std.data();
+        float* po = gx.data();
+        ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+          kernels::LayerNormAffineBackwardRows(pyh + lo * n, pgr + lo * n,
+                                               pgv, pinv + lo, po + lo * n,
+                                               hi - lo, n);
+        });
+        pa.AccumulateGrad(gx);
+        pgain.AccumulateGrad(ReduceTo(tranad::Mul(g, yhat), sg));
+        pbias.AccumulateGrad(ReduceTo(g, sb));
       });
 }
 
@@ -452,13 +487,34 @@ Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
 
 Variable MseLoss(const Variable& pred, const Tensor& target) {
   TRANAD_CHECK(pred.shape() == target.shape());
-  Variable diff = Sub(pred, Variable(target));
-  return MeanAll(Square(diff));
+  // Fused forward: no diff/square intermediates, one tape node instead of
+  // three. Value-identical to MeanAll(Square(Sub(pred, target))) — MseAll
+  // uses the same serial ordered accumulation as MeanAll, and the backward
+  // scale ((g/n)*2)*d equals the unfused chain's rounding order exactly.
+  Variable pp = pred;
+  Tensor vp = pred.value();
+  Tensor vt = target;
+  const float inv_n = 1.0f / static_cast<float>(vp.numel());
+  return Variable::MakeNode(
+      Tensor::Scalar(tranad::MseAll(vp, vt)), {pred},
+      [pp, vp, vt, inv_n](const Tensor& g) mutable {
+        const float s = g.Item() * inv_n * 2.0f;
+        pp.AccumulateGrad(tranad::ScaledDiff(vp, vt, s));
+      });
 }
 
 Variable MseLossVar(const Variable& pred, const Variable& target) {
   TRANAD_CHECK(pred.shape() == target.shape());
-  return MeanAll(Square(Sub(pred, target)));
+  Variable pp = pred, pt = target;
+  Tensor vp = pred.value(), vt = target.value();
+  const float inv_n = 1.0f / static_cast<float>(vp.numel());
+  return Variable::MakeNode(
+      Tensor::Scalar(tranad::MseAll(vp, vt)), {pred, target},
+      [pp, pt, vp, vt, inv_n](const Tensor& g) mutable {
+        const float s = g.Item() * inv_n * 2.0f;
+        pp.AccumulateGrad(tranad::ScaledDiff(vp, vt, s));
+        pt.AccumulateGrad(tranad::ScaledDiff(vp, vt, -s));
+      });
 }
 
 }  // namespace tranad::ag

@@ -17,6 +17,9 @@ Variable Add(const Variable& a, const Variable& b);
 Variable Sub(const Variable& a, const Variable& b);
 Variable Mul(const Variable& a, const Variable& b);
 Variable Div(const Variable& a, const Variable& b);
+/// Fused (a - b)^2, broadcasting; forward and backward bit-identical to
+/// Square(Sub(a, b)) without the intermediate tensors or extra tape nodes.
+Variable SquaredDiff(const Variable& a, const Variable& b);
 Variable AddScalar(const Variable& a, float s);
 Variable MulScalar(const Variable& a, float s);
 Variable Neg(const Variable& a);
@@ -47,6 +50,11 @@ Variable SoftmaxLastDim(const Variable& a);
 /// LayerNorm over the last axis without affine parameters (the nn layer
 /// applies gain/bias on top).
 Variable LayerNormLastDim(const Variable& a, float eps);
+/// Fused LayerNorm + affine: LayerNormLastDim(a, eps) * gain + bias with
+/// gain/bias of shape [n], in one pass and one tape node. Gradients flow to
+/// all three inputs.
+Variable LayerNormAffine(const Variable& a, const Variable& gain,
+                         const Variable& bias, float eps);
 
 // ---- reductions ----
 Variable SumAll(const Variable& a);

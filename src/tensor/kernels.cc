@@ -1,0 +1,855 @@
+#include "tensor/kernels.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "tensor/simd.h"
+
+namespace tranad::kernels {
+namespace {
+
+using simd::kLanes;
+using simd::LoadVec;
+using simd::NativeVec;
+using simd::ScalarVec;
+using simd::SetAll;
+
+// Bring the overloaded per-lane primitives into scope so the op structs
+// below resolve the float / ScalarVec / NativeVec overload uniformly.
+using simd::Abs;
+using simd::Add;
+using simd::Div;
+using simd::ExpV;
+using simd::HAdd;
+using simd::HMax;
+using simd::Max;
+using simd::MaxStd;
+using simd::Mul;
+using simd::Neg;
+using simd::SelectGtZero;
+using simd::SigmoidV;
+using simd::Sqrt;
+using simd::StoreU;
+using simd::Sub;
+using simd::TanhV;
+
+KernelMode ResolveModeFromEnv() {
+  const std::string v = EnvString("TRANAD_KERNEL", "simd");
+  if (v == "simd") return KernelMode::kSimd;
+  if (v == "scalar") return KernelMode::kScalar;
+  TRANAD_CHECK_MSG(false,
+                   "TRANAD_KERNEL must be 'scalar' or 'simd', got: " << v);
+  return KernelMode::kSimd;
+}
+
+KernelMode* ModePtr() {
+  static KernelMode mode = ResolveModeFromEnv();
+  return &mode;
+}
+
+// --- op functors: one Apply per backend type via the overload set ---------
+
+struct AddOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    return Add(a, b);
+  }
+};
+struct SubOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    return Sub(a, b);
+  }
+};
+struct MulOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    return Mul(a, b);
+  }
+};
+struct DivOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    return Div(a, b);
+  }
+};
+// std::max bit semantics (first operand on ties/NaN) — the historical
+// behaviour of tranad::Maximum.
+struct MaxOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    return MaxStd(a, b);
+  }
+};
+struct SquaredDiffOp {
+  template <class T>
+  static T Apply(T a, T b) {
+    const T d = Sub(a, b);
+    return Mul(d, d);
+  }
+};
+
+struct NegOp {
+  template <class T>
+  static T Apply(T x) {
+    return Neg(x);
+  }
+};
+struct AbsOp {
+  template <class T>
+  static T Apply(T x) {
+    return Abs(x);
+  }
+};
+struct SquareOp {
+  template <class T>
+  static T Apply(T x) {
+    return Mul(x, x);
+  }
+};
+struct SqrtOp {
+  template <class T>
+  static T Apply(T x) {
+    return Sqrt(x);
+  }
+};
+struct ReluOp {
+  template <class T>
+  static T Apply(T x) {
+    return SelectGtZero(x, x, SetAll<T>(0.0f));
+  }
+};
+struct ExpOp {
+  template <class T>
+  static T Apply(T x) {
+    return ExpV(x);
+  }
+};
+struct TanhOp {
+  template <class T>
+  static T Apply(T x) {
+    return TanhV(x);
+  }
+};
+struct SigmoidOp {
+  template <class T>
+  static T Apply(T x) {
+    return SigmoidV(x);
+  }
+};
+struct GeluOp {
+  template <class T>
+  static T Apply(T x) {
+    // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x^3))), evaluated in
+    // the same order as the historical scalar kernel.
+    const T x3 = Mul(Mul(Mul(SetAll<T>(0.044715f), x), x), x);
+    const T inner = Mul(SetAll<T>(0.7978845608028654f), Add(x, x3));
+    return Mul(Mul(SetAll<T>(0.5f), x), Add(SetAll<T>(1.0f), TanhV(inner)));
+  }
+};
+
+// --- span loop shells ------------------------------------------------------
+
+template <class V, class Op>
+void BinSpanT(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Op::Apply(LoadVec<V>(a + i), LoadVec<V>(b + i)));
+  }
+  for (; i < n; ++i) o[i] = Op::Apply(a[i], b[i]);
+}
+
+template <class V, class Op>
+void BinSpanRhsT(const float* a, float s, float* o, int64_t n) {
+  const V vs = SetAll<V>(s);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Op::Apply(LoadVec<V>(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = Op::Apply(a[i], s);
+}
+
+template <class V, class Op>
+void BinSpanLhsT(const float* a, float s, float* o, int64_t n) {
+  const V vs = SetAll<V>(s);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Op::Apply(vs, LoadVec<V>(a + i)));
+  }
+  for (; i < n; ++i) o[i] = Op::Apply(s, a[i]);
+}
+
+template <class V, class Op>
+void UnSpanT(const float* a, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Op::Apply(LoadVec<V>(a + i)));
+  }
+  for (; i < n; ++i) o[i] = Op::Apply(a[i]);
+}
+
+// Dispatch tables, indexed by the enum value. Order must match BinOp/UnOp.
+template <class V>
+constexpr BinSpanFn kBinTable[] = {
+    BinSpanT<V, AddOp>, BinSpanT<V, SubOp>, BinSpanT<V, MulOp>,
+    BinSpanT<V, DivOp>, BinSpanT<V, MaxOp>, BinSpanT<V, SquaredDiffOp>,
+};
+template <class V>
+constexpr BinSpanScalarFn kBinRhsTable[] = {
+    BinSpanRhsT<V, AddOp>, BinSpanRhsT<V, SubOp>, BinSpanRhsT<V, MulOp>,
+    BinSpanRhsT<V, DivOp>, BinSpanRhsT<V, MaxOp>,
+    BinSpanRhsT<V, SquaredDiffOp>,
+};
+template <class V>
+constexpr BinSpanScalarFn kBinLhsTable[] = {
+    BinSpanLhsT<V, AddOp>, BinSpanLhsT<V, SubOp>, BinSpanLhsT<V, MulOp>,
+    BinSpanLhsT<V, DivOp>, BinSpanLhsT<V, MaxOp>,
+    BinSpanLhsT<V, SquaredDiffOp>,
+};
+template <class V>
+constexpr UnSpanFn kUnTable[] = {
+    UnSpanT<V, NegOp>,  UnSpanT<V, AbsOp>,     UnSpanT<V, SquareOp>,
+    UnSpanT<V, SqrtOp>, UnSpanT<V, ReluOp>,    UnSpanT<V, ExpOp>,
+    UnSpanT<V, TanhOp>, UnSpanT<V, SigmoidOp>, UnSpanT<V, GeluOp>,
+};
+
+// Calls F<NativeVec> or F<ScalarVec> depending on the active config.
+#define TRANAD_KERNEL_DISPATCH(fn, ...)                 \
+  do {                                                  \
+    if (CurrentKernelMode() == KernelMode::kSimd) {     \
+      fn<NativeVec>(__VA_ARGS__);                       \
+    } else {                                            \
+      fn<ScalarVec>(__VA_ARGS__);                       \
+    }                                                   \
+  } while (0)
+
+// --- misc spans ------------------------------------------------------------
+
+template <class V>
+void ScaleShiftSpanT(const float* a, float scale, float shift, float* o,
+                     int64_t n) {
+  const V vs = SetAll<V>(scale);
+  const V vh = SetAll<V>(shift);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Add(Mul(LoadVec<V>(a + i), vs), vh));
+  }
+  for (; i < n; ++i) o[i] = Add(Mul(a[i], scale), shift);
+}
+
+template <class V>
+void LeakyReluSpanT(const float* a, float slope, float* o, int64_t n) {
+  const V vs = SetAll<V>(slope);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const V x = LoadVec<V>(a + i);
+    StoreU(o + i, SelectGtZero(x, x, Mul(vs, x)));
+  }
+  for (; i < n; ++i) {
+    const float x = a[i];
+    o[i] = SelectGtZero(x, x, Mul(slope, x));
+  }
+}
+
+template <class V>
+void ScaledDiffSpanT(const float* a, const float* b, float s, float* o,
+                     int64_t n) {
+  const V vs = SetAll<V>(s);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(o + i, Mul(vs, Sub(LoadVec<V>(a + i), LoadVec<V>(b + i))));
+  }
+  for (; i < n; ++i) o[i] = Mul(s, Sub(a[i], b[i]));
+}
+
+// --- striped row reductions ------------------------------------------------
+//
+// A row sum is accumulated as kLanes independent lane sums over the full
+// vector chunks, folded with the fixed HAdd tree, then combined with a
+// left-to-right scalar tail: total = Add(HAdd(vec), tail). The order is a
+// pure function of the row length, so results are schedule-independent and
+// identical in both configs.
+
+template <class V>
+float RowSum(const float* p, int64_t n) {
+  V vsum = SetAll<V>(0.0f);
+  float tail = 0.0f;
+  int64_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) vsum = Add(vsum, LoadVec<V>(p + j));
+  for (; j < n; ++j) tail = Add(tail, p[j]);
+  return Add(HAdd(vsum), tail);
+}
+
+template <class V>
+float RowDot(const float* a, const float* b, int64_t n) {
+  V vsum = SetAll<V>(0.0f);
+  float tail = 0.0f;
+  int64_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    vsum = Add(vsum, Mul(LoadVec<V>(a + j), LoadVec<V>(b + j)));
+  }
+  for (; j < n; ++j) tail = Add(tail, Mul(a[j], b[j]));
+  return Add(HAdd(vsum), tail);
+}
+
+template <class V>
+float RowMax(const float* p, int64_t n) {
+  float mx;
+  int64_t j;
+  if (n >= kLanes) {
+    V vmx = LoadVec<V>(p);
+    for (j = kLanes; j + kLanes <= n; j += kLanes) {
+      vmx = Max(vmx, LoadVec<V>(p + j));
+    }
+    mx = HMax(vmx);
+  } else {
+    mx = p[0];
+    j = 1;
+  }
+  for (; j < n; ++j) mx = Max(mx, p[j]);
+  return mx;
+}
+
+// --- fused row kernels -----------------------------------------------------
+
+template <class V>
+void SoftmaxRowsT(const float* x, float* out, int64_t rows, int64_t n) {
+  if (n <= 0) return;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * n;
+    float* orow = out + r * n;
+    const float mx = RowMax<V>(row, n);
+    const V vmx = SetAll<V>(mx);
+    V vsum = SetAll<V>(0.0f);
+    float tsum = 0.0f;
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      const V e = ExpV(Sub(LoadVec<V>(row + j), vmx));
+      StoreU(orow + j, e);
+      vsum = Add(vsum, e);
+    }
+    for (; j < n; ++j) {
+      const float e = ExpV(Sub(row[j], mx));
+      orow[j] = e;
+      tsum = Add(tsum, e);
+    }
+    const float inv = Div(1.0f, Add(HAdd(vsum), tsum));
+    const V vinv = SetAll<V>(inv);
+    for (j = 0; j + kLanes <= n; j += kLanes) {
+      StoreU(orow + j, Mul(LoadVec<V>(orow + j), vinv));
+    }
+    for (; j < n; ++j) orow[j] = Mul(orow[j], inv);
+  }
+}
+
+template <class V>
+void SoftmaxBackwardRowsT(const float* y, const float* g, float* out,
+                          int64_t rows, int64_t n) {
+  if (n <= 0) return;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * n;
+    const float* gr = g + r * n;
+    float* orow = out + r * n;
+    const float dot = RowDot<V>(yr, gr, n);
+    const V vdot = SetAll<V>(dot);
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      StoreU(orow + j,
+             Mul(LoadVec<V>(yr + j), Sub(LoadVec<V>(gr + j), vdot)));
+    }
+    for (; j < n; ++j) orow[j] = Mul(yr[j], Sub(gr[j], dot));
+  }
+}
+
+template <class V>
+void LayerNormRowsT(const float* x, float* out, float* inv_std, int64_t rows,
+                    int64_t n, float eps) {
+  if (n <= 0) return;
+  const float nf = static_cast<float>(n);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * n;
+    float* orow = out + r * n;
+    const float mean = Div(RowSum<V>(row, n), nf);
+    const V vmean = SetAll<V>(mean);
+    V vvar = SetAll<V>(0.0f);
+    float tvar = 0.0f;
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      const V d = Sub(LoadVec<V>(row + j), vmean);
+      vvar = Add(vvar, Mul(d, d));
+    }
+    for (; j < n; ++j) {
+      const float d = Sub(row[j], mean);
+      tvar = Add(tvar, Mul(d, d));
+    }
+    const float var = Div(Add(HAdd(vvar), tvar), nf);
+    const float inv = Div(1.0f, Sqrt(Add(var, eps)));
+    if (inv_std != nullptr) inv_std[r] = inv;
+    const V vinv = SetAll<V>(inv);
+    for (j = 0; j + kLanes <= n; j += kLanes) {
+      StoreU(orow + j, Mul(Sub(LoadVec<V>(row + j), vmean), vinv));
+    }
+    for (; j < n; ++j) orow[j] = Mul(Sub(row[j], mean), inv);
+  }
+}
+
+template <class V>
+void LayerNormAffineRowsT(const float* x, const float* gain,
+                          const float* bias, float* out, float* yhat,
+                          float* inv_std, int64_t rows, int64_t n,
+                          float eps) {
+  if (n <= 0) return;
+  const float nf = static_cast<float>(n);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * n;
+    float* orow = out + r * n;
+    float* yrow = yhat != nullptr ? yhat + r * n : nullptr;
+    const float mean = Div(RowSum<V>(row, n), nf);
+    const V vmean = SetAll<V>(mean);
+    V vvar = SetAll<V>(0.0f);
+    float tvar = 0.0f;
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      const V d = Sub(LoadVec<V>(row + j), vmean);
+      vvar = Add(vvar, Mul(d, d));
+    }
+    for (; j < n; ++j) {
+      const float d = Sub(row[j], mean);
+      tvar = Add(tvar, Mul(d, d));
+    }
+    const float var = Div(Add(HAdd(vvar), tvar), nf);
+    const float inv = Div(1.0f, Sqrt(Add(var, eps)));
+    if (inv_std != nullptr) inv_std[r] = inv;
+    const V vinv = SetAll<V>(inv);
+    // out = yhat * gain + bias, per-element identical to composing the
+    // unfused LayerNorm -> Mul -> Add chain.
+    for (j = 0; j + kLanes <= n; j += kLanes) {
+      const V yv = Mul(Sub(LoadVec<V>(row + j), vmean), vinv);
+      if (yrow != nullptr) StoreU(yrow + j, yv);
+      StoreU(orow + j,
+             Add(Mul(yv, LoadVec<V>(gain + j)), LoadVec<V>(bias + j)));
+    }
+    for (; j < n; ++j) {
+      const float yv = Mul(Sub(row[j], mean), inv);
+      if (yrow != nullptr) yrow[j] = yv;
+      orow[j] = Add(Mul(yv, gain[j]), bias[j]);
+    }
+  }
+}
+
+template <class V>
+void LayerNormBackwardRowsT(const float* yhat, const float* g,
+                            const float* inv_std, float* out, int64_t rows,
+                            int64_t n) {
+  if (n <= 0) return;
+  const float nf = static_cast<float>(n);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = yhat + r * n;
+    const float* gr = g + r * n;
+    float* orow = out + r * n;
+    // Two striped sums in one pass: sum(g) and sum(g * yhat).
+    V vg = SetAll<V>(0.0f);
+    V vgy = SetAll<V>(0.0f);
+    float tg = 0.0f;
+    float tgy = 0.0f;
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      const V gv = LoadVec<V>(gr + j);
+      vg = Add(vg, gv);
+      vgy = Add(vgy, Mul(gv, LoadVec<V>(yr + j)));
+    }
+    for (; j < n; ++j) {
+      tg = Add(tg, gr[j]);
+      tgy = Add(tgy, Mul(gr[j], yr[j]));
+    }
+    const float sum_g = Add(HAdd(vg), tg);
+    const float sum_gy = Add(HAdd(vgy), tgy);
+    // dx = inv/n * (n*g - sum(g) - yhat * sum(g*yhat))
+    const float a = Div(inv_std[r], nf);
+    const V va = SetAll<V>(a);
+    const V vnf = SetAll<V>(nf);
+    const V vsg = SetAll<V>(sum_g);
+    const V vsgy = SetAll<V>(sum_gy);
+    for (j = 0; j + kLanes <= n; j += kLanes) {
+      const V gv = LoadVec<V>(gr + j);
+      const V yv = LoadVec<V>(yr + j);
+      StoreU(orow + j,
+             Mul(va, Sub(Sub(Mul(vnf, gv), vsg), Mul(yv, vsgy))));
+    }
+    for (; j < n; ++j) {
+      orow[j] =
+          Mul(a, Sub(Sub(Mul(nf, gr[j]), sum_g), Mul(yr[j], sum_gy)));
+    }
+  }
+}
+
+template <class V>
+void LayerNormAffineBackwardRowsT(const float* yhat, const float* g,
+                                  const float* gain, const float* inv_std,
+                                  float* out, int64_t rows, int64_t n) {
+  if (n <= 0) return;
+  const float nf = static_cast<float>(n);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = yhat + r * n;
+    const float* gr = g + r * n;
+    float* orow = out + r * n;
+    // Fold the gain into the upstream gradient (gy = g * gain), then the
+    // plain layernorm backward in terms of gy.
+    V vg = SetAll<V>(0.0f);
+    V vgy = SetAll<V>(0.0f);
+    float tg = 0.0f;
+    float tgy = 0.0f;
+    int64_t j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      const V gyv = Mul(LoadVec<V>(gr + j), LoadVec<V>(gain + j));
+      vg = Add(vg, gyv);
+      vgy = Add(vgy, Mul(gyv, LoadVec<V>(yr + j)));
+    }
+    for (; j < n; ++j) {
+      const float gyv = Mul(gr[j], gain[j]);
+      tg = Add(tg, gyv);
+      tgy = Add(tgy, Mul(gyv, yr[j]));
+    }
+    const float sum_g = Add(HAdd(vg), tg);
+    const float sum_gy = Add(HAdd(vgy), tgy);
+    const float a = Div(inv_std[r], nf);
+    const V va = SetAll<V>(a);
+    const V vnf = SetAll<V>(nf);
+    const V vsg = SetAll<V>(sum_g);
+    const V vsgy = SetAll<V>(sum_gy);
+    for (j = 0; j + kLanes <= n; j += kLanes) {
+      const V gyv = Mul(LoadVec<V>(gr + j), LoadVec<V>(gain + j));
+      const V yv = LoadVec<V>(yr + j);
+      StoreU(orow + j,
+             Mul(va, Sub(Sub(Mul(vnf, gyv), vsg), Mul(yv, vsgy))));
+    }
+    for (; j < n; ++j) {
+      const float gyv = Mul(gr[j], gain[j]);
+      orow[j] =
+          Mul(a, Sub(Sub(Mul(nf, gyv), sum_g), Mul(yr[j], sum_gy)));
+    }
+  }
+}
+
+// --- matmul ----------------------------------------------------------------
+
+// Accumulates a block of kVecs vectors of output columns [j0, j0+kVecs*L)
+// for one output row, in the exact historical accumulation order: ascending
+// p in groups of four, each group's contributions chained
+// (((acc + a0*b0) + a1*b1) + a2*b2) + a3*b3, all-zero groups skipped, then
+// an ascending scalar-p tail. Register accumulation instead of the old
+// store/reload through orow — value-identical, one store per element.
+template <class V, int kVecs>
+inline void MatMulColumnBlock(const float* __restrict arow,
+                              const float* __restrict b,
+                              float* __restrict orow, int64_t k, int64_t n,
+                              int64_t j0) {
+  V acc[kVecs];
+  for (int v = 0; v < kVecs; ++v) acc[v] = SetAll<V>(0.0f);
+  int64_t p = 0;
+  for (; p + 3 < k; p += 4) {
+    const float av0 = arow[p];
+    const float av1 = arow[p + 1];
+    const float av2 = arow[p + 2];
+    const float av3 = arow[p + 3];
+    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+      continue;
+    }
+    const float* __restrict r0 = b + p * n + j0;
+    const V va0 = SetAll<V>(av0);
+    const V va1 = SetAll<V>(av1);
+    const V va2 = SetAll<V>(av2);
+    const V va3 = SetAll<V>(av3);
+    for (int v = 0; v < kVecs; ++v) {
+      V t = Add(acc[v], Mul(va0, LoadVec<V>(r0 + v * kLanes)));
+      t = Add(t, Mul(va1, LoadVec<V>(r0 + n + v * kLanes)));
+      t = Add(t, Mul(va2, LoadVec<V>(r0 + 2 * n + v * kLanes)));
+      t = Add(t, Mul(va3, LoadVec<V>(r0 + 3 * n + v * kLanes)));
+      acc[v] = t;
+    }
+  }
+  for (; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.0f) continue;
+    const float* __restrict r = b + p * n + j0;
+    const V va = SetAll<V>(av);
+    for (int v = 0; v < kVecs; ++v) {
+      acc[v] = Add(acc[v], Mul(va, LoadVec<V>(r + v * kLanes)));
+    }
+  }
+  for (int v = 0; v < kVecs; ++v) StoreU(orow + j0 + v * kLanes, acc[v]);
+}
+
+// Remainder columns [j0, n): plain float, same chain order — identical in
+// both configs.
+void MatMulScalarColumns(const float* __restrict arow,
+                         const float* __restrict b, float* __restrict orow,
+                         int64_t k, int64_t n, int64_t j0) {
+  for (int64_t j = j0; j < n; ++j) {
+    float acc = 0.0f;
+    int64_t p = 0;
+    for (; p + 3 < k; p += 4) {
+      const float av0 = arow[p];
+      const float av1 = arow[p + 1];
+      const float av2 = arow[p + 2];
+      const float av3 = arow[p + 3];
+      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+        continue;
+      }
+      const float* __restrict r0 = b + p * n + j;
+      acc = Add(acc, Mul(av0, r0[0]));
+      acc = Add(acc, Mul(av1, r0[n]));
+      acc = Add(acc, Mul(av2, r0[2 * n]));
+      acc = Add(acc, Mul(av3, r0[3 * n]));
+    }
+    for (; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      acc = Add(acc, Mul(av, b[p * n + j]));
+    }
+    orow[j] = acc;
+  }
+}
+
+// Direct (unpacked) row kernel: axpy structure — p outer, vectorized sweep
+// over output columns inner — so b streams through memory exactly once per
+// output row while the row accumulator stays L1-resident. Per element the
+// adds land in the exact historical order (ascending p, 4-way groups,
+// ascending tail); the store/reload through orow between groups is
+// value-identical to register accumulation.
+template <class V>
+void MatMulRowT(const float* __restrict arow, const float* __restrict b,
+                float* __restrict orow, int64_t k, int64_t n) {
+  const V vzero = SetAll<V>(0.0f);
+  int64_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) StoreU(orow + j, vzero);
+  for (; j < n; ++j) orow[j] = 0.0f;
+  int64_t p = 0;
+  for (; p + 3 < k; p += 4) {
+    const float av0 = arow[p];
+    const float av1 = arow[p + 1];
+    const float av2 = arow[p + 2];
+    const float av3 = arow[p + 3];
+    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+      continue;
+    }
+    const float* __restrict r0 = b + p * n;
+    const V va0 = SetAll<V>(av0);
+    const V va1 = SetAll<V>(av1);
+    const V va2 = SetAll<V>(av2);
+    const V va3 = SetAll<V>(av3);
+    int64_t c = 0;
+    for (; c + kLanes <= n; c += kLanes) {
+      V t = Add(LoadVec<V>(orow + c), Mul(va0, LoadVec<V>(r0 + c)));
+      t = Add(t, Mul(va1, LoadVec<V>(r0 + n + c)));
+      t = Add(t, Mul(va2, LoadVec<V>(r0 + 2 * n + c)));
+      t = Add(t, Mul(va3, LoadVec<V>(r0 + 3 * n + c)));
+      StoreU(orow + c, t);
+    }
+    for (; c < n; ++c) {
+      float t = Add(orow[c], Mul(av0, r0[c]));
+      t = Add(t, Mul(av1, r0[n + c]));
+      t = Add(t, Mul(av2, r0[2 * n + c]));
+      t = Add(t, Mul(av3, r0[3 * n + c]));
+      orow[c] = t;
+    }
+  }
+  for (; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.0f) continue;
+    const float* __restrict r = b + p * n;
+    const V va = SetAll<V>(av);
+    int64_t c = 0;
+    for (; c + kLanes <= n; c += kLanes) {
+      StoreU(orow + c, Add(LoadVec<V>(orow + c), Mul(va, LoadVec<V>(r + c))));
+    }
+    for (; c < n; ++c) orow[c] = Add(orow[c], Mul(av, r[c]));
+  }
+}
+
+template <class V>
+void MatMulRowPackedT(const float* __restrict arow,
+                      const float* __restrict packed,
+                      const float* __restrict b, float* __restrict orow,
+                      int64_t k, int64_t n) {
+  constexpr int64_t kNR = 4 * kLanes;
+  const int64_t npanels = n / kNR;
+  for (int64_t q = 0; q < npanels; ++q) {
+    const float* __restrict panel = packed + q * k * kNR;
+    V acc[4];
+    for (int v = 0; v < 4; ++v) acc[v] = SetAll<V>(0.0f);
+    int64_t p = 0;
+    for (; p + 3 < k; p += 4) {
+      const float av0 = arow[p];
+      const float av1 = arow[p + 1];
+      const float av2 = arow[p + 2];
+      const float av3 = arow[p + 3];
+      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
+        continue;
+      }
+      const float* __restrict r0 = panel + p * kNR;
+      const V va0 = SetAll<V>(av0);
+      const V va1 = SetAll<V>(av1);
+      const V va2 = SetAll<V>(av2);
+      const V va3 = SetAll<V>(av3);
+      for (int v = 0; v < 4; ++v) {
+        V t = Add(acc[v], Mul(va0, LoadVec<V>(r0 + v * kLanes)));
+        t = Add(t, Mul(va1, LoadVec<V>(r0 + kNR + v * kLanes)));
+        t = Add(t, Mul(va2, LoadVec<V>(r0 + 2 * kNR + v * kLanes)));
+        t = Add(t, Mul(va3, LoadVec<V>(r0 + 3 * kNR + v * kLanes)));
+        acc[v] = t;
+      }
+    }
+    for (; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* __restrict r = panel + p * kNR;
+      const V va = SetAll<V>(av);
+      for (int v = 0; v < 4; ++v) {
+        acc[v] = Add(acc[v], Mul(va, LoadVec<V>(r + v * kLanes)));
+      }
+    }
+    for (int v = 0; v < 4; ++v) {
+      StoreU(orow + q * kNR + v * kLanes, acc[v]);
+    }
+  }
+  // Columns past the last full panel come straight from b.
+  int64_t j0 = npanels * kNR;
+  for (; j0 + kLanes <= n; j0 += kLanes) {
+    MatMulColumnBlock<V, 1>(arow, b, orow, k, n, j0);
+  }
+  if (j0 < n) MatMulScalarColumns(arow, b, orow, k, n, j0);
+}
+
+}  // namespace
+
+KernelMode CurrentKernelMode() { return *ModePtr(); }
+
+void SetKernelModeForTesting(KernelMode mode) { *ModePtr() = mode; }
+
+const char* KernelModeName() {
+  return CurrentKernelMode() == KernelMode::kSimd ? "simd" : "scalar";
+}
+
+const char* KernelIsaName() { return simd::kIsaName; }
+
+int KernelLanes() { return kLanes; }
+
+BinSpanFn GetBinarySpan(BinOp op) {
+  const int i = static_cast<int>(op);
+  return CurrentKernelMode() == KernelMode::kSimd ? kBinTable<NativeVec>[i]
+                                                  : kBinTable<ScalarVec>[i];
+}
+
+BinSpanScalarFn GetBinarySpanScalarRhs(BinOp op) {
+  const int i = static_cast<int>(op);
+  return CurrentKernelMode() == KernelMode::kSimd ? kBinRhsTable<NativeVec>[i]
+                                                  : kBinRhsTable<ScalarVec>[i];
+}
+
+BinSpanScalarFn GetBinarySpanScalarLhs(BinOp op) {
+  const int i = static_cast<int>(op);
+  return CurrentKernelMode() == KernelMode::kSimd ? kBinLhsTable<NativeVec>[i]
+                                                  : kBinLhsTable<ScalarVec>[i];
+}
+
+UnSpanFn GetUnarySpan(UnOp op) {
+  const int i = static_cast<int>(op);
+  return CurrentKernelMode() == KernelMode::kSimd ? kUnTable<NativeVec>[i]
+                                                  : kUnTable<ScalarVec>[i];
+}
+
+void ScaleShiftSpan(const float* a, float scale, float shift, float* out,
+                    int64_t n) {
+  TRANAD_KERNEL_DISPATCH(ScaleShiftSpanT, a, scale, shift, out, n);
+}
+
+void LeakyReluSpan(const float* a, float slope, float* out, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(LeakyReluSpanT, a, slope, out, n);
+}
+
+void ScaledDiffSpan(const float* a, const float* b, float s, float* out,
+                    int64_t n) {
+  TRANAD_KERNEL_DISPATCH(ScaledDiffSpanT, a, b, s, out, n);
+}
+
+void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(SoftmaxRowsT, x, out, rows, n);
+}
+
+void SoftmaxBackwardRows(const float* y, const float* g, float* out,
+                         int64_t rows, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(SoftmaxBackwardRowsT, y, g, out, rows, n);
+}
+
+void LayerNormRows(const float* x, float* out, float* inv_std, int64_t rows,
+                   int64_t n, float eps) {
+  TRANAD_KERNEL_DISPATCH(LayerNormRowsT, x, out, inv_std, rows, n, eps);
+}
+
+void LayerNormAffineRows(const float* x, const float* gain, const float* bias,
+                         float* out, float* yhat, float* inv_std,
+                         int64_t rows, int64_t n, float eps) {
+  TRANAD_KERNEL_DISPATCH(LayerNormAffineRowsT, x, gain, bias, out, yhat,
+                         inv_std, rows, n, eps);
+}
+
+void LayerNormBackwardRows(const float* yhat, const float* g,
+                           const float* inv_std, float* out, int64_t rows,
+                           int64_t n) {
+  TRANAD_KERNEL_DISPATCH(LayerNormBackwardRowsT, yhat, g, inv_std, out, rows,
+                         n);
+}
+
+void LayerNormAffineBackwardRows(const float* yhat, const float* g,
+                                 const float* gain, const float* inv_std,
+                                 float* out, int64_t rows, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(LayerNormAffineBackwardRowsT, yhat, g, gain, inv_std,
+                         out, rows, n);
+}
+
+double SquaredDiffSumAll(const float* a, const float* b, int64_t n) {
+  // Serial, index-ordered double accumulation with float intermediates —
+  // exactly the value the old MeanAll(Square(Sub(..))) chain produced, and
+  // the deterministic full-reduction contract (see SumAll).
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    const float sq = d * d;
+    s += sq;
+  }
+  return s;
+}
+
+void MatMulRowKernel(const float* a_row, const float* b, float* out,
+                     int64_t k, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(MatMulRowT, a_row, b, out, k, n);
+}
+
+int64_t PackedPanelWidth() { return 4 * static_cast<int64_t>(kLanes); }
+
+int64_t NumPackedFloats(int64_t k, int64_t n) {
+  const int64_t nr = PackedPanelWidth();
+  return (n / nr) * nr * k;
+}
+
+void PackB(const float* b, int64_t k, int64_t n, float* packed) {
+  const int64_t nr = PackedPanelWidth();
+  const int64_t npanels = n / nr;
+  for (int64_t q = 0; q < npanels; ++q) {
+    float* dst = packed + q * k * nr;
+    const float* src = b + q * nr;
+    for (int64_t p = 0; p < k; ++p) {
+      std::memcpy(dst + p * nr, src + p * n, sizeof(float) * nr);
+    }
+  }
+}
+
+void MatMulRowPacked(const float* a_row, const float* packed, const float* b,
+                     float* out, int64_t k, int64_t n) {
+  TRANAD_KERNEL_DISPATCH(MatMulRowPackedT, a_row, packed, b, out, k, n);
+}
+
+}  // namespace tranad::kernels

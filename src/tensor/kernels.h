@@ -1,0 +1,142 @@
+#ifndef TRANAD_TENSOR_KERNELS_H_
+#define TRANAD_TENSOR_KERNELS_H_
+
+// Vectorized kernel layer sitting between tensor_ops/autograd_ops and the
+// SIMD backends in simd.h. All functions operate on contiguous float spans
+// or row-major row blocks; callers (tensor_ops.cc) own shape logic,
+// broadcasting decomposition, and ParallelFor partitioning.
+//
+// Two kernel configs exist, selected once at startup from TRANAD_KERNEL
+// (values: "simd" [default] | "scalar") or pinned via
+// SetKernelModeForTesting. Both configs run the same templated kernels at
+// the same vector width; the scalar config merely executes each lane with
+// scalar arithmetic. Outputs are bit-for-bit identical between the two —
+// see simd.h for why — so the knob exists for reproduction/debugging and
+// perf attribution, never for correctness.
+//
+// Determinism: every kernel's result for element i depends only on its
+// input fibers, never on span partitioning, so ParallelFor chunking across
+// thread counts cannot change results. Row reductions (softmax/layernorm/
+// backward dots) use a striped vector accumulator folded with a fixed
+// halving tree plus an ordered scalar tail — deterministic for a fixed
+// row length, identical in both configs.
+
+#include <cstdint>
+
+namespace tranad::kernels {
+
+enum class KernelMode { kScalar, kSimd };
+
+/// The active config. First call reads TRANAD_KERNEL; aborts via CHECK on
+/// an unrecognized value.
+KernelMode CurrentKernelMode();
+/// Test hook: pin the mode (and re-resolve all dispatch tables).
+void SetKernelModeForTesting(KernelMode mode);
+/// "scalar" or "simd".
+const char* KernelModeName();
+/// Compile-time ISA behind the simd config: "avx2" | "sse2" | "neon" |
+/// "generic".
+const char* KernelIsaName();
+/// Vector width in float lanes (identical for both configs).
+int KernelLanes();
+
+// --- elementwise spans -----------------------------------------------------
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMax, kSquaredDiff };
+enum class UnOp {
+  kNeg,
+  kAbs,
+  kSquare,
+  kSqrt,
+  kRelu,
+  kExp,
+  kTanh,
+  kSigmoid,
+  kGelu,
+};
+
+using BinSpanFn = void (*)(const float* a, const float* b, float* out,
+                           int64_t n);
+using BinSpanScalarFn = void (*)(const float* a, float b, float* out,
+                                 int64_t n);
+using UnSpanFn = void (*)(const float* a, float* out, int64_t n);
+
+/// out[i] = op(a[i], b[i]).
+BinSpanFn GetBinarySpan(BinOp op);
+/// out[i] = op(a[i], s) — broadcast scalar on the right.
+BinSpanScalarFn GetBinarySpanScalarRhs(BinOp op);
+/// out[i] = op(s, a[i]) — broadcast scalar on the left.
+BinSpanScalarFn GetBinarySpanScalarLhs(BinOp op);
+/// out[i] = op(a[i]).
+UnSpanFn GetUnarySpan(UnOp op);
+
+/// out[i] = a[i] * scale + shift (used by MulScalar/AddScalar/affine maps).
+void ScaleShiftSpan(const float* a, float scale, float shift, float* out,
+                    int64_t n);
+/// out[i] = a[i] > 0 ? a[i] : slope * a[i].
+void LeakyReluSpan(const float* a, float slope, float* out, int64_t n);
+/// out[i] = s * (a[i] - b[i]) (MSE backward: s = 2*g/n).
+void ScaledDiffSpan(const float* a, const float* b, float s, float* out,
+                    int64_t n);
+
+// --- fused row kernels -----------------------------------------------------
+
+/// Softmax over `rows` contiguous rows of length n, each row: shift by row
+/// max, exp, normalize. Matches composing the unfused max/exp/sum/scale
+/// steps with these kernels' reductions.
+void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t n);
+/// Softmax backward: out = y * (g - dot(g, y)) per row.
+void SoftmaxBackwardRows(const float* y, const float* g, float* out,
+                         int64_t rows, int64_t n);
+
+/// LayerNorm (no affine) over rows; writes 1/sqrt(var+eps) per row into
+/// inv_std (may be null when the caller does not need it for backward).
+void LayerNormRows(const float* x, float* out, float* inv_std, int64_t rows,
+                   int64_t n, float eps);
+/// Fused LayerNorm + affine: out = yhat * gain + bias where
+/// yhat = (x - mean) * inv_std. Writes yhat (if non-null, for backward) and
+/// inv_std (if non-null). Per-element arithmetic identical to composing
+/// LayerNormRows then Mul then Add.
+void LayerNormAffineRows(const float* x, const float* gain, const float* bias,
+                         float* out, float* yhat, float* inv_std,
+                         int64_t rows, int64_t n, float eps);
+/// LayerNorm backward: dx = inv/n * (n*g - sum(g) - yhat*sum(g*yhat)).
+void LayerNormBackwardRows(const float* yhat, const float* g,
+                           const float* inv_std, float* out, int64_t rows,
+                           int64_t n);
+/// Affine-layernorm input gradient; folds the gain into g first
+/// (gy = g * gain) then applies the plain layernorm backward.
+void LayerNormAffineBackwardRows(const float* yhat, const float* g,
+                                 const float* gain, const float* inv_std,
+                                 float* out, int64_t rows, int64_t n);
+
+/// sum_i (a[i]-b[i])^2 accumulated serially in double, in index order —
+/// the deterministic full-reduction contract (same as SumAll). Fuses the
+/// Sub+Square intermediates away but is intentionally NOT vectorized.
+double SquaredDiffSumAll(const float* a, const float* b, int64_t n);
+
+// --- matmul ----------------------------------------------------------------
+
+/// One output row: out[j] = sum_p a[p] * b[p*n + j], accumulated in the
+/// exact historical order (ascending p, 4-way unrolled sum chain with
+/// all-zero-group skip). Vectorized across j; bit-identical to the
+/// pre-kernel-layer scalar implementation.
+void MatMulRowKernel(const float* a_row, const float* b, float* out,
+                     int64_t k, int64_t n);
+
+/// Panel width (in columns) used by PackB — a multiple of the vector width.
+int64_t PackedPanelWidth();
+/// Floats required for a packed image of b's full-panel region; columns
+/// beyond the last full panel are left unpacked (computed direct from b).
+int64_t NumPackedFloats(int64_t k, int64_t n);
+/// Pack b's full NR-wide panels: panel-major, row-minor layout so the inner
+/// product walks packed memory linearly. Pure data movement.
+void PackB(const float* b, int64_t k, int64_t n, float* packed);
+/// MatMulRowKernel against a packed image (full panels) + the original b
+/// (tail columns). Same accumulation order as the direct kernel.
+void MatMulRowPacked(const float* a_row, const float* packed, const float* b,
+                     float* out, int64_t k, int64_t n);
+
+}  // namespace tranad::kernels
+
+#endif  // TRANAD_TENSOR_KERNELS_H_

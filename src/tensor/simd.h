@@ -1,0 +1,535 @@
+#ifndef TRANAD_TENSOR_SIMD_H_
+#define TRANAD_TENSOR_SIMD_H_
+
+// Portable SIMD abstraction for the tensor kernel layer (kernels.cc is the
+// only intended includer; nothing ISA-specific leaks into public headers).
+//
+// Design: the ISA is picked at compile time (AVX2 > SSE2 > NEON > generic)
+// and fixes the lane count kLanes. Two vector backends implement the SAME
+// primitive set at the SAME width:
+//
+//   * NativeVec — the ISA's intrinsic vector.
+//   * ScalarVec — a float[kLanes] evaluated lane-by-lane with plain
+//     scalar arithmetic.
+//
+// Every primitive is an exactly-rounded IEEE-754 single operation per lane
+// (add/sub/mul/div/sqrt/min/max/bitwise select), so a kernel templated over
+// the backend performs the identical arithmetic DAG on either one and the
+// results are bit-for-bit equal. That identity is the bit-exactness
+// contract behind TRANAD_KERNEL=scalar|simd: the scalar config is not an
+// approximation of the SIMD config, it is the same computation executed one
+// lane at a time. Transcendentals (exp, and tanh/sigmoid/gelu built on it)
+// are our own polynomial evaluated through these primitives, never libm, so
+// they inherit the same identity.
+//
+// The primitives are additionally overloaded for plain `float`, so loop
+// tails (the n % kLanes remainder) run the same per-lane arithmetic as the
+// vector body in both configs.
+//
+// NOTE: kernels must be compiled with FP contraction off (-ffp-contract=off
+// on the tensor library); a compiler-fused a*b+c in the scalar path would
+// round differently from the explicit Mul+Add the intrinsic path performs.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__AVX2__)
+#define TRANAD_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define TRANAD_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define TRANAD_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define TRANAD_SIMD_GENERIC 1
+#endif
+
+namespace tranad::simd {
+
+#if defined(TRANAD_SIMD_AVX2)
+inline constexpr int kLanes = 8;
+inline constexpr const char* kIsaName = "avx2";
+#elif defined(TRANAD_SIMD_SSE2)
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "sse2";
+#elif defined(TRANAD_SIMD_NEON)
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "neon";
+#else
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "generic";
+#endif
+
+// ---------------------------------------------------------------------------
+// float overloads — the per-lane reference semantics. ScalarVec applies
+// these per lane; NativeVec must match them bit-for-bit per lane.
+// ---------------------------------------------------------------------------
+
+inline float Add(float a, float b) { return a + b; }
+inline float Sub(float a, float b) { return a - b; }
+inline float Mul(float a, float b) { return a * b; }
+inline float Div(float a, float b) { return a / b; }
+// Max/Min mirror MAXPS/MINPS exactly: `a op b ? a : b`, so the *second*
+// operand is returned on ties (+0/-0) and when the comparison is unordered
+// (NaN). MaxStd instead mirrors std::max — `(a < b) ? b : a`, first operand
+// on ties/NaN — for kernels replacing std::max call sites bit-for-bit.
+inline float Max(float a, float b) { return a > b ? a : b; }
+inline float Min(float a, float b) { return a < b ? a : b; }
+inline float MaxStd(float a, float b) { return a < b ? b : a; }
+inline float Sqrt(float a) { return std::sqrt(a); }
+
+inline float BitCastFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+inline uint32_t BitCastU32(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+inline float Abs(float a) { return BitCastFloat(BitCastU32(a) & 0x7fffffffu); }
+inline float Neg(float a) { return BitCastFloat(BitCastU32(a) ^ 0x80000000u); }
+
+/// Per-lane select: x > 0 ? a : b (false for NaN x).
+inline float SelectGtZero(float x, float a, float b) {
+  return x > 0.0f ? a : b;
+}
+/// Per-lane select: x == x ? a : b (b where x is NaN).
+inline float SelectOrdered(float x, float a, float b) { return x == x ? a : b; }
+/// Per-lane select: x >= t ? a : b (false for NaN x or t).
+inline float SelectGe(float x, float t, float a, float b) {
+  return x >= t ? a : b;
+}
+
+/// Round to nearest (ties to even, the default FP environment) — the scalar
+/// twin of cvtps2dq+cvtdq2ps. Inputs are pre-clamped to a small range.
+inline float RoundNearest(float a) { return std::nearbyintf(a); }
+
+/// a * 2^n where `n` holds a small integer-valued float (|n| <= 127).
+inline float Ldexp2i(float a, float n) {
+  const int32_t ni = static_cast<int32_t>(n);
+  return Mul(a, BitCastFloat(static_cast<uint32_t>((ni + 127) << 23)));
+}
+
+// ---------------------------------------------------------------------------
+// ScalarVec — float[kLanes], each primitive applied lane-wise.
+// ---------------------------------------------------------------------------
+
+struct ScalarVec {
+  float lane[kLanes];
+};
+
+inline ScalarVec Set1(ScalarVec*, float v) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i) r.lane[i] = v;
+  return r;
+}
+inline ScalarVec LoadU(ScalarVec*, const float* p) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i) r.lane[i] = p[i];
+  return r;
+}
+inline void StoreU(float* p, ScalarVec v) {
+  for (int i = 0; i < kLanes; ++i) p[i] = v.lane[i];
+}
+
+#define TRANAD_SCALARVEC_BINOP(Name)                          \
+  inline ScalarVec Name(ScalarVec a, ScalarVec b) {           \
+    ScalarVec r;                                              \
+    for (int i = 0; i < kLanes; ++i)                          \
+      r.lane[i] = Name(a.lane[i], b.lane[i]);                 \
+    return r;                                                 \
+  }
+TRANAD_SCALARVEC_BINOP(Add)
+TRANAD_SCALARVEC_BINOP(Sub)
+TRANAD_SCALARVEC_BINOP(Mul)
+TRANAD_SCALARVEC_BINOP(Div)
+TRANAD_SCALARVEC_BINOP(Max)
+TRANAD_SCALARVEC_BINOP(Min)
+TRANAD_SCALARVEC_BINOP(MaxStd)
+#undef TRANAD_SCALARVEC_BINOP
+
+#define TRANAD_SCALARVEC_UNOP(Name)                                        \
+  inline ScalarVec Name(ScalarVec a) {                                     \
+    ScalarVec r;                                                           \
+    for (int i = 0; i < kLanes; ++i) r.lane[i] = Name(a.lane[i]);          \
+    return r;                                                              \
+  }
+TRANAD_SCALARVEC_UNOP(Sqrt)
+TRANAD_SCALARVEC_UNOP(Abs)
+TRANAD_SCALARVEC_UNOP(Neg)
+TRANAD_SCALARVEC_UNOP(RoundNearest)
+#undef TRANAD_SCALARVEC_UNOP
+
+inline ScalarVec SelectGtZero(ScalarVec x, ScalarVec a, ScalarVec b) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i)
+    r.lane[i] = SelectGtZero(x.lane[i], a.lane[i], b.lane[i]);
+  return r;
+}
+inline ScalarVec SelectOrdered(ScalarVec x, ScalarVec a, ScalarVec b) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i)
+    r.lane[i] = SelectOrdered(x.lane[i], a.lane[i], b.lane[i]);
+  return r;
+}
+inline ScalarVec SelectGe(ScalarVec x, ScalarVec t, ScalarVec a, ScalarVec b) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i)
+    r.lane[i] = SelectGe(x.lane[i], t.lane[i], a.lane[i], b.lane[i]);
+  return r;
+}
+inline ScalarVec Ldexp2i(ScalarVec a, ScalarVec n) {
+  ScalarVec r;
+  for (int i = 0; i < kLanes; ++i) r.lane[i] = Ldexp2i(a.lane[i], n.lane[i]);
+  return r;
+}
+
+/// Horizontal sum with a fixed halving tree: lanes [i] and [i + w] are added
+/// at each level. Both backends implement this exact tree, so the rounding
+/// is identical. (Used by row reductions; the tree, not left-to-right order,
+/// is the deterministic contract for striped accumulators.)
+inline float HAdd(ScalarVec v) {
+  float t[kLanes];
+  for (int i = 0; i < kLanes; ++i) t[i] = v.lane[i];
+  for (int w = kLanes / 2; w >= 1; w /= 2) {
+    for (int i = 0; i < w; ++i) t[i] = Add(t[i], t[i + w]);
+  }
+  return t[0];
+}
+inline float HMax(ScalarVec v) {
+  float t[kLanes];
+  for (int i = 0; i < kLanes; ++i) t[i] = v.lane[i];
+  for (int w = kLanes / 2; w >= 1; w /= 2) {
+    for (int i = 0; i < w; ++i) t[i] = Max(t[i], t[i + w]);
+  }
+  return t[0];
+}
+
+// ---------------------------------------------------------------------------
+// NativeVec — the widest ISA the compiler was given.
+// ---------------------------------------------------------------------------
+
+#if defined(TRANAD_SIMD_AVX2)
+
+struct NativeVec {
+  __m256 v;
+};
+
+inline NativeVec Wrap(__m256 v) { return NativeVec{v}; }
+inline NativeVec Set1(NativeVec*, float x) { return Wrap(_mm256_set1_ps(x)); }
+inline NativeVec LoadU(NativeVec*, const float* p) {
+  return Wrap(_mm256_loadu_ps(p));
+}
+inline void StoreU(float* p, NativeVec a) { _mm256_storeu_ps(p, a.v); }
+inline NativeVec Add(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_add_ps(a.v, b.v));
+}
+inline NativeVec Sub(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_sub_ps(a.v, b.v));
+}
+inline NativeVec Mul(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_mul_ps(a.v, b.v));
+}
+inline NativeVec Div(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_div_ps(a.v, b.v));
+}
+// MAXPS(a, b) == (a > b) ? a : b — returns the second operand on ties and
+// NaN, exactly the float Max overload.
+inline NativeVec Max(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_max_ps(a.v, b.v));
+}
+inline NativeVec Min(NativeVec a, NativeVec b) {
+  return Wrap(_mm256_min_ps(a.v, b.v));
+}
+inline NativeVec MaxStd(NativeVec a, NativeVec b) {
+  const __m256 lt = _mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ);
+  return Wrap(_mm256_blendv_ps(a.v, b.v, lt));
+}
+inline NativeVec Sqrt(NativeVec a) { return Wrap(_mm256_sqrt_ps(a.v)); }
+inline NativeVec Abs(NativeVec a) {
+  return Wrap(_mm256_and_ps(
+      a.v, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff))));
+}
+inline NativeVec Neg(NativeVec a) {
+  return Wrap(_mm256_xor_ps(
+      a.v, _mm256_castsi256_ps(_mm256_set1_epi32(
+               static_cast<int32_t>(0x80000000u)))));
+}
+inline NativeVec SelectGtZero(NativeVec x, NativeVec a, NativeVec b) {
+  const __m256 mask = _mm256_cmp_ps(x.v, _mm256_setzero_ps(), _CMP_GT_OQ);
+  return Wrap(_mm256_blendv_ps(b.v, a.v, mask));
+}
+inline NativeVec SelectOrdered(NativeVec x, NativeVec a, NativeVec b) {
+  const __m256 mask = _mm256_cmp_ps(x.v, x.v, _CMP_ORD_Q);
+  return Wrap(_mm256_blendv_ps(b.v, a.v, mask));
+}
+inline NativeVec SelectGe(NativeVec x, NativeVec t, NativeVec a, NativeVec b) {
+  const __m256 mask = _mm256_cmp_ps(x.v, t.v, _CMP_GE_OQ);
+  return Wrap(_mm256_blendv_ps(b.v, a.v, mask));
+}
+inline NativeVec RoundNearest(NativeVec a) {
+  return Wrap(_mm256_round_ps(
+      a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+}
+inline NativeVec Ldexp2i(NativeVec a, NativeVec n) {
+  const __m256i ni = _mm256_cvtps_epi32(n.v);
+  const __m256i bits =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return Wrap(_mm256_mul_ps(a.v, _mm256_castsi256_ps(bits)));
+}
+inline float HAdd(NativeVec a) {
+  // Level 1: lanes [i] + [i+4]; level 2: [i] + [i+2]; level 3: [0] + [1].
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(a.v),
+                        _mm256_extractf128_ps(a.v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+inline float HMax(NativeVec a) {
+  // Same tree as ScalarVec::HMax: t[i] = Max(t[i], t[i+w]).
+  __m128 lo = _mm256_castps256_ps128(a.v);
+  __m128 hi = _mm256_extractf128_ps(a.v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+#elif defined(TRANAD_SIMD_SSE2)
+
+struct NativeVec {
+  __m128 v;
+};
+
+inline NativeVec Wrap(__m128 v) { return NativeVec{v}; }
+inline NativeVec Set1(NativeVec*, float x) { return Wrap(_mm_set1_ps(x)); }
+inline NativeVec LoadU(NativeVec*, const float* p) {
+  return Wrap(_mm_loadu_ps(p));
+}
+inline void StoreU(float* p, NativeVec a) { _mm_storeu_ps(p, a.v); }
+inline NativeVec Add(NativeVec a, NativeVec b) {
+  return Wrap(_mm_add_ps(a.v, b.v));
+}
+inline NativeVec Sub(NativeVec a, NativeVec b) {
+  return Wrap(_mm_sub_ps(a.v, b.v));
+}
+inline NativeVec Mul(NativeVec a, NativeVec b) {
+  return Wrap(_mm_mul_ps(a.v, b.v));
+}
+inline NativeVec Div(NativeVec a, NativeVec b) {
+  return Wrap(_mm_div_ps(a.v, b.v));
+}
+// MAXPS(a, b) == (a > b) ? a : b — second operand on ties/NaN, exactly the
+// float Max overload.
+inline NativeVec Max(NativeVec a, NativeVec b) {
+  return Wrap(_mm_max_ps(a.v, b.v));
+}
+inline NativeVec Min(NativeVec a, NativeVec b) {
+  return Wrap(_mm_min_ps(a.v, b.v));
+}
+inline NativeVec MaxStd(NativeVec a, NativeVec b) {
+  const __m128 lt = _mm_cmplt_ps(a.v, b.v);
+  return Wrap(_mm_or_ps(_mm_and_ps(lt, b.v), _mm_andnot_ps(lt, a.v)));
+}
+inline NativeVec Sqrt(NativeVec a) { return Wrap(_mm_sqrt_ps(a.v)); }
+inline NativeVec Abs(NativeVec a) {
+  return Wrap(_mm_and_ps(a.v, _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff))));
+}
+inline NativeVec Neg(NativeVec a) {
+  return Wrap(_mm_xor_ps(a.v, _mm_castsi128_ps(_mm_set1_epi32(
+                                  static_cast<int32_t>(0x80000000u)))));
+}
+inline NativeVec SelectGtZero(NativeVec x, NativeVec a, NativeVec b) {
+  const __m128 mask = _mm_cmpgt_ps(x.v, _mm_setzero_ps());
+  return Wrap(_mm_or_ps(_mm_and_ps(mask, a.v), _mm_andnot_ps(mask, b.v)));
+}
+inline NativeVec SelectOrdered(NativeVec x, NativeVec a, NativeVec b) {
+  const __m128 mask = _mm_cmpord_ps(x.v, x.v);
+  return Wrap(_mm_or_ps(_mm_and_ps(mask, a.v), _mm_andnot_ps(mask, b.v)));
+}
+inline NativeVec SelectGe(NativeVec x, NativeVec t, NativeVec a, NativeVec b) {
+  const __m128 mask = _mm_cmpge_ps(x.v, t.v);
+  return Wrap(_mm_or_ps(_mm_and_ps(mask, a.v), _mm_andnot_ps(mask, b.v)));
+}
+inline NativeVec RoundNearest(NativeVec a) {
+  // cvtps2dq rounds per MXCSR (nearest-even by default); inputs are
+  // pre-clamped well inside int32 range.
+  return Wrap(_mm_cvtepi32_ps(_mm_cvtps_epi32(a.v)));
+}
+inline NativeVec Ldexp2i(NativeVec a, NativeVec n) {
+  const __m128i ni = _mm_cvtps_epi32(n.v);
+  const __m128i bits = _mm_slli_epi32(_mm_add_epi32(ni, _mm_set1_epi32(127)),
+                                      23);
+  return Wrap(_mm_mul_ps(a.v, _mm_castsi128_ps(bits)));
+}
+inline float HAdd(NativeVec a) {
+  __m128 s = _mm_add_ps(a.v, _mm_movehl_ps(a.v, a.v));  // [0]+[2], [1]+[3]
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+inline float HMax(NativeVec a) {
+  __m128 s = _mm_max_ps(a.v, _mm_movehl_ps(a.v, a.v));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+#elif defined(TRANAD_SIMD_NEON)
+
+struct NativeVec {
+  float32x4_t v;
+};
+
+inline NativeVec Wrap(float32x4_t v) { return NativeVec{v}; }
+inline NativeVec Set1(NativeVec*, float x) { return Wrap(vdupq_n_f32(x)); }
+inline NativeVec LoadU(NativeVec*, const float* p) {
+  return Wrap(vld1q_f32(p));
+}
+inline void StoreU(float* p, NativeVec a) { vst1q_f32(p, a.v); }
+inline NativeVec Add(NativeVec a, NativeVec b) {
+  return Wrap(vaddq_f32(a.v, b.v));
+}
+inline NativeVec Sub(NativeVec a, NativeVec b) {
+  return Wrap(vsubq_f32(a.v, b.v));
+}
+inline NativeVec Mul(NativeVec a, NativeVec b) {
+  return Wrap(vmulq_f32(a.v, b.v));
+}
+inline NativeVec Div(NativeVec a, NativeVec b) {
+  return Wrap(vdivq_f32(a.v, b.v));
+}
+inline NativeVec Max(NativeVec a, NativeVec b) {
+  // Match the x86 second-operand-on-ties/NaN semantics with a compare+select
+  // (vmaxq returns NaN for NaN operands, which would diverge).
+  const uint32x4_t m = vcgtq_f32(a.v, b.v);
+  return Wrap(vbslq_f32(m, a.v, b.v));
+}
+inline NativeVec Min(NativeVec a, NativeVec b) {
+  const uint32x4_t m = vcltq_f32(a.v, b.v);
+  return Wrap(vbslq_f32(m, a.v, b.v));
+}
+inline NativeVec MaxStd(NativeVec a, NativeVec b) {
+  const uint32x4_t m = vcltq_f32(a.v, b.v);
+  return Wrap(vbslq_f32(m, b.v, a.v));
+}
+inline NativeVec Sqrt(NativeVec a) { return Wrap(vsqrtq_f32(a.v)); }
+inline NativeVec Abs(NativeVec a) { return Wrap(vabsq_f32(a.v)); }
+inline NativeVec Neg(NativeVec a) { return Wrap(vnegq_f32(a.v)); }
+inline NativeVec SelectGtZero(NativeVec x, NativeVec a, NativeVec b) {
+  const uint32x4_t m = vcgtq_f32(x.v, vdupq_n_f32(0.0f));
+  return Wrap(vbslq_f32(m, a.v, b.v));
+}
+inline NativeVec SelectOrdered(NativeVec x, NativeVec a, NativeVec b) {
+  const uint32x4_t m = vceqq_f32(x.v, x.v);
+  return Wrap(vbslq_f32(m, a.v, b.v));
+}
+inline NativeVec SelectGe(NativeVec x, NativeVec t, NativeVec a, NativeVec b) {
+  const uint32x4_t m = vcgeq_f32(x.v, t.v);
+  return Wrap(vbslq_f32(m, a.v, b.v));
+}
+inline NativeVec RoundNearest(NativeVec a) {
+  return Wrap(vcvtq_f32_s32(vcvtnq_s32_f32(a.v)));
+}
+inline NativeVec Ldexp2i(NativeVec a, NativeVec n) {
+  const int32x4_t ni = vcvtnq_s32_f32(n.v);
+  const int32x4_t bits = vshlq_n_s32(vaddq_s32(ni, vdupq_n_s32(127)), 23);
+  return Wrap(vmulq_f32(a.v, vreinterpretq_f32_s32(bits)));
+}
+inline float HAdd(NativeVec a) {
+  const float32x2_t s =
+      vadd_f32(vget_low_f32(a.v), vget_high_f32(a.v));  // [0]+[2], [1]+[3]
+  return vget_lane_f32(s, 0) + vget_lane_f32(s, 1);
+}
+inline float HMax(NativeVec a) {
+  const float lo0 = vgetq_lane_f32(a.v, 0), lo1 = vgetq_lane_f32(a.v, 1);
+  const float hi0 = vgetq_lane_f32(a.v, 2), hi1 = vgetq_lane_f32(a.v, 3);
+  return Max(Max(lo0, hi0), Max(lo1, hi1));
+}
+
+#else  // TRANAD_SIMD_GENERIC
+
+// No native ISA: the "simd" config degrades to the scalar backend.
+using NativeVec = ScalarVec;
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Transcendentals — one polynomial, three instantiations (float, ScalarVec,
+// NativeVec), identical arithmetic per lane.
+// ---------------------------------------------------------------------------
+
+template <class V>
+inline V SetAll(float x) {
+  if constexpr (std::is_same_v<V, float>) {
+    return x;
+  } else {
+    return Set1(static_cast<V*>(nullptr), x);
+  }
+}
+
+template <class V>
+inline V LoadVec(const float* p) {
+  if constexpr (std::is_same_v<V, float>) {
+    return *p;
+  } else {
+    return LoadU(static_cast<V*>(nullptr), p);
+  }
+}
+
+/// exp(x), Cephes-style: range-reduce by n = round(x/ln2), evaluate a
+/// degree-6 polynomial on the remainder, scale by 2^n. Max error ~2 ulp over
+/// the clamped range; exp(0) == 1 exactly; NaN inputs stay NaN (the clamp
+/// would otherwise swallow them). Overflowing inputs saturate at
+/// exp(88.028) ~= 1.7e38 rather than +inf — the clamp is ln(2)*127 so the
+/// scale exponent n never reaches 128 (which would make Ldexp2i emit inf,
+/// and downstream (e-1)/(e+1)-style ratios NaN). Inputs below the low clamp
+/// flush to exactly +0.0, matching libm's underflow: the clamp alone would
+/// return exp(-87.34) ~= FLT_MIN, and attention's -1e9 causal mask would
+/// then turn softmax's masked probabilities into subnormals whose downstream
+/// matmul FLOPs each eat a microcode assist on x86.
+template <class V>
+inline V ExpV(V x) {
+  const V hi = SetAll<V>(88.0296919311f);
+  const V lo = SetAll<V>(-87.3365447504019f);
+  const V xc = Max(Min(x, hi), lo);
+  const V n = RoundNearest(Mul(xc, SetAll<V>(1.44269504088896341f)));
+  // Cody–Waite two-step ln2 so the remainder is exact.
+  V r = Sub(xc, Mul(n, SetAll<V>(0.693359375f)));
+  r = Sub(r, Mul(n, SetAll<V>(-2.12194440e-4f)));
+  V p = SetAll<V>(1.9875691500e-4f);
+  p = Add(Mul(p, r), SetAll<V>(1.3981999507e-3f));
+  p = Add(Mul(p, r), SetAll<V>(8.3334519073e-3f));
+  p = Add(Mul(p, r), SetAll<V>(4.1665795894e-2f));
+  p = Add(Mul(p, r), SetAll<V>(1.6666665459e-1f));
+  p = Add(Mul(p, r), SetAll<V>(5.0000001201e-1f));
+  V y = Add(Mul(Mul(p, r), r), Add(r, SetAll<V>(1.0f)));
+  y = Ldexp2i(y, n);
+  y = SelectGe(x, lo, y, SetAll<V>(0.0f));  // underflow -> +0.0, not FLT_MIN
+  return SelectOrdered(x, y, x);            // NaN in -> NaN out
+}
+
+/// tanh(x) = (e - 1) / (e + 1) with e = exp(2x). Saturates correctly at
+/// both ends via ExpV's clamp; tanh(0) == 0 exactly; NaN preserved.
+template <class V>
+inline V TanhV(V x) {
+  const V one = SetAll<V>(1.0f);
+  const V e = ExpV(Add(x, x));
+  return Div(Sub(e, one), Add(e, one));
+}
+
+/// sigmoid(x) = 1 / (1 + exp(-x)); sigmoid(0) == 0.5 exactly; NaN preserved.
+template <class V>
+inline V SigmoidV(V x) {
+  const V one = SetAll<V>(1.0f);
+  return Div(one, Add(one, ExpV(Neg(x))));
+}
+
+}  // namespace tranad::simd
+
+#endif  // TRANAD_TENSOR_SIMD_H_

@@ -5,6 +5,8 @@
 #include <functional>
 
 #include "common/thread_pool.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
 
 namespace tranad {
 namespace {
@@ -22,135 +24,13 @@ int64_t RowGrain(int64_t row_len) {
   return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, row_len));
 }
 
-// Applies `f` element-wise with numpy-style broadcasting. Every fast path
-// parallelizes over self-contained output indices (an element, a row, or a
-// tile), so chunk boundaries never touch the arithmetic.
+// General broadcasting fallback: odometer walk with a scalar functor. Each
+// chunk re-derives its multi-index from its first linear index, then walks
+// incrementally — identical element arithmetic to the serial walk, just
+// resumable at any index. Only shapes none of the contiguous fast paths
+// below recognise land here.
 template <typename F>
-Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
-  if (a.shape() == b.shape()) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
-    });
-    return out;
-  }
-  if (b.numel() == 1) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    const float s = b.data()[0];
-    const float* pa = a.data();
-    float* po = out.data();
-    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], s);
-    });
-    return out;
-  }
-  if (a.numel() == 1) {
-    Tensor out = Tensor::Uninitialized(b.shape());
-    const float s = a.data()[0];
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, b.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = f(s, pb[i]);
-    });
-    return out;
-  }
-  // Fast path: one operand broadcasts along the last axis only, i.e. its
-  // shape matches the other except for a trailing 1 ([..., K, 1] vs
-  // [..., K, n] — LayerNorm's mean/var normalization). One scalar per row.
-  auto last_dim_broadcast = [](const Tensor& full, const Tensor& rowwise) {
-    if (full.ndim() != rowwise.ndim() || full.ndim() == 0) return false;
-    const int64_t nd = full.ndim();
-    if (rowwise.shape()[static_cast<size_t>(nd - 1)] != 1) return false;
-    for (int64_t i = 0; i < nd - 1; ++i) {
-      if (full.shape()[static_cast<size_t>(i)] !=
-          rowwise.shape()[static_cast<size_t>(i)]) {
-        return false;
-      }
-    }
-    return true;
-  };
-  if (last_dim_broadcast(a, b)) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    const int64_t n = a.shape()[static_cast<size_t>(a.ndim() - 1)];
-    const int64_t rows = b.numel();
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float s = pb[r];
-        const float* row_a = pa + r * n;
-        float* row_o = po + r * n;
-        for (int64_t j = 0; j < n; ++j) row_o[j] = f(row_a[j], s);
-      }
-    });
-    return out;
-  }
-  if (last_dim_broadcast(b, a)) {
-    Tensor out = Tensor::Uninitialized(b.shape());
-    const int64_t n = b.shape()[static_cast<size_t>(b.ndim() - 1)];
-    const int64_t rows = a.numel();
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float s = pa[r];
-        const float* row_b = pb + r * n;
-        float* row_o = po + r * n;
-        for (int64_t j = 0; j < n; ++j) row_o[j] = f(s, row_b[j]);
-      }
-    });
-    return out;
-  }
-  // Fast path: one operand's shape equals the other's trailing dims (a bias
-  // [n] added to [B, T, n], a mask [Tq, Tk] on [B, Tq, Tk]) — tiled loop.
-  auto tail_broadcast = [](const Tensor& full, const Tensor& tail) {
-    if (tail.ndim() >= full.ndim()) return false;
-    const int64_t off = full.ndim() - tail.ndim();
-    for (int64_t i = 0; i < tail.ndim(); ++i) {
-      if (tail.shape()[static_cast<size_t>(i)] !=
-          full.shape()[static_cast<size_t>(off + i)]) {
-        return false;
-      }
-    }
-    return true;
-  };
-  if (tail_broadcast(a, b)) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    const int64_t tile = b.numel();
-    const int64_t reps = a.numel() / tile;
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float* block_a = pa + r * tile;
-        float* block_o = po + r * tile;
-        for (int64_t j = 0; j < tile; ++j) block_o[j] = f(block_a[j], pb[j]);
-      }
-    });
-    return out;
-  }
-  if (tail_broadcast(b, a)) {
-    Tensor out = Tensor::Uninitialized(b.shape());
-    const int64_t tile = a.numel();
-    const int64_t reps = b.numel() / tile;
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float* block_b = pb + r * tile;
-        float* block_o = po + r * tile;
-        for (int64_t j = 0; j < tile; ++j) block_o[j] = f(pa[j], block_b[j]);
-      }
-    });
-    return out;
-  }
+Tensor OdometerBroadcast(const Tensor& a, const Tensor& b, F f) {
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
@@ -172,9 +52,6 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = out.numel();
-  // Each chunk re-derives its odometer state from its first linear index,
-  // then walks incrementally — identical element arithmetic to the serial
-  // walk, just resumable at any index.
   ParallelFor(0, n, kElemGrain, [&](int64_t chunk_lo, int64_t chunk_hi) {
     std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
     int64_t oa = 0;
@@ -207,6 +84,212 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
   return out;
 }
 
+// [..., reps, tail...] against [..., 1, tail...]: one broadcast axis in the
+// middle, so each of the small operand's contiguous tiles is reused `reps`
+// times (TranAD's focus broadcast [B,1,m] -> [B,K,m] is the hot instance).
+struct MiddleBroadcast {
+  int64_t reps = 0;  // full.size(ax)
+  int64_t tile = 0;  // product of dims after ax
+};
+
+bool MatchMiddleBroadcast(const Tensor& full, const Tensor& small,
+                          MiddleBroadcast* mb) {
+  if (full.ndim() != small.ndim()) return false;
+  int64_t ax = -1;
+  for (int64_t i = 0; i < full.ndim(); ++i) {
+    if (full.size(i) == small.size(i)) continue;
+    if (small.size(i) != 1 || ax >= 0) return false;
+    ax = i;
+  }
+  // Equal shapes and last-axis broadcasts are handled by earlier paths.
+  if (ax < 0 || ax == full.ndim() - 1) return false;
+  int64_t tile = 1;
+  for (int64_t i = ax + 1; i < full.ndim(); ++i) tile *= full.size(i);
+  if (tile == 0) return false;
+  mb->reps = full.size(ax);
+  mb->tile = tile;
+  return true;
+}
+
+// Applies `op` element-wise with numpy-style broadcasting. Contiguous fast
+// paths run through the vectorized span kernels (dispatch hoisted out of
+// the loops); every path parallelizes over self-contained output indices
+// (an element, a row, or a tile), so chunk boundaries never touch the
+// arithmetic. `f` is the scalar fallback for the generic odometer walk and
+// must match the kernel's per-lane float semantics.
+template <typename F>
+Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, kernels::BinOp op,
+                       F f) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const auto fn = kernels::GetBinarySpan(op);
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      fn(pa + lo, pb + lo, po + lo, hi - lo);
+    });
+    return out;
+  }
+  if (b.numel() == 1) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const auto fn = kernels::GetBinarySpanScalarRhs(op);
+    const float s = b.data()[0];
+    const float* pa = a.data();
+    float* po = out.data();
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      fn(pa + lo, s, po + lo, hi - lo);
+    });
+    return out;
+  }
+  if (a.numel() == 1) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const auto fn = kernels::GetBinarySpanScalarLhs(op);
+    const float s = a.data()[0];
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, b.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      fn(pb + lo, s, po + lo, hi - lo);
+    });
+    return out;
+  }
+  // Fast path: one operand broadcasts along the last axis only, i.e. its
+  // shape matches the other except for a trailing 1 ([..., K, 1] vs
+  // [..., K, n] — LayerNorm's mean/var normalization). One scalar per row.
+  auto last_dim_broadcast = [](const Tensor& full, const Tensor& rowwise) {
+    if (full.ndim() != rowwise.ndim() || full.ndim() == 0) return false;
+    const int64_t nd = full.ndim();
+    if (rowwise.shape()[static_cast<size_t>(nd - 1)] != 1) return false;
+    for (int64_t i = 0; i < nd - 1; ++i) {
+      if (full.shape()[static_cast<size_t>(i)] !=
+          rowwise.shape()[static_cast<size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (last_dim_broadcast(a, b)) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const auto fn = kernels::GetBinarySpanScalarRhs(op);
+    const int64_t n = a.shape()[static_cast<size_t>(a.ndim() - 1)];
+    const int64_t rows = b.numel();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pa + r * n, pb[r], po + r * n, n);
+      }
+    });
+    return out;
+  }
+  if (last_dim_broadcast(b, a)) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const auto fn = kernels::GetBinarySpanScalarLhs(op);
+    const int64_t n = b.shape()[static_cast<size_t>(b.ndim() - 1)];
+    const int64_t rows = a.numel();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pb + r * n, pa[r], po + r * n, n);
+      }
+    });
+    return out;
+  }
+  // Fast path: one operand's shape equals the other's trailing dims (a bias
+  // [n] added to [B, T, n], a mask [Tq, Tk] on [B, Tq, Tk]) — tiled loop.
+  auto tail_broadcast = [](const Tensor& full, const Tensor& tail) {
+    if (tail.ndim() >= full.ndim()) return false;
+    const int64_t off = full.ndim() - tail.ndim();
+    for (int64_t i = 0; i < tail.ndim(); ++i) {
+      if (tail.shape()[static_cast<size_t>(i)] !=
+          full.shape()[static_cast<size_t>(off + i)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (tail_broadcast(a, b)) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const auto fn = kernels::GetBinarySpan(op);
+    const int64_t tile = b.numel();
+    const int64_t reps = a.numel() / tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pa + r * tile, pb, po + r * tile, tile);
+      }
+    });
+    return out;
+  }
+  if (tail_broadcast(b, a)) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const auto fn = kernels::GetBinarySpan(op);
+    const int64_t tile = a.numel();
+    const int64_t reps = b.numel() / tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, reps, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pa, pb + r * tile, po + r * tile, tile);
+      }
+    });
+    return out;
+  }
+  MiddleBroadcast mb;
+  if (MatchMiddleBroadcast(a, b, &mb)) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const auto fn = kernels::GetBinarySpan(op);
+    const int64_t rows = a.numel() / mb.tile;
+    const int64_t reps = mb.reps;
+    const int64_t tile = mb.tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, rows, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pa + r * tile, pb + (r / reps) * tile, po + r * tile, tile);
+      }
+    });
+    return out;
+  }
+  if (MatchMiddleBroadcast(b, a, &mb)) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const auto fn = kernels::GetBinarySpan(op);
+    const int64_t rows = b.numel() / mb.tile;
+    const int64_t reps = mb.reps;
+    const int64_t tile = mb.tile;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, rows, RowGrain(tile), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        fn(pa + (r / reps) * tile, pb + r * tile, po + r * tile, tile);
+      }
+    });
+    return out;
+  }
+  return OdometerBroadcast(a, b, f);
+}
+
+// Vectorized unary map through the kernel layer's span dispatch.
+Tensor UnaryK(const Tensor& a, kernels::UnOp op) {
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const auto fn = kernels::GetUnarySpan(op);
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, po + lo, hi - lo);
+  });
+  return out;
+}
+
+// Scalar unary map — for the few ops without a vector kernel (Log).
 template <typename F>
 Tensor Unary(const Tensor& a, F f) {
   Tensor out = Tensor::Uninitialized(a.shape());
@@ -254,105 +337,87 @@ Tensor ReduceTo(const Tensor& t, const Shape& target) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+  return BinaryBroadcast(a, b, kernels::BinOp::kAdd,
+                         [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+  return BinaryBroadcast(a, b, kernels::BinOp::kSub,
+                         [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+  return BinaryBroadcast(a, b, kernels::BinOp::kMul,
+                         [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+  return BinaryBroadcast(a, b, kernels::BinOp::kDiv,
+                         [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return std::max(x, y); });
+  return BinaryBroadcast(a, b, kernels::BinOp::kMax,
+                         [](float x, float y) { return std::max(x, y); });
+}
+Tensor SquaredDiff(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, kernels::BinOp::kSquaredDiff,
+                         [](float x, float y) {
+                           const float d = x - y;
+                           return d * d;
+                         });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x + s; });
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const auto fn = kernels::GetBinarySpanScalarRhs(kernels::BinOp::kAdd);
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, s, po + lo, hi - lo);
+  });
+  return out;
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x * s; });
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const auto fn = kernels::GetBinarySpanScalarRhs(kernels::BinOp::kMul);
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, s, po + lo, hi - lo);
+  });
+  return out;
 }
 
-Tensor Neg(const Tensor& a) {
-  return Unary(a, [](float x) { return -x; });
+Tensor ScaledDiff(const Tensor& a, const Tensor& b, float s) {
+  TRANAD_CHECK(a.shape() == b.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    kernels::ScaledDiffSpan(pa + lo, pb + lo, s, po + lo, hi - lo);
+  });
+  return out;
 }
-Tensor Exp(const Tensor& a) {
-  return Unary(a, [](float x) { return std::exp(x); });
-}
+
+Tensor Neg(const Tensor& a) { return UnaryK(a, kernels::UnOp::kNeg); }
+Tensor Exp(const Tensor& a) { return UnaryK(a, kernels::UnOp::kExp); }
 Tensor Log(const Tensor& a) {
   return Unary(a, [](float x) { return std::log(x); });
 }
-Tensor Sqrt(const Tensor& a) {
-  return Unary(a, [](float x) { return std::sqrt(x); });
-}
-Tensor Abs(const Tensor& a) {
-  return Unary(a, [](float x) { return std::fabs(x); });
-}
-Tensor Square(const Tensor& a) {
-  return Unary(a, [](float x) { return x * x; });
-}
-Tensor Tanh(const Tensor& a) {
-  return Unary(a, [](float x) { return std::tanh(x); });
-}
-Tensor Sigmoid(const Tensor& a) {
-  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
-}
-Tensor Relu(const Tensor& a) {
-  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryK(a, kernels::UnOp::kSqrt); }
+Tensor Abs(const Tensor& a) { return UnaryK(a, kernels::UnOp::kAbs); }
+Tensor Square(const Tensor& a) { return UnaryK(a, kernels::UnOp::kSquare); }
+Tensor Tanh(const Tensor& a) { return UnaryK(a, kernels::UnOp::kTanh); }
+Tensor Sigmoid(const Tensor& a) { return UnaryK(a, kernels::UnOp::kSigmoid); }
+Tensor Relu(const Tensor& a) { return UnaryK(a, kernels::UnOp::kRelu); }
 Tensor LeakyRelu(const Tensor& a, float slope) {
-  return Unary(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
-}
-Tensor Gelu(const Tensor& a) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  return Unary(a, [](float x) {
-    const float inner = kC * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    kernels::LeakyReluSpan(pa + lo, slope, po + lo, hi - lo);
   });
+  return out;
 }
-
-namespace {
-
-// One output row of an (M,K)x(K,N) product: orow = arow @ b, accumulated
-// from zero. Four k-rows per sweep over orow: quarters the store traffic.
-// Each contribution is accumulated as its own rounding step (+= av0*...,
-// then += av1*..., ...), i.e. ascending-p order, so results stay
-// bit-identical to the scalar loop — and to any parallel schedule, since a
-// row is always computed whole by one thread. All-zero groups (the zeroed
-// focus half of the phase-1 input) are skipped wholesale.
-void MatMulRow(const float* __restrict arow, const float* __restrict b,
-               float* __restrict orow, int64_t k, int64_t n) {
-  std::fill(orow, orow + n, 0.0f);
-  int64_t p = 0;
-  for (; p + 3 < k; p += 4) {
-    const float av0 = arow[p];
-    const float av1 = arow[p + 1];
-    const float av2 = arow[p + 2];
-    const float av3 = arow[p + 3];
-    const float* __restrict brow0 = b + p * n;
-    if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) {
-      continue;
-    }
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = orow[j] + av0 * brow0[j];
-      acc += av1 * brow0[n + j];
-      acc += av2 * brow0[2 * n + j];
-      acc += av3 * brow0[3 * n + j];
-      orow[j] = acc;
-    }
-  }
-  for (; p < k; ++p) {
-    const float av = arow[p];
-    if (av == 0.0f) continue;
-    const float* __restrict brow = b + p * n;
-    for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-  }
-}
-
-}  // namespace
+Tensor Gelu(const Tensor& a) { return UnaryK(a, kernels::UnOp::kGelu); }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TRANAD_CHECK_GE(a.ndim(), 2);
@@ -381,6 +446,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
+  // When one B matrix is shared by every output row (a broadcast weight
+  // matrix — the linear-layer case), pack its full vector-width panels once
+  // into an arena buffer so the panel-register inner product streams
+  // contiguous memory with no accumulator store/reload. Packing is pure
+  // data movement; the accumulation order is unchanged, so packed and
+  // direct results are bit-identical. Only worthwhile while the packed
+  // image stays L1-resident (larger B makes the direct kernel's single
+  // streaming pass per row the better access pattern).
+  constexpr int64_t kPackResidencyFloats = 8192;  // 32 KiB of B panels
+  ArenaBuffer packed;
+  const bool use_packed = b_batches == 1 &&
+                          n >= kernels::PackedPanelWidth() &&
+                          nbatch * m >= 8 && k * n <= kPackResidencyFloats;
+  if (use_packed) {
+    packed = ArenaBuffer::Uninitialized(kernels::NumPackedFloats(k, n));
+    kernels::PackB(pb, k, n, packed.data());
+  }
+  const float* ppacked = packed.data();
   // Partition over batch x output-rows; each row is produced whole by one
   // thread, with k*n flops per index setting the grain.
   const int64_t row_grain =
@@ -391,7 +474,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const int64_t i = r % m;
       const float* am = pa + (a_batches == 1 ? 0 : bi) * m * k + i * k;
       const float* bm = pb + (b_batches == 1 ? 0 : bi) * k * n;
-      MatMulRow(am, bm, po + r * n, k, n);
+      if (use_packed) {
+        kernels::MatMulRowPacked(am, ppacked, bm, po + r * n, k, n);
+      } else {
+        kernels::MatMulRowKernel(am, bm, po + r * n, k, n);
+      }
     }
   });
   return out;
@@ -536,6 +623,15 @@ float MinAll(const Tensor& a) {
   return m;
 }
 
+float MseAll(const Tensor& a, const Tensor& b) {
+  TRANAD_CHECK(a.shape() == b.shape());
+  TRANAD_CHECK_GT(a.numel(), 0);
+  // Fused (a-b)^2 accumulation — no intermediate tensors; value-identical
+  // to MeanAll(Square(Sub(a, b))).
+  const double s = kernels::SquaredDiffSumAll(a.data(), b.data(), a.numel());
+  return static_cast<float>(s) / static_cast<float>(a.numel());
+}
+
 namespace {
 
 template <typename Init, typename Acc>
@@ -601,24 +697,12 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
 Tensor SoftmaxLastDim(const Tensor& a) {
   TRANAD_CHECK_GE(a.ndim(), 1);
   const int64_t n = a.size(-1);
-  const int64_t rows = a.numel() / n;
+  const int64_t rows = n == 0 ? 0 : a.numel() / n;
   Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      const float* row = pa + r * n;
-      float* orow = po + r * n;
-      float mx = row[0];
-      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      float denom = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        orow[j] = std::exp(row[j] - mx);
-        denom += orow[j];
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
-    }
+    kernels::SoftmaxRows(pa + lo * n, po + lo * n, hi - lo, n);
   });
   return out;
 }
@@ -626,26 +710,33 @@ Tensor SoftmaxLastDim(const Tensor& a) {
 Tensor LayerNormLastDim(const Tensor& a, float eps) {
   TRANAD_CHECK_GE(a.ndim(), 1);
   const int64_t n = a.size(-1);
-  const int64_t rows = a.numel() / n;
+  const int64_t rows = n == 0 ? 0 : a.numel() / n;
   Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      const float* row = pa + r * n;
-      float* orow = po + r * n;
-      float mean = 0.0f;
-      for (int64_t j = 0; j < n; ++j) mean += row[j];
-      mean /= static_cast<float>(n);
-      float var = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        const float d = row[j] - mean;
-        var += d * d;
-      }
-      var /= static_cast<float>(n);
-      const float inv = 1.0f / std::sqrt(var + eps);
-      for (int64_t j = 0; j < n; ++j) orow[j] = (row[j] - mean) * inv;
-    }
+    kernels::LayerNormRows(pa + lo * n, po + lo * n, /*inv_std=*/nullptr,
+                           hi - lo, n, eps);
+  });
+  return out;
+}
+
+Tensor LayerNormAffineLastDim(const Tensor& a, const Tensor& gain,
+                              const Tensor& bias, float eps) {
+  TRANAD_CHECK_GE(a.ndim(), 1);
+  const int64_t n = a.size(-1);
+  TRANAD_CHECK_EQ(gain.numel(), n);
+  TRANAD_CHECK_EQ(bias.numel(), n);
+  const int64_t rows = n == 0 ? 0 : a.numel() / n;
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pg = gain.data();
+  const float* pbs = bias.data();
+  float* po = out.data();
+  ParallelFor(0, rows, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    kernels::LayerNormAffineRows(pa + lo * n, pg, pbs, po + lo * n,
+                                 /*yhat=*/nullptr, /*inv_std=*/nullptr,
+                                 hi - lo, n, eps);
   });
   return out;
 }

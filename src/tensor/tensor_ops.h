@@ -22,6 +22,11 @@ Tensor Sub(const Tensor& a, const Tensor& b);
 Tensor Mul(const Tensor& a, const Tensor& b);
 Tensor Div(const Tensor& a, const Tensor& b);
 Tensor Maximum(const Tensor& a, const Tensor& b);
+/// Fused (a - b)^2, broadcasting; bit-identical to Square(Sub(a, b)) with
+/// no intermediate tensor. The reconstruction-error hot path.
+Tensor SquaredDiff(const Tensor& a, const Tensor& b);
+/// Fused s * (a - b), same shapes only (MSE backward hot path).
+Tensor ScaledDiff(const Tensor& a, const Tensor& b, float s);
 
 // ---- element-wise with scalar ----
 Tensor AddScalar(const Tensor& a, float s);
@@ -66,6 +71,10 @@ float SumAll(const Tensor& a);
 float MeanAll(const Tensor& a);
 float MaxAll(const Tensor& a);
 float MinAll(const Tensor& a);
+/// Fused mean((a - b)^2) over all elements; value-identical to
+/// MeanAll(Square(Sub(a, b))) (same serial ordered-double accumulation as
+/// SumAll) without materializing either intermediate.
+float MseAll(const Tensor& a, const Tensor& b);
 /// Sum over one axis; `keepdims` keeps a size-1 axis in place.
 Tensor Sum(const Tensor& a, int64_t axis, bool keepdims);
 Tensor Mean(const Tensor& a, int64_t axis, bool keepdims);
@@ -77,6 +86,12 @@ Tensor SoftmaxLastDim(const Tensor& a);
 /// Layer normalization over the last axis:
 /// (x - mean) / sqrt(var + eps). Gain/bias are applied by the nn layer.
 Tensor LayerNormLastDim(const Tensor& a, float eps);
+/// Fused LayerNorm + affine over the last axis:
+/// ((x - mean) / sqrt(var + eps)) * gain + bias, with gain/bias of shape
+/// [n]. Per-element identical to LayerNormLastDim followed by the broadcast
+/// Mul/Add, in a single pass.
+Tensor LayerNormAffineLastDim(const Tensor& a, const Tensor& gain,
+                              const Tensor& bias, float eps);
 
 }  // namespace tranad
 

@@ -22,6 +22,23 @@ TEST(ArenaTest, AllocationIs64ByteAligned) {
   }
 }
 
+TEST(ArenaTest, TensorBuffersAre64ByteAlignedIncludingRecycled) {
+  // The SIMD kernel layer sizes its column blocks to cache lines and the
+  // arena guarantees 64-byte alignment for every tensor buffer — fresh or
+  // recycled — at every size class. Regression test for that invariant end
+  // to end through Tensor::Uninitialized.
+  for (int64_t n : {1, 3, 31, 64, 67, 4096}) {
+    {
+      Tensor t = Tensor::Uninitialized({n});
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 64, 0u)
+          << "fresh numel " << n;
+    }
+    Tensor r = Tensor::Uninitialized({n});  // recycled from the class cache
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r.data()) % 64, 0u)
+        << "recycled numel " << n;
+  }
+}
+
 TEST(ArenaTest, RoundsToPowerOfTwoClasses) {
   auto& arena = TensorArena::Global();
   const struct {

@@ -13,6 +13,7 @@
 #include "data/synthetic.h"
 #include "tensor/autograd_ops.h"
 #include "tensor/grad_check.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace tranad {
@@ -162,6 +163,40 @@ TEST(DeterminismTest, FullTrainingRunIsThreadCountInvariant) {
     return model.SnapshotParameters();
   };
   ExpectBitIdentical(train_once, "TrainTranAD");
+}
+
+TEST(DeterminismTest, TrainingThreadInvariantUnderBothKernelConfigs) {
+  // The thread-count invariance contract holds at every kernel config, not
+  // just the default: pin TRANAD_KERNEL to scalar and to simd in turn and
+  // re-run the full training bitwise comparison under each.
+  Dataset ds = GenerateSynthetic(SmdConfig(0.05));
+  MinMaxNormalizer norm;
+  norm.Fit(ds.train.values);
+  const Tensor windows = MakeWindows(norm.Transform(ds.train.values), 6);
+
+  auto train_once = [&] {
+    TranADConfig c;
+    c.dims = 8;
+    c.window = 6;
+    c.d_ff = 16;
+    c.seed = 3;
+    TranADModel model(c);
+    TrainOptions opts;
+    opts.max_epochs = 2;
+    opts.batch_size = 64;
+    opts.early_stop_patience = 10;
+    TrainTranAD(&model, windows, opts);
+    return model.SnapshotParameters();
+  };
+  const kernels::KernelMode saved = kernels::CurrentKernelMode();
+  for (auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kSimd}) {
+    kernels::SetKernelModeForTesting(mode);
+    ExpectBitIdentical(train_once, mode == kernels::KernelMode::kScalar
+                                       ? "TrainTranAD[scalar]"
+                                       : "TrainTranAD[simd]");
+  }
+  kernels::SetKernelModeForTesting(saved);
 }
 
 TEST(DeterminismTest, NoGradParallelOpsRecordNoTapeNodes) {

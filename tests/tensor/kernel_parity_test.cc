@@ -1,0 +1,334 @@
+// The TRANAD_KERNEL=scalar|simd bit-exactness contract: every vectorized or
+// fused kernel must produce identical floats under both configs, on aligned
+// spans, tail remainders, sub-vector sizes, broadcasts, and degenerate
+// shapes; and every fused kernel must match the unfused chain it replaces
+// where that identity is part of its contract (SquaredDiff, LayerNormAffine,
+// MseAll, MatMul packing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/grad_check.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace tranad {
+namespace {
+
+class KernelModeScope {
+ public:
+  explicit KernelModeScope(kernels::KernelMode m)
+      : saved_(kernels::CurrentKernelMode()) {
+    kernels::SetKernelModeForTesting(m);
+  }
+  ~KernelModeScope() { kernels::SetKernelModeForTesting(saved_); }
+
+ private:
+  kernels::KernelMode saved_;
+};
+
+// Runs `fn` under the scalar config and the simd config and asserts the
+// outputs are bit-identical (Tensor::Equals is exact float equality).
+void ExpectModeParity(const std::function<std::vector<Tensor>()>& fn,
+                      const char* what) {
+  std::vector<Tensor> scalar_out, simd_out;
+  {
+    KernelModeScope mode(kernels::KernelMode::kScalar);
+    scalar_out = fn();
+  }
+  {
+    KernelModeScope mode(kernels::KernelMode::kSimd);
+    simd_out = fn();
+  }
+  ASSERT_EQ(scalar_out.size(), simd_out.size()) << what;
+  for (size_t i = 0; i < scalar_out.size(); ++i) {
+    EXPECT_TRUE(scalar_out[i].Equals(simd_out[i]))
+        << what << " output " << i << " differs between kernel configs";
+  }
+}
+
+Tensor RandInput(Shape shape, uint64_t seed, float lo = -2.0f,
+                 float hi = 2.0f) {
+  Rng rng(seed);
+  return Tensor::Rand(std::move(shape), &rng, lo, hi);
+}
+
+// Span shapes covering every remainder path: vector-aligned (64 is a
+// multiple of all supported lane widths), odd tail (67 = 16*4 + 3),
+// sub-vector (3), single element, and empty.
+const std::vector<Shape>& SpanShapes() {
+  static const std::vector<Shape> kShapes = {
+      {64, 64}, {67}, {3}, {1}, {0}};
+  return kShapes;
+}
+
+TEST(KernelParityTest, BinarySameShape) {
+  for (const Shape& s : SpanShapes()) {
+    const Tensor a = RandInput(s, 1);
+    const Tensor b = RandInput(s, 2, 0.5f, 2.0f);  // nonzero for Div
+    ExpectModeParity(
+        [&] {
+          return std::vector<Tensor>{Add(a, b),     Sub(a, b),
+                                     Mul(a, b),     Div(a, b),
+                                     Maximum(a, b), SquaredDiff(a, b)};
+        },
+        "binary same-shape");
+  }
+}
+
+TEST(KernelParityTest, BinaryBroadcastFamily) {
+  const Tensor x = RandInput({2, 3, 68}, 3);
+  const Tensor tail = RandInput({68}, 4, 0.5f, 2.0f);
+  const Tensor rowwise = RandInput({2, 3, 1}, 5, 0.5f, 2.0f);
+  const Tensor middle = RandInput({2, 1, 68}, 6, 0.5f, 2.0f);
+  const Tensor scalar = RandInput({}, 7, 0.5f, 2.0f);
+  const Tensor odo = RandInput({1, 3, 1}, 8, 0.5f, 2.0f);  // generic walker
+  ExpectModeParity(
+      [&] {
+        return std::vector<Tensor>{
+            Add(x, tail),           Sub(tail, x),
+            Mul(x, rowwise),        Div(rowwise, x),
+            Add(x, middle),         Sub(middle, x),
+            Mul(x, scalar),         Div(scalar, x),
+            Maximum(x, tail),       SquaredDiff(x, rowwise),
+            Add(x, odo),            SquaredDiff(x, middle),
+        };
+      },
+      "binary broadcast");
+}
+
+TEST(KernelParityTest, ScalarAffineAndScaledDiff) {
+  for (const Shape& s : SpanShapes()) {
+    const Tensor a = RandInput(s, 9);
+    const Tensor b = RandInput(s, 10);
+    ExpectModeParity(
+        [&] {
+          return std::vector<Tensor>{AddScalar(a, 0.37f), MulScalar(a, -1.7f),
+                                     ScaledDiff(a, b, 0.625f)};
+        },
+        "scalar affine");
+  }
+}
+
+TEST(KernelParityTest, UnarySpans) {
+  for (const Shape& s : SpanShapes()) {
+    const Tensor x = RandInput(s, 11);
+    const Tensor pos = RandInput(s, 12, 0.1f, 4.0f);  // for Sqrt
+    ExpectModeParity(
+        [&] {
+          return std::vector<Tensor>{Neg(x),       Abs(x),
+                                     Square(x),    Sqrt(pos),
+                                     Relu(x),      Exp(x),
+                                     Tanh(x),      Sigmoid(x),
+                                     Gelu(x),      LeakyRelu(x, 0.2f)};
+        },
+        "unary spans");
+  }
+}
+
+TEST(KernelParityTest, TranscendentalEdgeValues) {
+  // Exact-value anchors the poly implementations must hit in both configs,
+  // plus saturation ranges (large |x|) where the exp clamp engages.
+  Tensor x({7});
+  const float vals[] = {0.0f, -0.0f, 1.0f, -30.0f, 30.0f, 88.0f, -95.0f};
+  for (int i = 0; i < 7; ++i) x[i] = vals[i];
+  ExpectModeParity(
+      [&] {
+        return std::vector<Tensor>{Exp(x), Tanh(x), Sigmoid(x), Gelu(x)};
+      },
+      "transcendental edges");
+  EXPECT_EQ(Exp(x)[0], 1.0f);       // exp(0) exact
+  EXPECT_EQ(Sigmoid(x)[0], 0.5f);   // sigmoid(0) exact
+  EXPECT_EQ(Tanh(x)[0], 0.0f);      // tanh(0) exact
+  EXPECT_EQ(Tanh(x)[4], 1.0f);      // saturates cleanly, not NaN
+  EXPECT_EQ(Tanh(x)[5], 1.0f);      // beyond the exp clamp
+  EXPECT_EQ(Tanh(x)[6], -1.0f);
+}
+
+TEST(KernelParityTest, FusedRowKernels) {
+  // Row lengths spanning full-vector, tail, sub-vector, and size-1 rows.
+  for (int64_t n : {64, 41, 3, 1}) {
+    const Tensor x = RandInput({5, n}, 13);
+    const Tensor gain = RandInput({n}, 14, 0.5f, 1.5f);
+    const Tensor bias = RandInput({n}, 15);
+    ExpectModeParity(
+        [&] {
+          return std::vector<Tensor>{
+              SoftmaxLastDim(x), LayerNormLastDim(x, 1e-5f),
+              LayerNormAffineLastDim(x, gain, bias, 1e-5f)};
+        },
+        "fused rows");
+  }
+}
+
+TEST(KernelParityTest, MatMulShapes) {
+  // (k, n) pairs covering 4-vector blocks, single-vector blocks, scalar
+  // column tails, the 4-way p-group remainder, and the packed path
+  // (b 2-d, n >= panel width, enough rows).
+  const struct {
+    int64_t m, k, n;
+  } cases[] = {{5, 16, 64}, {5, 7, 33}, {3, 5, 3}, {1, 1, 1}, {4, 33, 67}};
+  for (const auto& c : cases) {
+    const Tensor a = RandInput({c.m, c.k}, 16);
+    const Tensor b = RandInput({c.k, c.n}, 17);
+    const Tensor ab = RandInput({3, c.m, c.k}, 18);  // batched, packed path
+    ExpectModeParity(
+        [&] {
+          return std::vector<Tensor>{MatMul(a, b), MatMul(ab, b)};
+        },
+        "matmul");
+  }
+}
+
+TEST(KernelParityTest, MatMulMatchesHistoricalOrderReference) {
+  // The pre-kernel-layer accumulation order, element by element: ascending p
+  // in groups of four chained (((acc+a0*b0)+a1*b1)+a2*b2)+a3*b3 with
+  // all-zero groups skipped, then an ascending scalar tail. Both configs —
+  // including the packed-B path — must reproduce it bit-for-bit.
+  const int64_t m = 6, k = 37, n = 70;  // n >= panel width => packed path
+  Tensor a = RandInput({m, k}, 19);
+  const Tensor b = RandInput({k, n}, 20);
+  for (int64_t i = 0; i < m * k; i += 5) a[i] = 0.0f;  // exercise zero-skip
+  Tensor want({m, n});
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      int64_t p = 0;
+      for (; p + 3 < k; p += 4) {
+        const float a0 = a[r * k + p], a1 = a[r * k + p + 1];
+        const float a2 = a[r * k + p + 2], a3 = a[r * k + p + 3];
+        if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+        acc = acc + a0 * b[p * n + j];
+        acc = acc + a1 * b[(p + 1) * n + j];
+        acc = acc + a2 * b[(p + 2) * n + j];
+        acc = acc + a3 * b[(p + 3) * n + j];
+      }
+      for (; p < k; ++p) {
+        if (a[r * k + p] == 0.0f) continue;
+        acc = acc + a[r * k + p] * b[p * n + j];
+      }
+      want[r * n + j] = acc;
+    }
+  }
+  for (auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kSimd}) {
+    KernelModeScope scope(mode);
+    EXPECT_TRUE(MatMul(a, b).Equals(want))
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(KernelParityTest, FusedEqualsUnfusedChains) {
+  // Contract identities, checked in both configs: the fused ops replace
+  // their unfused chains bit-for-bit at existing call sites.
+  for (auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kSimd}) {
+    KernelModeScope scope(mode);
+    const Tensor a = RandInput({4, 7, 35}, 21);
+    const Tensor b = RandInput({4, 7, 35}, 22);
+    const Tensor rowwise = RandInput({4, 7, 1}, 23);
+    EXPECT_TRUE(SquaredDiff(a, b).Equals(Square(Sub(a, b))));
+    EXPECT_TRUE(SquaredDiff(a, rowwise).Equals(Square(Sub(a, rowwise))));
+    EXPECT_EQ(MseAll(a, b), MeanAll(Square(Sub(a, b))));
+
+    const Tensor gain = RandInput({35}, 24, 0.5f, 1.5f);
+    const Tensor bias = RandInput({35}, 25);
+    const Tensor composed =
+        Add(Mul(LayerNormLastDim(a, 1e-5f), gain), bias);
+    EXPECT_TRUE(LayerNormAffineLastDim(a, gain, bias, 1e-5f).Equals(composed));
+  }
+}
+
+TEST(KernelParityTest, BackwardClosuresMatchAcrossConfigs) {
+  const Tensor xv = RandInput({6, 29}, 26);
+  const Tensor tv = RandInput({6, 29}, 27);
+  const Tensor gv = RandInput({29}, 28, 0.5f, 1.5f);
+  const Tensor bv = RandInput({29}, 29);
+  ExpectModeParity(
+      [&] {
+        Variable x(xv, /*requires_grad=*/true);
+        Variable gain(gv, /*requires_grad=*/true);
+        Variable bias(bv, /*requires_grad=*/true);
+        Variable h = ag::LayerNormAffine(x, gain, bias, 1e-5f);
+        h = ag::SoftmaxLastDim(h);
+        Variable t(tv, /*requires_grad=*/true);
+        Variable loss = ag::MseLossVar(ag::SquaredDiff(h, t), t);
+        loss.Backward();
+        return std::vector<Tensor>{loss.value(), x.grad(), gain.grad(),
+                                   bias.grad(), t.grad()};
+      },
+      "fused backward");
+}
+
+TEST(KernelParityTest, SquaredDiffGradCheck) {
+  Rng rng(0xACC);
+  const auto result = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return ag::MeanAll(ag::SquaredDiff(in[0], in[1]));
+      },
+      {Tensor::Rand({5, 6}, &rng, -1.0f, 1.0f),
+       Tensor::Rand({5, 6}, &rng, -1.0f, 1.0f)});
+  EXPECT_TRUE(result.ok) << result.detail;
+  // Broadcasting variant: [5,6] against [6].
+  const auto bcast = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return ag::MeanAll(ag::SquaredDiff(in[0], in[1]));
+      },
+      {Tensor::Rand({5, 6}, &rng, -1.0f, 1.0f),
+       Tensor::Rand({6}, &rng, -1.0f, 1.0f)});
+  EXPECT_TRUE(bcast.ok) << bcast.detail;
+}
+
+TEST(KernelParityTest, LayerNormAffineGradCheck) {
+  Rng rng(0xA11);
+  const auto result = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return ag::MeanAll(
+            ag::Square(ag::LayerNormAffine(in[0], in[1], in[2], 1e-5f)));
+      },
+      {Tensor::Rand({4, 7}, &rng, -1.0f, 1.0f),
+       Tensor::Rand({7}, &rng, 0.5f, 1.5f),
+       Tensor::Rand({7}, &rng, -0.5f, 0.5f)});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(KernelParityTest, MseLossMatchesUnfusedChain) {
+  // Forward value and pred-gradient of the fused MseLoss equal the unfused
+  // MeanAll(Square(Sub(..))) graph exactly, in both configs.
+  for (auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kSimd}) {
+    KernelModeScope scope(mode);
+    const Tensor pv = RandInput({8, 13}, 30);
+    const Tensor tv = RandInput({8, 13}, 31);
+    Variable fused_p(pv, /*requires_grad=*/true);
+    Variable fused = ag::MseLoss(fused_p, tv);
+    fused.Backward();
+    Variable unfused_p(pv, /*requires_grad=*/true);
+    Variable unfused =
+        ag::MeanAll(ag::Square(ag::Sub(unfused_p, Variable(tv))));
+    unfused.Backward();
+    EXPECT_TRUE(fused.value().Equals(unfused.value()));
+    EXPECT_TRUE(fused_p.grad().Equals(unfused_p.grad()));
+  }
+}
+
+TEST(KernelParityTest, KernelConfigIntrospection) {
+  EXPECT_GE(kernels::KernelLanes(), 4);
+  const std::string isa = kernels::KernelIsaName();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" ||
+              isa == "generic");
+  {
+    KernelModeScope scope(kernels::KernelMode::kScalar);
+    EXPECT_STREQ(kernels::KernelModeName(), "scalar");
+  }
+  {
+    KernelModeScope scope(kernels::KernelMode::kSimd);
+    EXPECT_STREQ(kernels::KernelModeName(), "simd");
+  }
+}
+
+}  // namespace
+}  // namespace tranad
