@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thresholding.dir/ablation_thresholding.cc.o"
+  "CMakeFiles/ablation_thresholding.dir/ablation_thresholding.cc.o.d"
+  "ablation_thresholding"
+  "ablation_thresholding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thresholding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_prediction_vis.dir/fig2_prediction_vis.cc.o"
+  "CMakeFiles/fig2_prediction_vis.dir/fig2_prediction_vis.cc.o.d"
+  "fig2_prediction_vis"
+  "fig2_prediction_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_prediction_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

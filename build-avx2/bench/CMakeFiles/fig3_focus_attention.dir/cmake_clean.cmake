@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_focus_attention.dir/fig3_focus_attention.cc.o"
+  "CMakeFiles/fig3_focus_attention.dir/fig3_focus_attention.cc.o.d"
+  "fig3_focus_attention"
+  "fig3_focus_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_focus_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_critical_difference.dir/fig4_critical_difference.cc.o"
+  "CMakeFiles/fig4_critical_difference.dir/fig4_critical_difference.cc.o.d"
+  "fig4_critical_difference"
+  "fig4_critical_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_critical_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

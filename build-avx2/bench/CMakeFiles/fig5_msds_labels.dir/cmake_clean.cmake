@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_msds_labels.dir/fig5_msds_labels.cc.o"
+  "CMakeFiles/fig5_msds_labels.dir/fig5_msds_labels.cc.o.d"
+  "fig5_msds_labels"
+  "fig5_msds_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_msds_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

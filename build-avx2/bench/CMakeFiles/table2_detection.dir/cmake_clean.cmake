@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_detection.dir/table2_detection.cc.o"
+  "CMakeFiles/table2_detection.dir/table2_detection.cc.o.d"
+  "table2_detection"
+  "table2_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_limited.dir/table3_limited.cc.o"
+  "CMakeFiles/table3_limited.dir/table3_limited.cc.o.d"
+  "table3_limited"
+  "table3_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

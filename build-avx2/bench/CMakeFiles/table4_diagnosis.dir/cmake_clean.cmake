@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_diagnosis.dir/table4_diagnosis.cc.o"
+  "CMakeFiles/table4_diagnosis.dir/table4_diagnosis.cc.o.d"
+  "table4_diagnosis"
+  "table4_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

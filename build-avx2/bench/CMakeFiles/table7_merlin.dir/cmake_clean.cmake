@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_merlin.dir/table7_merlin.cc.o"
+  "CMakeFiles/table7_merlin.dir/table7_merlin.cc.o.d"
+  "table7_merlin"
+  "table7_merlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_merlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_throughput.dir/train_throughput.cc.o"
+  "CMakeFiles/train_throughput.dir/train_throughput.cc.o.d"
+  "train_throughput"
+  "train_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tranad_bench_util.dir/bench_util.cc.o.d"
+  "libtranad_bench_util.a"
+  "libtranad_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

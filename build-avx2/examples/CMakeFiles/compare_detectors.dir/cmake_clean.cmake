@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_detectors.dir/compare_detectors.cpp.o"
+  "CMakeFiles/compare_detectors.dir/compare_detectors.cpp.o.d"
+  "compare_detectors"
+  "compare_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

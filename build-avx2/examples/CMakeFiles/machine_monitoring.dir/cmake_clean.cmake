@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_monitoring.dir/machine_monitoring.cpp.o"
+  "CMakeFiles/machine_monitoring.dir/machine_monitoring.cpp.o.d"
+  "machine_monitoring"
+  "machine_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

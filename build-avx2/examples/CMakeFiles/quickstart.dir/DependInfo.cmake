@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/baselines/CMakeFiles/tranad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/net/CMakeFiles/tranad_net.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/serve/CMakeFiles/tranad_serve.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/core/CMakeFiles/tranad_core.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/nn/CMakeFiles/tranad_nn.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/data/CMakeFiles/tranad_data.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/eval/CMakeFiles/tranad_eval.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

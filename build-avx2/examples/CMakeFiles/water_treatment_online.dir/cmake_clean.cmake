@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_treatment_online.dir/water_treatment_online.cpp.o"
+  "CMakeFiles/water_treatment_online.dir/water_treatment_online.cpp.o.d"
+  "water_treatment_online"
+  "water_treatment_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_treatment_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

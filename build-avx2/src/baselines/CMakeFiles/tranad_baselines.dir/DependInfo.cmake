@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cae_m.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/cae_m.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/cae_m.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/dagmm.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/dagmm.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/dagmm.cc.o.d"
+  "/root/repo/src/baselines/gdn.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/gdn.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/gdn.cc.o.d"
+  "/root/repo/src/baselines/gmm.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/gmm.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/gmm.cc.o.d"
+  "/root/repo/src/baselines/isolation_forest.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/isolation_forest.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/isolation_forest.cc.o.d"
+  "/root/repo/src/baselines/lstm_ndt.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/lstm_ndt.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/lstm_ndt.cc.o.d"
+  "/root/repo/src/baselines/mad_gan.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/mad_gan.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/mad_gan.cc.o.d"
+  "/root/repo/src/baselines/merlin.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/merlin.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/merlin.cc.o.d"
+  "/root/repo/src/baselines/mscred.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/mscred.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/mscred.cc.o.d"
+  "/root/repo/src/baselines/mtad_gat.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/mtad_gat.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/mtad_gat.cc.o.d"
+  "/root/repo/src/baselines/omni_anomaly.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/omni_anomaly.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/omni_anomaly.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/usad.cc" "src/baselines/CMakeFiles/tranad_baselines.dir/usad.cc.o" "gcc" "src/baselines/CMakeFiles/tranad_baselines.dir/usad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/core/CMakeFiles/tranad_core.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/nn/CMakeFiles/tranad_nn.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/data/CMakeFiles/tranad_data.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/eval/CMakeFiles/tranad_eval.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

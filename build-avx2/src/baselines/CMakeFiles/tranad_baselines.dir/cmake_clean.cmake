@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_baselines.dir/cae_m.cc.o"
+  "CMakeFiles/tranad_baselines.dir/cae_m.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/common.cc.o"
+  "CMakeFiles/tranad_baselines.dir/common.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/dagmm.cc.o"
+  "CMakeFiles/tranad_baselines.dir/dagmm.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/gdn.cc.o"
+  "CMakeFiles/tranad_baselines.dir/gdn.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/gmm.cc.o"
+  "CMakeFiles/tranad_baselines.dir/gmm.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/isolation_forest.cc.o"
+  "CMakeFiles/tranad_baselines.dir/isolation_forest.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/lstm_ndt.cc.o"
+  "CMakeFiles/tranad_baselines.dir/lstm_ndt.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/mad_gan.cc.o"
+  "CMakeFiles/tranad_baselines.dir/mad_gan.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/merlin.cc.o"
+  "CMakeFiles/tranad_baselines.dir/merlin.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/mscred.cc.o"
+  "CMakeFiles/tranad_baselines.dir/mscred.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/mtad_gat.cc.o"
+  "CMakeFiles/tranad_baselines.dir/mtad_gat.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/omni_anomaly.cc.o"
+  "CMakeFiles/tranad_baselines.dir/omni_anomaly.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/registry.cc.o"
+  "CMakeFiles/tranad_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/tranad_baselines.dir/usad.cc.o"
+  "CMakeFiles/tranad_baselines.dir/usad.cc.o.d"
+  "libtranad_baselines.a"
+  "libtranad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

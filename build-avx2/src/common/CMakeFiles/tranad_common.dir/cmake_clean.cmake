@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_common.dir/check.cc.o"
+  "CMakeFiles/tranad_common.dir/check.cc.o.d"
+  "CMakeFiles/tranad_common.dir/csv.cc.o"
+  "CMakeFiles/tranad_common.dir/csv.cc.o.d"
+  "CMakeFiles/tranad_common.dir/env.cc.o"
+  "CMakeFiles/tranad_common.dir/env.cc.o.d"
+  "CMakeFiles/tranad_common.dir/failpoint.cc.o"
+  "CMakeFiles/tranad_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/tranad_common.dir/logging.cc.o"
+  "CMakeFiles/tranad_common.dir/logging.cc.o.d"
+  "CMakeFiles/tranad_common.dir/rng.cc.o"
+  "CMakeFiles/tranad_common.dir/rng.cc.o.d"
+  "CMakeFiles/tranad_common.dir/status.cc.o"
+  "CMakeFiles/tranad_common.dir/status.cc.o.d"
+  "CMakeFiles/tranad_common.dir/string_util.cc.o"
+  "CMakeFiles/tranad_common.dir/string_util.cc.o.d"
+  "CMakeFiles/tranad_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tranad_common.dir/thread_pool.cc.o.d"
+  "libtranad_common.a"
+  "libtranad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

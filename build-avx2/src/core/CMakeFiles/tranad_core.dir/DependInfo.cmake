@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/online_detector.cc" "src/core/CMakeFiles/tranad_core.dir/online_detector.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/online_detector.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/tranad_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/tranad_detector.cc" "src/core/CMakeFiles/tranad_core.dir/tranad_detector.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/tranad_detector.cc.o.d"
+  "/root/repo/src/core/tranad_model.cc" "src/core/CMakeFiles/tranad_core.dir/tranad_model.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/tranad_model.cc.o.d"
+  "/root/repo/src/core/tranad_trainer.cc" "src/core/CMakeFiles/tranad_core.dir/tranad_trainer.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/tranad_trainer.cc.o.d"
+  "/root/repo/src/core/window_ring.cc" "src/core/CMakeFiles/tranad_core.dir/window_ring.cc.o" "gcc" "src/core/CMakeFiles/tranad_core.dir/window_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/nn/CMakeFiles/tranad_nn.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/data/CMakeFiles/tranad_data.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/eval/CMakeFiles/tranad_eval.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_core.dir/online_detector.cc.o"
+  "CMakeFiles/tranad_core.dir/online_detector.cc.o.d"
+  "CMakeFiles/tranad_core.dir/pipeline.cc.o"
+  "CMakeFiles/tranad_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/tranad_core.dir/tranad_detector.cc.o"
+  "CMakeFiles/tranad_core.dir/tranad_detector.cc.o.d"
+  "CMakeFiles/tranad_core.dir/tranad_model.cc.o"
+  "CMakeFiles/tranad_core.dir/tranad_model.cc.o.d"
+  "CMakeFiles/tranad_core.dir/tranad_trainer.cc.o"
+  "CMakeFiles/tranad_core.dir/tranad_trainer.cc.o.d"
+  "CMakeFiles/tranad_core.dir/window_ring.cc.o"
+  "CMakeFiles/tranad_core.dir/window_ring.cc.o.d"
+  "libtranad_core.a"
+  "libtranad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/tranad_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/tranad_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/tranad_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/tranad_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/time_series.cc" "src/data/CMakeFiles/tranad_data.dir/time_series.cc.o" "gcc" "src/data/CMakeFiles/tranad_data.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_data.dir/preprocess.cc.o"
+  "CMakeFiles/tranad_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/tranad_data.dir/synthetic.cc.o"
+  "CMakeFiles/tranad_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/tranad_data.dir/time_series.cc.o"
+  "CMakeFiles/tranad_data.dir/time_series.cc.o.d"
+  "libtranad_data.a"
+  "libtranad_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

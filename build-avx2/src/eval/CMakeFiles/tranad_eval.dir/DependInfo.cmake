@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/critdiff.cc" "src/eval/CMakeFiles/tranad_eval.dir/critdiff.cc.o" "gcc" "src/eval/CMakeFiles/tranad_eval.dir/critdiff.cc.o.d"
+  "/root/repo/src/eval/diagnosis.cc" "src/eval/CMakeFiles/tranad_eval.dir/diagnosis.cc.o" "gcc" "src/eval/CMakeFiles/tranad_eval.dir/diagnosis.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/tranad_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/tranad_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/pot.cc" "src/eval/CMakeFiles/tranad_eval.dir/pot.cc.o" "gcc" "src/eval/CMakeFiles/tranad_eval.dir/pot.cc.o.d"
+  "/root/repo/src/eval/score_utils.cc" "src/eval/CMakeFiles/tranad_eval.dir/score_utils.cc.o" "gcc" "src/eval/CMakeFiles/tranad_eval.dir/score_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_eval.dir/critdiff.cc.o"
+  "CMakeFiles/tranad_eval.dir/critdiff.cc.o.d"
+  "CMakeFiles/tranad_eval.dir/diagnosis.cc.o"
+  "CMakeFiles/tranad_eval.dir/diagnosis.cc.o.d"
+  "CMakeFiles/tranad_eval.dir/metrics.cc.o"
+  "CMakeFiles/tranad_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tranad_eval.dir/pot.cc.o"
+  "CMakeFiles/tranad_eval.dir/pot.cc.o.d"
+  "CMakeFiles/tranad_eval.dir/score_utils.cc.o"
+  "CMakeFiles/tranad_eval.dir/score_utils.cc.o.d"
+  "libtranad_eval.a"
+  "libtranad_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_io.dir/checkpoint.cc.o"
+  "CMakeFiles/tranad_io.dir/checkpoint.cc.o.d"
+  "libtranad_io.a"
+  "libtranad_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

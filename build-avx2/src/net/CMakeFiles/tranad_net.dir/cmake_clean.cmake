@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_net.dir/client.cc.o"
+  "CMakeFiles/tranad_net.dir/client.cc.o.d"
+  "CMakeFiles/tranad_net.dir/server.cc.o"
+  "CMakeFiles/tranad_net.dir/server.cc.o.d"
+  "CMakeFiles/tranad_net.dir/wire.cc.o"
+  "CMakeFiles/tranad_net.dir/wire.cc.o.d"
+  "libtranad_net.a"
+  "libtranad_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/tranad_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/tranad_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/tranad_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/tranad_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/tranad_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/tranad_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tranad_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/positional_encoding.cc" "src/nn/CMakeFiles/tranad_nn.dir/positional_encoding.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/positional_encoding.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/tranad_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/tranad_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/tranad_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_nn.dir/attention.cc.o"
+  "CMakeFiles/tranad_nn.dir/attention.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/conv.cc.o"
+  "CMakeFiles/tranad_nn.dir/conv.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/init.cc.o"
+  "CMakeFiles/tranad_nn.dir/init.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/tranad_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/linear.cc.o"
+  "CMakeFiles/tranad_nn.dir/linear.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/module.cc.o"
+  "CMakeFiles/tranad_nn.dir/module.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tranad_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/positional_encoding.cc.o"
+  "CMakeFiles/tranad_nn.dir/positional_encoding.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/rnn.cc.o"
+  "CMakeFiles/tranad_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/tranad_nn.dir/transformer.cc.o"
+  "CMakeFiles/tranad_nn.dir/transformer.cc.o.d"
+  "libtranad_nn.a"
+  "libtranad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_serve.dir/micro_batcher.cc.o"
+  "CMakeFiles/tranad_serve.dir/micro_batcher.cc.o.d"
+  "CMakeFiles/tranad_serve.dir/serve_engine.cc.o"
+  "CMakeFiles/tranad_serve.dir/serve_engine.cc.o.d"
+  "CMakeFiles/tranad_serve.dir/serve_stats.cc.o"
+  "CMakeFiles/tranad_serve.dir/serve_stats.cc.o.d"
+  "CMakeFiles/tranad_serve.dir/shard_router.cc.o"
+  "CMakeFiles/tranad_serve.dir/shard_router.cc.o.d"
+  "CMakeFiles/tranad_serve.dir/stream_session.cc.o"
+  "CMakeFiles/tranad_serve.dir/stream_session.cc.o.d"
+  "libtranad_serve.a"
+  "libtranad_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_tensor.dir/arena.cc.o"
+  "CMakeFiles/tranad_tensor.dir/arena.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/autograd_ops.cc.o"
+  "CMakeFiles/tranad_tensor.dir/autograd_ops.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/tranad_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/kernels.cc.o"
+  "CMakeFiles/tranad_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tranad_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/tranad_tensor.dir/tensor_ops.cc.o.d"
+  "CMakeFiles/tranad_tensor.dir/variable.cc.o"
+  "CMakeFiles/tranad_tensor.dir/variable.cc.o.d"
+  "libtranad_tensor.a"
+  "libtranad_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

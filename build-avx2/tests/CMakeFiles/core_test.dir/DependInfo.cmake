@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/online_detector_test.cc" "tests/CMakeFiles/core_test.dir/core/online_detector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/online_detector_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/robustness_test.cc" "tests/CMakeFiles/core_test.dir/core/robustness_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/robustness_test.cc.o.d"
+  "/root/repo/tests/core/tranad_detector_test.cc" "tests/CMakeFiles/core_test.dir/core/tranad_detector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tranad_detector_test.cc.o.d"
+  "/root/repo/tests/core/tranad_model_test.cc" "tests/CMakeFiles/core_test.dir/core/tranad_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tranad_model_test.cc.o.d"
+  "/root/repo/tests/core/tranad_trainer_test.cc" "tests/CMakeFiles/core_test.dir/core/tranad_trainer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tranad_trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/baselines/CMakeFiles/tranad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/net/CMakeFiles/tranad_net.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/serve/CMakeFiles/tranad_serve.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/core/CMakeFiles/tranad_core.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/nn/CMakeFiles/tranad_nn.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/data/CMakeFiles/tranad_data.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/eval/CMakeFiles/tranad_eval.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

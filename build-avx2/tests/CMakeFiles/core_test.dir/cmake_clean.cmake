@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/online_detector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/online_detector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/robustness_test.cc.o"
+  "CMakeFiles/core_test.dir/core/robustness_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tranad_detector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tranad_detector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tranad_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tranad_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tranad_trainer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tranad_trainer_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/anomaly_kinds_test.cc.o"
+  "CMakeFiles/data_test.dir/data/anomaly_kinds_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/time_series_test.cc.o"
+  "CMakeFiles/data_test.dir/data/time_series_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/critdiff_test.cc" "tests/CMakeFiles/eval_test.dir/eval/critdiff_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/critdiff_test.cc.o.d"
+  "/root/repo/tests/eval/diagnosis_test.cc" "tests/CMakeFiles/eval_test.dir/eval/diagnosis_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/diagnosis_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_property_test.cc" "tests/CMakeFiles/eval_test.dir/eval/metrics_property_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/metrics_property_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/eval_test.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/pot_drift_test.cc" "tests/CMakeFiles/eval_test.dir/eval/pot_drift_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/pot_drift_test.cc.o.d"
+  "/root/repo/tests/eval/pot_test.cc" "tests/CMakeFiles/eval_test.dir/eval/pot_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/pot_test.cc.o.d"
+  "/root/repo/tests/eval/score_utils_test.cc" "tests/CMakeFiles/eval_test.dir/eval/score_utils_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/score_utils_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-avx2/src/baselines/CMakeFiles/tranad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/net/CMakeFiles/tranad_net.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/serve/CMakeFiles/tranad_serve.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/core/CMakeFiles/tranad_core.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/nn/CMakeFiles/tranad_nn.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/io/CMakeFiles/tranad_io.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/data/CMakeFiles/tranad_data.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/eval/CMakeFiles/tranad_eval.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/tensor/CMakeFiles/tranad_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-avx2/src/common/CMakeFiles/tranad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

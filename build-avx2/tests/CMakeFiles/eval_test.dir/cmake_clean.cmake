@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/eval/critdiff_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/critdiff_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/diagnosis_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/diagnosis_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/metrics_property_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/metrics_property_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/metrics_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/metrics_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/pot_drift_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/pot_drift_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/pot_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/pot_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/score_utils_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/score_utils_test.cc.o.d"
+  "eval_test"
+  "eval_test.pdb"
+  "eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_test.dir/serve/bounded_queue_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/bounded_queue_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/chaos_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/chaos_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/failover_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/failover_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/serve_engine_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/serve_engine_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/serve_stats_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/serve_stats_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/shard_router_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/shard_router_test.cc.o.d"
+  "serve_test"
+  "serve_test.pdb"
+  "serve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

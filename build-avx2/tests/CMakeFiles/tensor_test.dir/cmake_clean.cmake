@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_test.dir/tensor/arena_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/arena_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/autograd_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/autograd_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/determinism_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/determinism_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/grad_check_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/grad_check_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/kernel_parity_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/kernel_parity_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_ops_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_ops_test.cc.o.d"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o.d"
+  "tensor_test"
+  "tensor_test.pdb"
+  "tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-avx2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-avx2/tests/common_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/nn_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/io_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/data_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/core_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/serve_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/net_test[1]_include.cmake")
+include("/root/repo/build-avx2/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_loadgen.dir/serve_loadgen.cc.o"
+  "CMakeFiles/serve_loadgen.dir/serve_loadgen.cc.o.d"
+  "serve_loadgen"
+  "serve_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranad_cli.dir/tranad_cli.cc.o"
+  "CMakeFiles/tranad_cli.dir/tranad_cli.cc.o.d"
+  "tranad_cli"
+  "tranad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

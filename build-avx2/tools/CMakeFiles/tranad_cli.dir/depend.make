@@ -1,0 +1,2 @@
+# Empty dependencies file for tranad_cli.
+# This may be replaced when dependencies are built.
